@@ -1,0 +1,63 @@
+//! Checker battery benchmarks: per-rule cost, full-battery cost, and the
+//! §4.4 auto-fixer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hv_core::checkers;
+use hv_core::context::CheckContext;
+use std::hint::black_box;
+
+fn bench_full_battery(c: &mut Criterion) {
+    let pages = hv_bench::sample_pages(32);
+    let mut g = c.benchmark_group("checkers");
+    g.bench_function("check_page_32_pages", |b| {
+        b.iter(|| {
+            let mut findings = 0usize;
+            for p in &pages {
+                findings += checkers::check_page(black_box(p)).findings.len();
+            }
+            black_box(findings)
+        })
+    });
+    // Battery cost excluding the parse (the paper runs rules
+    // "independently of each other" over a pre-parsed context).
+    let page = hv_bench::violating_page();
+    let cx = CheckContext::new(&page);
+    g.bench_function("battery_without_parse", |b| {
+        b.iter(|| black_box(checkers::check_context(black_box(&cx))).findings.len())
+    });
+    g.finish();
+}
+
+fn bench_individual_rules(c: &mut Criterion) {
+    let page = hv_bench::violating_page();
+    let cx = CheckContext::new(&page);
+    let mut g = c.benchmark_group("per_rule");
+    for check in checkers::all_checks() {
+        g.bench_function(check.kind().id(), |b| {
+            b.iter(|| {
+                let mut out = Vec::new();
+                check.check(black_box(&cx), &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mitigations(c: &mut Criterion) {
+    let page = hv_bench::violating_page();
+    let cx = CheckContext::new(&page);
+    c.bench_function("mitigation_flags", |b| {
+        b.iter(|| black_box(checkers::mitigation_flags(black_box(&cx))))
+    });
+}
+
+fn bench_autofix(c: &mut Criterion) {
+    let page = hv_bench::violating_page();
+    c.bench_function("auto_fix_one_page", |b| {
+        b.iter(|| black_box(hv_core::autofix::auto_fix(black_box(&page))).after.len())
+    });
+}
+
+criterion_group!(benches, bench_full_battery, bench_individual_rules, bench_mitigations, bench_autofix);
+criterion_main!(benches);

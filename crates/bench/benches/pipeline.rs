@@ -1,0 +1,76 @@
+//! Pipeline-stage benchmarks: corpus generation, CDX lookup, record fetch,
+//! and the end-to-end domain-snapshot scan. The paper's framework processed
+//! "nearly a thousand pages per minute" (§3.3); `scan_one_snapshot` shows
+//! pages/second for the Rust pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hv_corpus::{Archive, CorpusConfig, Snapshot};
+use hv_pipeline::{scan_snapshots, ScanOptions};
+use std::hint::black_box;
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("corpus");
+    g.bench_function("archive_build_scale_0.05", |b| {
+        b.iter(|| black_box(Archive::new(CorpusConfig { seed: 7, scale: 0.05 })).domains().len())
+    });
+    g.bench_function("calibration_solve", |b| {
+        b.iter(|| black_box(hv_corpus::calibration::solve()).disciplined)
+    });
+
+    let archive = Archive::new(CorpusConfig { seed: 7, scale: 0.01 });
+    let snap = Snapshot::ALL[7];
+    g.bench_function("cdx_lookup_all_domains", |b| {
+        b.iter(|| {
+            let mut pages = 0usize;
+            for d in archive.domains() {
+                if let Some(cdx) = archive.cdx_lookup(black_box(d), snap) {
+                    pages += cdx.pages.len();
+                }
+            }
+            black_box(pages)
+        })
+    });
+
+    let d = &archive.domains()[0];
+    let cdx = archive.cdx_lookup(d, snap).expect("top domain present");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("fetch_one_record", |b| {
+        b.iter(|| black_box(archive.fetch(black_box(&cdx.pages[0]))).body.len())
+    });
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let archive = Archive::new(CorpusConfig { seed: 7, scale: 0.002 });
+    // Measure pages/second over one snapshot (≈50 domains × ~85 pages).
+    let probe = scan_snapshots(&archive, &[Snapshot::ALL[7]], ScanOptions::default());
+    let pages: usize = probe.records.iter().map(|r| r.pages_analyzed).sum();
+
+    let mut g = c.benchmark_group("scan");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(pages as u64));
+    g.bench_function("one_snapshot_parallel", |b| {
+        b.iter(|| {
+            let store = scan_snapshots(
+                black_box(&archive),
+                &[Snapshot::ALL[7]],
+                ScanOptions::default(),
+            );
+            black_box(store.records.len())
+        })
+    });
+    g.bench_function("one_snapshot_single_thread", |b| {
+        b.iter(|| {
+            let store = scan_snapshots(
+                black_box(&archive),
+                &[Snapshot::ALL[7]],
+                ScanOptions { threads: 1, ..Default::default() },
+            );
+            black_box(store.records.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_corpus, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Shared fixtures for the benchmark harness.
+
+use hv_corpus::{Archive, CorpusConfig, DomainSnapshot, Snapshot};
+
+/// A deterministic mid-size page corpus for parser/checker benches: a mix
+/// of clean and violating pages straight from the calibrated generator.
+pub fn sample_pages(n: usize) -> Vec<String> {
+    let archive = Archive::new(CorpusConfig { seed: 0xBE7C, scale: 0.01 });
+    let mut out = Vec::with_capacity(n);
+    'outer: for d in archive.domains() {
+        for snap in Snapshot::ALL {
+            if let Some(cdx) = archive.cdx_lookup(d, snap) {
+                if !cdx.snapshot.utf8_ok {
+                    continue;
+                }
+                for e in cdx.pages.iter().take(4) {
+                    let body = archive.fetch(e);
+                    out.push(String::from_utf8(body.body.to_vec()).expect("utf8"));
+                    if out.len() == n {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(out.len(), n, "corpus too small for requested sample");
+    out
+}
+
+/// One representative violating page (several kinds at once).
+pub fn violating_page() -> String {
+    let archive = Archive::new(CorpusConfig { seed: 0xBE7C, scale: 0.01 });
+    let ds = DomainSnapshot {
+        domain_id: 1,
+        domain_name: "bench.example".into(),
+        rank: 1,
+        snapshot: Snapshot::ALL[7],
+        utf8_ok: true,
+        page_count: 4,
+        expressed: vec![
+            hv_core::ViolationKind::FB2,
+            hv_core::ViolationKind::DM3,
+            hv_core::ViolationKind::HF1,
+            hv_core::ViolationKind::HF4,
+            hv_core::ViolationKind::DM1,
+        ],
+        benign_newline_url: true,
+        uses_math: false,
+        archetype: hv_corpus::Archetype::Shop,
+    };
+    let _ = &archive;
+    hv_corpus::htmlgen::generate_page(0xBE7C, &ds, 0)
+}
+
+/// Total bytes in a page sample (for throughput reporting).
+pub fn total_bytes(pages: &[String]) -> u64 {
+    pages.iter().map(|p| p.len() as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let pages = sample_pages(32);
+        assert_eq!(pages.len(), 32);
+        assert!(total_bytes(&pages) > 32 * 1000);
+        let v = violating_page();
+        assert!(hv_core::check_page(&v).has(hv_core::ViolationKind::FB2));
+    }
+}

@@ -1,0 +1,258 @@
+//! Hand-rolled argument parsing (no CLI dependency needed for six
+//! subcommands).
+
+use std::path::PathBuf;
+
+pub const USAGE: &str = "\
+hva — HTML specification-violation analyzer (IMC '22 reproduction)
+
+USAGE:
+  hva check <file> [--json]          check one HTML document for violations
+  hva fix <file> [-o <out>]          apply the automatic (§4.4) repair
+  hva gen [--seed N] [--scale F] [--out DIR] [--domains N] [--year Y]
+          [--warc]                   materialize sample corpus pages to disk
+                                     (--warc: standard WARC/1.0 + CDXJ files)
+  hva scan [--seed N] [--scale F] [--threads N] [--store FILE]
+                                     run the full measurement pipeline
+  hva report <exp> --store FILE      render one experiment from a saved scan
+                                     (exp: table1 table2 fig8 fig9 fig10
+                                      fig16..fig21 stats autofix mitigations
+                                      rollout churn aux all)
+  hva repro [--seed N] [--scale F] [--threads N] [--out FILE] [--json FILE]
+                                     scan + print every experiment
+                                     (+ write EXPERIMENTS-style markdown
+                                      and/or a machine-readable JSON dump)
+  hva scan-warc <DIR> [--store FILE] scan on-disk WARC/CDXJ archives (as
+                                     exported by gen --warc, or real Common
+                                     Crawl extracts in the same layout)
+  hva explain <VIOLATION|all>        explain a violation: parser behaviour,
+                                     attack, and fix (e.g. hva explain DM3)
+  hva help                           show this message
+
+DEFAULTS: --seed 4740657 (0x485631), --scale 0.05, --threads = cores
+";
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Check { file: PathBuf, json: bool },
+    Fix { file: PathBuf, out: Option<PathBuf> },
+    Gen { seed: u64, scale: f64, out: PathBuf, domains: usize, year: Option<u16>, warc: bool },
+    Scan { seed: u64, scale: f64, threads: usize, store: Option<PathBuf> },
+    Report { experiment: String, store: PathBuf },
+    Repro { seed: u64, scale: f64, threads: usize, out: Option<PathBuf>, json: Option<PathBuf> },
+    ScanWarc { dir: PathBuf, store: Option<PathBuf> },
+    Explain { what: String },
+    Help,
+}
+
+const DEFAULT_SEED: u64 = 0x48_56_31;
+const DEFAULT_SCALE: f64 = 0.05;
+
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter().map(String::as_str);
+    let cmd = it.next().ok_or("missing subcommand")?;
+    let rest: Vec<&str> = it.collect();
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "check" => {
+            let (positional, flags) = split(&rest)?;
+            let file = positional.first().ok_or("check: missing <file>")?;
+            Ok(Command::Check { file: PathBuf::from(file), json: flags.has("json") })
+        }
+        "fix" => {
+            let (positional, flags) = split(&rest)?;
+            let file = positional.first().ok_or("fix: missing <file>")?;
+            Ok(Command::Fix {
+                file: PathBuf::from(file),
+                out: flags.get("o").or_else(|| flags.get("out")).map(PathBuf::from),
+            })
+        }
+        "gen" => {
+            let (_, flags) = split(&rest)?;
+            Ok(Command::Gen {
+                seed: flags.num("seed", DEFAULT_SEED)?,
+                scale: flags.float("scale", DEFAULT_SCALE)?,
+                out: flags.get("out").map(PathBuf::from).unwrap_or_else(|| "corpus-out".into()),
+                domains: flags.num("domains", 10)? as usize,
+                year: match flags.get("year") {
+                    Some(v) => {
+                        Some(v.parse().map_err(|_| format!("gen: bad --year value {v}"))?)
+                    }
+                    None => None,
+                },
+                warc: flags.has("warc"),
+            })
+        }
+        "scan" => {
+            let (_, flags) = split(&rest)?;
+            Ok(Command::Scan {
+                seed: flags.num("seed", DEFAULT_SEED)?,
+                scale: flags.float("scale", DEFAULT_SCALE)?,
+                threads: flags.num("threads", 0)? as usize,
+                store: flags.get("store").map(PathBuf::from),
+            })
+        }
+        "report" => {
+            let (positional, flags) = split(&rest)?;
+            let experiment = positional.first().ok_or("report: missing <experiment>")?;
+            let store = flags.get("store").ok_or("report: missing --store FILE")?;
+            Ok(Command::Report { experiment: experiment.to_string(), store: PathBuf::from(store) })
+        }
+        "scan-warc" => {
+            let (positional, flags) = split(&rest)?;
+            let dir = positional.first().ok_or("scan-warc: missing <DIR>")?;
+            Ok(Command::ScanWarc {
+                dir: PathBuf::from(dir),
+                store: flags.get("store").map(PathBuf::from),
+            })
+        }
+        "explain" => {
+            let (positional, _) = split(&rest)?;
+            let what = positional.first().ok_or("explain: missing <VIOLATION|all>")?;
+            Ok(Command::Explain { what: what.to_string() })
+        }
+        "repro" => {
+            let (_, flags) = split(&rest)?;
+            Ok(Command::Repro {
+                seed: flags.num("seed", DEFAULT_SEED)?,
+                scale: flags.float("scale", DEFAULT_SCALE)?,
+                threads: flags.num("threads", 0)? as usize,
+                out: flags.get("out").map(PathBuf::from),
+                json: flags.get("json").map(PathBuf::from),
+            })
+        }
+        other => Err(format!("unknown subcommand: {other}")),
+    }
+}
+
+/// Parsed flags: `--key value`, `--key` (boolean), `-o value`.
+pub struct Flags {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    pub fn has(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == key)
+    }
+
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.pairs.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.clone())
+    }
+
+    pub fn num(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("bad --{key} value: {v}")),
+            None => Ok(default),
+        }
+    }
+
+    pub fn float(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            Some(v) => {
+                let f: f64 = v.parse().map_err(|_| format!("bad --{key} value: {v}"))?;
+                if !(0.0..=1.0).contains(&f) || f == 0.0 {
+                    return Err(format!("--{key} must be in (0, 1], got {f}"));
+                }
+                Ok(f)
+            }
+            None => Ok(default),
+        }
+    }
+}
+
+/// Split args into positional values and flag pairs. A flag's value is the
+/// next token unless that token is itself a flag (then it's boolean).
+fn split<'a>(rest: &[&'a str]) -> Result<(Vec<&'a str>, Flags), String> {
+    let mut positional = Vec::new();
+    let mut pairs = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let tok = rest[i];
+        if let Some(key) = tok.strip_prefix("--").or_else(|| tok.strip_prefix('-')) {
+            if key.is_empty() {
+                return Err(format!("bad flag: {tok}"));
+            }
+            let value = rest.get(i + 1).filter(|v| !v.starts_with('-')).map(|v| v.to_string());
+            if value.is_some() {
+                i += 1;
+            }
+            pairs.push((key.to_string(), value));
+        } else {
+            positional.push(tok);
+        }
+        i += 1;
+    }
+    Ok((positional, Flags { pairs }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Command, String> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn check_command() {
+        assert_eq!(
+            p(&["check", "x.html"]).unwrap(),
+            Command::Check { file: "x.html".into(), json: false }
+        );
+        assert_eq!(
+            p(&["check", "x.html", "--json"]).unwrap(),
+            Command::Check { file: "x.html".into(), json: true }
+        );
+    }
+
+    #[test]
+    fn fix_with_output() {
+        assert_eq!(
+            p(&["fix", "a.html", "-o", "b.html"]).unwrap(),
+            Command::Fix { file: "a.html".into(), out: Some("b.html".into()) }
+        );
+    }
+
+    #[test]
+    fn scan_defaults() {
+        match p(&["scan"]).unwrap() {
+            Command::Scan { seed, scale, threads, store } => {
+                assert_eq!(seed, 0x48_56_31);
+                assert!((scale - 0.05).abs() < 1e-12);
+                assert_eq!(threads, 0);
+                assert!(store.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn repro_flags() {
+        match p(&["repro", "--seed", "7", "--scale", "0.5", "--threads", "4"]).unwrap() {
+            Command::Repro { seed, scale, threads, .. } => {
+                assert_eq!(seed, 7);
+                assert!((scale - 0.5).abs() < 1e-12);
+                assert_eq!(threads, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scale_bounds_enforced() {
+        assert!(p(&["scan", "--scale", "2.0"]).is_err());
+        assert!(p(&["scan", "--scale", "0"]).is_err());
+    }
+
+    #[test]
+    fn report_requires_store() {
+        assert!(p(&["report", "fig8"]).is_err());
+        assert!(p(&["report", "fig8", "--store", "s.json"]).is_ok());
+    }
+
+    #[test]
+    fn unknown_subcommand_rejected() {
+        assert!(p(&["bogus"]).is_err());
+        assert!(p(&[]).is_err());
+    }
+}

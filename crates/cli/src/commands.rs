@@ -1,0 +1,276 @@
+//! Subcommand implementations.
+
+use crate::args::{Command, USAGE};
+use hv_core::{autofix, checkers};
+use hv_corpus::{Archive, CorpusConfig, Snapshot};
+use hv_pipeline::{aggregate, scan, ResultStore, ScanOptions};
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Check { file, json } => check(&file, json),
+        Command::Fix { file, out } => fix(&file, out.as_deref()),
+        Command::Gen { seed, scale, out, domains, year, warc } => {
+            gen(seed, scale, &out, domains, year, warc)
+        }
+        Command::Scan { seed, scale, threads, store } => {
+            let result = run_scan(seed, scale, threads)?;
+            if let Some(path) = store {
+                result.save(&path).map_err(|e| format!("saving store: {e}"))?;
+                println!("store written to {}", path.display());
+            } else {
+                println!("{}", hv_report::full_report(&result));
+            }
+            Ok(())
+        }
+        Command::Report { experiment, store } => {
+            let store = ResultStore::load(&store).map_err(|e| format!("loading store: {e}"))?;
+            println!("{}", render_experiment(&experiment, &store)?);
+            Ok(())
+        }
+        Command::ScanWarc { dir, store } => {
+            let inputs = hv_pipeline::warcscan::discover(&dir)
+                .map_err(|e| format!("discovering WARC inputs in {}: {e}", dir.display()))?;
+            if inputs.is_empty() {
+                return Err(format!(
+                    "no CC-MAIN-*.warc/.cdxj pairs found in {}",
+                    dir.display()
+                ));
+            }
+            eprintln!("scanning {} WARC snapshot(s) ...", inputs.len());
+            let result = hv_pipeline::warcscan::scan_warc(&inputs)
+                .map_err(|e| format!("scanning WARC: {e}"))?;
+            match store {
+                Some(path) => {
+                    result.save(&path).map_err(|e| format!("saving store: {e}"))?;
+                    println!("store written to {}", path.display());
+                }
+                None => println!("{}", hv_report::full_report(&result)),
+            }
+            Ok(())
+        }
+        Command::Explain { what } => explain(&what),
+        Command::Repro { seed, scale, threads, out, json } => {
+            let store = run_scan(seed, scale, threads)?;
+            println!("{}", hv_report::full_report(&store));
+            if let Some(path) = out {
+                let md = hv_report::experiments_markdown(&store);
+                fs::write(&path, md).map_err(|e| format!("writing {}: {e}", path.display()))?;
+                println!("\nmarkdown summary written to {}", path.display());
+            }
+            if let Some(path) = json {
+                let v = hv_report::experiments_json(&store);
+                let text = serde_json::to_string_pretty(&v)
+                    .map_err(|e| format!("serializing experiments: {e}"))?;
+                fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+                println!("JSON dump written to {}", path.display());
+            }
+            Ok(())
+        }
+    }
+}
+
+fn explain(what: &str) -> Result<(), String> {
+    use hv_core::ViolationKind;
+    let kinds: Vec<ViolationKind> = if what.eq_ignore_ascii_case("all") {
+        ViolationKind::ALL.to_vec()
+    } else {
+        vec![ViolationKind::from_id(&what.to_ascii_uppercase())
+            .ok_or_else(|| format!("unknown violation: {what} (try `hva explain all`)"))?]
+    };
+    for kind in kinds {
+        let e = kind.explanation();
+        println!(
+            "{} — {}\n  group:      {} ({})\n  category:   {:?}\n  fixability: {:?}\n  behaviour:  {}\n  attack:     {}\n  fix:        {}\n",
+            kind.id(),
+            kind.definition(),
+            kind.group().name(),
+            kind.group().code(),
+            kind.category(),
+            kind.fixability(),
+            e.behaviour,
+            e.attack,
+            e.fix,
+        );
+    }
+    Ok(())
+}
+
+fn check(file: &Path, json: bool) -> Result<(), String> {
+    let bytes = fs::read(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
+    let text = match spec_html::decoder::decode_utf8(&bytes) {
+        spec_html::decoder::Decoded::Utf8(t) => t,
+        spec_html::decoder::Decoded::NotUtf8 { valid_up_to } => {
+            eprintln!(
+                "note: {} is not valid UTF-8 (first bad byte at {valid_up_to}); \
+                 decoding lossily (the measurement pipeline would skip this document)",
+                file.display()
+            );
+            spec_html::decoder::decode_utf8_lossy(&bytes)
+        }
+    };
+    let report = checkers::check_page(&text);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serializing: {e}"))?
+        );
+        return Ok(());
+    }
+    if report.is_clean() {
+        println!("{}: no violations", file.display());
+        return Ok(());
+    }
+    println!("{}: {} finding(s)", file.display(), report.findings.len());
+    for f in &report.findings {
+        println!(
+            "  {:6} [{}|{}]  @{:<6}  {}",
+            f.kind.id(),
+            f.kind.group().code(),
+            match f.kind.fixability() {
+                hv_core::Fixability::Automatic => "auto-fixable",
+                hv_core::Fixability::Manual => "manual",
+            },
+            f.offset,
+            f.evidence
+        );
+    }
+    let m = report.mitigations;
+    if m.script_in_attribute || m.newline_in_url {
+        println!("mitigation flags: script_in_attribute={} newline_in_url={} newline_and_lt_in_url={}",
+            m.script_in_attribute, m.newline_in_url, m.newline_and_lt_in_url);
+    }
+    Ok(())
+}
+
+fn fix(file: &Path, out: Option<&Path>) -> Result<(), String> {
+    let text =
+        fs::read_to_string(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
+    let outcome = autofix::auto_fix(&text);
+    eprintln!(
+        "before: {:?}\nafter:  {:?}\neliminated: {:?}",
+        outcome.before.iter().map(|k| k.id()).collect::<Vec<_>>(),
+        outcome.after.iter().map(|k| k.id()).collect::<Vec<_>>(),
+        outcome.eliminated().iter().map(|k| k.id()).collect::<Vec<_>>(),
+    );
+    match out {
+        Some(path) => {
+            fs::write(path, &outcome.fixed_html)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            eprintln!("fixed document written to {}", path.display());
+        }
+        None => println!("{}", outcome.fixed_html),
+    }
+    Ok(())
+}
+
+fn gen(
+    seed: u64,
+    scale: f64,
+    out: &Path,
+    domains: usize,
+    year: Option<u16>,
+    warc: bool,
+) -> Result<(), String> {
+    let archive = Archive::new(CorpusConfig { seed, scale });
+    let snaps: Vec<Snapshot> = match year {
+        Some(y) => vec![Snapshot::from_year(y).ok_or(format!("--year must be 2015..=2022, got {y}"))?],
+        None => Snapshot::ALL.to_vec(),
+    };
+    fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    if warc {
+        for &snap in &snaps {
+            let (warc_path, cdx_path, n) =
+                hv_corpus::warc::export_snapshot(&archive, snap, out, domains)
+                    .map_err(|e| format!("exporting {snap}: {e}"))?;
+            println!(
+                "{}: {n} records -> {} + {}",
+                snap.crawl_id(),
+                warc_path.display(),
+                cdx_path.display()
+            );
+        }
+        return Ok(());
+    }
+    let mut written = 0usize;
+    for d in archive.domains().iter().take(domains) {
+        for &snap in &snaps {
+            let Some(cdx) = archive.cdx_lookup(d, snap) else { continue };
+            let dir = out.join(snap.crawl_id()).join(&d.name);
+            fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            for entry in cdx.pages.iter().take(5) {
+                let body = archive.fetch(entry);
+                let name = if entry.page_index == 0 {
+                    "index.html".to_owned()
+                } else {
+                    format!("page{}.html", entry.page_index)
+                };
+                fs::write(dir.join(&name), &body.body)
+                    .map_err(|e| format!("writing page: {e}"))?;
+                written += 1;
+            }
+        }
+    }
+    println!(
+        "wrote {written} pages for {} domains under {}",
+        domains.min(archive.domains().len()),
+        out.display()
+    );
+    Ok(())
+}
+
+fn run_scan(seed: u64, scale: f64, threads: usize) -> Result<ResultStore, String> {
+    let t0 = Instant::now();
+    eprintln!("building archive (seed {seed}, scale {scale}) ...");
+    let archive = Archive::new(CorpusConfig { seed, scale });
+    eprintln!(
+        "scanning {} domains x {} snapshots ...",
+        archive.domains().len(),
+        Snapshot::ALL.len()
+    );
+    let store = scan(
+        &archive,
+        ScanOptions { threads, autofix_projection: true, progress_every: 20_000 },
+    );
+    eprintln!(
+        "scan finished in {:.1}s ({} domain-snapshot records)",
+        t0.elapsed().as_secs_f64(),
+        store.records.len()
+    );
+    Ok(store)
+}
+
+fn render_experiment(name: &str, store: &ResultStore) -> Result<String, String> {
+    use hv_report::experiments as exp;
+    Ok(match name {
+        "table1" => exp::table1(),
+        "table2" => exp::table2(store),
+        "fig8" => exp::fig8(store),
+        "fig9" => exp::fig9(store),
+        "fig10" => exp::fig10(store),
+        "fig16" => exp::fig16(store),
+        "fig17" => exp::fig17(store),
+        "fig18" => exp::fig18(store),
+        "fig19" => exp::fig19(store),
+        "fig20" => exp::fig20(store),
+        "fig21" => exp::fig21(store),
+        "stats" => exp::stats(store),
+        "autofix" => exp::autofix(store),
+        "mitigations" => exp::mitigations(store),
+        "rollout" => exp::rollout(store),
+        "churn" => exp::churn(store),
+        "aux" => exp::aux_studies(store),
+        "all" => exp::full_report(store),
+        other => {
+            // `aggregate` is linked for the store type; keep the error crisp.
+            let _ = aggregate::table2_total(store);
+            return Err(format!("unknown experiment: {other} (try `hva help`)"));
+        }
+    })
+}

@@ -1,0 +1,28 @@
+//! `hva` — the html-violations analyzer CLI.
+//!
+//! Single-document tooling (`check`, `fix`), corpus tooling (`gen`), the
+//! measurement pipeline (`scan`), and experiment regeneration (`report`,
+//! `repro`). Run `hva help` for usage.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Data Manipulation checks (DM1–DM3, §3.2).
+
+use super::Check;
+use crate::context::CheckContext;
+use crate::report::Finding;
+use crate::taxonomy::ViolationKind;
+use spec_html::dom::NodeId;
+use spec_html::{tags, ErrorCode};
+
+/// Whether `id` sits inside the document's `head` element.
+fn inside_head(cx: &CheckContext<'_>, id: NodeId) -> bool {
+    cx.parse.dom.ancestors(id).any(|a| cx.parse.dom.is_html(a, "head"))
+}
+
+/// DM1 — `meta[http-equiv]` outside `head`.
+///
+/// `http-equiv` metas can set cookies, redirect, or declare a CSP, and are
+/// only defined for the head section (§4.2.5); the parsing process happily
+/// applies them in the body (§13.2.6.4.7). Detection is structural: a meta
+/// element with an `http-equiv` attribute whose ancestors do not include
+/// `head`.
+pub struct Dm1;
+
+impl Check for Dm1 {
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::DM1
+    }
+
+    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+        let dom = &cx.parse.dom;
+        for id in dom.all_elements() {
+            if dom.is_html(id, "meta")
+                && dom.element(id).is_some_and(|e| e.has_attr("http-equiv"))
+                && !inside_head(cx, id)
+            {
+                let what = dom
+                    .element(id)
+                    .and_then(|e| e.attr("http-equiv"))
+                    .unwrap_or_default()
+                    .to_owned();
+                out.push(Finding::new(
+                    ViolationKind::DM1,
+                    dom.element(id).map(|e| e.src_offset).unwrap_or(0),
+                    format!("meta http-equiv=\"{what}\" outside head"),
+                ));
+            }
+        }
+    }
+}
+
+/// DM2_1 — `base` outside `head` (§4.2.3): the parser accepts it anywhere,
+/// letting injected content retarget every relative URL (CVE-2020-29653).
+pub struct Dm2_1;
+
+impl Check for Dm2_1 {
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::DM2_1
+    }
+
+    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+        let dom = &cx.parse.dom;
+        for id in dom.all_elements() {
+            if dom.is_html(id, "base") && !inside_head(cx, id) {
+                let off = dom.element(id).map(|e| e.src_offset).unwrap_or(0);
+                out.push(Finding::new(ViolationKind::DM2_1, off, "base element outside head"));
+            }
+        }
+    }
+}
+
+/// DM2_2 — more than one `base` element: only the first wins, so a second
+/// (injected) one is either inert or, if first, hijacking.
+pub struct Dm2_2;
+
+impl Check for Dm2_2 {
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::DM2_2
+    }
+
+    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+        let dom = &cx.parse.dom;
+        let bases = dom.all_elements().filter(|&id| dom.is_html(id, "base")).count();
+        if bases > 1 {
+            out.push(Finding::new(
+                ViolationKind::DM2_2,
+                0,
+                format!("{bases} base elements in one document"),
+            ));
+        }
+    }
+}
+
+/// DM2_3 — `base` after an element that uses a URL: the spec requires base
+/// to "appear before any other element that uses a URL" (§4.2.3), otherwise
+/// earlier URLs resolved against a different base than later ones.
+pub struct Dm2_3;
+
+impl Check for Dm2_3 {
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::DM2_3
+    }
+
+    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+        let dom = &cx.parse.dom;
+        let mut seen_url_element: Option<String> = None;
+        for id in dom.all_elements() {
+            let Some(e) = dom.element(id) else { continue };
+            if dom.is_html(id, "base") {
+                if let Some(prev) = &seen_url_element {
+                    out.push(Finding::new(
+                        ViolationKind::DM2_3,
+                        e.src_offset,
+                        format!("base element after URL-using <{prev}>"),
+                    ));
+                }
+                // Later URL-using elements are measured against this base;
+                // one finding per offending base is enough.
+                continue;
+            }
+            if seen_url_element.is_none() && e.attrs.iter().any(|a| tags::is_url_attribute(&a.name))
+            {
+                seen_url_element = Some(e.name.clone());
+            }
+        }
+    }
+}
+
+/// DM3 — duplicate attributes: the tokenizer's `duplicate-attribute` error.
+/// The first occurrence wins and everything after is ignored — so injecting
+/// an attribute early invalidates the legitimate one (§3.2.2).
+pub struct Dm3;
+
+impl Check for Dm3 {
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::DM3
+    }
+
+    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+        for err in cx.parse.errors.iter().filter(|e| e.code == ErrorCode::DuplicateAttribute) {
+            out.push(Finding::new(
+                ViolationKind::DM3,
+                err.offset,
+                format!("duplicate attribute near “{}”", cx.excerpt(err.offset, 24)),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::checkers::check_page;
+    use crate::taxonomy::ViolationKind::*;
+
+    #[test]
+    fn dm1_meta_refresh_in_body() {
+        // Figure 15's meta redirect ends up outside head.
+        let r = check_page(
+            "<html><head>Redirection</head>\n\
+             <META HTTP-EQUIV=\"Refresh\" CONTENT=\"0; URL=HTTP://wds.iea.org/wds\">\n\
+             <body>Page has moved <a href=\"http://wds.iea.org/wds\">here</a></body></html>",
+        );
+        assert!(r.has(DM1));
+    }
+
+    #[test]
+    fn dm1_meta_in_head_is_fine() {
+        let r = check_page(
+            "<!DOCTYPE html><head><meta http-equiv=\"refresh\" content=\"0\"><title>t</title></head><body></body>",
+        );
+        assert!(!r.has(DM1));
+    }
+
+    #[test]
+    fn dm1_charset_meta_in_body_not_flagged() {
+        // Only http-equiv metas are DM1; a (misplaced) charset meta is HF
+        // territory, not DM1.
+        let r = check_page("<!DOCTYPE html><head></head><body><meta charset=utf-8></body>");
+        assert!(!r.has(DM1));
+    }
+
+    #[test]
+    fn dm2_1_base_in_body() {
+        let r = check_page(
+            "<!DOCTYPE html><head><title>t</title></head><body><base href=\"https://evil.com/\"><img src=\"logo.png\"></body>",
+        );
+        assert!(r.has(DM2_1));
+    }
+
+    #[test]
+    fn dm2_2_two_bases() {
+        let r = check_page(
+            "<!DOCTYPE html><head><base href=\"/a/\"><base href=\"/b/\"><title>t</title></head><body></body>",
+        );
+        assert!(r.has(DM2_2));
+    }
+
+    #[test]
+    fn dm2_3_base_after_stylesheet_link() {
+        let r = check_page(
+            "<!DOCTYPE html><head><link rel=\"stylesheet\" href=\"s.css\"><base href=\"/b/\"></head><body></body>",
+        );
+        assert!(r.has(DM2_3));
+        assert!(!r.has(DM2_1));
+        assert!(!r.has(DM2_2));
+    }
+
+    #[test]
+    fn dm2_clean_base_first() {
+        let r = check_page(
+            "<!DOCTYPE html><head><base href=\"/b/\" target=\"_self\"><link rel=\"stylesheet\" href=\"s.css\"></head><body><a href=\"x\">l</a></body>",
+        );
+        assert!(!r.has(DM2_1));
+        assert!(!r.has(DM2_2));
+        assert!(!r.has(DM2_3));
+    }
+
+    #[test]
+    fn dm3_duplicate_onclick() {
+        // §3.2.2's example: the injected onclick invalidates the benign one.
+        let r =
+            check_page(r#"<div id="injection" onclick="evil()" onclick="benign()">x</div>"#);
+        assert!(r.has(DM3));
+    }
+
+    #[test]
+    fn dm3_figure14_duplicate_alt() {
+        // Figure 14: an alt attribute added in a refactor although one
+        // already existed.
+        let r = check_page(r#"<img src="p.jpg" alt="" width="100" alt="Product photo">"#);
+        assert!(r.has(DM3));
+    }
+
+    #[test]
+    fn dm3_distinct_attributes_fine() {
+        let r = check_page(r#"<img src="p.jpg" alt="a" title="b">"#);
+        assert!(!r.has(DM3));
+    }
+}

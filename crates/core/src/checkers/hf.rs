@@ -1,0 +1,334 @@
+//! HTML Formatting checks (HF1–HF5, §3.2) — the mXSS enablers.
+
+use super::Check;
+use crate::context::CheckContext;
+use crate::report::Finding;
+use crate::taxonomy::ViolationKind;
+use spec_html::dom::Namespace;
+use spec_html::{tags, TreeEventKind};
+
+/// HF1 — broken head section: head tags omitted, or non-head content inside
+/// the head forcing the parser to relocate everything that follows. The
+/// paper treats *any* implicit head handling as a violation ("Instead of
+/// handling such omitted head tags implicitly, the parser should only
+/// arrange elements explicitly").
+pub struct Hf1;
+
+impl Check for Hf1 {
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::HF1
+    }
+
+    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+        for ev in &cx.parse.events {
+            match &ev.kind {
+                TreeEventKind::ImplicitHead => {
+                    out.push(Finding::new(ViolationKind::HF1, ev.offset, "head tag omitted"));
+                }
+                TreeEventKind::HeadClosedBy { tag } => {
+                    out.push(Finding::new(
+                        ViolationKind::HF1,
+                        ev.offset,
+                        format!("head implicitly closed by <{tag}>"),
+                    ));
+                }
+                TreeEventKind::LateHeadContent { tag } => {
+                    out.push(Finding::new(
+                        ViolationKind::HF1,
+                        ev.offset,
+                        format!("head content <{tag}> after head was closed"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// HF2 — content before `body`: the body element was opened implicitly by a
+/// token that should not have been there (enables the Figure-4 attack where
+/// a dangling tag absorbs `<body onload=check()>`).
+pub struct Hf2;
+
+impl Check for Hf2 {
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::HF2
+    }
+
+    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+        for ev in &cx.parse.events {
+            if let TreeEventKind::ImplicitBody { by } = &ev.kind {
+                // When a misplaced element *inside the head* forces the head
+                // closed, the spec reprocesses that same token and implies a
+                // body — a consequence of the HF1 violation, not an
+                // independent "content before body". Only bodies implied by
+                // content after a regularly closed head count as HF2.
+                let caused_by_head_close = cx.parse.events.iter().any(|e| {
+                    e.offset == ev.offset
+                        && matches!(e.kind, TreeEventKind::HeadClosedBy { .. })
+                });
+                if !caused_by_head_close {
+                    out.push(Finding::new(
+                        ViolationKind::HF2,
+                        ev.offset,
+                        format!("body implicitly opened by {by}"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// HF3 — multiple `body` elements: the parser merges attributes of later
+/// bodies into the first (§13.2.6.4.7), so injections can add or be blocked
+/// by attributes.
+pub struct Hf3;
+
+impl Check for Hf3 {
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::HF3
+    }
+
+    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+        // "Multiple body elements" means the *markup* contains more than
+        // one <body> start tag (the parser merge can also fire against an
+        // implied body, which is HF1/HF2 territory, not HF3).
+        let body_tags: Vec<_> =
+            cx.start_tags().filter(|t| t.name == "body").map(|t| t.offset).collect();
+        if body_tags.len() >= 2 {
+            // Attach the merge evidence when the parser recorded it.
+            let merged = cx
+                .parse
+                .events
+                .iter()
+                .find(|e| matches!(e.kind, TreeEventKind::SecondBodyMerged { .. }));
+            let detail = match merged.map(|e| &e.kind) {
+                Some(TreeEventKind::SecondBodyMerged { new_attrs, ignored_attrs }) => format!(
+                    "{} body tags; merge added {} and ignored {} attrs",
+                    body_tags.len(),
+                    new_attrs.len(),
+                    ignored_attrs.len()
+                ),
+                _ => format!("{} body start tags in markup", body_tags.len()),
+            };
+            out.push(Finding::new(ViolationKind::HF3, body_tags[1], detail));
+        }
+    }
+}
+
+/// HF4 — broken table: content that is not allowed in table structure gets
+/// foster-parented in front of the table (the Figure-1/Figure-11 mechanism).
+/// Note that *omitted* `tbody` tags are legal and do not count.
+pub struct Hf4;
+
+impl Check for Hf4 {
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::HF4
+    }
+
+    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+        for ev in &cx.parse.events {
+            if let TreeEventKind::FosterParented { tag } = &ev.kind {
+                let what = tag.as_deref().unwrap_or("#text");
+                out.push(Finding::new(
+                    ViolationKind::HF4,
+                    ev.offset,
+                    format!("{what} foster-parented out of table"),
+                ));
+            }
+        }
+    }
+}
+
+/// HF5_1 — wrong namespace, HTML side: an element that only exists in SVG or
+/// MathML parsed in the HTML namespace (an SVG fragment pasted without its
+/// `<svg>` root, or left behind after a premature close).
+pub struct Hf5_1;
+
+impl Check for Hf5_1 {
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::HF5_1
+    }
+
+    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+        let dom = &cx.parse.dom;
+        for id in dom.all_elements() {
+            let Some(e) = dom.element(id) else { continue };
+            if e.ns == Namespace::Html
+                && (tags::is_svg_only(&e.name) || tags::is_mathml_only(&e.name))
+            {
+                out.push(Finding::new(
+                    ViolationKind::HF5_1,
+                    e.src_offset,
+                    format!("foreign-only element <{}> in HTML namespace", e.name),
+                ));
+            }
+        }
+    }
+}
+
+/// HF5_2 — wrong namespace, SVG side: an HTML breakout element inside SVG
+/// content forced the parser back to HTML (§13.2.6.5's breakout list).
+pub struct Hf5_2;
+
+impl Check for Hf5_2 {
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::HF5_2
+    }
+
+    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+        for ev in &cx.parse.events {
+            if let TreeEventKind::ForeignBreakout { tag, root_ns: Namespace::Svg } = &ev.kind {
+                out.push(Finding::new(
+                    ViolationKind::HF5_2,
+                    ev.offset,
+                    format!("<{tag}> broke out of SVG content"),
+                ));
+            }
+        }
+    }
+}
+
+/// HF5_3 — wrong namespace, MathML side: breakout from `<math>` content —
+/// the namespace dance the Figure-1 DOMPurify bypass rides on. The paper
+/// found only 3 occurrences in eight years.
+pub struct Hf5_3;
+
+impl Check for Hf5_3 {
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::HF5_3
+    }
+
+    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+        for ev in &cx.parse.events {
+            if let TreeEventKind::ForeignBreakout { tag, root_ns: Namespace::MathMl } = &ev.kind {
+                out.push(Finding::new(
+                    ViolationKind::HF5_3,
+                    ev.offset,
+                    format!("<{tag}> broke out of MathML content"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::checkers::check_page;
+    use crate::taxonomy::ViolationKind::*;
+
+    const CLEAN_PREFIX: &str =
+        "<!DOCTYPE html><html><head><title>t</title></head><body>";
+    const CLEAN_SUFFIX: &str = "</body></html>";
+
+    fn in_body(content: &str) -> String {
+        format!("{CLEAN_PREFIX}{content}{CLEAN_SUFFIX}")
+    }
+
+    #[test]
+    fn hf1_div_in_head() {
+        let r = check_page(
+            "<!DOCTYPE html><head><div class=modal>x</div><meta charset=utf-8></head><body></body>",
+        );
+        assert!(r.has(HF1));
+    }
+
+    #[test]
+    fn hf1_missing_head_tags() {
+        // Google's 404 page (Figure 12): no head, no body.
+        let r = check_page(
+            "<!DOCTYPE html><html lang=en><meta charset=utf-8><title>Error 404</title>\
+             <style>body{}</style><a href=//www.google.com/><span id=logo></span></a>\
+             <p><b>404.</b> <ins>That’s an error.</ins>",
+        );
+        assert!(r.has(HF1));
+        // The implied body here is the fallout of the broken head (the same
+        // <a> token closed the head and opened the body) — counted as HF1,
+        // not double-counted as HF2.
+        assert!(!r.has(HF2), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn hf1_clean_explicit_head() {
+        let r = check_page(&in_body("<p>x</p>"));
+        assert!(!r.has(HF1), "{:?}", r.findings);
+        assert!(!r.has(HF2));
+    }
+
+    #[test]
+    fn hf2_figure4_body_absorbed() {
+        let r = check_page(
+            "<!DOCTYPE html><html><head></head><p\n<body onload=\"checkSecurity()\">content",
+        );
+        assert!(r.has(HF2));
+    }
+
+    #[test]
+    fn hf3_double_body() {
+        let r = check_page(
+            "<!DOCTYPE html><head></head><body class=a><p>x</p><body onload=evil()></body>",
+        );
+        assert!(r.has(HF3));
+    }
+
+    #[test]
+    fn hf4_figure11_table() {
+        let r = check_page(&in_body(
+            "<table>\n<tr><strong>Cozi Organizer</strong></tr>\n<tr>\n\
+             <td>The #1 organizing app</td>\n<td> <img src=\"x.png\" align=\"right\"></td>\n</tr>\n</table>",
+        ));
+        assert!(r.has(HF4));
+    }
+
+    #[test]
+    fn hf4_not_triggered_by_omitted_tbody() {
+        // tbody omission is legal; only fostered content counts.
+        let r = check_page(&in_body("<table><tr><td>x</td></tr></table>"));
+        assert!(!r.has(HF4), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn hf5_1_pasted_svg_fragment() {
+        // A <path> with no <svg> root is an HTML-namespace foreign orphan.
+        let r = check_page(&in_body("<path d=\"M0 0L10 10\"></path>"));
+        assert!(r.has(HF5_1));
+    }
+
+    #[test]
+    fn hf5_1_proper_svg_ok() {
+        let r = check_page(&in_body("<svg viewBox=\"0 0 10 10\"><path d=\"M0 0\"></path></svg>"));
+        assert!(!r.has(HF5_1), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn hf5_2_div_inside_svg() {
+        let r = check_page(&in_body("<svg><rect width=1></rect><div>broke</div></svg>"));
+        assert!(r.has(HF5_2));
+        assert!(!r.has(HF5_3));
+    }
+
+    #[test]
+    fn hf5_3_breakout_from_math() {
+        let r = check_page(&in_body("<math><mrow><img src=x></mrow></math>"));
+        assert!(r.has(HF5_3));
+        assert!(!r.has(HF5_2));
+    }
+
+    #[test]
+    fn hf5_3_figure1_payload() {
+        let payload = "<math><mtext><table><mglyph><style><!--</style>\
+                       <img title=\"--&gt;&lt;img src=1 onerror=alert(1)&gt;\">";
+        let r = check_page(&in_body(payload));
+        // The table hop means fostering (HF4) fires; the img inside foreign
+        // content breaks out of math (HF5_3).
+        assert!(r.has(HF4), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn hf5_none_on_plain_html() {
+        let r = check_page(&in_body("<div><p>plain</p></div>"));
+        assert!(!r.has(HF5_1));
+        assert!(!r.has(HF5_2));
+        assert!(!r.has(HF5_3));
+    }
+}

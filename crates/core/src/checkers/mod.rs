@@ -1,0 +1,172 @@
+//! The checker battery: one independent rule per [`ViolationKind`].
+//!
+//! Mirroring the paper's framework (§3.3), each rule is a small function
+//! over the shared [`CheckContext`]; rules never depend on each other's
+//! results. The module split follows the problem groups.
+
+pub mod de;
+pub mod dm;
+pub mod fb;
+pub mod hf;
+
+use crate::context::CheckContext;
+use crate::report::{Finding, MitigationFlags, PageReport};
+use crate::taxonomy::ViolationKind;
+
+/// A single violation rule.
+pub trait Check: Sync + Send {
+    /// Which check this is.
+    fn kind(&self) -> ViolationKind;
+    /// Run the rule; push any findings.
+    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>);
+}
+
+/// The full battery, in taxonomy order — one checker per Figure-8 bar.
+pub fn all_checks() -> Vec<Box<dyn Check>> {
+    vec![
+        Box::new(de::De1),
+        Box::new(de::De2),
+        Box::new(de::De3_1),
+        Box::new(de::De3_2),
+        Box::new(de::De3_3),
+        Box::new(de::De4),
+        Box::new(dm::Dm1),
+        Box::new(dm::Dm2_1),
+        Box::new(dm::Dm2_2),
+        Box::new(dm::Dm2_3),
+        Box::new(dm::Dm3),
+        Box::new(hf::Hf1),
+        Box::new(hf::Hf2),
+        Box::new(hf::Hf3),
+        Box::new(hf::Hf4),
+        Box::new(hf::Hf5_1),
+        Box::new(hf::Hf5_2),
+        Box::new(hf::Hf5_3),
+        Box::new(fb::Fb1),
+        Box::new(fb::Fb2),
+    ]
+}
+
+/// Run every rule over a page and assemble the [`PageReport`] (violations +
+/// §4.5 mitigation flags).
+pub fn check_page(raw: &str) -> PageReport {
+    let cx = CheckContext::new(raw);
+    check_context(&cx)
+}
+
+/// Run every rule over a dynamically loaded HTML *fragment* (parsed with
+/// innerHTML semantics in a `div` context) — the §5.1 pre-study's unit of
+/// analysis.
+pub fn check_fragment(raw: &str) -> PageReport {
+    let cx = CheckContext::fragment(raw, "div");
+    check_context(&cx)
+}
+
+/// Like [`check_page`] but reusing an existing context (the pipeline builds
+/// the context once and also feeds the auto-fixer).
+pub fn check_context(cx: &CheckContext<'_>) -> PageReport {
+    let mut findings = Vec::new();
+    for c in all_checks() {
+        c.check(cx, &mut findings);
+    }
+    findings.sort_by_key(|f| (f.kind, f.offset));
+    let mitigations = mitigation_flags(cx);
+    PageReport { findings, mitigations }
+}
+
+/// §4.5: per-page flags for the two deployed browser mitigations.
+pub fn mitigation_flags(cx: &CheckContext<'_>) -> MitigationFlags {
+    let mut flags = MitigationFlags::default();
+    for tag in cx.start_tags() {
+        let is_script = tag.name == "script";
+        let has_nonce = tag.attr("nonce").is_some();
+        for attr in &tag.attrs {
+            let lower = attr.value.to_ascii_lowercase();
+            if lower.contains("<script") {
+                flags.script_in_attribute = true;
+                if is_script && has_nonce {
+                    flags.script_in_nonced_script = true;
+                }
+            }
+            if spec_html::tags::is_url_attribute(&attr.name)
+                && attr.raw_value.contains('\n') {
+                    flags.newline_in_url = true;
+                    if attr.raw_value.contains('<') {
+                        flags.newline_and_lt_in_url = true;
+                    }
+                }
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_covers_all_twenty_kinds() {
+        let mut kinds: Vec<_> = all_checks().iter().map(|c| c.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), ViolationKind::ALL.len());
+    }
+
+    #[test]
+    fn clean_page_is_clean() {
+        let report = check_page(
+            "<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\">\
+             <title>ok</title></head><body><p>fine</p></body></html>",
+        );
+        assert!(report.is_clean(), "unexpected findings: {:?}", report.findings);
+    }
+
+    #[test]
+    fn findings_are_sorted() {
+        let report =
+            check_page("<img src=a src=b><div id=x id=y><p/ class=c><a href=\"u\"title=t>");
+        let mut sorted = report.findings.clone();
+        sorted.sort_by_key(|f| (f.kind, f.offset));
+        assert_eq!(report.findings, sorted);
+    }
+
+    #[test]
+    fn mitigation_flags_detect_script_string() {
+        let cx = crate::context::CheckContext::new(
+            r#"<iframe srcdoc="<script>alert(1)</script>"></iframe>"#,
+        );
+        let flags = mitigation_flags(&cx);
+        assert!(flags.script_in_attribute);
+        assert!(!flags.script_in_nonced_script);
+    }
+
+    #[test]
+    fn mitigation_flags_nonced_script() {
+        let cx = crate::context::CheckContext::new(
+            "<script nonce=\"r4nd0m\" data-x=\"<script\">var x;</script>",
+        );
+        let flags = mitigation_flags(&cx);
+        assert!(flags.script_in_nonced_script);
+    }
+
+    #[test]
+    fn mitigation_flags_newline_urls() {
+        let cx = crate::context::CheckContext::new("<a href=\"/x\n/y\">l</a>");
+        let flags = mitigation_flags(&cx);
+        assert!(flags.newline_in_url);
+        assert!(!flags.newline_and_lt_in_url);
+
+        let cx = crate::context::CheckContext::new("<img src='http://e/?q=\n<p>secret'>");
+        let flags = mitigation_flags(&cx);
+        assert!(flags.newline_and_lt_in_url);
+    }
+
+    #[test]
+    fn encoded_newline_does_not_count() {
+        // `&#10;` decodes to \n in the value but is not a raw newline in the
+        // source; the mitigation (and DE3_1) key on the raw bytes.
+        let cx = crate::context::CheckContext::new("<a href=\"/x&#10;<\">l</a>");
+        let flags = mitigation_flags(&cx);
+        assert!(!flags.newline_in_url);
+    }
+}

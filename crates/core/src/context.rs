@@ -1,0 +1,77 @@
+//! Shared per-page analysis context.
+//!
+//! The paper's framework "runs the rules independently of each other"
+//! (§3.3); to do that without parsing the page twenty times, a
+//! [`CheckContext`] is built once (one full parse) and every checker reads
+//! from it.
+
+use spec_html::tokenizer::Tag;
+use spec_html::ParseOutput;
+
+/// Everything a checker may inspect about one page.
+pub struct CheckContext<'a> {
+    /// The raw document text as crawled (after UTF-8 decoding).
+    pub raw: &'a str,
+    /// Full parse: DOM, tokenizer errors, tree events, token stream.
+    pub parse: ParseOutput,
+}
+
+impl<'a> CheckContext<'a> {
+    /// Parse `raw` and build the context.
+    pub fn new(raw: &'a str) -> Self {
+        CheckContext { raw, parse: spec_html::parse_document(raw) }
+    }
+
+    /// Build the context from an HTML *fragment* (innerHTML semantics in
+    /// the given context element) — how dynamically loaded content is
+    /// parsed at runtime. Used by the §5.1 dynamic-content pre-study:
+    /// structural checks that need a document head/body (HF1–HF3) cannot
+    /// fire here, exactly as in the paper's fragment analysis.
+    pub fn fragment(raw: &'a str, context: &str) -> Self {
+        CheckContext { raw, parse: spec_html::parse_fragment(raw, context) }
+    }
+
+    /// All start tags in the token stream.
+    pub fn start_tags(&self) -> impl Iterator<Item = &Tag> {
+        self.parse.start_tags.iter()
+    }
+
+    /// A short excerpt of the source around a character offset, for
+    /// evidence strings. O(offset), not O(document): the tail is never
+    /// materialized.
+    pub fn excerpt(&self, offset: usize, len: usize) -> String {
+        let mut iter = self.raw.chars().skip(offset);
+        let mut s = String::with_capacity(len + 4);
+        for _ in 0..len {
+            match iter.next() {
+                Some('\n') => s.push_str("\\n"),
+                Some(c) => s.push(c),
+                None => return s,
+            }
+        }
+        if iter.next().is_some() {
+            s.push('…');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_parses_once_and_exposes_tags() {
+        let cx = CheckContext::new("<p><img src=x alt=y></p>");
+        let tags: Vec<&str> = cx.start_tags().map(|t| t.name.as_str()).collect();
+        assert_eq!(tags, vec!["p", "img"]);
+    }
+
+    #[test]
+    fn excerpt_clamps_and_escapes() {
+        let cx = CheckContext::new("ab\ncd");
+        assert_eq!(cx.excerpt(0, 10), "ab\\ncd");
+        assert_eq!(cx.excerpt(3, 1), "c…");
+        assert_eq!(cx.excerpt(99, 5), "");
+    }
+}

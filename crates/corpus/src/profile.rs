@@ -1,0 +1,377 @@
+//! Per-domain, per-snapshot latent state: presence on Common Crawl, UTF-8
+//! decodability, page counts, and the set of violations the domain
+//! expresses — everything drawn deterministically from the calibrated
+//! model (see [`crate::calibration`]).
+
+use crate::calibration::{paper_yearly_pct, Calibrated, PAPER_NEWLINE_URL_PCT};
+use crate::rng;
+use crate::snapshots::{Snapshot, SnapshotTargets, FOUND_EVER, TABLE2_TARGETS, YEARS};
+use crate::tranco::RankedDomain;
+use hv_core::ViolationKind;
+
+/// Key tags for the deterministic draws (distinct namespaces so draws never
+/// collide).
+mod key {
+    pub const NEVER_CC: u64 = 0x01;
+    pub const PRESENT: u64 = 0x02;
+    pub const UTF8: u64 = 0x03;
+    pub const SIZE: u64 = 0x04;
+    pub const SMALL_PAGES: u64 = 0x05;
+    pub const DISCIPLINED: u64 = 0x06;
+    pub const CHRONIC: u64 = 0x07;
+    pub const ACTIVE: u64 = 0x08;
+    pub const EXPRESS: u64 = 0x09;
+    pub const NEWLINE_URL: u64 = 0x0A;
+    pub const ARCHETYPE: u64 = 0x0B;
+    pub const MATH_USAGE: u64 = 0x0C;
+}
+
+/// Broad site archetype: varies the clean page skeleton so the corpus is
+/// not one template repeated 15M times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Archetype {
+    News,
+    Shop,
+    Blog,
+    Docs,
+    App,
+    Portal,
+}
+
+impl Archetype {
+    pub const ALL: [Archetype; 6] = [
+        Archetype::News,
+        Archetype::Shop,
+        Archetype::Blog,
+        Archetype::Docs,
+        Archetype::App,
+        Archetype::Portal,
+    ];
+}
+
+/// Everything known about one domain in one snapshot.
+#[derive(Debug, Clone)]
+pub struct DomainSnapshot {
+    pub domain_id: u64,
+    pub domain_name: String,
+    pub rank: u32,
+    pub snapshot: Snapshot,
+    /// Whether the documents decode as UTF-8 (Table 2 "Succ. Analyzed").
+    pub utf8_ok: bool,
+    /// Number of archived pages (≤ 100, as in the study).
+    pub page_count: usize,
+    /// Violations this domain expresses in this snapshot.
+    pub expressed: Vec<ViolationKind>,
+    /// §4.5 extra feature: multi-line URLs without `<` (not a violation,
+    /// but counted by the mitigation analysis).
+    pub benign_newline_url: bool,
+    /// §4.2 usage statistic: the domain uses (well-formed) `math` markup —
+    /// 42 domains in 2015 growing to 224 in 2022 in the paper.
+    pub uses_math: bool,
+    pub archetype: Archetype,
+}
+
+/// The profile model: pure functions of (seed, calibration, domain id).
+pub struct ProfileModel {
+    pub seed: u64,
+    pub cal: Calibrated,
+    /// Per-year presence rate among CC-covered domains.
+    presence: [f64; YEARS],
+    /// Probability that a domain is at the 100-page cap, per year (solved
+    /// from Table 2's average pages).
+    cap_prob: [f64; YEARS],
+    /// Chronic rate for the benign newline-URL feature.
+    newline_chronic: f64,
+}
+
+/// Share of the universe with no HTML content on CC at all (ad/API domains
+/// like doubleclick.net): 24,915 − 24,050 over 24,915.
+const NEVER_IN_CC: f64 = (24_915.0 - 24_050.0) / 24_915.0;
+
+/// Small (non-capped) domains have between 4 and 99 pages, uniform.
+const SMALL_LO: usize = 4;
+const SMALL_HI: usize = 99;
+
+impl ProfileModel {
+    pub fn new(seed: u64, cal: Calibrated) -> Self {
+        let mut presence = [0.0; YEARS];
+        let mut cap_prob = [0.0; YEARS];
+        for (y, t) in TABLE2_TARGETS.iter().enumerate() {
+            presence[y] = t.domains as f64 / FOUND_EVER as f64;
+            cap_prob[y] = solve_cap_prob(t);
+        }
+        // The benign newline-URL feature: yearly ≈ 11%, assumed union ≈
+        // 18% (not reported by the paper; only the yearly series is).
+        let newline_chronic = 0.18;
+        ProfileModel { seed, cal, presence, cap_prob, newline_chronic }
+    }
+
+    /// Domain is an ad/API endpoint never archived as HTML.
+    pub fn never_in_cc(&self, id: u64) -> bool {
+        rng::chance(self.seed, &[key::NEVER_CC, id], NEVER_IN_CC)
+    }
+
+    /// Domain has a CC entry in this snapshot.
+    pub fn present(&self, id: u64, snap: Snapshot) -> bool {
+        !self.never_in_cc(id)
+            && rng::chance(
+                self.seed,
+                &[key::PRESENT, id, snap.index() as u64],
+                self.presence[snap.index()],
+            )
+    }
+
+    /// Domain's documents decode as UTF-8 in this snapshot.
+    pub fn utf8_ok(&self, id: u64, snap: Snapshot) -> bool {
+        rng::chance(
+            self.seed,
+            &[key::UTF8, id, snap.index() as u64],
+            TABLE2_TARGETS[snap.index()].success_rate,
+        )
+    }
+
+    /// Pages stored for this domain in this snapshot (1..=100).
+    pub fn page_count(&self, id: u64, snap: Snapshot) -> usize {
+        // A persistent per-domain size percentile: big sites stay big
+        // across years; the yearly cap probability shifts the threshold
+        // (Common Crawl stored more pages per domain from 2017 on).
+        let size_pct = rng::unit(self.seed, &[key::SIZE, id]);
+        if size_pct < self.cap_prob[snap.index()] {
+            100
+        } else {
+            rng::range(
+                self.seed,
+                &[key::SMALL_PAGES, id, snap.index() as u64],
+                SMALL_LO,
+                SMALL_HI,
+            )
+        }
+    }
+
+    pub fn archetype(&self, id: u64) -> Archetype {
+        Archetype::ALL[rng::below(self.seed, &[key::ARCHETYPE, id], Archetype::ALL.len())]
+    }
+
+    /// The calibrated violation model (see `calibration` module docs).
+    pub fn expressed(&self, id: u64, snap: Snapshot) -> Vec<ViolationKind> {
+        if rng::chance(self.seed, &[key::DISCIPLINED, id], self.cal.disciplined) {
+            return Vec::new();
+        }
+        let y = snap.index();
+        if !rng::chance(self.seed, &[key::ACTIVE, id, y as u64], self.cal.activity[y]) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, &kind) in ViolationKind::ALL.iter().enumerate() {
+            let chronic = rng::chance(self.seed, &[key::CHRONIC, id, i as u64], self.cal.chronic[i]);
+            if chronic
+                && rng::chance(
+                    self.seed,
+                    &[key::EXPRESS, id, i as u64, y as u64],
+                    self.cal.express[i][y],
+                )
+            {
+                out.push(kind);
+            }
+        }
+        // DM2_1's base-in-body injection structurally implies DM2_3 on
+        // pages whose head references URLs; the generator avoids that
+        // (URL-free head variant) unless DM2_3 is independently expressed,
+        // keeping both marginals calibrated — nothing to adjust here.
+        out
+    }
+
+    /// §4.2's math-usage counter: domains adopting MathML markup, growing
+    /// from 42 (0.20% of analyzed domains) in 2015 to 224 (1.0%) in 2022.
+    /// A persistent percentile makes adoption monotone: once a site uses
+    /// math it keeps using it.
+    pub fn uses_math(&self, id: u64, snap: Snapshot) -> bool {
+        const RATE_PCT: [f64; YEARS] = [0.20, 0.25, 0.33, 0.42, 0.55, 0.70, 0.85, 1.00];
+        rng::unit(self.seed, &[key::MATH_USAGE, id]) < RATE_PCT[snap.index()] / 100.0
+    }
+
+    /// §4.5's benign multi-line URL feature (no `<`).
+    pub fn benign_newline_url(&self, id: u64, snap: Snapshot) -> bool {
+        if rng::chance(self.seed, &[key::DISCIPLINED, id], self.cal.disciplined) {
+            return false;
+        }
+        let y = snap.index();
+        let chronic =
+            rng::chance(self.seed, &[key::NEWLINE_URL, id], self.newline_chronic);
+        if !chronic {
+            return false;
+        }
+        // Subtract DE3_1's contribution (those URLs also contain newlines).
+        let de3_1 = paper_yearly_pct(ViolationKind::DE3_1)[y];
+        let target = ((PAPER_NEWLINE_URL_PCT[y] - de3_1) / 100.0).max(0.0);
+        let p = (target / (1.0 - self.cal.disciplined) / self.newline_chronic).clamp(0.0, 1.0);
+        rng::chance(self.seed, &[key::NEWLINE_URL, id, y as u64], p)
+    }
+
+    /// Assemble the full snapshot view for one domain, or `None` when the
+    /// domain is not on Common Crawl in that snapshot.
+    pub fn domain_snapshot(&self, d: &RankedDomain, snap: Snapshot) -> Option<DomainSnapshot> {
+        if !self.present(d.id, snap) {
+            return None;
+        }
+        Some(DomainSnapshot {
+            domain_id: d.id,
+            domain_name: d.name.clone(),
+            rank: d.rank,
+            snapshot: snap,
+            utf8_ok: self.utf8_ok(d.id, snap),
+            page_count: self.page_count(d.id, snap),
+            expressed: self.expressed(d.id, snap),
+            benign_newline_url: self.benign_newline_url(d.id, snap),
+            uses_math: self.uses_math(d.id, snap),
+            archetype: self.archetype(d.id),
+        })
+    }
+}
+
+/// Solve the 100-page cap probability from Table 2's average pages:
+/// `cap·100 + (1-cap)·mean(small) = avg`.
+fn solve_cap_prob(t: &SnapshotTargets) -> f64 {
+    let small_mean = (SMALL_LO + SMALL_HI) as f64 / 2.0;
+    ((t.avg_pages - small_mean) / (100.0 - small_mean)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration;
+
+    fn model() -> ProfileModel {
+        ProfileModel::new(99, calibration::solve())
+    }
+
+    #[test]
+    fn presence_rates_match_table2() {
+        let m = model();
+        let n = 40_000u64;
+        for snap in Snapshot::ALL {
+            let present = (0..n).filter(|&i| m.present(i, snap)).count() as f64 / n as f64;
+            let target = TABLE2_TARGETS[snap.index()].domains as f64 / 24_915.0;
+            assert!(
+                (present - target).abs() < 0.01,
+                "{snap}: present {present:.3} vs target {target:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn found_ever_rate_matches() {
+        let m = model();
+        let n = 40_000u64;
+        let found = (0..n)
+            .filter(|&i| Snapshot::ALL.iter().any(|&s| m.present(i, s)))
+            .count() as f64
+            / n as f64;
+        let target = FOUND_EVER as f64 / 24_915.0; // 96.5%
+        assert!((found - target).abs() < 0.01, "found-ever {found:.3} vs {target:.3}");
+    }
+
+    #[test]
+    fn average_pages_match_table2() {
+        let m = model();
+        let n = 20_000u64;
+        for snap in [Snapshot::ALL[0], Snapshot::ALL[4], Snapshot::ALL[7]] {
+            let total: usize = (0..n).map(|i| m.page_count(i, snap)).sum();
+            let avg = total as f64 / n as f64;
+            let target = TABLE2_TARGETS[snap.index()].avg_pages;
+            assert!((avg - target).abs() < 1.5, "{snap}: avg {avg:.1} vs {target}");
+        }
+    }
+
+    #[test]
+    fn page_counts_bounded() {
+        let m = model();
+        for i in 0..2_000u64 {
+            let c = m.page_count(i, Snapshot::ALL[3]);
+            assert!((1..=100).contains(&c));
+        }
+    }
+
+    #[test]
+    fn domain_size_is_persistent() {
+        // A domain capped at 100 pages in 2022 was almost surely large in
+        // 2019 too (same size percentile).
+        let m = model();
+        let mut both = 0;
+        let mut late_only = 0;
+        for i in 0..5_000u64 {
+            let early = m.page_count(i, Snapshot::ALL[4]) == 100;
+            let late = m.page_count(i, Snapshot::ALL[7]) == 100;
+            if late && early {
+                both += 1;
+            }
+            if late && !early {
+                late_only += 1;
+            }
+        }
+        assert!(both > late_only * 10, "size must be persistent: {both} vs {late_only}");
+    }
+
+    #[test]
+    fn expressed_rates_track_calibration() {
+        let m = model();
+        let n = 30_000u64;
+        let snap = Snapshot::ALL[0];
+        let mut fb2 = 0usize;
+        let mut any = 0usize;
+        for i in 0..n {
+            let ex = m.expressed(i, snap);
+            if ex.contains(&ViolationKind::FB2) {
+                fb2 += 1;
+            }
+            if !ex.is_empty() {
+                any += 1;
+            }
+        }
+        let fb2_rate = 100.0 * fb2 as f64 / n as f64;
+        let any_rate = 100.0 * any as f64 / n as f64;
+        assert!((fb2_rate - 47.0).abs() < 1.5, "FB2 2015: {fb2_rate:.2}%");
+        assert!((any_rate - 74.31).abs() < 1.5, "any 2015: {any_rate:.2}%");
+    }
+
+    #[test]
+    fn disciplined_domains_never_express() {
+        let m = model();
+        for i in 0..20_000u64 {
+            if rng::chance(m.seed, &[key::DISCIPLINED, i], m.cal.disciplined) {
+                for snap in Snapshot::ALL {
+                    assert!(m.expressed(i, snap).is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn math_usage_grows_and_is_persistent() {
+        let m = model();
+        let n = 60_000u64;
+        let first = (0..n).filter(|&i| m.uses_math(i, Snapshot::ALL[0])).count();
+        let last = (0..n).filter(|&i| m.uses_math(i, Snapshot::ALL[7])).count();
+        let f_pct = 100.0 * first as f64 / n as f64;
+        let l_pct = 100.0 * last as f64 / n as f64;
+        assert!((f_pct - 0.20).abs() < 0.08, "2015 math usage {f_pct:.3}%");
+        assert!((l_pct - 1.00).abs() < 0.15, "2022 math usage {l_pct:.3}%");
+        // Monotone adoption: every 2015 user is a 2022 user.
+        for i in 0..n {
+            if m.uses_math(i, Snapshot::ALL[0]) {
+                assert!(m.uses_math(i, Snapshot::ALL[7]));
+            }
+        }
+    }
+
+    #[test]
+    fn benign_newline_url_rate() {
+        let m = model();
+        let n = 40_000u64;
+        let snap = Snapshot::ALL[7];
+        let hits = (0..n).filter(|&i| m.benign_newline_url(i, snap)).count();
+        let rate = 100.0 * hits as f64 / n as f64;
+        // Target: 11.0% − DE3_1's 0.76% ≈ 10.2%.
+        assert!((rate - 10.24).abs() < 0.8, "newline-url rate {rate:.2}%");
+    }
+}

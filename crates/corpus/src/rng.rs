@@ -1,0 +1,149 @@
+//! Deterministic keyed randomness.
+//!
+//! Every stochastic decision in the corpus is a pure function of
+//! `(seed, key parts)` — **no global RNG state** — so the corpus is
+//! identical at any scale, any thread count, and any generation order. This
+//! is what makes `hva repro` reproducible in the sense the paper argues for
+//! when it picks Tranco and Common Crawl (§3.3 "this approach makes it
+//! reproducible and comparable for future research").
+
+/// SplitMix64 step.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash a seed plus key parts to a u64.
+pub fn hash(seed: u64, parts: &[u64]) -> u64 {
+    let mut h = splitmix64(seed ^ 0x243F_6A88_85A3_08D3);
+    for &p in parts {
+        h = splitmix64(h ^ p);
+    }
+    h
+}
+
+/// Uniform f64 in [0, 1).
+pub fn unit(seed: u64, parts: &[u64]) -> f64 {
+    (hash(seed, parts) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Bernoulli draw with probability `p`.
+pub fn chance(seed: u64, parts: &[u64], p: f64) -> bool {
+    unit(seed, parts) < p
+}
+
+/// Uniform integer in `[0, n)` (n must be > 0).
+pub fn below(seed: u64, parts: &[u64], n: usize) -> usize {
+    debug_assert!(n > 0);
+    (hash(seed, parts) % n as u64) as usize
+}
+
+/// Uniform integer in `[lo, hi]`.
+pub fn range(seed: u64, parts: &[u64], lo: usize, hi: usize) -> usize {
+    debug_assert!(hi >= lo);
+    lo + below(seed, parts, hi - lo + 1)
+}
+
+/// A tiny stateful generator for sequences (seeded from the keyed hash);
+/// used where a loop needs many draws without inventing key suffixes.
+pub struct KeyedRng(u64);
+
+impl KeyedRng {
+    pub fn new(seed: u64, parts: &[u64]) -> Self {
+        KeyedRng(hash(seed, parts))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = splitmix64(self.0);
+        self.0
+    }
+
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo + 1)
+    }
+
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Pick one element of a slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+}
+
+/// Stable key part for a string (FNV-1a).
+pub fn str_key(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash(1, &[2, 3]), hash(1, &[2, 3]));
+        assert_ne!(hash(1, &[2, 3]), hash(1, &[3, 2]));
+        assert_ne!(hash(1, &[2, 3]), hash(2, &[2, 3]));
+    }
+
+    #[test]
+    fn unit_in_range() {
+        for i in 0..1000 {
+            let u = unit(42, &[i]);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let p = 0.3;
+        let hits = (0..100_000).filter(|&i| chance(7, &[i], p)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - p).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn below_bounds_and_uniformity() {
+        let mut counts = [0usize; 10];
+        for i in 0..100_000u64 {
+            counts[below(3, &[i], 10)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn keyed_rng_sequence_is_stable() {
+        let mut a = KeyedRng::new(9, &[1]);
+        let mut b = KeyedRng::new(9, &[1]);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn str_key_distinguishes() {
+        assert_ne!(str_key("example.com"), str_key("example.org"));
+        assert_eq!(str_key("x"), str_key("x"));
+    }
+}

@@ -1,0 +1,121 @@
+//! The study's eight Common-Crawl snapshots (Table 2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of yearly snapshots (2015–2022).
+pub const YEARS: usize = 8;
+
+/// One archived snapshot, identified the way Common Crawl names its monthly
+/// crawls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Snapshot(pub u8);
+
+impl Snapshot {
+    /// All snapshots in study order.
+    pub const ALL: [Snapshot; YEARS] = [
+        Snapshot(0),
+        Snapshot(1),
+        Snapshot(2),
+        Snapshot(3),
+        Snapshot(4),
+        Snapshot(5),
+        Snapshot(6),
+        Snapshot(7),
+    ];
+
+    /// The Common Crawl crawl id, e.g. `CC-MAIN-2015-14`.
+    pub fn crawl_id(self) -> &'static str {
+        const IDS: [&str; YEARS] = [
+            "CC-MAIN-2015-14",
+            "CC-MAIN-2016-07",
+            "CC-MAIN-2017-04",
+            "CC-MAIN-2018-05",
+            "CC-MAIN-2019-04",
+            "CC-MAIN-2020-05",
+            "CC-MAIN-2021-04",
+            "CC-MAIN-2022-05",
+        ];
+        IDS[self.0 as usize]
+    }
+
+    /// Calendar year of the snapshot.
+    pub fn year(self) -> u16 {
+        2015 + self.0 as u16
+    }
+
+    /// Index 0..8 for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub fn from_year(year: u16) -> Option<Snapshot> {
+        if (2015..=2022).contains(&year) {
+            Some(Snapshot((year - 2015) as u8))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.crawl_id())
+    }
+}
+
+/// Table 2 targets: domains found per snapshot (of the 24,915-domain
+/// universe), success rate, and average pages per domain.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotTargets {
+    /// Domains with a CC entry in this snapshot.
+    pub domains: u32,
+    /// Share of those successfully analyzed (UTF-8 decodable).
+    pub success_rate: f64,
+    /// Average pages per successfully analyzed domain.
+    pub avg_pages: f64,
+}
+
+/// Table 2, digitized.
+pub const TABLE2_TARGETS: [SnapshotTargets; YEARS] = [
+    SnapshotTargets { domains: 21_068, success_rate: 0.977, avg_pages: 78.8 },
+    SnapshotTargets { domains: 21_156, success_rate: 0.979, avg_pages: 77.9 },
+    SnapshotTargets { domains: 22_311, success_rate: 0.988, avg_pages: 87.3 },
+    SnapshotTargets { domains: 22_504, success_rate: 0.990, avg_pages: 88.3 },
+    SnapshotTargets { domains: 23_049, success_rate: 0.991, avg_pages: 90.1 },
+    SnapshotTargets { domains: 22_923, success_rate: 0.992, avg_pages: 89.7 },
+    SnapshotTargets { domains: 22_843, success_rate: 0.993, avg_pages: 89.8 },
+    SnapshotTargets { domains: 22_583, success_rate: 0.993, avg_pages: 89.7 },
+];
+
+/// The paper's universe sizes: Tranco intersection (24,915), domains found
+/// on CC at least once (24,050), successfully analyzed at least once
+/// (23,983).
+pub const UNIVERSE: u32 = 24_915;
+pub const FOUND_EVER: u32 = 24_050;
+pub const ANALYZED_EVER: u32 = 23_983;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_ids_and_years() {
+        assert_eq!(Snapshot::ALL[0].crawl_id(), "CC-MAIN-2015-14");
+        assert_eq!(Snapshot::ALL[7].crawl_id(), "CC-MAIN-2022-05");
+        assert_eq!(Snapshot::ALL[3].year(), 2018);
+        assert_eq!(Snapshot::from_year(2019), Some(Snapshot(4)));
+        assert_eq!(Snapshot::from_year(2014), None);
+    }
+
+    #[test]
+    fn table2_is_consistent() {
+        for t in TABLE2_TARGETS {
+            assert!(t.domains <= FOUND_EVER);
+            assert!((0.9..=1.0).contains(&t.success_rate));
+            assert!((50.0..=100.0).contains(&t.avg_pages));
+        }
+        const { assert!(FOUND_EVER < UNIVERSE) };
+        const { assert!(ANALYZED_EVER < FOUND_EVER) };
+    }
+}

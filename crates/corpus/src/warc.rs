@@ -1,0 +1,375 @@
+//! WARC/1.0 + CDXJ on-disk format.
+//!
+//! The virtual archive serves the pipeline directly, but interoperability
+//! with real Common Crawl tooling needs real files: this module writes
+//! snapshots as standard WARC response records with embedded HTTP
+//! responses, indexed by CDXJ lines (SURT key, 14-digit timestamp, JSON
+//! payload with offset/length) — the same layout CC's `cc-index` serves —
+//! and reads them back by (offset, length) exactly like a ranged S3 fetch.
+
+use crate::archive::Archive;
+use crate::snapshots::Snapshot;
+use std::fmt::Write as _;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// One CDXJ index line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CdxjLine {
+    /// SURT-form URL key, e.g. `com,example)/page/1.html`.
+    pub surt: String,
+    /// 14-digit timestamp (YYYYMMDDhhmmss).
+    pub timestamp: String,
+    pub url: String,
+    pub mime: String,
+    pub status: u16,
+    /// Byte offset of the record in the WARC file.
+    pub offset: u64,
+    /// Byte length of the record (through the trailing CRLFCRLF).
+    pub length: u64,
+}
+
+impl CdxjLine {
+    /// Render the CDXJ text line.
+    pub fn render(&self) -> String {
+        format!(
+            "{} {} {{\"url\": \"{}\", \"mime\": \"{}\", \"status\": \"{}\", \"offset\": \"{}\", \"length\": \"{}\"}}",
+            self.surt, self.timestamp, self.url, self.mime, self.status, self.offset, self.length
+        )
+    }
+
+    /// Parse a CDXJ line (as rendered by [`CdxjLine::render`]).
+    pub fn parse(line: &str) -> Option<CdxjLine> {
+        let (surt, rest) = line.split_once(' ')?;
+        let (timestamp, json) = rest.split_once(' ')?;
+        let field = |key: &str| -> Option<String> {
+            let pat = format!("\"{key}\": \"");
+            let start = json.find(&pat)? + pat.len();
+            let end = json[start..].find('"')? + start;
+            Some(json[start..end].to_owned())
+        };
+        Some(CdxjLine {
+            surt: surt.to_owned(),
+            timestamp: timestamp.to_owned(),
+            url: field("url")?,
+            mime: field("mime")?,
+            status: field("status")?.parse().ok()?,
+            offset: field("offset")?.parse().ok()?,
+            length: field("length")?.parse().ok()?,
+        })
+    }
+}
+
+/// SURT (Sort-friendly URI Reordering Transform) of an http(s) URL:
+/// `https://www.example.com/a/b` → `com,example,www)/a/b`.
+pub fn surt(url: &str) -> String {
+    let stripped = url
+        .strip_prefix("https://")
+        .or_else(|| url.strip_prefix("http://"))
+        .unwrap_or(url);
+    let (host, path) = match stripped.find('/') {
+        Some(i) => (&stripped[..i], &stripped[i..]),
+        None => (stripped, "/"),
+    };
+    let mut parts: Vec<&str> = host.split('.').collect();
+    parts.reverse();
+    format!("{}){}", parts.join(","), path)
+}
+
+/// Streaming WARC writer.
+pub struct WarcWriter<W: Write> {
+    w: W,
+    offset: u64,
+    serial: u64,
+}
+
+impl<W: Write> WarcWriter<W> {
+    pub fn new(w: W) -> Self {
+        WarcWriter { w, offset: 0, serial: 0 }
+    }
+
+    /// Write one `response` record wrapping an HTTP 200 with an HTML body.
+    /// Returns (offset, length) for the CDX index.
+    pub fn write_response(
+        &mut self,
+        url: &str,
+        date_iso: &str,
+        body: &[u8],
+    ) -> io::Result<(u64, u64)> {
+        let http_head = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/html; charset=utf-8\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let content_length = http_head.len() + body.len();
+        self.serial += 1;
+        let mut head = String::new();
+        let _ = write!(
+            head,
+            "WARC/1.0\r\n\
+             WARC-Type: response\r\n\
+             WARC-Record-ID: <urn:uuid:00000000-0000-4000-8000-{:012x}>\r\n\
+             WARC-Date: {date_iso}\r\n\
+             WARC-Target-URI: {url}\r\n\
+             Content-Type: application/http; msgtype=response\r\n\
+             Content-Length: {content_length}\r\n\r\n",
+            self.serial
+        );
+        let start = self.offset;
+        self.w.write_all(head.as_bytes())?;
+        self.w.write_all(http_head.as_bytes())?;
+        self.w.write_all(body)?;
+        self.w.write_all(b"\r\n\r\n")?;
+        let total = head.len() as u64 + content_length as u64 + 4;
+        self.offset += total;
+        Ok((start, total))
+    }
+
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+/// A record read back from a WARC file.
+#[derive(Debug, Clone)]
+pub struct ReadRecord {
+    pub url: String,
+    pub date: String,
+    /// The HTML body (HTTP envelope removed).
+    pub body: Vec<u8>,
+}
+
+/// Read the record at (offset, length) from a seekable WARC stream — the
+/// moral equivalent of an S3 ranged GET against a CC crawl segment.
+pub fn read_record<R: Read + Seek>(r: &mut R, offset: u64, length: u64) -> io::Result<ReadRecord> {
+    r.seek(SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; length as usize];
+    r.read_exact(&mut buf)?;
+    parse_record(&buf)
+}
+
+/// Parse one raw WARC record (headers + HTTP response + trailing CRLFs).
+pub fn parse_record(raw: &[u8]) -> io::Result<ReadRecord> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_owned());
+    let head_end = find(raw, b"\r\n\r\n").ok_or_else(|| bad("missing WARC header terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-UTF-8 WARC header"))?;
+    if !head.starts_with("WARC/1.0") {
+        return Err(bad("not a WARC/1.0 record"));
+    }
+    let mut url = String::new();
+    let mut date = String::new();
+    let mut content_length = None;
+    for line in head.lines().skip(1) {
+        if let Some((k, v)) = line.split_once(':') {
+            let v = v.trim();
+            match k.trim() {
+                "WARC-Target-URI" => url = v.to_owned(),
+                "WARC-Date" => date = v.to_owned(),
+                "Content-Length" => content_length = v.parse::<usize>().ok(),
+                _ => {}
+            }
+        }
+    }
+    let content_length = content_length.ok_or_else(|| bad("missing Content-Length"))?;
+    let content = raw
+        .get(head_end + 4..head_end + 4 + content_length)
+        .ok_or_else(|| bad("record truncated"))?;
+    // Strip the embedded HTTP response head.
+    let http_end = find(content, b"\r\n\r\n").ok_or_else(|| bad("missing HTTP terminator"))?;
+    Ok(ReadRecord { url, date, body: content[http_end + 4..].to_vec() })
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// WARC-Date for a snapshot (the crawl's nominal start-of-crawl date).
+pub fn snapshot_date(snap: Snapshot) -> String {
+    // CC-MAIN-2015-14 ≈ late March; later crawls late January/February.
+    let day = if snap.index() == 0 { "03-20" } else { "01-20" };
+    format!("{}-{}T00:00:00Z", snap.year(), day)
+}
+
+/// CDX timestamp for a snapshot.
+pub fn snapshot_timestamp(snap: Snapshot) -> String {
+    let md = if snap.index() == 0 { "0320" } else { "0120" };
+    format!("{}{}000000", snap.year(), md)
+}
+
+/// Export one snapshot of the virtual archive as `<crawl-id>.warc` +
+/// `<crawl-id>.cdxj` under `dir`, limited to the first `max_domains`
+/// domains. Returns the file paths and the number of records written.
+pub fn export_snapshot(
+    archive: &Archive,
+    snap: Snapshot,
+    dir: &Path,
+    max_domains: usize,
+) -> io::Result<(PathBuf, PathBuf, usize)> {
+    std::fs::create_dir_all(dir)?;
+    let warc_path = dir.join(format!("{}.warc", snap.crawl_id()));
+    let cdx_path = dir.join(format!("{}.cdxj", snap.crawl_id()));
+    let mut writer = WarcWriter::new(io::BufWriter::new(std::fs::File::create(&warc_path)?));
+    let mut cdx_lines: Vec<CdxjLine> = Vec::new();
+    let date = snapshot_date(snap);
+    let ts = snapshot_timestamp(snap);
+    for domain in archive.domains().iter().take(max_domains) {
+        let Some(cdx) = archive.cdx_lookup(domain, snap) else { continue };
+        for entry in &cdx.pages {
+            let rec = archive.fetch(entry);
+            let (offset, length) = writer.write_response(&rec.url, &date, &rec.body)?;
+            cdx_lines.push(CdxjLine {
+                surt: surt(&rec.url),
+                timestamp: ts.clone(),
+                url: rec.url.clone(),
+                mime: "text/html".to_owned(),
+                status: 200,
+                offset,
+                length,
+            });
+        }
+    }
+    writer.into_inner().flush()?;
+    // CDX indexes are sorted by SURT key.
+    cdx_lines.sort_by(|a, b| a.surt.cmp(&b.surt));
+    let mut cdx_file = io::BufWriter::new(std::fs::File::create(&cdx_path)?);
+    let n = cdx_lines.len();
+    for line in &cdx_lines {
+        writeln!(cdx_file, "{}", line.render())?;
+    }
+    cdx_file.flush()?;
+    Ok((warc_path, cdx_path, n))
+}
+
+/// Load a CDXJ index file.
+pub fn load_cdxj(path: &Path) -> io::Result<Vec<CdxjLine>> {
+    let text = std::fs::read_to_string(path)?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            CdxjLine::parse(l)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad CDXJ: {l}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::CorpusConfig;
+
+    #[test]
+    fn surt_forms() {
+        assert_eq!(surt("https://www.example.com/a/b"), "com,example,www)/a/b");
+        assert_eq!(surt("https://alphalabs.com/"), "com,alphalabs)/");
+        assert_eq!(surt("http://x.co.uk"), "uk,co,x)/");
+    }
+
+    #[test]
+    fn cdxj_roundtrip() {
+        let line = CdxjLine {
+            surt: "com,example)/".into(),
+            timestamp: "20220120000000".into(),
+            url: "https://example.com/".into(),
+            mime: "text/html".into(),
+            status: 200,
+            offset: 1234,
+            length: 567,
+        };
+        assert_eq!(CdxjLine::parse(&line.render()), Some(line));
+    }
+
+    #[test]
+    fn warc_write_read_roundtrip() {
+        let mut buf = io::Cursor::new(Vec::new());
+        let mut w = WarcWriter::new(&mut buf);
+        let (o1, l1) = w
+            .write_response("https://a.example/", "2022-01-20T00:00:00Z", b"<p>one</p>")
+            .unwrap();
+        let (o2, l2) = w
+            .write_response("https://b.example/x", "2022-01-20T00:00:00Z", "<p>zw\u{F6}lf</p>".as_bytes())
+            .unwrap();
+        assert_eq!(o2, l1);
+        let rec1 = read_record(&mut buf, o1, l1).unwrap();
+        assert_eq!(rec1.url, "https://a.example/");
+        assert_eq!(rec1.body, b"<p>one</p>");
+        let rec2 = read_record(&mut buf, o2, l2).unwrap();
+        assert_eq!(rec2.body, "<p>zwölf</p>".as_bytes());
+        assert_eq!(rec2.date, "2022-01-20T00:00:00Z");
+    }
+
+    #[test]
+    fn export_and_scan_files() {
+        let archive = Archive::new(CorpusConfig { seed: 31, scale: 0.001 });
+        let dir = std::env::temp_dir().join("hv_warc_test");
+        let snap = Snapshot::ALL[7];
+        let (warc, cdx, n) = export_snapshot(&archive, snap, &dir, 3).unwrap();
+        assert!(n > 0);
+        let index = load_cdxj(&cdx).unwrap();
+        assert_eq!(index.len(), n);
+        // SURT-sorted.
+        assert!(index.windows(2).all(|w| w[0].surt <= w[1].surt));
+        // Every indexed record reads back and matches the virtual archive.
+        let mut f = std::fs::File::open(&warc).unwrap();
+        for line in index.iter().take(10) {
+            let rec = read_record(&mut f, line.offset, line.length).unwrap();
+            assert_eq!(rec.url, line.url);
+            assert!(!rec.body.is_empty());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_record_rejects_garbage() {
+        assert!(parse_record(b"HTTP/1.1 200 OK\r\n\r\n").is_err());
+        assert!(parse_record(b"WARC/1.0\r\nContent-Length: 999\r\n\r\nshort").is_err());
+        assert!(parse_record(b"").is_err());
+    }
+}
+
+#[cfg(test)]
+mod warc_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any body (including CRLF-rich and binary-ish content) survives a
+        /// WARC write/read round trip at any record position.
+        #[test]
+        fn record_roundtrip(bodies in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..300), 1..6)
+        ) {
+            let mut buf = std::io::Cursor::new(Vec::new());
+            let mut w = WarcWriter::new(&mut buf);
+            let mut spans = Vec::new();
+            for (i, body) in bodies.iter().enumerate() {
+                let url = format!("https://prop.example/{i}");
+                spans.push((url, w.write_response(
+                    &format!("https://prop.example/{i}"),
+                    "2020-01-20T00:00:00Z",
+                    body,
+                ).unwrap()));
+            }
+            for ((url, (offset, length)), body) in spans.iter().zip(&bodies) {
+                let rec = read_record(&mut buf, *offset, *length).unwrap();
+                prop_assert_eq!(&rec.url, url);
+                prop_assert_eq!(&rec.body, body);
+            }
+        }
+
+        /// CDXJ lines round-trip for any offsets/lengths.
+        #[test]
+        fn cdxj_roundtrip_prop(offset in 0u64..u64::MAX / 2, length in 1u64..1_000_000) {
+            let line = CdxjLine {
+                surt: "com,example)/x".into(),
+                timestamp: "20190120000000".into(),
+                url: "https://example.com/x".into(),
+                mime: "text/html".into(),
+                status: 200,
+                offset,
+                length,
+            };
+            prop_assert_eq!(CdxjLine::parse(&line.render()), Some(line));
+        }
+    }
+}

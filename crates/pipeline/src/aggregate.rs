@@ -1,0 +1,481 @@
+//! Aggregation queries — every number behind the paper's tables and
+//! figures, computed from the [`ResultStore`].
+
+use crate::store::ResultStore;
+use hv_core::{ProblemGroup, ViolationKind};
+use hv_corpus::snapshots::YEARS;
+use hv_corpus::Snapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One Table-2 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    pub snapshot: String,
+    pub domains_found: usize,
+    pub domains_analyzed: usize,
+    pub analyzed_share: f64,
+    pub avg_pages: f64,
+}
+
+/// Table 2: analyzed domains per crawl.
+pub fn table2(store: &ResultStore) -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    for snap in Snapshot::ALL {
+        let mut found = 0usize;
+        let mut analyzed = 0usize;
+        let mut pages = 0usize;
+        for r in store.by_snapshot(snap) {
+            found += 1;
+            if r.analyzed() {
+                analyzed += 1;
+                pages += r.pages_analyzed;
+            }
+        }
+        rows.push(Table2Row {
+            snapshot: snap.crawl_id().to_owned(),
+            domains_found: found,
+            domains_analyzed: analyzed,
+            analyzed_share: percent(analyzed, found),
+            avg_pages: if analyzed > 0 { pages as f64 / analyzed as f64 } else { 0.0 },
+        });
+    }
+    rows
+}
+
+/// The Table-2 "Total (All Snaps.)" row: domains found / analyzed at least
+/// once.
+pub fn table2_total(store: &ResultStore) -> (usize, usize) {
+    let found: BTreeSet<u64> = store.records.iter().map(|r| r.domain_id).collect();
+    let analyzed = store.analyzed_domains();
+    (found.len(), analyzed.len())
+}
+
+/// One Figure-8 bar: domains showing the kind at least once over the whole
+/// study, as count and share of all analyzed domains.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistributionBar {
+    pub kind: ViolationKind,
+    pub domains: usize,
+    pub share: f64,
+}
+
+/// Figure 8: overall distribution of violations, sorted descending (the
+/// paper's x-axis order).
+pub fn overall_distribution(store: &ResultStore) -> Vec<DistributionBar> {
+    let analyzed = store.analyzed_domains();
+    let mut per_kind: BTreeMap<ViolationKind, BTreeSet<u64>> = BTreeMap::new();
+    for r in &store.records {
+        for &k in &r.kinds {
+            per_kind.entry(k).or_default().insert(r.domain_id);
+        }
+    }
+    let mut bars: Vec<DistributionBar> = ViolationKind::ALL
+        .iter()
+        .map(|&kind| {
+            let domains = per_kind.get(&kind).map(|s| s.len()).unwrap_or(0);
+            DistributionBar { kind, domains, share: percent(domains, analyzed.len()) }
+        })
+        .collect();
+    bars.sort_by(|a, b| b.domains.cmp(&a.domains).then(a.kind.cmp(&b.kind)));
+    bars
+}
+
+/// §4.2: share of analyzed domains with at least one violation in any year.
+pub fn overall_violating_share(store: &ResultStore) -> f64 {
+    let analyzed = store.analyzed_domains();
+    let violating: BTreeSet<u64> = store
+        .records
+        .iter()
+        .filter(|r| r.violating())
+        .map(|r| r.domain_id)
+        .collect();
+    percent(violating.intersection(&analyzed).count(), analyzed.len())
+}
+
+/// A yearly series (Figure 9/10/16–21 shape): one value per snapshot.
+pub type YearSeries = [f64; YEARS];
+
+/// Figure 9: share of analyzed domains with ≥ 1 violation, per year.
+pub fn violating_domains_by_year(store: &ResultStore) -> YearSeries {
+    per_year(store, |r| r.violating())
+}
+
+/// Figure 10: per problem group, share of analyzed domains violating at
+/// least one check of the group, per year.
+pub fn group_trends(store: &ResultStore) -> BTreeMap<ProblemGroup, YearSeries> {
+    ProblemGroup::ALL
+        .iter()
+        .map(|&g| (g, per_year(store, move |r| r.kinds.iter().any(|k| k.group() == g))))
+        .collect()
+}
+
+/// Figures 16–21: share of analyzed domains violating one specific check,
+/// per year.
+pub fn kind_trend(store: &ResultStore, kind: ViolationKind) -> YearSeries {
+    per_year(store, move |r| r.kinds.contains(&kind))
+}
+
+/// §4.4: the auto-fix projection for one snapshot — (violating domains,
+/// domains still violating after the automatic pass, share fixed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AutofixProjection {
+    pub snapshot: String,
+    pub analyzed: usize,
+    pub violating: usize,
+    pub violating_after_fix: usize,
+    pub violating_share: f64,
+    pub after_share: f64,
+    /// Share of violating domains fully fixed by automation.
+    pub fixed_share: f64,
+}
+
+pub fn autofix_projection(store: &ResultStore, snap: Snapshot) -> AutofixProjection {
+    let mut analyzed = 0usize;
+    let mut violating = 0usize;
+    let mut still = 0usize;
+    for r in store.by_snapshot(snap) {
+        if !r.analyzed() {
+            continue;
+        }
+        analyzed += 1;
+        if r.violating() {
+            violating += 1;
+            if !r.kinds_after_autofix.is_empty() {
+                still += 1;
+            }
+        }
+    }
+    AutofixProjection {
+        snapshot: snap.crawl_id().to_owned(),
+        analyzed,
+        violating,
+        violating_after_fix: still,
+        violating_share: percent(violating, analyzed),
+        after_share: percent(still, analyzed),
+        fixed_share: percent(violating - still, violating),
+    }
+}
+
+/// §4.5: the mitigation-conflict series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MitigationTrends {
+    /// Domains with `<script` inside an attribute value (count, share).
+    pub script_in_attribute: [(usize, f64); YEARS],
+    /// …of which on a nonced script element (the paper found zero).
+    pub script_in_nonced_script: [usize; YEARS],
+    /// Domains with a raw newline in a URL attribute.
+    pub newline_in_url: [(usize, f64); YEARS],
+    /// Domains conflicting with Chromium's newline+`<` blocking.
+    pub newline_and_lt_in_url: [(usize, f64); YEARS],
+}
+
+pub fn mitigation_trends(store: &ResultStore) -> MitigationTrends {
+    let mut out = MitigationTrends {
+        script_in_attribute: [(0, 0.0); YEARS],
+        script_in_nonced_script: [0; YEARS],
+        newline_in_url: [(0, 0.0); YEARS],
+        newline_and_lt_in_url: [(0, 0.0); YEARS],
+    };
+    for snap in Snapshot::ALL {
+        let y = snap.index();
+        let mut analyzed = 0usize;
+        let (mut s, mut ns, mut nl, mut nllt) = (0usize, 0usize, 0usize, 0usize);
+        for r in store.by_snapshot(snap).filter(|r| r.analyzed()) {
+            analyzed += 1;
+            s += usize::from(r.script_in_attribute);
+            ns += usize::from(r.script_in_nonced_script);
+            nl += usize::from(r.newline_in_url);
+            nllt += usize::from(r.newline_and_lt_in_url);
+        }
+        out.script_in_attribute[y] = (s, percent(s, analyzed));
+        out.script_in_nonced_script[y] = ns;
+        out.newline_in_url[y] = (nl, percent(nl, analyzed));
+        out.newline_and_lt_in_url[y] = (nllt, percent(nllt, analyzed));
+    }
+    out
+}
+
+/// §5.3.2 rollout simulation: for each enforcement stage of the proposed
+/// STRICT-PARSER deprecation, the share of analyzed domains per year that
+/// would have at least one page *blocked* under `default` mode — the
+/// breakage browser vendors would weigh at each step.
+pub fn rollout_breakage(store: &ResultStore) -> Vec<(u8, YearSeries)> {
+    (0..=4u8)
+        .map(|stage| {
+            let list = hv_core::strict::EnforcementList::stage(stage);
+            let series =
+                per_year(store, move |r| r.kinds.iter().any(|&k| list.contains(k)));
+            (stage, series)
+        })
+        .collect()
+}
+
+/// §4.2's usage aside: domains using `math` elements per year (the paper
+/// saw growth from 42 domains in 2015 to 224 in 2022).
+pub fn math_usage_by_year(store: &ResultStore) -> [usize; YEARS] {
+    let mut out = [0usize; YEARS];
+    for snap in Snapshot::ALL {
+        out[snap.index()] =
+            store.by_snapshot(snap).filter(|r| r.analyzed() && r.uses_math).count();
+    }
+    out
+}
+
+/// Usage counter used for §4.2's "math element usage grew" aside: domains
+/// whose pages contain at least one page-count entry for a kind.
+pub fn domains_with_kind_in_year(
+    store: &ResultStore,
+    kind: ViolationKind,
+    snap: Snapshot,
+) -> usize {
+    store
+        .by_snapshot(snap)
+        .filter(|r| r.analyzed() && r.kinds.contains(&kind))
+        .count()
+}
+
+fn per_year(
+    store: &ResultStore,
+    pred: impl Fn(&crate::store::DomainYearRecord) -> bool,
+) -> YearSeries {
+    let mut out = [0.0; YEARS];
+    for snap in Snapshot::ALL {
+        let mut analyzed = 0usize;
+        let mut hits = 0usize;
+        for r in store.by_snapshot(snap).filter(|r| r.analyzed()) {
+            analyzed += 1;
+            if pred(r) {
+                hits += 1;
+            }
+        }
+        out[snap.index()] = percent(hits, analyzed);
+    }
+    out
+}
+
+fn percent(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::DomainYearRecord;
+
+    fn store_with(records: Vec<DomainYearRecord>) -> ResultStore {
+        let mut s = ResultStore::new(1, 1.0, 100);
+        s.records = records;
+        s.finalize();
+        s
+    }
+
+    fn rec(domain: u64, snap: usize, kinds: &[ViolationKind], analyzed: bool) -> DomainYearRecord {
+        DomainYearRecord {
+            domain_id: domain,
+            domain_name: format!("d{domain}.com"),
+            rank: domain as u32,
+            snapshot: Snapshot::ALL[snap],
+            pages_found: 10,
+            pages_analyzed: if analyzed { 10 } else { 0 },
+            kinds: kinds.iter().copied().collect(),
+            page_counts: Default::default(),
+            script_in_attribute: false,
+            script_in_nonced_script: false,
+            newline_in_url: false,
+            newline_and_lt_in_url: false,
+            kinds_after_autofix: kinds
+                .iter()
+                .copied()
+                .filter(|k| k.fixability() == hv_core::Fixability::Manual)
+                .collect(),
+            uses_math: false,
+        }
+    }
+
+    #[test]
+    fn table2_counts_found_and_analyzed() {
+        let s = store_with(vec![
+            rec(1, 0, &[], true),
+            rec(2, 0, &[], false),
+            rec(1, 1, &[], true),
+        ]);
+        let rows = table2(&s);
+        assert_eq!(rows[0].domains_found, 2);
+        assert_eq!(rows[0].domains_analyzed, 1);
+        assert!((rows[0].analyzed_share - 50.0).abs() < 1e-9);
+        assert_eq!(rows[1].domains_found, 1);
+        let (found, analyzed) = table2_total(&s);
+        // Domain 2 was found but never successfully analyzed.
+        assert_eq!((found, analyzed), (2, 1));
+    }
+
+    #[test]
+    fn distribution_counts_domains_once() {
+        let s = store_with(vec![
+            rec(1, 0, &[ViolationKind::FB2], true),
+            rec(1, 1, &[ViolationKind::FB2], true),
+            rec(2, 0, &[], true),
+        ]);
+        let bars = overall_distribution(&s);
+        let fb2 = bars.iter().find(|b| b.kind == ViolationKind::FB2).unwrap();
+        assert_eq!(fb2.domains, 1);
+        assert!((fb2.share - 50.0).abs() < 1e-9);
+        // Sorted descending.
+        assert!(bars.windows(2).all(|w| w[0].domains >= w[1].domains));
+    }
+
+    #[test]
+    fn yearly_series_uses_analyzed_denominator() {
+        let s = store_with(vec![
+            rec(1, 0, &[ViolationKind::DM3], true),
+            rec(2, 0, &[], true),
+            rec(3, 0, &[ViolationKind::DM3], false), // not analyzed: excluded
+        ]);
+        let series = violating_domains_by_year(&s);
+        assert!((series[0] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_trends_group_membership() {
+        let s = store_with(vec![
+            rec(1, 7, &[ViolationKind::FB1], true),
+            rec(2, 7, &[ViolationKind::DE4], true),
+            rec(3, 7, &[], true),
+        ]);
+        let g = group_trends(&s);
+        assert!((g[&ProblemGroup::FilterBypass][7] - 33.33).abs() < 0.1);
+        assert!((g[&ProblemGroup::DataExfiltration][7] - 33.33).abs() < 0.1);
+        assert!((g[&ProblemGroup::HtmlFormatting][7] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn autofix_projection_math() {
+        let s = store_with(vec![
+            rec(1, 7, &[ViolationKind::FB2], true),                 // fully fixable
+            rec(2, 7, &[ViolationKind::FB2, ViolationKind::HF4], true), // HF4 remains
+            rec(3, 7, &[], true),
+        ]);
+        let p = autofix_projection(&s, Snapshot::ALL[7]);
+        assert_eq!(p.analyzed, 3);
+        assert_eq!(p.violating, 2);
+        assert_eq!(p.violating_after_fix, 1);
+        assert!((p.fixed_share - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rollout_breakage_grows_with_stage() {
+        let s = store_with(vec![
+            rec(1, 7, &[ViolationKind::FB2], true),  // only blocked at stage 4
+            rec(2, 7, &[ViolationKind::DE2], true),  // blocked from stage 1
+            rec(3, 7, &[], true),
+        ]);
+        let rollout = rollout_breakage(&s);
+        assert_eq!(rollout.len(), 5);
+        assert!((rollout[0].1[7] - 0.0).abs() < 1e-9, "stage 0 blocks nothing");
+        assert!((rollout[1].1[7] - 33.33).abs() < 0.1, "stage 1 blocks the DE2 domain");
+        assert!((rollout[4].1[7] - 66.67).abs() < 0.1, "stage 4 blocks all violating domains");
+        // Monotone in stage.
+        for w in rollout.windows(2) {
+            assert!(w[1].1[7] >= w[0].1[7]);
+        }
+    }
+
+    #[test]
+    fn kind_trend_series() {
+        let s = store_with(vec![
+            rec(1, 0, &[ViolationKind::HF4], true),
+            rec(1, 7, &[], true),
+            rec(2, 7, &[ViolationKind::HF4], true),
+            rec(3, 7, &[], true),
+        ]);
+        let t = kind_trend(&s, ViolationKind::HF4);
+        assert!((t[0] - 100.0).abs() < 1e-9);
+        assert!((t[7] - 33.33).abs() < 0.1);
+    }
+}
+
+/// §5.2's churn observation, quantified: between consecutive snapshots, how
+/// many (domain, kind) pairs appeared and how many disappeared — "changes
+/// to a website can, on the one side, remove violations but, on the other
+/// side, introduce new ones."
+pub fn violation_churn(store: &ResultStore) -> Vec<ChurnRow> {
+    use std::collections::BTreeSet;
+    let mut out = Vec::new();
+    for w in Snapshot::ALL.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let mut added = 0usize;
+        let mut removed = 0usize;
+        // Domains analyzed in both years.
+        let in_a: BTreeMap<u64, &crate::store::DomainYearRecord> =
+            store.by_snapshot(a).filter(|r| r.analyzed()).map(|r| (r.domain_id, r)).collect();
+        for rb in store.by_snapshot(b).filter(|r| r.analyzed()) {
+            let Some(ra) = in_a.get(&rb.domain_id) else { continue };
+            let ka: BTreeSet<_> = ra.kinds.iter().collect();
+            let kb: BTreeSet<_> = rb.kinds.iter().collect();
+            added += kb.difference(&ka).count();
+            removed += ka.difference(&kb).count();
+        }
+        out.push(ChurnRow {
+            from: a.crawl_id().to_owned(),
+            to: b.crawl_id().to_owned(),
+            added,
+            removed,
+        });
+    }
+    out
+}
+
+/// One year-over-year churn row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnRow {
+    pub from: String,
+    pub to: String,
+    /// (domain, kind) pairs newly violating in `to`.
+    pub added: usize,
+    /// (domain, kind) pairs fixed between `from` and `to`.
+    pub removed: usize,
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use super::*;
+    use crate::store::DomainYearRecord;
+
+    #[test]
+    fn churn_counts_added_and_removed_pairs() {
+        let mut s = ResultStore::new(1, 1.0, 10);
+        let rec = |d: u64, y: usize, kinds: &[ViolationKind]| DomainYearRecord {
+            domain_id: d,
+            domain_name: format!("d{d}"),
+            rank: d as u32,
+            snapshot: Snapshot::ALL[y],
+            pages_found: 5,
+            pages_analyzed: 5,
+            kinds: kinds.iter().copied().collect(),
+            page_counts: Default::default(),
+            script_in_attribute: false,
+            script_in_nonced_script: false,
+            newline_in_url: false,
+            newline_and_lt_in_url: false,
+            kinds_after_autofix: Default::default(),
+            uses_math: false,
+        };
+        // Domain 1: FB2 in 2015, FB2+DM3 in 2016 (one added).
+        s.records.push(rec(1, 0, &[ViolationKind::FB2]));
+        s.records.push(rec(1, 1, &[ViolationKind::FB2, ViolationKind::DM3]));
+        // Domain 2: HF4 in 2015, clean in 2016 (one removed).
+        s.records.push(rec(2, 0, &[ViolationKind::HF4]));
+        s.records.push(rec(2, 1, &[]));
+        s.finalize();
+        let churn = violation_churn(&s);
+        assert_eq!(churn.len(), 7);
+        assert_eq!(churn[0].added, 1);
+        assert_eq!(churn[0].removed, 1);
+        assert_eq!(churn[1].added + churn[1].removed, 0);
+    }
+}

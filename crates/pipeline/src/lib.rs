@@ -1,0 +1,36 @@
+//! # hv-pipeline — the paper's Figure-6 measurement pipeline
+//!
+//! ```text
+//!  Tranco top list ─▶ (1) collect CDX metadata ─▶ (2) crawl WARC records
+//!                          │                            │
+//!                          ▼                            ▼
+//!                   hv_corpus::Archive          UTF-8 filter (§4.1)
+//!                                                      │
+//!                   (4) ResultStore ◀─ (3) checker battery (hv_core)
+//! ```
+//!
+//! * [`run`] — the orchestrator: CPU-bound parsing fanned out over a
+//!   crossbeam worker pool; deterministic at any thread count.
+//! * [`store`] — the embedded result database (the paper used Postgres; a
+//!   typed in-memory table with JSON persistence serves the same queries).
+//! * [`aggregate`] — every number behind Tables 1–2, Figures 8–10 and
+//!   16–21, and the §4.2/§4.4/§4.5 statistics.
+//!
+//! ```no_run
+//! use hv_corpus::{Archive, CorpusConfig};
+//! use hv_pipeline::{aggregate, run};
+//!
+//! let archive = Archive::new(CorpusConfig { seed: 7, scale: 0.01 });
+//! let store = run::scan(&archive, run::ScanOptions::default());
+//! let fig9 = aggregate::violating_domains_by_year(&store);
+//! println!("violating domains 2022: {:.2}%", fig9[7]);
+//! ```
+
+pub mod aggregate;
+pub mod auxstudies;
+pub mod run;
+pub mod store;
+pub mod warcscan;
+
+pub use run::{scan, scan_snapshots, ScanOptions};
+pub use store::{DomainYearRecord, ResultStore};

@@ -1,0 +1,280 @@
+//! The Figure-6 pipeline orchestrator.
+//!
+//! Steps per (domain, snapshot): (1) CDX metadata lookup, (2) fetch WARC
+//! records, (3) decode + run the checker battery, (4) store. Work is fanned
+//! out over a crossbeam worker pool — the workload is pure CPU (parsing),
+//! so threads, not async, are the right tool. Results are independent per
+//! work item and re-sorted at the end, making the scan deterministic at any
+//! thread count.
+
+use crate::store::{DomainYearRecord, ResultStore};
+use hv_core::checkers;
+use hv_core::context::CheckContext;
+use hv_corpus::{Archive, Snapshot};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Scan options.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanOptions {
+    /// Worker threads; 0 = one per available core.
+    pub threads: usize,
+    /// Also compute the §4.4 auto-fix projection per domain (adds one
+    /// classification pass; cheap — it reuses the check results).
+    pub autofix_projection: bool,
+    /// Print progress to stderr every this many domain-snapshots
+    /// (0 = silent).
+    pub progress_every: usize,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions { threads: 0, autofix_projection: true, progress_every: 0 }
+    }
+}
+
+/// Run the full measurement: every domain of the archive's top list, every
+/// snapshot, up to 100 pages each — the paper's §4.1 study execution.
+pub fn scan(archive: &Archive, opts: ScanOptions) -> ResultStore {
+    scan_snapshots(archive, &Snapshot::ALL, opts)
+}
+
+/// Run the measurement for a subset of snapshots.
+pub fn scan_snapshots(archive: &Archive, snapshots: &[Snapshot], opts: ScanOptions) -> ResultStore {
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        opts.threads
+    };
+
+    // Work items: (domain index, snapshot). The vector is only indices —
+    // workers pull from an atomic cursor, so no channel overhead.
+    let domains = archive.domains();
+    let mut work: Vec<(usize, Snapshot)> = Vec::with_capacity(domains.len() * snapshots.len());
+    for (i, _) in domains.iter().enumerate() {
+        for &snap in snapshots {
+            work.push((i, snap));
+        }
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let total = work.len();
+
+    let mut store = ResultStore::new(archive.cfg.seed, archive.cfg.scale, domains.len());
+    let records: Vec<Vec<DomainYearRecord>> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let done = &done;
+            let work = &work;
+            handles.push(s.spawn(move |_| {
+                let mut out = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let (dom_idx, snap) = work[i];
+                    if let Some(rec) = scan_domain_snapshot(archive, dom_idx, snap, opts) {
+                        out.push(rec);
+                    }
+                    let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if opts.progress_every > 0 && d.is_multiple_of(opts.progress_every) {
+                        eprintln!("  scanned {d}/{total} domain-snapshots");
+                    }
+                }
+                out
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope");
+
+    for batch in records {
+        store.records.extend(batch);
+    }
+    store.finalize();
+    store
+}
+
+/// Steps (1)–(3) for one (domain, snapshot); `None` when the domain has no
+/// CDX entry in that crawl.
+fn scan_domain_snapshot(
+    archive: &Archive,
+    dom_idx: usize,
+    snap: Snapshot,
+    opts: ScanOptions,
+) -> Option<DomainYearRecord> {
+    let domain = &archive.domains()[dom_idx];
+    let cdx = archive.cdx_lookup(domain, snap)?;
+
+    let mut kinds: BTreeSet<hv_core::ViolationKind> = BTreeSet::new();
+    let mut page_counts: BTreeMap<hv_core::ViolationKind, u32> = BTreeMap::new();
+    let mut analyzed = 0usize;
+    let mut script_in_attribute = false;
+    let mut script_in_nonced_script = false;
+    let mut newline_in_url = false;
+    let mut newline_and_lt_in_url = false;
+    let mut uses_math = false;
+
+    for entry in &cdx.pages {
+        let body = archive.fetch_page(&cdx.snapshot, entry.page_index);
+        // §4.1: documents that are not UTF-8 decodable are filtered out.
+        let Some(text) = decode(&body) else { continue };
+        analyzed += 1;
+        let cx = CheckContext::new(&text);
+        let report = checkers::check_context(&cx);
+        for k in report.kinds() {
+            kinds.insert(k);
+            *page_counts.entry(k).or_insert(0) += 1;
+        }
+        script_in_attribute |= report.mitigations.script_in_attribute;
+        script_in_nonced_script |= report.mitigations.script_in_nonced_script;
+        newline_in_url |= report.mitigations.newline_in_url;
+        newline_and_lt_in_url |= report.mitigations.newline_and_lt_in_url;
+        // §4.2's usage counter: any math element (either namespace's
+        // spelling ends up as a MathML-ns `math` element or an HTML
+        // orphan; count both).
+        uses_math |= cx
+            .parse
+            .dom
+            .all_elements()
+            .any(|id| cx.parse.dom.element(id).is_some_and(|e| e.name == "math"));
+    }
+
+    let kinds_after_autofix = if opts.autofix_projection {
+        // §4.4's projection: the automatic pass removes the Automatic
+        // kinds; Manual kinds remain.
+        kinds
+            .iter()
+            .copied()
+            .filter(|k| k.fixability() == hv_core::Fixability::Manual)
+            .collect()
+    } else {
+        BTreeSet::new()
+    };
+
+    Some(DomainYearRecord {
+        domain_id: domain.id,
+        domain_name: domain.name.clone(),
+        rank: domain.rank,
+        snapshot: snap,
+        pages_found: cdx.pages.len(),
+        pages_analyzed: analyzed,
+        kinds,
+        page_counts,
+        script_in_attribute,
+        script_in_nonced_script,
+        newline_in_url,
+        newline_and_lt_in_url,
+        kinds_after_autofix,
+        uses_math,
+    })
+}
+
+fn decode(bytes: &[u8]) -> Option<String> {
+    match spec_html::decoder::decode_utf8(bytes) {
+        spec_html::decoder::Decoded::Utf8(s) => Some(s),
+        spec_html::decoder::Decoded::NotUtf8 { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hv_core::autofix;
+    use hv_corpus::CorpusConfig;
+
+    fn tiny_archive() -> Archive {
+        Archive::new(CorpusConfig { seed: 1234, scale: 0.002 })
+    }
+
+    #[test]
+    fn scan_produces_records_for_present_domains() {
+        let archive = tiny_archive();
+        let store = scan_snapshots(
+            &archive,
+            &[Snapshot::ALL[7]],
+            ScanOptions { threads: 2, ..ScanOptions::default() },
+        );
+        assert!(!store.records.is_empty());
+        for r in &store.records {
+            assert!(r.pages_found >= 1 && r.pages_found <= 100);
+            assert!(r.pages_analyzed <= r.pages_found);
+        }
+    }
+
+    #[test]
+    fn scan_is_thread_count_invariant() {
+        let archive = tiny_archive();
+        let snaps = [Snapshot::ALL[0]];
+        let a = scan_snapshots(&archive, &snaps, ScanOptions { threads: 1, ..Default::default() });
+        let b = scan_snapshots(&archive, &snaps, ScanOptions { threads: 8, ..Default::default() });
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.domain_id, y.domain_id);
+            assert_eq!(x.kinds, y.kinds);
+            assert_eq!(x.pages_analyzed, y.pages_analyzed);
+        }
+    }
+
+    #[test]
+    fn utf8_filter_reduces_analyzed_pages() {
+        let archive = tiny_archive();
+        let store = scan(&archive, ScanOptions { threads: 4, ..Default::default() });
+        // Some domain-snapshots fail the UTF-8 filter entirely.
+        let failed = store.records.iter().filter(|r| r.pages_analyzed == 0).count();
+        assert!(failed > 0, "expected some non-UTF-8 domain-snapshots");
+        // But the overwhelming majority decode.
+        let analyzed = store.records.iter().filter(|r| r.analyzed()).count();
+        assert!(analyzed * 100 / store.records.len() >= 95);
+    }
+
+    #[test]
+    fn autofix_projection_is_subset_of_kinds() {
+        let archive = tiny_archive();
+        let store = scan_snapshots(&archive, &[Snapshot::ALL[7]], ScanOptions::default());
+        for r in &store.records {
+            assert!(r.kinds_after_autofix.is_subset(&r.kinds));
+            for k in &r.kinds_after_autofix {
+                assert_eq!(k.fixability(), hv_core::Fixability::Manual);
+            }
+        }
+    }
+
+    /// End-to-end spot check: re-running the actual auto-fixer over a
+    /// violating page removes exactly the Automatic kinds (the projection
+    /// used by the aggregate is faithful to the real fixer).
+    #[test]
+    fn autofix_projection_matches_real_fixer() {
+        let archive = tiny_archive();
+        let snap = Snapshot::ALL[7];
+        let mut checked = 0;
+        for d in archive.domains() {
+            let Some(cdx) = archive.cdx_lookup(d, snap) else { continue };
+            if !cdx.snapshot.utf8_ok {
+                continue;
+            }
+            for entry in cdx.pages.iter().take(2) {
+                let body = archive.fetch_page(&cdx.snapshot, entry.page_index);
+                let text = String::from_utf8(body.to_vec()).unwrap();
+                let outcome = autofix::auto_fix(&text);
+                for k in &outcome.after {
+                    // Everything surviving the real fixer is Manual.
+                    assert_eq!(
+                        k.fixability(),
+                        hv_core::Fixability::Manual,
+                        "auto-fix left {k} behind on {}",
+                        entry.url
+                    );
+                }
+                checked += 1;
+            }
+            if checked > 40 {
+                break;
+            }
+        }
+        assert!(checked > 20);
+    }
+}

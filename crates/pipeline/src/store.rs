@@ -1,0 +1,167 @@
+//! The result store — the paper's PostgresDB (Figure 6, step 4), embedded.
+//!
+//! One [`DomainYearRecord`] per (domain, snapshot): which pages were found
+//! and analyzed, which violation kinds appeared on at least one page, and
+//! the §4.5 mitigation flags. Everything the aggregation layer needs, no
+//! external service.
+
+use hv_core::ViolationKind;
+use hv_corpus::Snapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::Path;
+
+/// Per-(domain, snapshot) facts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainYearRecord {
+    pub domain_id: u64,
+    pub domain_name: String,
+    pub rank: u32,
+    pub snapshot: Snapshot,
+    /// Pages listed in the CDX index for this domain/snapshot.
+    pub pages_found: usize,
+    /// Pages that passed the UTF-8 filter and were checked.
+    pub pages_analyzed: usize,
+    /// Violation kinds present on at least one analyzed page.
+    pub kinds: BTreeSet<ViolationKind>,
+    /// Number of pages on which each kind appeared.
+    pub page_counts: BTreeMap<ViolationKind, u32>,
+    /// §4.5 mitigation flags, OR-ed over the domain's pages.
+    pub script_in_attribute: bool,
+    pub script_in_nonced_script: bool,
+    pub newline_in_url: bool,
+    pub newline_and_lt_in_url: bool,
+    /// Kinds that would remain after the §4.4 automatic fix.
+    pub kinds_after_autofix: BTreeSet<ViolationKind>,
+    /// §4.2 usage statistic: at least one page contains a `math` element.
+    #[serde(default)]
+    pub uses_math: bool,
+}
+
+impl DomainYearRecord {
+    /// Whether the domain was successfully analyzed (≥ 1 page decoded).
+    pub fn analyzed(&self) -> bool {
+        self.pages_analyzed > 0
+    }
+
+    pub fn violating(&self) -> bool {
+        !self.kinds.is_empty()
+    }
+}
+
+/// The embedded result database.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct ResultStore {
+    /// Scan identification: corpus seed and scale, for provenance.
+    pub seed: u64,
+    pub scale: f64,
+    /// Size of the scanned universe (domains on the averaged top list).
+    pub universe: usize,
+    pub records: Vec<DomainYearRecord>,
+}
+
+impl ResultStore {
+    pub fn new(seed: u64, scale: f64, universe: usize) -> Self {
+        ResultStore { seed, scale, universe, records: Vec::new() }
+    }
+
+    /// Insert records and keep the canonical ordering (snapshot, then
+    /// domain id) so scans are byte-identical at any thread count.
+    pub fn finalize(&mut self) {
+        self.records.sort_by_key(|r| (r.snapshot, r.domain_id));
+    }
+
+    /// Records for one snapshot.
+    pub fn by_snapshot(&self, snap: Snapshot) -> impl Iterator<Item = &DomainYearRecord> {
+        self.records.iter().filter(move |r| r.snapshot == snap)
+    }
+
+    /// All records of one domain across snapshots.
+    pub fn by_domain(&self, domain_id: u64) -> impl Iterator<Item = &DomainYearRecord> {
+        self.records.iter().filter(move |r| r.domain_id == domain_id)
+    }
+
+    /// Domains successfully analyzed in at least one snapshot.
+    pub fn analyzed_domains(&self) -> BTreeSet<u64> {
+        self.records.iter().filter(|r| r.analyzed()).map(|r| r.domain_id).collect()
+    }
+
+    /// Persist as JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(io::BufWriter::new(file), self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Load from JSON.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(io::BufReader::new(file))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(domain: u64, snap: usize, kinds: &[ViolationKind]) -> DomainYearRecord {
+        DomainYearRecord {
+            domain_id: domain,
+            domain_name: format!("d{domain}.com"),
+            rank: domain as u32 + 1,
+            snapshot: Snapshot::ALL[snap],
+            pages_found: 10,
+            pages_analyzed: 10,
+            kinds: kinds.iter().copied().collect(),
+            page_counts: kinds.iter().map(|&k| (k, 3)).collect(),
+            script_in_attribute: false,
+            script_in_nonced_script: false,
+            newline_in_url: false,
+            newline_and_lt_in_url: false,
+            kinds_after_autofix: BTreeSet::new(),
+            uses_math: false,
+        }
+    }
+
+    #[test]
+    fn finalize_orders_canonically() {
+        let mut s = ResultStore::new(1, 1.0, 10);
+        s.records.push(record(5, 3, &[]));
+        s.records.push(record(1, 3, &[]));
+        s.records.push(record(9, 0, &[]));
+        s.finalize();
+        let order: Vec<_> = s.records.iter().map(|r| (r.snapshot.index(), r.domain_id)).collect();
+        assert_eq!(order, vec![(0, 9), (3, 1), (3, 5)]);
+    }
+
+    #[test]
+    fn queries() {
+        let mut s = ResultStore::new(1, 1.0, 10);
+        s.records.push(record(1, 0, &[ViolationKind::FB2]));
+        s.records.push(record(1, 1, &[]));
+        s.records.push(record(2, 0, &[]));
+        assert_eq!(s.by_snapshot(Snapshot::ALL[0]).count(), 2);
+        assert_eq!(s.by_domain(1).count(), 2);
+        assert_eq!(s.analyzed_domains().len(), 2);
+        assert!(s.records[0].violating());
+        assert!(!s.records[1].violating());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut s = ResultStore::new(7, 0.5, 3);
+        s.records.push(record(1, 2, &[ViolationKind::DM3, ViolationKind::HF4]));
+        s.finalize();
+        let dir = std::env::temp_dir().join("hv_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        s.save(&path).unwrap();
+        let back = ResultStore::load(&path).unwrap();
+        assert_eq!(back.seed, 7);
+        assert_eq!(back.records.len(), 1);
+        assert!(back.records[0].kinds.contains(&ViolationKind::HF4));
+        std::fs::remove_file(&path).ok();
+    }
+}

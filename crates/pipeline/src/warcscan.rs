@@ -1,0 +1,195 @@
+//! Scanning on-disk WARC/CDXJ archives — the bridge to *real* Common Crawl
+//! data.
+//!
+//! `hva gen --warc` exports the synthetic archive in standard form; this
+//! module runs the measurement over any such pair (or over extracts pulled
+//! from the real Common Crawl with its index client), producing the same
+//! [`ResultStore`] the virtual pipeline fills — so every table/figure
+//! renderer works on real data unchanged.
+
+use crate::store::{DomainYearRecord, ResultStore};
+use hv_core::checkers;
+use hv_core::context::CheckContext;
+use hv_corpus::warc::{load_cdxj, read_record, CdxjLine};
+use hv_corpus::Snapshot;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A (WARC, CDXJ) file pair associated with a snapshot.
+#[derive(Debug, Clone)]
+pub struct WarcInput {
+    pub warc: PathBuf,
+    pub cdx: PathBuf,
+    pub snapshot: Snapshot,
+}
+
+/// Discover `<CC-MAIN-*>.warc` / `.cdxj` pairs in a directory (the layout
+/// `hva gen --warc` produces). Snapshot association comes from the
+/// crawl-id file stem.
+pub fn discover(dir: &Path) -> io::Result<Vec<WarcInput>> {
+    let mut inputs = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("warc") {
+            continue;
+        }
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or_default();
+        let Some(snapshot) = snapshot_from_crawl_id(stem) else { continue };
+        let cdx = path.with_extension("cdxj");
+        if cdx.exists() {
+            inputs.push(WarcInput { warc: path, cdx, snapshot });
+        }
+    }
+    inputs.sort_by_key(|i| i.snapshot);
+    Ok(inputs)
+}
+
+fn snapshot_from_crawl_id(stem: &str) -> Option<Snapshot> {
+    // CC-MAIN-2019-04 → 2019.
+    let year: u16 = stem.strip_prefix("CC-MAIN-")?.get(..4)?.parse().ok()?;
+    Snapshot::from_year(year)
+}
+
+/// Scan WARC inputs into a [`ResultStore`]. Pages are grouped into domains
+/// by URL host; domain ids are stable hashes of the host.
+pub fn scan_warc(inputs: &[WarcInput]) -> io::Result<ResultStore> {
+    let mut store = ResultStore::new(0, 0.0, 0);
+    let mut domains_seen: BTreeSet<String> = BTreeSet::new();
+    for input in inputs {
+        let index = load_cdxj(&input.cdx)?;
+        let mut file = std::fs::File::open(&input.warc)?;
+        // Group the index lines by host.
+        let mut by_host: BTreeMap<String, Vec<&CdxjLine>> = BTreeMap::new();
+        for line in &index {
+            by_host.entry(host_of(&line.url)).or_default().push(line);
+        }
+        for (host, lines) in by_host {
+            domains_seen.insert(host.clone());
+            let mut rec = DomainYearRecord {
+                domain_id: hv_corpus::rng::str_key(&host),
+                domain_name: host,
+                rank: 0,
+                snapshot: input.snapshot,
+                pages_found: lines.len(),
+                pages_analyzed: 0,
+                kinds: BTreeSet::new(),
+                page_counts: BTreeMap::new(),
+                script_in_attribute: false,
+                script_in_nonced_script: false,
+                newline_in_url: false,
+                newline_and_lt_in_url: false,
+                kinds_after_autofix: BTreeSet::new(),
+                uses_math: false,
+            };
+            for line in lines {
+                let record = read_record(&mut file, line.offset, line.length)?;
+                let text = match spec_html::decoder::decode_utf8(&record.body) {
+                    spec_html::decoder::Decoded::Utf8(t) => t,
+                    spec_html::decoder::Decoded::NotUtf8 { .. } => continue,
+                };
+                rec.pages_analyzed += 1;
+                let cx = CheckContext::new(&text);
+                let report = checkers::check_context(&cx);
+                for k in report.kinds() {
+                    rec.kinds.insert(k);
+                    *rec.page_counts.entry(k).or_insert(0) += 1;
+                }
+                rec.script_in_attribute |= report.mitigations.script_in_attribute;
+                rec.script_in_nonced_script |= report.mitigations.script_in_nonced_script;
+                rec.newline_in_url |= report.mitigations.newline_in_url;
+                rec.newline_and_lt_in_url |= report.mitigations.newline_and_lt_in_url;
+                rec.uses_math |= cx
+                    .parse
+                    .dom
+                    .all_elements()
+                    .any(|id| cx.parse.dom.element(id).is_some_and(|e| e.name == "math"));
+            }
+            rec.kinds_after_autofix = rec
+                .kinds
+                .iter()
+                .copied()
+                .filter(|k| k.fixability() == hv_core::Fixability::Manual)
+                .collect();
+            store.records.push(rec);
+        }
+    }
+    store.universe = domains_seen.len();
+    store.finalize();
+    Ok(store)
+}
+
+fn host_of(url: &str) -> String {
+    let stripped = url
+        .strip_prefix("https://")
+        .or_else(|| url.strip_prefix("http://"))
+        .unwrap_or(url);
+    stripped.split('/').next().unwrap_or(stripped).to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hv_corpus::{Archive, CorpusConfig};
+
+    #[test]
+    fn warc_scan_agrees_with_virtual_scan() {
+        // Export a snapshot to disk, scan the files, and compare per-domain
+        // kinds against scanning the virtual archive directly.
+        let archive = Archive::new(CorpusConfig { seed: 606, scale: 0.002 });
+        let dir = std::env::temp_dir().join("hv_warcscan_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let snap = Snapshot::ALL[7];
+        hv_corpus::warc::export_snapshot(&archive, snap, &dir, 12).unwrap();
+
+        let inputs = discover(&dir).unwrap();
+        assert_eq!(inputs.len(), 1);
+        assert_eq!(inputs[0].snapshot, snap);
+        let warc_store = scan_warc(&inputs).unwrap();
+
+        let virtual_store = crate::run::scan_snapshots(
+            &archive,
+            &[snap],
+            crate::run::ScanOptions { threads: 2, ..Default::default() },
+        );
+
+        // Align by domain name over the exported subset.
+        for wrec in &warc_store.records {
+            let vrec = virtual_store
+                .records
+                .iter()
+                .find(|r| r.domain_name == wrec.domain_name)
+                .unwrap_or_else(|| panic!("{} missing from virtual scan", wrec.domain_name));
+            assert_eq!(wrec.kinds, vrec.kinds, "kinds differ for {}", wrec.domain_name);
+            assert_eq!(wrec.pages_analyzed, vrec.pages_analyzed, "{}", wrec.domain_name);
+            assert_eq!(wrec.newline_in_url, vrec.newline_in_url);
+            assert_eq!(wrec.uses_math, vrec.uses_math);
+        }
+        assert!(!warc_store.records.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn discover_ignores_unrelated_files() {
+        let dir = std::env::temp_dir().join("hv_warcscan_discover");
+        std::fs::create_dir_all(&dir).ok();
+        std::fs::write(dir.join("notes.txt"), "x").unwrap();
+        std::fs::write(dir.join("random.warc"), "x").unwrap(); // no crawl id / no cdxj
+        let inputs = discover(&dir).unwrap();
+        assert!(inputs.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn host_grouping() {
+        assert_eq!(host_of("https://a.example.com/x/y"), "a.example.com");
+        assert_eq!(host_of("http://b.example"), "b.example");
+    }
+
+    #[test]
+    fn snapshot_from_crawl_ids() {
+        assert_eq!(snapshot_from_crawl_id("CC-MAIN-2015-14"), Snapshot::from_year(2015));
+        assert_eq!(snapshot_from_crawl_id("CC-MAIN-2022-05"), Snapshot::from_year(2022));
+        assert_eq!(snapshot_from_crawl_id("whatever"), None);
+    }
+}

@@ -1,0 +1,12 @@
+//! # hv-report — regenerating the paper's tables and figures as text
+//!
+//! One function per experiment ([`experiments`]), each printing measured
+//! values next to the paper's published numbers so shape preservation can
+//! be judged at a glance. Rendering primitives live in [`table`] (aligned
+//! text tables) and [`series`] (year series + coarse ASCII trend plots).
+
+pub mod experiments;
+pub mod series;
+pub mod table;
+
+pub use experiments::{experiments_json, experiments_markdown, full_report};

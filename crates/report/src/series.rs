@@ -1,0 +1,113 @@
+//! Year-series rendering: the textual equivalent of the paper's trend
+//! figures — one labelled row of values per series, plus a coarse ASCII
+//! plot for shape inspection.
+
+use hv_corpus::snapshots::YEARS;
+
+/// Render a header row with the study years.
+pub fn year_header(label_width: usize) -> String {
+    let mut s = format!("{:width$}", "", width = label_width);
+    for y in 0..YEARS {
+        s.push_str(&format!("{:>8}", 2015 + y));
+    }
+    s.push('\n');
+    s
+}
+
+/// Render one labelled series row (values in percent).
+pub fn series_row(label: &str, values: &[f64; YEARS], label_width: usize) -> String {
+    let mut s = format!("{label:label_width$}");
+    for v in values {
+        s.push_str(&format!("{v:>8.2}"));
+    }
+    s.push('\n');
+    s
+}
+
+/// A coarse ASCII plot of one or more series on a shared y-axis, for
+/// eyeballing the trend shapes the paper shows in its figures.
+pub fn ascii_plot(series: &[(&str, [f64; YEARS])], height: usize) -> String {
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
+    let min = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(f64::MAX, f64::min)
+        .min(max);
+    let span = (max - min).max(1e-9);
+    let marks = ['*', 'o', '+', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; YEARS * 6]; height];
+    for (si, (_, values)) in series.iter().enumerate() {
+        for (y, v) in values.iter().enumerate() {
+            let row = ((max - v) / span * (height - 1) as f64).round() as usize;
+            let col = y * 6 + 2;
+            grid[row.min(height - 1)][col] = marks[si % marks.len()];
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let yval = max - span * i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{yval:6.1} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("       +");
+    out.extend(std::iter::repeat_n('-', YEARS * 6));
+    out.push('\n');
+    out.push_str("        ");
+    for y in 0..YEARS {
+        out.push_str(&format!("{:<6}", 2015 + y));
+    }
+    out.push('\n');
+    out.push_str("        legend: ");
+    for (si, (name, _)) in series.iter().enumerate() {
+        if si > 0 {
+            out.push_str(", ");
+        }
+        out.push(marks[si % marks.len()]);
+        out.push('=');
+        out.push_str(name);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_row_formats_all_years() {
+        let row = series_row("FB2", &[1.0; YEARS], 6);
+        assert!(row.starts_with("FB2"));
+        assert_eq!(row.matches("1.00").count(), YEARS);
+    }
+
+    #[test]
+    fn plot_contains_marks_and_axis() {
+        let s = ascii_plot(&[("a", [10.0, 9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0])], 8);
+        assert!(s.contains('*'));
+        assert!(s.contains("2015"));
+        assert!(s.contains("2022"));
+        assert!(s.contains("legend: *=a"));
+    }
+
+    #[test]
+    fn plot_two_series_distinct_marks() {
+        let s = ascii_plot(
+            &[("x", [5.0; YEARS]), ("y", [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])],
+            6,
+        );
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn flat_series_does_not_panic() {
+        let s = ascii_plot(&[("flat", [2.0; YEARS])], 4);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Plain-text table rendering.
+
+/// A simple column-aligned table builder for terminal reports.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        debug_assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with a separator under the header; numeric-looking columns
+    /// are right-aligned.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let numeric: Vec<bool> = (0..cols)
+            .map(|i| {
+                !self.rows.is_empty()
+                    && self.rows.iter().all(|r| {
+                        r[i].chars().all(|c| {
+                            c.is_ascii_digit() || matches!(c, '.' | '%' | ',' | '-' | '(' | ')' | ' ')
+                        })
+                    })
+            })
+            .collect();
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(c.chars().count());
+                if numeric[i] {
+                    out.extend(std::iter::repeat_n(' ', pad));
+                    out.push_str(c);
+                } else {
+                    out.push_str(c);
+                    if i + 1 < cells.len() {
+                        out.extend(std::iter::repeat_n(' ', pad));
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["name", "count"]);
+        t.row(["alpha", "12"]);
+        t.row(["b", "3456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numeric column right-aligned.
+        assert!(lines[2].ends_with("  12"));
+        assert!(lines[3].ends_with("3456"));
+    }
+
+    #[test]
+    fn text_columns_left_aligned() {
+        let mut t = TextTable::new(["id", "text"]);
+        t.row(["1", "abc"]);
+        t.row(["2", "a"]);
+        let s = t.render();
+        assert!(s.contains("abc"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Byte stream decoding (§13.2.3.1, restricted to UTF-8).
+//!
+//! The paper's framework "filters out documents that are not UTF-8 encodable"
+//! (§4.1): supporting the long tail of 45+ legacy encodings would risk
+//! mis-decoding and therefore wrong measurements. This module implements the
+//! same policy: strict UTF-8 validation with an explicit outcome type, plus a
+//! lossy mode for tooling that prefers replacement characters over rejection.
+
+/// Outcome of decoding a byte stream under the study's UTF-8 policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decoded {
+    /// The bytes were valid UTF-8 (possibly after BOM removal).
+    Utf8(String),
+    /// The bytes were not valid UTF-8; the document is excluded from
+    /// measurement, mirroring the paper's filter.
+    NotUtf8 {
+        /// Byte offset of the first invalid sequence.
+        valid_up_to: usize,
+    },
+}
+
+impl Decoded {
+    /// The decoded text, if the input was clean UTF-8.
+    pub fn text(&self) -> Option<&str> {
+        match self {
+            Decoded::Utf8(s) => Some(s),
+            Decoded::NotUtf8 { .. } => None,
+        }
+    }
+}
+
+/// Decode `bytes` as UTF-8, stripping a leading byte-order mark if present.
+///
+/// Returns [`Decoded::NotUtf8`] on any invalid sequence — the caller is
+/// expected to drop the document from the measurement, as the paper does.
+pub fn decode_utf8(bytes: &[u8]) -> Decoded {
+    let body = strip_bom(bytes);
+    match std::str::from_utf8(body) {
+        Ok(s) => Decoded::Utf8(s.to_owned()),
+        Err(e) => Decoded::NotUtf8 { valid_up_to: e.valid_up_to() },
+    }
+}
+
+/// Decode `bytes` as UTF-8 with U+FFFD replacement for invalid sequences.
+///
+/// Used by single-file tooling (`hva check`), never by the measurement
+/// pipeline, which must match the paper's strict filter.
+pub fn decode_utf8_lossy(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(strip_bom(bytes)).into_owned()
+}
+
+/// Whether the byte stream passes the study's inclusion filter.
+pub fn is_utf8_clean(bytes: &[u8]) -> bool {
+    std::str::from_utf8(strip_bom(bytes)).is_ok()
+}
+
+fn strip_bom(bytes: &[u8]) -> &[u8] {
+    bytes.strip_prefix(b"\xEF\xBB\xBF").unwrap_or(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_ascii_decodes() {
+        assert_eq!(decode_utf8(b"<p>hi</p>").text(), Some("<p>hi</p>"));
+    }
+
+    #[test]
+    fn bom_is_stripped() {
+        assert_eq!(decode_utf8(b"\xEF\xBB\xBF<p>").text(), Some("<p>"));
+    }
+
+    #[test]
+    fn latin1_umlaut_is_rejected() {
+        // 0xFC is "ü" in ISO-8859-1 but an invalid UTF-8 continuation start.
+        let out = decode_utf8(b"<p>gr\xFC\xDFe</p>");
+        assert_eq!(out, Decoded::NotUtf8 { valid_up_to: 5 });
+        assert!(!is_utf8_clean(b"<p>gr\xFC\xDFe</p>"));
+    }
+
+    #[test]
+    fn multibyte_utf8_accepted() {
+        let s = "<p>grüße 漢字</p>";
+        assert_eq!(decode_utf8(s.as_bytes()).text(), Some(s));
+    }
+
+    #[test]
+    fn lossy_mode_replaces() {
+        let s = decode_utf8_lossy(b"a\xFFb");
+        assert_eq!(s, "a\u{FFFD}b");
+    }
+}

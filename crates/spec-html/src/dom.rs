@@ -1,0 +1,570 @@
+//! Arena-based DOM.
+//!
+//! Nodes live in a flat `Vec` indexed by [`NodeId`]; tree structure is
+//! expressed with parent/child/sibling links. This keeps the tree builder's
+//! frequent structural edits (foster parenting moves nodes *mid-stream*,
+//! the adoption agency re-parents whole ranges) cheap and safe without
+//! reference counting.
+
+use std::fmt;
+
+/// Index of a node in a [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Element namespaces relevant to HTML parsing (§13.2.6.5): HTML, and the
+/// two foreign content namespaces whose integration-point rules power the
+/// paper's HF5 violations and mXSS payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Namespace {
+    Html,
+    Svg,
+    MathMl,
+}
+
+impl fmt::Display for Namespace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Namespace::Html => "html",
+            Namespace::Svg => "svg",
+            Namespace::MathMl => "math",
+        })
+    }
+}
+
+/// An element's attribute (post-tokenization: name lowercased for HTML,
+/// value with character references decoded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElemAttr {
+    pub name: String,
+    pub value: String,
+}
+
+/// Element payload.
+#[derive(Debug, Clone)]
+pub struct Element {
+    /// Tag name. Lowercase for HTML; foreign elements keep their adjusted
+    /// case (`foreignObject`, `clipPath`, …).
+    pub name: String,
+    pub ns: Namespace,
+    pub attrs: Vec<ElemAttr>,
+    /// Character offset of the `<` of the start tag that created this
+    /// element (0 for implied elements).
+    pub src_offset: usize,
+}
+
+impl Element {
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|a| a.name == name).map(|a| a.value.as_str())
+    }
+
+    pub fn has_attr(&self, name: &str) -> bool {
+        self.attrs.iter().any(|a| a.name == name)
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone)]
+pub enum NodeData {
+    Document,
+    Doctype { name: String, public_id: String, system_id: String },
+    Element(Element),
+    Text(String),
+    Comment(String),
+}
+
+/// A node: payload plus tree links.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub data: NodeData,
+    pub parent: Option<NodeId>,
+    pub first_child: Option<NodeId>,
+    pub last_child: Option<NodeId>,
+    pub prev_sibling: Option<NodeId>,
+    pub next_sibling: Option<NodeId>,
+}
+
+/// The DOM tree arena. `Document::default()` starts with the document node
+/// at [`Document::root`].
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Document {
+            nodes: vec![Node {
+                data: NodeData::Document,
+                parent: None,
+                first_child: None,
+                last_child: None,
+                prev_sibling: None,
+                next_sibling: None,
+            }],
+        }
+    }
+}
+
+impl Document {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The document node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        // There is always a document node.
+        false
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Create a detached node.
+    pub fn create(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            data,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            prev_sibling: None,
+            next_sibling: None,
+        });
+        id
+    }
+
+    pub fn create_element(&mut self, name: &str, ns: Namespace, attrs: Vec<ElemAttr>) -> NodeId {
+        self.create_element_at(name, ns, attrs, 0)
+    }
+
+    /// Create a detached element carrying its source offset.
+    pub fn create_element_at(
+        &mut self,
+        name: &str,
+        ns: Namespace,
+        attrs: Vec<ElemAttr>,
+        src_offset: usize,
+    ) -> NodeId {
+        self.create(NodeData::Element(Element { name: name.to_owned(), ns, attrs, src_offset }))
+    }
+
+    /// Element payload of `id`, if it is an element.
+    pub fn element(&self, id: NodeId) -> Option<&Element> {
+        match &self.node(id).data {
+            NodeData::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    pub fn element_mut(&mut self, id: NodeId) -> Option<&mut Element> {
+        match &mut self.node_mut(id).data {
+            NodeData::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Tag name of `id` if it is an HTML-namespace element.
+    pub fn html_name(&self, id: NodeId) -> Option<&str> {
+        self.element(id).filter(|e| e.ns == Namespace::Html).map(|e| e.name.as_str())
+    }
+
+    /// Whether `id` is an element with the given HTML-namespace name.
+    pub fn is_html(&self, id: NodeId, name: &str) -> bool {
+        self.html_name(id) == Some(name)
+    }
+
+    // ----- structural edits -----
+
+    /// Detach `id` from its parent (no-op if already detached).
+    pub fn detach(&mut self, id: NodeId) {
+        let (parent, prev, next) = {
+            let n = self.node(id);
+            (n.parent, n.prev_sibling, n.next_sibling)
+        };
+        if let Some(p) = prev {
+            self.node_mut(p).next_sibling = next;
+        } else if let Some(par) = parent {
+            self.node_mut(par).first_child = next;
+        }
+        if let Some(nx) = next {
+            self.node_mut(nx).prev_sibling = prev;
+        } else if let Some(par) = parent {
+            self.node_mut(par).last_child = prev;
+        }
+        let n = self.node_mut(id);
+        n.parent = None;
+        n.prev_sibling = None;
+        n.next_sibling = None;
+    }
+
+    /// Append `child` as the last child of `parent`, detaching it first.
+    pub fn append(&mut self, parent: NodeId, child: NodeId) {
+        debug_assert_ne!(parent, child);
+        self.detach(child);
+        let last = self.node(parent).last_child;
+        match last {
+            Some(l) => {
+                self.node_mut(l).next_sibling = Some(child);
+                self.node_mut(child).prev_sibling = Some(l);
+            }
+            None => self.node_mut(parent).first_child = Some(child),
+        }
+        self.node_mut(parent).last_child = Some(child);
+        self.node_mut(child).parent = Some(parent);
+    }
+
+    /// Insert `child` immediately before `sibling` (which must have a parent).
+    pub fn insert_before(&mut self, sibling: NodeId, child: NodeId) {
+        self.detach(child);
+        let parent = self.node(sibling).parent.expect("insert_before target must be attached");
+        let prev = self.node(sibling).prev_sibling;
+        match prev {
+            Some(p) => {
+                self.node_mut(p).next_sibling = Some(child);
+                self.node_mut(child).prev_sibling = Some(p);
+            }
+            None => self.node_mut(parent).first_child = Some(child),
+        }
+        self.node_mut(child).next_sibling = Some(sibling);
+        self.node_mut(sibling).prev_sibling = Some(child);
+        self.node_mut(child).parent = Some(parent);
+    }
+
+    /// Move all children of `from` onto the end of `to`.
+    pub fn reparent_children(&mut self, from: NodeId, to: NodeId) {
+        while let Some(c) = self.node(from).first_child {
+            self.append(to, c);
+        }
+    }
+
+    /// Append text, merging into a trailing text node if present (the spec's
+    /// "insert a character" behaviour).
+    pub fn append_text(&mut self, parent: NodeId, text: &str) {
+        if let Some(last) = self.node(parent).last_child {
+            if let NodeData::Text(s) = &mut self.node_mut(last).data {
+                s.push_str(text);
+                return;
+            }
+        }
+        let t = self.create(NodeData::Text(text.to_owned()));
+        self.append(parent, t);
+    }
+
+    /// Insert text immediately before `sibling`, merging with the previous
+    /// text node when possible (used by foster parenting).
+    pub fn insert_text_before(&mut self, sibling: NodeId, text: &str) {
+        if let Some(prev) = self.node(sibling).prev_sibling {
+            if let NodeData::Text(s) = &mut self.node_mut(prev).data {
+                s.push_str(text);
+                return;
+            }
+        }
+        let t = self.create(NodeData::Text(text.to_owned()));
+        self.insert_before(sibling, t);
+    }
+
+    // ----- queries -----
+
+    /// Children of `id`, in order.
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children { doc: self, next: self.node(id).first_child }
+    }
+
+    /// All nodes under `id` in document (pre-)order, excluding `id` itself.
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants { doc: self, root: id, next: self.node(id).first_child }
+    }
+
+    /// Ancestor chain of `id`, nearest first, excluding `id` itself.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors { doc: self, next: self.node(id).parent }
+    }
+
+    /// All elements in the document, in document order.
+    pub fn all_elements(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.descendants(self.root())
+            .filter(move |id| matches!(self.node(*id).data, NodeData::Element(_)))
+    }
+
+    /// First element with the given HTML name, in document order.
+    pub fn find_html(&self, name: &str) -> Option<NodeId> {
+        self.all_elements().find(|&id| self.is_html(id, name))
+    }
+
+    /// Concatenated text content under `id`.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for d in self.descendants(id) {
+            if let NodeData::Text(s) = &self.node(d).data {
+                out.push_str(s);
+            }
+        }
+        out
+    }
+
+    /// Whether `anc` is an ancestor of `id` (or equal to it).
+    pub fn is_inclusive_ancestor(&self, anc: NodeId, id: NodeId) -> bool {
+        if anc == id {
+            return true;
+        }
+        self.ancestors(id).any(|a| a == anc)
+    }
+
+    /// Sanity-check structural invariants (used by property tests): sibling
+    /// links are mutually consistent, parent links match child lists, and
+    /// the tree is acyclic.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            let mut prev = None;
+            let mut child = node.first_child;
+            let mut seen = 0usize;
+            while let Some(c) = child {
+                let cn = self.node(c);
+                if cn.parent != Some(id) {
+                    return Err(format!("child {c:?} of {id:?} has wrong parent {:?}", cn.parent));
+                }
+                if cn.prev_sibling != prev {
+                    return Err(format!("child {c:?} has inconsistent prev_sibling"));
+                }
+                prev = Some(c);
+                child = cn.next_sibling;
+                seen += 1;
+                if seen > self.nodes.len() {
+                    return Err("sibling cycle detected".into());
+                }
+            }
+            if node.last_child != prev {
+                return Err(format!("{id:?} last_child mismatch"));
+            }
+            // Acyclicity via ancestor walk.
+            let mut hops = 0usize;
+            let mut a = node.parent;
+            while let Some(p) = a {
+                hops += 1;
+                if hops > self.nodes.len() {
+                    return Err("parent cycle detected".into());
+                }
+                a = self.node(p).parent;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over a node's children.
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.node(id).next_sibling;
+        Some(id)
+    }
+}
+
+/// Pre-order descendant iterator.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    root: NodeId,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        // Compute successor: first child, else next sibling walking up, but
+        // never escaping the subtree root.
+        let node = self.doc.node(id);
+        self.next = if let Some(c) = node.first_child {
+            Some(c)
+        } else {
+            let mut cur = id;
+            loop {
+                if cur == self.root {
+                    break None;
+                }
+                let n = self.doc.node(cur);
+                if let Some(s) = n.next_sibling {
+                    break Some(s);
+                }
+                match n.parent {
+                    Some(p) => cur = p,
+                    None => break None,
+                }
+            }
+        };
+        Some(id)
+    }
+}
+
+/// Ancestor iterator (nearest first).
+pub struct Ancestors<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.node(id).parent;
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elem(doc: &mut Document, name: &str) -> NodeId {
+        doc.create_element(name, Namespace::Html, Vec::new())
+    }
+
+    #[test]
+    fn append_and_children() {
+        let mut d = Document::new();
+        let root = d.root();
+        let a = elem(&mut d, "a");
+        let b = elem(&mut d, "b");
+        d.append(root, a);
+        d.append(root, b);
+        let kids: Vec<_> = d.children(root).collect();
+        assert_eq!(kids, vec![a, b]);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_before_front_and_middle() {
+        let mut d = Document::new();
+        let root = d.root();
+        let a = elem(&mut d, "a");
+        let c = elem(&mut d, "c");
+        d.append(root, a);
+        d.append(root, c);
+        let b = elem(&mut d, "b");
+        d.insert_before(c, b);
+        let front = elem(&mut d, "z");
+        d.insert_before(a, front);
+        let names: Vec<_> = d
+            .children(root)
+            .map(|id| d.element(id).unwrap().name.clone())
+            .collect();
+        assert_eq!(names, vec!["z", "a", "b", "c"]);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn detach_relinks_siblings() {
+        let mut d = Document::new();
+        let root = d.root();
+        let a = elem(&mut d, "a");
+        let b = elem(&mut d, "b");
+        let c = elem(&mut d, "c");
+        for id in [a, b, c] {
+            d.append(root, id);
+        }
+        d.detach(b);
+        let kids: Vec<_> = d.children(root).collect();
+        assert_eq!(kids, vec![a, c]);
+        assert!(d.node(b).parent.is_none());
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reparent_children_moves_all() {
+        let mut d = Document::new();
+        let root = d.root();
+        let from = elem(&mut d, "from");
+        let to = elem(&mut d, "to");
+        d.append(root, from);
+        d.append(root, to);
+        for name in ["x", "y"] {
+            let n = elem(&mut d, name);
+            d.append(from, n);
+        }
+        d.reparent_children(from, to);
+        assert_eq!(d.children(from).count(), 0);
+        assert_eq!(d.children(to).count(), 2);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn append_text_merges() {
+        let mut d = Document::new();
+        let root = d.root();
+        d.append_text(root, "foo");
+        d.append_text(root, "bar");
+        assert_eq!(d.children(root).count(), 1);
+        assert_eq!(d.text_content(root), "foobar");
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let mut d = Document::new();
+        let root = d.root();
+        let a = elem(&mut d, "a");
+        let b = elem(&mut d, "b");
+        let c = elem(&mut d, "c");
+        d.append(root, a);
+        d.append(a, b);
+        d.append(root, c);
+        let order: Vec<_> = d.descendants(root).collect();
+        assert_eq!(order, vec![a, b, c]);
+        // Subtree iteration must not escape the root.
+        let sub: Vec<_> = d.descendants(a).collect();
+        assert_eq!(sub, vec![b]);
+    }
+
+    #[test]
+    fn ancestors_walk() {
+        let mut d = Document::new();
+        let root = d.root();
+        let a = elem(&mut d, "a");
+        let b = elem(&mut d, "b");
+        d.append(root, a);
+        d.append(a, b);
+        let anc: Vec<_> = d.ancestors(b).collect();
+        assert_eq!(anc, vec![a, root]);
+        assert!(d.is_inclusive_ancestor(a, b));
+        assert!(!d.is_inclusive_ancestor(b, a));
+    }
+
+    #[test]
+    fn find_html_by_name() {
+        let mut d = Document::new();
+        let root = d.root();
+        let s = d.create_element("svg", Namespace::Svg, Vec::new());
+        d.append(root, s);
+        let p = elem(&mut d, "p");
+        d.append(root, p);
+        // The SVG element is not an HTML-namespace "svg".
+        assert_eq!(d.find_html("svg"), None);
+        assert_eq!(d.find_html("p"), Some(p));
+    }
+}

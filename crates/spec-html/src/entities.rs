@@ -1,0 +1,440 @@
+//! Character reference resolution (§13.2.5.72–80).
+//!
+//! Implements the numeric reference rules exactly (including the Windows-1252
+//! C1 remap table and the surrogate/noncharacter/control error states) and a
+//! named reference table covering the references that occur in practice on
+//! the web — all HTML4-era legacy names (which may appear *without* a
+//! trailing semicolon, with the attribute-value divergence rule of
+//! §13.2.5.73) plus the common HTML5 additions.
+//!
+//! The attribute-vs-data divergence matters for the paper's payloads: in
+//! Figure 1 the `&gt;` inside the `title` attribute decodes to `>` on the
+//! first parse, which is what re-arms the payload for the second parse.
+
+use crate::errors::{ErrorCode, ParseError};
+
+/// A resolved named reference: the name (without `&`), whether the canonical
+/// form carries a semicolon, and the replacement text.
+struct Named {
+    name: &'static str,
+    chars: &'static str,
+}
+
+/// Names that HTML allows without a trailing semicolon (the legacy set).
+/// Table ordering: longest-first within a shared prefix is ensured by the
+/// lookup, not the table.
+const LEGACY: &[Named] = &[
+    Named { name: "amp", chars: "&" },
+    Named { name: "lt", chars: "<" },
+    Named { name: "gt", chars: ">" },
+    Named { name: "quot", chars: "\"" },
+    Named { name: "nbsp", chars: "\u{A0}" },
+    Named { name: "copy", chars: "©" },
+    Named { name: "reg", chars: "®" },
+    Named { name: "trade", chars: "™" },
+    Named { name: "sect", chars: "§" },
+    Named { name: "laquo", chars: "«" },
+    Named { name: "raquo", chars: "»" },
+    Named { name: "middot", chars: "·" },
+    Named { name: "para", chars: "¶" },
+    Named { name: "plusmn", chars: "±" },
+    Named { name: "deg", chars: "°" },
+    Named { name: "sup1", chars: "¹" },
+    Named { name: "sup2", chars: "²" },
+    Named { name: "sup3", chars: "³" },
+    Named { name: "frac12", chars: "½" },
+    Named { name: "frac14", chars: "¼" },
+    Named { name: "frac34", chars: "¾" },
+    Named { name: "iquest", chars: "¿" },
+    Named { name: "iexcl", chars: "¡" },
+    Named { name: "szlig", chars: "ß" },
+    Named { name: "agrave", chars: "à" },
+    Named { name: "aacute", chars: "á" },
+    Named { name: "acirc", chars: "â" },
+    Named { name: "atilde", chars: "ã" },
+    Named { name: "auml", chars: "ä" },
+    Named { name: "aring", chars: "å" },
+    Named { name: "aelig", chars: "æ" },
+    Named { name: "ccedil", chars: "ç" },
+    Named { name: "egrave", chars: "è" },
+    Named { name: "eacute", chars: "é" },
+    Named { name: "ecirc", chars: "ê" },
+    Named { name: "euml", chars: "ë" },
+    Named { name: "igrave", chars: "ì" },
+    Named { name: "iacute", chars: "í" },
+    Named { name: "icirc", chars: "î" },
+    Named { name: "iuml", chars: "ï" },
+    Named { name: "ntilde", chars: "ñ" },
+    Named { name: "ograve", chars: "ò" },
+    Named { name: "oacute", chars: "ó" },
+    Named { name: "ocirc", chars: "ô" },
+    Named { name: "otilde", chars: "õ" },
+    Named { name: "ouml", chars: "ö" },
+    Named { name: "oslash", chars: "ø" },
+    Named { name: "ugrave", chars: "ù" },
+    Named { name: "uacute", chars: "ú" },
+    Named { name: "ucirc", chars: "û" },
+    Named { name: "uuml", chars: "ü" },
+    Named { name: "yacute", chars: "ý" },
+    Named { name: "yuml", chars: "ÿ" },
+    Named { name: "Agrave", chars: "À" },
+    Named { name: "Aacute", chars: "Á" },
+    Named { name: "Auml", chars: "Ä" },
+    Named { name: "Ouml", chars: "Ö" },
+    Named { name: "Uuml", chars: "Ü" },
+    Named { name: "Ntilde", chars: "Ñ" },
+    Named { name: "Ccedil", chars: "Ç" },
+    Named { name: "Eacute", chars: "É" },
+    Named { name: "times", chars: "×" },
+    Named { name: "divide", chars: "÷" },
+    Named { name: "cent", chars: "¢" },
+    Named { name: "pound", chars: "£" },
+    Named { name: "yen", chars: "¥" },
+    Named { name: "curren", chars: "¤" },
+    Named { name: "brvbar", chars: "¦" },
+    Named { name: "uml", chars: "¨" },
+    Named { name: "ordf", chars: "ª" },
+    Named { name: "ordm", chars: "º" },
+    Named { name: "not", chars: "¬" },
+    Named { name: "shy", chars: "\u{AD}" },
+    Named { name: "macr", chars: "¯" },
+    Named { name: "acute", chars: "´" },
+    Named { name: "micro", chars: "µ" },
+    Named { name: "cedil", chars: "¸" },
+    Named { name: "eth", chars: "ð" },
+    Named { name: "thorn", chars: "þ" },
+];
+
+/// Semicolon-only names (HTML5 additions and everything not in the legacy
+/// set). A pragmatic subset: the references that actually occur in web pages
+/// and in the paper's payload corpus.
+const MODERN: &[Named] = &[
+    Named { name: "apos", chars: "'" },
+    Named { name: "ndash", chars: "–" },
+    Named { name: "mdash", chars: "—" },
+    Named { name: "lsquo", chars: "‘" },
+    Named { name: "rsquo", chars: "’" },
+    Named { name: "ldquo", chars: "“" },
+    Named { name: "rdquo", chars: "”" },
+    Named { name: "bdquo", chars: "„" },
+    Named { name: "dagger", chars: "†" },
+    Named { name: "Dagger", chars: "‡" },
+    Named { name: "bull", chars: "•" },
+    Named { name: "hellip", chars: "…" },
+    Named { name: "permil", chars: "‰" },
+    Named { name: "prime", chars: "′" },
+    Named { name: "Prime", chars: "″" },
+    Named { name: "lsaquo", chars: "‹" },
+    Named { name: "rsaquo", chars: "›" },
+    Named { name: "oline", chars: "‾" },
+    Named { name: "frasl", chars: "⁄" },
+    Named { name: "euro", chars: "€" },
+    Named { name: "alpha", chars: "α" },
+    Named { name: "beta", chars: "β" },
+    Named { name: "gamma", chars: "γ" },
+    Named { name: "delta", chars: "δ" },
+    Named { name: "epsilon", chars: "ε" },
+    Named { name: "lambda", chars: "λ" },
+    Named { name: "mu", chars: "μ" },
+    Named { name: "pi", chars: "π" },
+    Named { name: "sigma", chars: "σ" },
+    Named { name: "omega", chars: "ω" },
+    Named { name: "Alpha", chars: "Α" },
+    Named { name: "Delta", chars: "Δ" },
+    Named { name: "Omega", chars: "Ω" },
+    Named { name: "Sigma", chars: "Σ" },
+    Named { name: "Pi", chars: "Π" },
+    Named { name: "larr", chars: "←" },
+    Named { name: "uarr", chars: "↑" },
+    Named { name: "rarr", chars: "→" },
+    Named { name: "darr", chars: "↓" },
+    Named { name: "harr", chars: "↔" },
+    Named { name: "rArr", chars: "⇒" },
+    Named { name: "lArr", chars: "⇐" },
+    Named { name: "forall", chars: "∀" },
+    Named { name: "part", chars: "∂" },
+    Named { name: "exist", chars: "∃" },
+    Named { name: "empty", chars: "∅" },
+    Named { name: "nabla", chars: "∇" },
+    Named { name: "isin", chars: "∈" },
+    Named { name: "notin", chars: "∉" },
+    Named { name: "ni", chars: "∋" },
+    Named { name: "prod", chars: "∏" },
+    Named { name: "sum", chars: "∑" },
+    Named { name: "minus", chars: "−" },
+    Named { name: "lowast", chars: "∗" },
+    Named { name: "radic", chars: "√" },
+    Named { name: "prop", chars: "∝" },
+    Named { name: "infin", chars: "∞" },
+    Named { name: "ang", chars: "∠" },
+    Named { name: "and", chars: "∧" },
+    Named { name: "or", chars: "∨" },
+    Named { name: "cap", chars: "∩" },
+    Named { name: "cup", chars: "∪" },
+    Named { name: "int", chars: "∫" },
+    Named { name: "there4", chars: "∴" },
+    Named { name: "sim", chars: "∼" },
+    Named { name: "cong", chars: "≅" },
+    Named { name: "asymp", chars: "≈" },
+    Named { name: "ne", chars: "≠" },
+    Named { name: "equiv", chars: "≡" },
+    Named { name: "le", chars: "≤" },
+    Named { name: "ge", chars: "≥" },
+    Named { name: "sub", chars: "⊂" },
+    Named { name: "sup", chars: "⊃" },
+    Named { name: "nsub", chars: "⊄" },
+    Named { name: "sube", chars: "⊆" },
+    Named { name: "supe", chars: "⊇" },
+    Named { name: "oplus", chars: "⊕" },
+    Named { name: "otimes", chars: "⊗" },
+    Named { name: "perp", chars: "⊥" },
+    Named { name: "sdot", chars: "⋅" },
+    Named { name: "lceil", chars: "⌈" },
+    Named { name: "rceil", chars: "⌉" },
+    Named { name: "lfloor", chars: "⌊" },
+    Named { name: "rfloor", chars: "⌋" },
+    Named { name: "lang", chars: "⟨" },
+    Named { name: "rang", chars: "⟩" },
+    Named { name: "loz", chars: "◊" },
+    Named { name: "spades", chars: "♠" },
+    Named { name: "clubs", chars: "♣" },
+    Named { name: "hearts", chars: "♥" },
+    Named { name: "diams", chars: "♦" },
+    Named { name: "oelig", chars: "œ" },
+    Named { name: "OElig", chars: "Œ" },
+    Named { name: "scaron", chars: "š" },
+    Named { name: "Scaron", chars: "Š" },
+    Named { name: "Yuml", chars: "Ÿ" },
+    Named { name: "fnof", chars: "ƒ" },
+    Named { name: "circ", chars: "ˆ" },
+    Named { name: "tilde", chars: "˜" },
+    Named { name: "ensp", chars: "\u{2002}" },
+    Named { name: "emsp", chars: "\u{2003}" },
+    Named { name: "thinsp", chars: "\u{2009}" },
+    Named { name: "zwnj", chars: "\u{200C}" },
+    Named { name: "zwj", chars: "\u{200D}" },
+    Named { name: "lrm", chars: "\u{200E}" },
+    Named { name: "rlm", chars: "\u{200F}" },
+    Named { name: "sbquo", chars: "‚" },
+    Named { name: "image", chars: "ℑ" },
+    Named { name: "weierp", chars: "℘" },
+    Named { name: "real", chars: "ℜ" },
+    Named { name: "alefsym", chars: "ℵ" },
+    Named { name: "crarr", chars: "↵" },
+    Named { name: "star", chars: "☆" },
+    Named { name: "check", chars: "✓" },
+    Named { name: "cross", chars: "✗" },
+];
+
+/// The Windows-1252 remap table for numeric references in 0x80..=0x9F
+/// (§13.2.5.80 "Numeric character reference end state").
+const C1_REMAP: [char; 32] = [
+    '\u{20AC}', '\u{81}', '\u{201A}', '\u{0192}', '\u{201E}', '\u{2026}', '\u{2020}', '\u{2021}',
+    '\u{02C6}', '\u{2030}', '\u{0160}', '\u{2039}', '\u{0152}', '\u{8D}', '\u{017D}', '\u{8F}',
+    '\u{90}', '\u{2018}', '\u{2019}', '\u{201C}', '\u{201D}', '\u{2022}', '\u{2013}', '\u{2014}',
+    '\u{02DC}', '\u{2122}', '\u{0161}', '\u{203A}', '\u{0153}', '\u{9D}', '\u{017E}', '\u{0178}',
+];
+
+/// Result of attempting to match a named reference at `&` + `chars[pos..]`.
+pub struct NamedMatch {
+    /// Replacement text.
+    pub replacement: &'static str,
+    /// Number of characters consumed after the `&` (name + optional `;`).
+    pub consumed: usize,
+    /// Whether the match ended with a semicolon.
+    pub with_semicolon: bool,
+}
+
+/// Longest-prefix match of a named character reference starting *after* an
+/// ampersand. `rest` is the input beginning just after `&`.
+pub fn match_named(rest: &[char]) -> Option<NamedMatch> {
+    let first = *rest.first()?;
+    let mut best: Option<NamedMatch> = None;
+    for (table, legacy) in [(LEGACY, true), (MODERN, false)] {
+        for ent in table {
+            // Entity names are ASCII; compare without allocating.
+            let bytes = ent.name.as_bytes();
+            if bytes[0] as char != first || rest.len() < bytes.len() {
+                continue;
+            }
+            if !bytes.iter().zip(rest).all(|(&b, &c)| b as char == c) {
+                continue;
+            }
+            let with_semi = rest.get(bytes.len()) == Some(&';');
+            if !with_semi && !legacy {
+                continue; // modern names require the semicolon
+            }
+            let consumed = bytes.len() + usize::from(with_semi);
+            let better = match &best {
+                None => true,
+                // Prefer longer matches; among equal lengths prefer the
+                // semicolon-terminated form.
+                Some(b) => consumed > b.consumed,
+            };
+            if better {
+                best = Some(NamedMatch {
+                    replacement: ent.chars,
+                    consumed,
+                    with_semicolon: with_semi,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Resolve a numeric reference value to its replacement character, applying
+/// the spec's remaps, and report the associated parse errors.
+pub fn resolve_numeric(value: u32, offset: usize, errors: &mut Vec<ParseError>) -> char {
+    if value == 0 {
+        errors.push(ParseError::new(ErrorCode::NullCharacterReference, offset));
+        return '\u{FFFD}';
+    }
+    if value > 0x10FFFF {
+        errors.push(ParseError::new(ErrorCode::CharacterReferenceOutsideUnicodeRange, offset));
+        return '\u{FFFD}';
+    }
+    if (0xD800..=0xDFFF).contains(&value) {
+        errors.push(ParseError::new(ErrorCode::SurrogateCharacterReference, offset));
+        return '\u{FFFD}';
+    }
+    if (0x80..=0x9F).contains(&value) {
+        errors.push(ParseError::new(ErrorCode::ControlCharacterReference, offset));
+        return C1_REMAP[(value - 0x80) as usize];
+    }
+    let c = char::from_u32(value).unwrap_or('\u{FFFD}');
+    let v = value;
+    if (0xFDD0..=0xFDEF).contains(&v) || (v & 0xFFFE) == 0xFFFE {
+        errors.push(ParseError::new(ErrorCode::NoncharacterCharacterReference, offset));
+    } else if v < 0x20 && !matches!(c, '\t' | '\n' | '\u{C}') || v == 0x7F {
+        errors.push(ParseError::new(ErrorCode::ControlCharacterReference, offset));
+    }
+    c
+}
+
+/// Decode all character references in a plain string (data context, not
+/// attribute). Convenience for checkers and tests; the tokenizer uses the
+/// streaming path.
+pub fn decode_data(s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    let mut errs = Vec::new();
+    while i < chars.len() {
+        if chars[i] == '&' {
+            let rest = &chars[i + 1..];
+            if let Some(m) = match_named(rest) {
+                out.push_str(m.replacement);
+                i += 1 + m.consumed;
+                continue;
+            }
+            if rest.first() == Some(&'#') {
+                if let Some((value, used)) = scan_numeric(rest) {
+                    out.push(resolve_numeric(value, i, &mut errs));
+                    i += 1 + used;
+                    continue;
+                }
+            }
+        }
+        out.push(chars[i]);
+        i += 1;
+    }
+    out
+}
+
+/// Scan `#123;` / `#x1F;` after an `&`. Returns (value, chars consumed
+/// including the `#`, digits, and optional semicolon).
+fn scan_numeric(rest: &[char]) -> Option<(u32, usize)> {
+    debug_assert_eq!(rest.first(), Some(&'#'));
+    let mut i = 1;
+    let hex = matches!(rest.get(i), Some('x') | Some('X'));
+    if hex {
+        i += 1;
+    }
+    let start = i;
+    let mut value: u32 = 0;
+    while let Some(&c) = rest.get(i) {
+        let d = if hex { c.to_digit(16) } else { c.to_digit(10) };
+        match d {
+            Some(d) => {
+                value = value.saturating_mul(if hex { 16 } else { 10 }).saturating_add(d);
+                i += 1;
+            }
+            None => break,
+        }
+    }
+    if i == start {
+        return None;
+    }
+    if rest.get(i) == Some(&';') {
+        i += 1;
+    }
+    Some((value, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_named() {
+        assert_eq!(decode_data("a &amp; b"), "a & b");
+        assert_eq!(decode_data("&lt;img&gt;"), "<img>");
+    }
+
+    #[test]
+    fn legacy_without_semicolon() {
+        assert_eq!(decode_data("fish &amp chips"), "fish & chips");
+        assert_eq!(decode_data("&copy 2022"), "© 2022");
+    }
+
+    #[test]
+    fn modern_requires_semicolon() {
+        assert_eq!(decode_data("&ndash x"), "&ndash x");
+        assert_eq!(decode_data("&ndash; x"), "– x");
+    }
+
+    #[test]
+    fn figure1_payload_decodes() {
+        // The attribute payload of the DOMPurify bypass.
+        assert_eq!(
+            decode_data("--&gt;&lt;img src=1 onerror=alert(1)&gt;"),
+            "--><img src=1 onerror=alert(1)>"
+        );
+    }
+
+    #[test]
+    fn numeric_decimal_and_hex() {
+        assert_eq!(decode_data("&#65;&#x42;"), "AB");
+        assert_eq!(decode_data("&#x1F600;"), "😀");
+    }
+
+    #[test]
+    fn numeric_c1_remap() {
+        // &#128; is remapped to the euro sign per the Windows-1252 table.
+        assert_eq!(decode_data("&#128;"), "€");
+        assert_eq!(decode_data("&#x92;"), "’");
+    }
+
+    #[test]
+    fn numeric_null_and_out_of_range() {
+        assert_eq!(decode_data("&#0;"), "\u{FFFD}");
+        assert_eq!(decode_data("&#x110000;"), "\u{FFFD}");
+        assert_eq!(decode_data("&#xD800;"), "\u{FFFD}");
+    }
+
+    #[test]
+    fn bare_ampersand_passes_through() {
+        assert_eq!(decode_data("a & b"), "a & b");
+        assert_eq!(decode_data("&#;"), "&#;");
+        assert_eq!(decode_data("&unknownref;"), "&unknownref;");
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        // "&not" is legacy, but "&notin;" must win when the semicolon form
+        // is present.
+        assert_eq!(decode_data("&notin;"), "∉");
+        assert_eq!(decode_data("&notit"), "¬it");
+    }
+}

@@ -1,0 +1,272 @@
+//! Structured parse errors.
+//!
+//! The WHATWG specification names every error state of the tokenizer (§13.2.5
+//! lists them as `unexpected-solidus-in-tag`, `duplicate-attribute`, …) but
+//! requires conforming parsers to *recover* from all of them — the "error
+//! tolerance" the paper studies. This module gives those error states a
+//! first-class representation so downstream checkers can build on them
+//! instead of re-deriving them from raw text.
+
+use std::fmt;
+
+/// A spec-named parse error code.
+///
+/// The set covers every tokenizer error the violation checkers depend on
+/// (FB1, FB2, DM3, the DE3 family) plus the surrounding error family needed
+/// for faithful recovery behaviour. Names follow the specification's
+/// kebab-case identifiers, camel-cased.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    // --- preprocessing (§13.2.3) ---
+    /// A control character (other than tab/LF/FF/CR/space) in the input stream.
+    ControlCharacterInInputStream,
+    /// A noncharacter code point (U+FDD0..U+FDEF, U+xFFFE/U+xFFFF) in the input.
+    NoncharacterInInputStream,
+    /// A lone surrogate reached the input stream (cannot occur for UTF-8 input).
+    SurrogateInInputStream,
+
+    // --- tokenizer: tags and attributes (§13.2.5) ---
+    /// `<` followed by `?` — an XML-style processing instruction.
+    UnexpectedQuestionMarkInsteadOfTagName,
+    /// `</>` — an end tag with no name.
+    MissingEndTagName,
+    /// `<` followed by a character that cannot begin a tag name.
+    InvalidFirstCharacterOfTagName,
+    /// EOF hit inside a tag.
+    EofInTag,
+    /// EOF hit before a tag name was seen.
+    EofBeforeTagName,
+    /// `/` inside a tag where an attribute was expected (FB1's error state).
+    UnexpectedSolidusInTag,
+    /// Two attributes not separated by whitespace (FB2's error state).
+    MissingWhitespaceBetweenAttributes,
+    /// `"`, `'` or `<` inside an attribute name.
+    UnexpectedCharacterInAttributeName,
+    /// An attribute name that already exists on the tag (DM3's error state).
+    DuplicateAttribute,
+    /// `=` before an attribute name.
+    UnexpectedEqualsSignBeforeAttributeName,
+    /// Attribute value omitted: `=` directly followed by `>`.
+    MissingAttributeValue,
+    /// `"`, `'`, `<`, `=` or `` ` `` in an unquoted attribute value.
+    UnexpectedCharacterInUnquotedAttributeValue,
+    /// End tags cannot carry attributes.
+    EndTagWithAttributes,
+    /// End tags cannot be self-closing (`</p/>`).
+    EndTagWithTrailingSolidus,
+    /// A NUL character where character data was expected.
+    UnexpectedNullCharacter,
+    /// Self-closing syntax (`/>`) on a non-void HTML element.
+    NonVoidHtmlElementStartTagWithTrailingSolidus,
+
+    // --- tokenizer: comments ---
+    /// `<!` not followed by `--`, `DOCTYPE` or `[CDATA[`.
+    IncorrectlyOpenedComment,
+    /// `<!-->` — a comment closed immediately.
+    AbruptClosingOfEmptyComment,
+    /// EOF inside a comment.
+    EofInComment,
+    /// `<!--` seen inside a comment.
+    NestedComment,
+    /// `--!>` used to close a comment.
+    IncorrectlyClosedComment,
+
+    // --- tokenizer: DOCTYPE ---
+    /// EOF inside a DOCTYPE.
+    EofInDoctype,
+    /// Whitespace missing before a DOCTYPE name.
+    MissingWhitespaceBeforeDoctypeName,
+    /// `<!DOCTYPE>` with no name.
+    MissingDoctypeName,
+    /// Anything malformed after the DOCTYPE name.
+    InvalidCharacterSequenceAfterDoctypeName,
+    /// Missing quote conventions around public/system identifiers.
+    MissingDoctypePublicIdentifier,
+    MissingDoctypeSystemIdentifier,
+    MissingQuoteBeforeDoctypePublicIdentifier,
+    MissingQuoteBeforeDoctypeSystemIdentifier,
+    MissingWhitespaceAfterDoctypePublicKeyword,
+    MissingWhitespaceAfterDoctypeSystemKeyword,
+    MissingWhitespaceBetweenDoctypePublicAndSystemIdentifiers,
+    AbruptDoctypePublicIdentifier,
+    AbruptDoctypeSystemIdentifier,
+    UnexpectedCharacterAfterDoctypeSystemIdentifier,
+
+    // --- tokenizer: CDATA ---
+    /// `<![CDATA[` outside foreign content.
+    CdataInHtmlContent,
+    /// EOF inside a CDATA section.
+    EofInCdata,
+
+    // --- tokenizer: character references ---
+    /// `&name` without the terminating `;`.
+    MissingSemicolonAfterCharacterReference,
+    /// `&#` with no digits.
+    AbsenceOfDigitsInNumericCharacterReference,
+    /// `&#...` without `;`.
+    MissingSemicolonAfterNumericCharacterReference,
+    /// `&#0;`.
+    NullCharacterReference,
+    /// Numeric reference above U+10FFFF.
+    CharacterReferenceOutsideUnicodeRange,
+    /// Numeric reference to a surrogate.
+    SurrogateCharacterReference,
+    /// Numeric reference to a noncharacter.
+    NoncharacterCharacterReference,
+    /// Numeric reference to a control character.
+    ControlCharacterReference,
+    /// `&x;` where `x` is not a known named reference.
+    UnknownNamedCharacterReference,
+
+    // --- tokenizer: script data / RCDATA / RAWTEXT ---
+    /// EOF inside `<script>` HTML-comment-like content.
+    EofInScriptHtmlCommentLikeText,
+
+    // --- tree construction (§13.2.6) ---
+    /// Any tree-construction-level parse error; the structured detail lives
+    /// in [`crate::tree_builder::TreeEvent`].
+    TreeConstruction,
+}
+
+impl ErrorCode {
+    /// The specification's kebab-case identifier for this error, e.g.
+    /// `"unexpected-solidus-in-tag"`.
+    pub fn spec_id(self) -> &'static str {
+        use ErrorCode::*;
+        match self {
+            ControlCharacterInInputStream => "control-character-in-input-stream",
+            NoncharacterInInputStream => "noncharacter-in-input-stream",
+            SurrogateInInputStream => "surrogate-in-input-stream",
+            UnexpectedQuestionMarkInsteadOfTagName => {
+                "unexpected-question-mark-instead-of-tag-name"
+            }
+            MissingEndTagName => "missing-end-tag-name",
+            InvalidFirstCharacterOfTagName => "invalid-first-character-of-tag-name",
+            EofInTag => "eof-in-tag",
+            EofBeforeTagName => "eof-before-tag-name",
+            UnexpectedSolidusInTag => "unexpected-solidus-in-tag",
+            MissingWhitespaceBetweenAttributes => "missing-whitespace-between-attributes",
+            UnexpectedCharacterInAttributeName => "unexpected-character-in-attribute-name",
+            DuplicateAttribute => "duplicate-attribute",
+            UnexpectedEqualsSignBeforeAttributeName => {
+                "unexpected-equals-sign-before-attribute-name"
+            }
+            MissingAttributeValue => "missing-attribute-value",
+            UnexpectedCharacterInUnquotedAttributeValue => {
+                "unexpected-character-in-unquoted-attribute-value"
+            }
+            EndTagWithAttributes => "end-tag-with-attributes",
+            EndTagWithTrailingSolidus => "end-tag-with-trailing-solidus",
+            UnexpectedNullCharacter => "unexpected-null-character",
+            NonVoidHtmlElementStartTagWithTrailingSolidus => {
+                "non-void-html-element-start-tag-with-trailing-solidus"
+            }
+            IncorrectlyOpenedComment => "incorrectly-opened-comment",
+            AbruptClosingOfEmptyComment => "abrupt-closing-of-empty-comment",
+            EofInComment => "eof-in-comment",
+            NestedComment => "nested-comment",
+            IncorrectlyClosedComment => "incorrectly-closed-comment",
+            EofInDoctype => "eof-in-doctype",
+            MissingWhitespaceBeforeDoctypeName => "missing-whitespace-before-doctype-name",
+            MissingDoctypeName => "missing-doctype-name",
+            InvalidCharacterSequenceAfterDoctypeName => {
+                "invalid-character-sequence-after-doctype-name"
+            }
+            MissingDoctypePublicIdentifier => "missing-doctype-public-identifier",
+            MissingDoctypeSystemIdentifier => "missing-doctype-system-identifier",
+            MissingQuoteBeforeDoctypePublicIdentifier => {
+                "missing-quote-before-doctype-public-identifier"
+            }
+            MissingQuoteBeforeDoctypeSystemIdentifier => {
+                "missing-quote-before-doctype-system-identifier"
+            }
+            MissingWhitespaceAfterDoctypePublicKeyword => {
+                "missing-whitespace-after-doctype-public-keyword"
+            }
+            MissingWhitespaceAfterDoctypeSystemKeyword => {
+                "missing-whitespace-after-doctype-system-keyword"
+            }
+            MissingWhitespaceBetweenDoctypePublicAndSystemIdentifiers => {
+                "missing-whitespace-between-doctype-public-and-system-identifiers"
+            }
+            AbruptDoctypePublicIdentifier => "abrupt-doctype-public-identifier",
+            AbruptDoctypeSystemIdentifier => "abrupt-doctype-system-identifier",
+            UnexpectedCharacterAfterDoctypeSystemIdentifier => {
+                "unexpected-character-after-doctype-system-identifier"
+            }
+            CdataInHtmlContent => "cdata-in-html-content",
+            EofInCdata => "eof-in-cdata",
+            MissingSemicolonAfterCharacterReference => {
+                "missing-semicolon-after-character-reference"
+            }
+            AbsenceOfDigitsInNumericCharacterReference => {
+                "absence-of-digits-in-numeric-character-reference"
+            }
+            MissingSemicolonAfterNumericCharacterReference => {
+                "missing-semicolon-after-numeric-character-reference"
+            }
+            NullCharacterReference => "null-character-reference",
+            CharacterReferenceOutsideUnicodeRange => {
+                "character-reference-outside-unicode-range"
+            }
+            SurrogateCharacterReference => "surrogate-character-reference",
+            NoncharacterCharacterReference => "noncharacter-character-reference",
+            ControlCharacterReference => "control-character-reference",
+            UnknownNamedCharacterReference => "unknown-named-character-reference",
+            EofInScriptHtmlCommentLikeText => "eof-in-script-html-comment-like-text",
+            TreeConstruction => "tree-construction",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.spec_id())
+    }
+}
+
+/// A parse error with the character offset (into the preprocessed input
+/// stream) at which the parser entered the error state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseError {
+    pub code: ErrorCode,
+    /// Offset in characters into the preprocessed input stream.
+    pub offset: usize,
+}
+
+impl ParseError {
+    pub fn new(code: ErrorCode, offset: usize) -> Self {
+        ParseError { code, offset }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.code, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_ids_are_kebab_case() {
+        for code in [
+            ErrorCode::UnexpectedSolidusInTag,
+            ErrorCode::MissingWhitespaceBetweenAttributes,
+            ErrorCode::DuplicateAttribute,
+        ] {
+            let id = code.spec_id();
+            assert!(id.chars().all(|c| c.is_ascii_lowercase() || c == '-' || c.is_ascii_digit()));
+            assert!(!id.is_empty());
+        }
+    }
+
+    #[test]
+    fn display_includes_offset() {
+        let e = ParseError::new(ErrorCode::DuplicateAttribute, 42);
+        assert_eq!(e.to_string(), "duplicate-attribute at 42");
+    }
+}

@@ -1,0 +1,113 @@
+//! Input stream preprocessing (§13.2.3.5).
+//!
+//! The paper (§2.1): "the Input Stream Preprocessor normalizes this stream.
+//! For instance, it replaces all CR characters with LF characters as CR is
+//! not allowed in HTML." This module performs exactly the normalization the
+//! specification requires — CRLF and bare CR become LF — and reports the
+//! control-character and noncharacter parse errors of §13.2.3.5.
+
+use crate::errors::{ErrorCode, ParseError};
+
+/// A preprocessed input stream: normalized characters plus the preprocessing
+/// parse errors, with offsets into the *normalized* stream.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    pub chars: Vec<char>,
+    pub errors: Vec<ParseError>,
+}
+
+/// Normalize newlines and surface control/noncharacter parse errors.
+pub fn preprocess(input: &str) -> Preprocessed {
+    let mut chars = Vec::with_capacity(input.len());
+    let mut errors = Vec::new();
+    let mut iter = input.chars().peekable();
+    while let Some(c) = iter.next() {
+        let out = if c == '\r' {
+            if iter.peek() == Some(&'\n') {
+                iter.next();
+            }
+            '\n'
+        } else {
+            c
+        };
+        if is_control_error(out) {
+            errors.push(ParseError::new(ErrorCode::ControlCharacterInInputStream, chars.len()));
+        } else if is_noncharacter(out) {
+            errors.push(ParseError::new(ErrorCode::NoncharacterInInputStream, chars.len()));
+        }
+        chars.push(out);
+    }
+    Preprocessed { chars, errors }
+}
+
+/// Control characters that are parse errors in the input stream: C0 controls
+/// other than NUL (handled by the tokenizer), tab, LF, FF; and C1 controls.
+/// Space is of course allowed.
+fn is_control_error(c: char) -> bool {
+    let v = c as u32;
+    let c0 = v < 0x20 && !matches!(c, '\t' | '\n' | '\u{C}' | '\0');
+    let del_c1 = (0x7F..=0x9F).contains(&v);
+    c0 || del_c1
+}
+
+/// Noncharacters per the Infra standard.
+fn is_noncharacter(c: char) -> bool {
+    let v = c as u32;
+    (0xFDD0..=0xFDEF).contains(&v) || (v & 0xFFFE) == 0xFFFE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn norm(s: &str) -> String {
+        preprocess(s).chars.into_iter().collect()
+    }
+
+    #[test]
+    fn crlf_becomes_lf() {
+        assert_eq!(norm("a\r\nb"), "a\nb");
+    }
+
+    #[test]
+    fn bare_cr_becomes_lf() {
+        assert_eq!(norm("a\rb"), "a\nb");
+    }
+
+    #[test]
+    fn cr_cr_lf_becomes_two_lf() {
+        assert_eq!(norm("a\r\r\nb"), "a\n\nb");
+    }
+
+    #[test]
+    fn plain_text_untouched() {
+        assert_eq!(norm("hello\tworld\n"), "hello\tworld\n");
+    }
+
+    #[test]
+    fn control_character_reported() {
+        let p = preprocess("a\u{1}b");
+        assert_eq!(p.errors.len(), 1);
+        assert_eq!(p.errors[0].code, ErrorCode::ControlCharacterInInputStream);
+        assert_eq!(p.errors[0].offset, 1);
+    }
+
+    #[test]
+    fn noncharacter_reported() {
+        let p = preprocess("x\u{FDD0}");
+        assert_eq!(p.errors[0].code, ErrorCode::NoncharacterInInputStream);
+    }
+
+    #[test]
+    fn tab_lf_ff_are_fine() {
+        assert!(preprocess("\t\n\u{C} ").errors.is_empty());
+    }
+
+    #[test]
+    fn nul_is_left_for_tokenizer() {
+        // NUL is handled state-dependently by the tokenizer, not here.
+        let p = preprocess("\0");
+        assert!(p.errors.is_empty());
+        assert_eq!(p.chars, vec!['\0']);
+    }
+}

@@ -1,0 +1,216 @@
+//! HTML serialization (§13.3 "Serializing HTML fragments").
+//!
+//! The serializer is half of the paper's proposed automatic fix for the FB
+//! violations (§4.4): *"repairing these issues could be automated by
+//! serializing the entire document with the current HTML parser and
+//! deserializing it again. The syntax would be fixed, but the semantics
+//! would still be broken."* It is also half of every mXSS attack: a document
+//! that serializes to markup which re-parses *differently* is exactly what
+//! Figure 1 exploits. [`serialize`] therefore follows the spec's algorithm
+//! precisely — including the places where the spec's output is known not to
+//! round-trip.
+
+use crate::dom::{Document, Namespace, NodeData, NodeId};
+use crate::tags;
+
+/// Serialize a whole document, including any DOCTYPE.
+pub fn serialize(doc: &Document) -> String {
+    let mut out = String::new();
+    for child in doc.children(doc.root()) {
+        serialize_node(doc, child, &mut out);
+    }
+    out
+}
+
+/// Serialize the subtree rooted at `id` (the node itself plus its contents).
+pub fn serialize_subtree(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    serialize_node(doc, id, &mut out);
+    out
+}
+
+/// Serialize only the children of `id` (the spec's "fragment serialization"
+/// of an element — what `innerHTML` returns).
+pub fn serialize_children(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    for child in doc.children(id) {
+        serialize_node(doc, child, &mut out);
+    }
+    out
+}
+
+fn serialize_node(doc: &Document, id: NodeId, out: &mut String) {
+    match &doc.node(id).data {
+        NodeData::Document => {
+            for child in doc.children(id) {
+                serialize_node(doc, child, out);
+            }
+        }
+        NodeData::Doctype { name, .. } => {
+            out.push_str("<!DOCTYPE ");
+            out.push_str(name);
+            out.push('>');
+        }
+        NodeData::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        NodeData::Text(t) => {
+            // Text inside the spec's "literal text" elements is emitted
+            // verbatim; everything else is escaped.
+            let parent_name = doc
+                .node(id)
+                .parent
+                .and_then(|p| doc.element(p))
+                .filter(|e| e.ns == Namespace::Html)
+                .map(|e| e.name.clone());
+            let literal = matches!(
+                parent_name.as_deref(),
+                Some(
+                    "style"
+                        | "script"
+                        | "xmp"
+                        | "iframe"
+                        | "noembed"
+                        | "noframes"
+                        | "plaintext"
+                        | "noscript"
+                )
+            );
+            if literal {
+                out.push_str(t);
+            } else {
+                escape_text(t, out);
+            }
+        }
+        NodeData::Element(e) => {
+            out.push('<');
+            out.push_str(&e.name);
+            for a in &e.attrs {
+                out.push(' ');
+                out.push_str(&a.name);
+                out.push_str("=\"");
+                escape_attr(&a.value, out);
+                out.push('"');
+            }
+            out.push('>');
+            // §13.3's "skip the end tag" list is the void elements plus the
+            // legacy quartet basefont/bgsound/frame/keygen.
+            let no_end_tag = e.ns == Namespace::Html
+                && (tags::is_void(&e.name)
+                    || matches!(e.name.as_str(), "basefont" | "bgsound" | "frame" | "keygen"));
+            if no_end_tag {
+                return;
+            }
+            // Foreign elements with no children serialize with an explicit
+            // end tag too (we never keep the self-closing flag in the DOM).
+            for child in doc.children(id) {
+                serialize_node(doc, child, out);
+            }
+            out.push_str("</");
+            out.push_str(&e.name);
+            out.push('>');
+        }
+    }
+}
+
+/// Escape text content: `&`, `<`, `>`, and non-breaking space.
+pub fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '\u{A0}' => out.push_str("&nbsp;"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escape attribute values: `&`, `"`, and non-breaking space (the spec's
+/// attribute mode; note `<` is *not* escaped — one of the reasons mXSS
+/// round-trips exist).
+pub fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\u{A0}' => out.push_str("&nbsp;"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_document;
+
+    fn roundtrip(input: &str) -> String {
+        serialize(&parse_document(input).dom)
+    }
+
+    #[test]
+    fn basic_document() {
+        let out = roundtrip("<!DOCTYPE html><html><head></head><body><p>x</p></body></html>");
+        assert_eq!(out, "<!DOCTYPE html><html><head></head><body><p>x</p></body></html>");
+    }
+
+    #[test]
+    fn void_elements_have_no_end_tag() {
+        let out = roundtrip("<p><img src=x><br></p>");
+        assert!(out.contains("<img src=\"x\"><br>"));
+        assert!(!out.contains("</img>"));
+        assert!(!out.contains("</br>"));
+    }
+
+    #[test]
+    fn attributes_are_double_quoted_and_escaped() {
+        let out = roundtrip(r#"<div title='a "b" & c'></div>"#);
+        assert!(out.contains(r#"title="a &quot;b&quot; &amp; c""#));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let out = roundtrip("<p>a &lt; b &amp; c</p>");
+        assert!(out.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn style_content_is_literal() {
+        let out = roundtrip("<style>a > b { color: red }</style>");
+        assert!(out.contains("<style>a > b { color: red }</style>"));
+    }
+
+    #[test]
+    fn script_content_is_literal() {
+        let out = roundtrip("<script>if (a < b) x();</script>");
+        assert!(out.contains("<script>if (a < b) x();</script>"));
+    }
+
+    #[test]
+    fn comments_preserved() {
+        let out = roundtrip("<p><!-- note --></p>");
+        assert!(out.contains("<!-- note -->"));
+    }
+
+    #[test]
+    fn serialization_is_idempotent_on_messy_input() {
+        // One serialize → parse → serialize round must be a fixpoint for
+        // ordinary (non-mXSS) markup: this is what makes the §4.4 auto-fix
+        // safe.
+        let messy = r#"<div id=a class='b'><p>one<p>two<table><tr><td>x</table><img src=1>"#;
+        let once = roundtrip(messy);
+        let twice = roundtrip(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn attr_lt_not_escaped() {
+        // The spec does not escape `<` in attribute values — load-bearing
+        // for mXSS demonstrations.
+        let out = roundtrip(r#"<img title="--&gt;&lt;img src=1&gt;">"#);
+        assert!(out.contains(r#"title="--><img src=1>""#));
+    }
+}

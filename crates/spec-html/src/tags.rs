@@ -1,0 +1,243 @@
+//! Element-name classification tables used by the tree builder, serializer,
+//! and violation checkers.
+//!
+//! Names are kept as lowercase strings (HTML tag names are ASCII
+//! case-insensitive; the tokenizer lowercases them), and this module provides
+//! the membership sets the specification keys its algorithms on: the
+//! *special* category, void elements, the foreign-content breakout list,
+//! implied-end-tag sets, and the table/select scoping sets.
+
+/// Elements with no end tag at all (§13.1.2 "void elements").
+pub fn is_void(name: &str) -> bool {
+    matches!(
+        name,
+        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
+            | "param" | "source" | "track" | "wbr"
+    )
+}
+
+/// The spec's "special" element category (§13.2.4.2), which controls end-tag
+/// matching in "in body".
+pub fn is_special(name: &str) -> bool {
+    matches!(
+        name,
+        "address" | "applet" | "area" | "article" | "aside" | "base" | "basefont" | "bgsound"
+            | "blockquote" | "body" | "br" | "button" | "caption" | "center" | "col"
+            | "colgroup" | "dd" | "details" | "dir" | "div" | "dl" | "dt" | "embed"
+            | "fieldset" | "figcaption" | "figure" | "footer" | "form" | "frame" | "frameset"
+            | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "head" | "header" | "hgroup" | "hr"
+            | "html" | "iframe" | "img" | "input" | "keygen" | "li" | "link" | "listing"
+            | "main" | "marquee" | "menu" | "meta" | "nav" | "noembed" | "noframes"
+            | "noscript" | "object" | "ol" | "p" | "param" | "plaintext" | "pre" | "script"
+            | "search" | "section" | "select" | "source" | "style" | "summary" | "table"
+            | "tbody" | "td" | "template" | "textarea" | "tfoot" | "th" | "thead" | "title"
+            | "tr" | "track" | "ul" | "wbr" | "xmp"
+    )
+}
+
+/// Formatting elements tracked in the list of active formatting elements.
+pub fn is_formatting(name: &str) -> bool {
+    matches!(
+        name,
+        "a" | "b" | "big" | "code" | "em" | "font" | "i" | "nobr" | "s" | "small" | "strike"
+            | "strong" | "tt" | "u"
+    )
+}
+
+/// Elements allowed as metadata content in `head` (§4.2.1). `noscript` and
+/// `template` are permitted by the parser's "in head" mode as well.
+pub fn is_head_content(name: &str) -> bool {
+    matches!(
+        name,
+        "base" | "basefont" | "bgsound" | "link" | "meta" | "title" | "noscript" | "noframes"
+            | "style" | "script" | "template"
+    )
+}
+
+/// Elements that close an open `p` element when they start (§13.2.6.4.7,
+/// "close a p element" list).
+pub fn closes_p(name: &str) -> bool {
+    matches!(
+        name,
+        "address" | "article" | "aside" | "blockquote" | "center" | "details" | "dialog"
+            | "dir" | "div" | "dl" | "fieldset" | "figcaption" | "figure" | "footer"
+            | "header" | "hgroup" | "main" | "menu" | "nav" | "ol" | "p" | "search"
+            | "section" | "summary" | "ul" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "pre"
+            | "listing" | "form" | "plaintext" | "table" | "hr" | "xmp" | "li" | "dd" | "dt"
+    )
+}
+
+/// The "generate implied end tags" set (§13.2.6.3).
+pub fn implied_end_tag(name: &str) -> bool {
+    matches!(
+        name,
+        "dd" | "dt" | "li" | "optgroup" | "option" | "p" | "rb" | "rp" | "rt" | "rtc"
+    )
+}
+
+/// Elements whose start tag switches the tokenizer to RCDATA.
+pub fn is_rcdata(name: &str) -> bool {
+    matches!(name, "title" | "textarea")
+}
+
+/// Elements whose start tag switches the tokenizer to RAWTEXT.
+pub fn is_rawtext(name: &str) -> bool {
+    matches!(name, "style" | "xmp" | "iframe" | "noembed" | "noframes" | "noscript")
+}
+
+/// The foreign-content breakout list (§13.2.6.5): an HTML start tag with one
+/// of these names, while in foreign (SVG/MathML) content, pops the foreign
+/// elements and is reprocessed using HTML rules. This is the machinery behind
+/// the paper's HF5 violations and the Figure-1 mXSS.
+pub fn is_foreign_breakout(name: &str) -> bool {
+    matches!(
+        name,
+        "b" | "big" | "blockquote" | "body" | "br" | "center" | "code" | "dd" | "div" | "dl"
+            | "dt" | "em" | "embed" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "head" | "hr"
+            | "i" | "img" | "li" | "listing" | "menu" | "meta" | "nobr" | "ol" | "p" | "pre"
+            | "ruby" | "s" | "small" | "span" | "strong" | "strike" | "sub" | "sup" | "table"
+            | "tt" | "u" | "ul" | "var"
+    )
+}
+
+/// MathML text integration points (§13.2.6.5): inside these, HTML rules apply
+/// to most tokens.
+pub fn is_mathml_text_integration(name: &str) -> bool {
+    matches!(name, "mi" | "mo" | "mn" | "ms" | "mtext")
+}
+
+/// SVG elements that are HTML integration points.
+pub fn is_svg_html_integration(name: &str) -> bool {
+    matches!(name, "foreignObject" | "desc" | "title")
+}
+
+/// Element names that exist only in the SVG namespace (used by the HF5_1
+/// checker to spot foreign-only elements parsed as HTML).
+pub fn is_svg_only(name: &str) -> bool {
+    matches!(
+        name,
+        "circle" | "clippath" | "defs" | "ellipse" | "fegaussianblur" | "filter" | "g"
+            | "lineargradient" | "marker" | "mask" | "path" | "pattern" | "polygon"
+            | "polyline" | "radialgradient" | "rect" | "stop" | "symbol" | "tspan" | "use"
+    )
+}
+
+/// Element names that exist only in the MathML namespace.
+pub fn is_mathml_only(name: &str) -> bool {
+    matches!(
+        name,
+        "annotation" | "annotation-xml" | "maction" | "merror" | "mfrac" | "mglyph" | "mi"
+            | "mmultiscripts" | "mn" | "mo" | "mover" | "mpadded" | "mphantom" | "mroot"
+            | "mrow" | "ms" | "mspace" | "msqrt" | "mstyle" | "msub" | "msubsup" | "msup"
+            | "mtable" | "mtd" | "mtext" | "mtr" | "munder" | "munderover" | "semantics"
+    )
+}
+
+/// The SVG camelCase tag-name fixups of §13.2.6.5 ("Any other start tag" in
+/// foreign content): the tokenizer lowercases names; inside SVG the parser
+/// restores the canonical mixed-case spelling.
+pub fn svg_tag_fixup(lower: &str) -> Option<&'static str> {
+    Some(match lower {
+        "altglyph" => "altGlyph",
+        "altglyphdef" => "altGlyphDef",
+        "altglyphitem" => "altGlyphItem",
+        "animatecolor" => "animateColor",
+        "animatemotion" => "animateMotion",
+        "animatetransform" => "animateTransform",
+        "clippath" => "clipPath",
+        "feblend" => "feBlend",
+        "fecolormatrix" => "feColorMatrix",
+        "fecomponenttransfer" => "feComponentTransfer",
+        "fecomposite" => "feComposite",
+        "feconvolvematrix" => "feConvolveMatrix",
+        "fediffuselighting" => "feDiffuseLighting",
+        "fedisplacementmap" => "feDisplacementMap",
+        "fedistantlight" => "feDistantLight",
+        "fedropshadow" => "feDropShadow",
+        "feflood" => "feFlood",
+        "fefunca" => "feFuncA",
+        "fefuncb" => "feFuncB",
+        "fefuncg" => "feFuncG",
+        "fefuncr" => "feFuncR",
+        "fegaussianblur" => "feGaussianBlur",
+        "feimage" => "feImage",
+        "femerge" => "feMerge",
+        "femergenode" => "feMergeNode",
+        "femorphology" => "feMorphology",
+        "feoffset" => "feOffset",
+        "fepointlight" => "fePointLight",
+        "fespecularlighting" => "feSpecularLighting",
+        "fespotlight" => "feSpotLight",
+        "fetile" => "feTile",
+        "feturbulence" => "feTurbulence",
+        "foreignobject" => "foreignObject",
+        "glyphref" => "glyphRef",
+        "lineargradient" => "linearGradient",
+        "radialgradient" => "radialGradient",
+        "textpath" => "textPath",
+        _ => return None,
+    })
+}
+
+/// Attribute names the paper's DE3_1 / mitigation analyses treat as URLs
+/// (§4.5 and Mike West's dangling-markup mitigation).
+pub fn is_url_attribute(name: &str) -> bool {
+    matches!(
+        name,
+        "href" | "src" | "action" | "formaction" | "data" | "poster" | "background" | "cite"
+            | "longdesc" | "usemap" | "srcset" | "ping"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn void_elements() {
+        assert!(is_void("img"));
+        assert!(is_void("br"));
+        assert!(!is_void("div"));
+        assert!(!is_void("textarea"));
+    }
+
+    #[test]
+    fn breakout_contains_figure1_actors() {
+        // The DOMPurify bypass relies on <img> (and <table>) being breakout
+        // elements while <style> and <mglyph> are not.
+        assert!(is_foreign_breakout("img"));
+        assert!(is_foreign_breakout("table"));
+        assert!(!is_foreign_breakout("style"));
+        assert!(!is_foreign_breakout("mglyph"));
+        assert!(!is_foreign_breakout("svg"));
+    }
+
+    #[test]
+    fn integration_points() {
+        assert!(is_mathml_text_integration("mtext"));
+        assert!(!is_mathml_text_integration("mglyph"));
+        assert!(is_svg_html_integration("foreignObject"));
+    }
+
+    #[test]
+    fn svg_case_fixups() {
+        assert_eq!(svg_tag_fixup("clippath"), Some("clipPath"));
+        assert_eq!(svg_tag_fixup("foreignobject"), Some("foreignObject"));
+        assert_eq!(svg_tag_fixup("rect"), None);
+    }
+
+    #[test]
+    fn url_attributes() {
+        assert!(is_url_attribute("href"));
+        assert!(is_url_attribute("formaction"));
+        assert!(!is_url_attribute("title"));
+    }
+
+    #[test]
+    fn head_content() {
+        assert!(is_head_content("meta"));
+        assert!(is_head_content("base"));
+        assert!(!is_head_content("div"));
+        assert!(!is_head_content("h1"));
+    }
+}

@@ -1,0 +1,1843 @@
+//! The HTML tokenizer (§13.2.5): a character-driven state machine that turns
+//! the preprocessed input stream into [`Token`]s while recording every
+//! spec-named parse error it tolerates.
+//!
+//! Browsers run this exact machine but throw the error states away; the
+//! paper's Parsing-Error violations (FB1 `unexpected-solidus-in-tag`, FB2
+//! `missing-whitespace-between-attributes`, DM3 `duplicate-attribute`, and
+//! the DE3 family's attribute anomalies) *are* those error states, so this
+//! implementation keeps them, with offsets, as first-class output.
+
+mod token;
+
+pub use token::{Attr, Doctype, Tag, Token};
+
+use crate::entities;
+use crate::errors::{ErrorCode, ParseError};
+use std::collections::VecDeque;
+
+/// Tokenizer states (§13.2.5.1–80). Names mirror the specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum State {
+    Data,
+    Rcdata,
+    Rawtext,
+    ScriptData,
+    Plaintext,
+    TagOpen,
+    EndTagOpen,
+    TagName,
+    RcdataLessThan,
+    RcdataEndTagOpen,
+    RcdataEndTagName,
+    RawtextLessThan,
+    RawtextEndTagOpen,
+    RawtextEndTagName,
+    ScriptDataLessThan,
+    ScriptDataEndTagOpen,
+    ScriptDataEndTagName,
+    ScriptDataEscapeStart,
+    ScriptDataEscapeStartDash,
+    ScriptDataEscaped,
+    ScriptDataEscapedDash,
+    ScriptDataEscapedDashDash,
+    ScriptDataEscapedLessThan,
+    ScriptDataEscapedEndTagOpen,
+    ScriptDataEscapedEndTagName,
+    ScriptDataDoubleEscapeStart,
+    ScriptDataDoubleEscaped,
+    ScriptDataDoubleEscapedDash,
+    ScriptDataDoubleEscapedDashDash,
+    ScriptDataDoubleEscapedLessThan,
+    ScriptDataDoubleEscapeEnd,
+    BeforeAttributeName,
+    AttributeName,
+    AfterAttributeName,
+    BeforeAttributeValue,
+    AttributeValueDouble,
+    AttributeValueSingle,
+    AttributeValueUnquoted,
+    AfterAttributeValueQuoted,
+    SelfClosingStartTag,
+    BogusComment,
+    MarkupDeclarationOpen,
+    CommentStart,
+    CommentStartDash,
+    Comment,
+    CommentLessThan,
+    CommentLessThanBang,
+    CommentLessThanBangDash,
+    CommentLessThanBangDashDash,
+    CommentEndDash,
+    CommentEnd,
+    CommentEndBang,
+    Doctype,
+    BeforeDoctypeName,
+    DoctypeName,
+    AfterDoctypeName,
+    AfterDoctypePublicKeyword,
+    BeforeDoctypePublicId,
+    DoctypePublicIdDouble,
+    DoctypePublicIdSingle,
+    AfterDoctypePublicId,
+    BetweenDoctypePublicSystem,
+    AfterDoctypeSystemKeyword,
+    BeforeDoctypeSystemId,
+    DoctypeSystemIdDouble,
+    DoctypeSystemIdSingle,
+    AfterDoctypeSystemId,
+    BogusDoctype,
+    CdataSection,
+    CdataSectionBracket,
+    CdataSectionEnd,
+    CharacterReference,
+    NamedCharacterReference,
+    AmbiguousAmpersand,
+    NumericCharacterReference,
+    HexCharRefStart,
+    DecCharRefStart,
+    HexCharRef,
+    DecCharRef,
+    NumericCharRefEnd,
+}
+
+/// Which kind of tag token is under construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TagKind {
+    Start,
+    End,
+}
+
+/// An attribute under construction.
+#[derive(Debug, Default)]
+struct AttrBuilder {
+    name: String,
+    value: String,
+    raw_value: String,
+    name_offset: usize,
+    /// Set when leaving the attribute-name state if the name already exists
+    /// on the tag: the attribute is a spec `duplicate-attribute`.
+    duplicate: bool,
+}
+
+/// The tokenizer. Feed it the preprocessed character stream; pull tokens with
+/// [`Tokenizer::next_token`]. The tree builder drives the tag feedback
+/// (RCDATA/RAWTEXT/script-data switching) via [`Tokenizer::set_state`] and
+/// [`Tokenizer::set_last_start_tag`].
+pub struct Tokenizer<'a> {
+    input: &'a [char],
+    pos: usize,
+    state: State,
+    return_state: State,
+    errors: Vec<ParseError>,
+    pending: VecDeque<Token>,
+    text_buf: String,
+
+    tag_kind: TagKind,
+    tag_name: String,
+    tag_self_closing: bool,
+    tag_attrs: Vec<Attr>,
+    tag_dup_attrs: Vec<Attr>,
+    tag_offset: usize,
+    cur_attr: Option<AttrBuilder>,
+
+    comment: String,
+    doctype: Option<Doctype>,
+    last_start_tag: String,
+    temp_buffer: String,
+    char_ref_code: u32,
+    char_ref_start: usize,
+    allow_cdata: bool,
+    eof_done: bool,
+    /// Whether the most recent `next()` consumed a character (vs. hit EOF);
+    /// governs whether `reconsume` steps the position back.
+    last_consumed: bool,
+}
+
+impl<'a> Tokenizer<'a> {
+    pub fn new(input: &'a [char]) -> Self {
+        Tokenizer {
+            input,
+            pos: 0,
+            state: State::Data,
+            return_state: State::Data,
+            errors: Vec::new(),
+            pending: VecDeque::new(),
+            text_buf: String::new(),
+            tag_kind: TagKind::Start,
+            tag_name: String::new(),
+            tag_self_closing: false,
+            tag_attrs: Vec::new(),
+            tag_dup_attrs: Vec::new(),
+            tag_offset: 0,
+            cur_attr: None,
+            comment: String::new(),
+            doctype: None,
+            last_start_tag: String::new(),
+            temp_buffer: String::new(),
+            char_ref_code: 0,
+            char_ref_start: 0,
+            allow_cdata: false,
+            eof_done: false,
+            last_consumed: false,
+        }
+    }
+
+    /// Consume input until the next token is available.
+    pub fn next_token(&mut self) -> Token {
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return t;
+            }
+            if self.eof_done {
+                return Token::Eof;
+            }
+            self.step();
+        }
+    }
+
+    /// Drain the parse errors recorded so far.
+    pub fn take_errors(&mut self) -> Vec<ParseError> {
+        std::mem::take(&mut self.errors)
+    }
+
+    /// Tree-construction feedback: switch the machine state (used for
+    /// RCDATA/RAWTEXT/script-data/PLAINTEXT content models).
+    pub fn set_state(&mut self, state: State) {
+        self.state = state;
+    }
+
+    /// Tree-construction feedback: the name used by the "appropriate end
+    /// tag" check in RCDATA/RAWTEXT/script content.
+    pub fn set_last_start_tag(&mut self, name: &str) {
+        self.last_start_tag.clear();
+        self.last_start_tag.push_str(name);
+    }
+
+    /// Tree-construction feedback: whether `<![CDATA[` opens a real CDATA
+    /// section (true only while the adjusted current node is foreign).
+    pub fn set_allow_cdata(&mut self, allow: bool) {
+        self.allow_cdata = allow;
+    }
+
+    /// Standalone-mode feedback equivalent to the tree builder's content
+    /// model switches, used by [`crate::tokenize`].
+    pub fn apply_default_feedback(&mut self, name: &str) {
+        match name {
+            "title" | "textarea" => self.set_state(State::Rcdata),
+            "style" | "xmp" | "iframe" | "noembed" | "noframes" => self.set_state(State::Rawtext),
+            "script" => self.set_state(State::ScriptData),
+            "plaintext" => self.set_state(State::Plaintext),
+            _ => {}
+        }
+        self.set_last_start_tag(name);
+    }
+
+    /// Current position in the input (characters consumed so far).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    // ----- low-level helpers -----
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.input.get(self.pos).copied();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        self.last_consumed = c.is_some();
+        c
+    }
+
+    /// Reprocess the current input character (or EOF) in `state`.
+    fn reconsume(&mut self, state: State) {
+        if self.last_consumed {
+            debug_assert!(self.pos > 0);
+            self.pos -= 1;
+            self.last_consumed = false;
+        }
+        self.state = state;
+    }
+
+    fn error(&mut self, code: ErrorCode) {
+        // Offsets point at the character that triggered the error (the one
+        // just consumed), or at EOF.
+        let off = self.pos.saturating_sub(1).min(self.input.len());
+        self.errors.push(ParseError::new(code, off));
+    }
+
+    fn error_at(&mut self, code: ErrorCode, off: usize) {
+        self.errors.push(ParseError::new(code, off));
+    }
+
+    fn emit_char(&mut self, c: char) {
+        self.text_buf.push(c);
+    }
+
+    fn emit_str(&mut self, s: &str) {
+        self.text_buf.push_str(s);
+    }
+
+    fn flush_text(&mut self) {
+        if !self.text_buf.is_empty() {
+            let s = std::mem::take(&mut self.text_buf);
+            self.pending.push_back(Token::Characters(s));
+        }
+    }
+
+    fn emit_eof(&mut self) {
+        self.flush_text();
+        self.pending.push_back(Token::Eof);
+        self.eof_done = true;
+    }
+
+    fn emit_comment(&mut self) {
+        self.flush_text();
+        let c = std::mem::take(&mut self.comment);
+        self.pending.push_back(Token::Comment(c));
+    }
+
+    fn emit_doctype(&mut self) {
+        self.flush_text();
+        let d = self.doctype.take().unwrap_or_default();
+        self.pending.push_back(Token::Doctype(d));
+    }
+
+    // ----- tag construction -----
+
+    fn new_tag(&mut self, kind: TagKind) {
+        self.tag_kind = kind;
+        self.tag_name.clear();
+        self.tag_self_closing = false;
+        self.tag_attrs.clear();
+        self.tag_dup_attrs.clear();
+        self.cur_attr = None;
+        // The `<` is one or two chars back (`</` for end tags).
+        self.tag_offset = self.pos.saturating_sub(if kind == TagKind::End { 3 } else { 2 });
+    }
+
+    fn start_new_attr(&mut self) {
+        self.finish_cur_attr();
+        self.cur_attr = Some(AttrBuilder { name_offset: self.pos.saturating_sub(1), ..AttrBuilder::default() });
+    }
+
+    /// Leaving the attribute-name state: the spec's duplicate check.
+    fn check_duplicate_attr(&mut self) {
+        let Some(attr) = self.cur_attr.as_mut() else { return };
+        if self.tag_attrs.iter().any(|a| a.name == attr.name) {
+            attr.duplicate = true;
+            let off = attr.name_offset;
+            self.error_at(ErrorCode::DuplicateAttribute, off);
+        }
+    }
+
+    fn finish_cur_attr(&mut self) {
+        if let Some(b) = self.cur_attr.take() {
+            let attr = Attr {
+                name: b.name,
+                value: b.value,
+                raw_value: b.raw_value,
+                name_offset: b.name_offset,
+            };
+            if b.duplicate {
+                self.tag_dup_attrs.push(attr);
+            } else {
+                self.tag_attrs.push(attr);
+            }
+        }
+    }
+
+    fn append_attr_value(&mut self, c: char) {
+        if let Some(a) = self.cur_attr.as_mut() {
+            a.value.push(c);
+            a.raw_value.push(c);
+        }
+    }
+
+    fn emit_tag(&mut self) {
+        self.finish_cur_attr();
+        self.flush_text();
+        let tag = Tag {
+            name: std::mem::take(&mut self.tag_name),
+            self_closing: self.tag_self_closing,
+            attrs: std::mem::take(&mut self.tag_attrs),
+            duplicate_attrs: std::mem::take(&mut self.tag_dup_attrs),
+            offset: self.tag_offset,
+        };
+        match self.tag_kind {
+            TagKind::Start => {
+                self.last_start_tag.clear();
+                self.last_start_tag.push_str(&tag.name);
+                self.pending.push_back(Token::StartTag(tag));
+            }
+            TagKind::End => {
+                if !tag.attrs.is_empty() || !tag.duplicate_attrs.is_empty() {
+                    self.error(ErrorCode::EndTagWithAttributes);
+                }
+                if tag.self_closing {
+                    self.error(ErrorCode::EndTagWithTrailingSolidus);
+                }
+                self.pending.push_back(Token::EndTag(tag));
+            }
+        }
+    }
+
+    /// Whether the end tag under construction matches the last emitted start
+    /// tag (the "appropriate end tag token" condition).
+    fn is_appropriate_end_tag(&self) -> bool {
+        self.tag_kind == TagKind::End && self.tag_name == self.last_start_tag
+    }
+
+    // ----- character reference helpers -----
+
+    fn charref_in_attribute(&self) -> bool {
+        matches!(
+            self.return_state,
+            State::AttributeValueDouble | State::AttributeValueSingle | State::AttributeValueUnquoted
+        )
+    }
+
+    /// Flush the raw characters consumed as (part of) a character reference
+    /// without decoding them.
+    fn flush_charref_literal(&mut self) {
+        let slice: String = self.input[self.char_ref_start..self.pos].iter().collect();
+        if self.charref_in_attribute() {
+            if let Some(a) = self.cur_attr.as_mut() {
+                a.value.push_str(&slice);
+                a.raw_value.push_str(&slice);
+            }
+        } else {
+            self.emit_str(&slice);
+        }
+    }
+
+    /// Flush a decoded character reference: decoded text to the value,
+    /// original source characters to the raw value.
+    fn flush_charref_decoded(&mut self, decoded: &str) {
+        if self.charref_in_attribute() {
+            let raw: String = self.input[self.char_ref_start..self.pos].iter().collect();
+            if let Some(a) = self.cur_attr.as_mut() {
+                a.value.push_str(decoded);
+                a.raw_value.push_str(&raw);
+            }
+        } else {
+            self.emit_str(decoded);
+        }
+    }
+
+    // ----- the state machine -----
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self) {
+        match self.state {
+            State::Data => match self.next() {
+                Some('&') => {
+                    self.return_state = State::Data;
+                    self.char_ref_start = self.pos - 1;
+                    self.state = State::CharacterReference;
+                }
+                Some('<') => self.state = State::TagOpen,
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.emit_char('\0');
+                }
+                Some(c) => {
+                    self.emit_char(c);
+                    // Fast path: consume the run of inert characters.
+                    while let Some(&c) = self.input.get(self.pos) {
+                        if c == '&' || c == '<' || c == '\0' {
+                            break;
+                        }
+                        self.text_buf.push(c);
+                        self.pos += 1;
+                    }
+                }
+                None => self.emit_eof(),
+            },
+
+            State::Rcdata => match self.next() {
+                Some('&') => {
+                    self.return_state = State::Rcdata;
+                    self.char_ref_start = self.pos - 1;
+                    self.state = State::CharacterReference;
+                }
+                Some('<') => self.state = State::RcdataLessThan,
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.emit_char('\u{FFFD}');
+                }
+                Some(c) => self.emit_char(c),
+                None => self.emit_eof(),
+            },
+
+            State::Rawtext => match self.next() {
+                Some('<') => self.state = State::RawtextLessThan,
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.emit_char('\u{FFFD}');
+                }
+                Some(c) => self.emit_char(c),
+                None => self.emit_eof(),
+            },
+
+            State::ScriptData => match self.next() {
+                Some('<') => self.state = State::ScriptDataLessThan,
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.emit_char('\u{FFFD}');
+                }
+                Some(c) => self.emit_char(c),
+                None => self.emit_eof(),
+            },
+
+            State::Plaintext => match self.next() {
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.emit_char('\u{FFFD}');
+                }
+                Some(c) => self.emit_char(c),
+                None => self.emit_eof(),
+            },
+
+            State::TagOpen => match self.next() {
+                Some('!') => self.state = State::MarkupDeclarationOpen,
+                Some('/') => self.state = State::EndTagOpen,
+                Some(c) if c.is_ascii_alphabetic() => {
+                    self.new_tag(TagKind::Start);
+                    self.reconsume(State::TagName);
+                }
+                Some('?') => {
+                    self.error(ErrorCode::UnexpectedQuestionMarkInsteadOfTagName);
+                    self.comment.clear();
+                    self.reconsume(State::BogusComment);
+                }
+                Some(_) => {
+                    self.error(ErrorCode::InvalidFirstCharacterOfTagName);
+                    self.emit_char('<');
+                    self.reconsume(State::Data);
+                }
+                None => {
+                    self.error(ErrorCode::EofBeforeTagName);
+                    self.emit_char('<');
+                    self.emit_eof();
+                }
+            },
+
+            State::EndTagOpen => match self.next() {
+                Some(c) if c.is_ascii_alphabetic() => {
+                    self.new_tag(TagKind::End);
+                    self.reconsume(State::TagName);
+                }
+                Some('>') => {
+                    self.error(ErrorCode::MissingEndTagName);
+                    self.state = State::Data;
+                }
+                Some(_) => {
+                    self.error(ErrorCode::InvalidFirstCharacterOfTagName);
+                    self.comment.clear();
+                    self.reconsume(State::BogusComment);
+                }
+                None => {
+                    self.error(ErrorCode::EofBeforeTagName);
+                    self.emit_str("</");
+                    self.emit_eof();
+                }
+            },
+
+            State::TagName => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {
+                    self.state = State::BeforeAttributeName;
+                }
+                Some('/') => self.state = State::SelfClosingStartTag,
+                Some('>') => {
+                    self.state = State::Data;
+                    self.emit_tag();
+                }
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.tag_name.push('\u{FFFD}');
+                }
+                Some(c) => self.tag_name.push(c.to_ascii_lowercase()),
+                None => {
+                    self.error(ErrorCode::EofInTag);
+                    self.emit_eof();
+                }
+            },
+
+            // --- RCDATA/RAWTEXT/script end-tag machinery ---
+            State::RcdataLessThan => match self.next() {
+                Some('/') => {
+                    self.temp_buffer.clear();
+                    self.state = State::RcdataEndTagOpen;
+                }
+                _ => {
+                    self.emit_char('<');
+                    self.reconsume(State::Rcdata);
+                }
+            },
+            State::RcdataEndTagOpen => match self.next() {
+                Some(c) if c.is_ascii_alphabetic() => {
+                    self.new_tag(TagKind::End);
+                    self.reconsume(State::RcdataEndTagName);
+                }
+                _ => {
+                    self.emit_str("</");
+                    self.reconsume(State::Rcdata);
+                }
+            },
+            State::RcdataEndTagName => self.text_end_tag_name(State::Rcdata),
+
+            State::RawtextLessThan => match self.next() {
+                Some('/') => {
+                    self.temp_buffer.clear();
+                    self.state = State::RawtextEndTagOpen;
+                }
+                _ => {
+                    self.emit_char('<');
+                    self.reconsume(State::Rawtext);
+                }
+            },
+            State::RawtextEndTagOpen => match self.next() {
+                Some(c) if c.is_ascii_alphabetic() => {
+                    self.new_tag(TagKind::End);
+                    self.reconsume(State::RawtextEndTagName);
+                }
+                _ => {
+                    self.emit_str("</");
+                    self.reconsume(State::Rawtext);
+                }
+            },
+            State::RawtextEndTagName => self.text_end_tag_name(State::Rawtext),
+
+            State::ScriptDataLessThan => match self.next() {
+                Some('/') => {
+                    self.temp_buffer.clear();
+                    self.state = State::ScriptDataEndTagOpen;
+                }
+                Some('!') => {
+                    self.emit_str("<!");
+                    self.state = State::ScriptDataEscapeStart;
+                }
+                _ => {
+                    self.emit_char('<');
+                    self.reconsume(State::ScriptData);
+                }
+            },
+            State::ScriptDataEndTagOpen => match self.next() {
+                Some(c) if c.is_ascii_alphabetic() => {
+                    self.new_tag(TagKind::End);
+                    self.reconsume(State::ScriptDataEndTagName);
+                }
+                _ => {
+                    self.emit_str("</");
+                    self.reconsume(State::ScriptData);
+                }
+            },
+            State::ScriptDataEndTagName => self.text_end_tag_name(State::ScriptData),
+
+            State::ScriptDataEscapeStart => match self.next() {
+                Some('-') => {
+                    self.emit_char('-');
+                    self.state = State::ScriptDataEscapeStartDash;
+                }
+                _ => {
+                    self.reconsume(State::ScriptData);
+                }
+            },
+            State::ScriptDataEscapeStartDash => match self.next() {
+                Some('-') => {
+                    self.emit_char('-');
+                    self.state = State::ScriptDataEscapedDashDash;
+                }
+                _ => {
+                    self.reconsume(State::ScriptData);
+                }
+            },
+            State::ScriptDataEscaped => match self.next() {
+                Some('-') => {
+                    self.emit_char('-');
+                    self.state = State::ScriptDataEscapedDash;
+                }
+                Some('<') => self.state = State::ScriptDataEscapedLessThan,
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.emit_char('\u{FFFD}');
+                }
+                Some(c) => self.emit_char(c),
+                None => {
+                    self.error(ErrorCode::EofInScriptHtmlCommentLikeText);
+                    self.emit_eof();
+                }
+            },
+            State::ScriptDataEscapedDash => match self.next() {
+                Some('-') => {
+                    self.emit_char('-');
+                    self.state = State::ScriptDataEscapedDashDash;
+                }
+                Some('<') => self.state = State::ScriptDataEscapedLessThan,
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.emit_char('\u{FFFD}');
+                    self.state = State::ScriptDataEscaped;
+                }
+                Some(c) => {
+                    self.emit_char(c);
+                    self.state = State::ScriptDataEscaped;
+                }
+                None => {
+                    self.error(ErrorCode::EofInScriptHtmlCommentLikeText);
+                    self.emit_eof();
+                }
+            },
+            State::ScriptDataEscapedDashDash => match self.next() {
+                Some('-') => self.emit_char('-'),
+                Some('<') => self.state = State::ScriptDataEscapedLessThan,
+                Some('>') => {
+                    self.emit_char('>');
+                    self.state = State::ScriptData;
+                }
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.emit_char('\u{FFFD}');
+                    self.state = State::ScriptDataEscaped;
+                }
+                Some(c) => {
+                    self.emit_char(c);
+                    self.state = State::ScriptDataEscaped;
+                }
+                None => {
+                    self.error(ErrorCode::EofInScriptHtmlCommentLikeText);
+                    self.emit_eof();
+                }
+            },
+            State::ScriptDataEscapedLessThan => match self.next() {
+                Some('/') => {
+                    self.temp_buffer.clear();
+                    self.state = State::ScriptDataEscapedEndTagOpen;
+                }
+                Some(c) if c.is_ascii_alphabetic() => {
+                    self.temp_buffer.clear();
+                    self.emit_char('<');
+                    self.reconsume(State::ScriptDataDoubleEscapeStart);
+                }
+                _ => {
+                    self.emit_char('<');
+                    self.reconsume(State::ScriptDataEscaped);
+                }
+            },
+            State::ScriptDataEscapedEndTagOpen => match self.next() {
+                Some(c) if c.is_ascii_alphabetic() => {
+                    self.new_tag(TagKind::End);
+                    self.reconsume(State::ScriptDataEscapedEndTagName);
+                }
+                _ => {
+                    self.emit_str("</");
+                    self.reconsume(State::ScriptDataEscaped);
+                }
+            },
+            State::ScriptDataEscapedEndTagName => self.text_end_tag_name(State::ScriptDataEscaped),
+            State::ScriptDataDoubleEscapeStart => match self.next() {
+                Some(c @ ('\t' | '\n' | '\u{C}' | ' ' | '/' | '>')) => {
+                    if self.temp_buffer == "script" {
+                        self.state = State::ScriptDataDoubleEscaped;
+                    } else {
+                        self.state = State::ScriptDataEscaped;
+                    }
+                    self.emit_char(c);
+                }
+                Some(c) if c.is_ascii_alphabetic() => {
+                    self.temp_buffer.push(c.to_ascii_lowercase());
+                    self.emit_char(c);
+                }
+                _ => {
+                    self.reconsume(State::ScriptDataEscaped);
+                }
+            },
+            State::ScriptDataDoubleEscaped => match self.next() {
+                Some('-') => {
+                    self.emit_char('-');
+                    self.state = State::ScriptDataDoubleEscapedDash;
+                }
+                Some('<') => {
+                    self.emit_char('<');
+                    self.state = State::ScriptDataDoubleEscapedLessThan;
+                }
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.emit_char('\u{FFFD}');
+                }
+                Some(c) => self.emit_char(c),
+                None => {
+                    self.error(ErrorCode::EofInScriptHtmlCommentLikeText);
+                    self.emit_eof();
+                }
+            },
+            State::ScriptDataDoubleEscapedDash => match self.next() {
+                Some('-') => {
+                    self.emit_char('-');
+                    self.state = State::ScriptDataDoubleEscapedDashDash;
+                }
+                Some('<') => {
+                    self.emit_char('<');
+                    self.state = State::ScriptDataDoubleEscapedLessThan;
+                }
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.emit_char('\u{FFFD}');
+                    self.state = State::ScriptDataDoubleEscaped;
+                }
+                Some(c) => {
+                    self.emit_char(c);
+                    self.state = State::ScriptDataDoubleEscaped;
+                }
+                None => {
+                    self.error(ErrorCode::EofInScriptHtmlCommentLikeText);
+                    self.emit_eof();
+                }
+            },
+            State::ScriptDataDoubleEscapedDashDash => match self.next() {
+                Some('-') => self.emit_char('-'),
+                Some('<') => {
+                    self.emit_char('<');
+                    self.state = State::ScriptDataDoubleEscapedLessThan;
+                }
+                Some('>') => {
+                    self.emit_char('>');
+                    self.state = State::ScriptData;
+                }
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.emit_char('\u{FFFD}');
+                    self.state = State::ScriptDataDoubleEscaped;
+                }
+                Some(c) => {
+                    self.emit_char(c);
+                    self.state = State::ScriptDataDoubleEscaped;
+                }
+                None => {
+                    self.error(ErrorCode::EofInScriptHtmlCommentLikeText);
+                    self.emit_eof();
+                }
+            },
+            State::ScriptDataDoubleEscapedLessThan => match self.next() {
+                Some('/') => {
+                    self.temp_buffer.clear();
+                    self.emit_char('/');
+                    self.state = State::ScriptDataDoubleEscapeEnd;
+                }
+                _ => {
+                    self.reconsume(State::ScriptDataDoubleEscaped);
+                }
+            },
+            State::ScriptDataDoubleEscapeEnd => match self.next() {
+                Some(c @ ('\t' | '\n' | '\u{C}' | ' ' | '/' | '>')) => {
+                    if self.temp_buffer == "script" {
+                        self.state = State::ScriptDataEscaped;
+                    } else {
+                        self.state = State::ScriptDataDoubleEscaped;
+                    }
+                    self.emit_char(c);
+                }
+                Some(c) if c.is_ascii_alphabetic() => {
+                    self.temp_buffer.push(c.to_ascii_lowercase());
+                    self.emit_char(c);
+                }
+                _ => {
+                    self.reconsume(State::ScriptDataDoubleEscaped);
+                }
+            },
+
+            // --- attributes ---
+            State::BeforeAttributeName => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {}
+                Some('/') | Some('>') => self.reconsume(State::AfterAttributeName),
+                None => self.reconsume_eof(State::AfterAttributeName),
+                Some('=') => {
+                    self.error(ErrorCode::UnexpectedEqualsSignBeforeAttributeName);
+                    self.start_new_attr();
+                    if let Some(a) = self.cur_attr.as_mut() {
+                        a.name.push('=');
+                    }
+                    self.state = State::AttributeName;
+                }
+                Some(_) => {
+                    self.start_new_attr();
+                    self.reconsume(State::AttributeName);
+                }
+            },
+
+            State::AttributeName => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') | Some('/') | Some('>') => {
+                    self.check_duplicate_attr();
+                    self.reconsume(State::AfterAttributeName);
+                }
+                None => {
+                    self.check_duplicate_attr();
+                    self.reconsume_eof(State::AfterAttributeName);
+                }
+                Some('=') => {
+                    self.check_duplicate_attr();
+                    self.state = State::BeforeAttributeValue;
+                }
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    if let Some(a) = self.cur_attr.as_mut() {
+                        a.name.push('\u{FFFD}');
+                    }
+                }
+                Some(c @ ('"' | '\'' | '<')) => {
+                    self.error(ErrorCode::UnexpectedCharacterInAttributeName);
+                    if let Some(a) = self.cur_attr.as_mut() {
+                        a.name.push(c);
+                    }
+                }
+                Some(c) => {
+                    if let Some(a) = self.cur_attr.as_mut() {
+                        a.name.push(c.to_ascii_lowercase());
+                    }
+                }
+            },
+
+            State::AfterAttributeName => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {}
+                Some('/') => self.state = State::SelfClosingStartTag,
+                Some('=') => self.state = State::BeforeAttributeValue,
+                Some('>') => {
+                    self.state = State::Data;
+                    self.emit_tag();
+                }
+                Some(_) => {
+                    self.start_new_attr();
+                    self.reconsume(State::AttributeName);
+                }
+                None => {
+                    self.error(ErrorCode::EofInTag);
+                    self.emit_eof();
+                }
+            },
+
+            State::BeforeAttributeValue => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {}
+                Some('"') => self.state = State::AttributeValueDouble,
+                Some('\'') => self.state = State::AttributeValueSingle,
+                Some('>') => {
+                    self.error(ErrorCode::MissingAttributeValue);
+                    self.state = State::Data;
+                    self.emit_tag();
+                }
+                Some(_) => self.reconsume(State::AttributeValueUnquoted),
+                None => self.reconsume_eof(State::AttributeValueUnquoted),
+            },
+
+            State::AttributeValueDouble => match self.next() {
+                Some('"') => self.state = State::AfterAttributeValueQuoted,
+                Some('&') => {
+                    self.return_state = State::AttributeValueDouble;
+                    self.char_ref_start = self.pos - 1;
+                    self.state = State::CharacterReference;
+                }
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.append_attr_value('\u{FFFD}');
+                }
+                Some(c) => self.append_attr_value(c),
+                None => {
+                    self.error(ErrorCode::EofInTag);
+                    self.emit_eof();
+                }
+            },
+
+            State::AttributeValueSingle => match self.next() {
+                Some('\'') => self.state = State::AfterAttributeValueQuoted,
+                Some('&') => {
+                    self.return_state = State::AttributeValueSingle;
+                    self.char_ref_start = self.pos - 1;
+                    self.state = State::CharacterReference;
+                }
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.append_attr_value('\u{FFFD}');
+                }
+                Some(c) => self.append_attr_value(c),
+                None => {
+                    self.error(ErrorCode::EofInTag);
+                    self.emit_eof();
+                }
+            },
+
+            State::AttributeValueUnquoted => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {
+                    self.state = State::BeforeAttributeName;
+                }
+                Some('&') => {
+                    self.return_state = State::AttributeValueUnquoted;
+                    self.char_ref_start = self.pos - 1;
+                    self.state = State::CharacterReference;
+                }
+                Some('>') => {
+                    self.state = State::Data;
+                    self.emit_tag();
+                }
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.append_attr_value('\u{FFFD}');
+                }
+                Some(c @ ('"' | '\'' | '<' | '=' | '`')) => {
+                    self.error(ErrorCode::UnexpectedCharacterInUnquotedAttributeValue);
+                    self.append_attr_value(c);
+                }
+                Some(c) => self.append_attr_value(c),
+                None => {
+                    self.error(ErrorCode::EofInTag);
+                    self.emit_eof();
+                }
+            },
+
+            State::AfterAttributeValueQuoted => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {
+                    self.state = State::BeforeAttributeName;
+                }
+                Some('/') => self.state = State::SelfClosingStartTag,
+                Some('>') => {
+                    self.state = State::Data;
+                    self.emit_tag();
+                }
+                Some(_) => {
+                    self.error(ErrorCode::MissingWhitespaceBetweenAttributes);
+                    self.reconsume(State::BeforeAttributeName);
+                }
+                None => {
+                    self.error(ErrorCode::EofInTag);
+                    self.emit_eof();
+                }
+            },
+
+            State::SelfClosingStartTag => match self.next() {
+                Some('>') => {
+                    self.tag_self_closing = true;
+                    self.state = State::Data;
+                    self.emit_tag();
+                }
+                Some(_) => {
+                    self.error(ErrorCode::UnexpectedSolidusInTag);
+                    self.reconsume(State::BeforeAttributeName);
+                }
+                None => {
+                    self.error(ErrorCode::EofInTag);
+                    self.emit_eof();
+                }
+            },
+
+            State::BogusComment => match self.next() {
+                Some('>') => {
+                    self.state = State::Data;
+                    self.emit_comment();
+                }
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.comment.push('\u{FFFD}');
+                }
+                Some(c) => self.comment.push(c),
+                None => {
+                    self.emit_comment();
+                    self.emit_eof();
+                }
+            },
+
+            State::MarkupDeclarationOpen => {
+                if self.lookahead_is("--") {
+                    self.pos += 2;
+                    self.comment.clear();
+                    self.state = State::CommentStart;
+                } else if self.lookahead_is_ascii_ci("doctype") {
+                    self.pos += 7;
+                    self.state = State::Doctype;
+                } else if self.lookahead_is("[CDATA[") {
+                    self.pos += 7;
+                    if self.allow_cdata {
+                        self.state = State::CdataSection;
+                    } else {
+                        self.error(ErrorCode::CdataInHtmlContent);
+                        self.comment.clear();
+                        self.comment.push_str("[CDATA[");
+                        self.state = State::BogusComment;
+                    }
+                } else {
+                    self.error(ErrorCode::IncorrectlyOpenedComment);
+                    self.comment.clear();
+                    self.state = State::BogusComment;
+                }
+            }
+
+            State::CommentStart => match self.next() {
+                Some('-') => self.state = State::CommentStartDash,
+                Some('>') => {
+                    self.error(ErrorCode::AbruptClosingOfEmptyComment);
+                    self.state = State::Data;
+                    self.emit_comment();
+                }
+                Some(_) => self.reconsume(State::Comment),
+                None => self.reconsume_eof(State::Comment),
+            },
+            State::CommentStartDash => match self.next() {
+                Some('-') => self.state = State::CommentEnd,
+                Some('>') => {
+                    self.error(ErrorCode::AbruptClosingOfEmptyComment);
+                    self.state = State::Data;
+                    self.emit_comment();
+                }
+                Some(_) => {
+                    self.comment.push('-');
+                    self.reconsume(State::Comment);
+                }
+                None => {
+                    self.error(ErrorCode::EofInComment);
+                    self.emit_comment();
+                    self.emit_eof();
+                }
+            },
+            State::Comment => match self.next() {
+                Some('<') => {
+                    self.comment.push('<');
+                    self.state = State::CommentLessThan;
+                }
+                Some('-') => self.state = State::CommentEndDash,
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.comment.push('\u{FFFD}');
+                }
+                Some(c) => self.comment.push(c),
+                None => {
+                    self.error(ErrorCode::EofInComment);
+                    self.emit_comment();
+                    self.emit_eof();
+                }
+            },
+            State::CommentLessThan => match self.next() {
+                Some('!') => {
+                    self.comment.push('!');
+                    self.state = State::CommentLessThanBang;
+                }
+                Some('<') => self.comment.push('<'),
+                _ => {
+                    self.reconsume(State::Comment);
+                }
+            },
+            State::CommentLessThanBang => match self.next() {
+                Some('-') => self.state = State::CommentLessThanBangDash,
+                _ => {
+                    self.reconsume(State::Comment);
+                }
+            },
+            State::CommentLessThanBangDash => match self.next() {
+                Some('-') => self.state = State::CommentLessThanBangDashDash,
+                _ => {
+                    self.reconsume(State::CommentEndDash);
+                }
+            },
+            State::CommentLessThanBangDashDash => match self.next() {
+                Some('>') | None => {
+                    self.reconsume(State::CommentEnd);
+                }
+                Some(_) => {
+                    self.error(ErrorCode::NestedComment);
+                    self.reconsume(State::CommentEnd);
+                }
+            },
+            State::CommentEndDash => match self.next() {
+                Some('-') => self.state = State::CommentEnd,
+                Some(_) => {
+                    self.comment.push('-');
+                    self.reconsume(State::Comment);
+                }
+                None => {
+                    self.error(ErrorCode::EofInComment);
+                    self.emit_comment();
+                    self.emit_eof();
+                }
+            },
+            State::CommentEnd => match self.next() {
+                Some('>') => {
+                    self.state = State::Data;
+                    self.emit_comment();
+                }
+                Some('!') => self.state = State::CommentEndBang,
+                Some('-') => self.comment.push('-'),
+                Some(_) => {
+                    self.comment.push_str("--");
+                    self.reconsume(State::Comment);
+                }
+                None => {
+                    self.error(ErrorCode::EofInComment);
+                    self.emit_comment();
+                    self.emit_eof();
+                }
+            },
+            State::CommentEndBang => match self.next() {
+                Some('-') => {
+                    self.comment.push_str("--!");
+                    self.state = State::CommentEndDash;
+                }
+                Some('>') => {
+                    self.error(ErrorCode::IncorrectlyClosedComment);
+                    self.state = State::Data;
+                    self.emit_comment();
+                }
+                Some(_) => {
+                    self.comment.push_str("--!");
+                    self.reconsume(State::Comment);
+                }
+                None => {
+                    self.error(ErrorCode::EofInComment);
+                    self.emit_comment();
+                    self.emit_eof();
+                }
+            },
+
+            // --- DOCTYPE ---
+            State::Doctype => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {
+                    self.state = State::BeforeDoctypeName;
+                }
+                Some('>') => self.reconsume(State::BeforeDoctypeName),
+                Some(_) => {
+                    self.error(ErrorCode::MissingWhitespaceBeforeDoctypeName);
+                    self.reconsume(State::BeforeDoctypeName);
+                }
+                None => {
+                    self.error(ErrorCode::EofInDoctype);
+                    self.doctype = Some(Doctype { force_quirks: true, ..Doctype::default() });
+                    self.emit_doctype();
+                    self.emit_eof();
+                }
+            },
+            State::BeforeDoctypeName => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {}
+                Some('>') => {
+                    self.error(ErrorCode::MissingDoctypeName);
+                    self.doctype = Some(Doctype { force_quirks: true, ..Doctype::default() });
+                    self.state = State::Data;
+                    self.emit_doctype();
+                }
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    self.doctype =
+                        Some(Doctype { name: Some("\u{FFFD}".into()), ..Doctype::default() });
+                    self.state = State::DoctypeName;
+                }
+                Some(c) => {
+                    self.doctype = Some(Doctype {
+                        name: Some(c.to_ascii_lowercase().to_string()),
+                        ..Doctype::default()
+                    });
+                    self.state = State::DoctypeName;
+                }
+                None => {
+                    self.error(ErrorCode::EofInDoctype);
+                    self.doctype = Some(Doctype { force_quirks: true, ..Doctype::default() });
+                    self.emit_doctype();
+                    self.emit_eof();
+                }
+            },
+            State::DoctypeName => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {
+                    self.state = State::AfterDoctypeName;
+                }
+                Some('>') => {
+                    self.state = State::Data;
+                    self.emit_doctype();
+                }
+                Some('\0') => {
+                    self.error(ErrorCode::UnexpectedNullCharacter);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.name.get_or_insert_with(String::new).push('\u{FFFD}');
+                    }
+                }
+                Some(c) => {
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.name.get_or_insert_with(String::new).push(c.to_ascii_lowercase());
+                    }
+                }
+                None => {
+                    self.error(ErrorCode::EofInDoctype);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.emit_doctype();
+                    self.emit_eof();
+                }
+            },
+            State::AfterDoctypeName => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {}
+                Some('>') => {
+                    self.state = State::Data;
+                    self.emit_doctype();
+                }
+                None => {
+                    self.error(ErrorCode::EofInDoctype);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.emit_doctype();
+                    self.emit_eof();
+                }
+                Some(_) => {
+                    self.pos -= 1;
+                    self.last_consumed = false;
+                    if self.lookahead_is_ascii_ci("public") {
+                        self.pos += 6;
+                        self.state = State::AfterDoctypePublicKeyword;
+                    } else if self.lookahead_is_ascii_ci("system") {
+                        self.pos += 6;
+                        self.state = State::AfterDoctypeSystemKeyword;
+                    } else {
+                        self.error(ErrorCode::InvalidCharacterSequenceAfterDoctypeName);
+                        if let Some(d) = self.doctype.as_mut() {
+                            d.force_quirks = true;
+                        }
+                        self.state = State::BogusDoctype;
+                    }
+                }
+            },
+            State::AfterDoctypePublicKeyword => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {
+                    self.state = State::BeforeDoctypePublicId;
+                }
+                Some('"') => {
+                    self.error(ErrorCode::MissingWhitespaceAfterDoctypePublicKeyword);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.public_id = Some(String::new());
+                    }
+                    self.state = State::DoctypePublicIdDouble;
+                }
+                Some('\'') => {
+                    self.error(ErrorCode::MissingWhitespaceAfterDoctypePublicKeyword);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.public_id = Some(String::new());
+                    }
+                    self.state = State::DoctypePublicIdSingle;
+                }
+                Some('>') => {
+                    self.error(ErrorCode::MissingDoctypePublicIdentifier);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.state = State::Data;
+                    self.emit_doctype();
+                }
+                Some(_) => {
+                    self.error(ErrorCode::MissingQuoteBeforeDoctypePublicIdentifier);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.reconsume(State::BogusDoctype);
+                }
+                None => {
+                    self.error(ErrorCode::EofInDoctype);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.emit_doctype();
+                    self.emit_eof();
+                }
+            },
+            State::BeforeDoctypePublicId => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {}
+                Some('"') => {
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.public_id = Some(String::new());
+                    }
+                    self.state = State::DoctypePublicIdDouble;
+                }
+                Some('\'') => {
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.public_id = Some(String::new());
+                    }
+                    self.state = State::DoctypePublicIdSingle;
+                }
+                Some('>') => {
+                    self.error(ErrorCode::MissingDoctypePublicIdentifier);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.state = State::Data;
+                    self.emit_doctype();
+                }
+                Some(_) => {
+                    self.error(ErrorCode::MissingQuoteBeforeDoctypePublicIdentifier);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.reconsume(State::BogusDoctype);
+                }
+                None => {
+                    self.error(ErrorCode::EofInDoctype);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.emit_doctype();
+                    self.emit_eof();
+                }
+            },
+            State::DoctypePublicIdDouble => self.doctype_id_quoted('"', true),
+            State::DoctypePublicIdSingle => self.doctype_id_quoted('\'', true),
+            State::AfterDoctypePublicId => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {
+                    self.state = State::BetweenDoctypePublicSystem;
+                }
+                Some('>') => {
+                    self.state = State::Data;
+                    self.emit_doctype();
+                }
+                Some('"') => {
+                    self.error(
+                        ErrorCode::MissingWhitespaceBetweenDoctypePublicAndSystemIdentifiers,
+                    );
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.system_id = Some(String::new());
+                    }
+                    self.state = State::DoctypeSystemIdDouble;
+                }
+                Some('\'') => {
+                    self.error(
+                        ErrorCode::MissingWhitespaceBetweenDoctypePublicAndSystemIdentifiers,
+                    );
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.system_id = Some(String::new());
+                    }
+                    self.state = State::DoctypeSystemIdSingle;
+                }
+                Some(_) => {
+                    self.error(ErrorCode::MissingQuoteBeforeDoctypeSystemIdentifier);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.reconsume(State::BogusDoctype);
+                }
+                None => {
+                    self.error(ErrorCode::EofInDoctype);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.emit_doctype();
+                    self.emit_eof();
+                }
+            },
+            State::BetweenDoctypePublicSystem => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {}
+                Some('>') => {
+                    self.state = State::Data;
+                    self.emit_doctype();
+                }
+                Some('"') => {
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.system_id = Some(String::new());
+                    }
+                    self.state = State::DoctypeSystemIdDouble;
+                }
+                Some('\'') => {
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.system_id = Some(String::new());
+                    }
+                    self.state = State::DoctypeSystemIdSingle;
+                }
+                Some(_) => {
+                    self.error(ErrorCode::MissingQuoteBeforeDoctypeSystemIdentifier);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.reconsume(State::BogusDoctype);
+                }
+                None => {
+                    self.error(ErrorCode::EofInDoctype);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.emit_doctype();
+                    self.emit_eof();
+                }
+            },
+            State::AfterDoctypeSystemKeyword => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {
+                    self.state = State::BeforeDoctypeSystemId;
+                }
+                Some('"') => {
+                    self.error(ErrorCode::MissingWhitespaceAfterDoctypeSystemKeyword);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.system_id = Some(String::new());
+                    }
+                    self.state = State::DoctypeSystemIdDouble;
+                }
+                Some('\'') => {
+                    self.error(ErrorCode::MissingWhitespaceAfterDoctypeSystemKeyword);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.system_id = Some(String::new());
+                    }
+                    self.state = State::DoctypeSystemIdSingle;
+                }
+                Some('>') => {
+                    self.error(ErrorCode::MissingDoctypeSystemIdentifier);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.state = State::Data;
+                    self.emit_doctype();
+                }
+                Some(_) => {
+                    self.error(ErrorCode::MissingQuoteBeforeDoctypeSystemIdentifier);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.reconsume(State::BogusDoctype);
+                }
+                None => {
+                    self.error(ErrorCode::EofInDoctype);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.emit_doctype();
+                    self.emit_eof();
+                }
+            },
+            State::BeforeDoctypeSystemId => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {}
+                Some('"') => {
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.system_id = Some(String::new());
+                    }
+                    self.state = State::DoctypeSystemIdDouble;
+                }
+                Some('\'') => {
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.system_id = Some(String::new());
+                    }
+                    self.state = State::DoctypeSystemIdSingle;
+                }
+                Some('>') => {
+                    self.error(ErrorCode::MissingDoctypeSystemIdentifier);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.state = State::Data;
+                    self.emit_doctype();
+                }
+                Some(_) => {
+                    self.error(ErrorCode::MissingQuoteBeforeDoctypeSystemIdentifier);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.reconsume(State::BogusDoctype);
+                }
+                None => {
+                    self.error(ErrorCode::EofInDoctype);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.emit_doctype();
+                    self.emit_eof();
+                }
+            },
+            State::DoctypeSystemIdDouble => self.doctype_id_quoted('"', false),
+            State::DoctypeSystemIdSingle => self.doctype_id_quoted('\'', false),
+            State::AfterDoctypeSystemId => match self.next() {
+                Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') => {}
+                Some('>') => {
+                    self.state = State::Data;
+                    self.emit_doctype();
+                }
+                Some(_) => {
+                    self.error(ErrorCode::UnexpectedCharacterAfterDoctypeSystemIdentifier);
+                    self.reconsume(State::BogusDoctype);
+                }
+                None => {
+                    self.error(ErrorCode::EofInDoctype);
+                    if let Some(d) = self.doctype.as_mut() {
+                        d.force_quirks = true;
+                    }
+                    self.emit_doctype();
+                    self.emit_eof();
+                }
+            },
+            State::BogusDoctype => match self.next() {
+                Some('>') => {
+                    self.state = State::Data;
+                    self.emit_doctype();
+                }
+                Some('\0') => self.error(ErrorCode::UnexpectedNullCharacter),
+                Some(_) => {}
+                None => {
+                    self.emit_doctype();
+                    self.emit_eof();
+                }
+            },
+
+            // --- CDATA ---
+            State::CdataSection => match self.next() {
+                Some(']') => self.state = State::CdataSectionBracket,
+                Some(c) => self.emit_char(c),
+                None => {
+                    self.error(ErrorCode::EofInCdata);
+                    self.emit_eof();
+                }
+            },
+            State::CdataSectionBracket => match self.next() {
+                Some(']') => self.state = State::CdataSectionEnd,
+                _ => {
+                    self.emit_char(']');
+                    self.reconsume(State::CdataSection);
+                }
+            },
+            State::CdataSectionEnd => match self.next() {
+                Some('>') => self.state = State::Data,
+                Some(']') => self.emit_char(']'),
+                _ => {
+                    self.emit_str("]]");
+                    self.reconsume(State::CdataSection);
+                }
+            },
+
+            // --- character references ---
+            State::CharacterReference => match self.next() {
+                Some(c) if c.is_ascii_alphanumeric() => self.reconsume(State::NamedCharacterReference),
+                Some('#') => self.state = State::NumericCharacterReference,
+                _ => {
+                    let st = self.return_state;
+                    self.reconsume(st);
+                    // Flush the bare `&`.
+                    self.flush_charref_literal_range(self.char_ref_start, self.char_ref_start + 1);
+                }
+            },
+
+            State::NamedCharacterReference => {
+                // `pos` currently sits on the first name character.
+                let rest = &self.input[self.pos..];
+                if let Some(m) = entities::match_named(rest) {
+                    let consumed = m.consumed;
+                    let with_semi = m.with_semicolon;
+                    let replacement = m.replacement;
+                    let next_after = self.input.get(self.pos + consumed).copied();
+                    self.pos += consumed;
+                    let attr = self.charref_in_attribute();
+                    if attr
+                        && !with_semi
+                        && matches!(next_after, Some(c) if c == '=' || c.is_ascii_alphanumeric())
+                    {
+                        // Historical-compat: leave the text as-is.
+                        self.flush_charref_literal();
+                    } else {
+                        if !with_semi {
+                            self.error(ErrorCode::MissingSemicolonAfterCharacterReference);
+                        }
+                        self.flush_charref_decoded(replacement);
+                    }
+                    self.state = self.return_state;
+                } else {
+                    // No match: flush the `&` and continue in ambiguous
+                    // ampersand handling.
+                    self.flush_charref_literal_range(self.char_ref_start, self.char_ref_start + 1);
+                    self.state = State::AmbiguousAmpersand;
+                }
+            }
+
+            State::AmbiguousAmpersand => match self.next() {
+                Some(c) if c.is_ascii_alphanumeric() => {
+                    if self.charref_in_attribute() {
+                        self.append_attr_value(c);
+                    } else {
+                        self.emit_char(c);
+                    }
+                }
+                Some(';') => {
+                    self.error(ErrorCode::UnknownNamedCharacterReference);
+                    self.reconsume(self.return_state);
+                }
+                Some(_) => self.reconsume(self.return_state),
+                None => {
+                    let st = self.return_state;
+                    self.state = st;
+                }
+            },
+
+            State::NumericCharacterReference => {
+                self.char_ref_code = 0;
+                match self.next() {
+                    Some('x') | Some('X') => self.state = State::HexCharRefStart,
+                    Some(_) => self.reconsume(State::DecCharRefStart),
+                    None => {
+                        self.error(ErrorCode::AbsenceOfDigitsInNumericCharacterReference);
+                        self.flush_charref_literal();
+                        let st = self.return_state;
+                        self.state = st;
+                    }
+                }
+            }
+            State::HexCharRefStart => match self.next() {
+                Some(c) if c.is_ascii_hexdigit() => self.reconsume(State::HexCharRef),
+                _ => {
+                    self.error(ErrorCode::AbsenceOfDigitsInNumericCharacterReference);
+                    let st = self.return_state;
+                    self.reconsume(st);
+                    self.flush_charref_literal();
+                }
+            },
+            State::DecCharRefStart => match self.next() {
+                Some(c) if c.is_ascii_digit() => self.reconsume(State::DecCharRef),
+                _ => {
+                    self.error(ErrorCode::AbsenceOfDigitsInNumericCharacterReference);
+                    let st = self.return_state;
+                    self.reconsume(st);
+                    self.flush_charref_literal();
+                }
+            },
+            State::HexCharRef => match self.next() {
+                Some(c) if c.is_ascii_hexdigit() => {
+                    self.char_ref_code =
+                        self.char_ref_code.saturating_mul(16).saturating_add(c.to_digit(16).unwrap());
+                }
+                Some(';') => self.state = State::NumericCharRefEnd,
+                _ => {
+                    self.error(ErrorCode::MissingSemicolonAfterNumericCharacterReference);
+                    self.reconsume(State::NumericCharRefEnd);
+                }
+            },
+            State::DecCharRef => match self.next() {
+                Some(c) if c.is_ascii_digit() => {
+                    self.char_ref_code =
+                        self.char_ref_code.saturating_mul(10).saturating_add(c.to_digit(10).unwrap());
+                }
+                Some(';') => self.state = State::NumericCharRefEnd,
+                _ => {
+                    self.error(ErrorCode::MissingSemicolonAfterNumericCharacterReference);
+                    self.reconsume(State::NumericCharRefEnd);
+                }
+            },
+            State::NumericCharRefEnd => {
+                let off = self.char_ref_start;
+                let c = entities::resolve_numeric(self.char_ref_code, off, &mut self.errors);
+                let mut buf = [0u8; 4];
+                let s: &str = c.encode_utf8(&mut buf);
+                self.flush_charref_decoded(s);
+                let st = self.return_state;
+                self.state = st;
+            }
+        }
+    }
+
+    /// Shared handler for the RCDATA/RAWTEXT/script-data "end tag name"
+    /// states: only an *appropriate* end tag (matching the element whose
+    /// content we are inside) terminates the content model.
+    fn text_end_tag_name(&mut self, content_state: State) {
+        match self.next() {
+            Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') if self.is_appropriate_end_tag() => {
+                self.state = State::BeforeAttributeName;
+            }
+            Some('/') if self.is_appropriate_end_tag() => {
+                self.state = State::SelfClosingStartTag;
+            }
+            Some('>') if self.is_appropriate_end_tag() => {
+                self.state = State::Data;
+                self.emit_tag();
+            }
+            Some(c) if c.is_ascii_alphabetic() => {
+                self.tag_name.push(c.to_ascii_lowercase());
+                self.temp_buffer.push(c);
+            }
+            _ => {
+                self.emit_str("</");
+                let tmp = std::mem::take(&mut self.temp_buffer);
+                self.emit_str(&tmp);
+                self.reconsume(content_state);
+            }
+        }
+    }
+
+    /// Shared handler for the quoted public/system identifier states.
+    fn doctype_id_quoted(&mut self, quote: char, public: bool) {
+        match self.next() {
+            Some(c) if c == quote => {
+                self.state = if public {
+                    State::AfterDoctypePublicId
+                } else {
+                    State::AfterDoctypeSystemId
+                };
+            }
+            Some('\0') => {
+                self.error(ErrorCode::UnexpectedNullCharacter);
+                self.push_doctype_id(public, '\u{FFFD}');
+            }
+            Some('>') => {
+                self.error(if public {
+                    ErrorCode::AbruptDoctypePublicIdentifier
+                } else {
+                    ErrorCode::AbruptDoctypeSystemIdentifier
+                });
+                if let Some(d) = self.doctype.as_mut() {
+                    d.force_quirks = true;
+                }
+                self.state = State::Data;
+                self.emit_doctype();
+            }
+            Some(c) => self.push_doctype_id(public, c),
+            None => {
+                self.error(ErrorCode::EofInDoctype);
+                if let Some(d) = self.doctype.as_mut() {
+                    d.force_quirks = true;
+                }
+                self.emit_doctype();
+                self.emit_eof();
+            }
+        }
+    }
+
+    fn push_doctype_id(&mut self, public: bool, c: char) {
+        if let Some(d) = self.doctype.as_mut() {
+            let field = if public { &mut d.public_id } else { &mut d.system_id };
+            field.get_or_insert_with(String::new).push(c);
+        }
+    }
+
+    fn flush_charref_literal_range(&mut self, from: usize, to: usize) {
+        let slice: String = self.input[from..to.min(self.input.len())].iter().collect();
+        if self.charref_in_attribute() {
+            if let Some(a) = self.cur_attr.as_mut() {
+                a.value.push_str(&slice);
+                a.raw_value.push_str(&slice);
+            }
+        } else {
+            self.emit_str(&slice);
+        }
+    }
+
+    /// Reconsume on EOF: there is no character to step back over; just
+    /// switch states so the EOF is handled there.
+    fn reconsume_eof(&mut self, state: State) {
+        self.state = state;
+    }
+
+    fn lookahead_is(&self, s: &str) -> bool {
+        let mut i = self.pos;
+        #[allow(clippy::explicit_counter_loop)]
+        for c in s.chars() {
+            if self.input.get(i) != Some(&c) {
+                return false;
+            }
+            i += 1;
+        }
+        true
+    }
+
+    fn lookahead_is_ascii_ci(&self, lower: &str) -> bool {
+        let mut i = self.pos;
+        for c in lower.chars() {
+            match self.input.get(i) {
+                Some(&g) if g.to_ascii_lowercase() == c => i += 1,
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,87 @@
+//! Token types emitted by the tokenizer.
+
+/// An attribute on a start (or, erroneously, end) tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr {
+    /// Lowercased attribute name.
+    pub name: String,
+    /// Attribute value with character references decoded.
+    pub value: String,
+    /// The raw (undecoded) value exactly as written in the source. The DE3
+    /// checkers need this: `&#10;` in the source is *not* a dangling-markup
+    /// newline, but a literal newline is.
+    pub raw_value: String,
+    /// Character offset of the first character of the attribute name.
+    pub name_offset: usize,
+}
+
+impl Attr {
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        let value = value.into();
+        Attr { name: name.into(), raw_value: value.clone(), value, name_offset: 0 }
+    }
+}
+
+/// A start or end tag token.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Tag {
+    /// Lowercased tag name.
+    pub name: String,
+    /// Whether the tag used self-closing syntax (`/>`).
+    pub self_closing: bool,
+    /// Attributes in source order, with spec-mandated duplicates removed.
+    pub attrs: Vec<Attr>,
+    /// Attributes the spec dropped due to `duplicate-attribute` errors —
+    /// preserved because the paper's DM3 analysis inspects them.
+    pub duplicate_attrs: Vec<Attr>,
+    /// Character offset of the `<` that opened this tag.
+    pub offset: usize,
+}
+
+impl Tag {
+    pub fn named(name: &str) -> Self {
+        Tag { name: name.to_owned(), ..Tag::default() }
+    }
+
+    /// First attribute with the given (lowercase) name, per spec semantics
+    /// (duplicates were dropped at tokenization time).
+    pub fn attr(&self, name: &str) -> Option<&Attr> {
+        self.attrs.iter().find(|a| a.name == name)
+    }
+
+    /// Convenience: decoded value of an attribute.
+    pub fn attr_value(&self, name: &str) -> Option<&str> {
+        self.attr(name).map(|a| a.value.as_str())
+    }
+}
+
+/// A DOCTYPE token.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Doctype {
+    pub name: Option<String>,
+    pub public_id: Option<String>,
+    pub system_id: Option<String>,
+    pub force_quirks: bool,
+}
+
+/// A token produced by the tokenizer (§13.2.5: DOCTYPE, start tag, end tag,
+/// comment, character, end-of-file). Character tokens are batched into runs
+/// for efficiency; the tree builder splits them where insertion modes care.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    Doctype(Doctype),
+    StartTag(Tag),
+    EndTag(Tag),
+    Comment(String),
+    Characters(String),
+    Eof,
+}
+
+impl Token {
+    pub fn as_start_tag(&self) -> Option<&Tag> {
+        match self {
+            Token::StartTag(t) => Some(t),
+            _ => None,
+        }
+    }
+}

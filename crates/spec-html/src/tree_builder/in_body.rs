@@ -1,0 +1,560 @@
+//! The "in body" insertion mode (§13.2.6.4.7) — the main content mode, and
+//! the home of most of the error-tolerance behaviours the paper's violations
+//! exploit: the second-`<body>` attribute merge (HF3), the form element
+//! pointer (DE4), the `<table>` hand-off (HF4), and the foreign-content
+//! entry points (HF5 / mXSS).
+
+use super::{is_html_whitespace, Builder, Ctl, InsertionMode, TreeEventKind};
+use crate::dom::{ElemAttr, Namespace};
+use crate::tags;
+use crate::tokenizer::{self, Tag, Token, Tokenizer};
+
+impl Builder {
+    #[allow(clippy::too_many_lines)]
+    pub(crate) fn in_body(&mut self, token: Token, tok: &mut Tokenizer<'_>) -> Ctl {
+        match token {
+            Token::Characters(s) => {
+                // NULs were already reported by the tokenizer; in body they
+                // are dropped. The common case has none — avoid the copy.
+                let cleaned: std::borrow::Cow<'_, str> = if s.contains('\0') {
+                    std::borrow::Cow::Owned(s.chars().filter(|&c| c != '\0').collect())
+                } else {
+                    std::borrow::Cow::Borrowed(&s)
+                };
+                if cleaned.is_empty() {
+                    return Ctl::Done;
+                }
+                self.reconstruct_formatting();
+                self.insert_chars(&cleaned, false);
+                if cleaned.chars().any(|c| !is_html_whitespace(c)) {
+                    self.frameset_ok = false;
+                }
+                Ctl::Done
+            }
+            Token::Comment(c) => {
+                self.insert_comment(&c);
+                Ctl::Done
+            }
+            Token::Doctype(_) => {
+                self.event(TreeEventKind::UnexpectedDoctype);
+                Ctl::Done
+            }
+            Token::Eof => self.stop_parsing(),
+            Token::StartTag(ref tag) => self.in_body_start(tag, &token, tok),
+            Token::EndTag(ref tag) => self.in_body_end(tag),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn in_body_start(&mut self, tag: &Tag, token: &Token, tok: &mut Tokenizer<'_>) -> Ctl {
+        match tag.name.as_str() {
+            "html" => {
+                self.merge_html_attrs(tag);
+                Ctl::Done
+            }
+            "base" | "basefont" | "bgsound" | "link" | "meta" | "noframes" | "script" | "style"
+            | "template" | "title" => self.in_head(token.clone(), tok),
+            "body" => {
+                // HF3: merge the second body's attributes.
+                let body = self.open.get(1).copied();
+                if let Some(body) = body.filter(|&b| self.doc.is_html(b, "body")) {
+                    let mut new_attrs = Vec::new();
+                    let mut ignored = Vec::new();
+                    if let Some(e) = self.doc.element_mut(body) {
+                        for a in &tag.attrs {
+                            if e.has_attr(&a.name) {
+                                ignored.push(a.name.clone());
+                            } else {
+                                new_attrs.push(a.name.clone());
+                                e.attrs.push(ElemAttr {
+                                    name: a.name.clone(),
+                                    value: a.value.clone(),
+                                });
+                            }
+                        }
+                    }
+                    self.event(TreeEventKind::SecondBodyMerged {
+                        new_attrs,
+                        ignored_attrs: ignored,
+                    });
+                    self.frameset_ok = false;
+                } else {
+                    self.event(TreeEventKind::StrayStartTag { tag: "body".into() });
+                }
+                Ctl::Done
+            }
+            "frameset" => {
+                // Only honoured when frameset_ok and the body can be
+                // replaced; modern pages never hit the honoured path.
+                self.event(TreeEventKind::StrayStartTag { tag: "frameset".into() });
+                Ctl::Done
+            }
+            name if tags::closes_p(name)
+                && !matches!(name, "li" | "dd" | "dt" | "table" | "hr" | "form" | "plaintext" | "xmp"
+                    | "pre" | "listing" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6") =>
+            {
+                if self.in_button_scope("p") {
+                    self.close_p_element();
+                }
+                self.insert_html(tag);
+                self.check_self_closing(tag);
+                Ctl::Done
+            }
+            "h1" | "h2" | "h3" | "h4" | "h5" | "h6" => {
+                if self.in_button_scope("p") {
+                    self.close_p_element();
+                }
+                if matches!(self.current_name(), Some("h1" | "h2" | "h3" | "h4" | "h5" | "h6")) {
+                    self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                    self.open.pop();
+                }
+                self.insert_html(tag);
+                Ctl::Done
+            }
+            "pre" | "listing" => {
+                if self.in_button_scope("p") {
+                    self.close_p_element();
+                }
+                self.insert_html(tag);
+                self.ignore_lf = true;
+                self.frameset_ok = false;
+                Ctl::Done
+            }
+            "form" => {
+                if self.form.is_some() && !self.stack_has("template") {
+                    // DE4: the nested form start tag is ignored outright.
+                    self.event(TreeEventKind::NestedFormIgnored);
+                    return Ctl::Done;
+                }
+                if self.in_button_scope("p") {
+                    self.close_p_element();
+                }
+                let id = self.insert_html(tag);
+                if !self.stack_has("template") {
+                    self.form = Some(id);
+                }
+                Ctl::Done
+            }
+            "li" => {
+                self.frameset_ok = false;
+                let mut i = self.open.len();
+                while i > 0 {
+                    i -= 1;
+                    let Some(name) = self.doc.html_name(self.open[i]).map(str::to_owned) else {
+                        break;
+                    };
+                    if name == "li" {
+                        self.generate_implied_end_tags(Some("li"));
+                        self.pop_through("li");
+                        break;
+                    }
+                    if tags::is_special(&name) && !matches!(name.as_str(), "address" | "div" | "p")
+                    {
+                        break;
+                    }
+                }
+                if self.in_button_scope("p") {
+                    self.close_p_element();
+                }
+                self.insert_html(tag);
+                Ctl::Done
+            }
+            "dd" | "dt" => {
+                self.frameset_ok = false;
+                let mut i = self.open.len();
+                while i > 0 {
+                    i -= 1;
+                    let Some(name) = self.doc.html_name(self.open[i]).map(str::to_owned) else {
+                        break;
+                    };
+                    if name == "dd" || name == "dt" {
+                        self.generate_implied_end_tags(Some(&name));
+                        self.pop_through(&name);
+                        break;
+                    }
+                    if tags::is_special(&name) && !matches!(name.as_str(), "address" | "div" | "p")
+                    {
+                        break;
+                    }
+                }
+                if self.in_button_scope("p") {
+                    self.close_p_element();
+                }
+                self.insert_html(tag);
+                Ctl::Done
+            }
+            "plaintext" => {
+                if self.in_button_scope("p") {
+                    self.close_p_element();
+                }
+                self.insert_html(tag);
+                tok.set_state(tokenizer::State::Plaintext);
+                Ctl::Done
+            }
+            "button" => {
+                if self.in_scope("button") {
+                    self.event(TreeEventKind::StrayStartTag { tag: "button".into() });
+                    self.generate_implied_end_tags(None);
+                    self.pop_through("button");
+                }
+                self.reconstruct_formatting();
+                self.insert_html(tag);
+                self.frameset_ok = false;
+                Ctl::Done
+            }
+            "a" => {
+                // An open <a> since the last marker is a parse error: run
+                // the adoption agency, then proceed.
+                let open_a = self.formatting.iter().rev().find_map(|e| match e {
+                    super::FormatEntry::Marker => Some(None),
+                    super::FormatEntry::Element { node, tag } if tag.name == "a" => {
+                        Some(Some(*node))
+                    }
+                    _ => None,
+                });
+                if let Some(Some(node)) = open_a {
+                    self.event(TreeEventKind::AdoptionAgency { tag: "a".into() });
+                    self.adoption_agency("a");
+                    self.remove_from_formatting(node);
+                    self.open.retain(|&n| n != node);
+                }
+                self.reconstruct_formatting();
+                let id = self.insert_html(tag);
+                self.push_formatting(id, tag);
+                Ctl::Done
+            }
+            "b" | "big" | "code" | "em" | "font" | "i" | "s" | "small" | "strike" | "strong"
+            | "tt" | "u" => {
+                self.reconstruct_formatting();
+                let id = self.insert_html(tag);
+                self.push_formatting(id, tag);
+                Ctl::Done
+            }
+            "nobr" => {
+                self.reconstruct_formatting();
+                if self.in_scope("nobr") {
+                    self.event(TreeEventKind::StrayStartTag { tag: "nobr".into() });
+                    self.adoption_agency("nobr");
+                    self.reconstruct_formatting();
+                }
+                let id = self.insert_html(tag);
+                self.push_formatting(id, tag);
+                Ctl::Done
+            }
+            "applet" | "marquee" | "object" => {
+                self.reconstruct_formatting();
+                self.insert_html(tag);
+                self.formatting.push(super::FormatEntry::Marker);
+                self.frameset_ok = false;
+                Ctl::Done
+            }
+            "table" => {
+                if self.quirks != super::QuirksMode::Quirks && self.in_button_scope("p") {
+                    self.close_p_element();
+                }
+                self.insert_html(tag);
+                self.frameset_ok = false;
+                self.mode = InsertionMode::InTable;
+                Ctl::Done
+            }
+            "area" | "br" | "embed" | "img" | "keygen" | "wbr" => {
+                self.reconstruct_formatting();
+                self.insert_void(tag);
+                self.frameset_ok = false;
+                Ctl::Done
+            }
+            "input" => {
+                self.reconstruct_formatting();
+                self.insert_void(tag);
+                let hidden = tag
+                    .attr_value("type")
+                    .map(|t| t.eq_ignore_ascii_case("hidden"))
+                    .unwrap_or(false);
+                if !hidden {
+                    self.frameset_ok = false;
+                }
+                Ctl::Done
+            }
+            "param" | "source" | "track" => {
+                self.insert_void(tag);
+                Ctl::Done
+            }
+            "hr" => {
+                if self.in_button_scope("p") {
+                    self.close_p_element();
+                }
+                self.insert_void(tag);
+                self.frameset_ok = false;
+                Ctl::Done
+            }
+            "image" => {
+                // Spec: "Don't ask." Treat it as img.
+                self.event(TreeEventKind::StrayStartTag { tag: "image".into() });
+                let mut img = tag.clone();
+                img.name = "img".into();
+                self.reconstruct_formatting();
+                self.insert_void(&img);
+                self.frameset_ok = false;
+                Ctl::Done
+            }
+            "textarea" => {
+                self.insert_html(tag);
+                self.ignore_lf = true;
+                tok.set_state(tokenizer::State::Rcdata);
+                tok.set_last_start_tag("textarea");
+                self.frameset_ok = false;
+                self.orig_mode = self.mode;
+                self.mode = InsertionMode::Text;
+                Ctl::Done
+            }
+            "xmp" => {
+                if self.in_button_scope("p") {
+                    self.close_p_element();
+                }
+                self.reconstruct_formatting();
+                self.frameset_ok = false;
+                self.generic_text_element(tag, tok, true);
+                Ctl::Done
+            }
+            "iframe" => {
+                self.frameset_ok = false;
+                self.generic_text_element(tag, tok, true);
+                Ctl::Done
+            }
+            "noembed" => {
+                self.generic_text_element(tag, tok, true);
+                Ctl::Done
+            }
+            "select" => {
+                self.reconstruct_formatting();
+                self.insert_html(tag);
+                self.frameset_ok = false;
+                self.mode = match self.mode {
+                    InsertionMode::InTable
+                    | InsertionMode::InCaption
+                    | InsertionMode::InTableBody
+                    | InsertionMode::InRow
+                    | InsertionMode::InCell => InsertionMode::InSelectInTable,
+                    _ => InsertionMode::InSelect,
+                };
+                Ctl::Done
+            }
+            "optgroup" | "option" => {
+                if self.current_is_html("option") {
+                    self.open.pop();
+                }
+                self.reconstruct_formatting();
+                self.insert_html(tag);
+                Ctl::Done
+            }
+            "rb" | "rtc" => {
+                if self.in_scope("ruby") {
+                    self.generate_implied_end_tags(None);
+                }
+                self.insert_html(tag);
+                Ctl::Done
+            }
+            "rp" | "rt" => {
+                if self.in_scope("ruby") {
+                    self.generate_implied_end_tags(Some("rtc"));
+                }
+                self.insert_html(tag);
+                Ctl::Done
+            }
+            "math" => {
+                self.reconstruct_formatting();
+                self.insert_element(tag, Namespace::MathMl, false);
+                if tag.self_closing {
+                    self.open.pop();
+                }
+                Ctl::Done
+            }
+            "svg" => {
+                self.reconstruct_formatting();
+                self.insert_element(tag, Namespace::Svg, false);
+                if tag.self_closing {
+                    self.open.pop();
+                }
+                Ctl::Done
+            }
+            "caption" | "col" | "colgroup" | "frame" | "head" | "tbody" | "td" | "tfoot" | "th"
+            | "thead" | "tr" => {
+                self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                Ctl::Done
+            }
+            _ => {
+                self.reconstruct_formatting();
+                self.insert_html(tag);
+                self.check_self_closing(tag);
+                Ctl::Done
+            }
+        }
+    }
+
+    fn in_body_end(&mut self, tag: &Tag) -> Ctl {
+        match tag.name.as_str() {
+            "body" => {
+                if !self.in_scope("body") {
+                    self.event(TreeEventKind::StrayEndTag { tag: "body".into() });
+                    return Ctl::Done;
+                }
+                self.mode = InsertionMode::AfterBody;
+                Ctl::Done
+            }
+            "html" => {
+                if !self.in_scope("body") {
+                    self.event(TreeEventKind::StrayEndTag { tag: "html".into() });
+                    return Ctl::Done;
+                }
+                self.mode = InsertionMode::AfterBody;
+                Ctl::Reprocess(Token::EndTag(tag.clone()))
+            }
+            "address" | "article" | "aside" | "blockquote" | "button" | "center" | "details"
+            | "dialog" | "dir" | "div" | "dl" | "fieldset" | "figcaption" | "figure" | "footer"
+            | "header" | "hgroup" | "listing" | "main" | "menu" | "nav" | "ol" | "pre"
+            | "search" | "section" | "summary" | "ul" => {
+                if !self.in_scope(&tag.name) {
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    return Ctl::Done;
+                }
+                self.generate_implied_end_tags(None);
+                self.pop_through(&tag.name);
+                Ctl::Done
+            }
+            "form" => {
+                let node = self.form.take();
+                match node {
+                    Some(node) if self.open.contains(&node) && self.in_scope("form") => {
+                        self.generate_implied_end_tags(None);
+                        if self.current() != Some(node) {
+                            self.event(TreeEventKind::StrayEndTag { tag: "form".into() });
+                        }
+                        // Remove the node (not pop-through): content after a
+                        // misplaced </form> must keep its position.
+                        self.open.retain(|&n| n != node);
+                    }
+                    _ => {
+                        self.event(TreeEventKind::StrayEndTag { tag: "form".into() });
+                    }
+                }
+                Ctl::Done
+            }
+            "p" => {
+                if !self.in_button_scope("p") {
+                    self.event(TreeEventKind::StrayEndTag { tag: "p".into() });
+                    let p = Tag::named("p");
+                    self.insert_html(&p);
+                }
+                self.close_p_element();
+                Ctl::Done
+            }
+            "li" => {
+                if !self.in_list_item_scope("li") {
+                    self.event(TreeEventKind::StrayEndTag { tag: "li".into() });
+                    return Ctl::Done;
+                }
+                self.generate_implied_end_tags(Some("li"));
+                self.pop_through("li");
+                Ctl::Done
+            }
+            "dd" | "dt" => {
+                if !self.in_scope(&tag.name) {
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    return Ctl::Done;
+                }
+                self.generate_implied_end_tags(Some(&tag.name));
+                self.pop_through(&tag.name);
+                Ctl::Done
+            }
+            "h1" | "h2" | "h3" | "h4" | "h5" | "h6" => {
+                let hs = ["h1", "h2", "h3", "h4", "h5", "h6"];
+                if !self.any_in_scope(&hs) {
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    return Ctl::Done;
+                }
+                self.generate_implied_end_tags(None);
+                while let Some(id) = self.open.pop() {
+                    if matches!(self.doc.html_name(id), Some(n) if hs.contains(&n)) {
+                        break;
+                    }
+                }
+                Ctl::Done
+            }
+            "a" | "b" | "big" | "code" | "em" | "font" | "i" | "nobr" | "s" | "small"
+            | "strike" | "strong" | "tt" | "u" => {
+                if !self.adoption_agency(&tag.name) {
+                    self.any_other_end_tag(&tag.name);
+                }
+                Ctl::Done
+            }
+            "applet" | "marquee" | "object" => {
+                if !self.in_scope(&tag.name) {
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    return Ctl::Done;
+                }
+                self.generate_implied_end_tags(None);
+                self.pop_through(&tag.name);
+                super::formatting::clear_to_marker(&mut self.formatting);
+                Ctl::Done
+            }
+            "br" => {
+                // </br> behaves like <br>.
+                self.event(TreeEventKind::StrayEndTag { tag: "br".into() });
+                self.reconstruct_formatting();
+                let br = Tag::named("br");
+                self.insert_void(&br);
+                self.frameset_ok = false;
+                Ctl::Done
+            }
+            "template" => {
+                if self.stack_has("template") {
+                    self.generate_implied_end_tags(None);
+                    self.pop_through("template");
+                    super::formatting::clear_to_marker(&mut self.formatting);
+                } else {
+                    self.event(TreeEventKind::StrayEndTag { tag: "template".into() });
+                }
+                Ctl::Done
+            }
+            _ => {
+                self.any_other_end_tag(&tag.name);
+                Ctl::Done
+            }
+        }
+    }
+
+    /// "Any other end tag" in body: walk the stack; matching name closes it
+    /// (with implied end tags); hitting a special element first means the
+    /// end tag is stray and ignored.
+    pub(crate) fn any_other_end_tag(&mut self, name: &str) {
+        let mut i = self.open.len();
+        while i > 0 {
+            i -= 1;
+            let id = self.open[i];
+            let Some(e) = self.doc.element(id) else { break };
+            if e.ns == Namespace::Html && e.name == name {
+                self.generate_implied_end_tags(Some(name));
+                if self.current() != Some(id) {
+                    self.event(TreeEventKind::StrayEndTag { tag: name.to_owned() });
+                }
+                while let Some(popped) = self.open.pop() {
+                    if popped == id {
+                        break;
+                    }
+                }
+                return;
+            }
+            if e.ns == Namespace::Html && tags::is_special(&e.name) {
+                self.event(TreeEventKind::StrayEndTag { tag: name.to_owned() });
+                return;
+            }
+        }
+        self.event(TreeEventKind::StrayEndTag { tag: name.to_owned() });
+    }
+
+    /// Close an open `p` element (§13.2.6.4.7 "close a p element").
+    pub(crate) fn close_p_element(&mut self) {
+        self.generate_implied_end_tags(Some("p"));
+        self.pop_through("p");
+    }
+}

@@ -1,0 +1,628 @@
+//! Table insertion modes (§13.2.6.4.9–15) and the select modes
+//! (§13.2.6.4.16–17).
+//!
+//! Table error tolerance is the paper's HF4: any content that does not
+//! belong in a table is *foster parented* — moved in front of the table —
+//! which visibly "works" and so goes unnoticed by developers, while enabling
+//! mXSS reordering attacks (Figure 1's `<table>` hop).
+
+use super::{is_html_whitespace, Builder, Ctl, InsertionMode, TreeEventKind};
+use crate::tokenizer::{Tag, Token, Tokenizer};
+
+impl Builder {
+    pub(crate) fn in_table(&mut self, token: Token, tok: &mut Tokenizer<'_>) -> Ctl {
+        match token {
+            Token::Characters(_)
+                if matches!(
+                    self.current_name(),
+                    Some("table" | "tbody" | "tfoot" | "thead" | "tr")
+                ) =>
+            {
+                self.pending_table_text.clear();
+                self.orig_mode = self.mode;
+                self.mode = InsertionMode::InTableText;
+                Ctl::Reprocess(token)
+            }
+            Token::Comment(c) => {
+                self.insert_comment(&c);
+                Ctl::Done
+            }
+            Token::Doctype(_) => {
+                self.event(TreeEventKind::UnexpectedDoctype);
+                Ctl::Done
+            }
+            Token::StartTag(ref tag) => match tag.name.as_str() {
+                "caption" => {
+                    self.clear_to_table_context();
+                    self.formatting.push(super::FormatEntry::Marker);
+                    self.insert_html(tag);
+                    self.mode = InsertionMode::InCaption;
+                    Ctl::Done
+                }
+                "colgroup" => {
+                    self.clear_to_table_context();
+                    self.insert_html(tag);
+                    self.mode = InsertionMode::InColumnGroup;
+                    Ctl::Done
+                }
+                "col" => {
+                    self.clear_to_table_context();
+                    self.event(TreeEventKind::TableStructureImplied { tag: "colgroup".into() });
+                    let cg = Tag::named("colgroup");
+                    self.insert_html(&cg);
+                    self.mode = InsertionMode::InColumnGroup;
+                    Ctl::Reprocess(token)
+                }
+                "tbody" | "tfoot" | "thead" => {
+                    self.clear_to_table_context();
+                    self.insert_html(tag);
+                    self.mode = InsertionMode::InTableBody;
+                    Ctl::Done
+                }
+                "td" | "th" | "tr" => {
+                    self.clear_to_table_context();
+                    self.event(TreeEventKind::TableStructureImplied { tag: "tbody".into() });
+                    let tb = Tag::named("tbody");
+                    self.insert_html(&tb);
+                    self.mode = InsertionMode::InTableBody;
+                    Ctl::Reprocess(token)
+                }
+                "table" => {
+                    // A table inside a table: close the current one first.
+                    self.event(TreeEventKind::StrayStartTag { tag: "table".into() });
+                    if self.in_table_scope("table") {
+                        self.pop_through("table");
+                        self.reset_insertion_mode();
+                        return Ctl::Reprocess(token);
+                    }
+                    Ctl::Done
+                }
+                "style" | "script" | "template" => self.in_head(token.clone(), tok),
+                "input" => {
+                    let hidden = tag
+                        .attr_value("type")
+                        .map(|t| t.eq_ignore_ascii_case("hidden"))
+                        .unwrap_or(false);
+                    if hidden {
+                        self.event(TreeEventKind::TableStructureImplied { tag: "input".into() });
+                        self.insert_void(tag);
+                        Ctl::Done
+                    } else {
+                        self.table_anything_else(token, tok)
+                    }
+                }
+                "form" => {
+                    self.event(TreeEventKind::StrayStartTag { tag: "form".into() });
+                    if !self.stack_has("template") && self.form.is_none() {
+                        let id = self.insert_html(tag);
+                        self.form = Some(id);
+                        self.open.pop();
+                    }
+                    Ctl::Done
+                }
+                _ => self.table_anything_else(token, tok),
+            },
+            Token::EndTag(ref tag) => match tag.name.as_str() {
+                "table" => {
+                    if !self.in_table_scope("table") {
+                        self.event(TreeEventKind::StrayEndTag { tag: "table".into() });
+                        return Ctl::Done;
+                    }
+                    self.pop_through("table");
+                    self.reset_insertion_mode();
+                    Ctl::Done
+                }
+                "body" | "caption" | "col" | "colgroup" | "html" | "tbody" | "td" | "tfoot"
+                | "th" | "thead" | "tr" => {
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    Ctl::Done
+                }
+                "template" => self.in_head(token.clone(), tok),
+                _ => self.table_anything_else(token, tok),
+            },
+            Token::Eof => self.in_body(Token::Eof, tok),
+            Token::Characters(_) => self.table_anything_else(token, tok),
+        }
+    }
+
+    /// "Anything else" in table: enable foster parenting and process using
+    /// the in-body rules — the HF4 recovery.
+    fn table_anything_else(&mut self, token: Token, tok: &mut Tokenizer<'_>) -> Ctl {
+        // Set the spec's foster-parenting flag for this one token: inside
+        // insert_element/insert_chars the flag redirects insertion in front
+        // of the table and emits the FosterParented (HF4) event.
+        self.foster = true;
+        let ctl = self.in_body(token, tok);
+        self.foster = false;
+        ctl
+    }
+
+    pub(crate) fn in_table_text(&mut self, token: Token) -> Ctl {
+        match token {
+            Token::Characters(s) => {
+                let cleaned: String = s.chars().filter(|&c| c != '\0').collect();
+                self.pending_table_text.push_str(&cleaned);
+                Ctl::Done
+            }
+            other => {
+                let text = std::mem::take(&mut self.pending_table_text);
+                if text.chars().any(|c| !is_html_whitespace(c)) {
+                    // Non-whitespace in a table: foster-parent it.
+                    self.reconstruct_formatting();
+                    self.insert_chars(&text, true);
+                    self.frameset_ok = false;
+                } else if !text.is_empty() {
+                    self.insert_chars(&text, false);
+                }
+                self.mode = self.orig_mode;
+                Ctl::Reprocess(other)
+            }
+        }
+    }
+
+    pub(crate) fn in_caption(&mut self, token: Token, tok: &mut Tokenizer<'_>) -> Ctl {
+        match token {
+            Token::EndTag(ref tag) if tag.name == "caption" => {
+                self.close_caption();
+                Ctl::Done
+            }
+            Token::StartTag(ref tag)
+                if matches!(
+                    tag.name.as_str(),
+                    "caption" | "col" | "colgroup" | "tbody" | "td" | "tfoot" | "th" | "thead"
+                        | "tr"
+                ) =>
+            {
+                self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                if self.in_table_scope("caption") {
+                    self.close_caption();
+                    return Ctl::Reprocess(token);
+                }
+                Ctl::Done
+            }
+            Token::EndTag(ref tag) if tag.name == "table" => {
+                if self.in_table_scope("caption") {
+                    self.close_caption();
+                    return Ctl::Reprocess(token);
+                }
+                self.event(TreeEventKind::StrayEndTag { tag: "table".into() });
+                Ctl::Done
+            }
+            Token::EndTag(ref tag)
+                if matches!(
+                    tag.name.as_str(),
+                    "body" | "col" | "colgroup" | "html" | "tbody" | "td" | "tfoot" | "th"
+                        | "thead" | "tr"
+                ) =>
+            {
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                Ctl::Done
+            }
+            other => self.in_body(other, tok),
+        }
+    }
+
+    fn close_caption(&mut self) {
+        if !self.in_table_scope("caption") {
+            self.event(TreeEventKind::StrayEndTag { tag: "caption".into() });
+            return;
+        }
+        self.generate_implied_end_tags(None);
+        self.pop_through("caption");
+        super::formatting::clear_to_marker(&mut self.formatting);
+        self.mode = InsertionMode::InTable;
+    }
+
+    pub(crate) fn in_column_group(&mut self, token: Token, tok: &mut Tokenizer<'_>) -> Ctl {
+        match token {
+            Token::Characters(ref s) => {
+                let (ws, rest) = {
+                    let rest = s.trim_start_matches(is_html_whitespace);
+                    let ws_len = s.len() - rest.len();
+                    (&s[..ws_len], rest)
+                };
+                if !ws.is_empty() {
+                    self.insert_chars(ws, false);
+                }
+                if rest.is_empty() {
+                    return Ctl::Done;
+                }
+                self.column_group_anything_else(Token::Characters(rest.to_owned()))
+            }
+            Token::Comment(c) => {
+                self.insert_comment(&c);
+                Ctl::Done
+            }
+            Token::Doctype(_) => {
+                self.event(TreeEventKind::UnexpectedDoctype);
+                Ctl::Done
+            }
+            Token::StartTag(ref tag) if tag.name == "html" => {
+                self.merge_html_attrs(tag);
+                Ctl::Done
+            }
+            Token::StartTag(ref tag) if tag.name == "col" => {
+                self.insert_void(tag);
+                Ctl::Done
+            }
+            Token::EndTag(ref tag) if tag.name == "colgroup" => {
+                if self.current_is_html("colgroup") {
+                    self.open.pop();
+                    self.mode = InsertionMode::InTable;
+                } else {
+                    self.event(TreeEventKind::StrayEndTag { tag: "colgroup".into() });
+                }
+                Ctl::Done
+            }
+            Token::EndTag(ref tag) if tag.name == "col" => {
+                self.event(TreeEventKind::StrayEndTag { tag: "col".into() });
+                Ctl::Done
+            }
+            Token::StartTag(ref tag) if tag.name == "template" => self.in_head(token.clone(), tok),
+            Token::EndTag(ref tag) if tag.name == "template" => self.in_head(token.clone(), tok),
+            Token::Eof => self.in_body(Token::Eof, tok),
+            other => self.column_group_anything_else(other),
+        }
+    }
+
+    fn column_group_anything_else(&mut self, token: Token) -> Ctl {
+        if self.current_is_html("colgroup") {
+            self.open.pop();
+            self.mode = InsertionMode::InTable;
+            Ctl::Reprocess(token)
+        } else {
+            self.event(TreeEventKind::StrayStartTag { tag: "#colgroup-content".into() });
+            Ctl::Done
+        }
+    }
+
+    pub(crate) fn in_table_body(&mut self, token: Token, tok: &mut Tokenizer<'_>) -> Ctl {
+        match token {
+            Token::StartTag(ref tag) if tag.name == "tr" => {
+                self.clear_to_table_body_context();
+                self.insert_html(tag);
+                self.mode = InsertionMode::InRow;
+                Ctl::Done
+            }
+            Token::StartTag(ref tag) if matches!(tag.name.as_str(), "th" | "td") => {
+                self.event(TreeEventKind::TableStructureImplied { tag: "tr".into() });
+                self.clear_to_table_body_context();
+                let tr = Tag::named("tr");
+                self.insert_html(&tr);
+                self.mode = InsertionMode::InRow;
+                Ctl::Reprocess(token)
+            }
+            Token::EndTag(ref tag) if matches!(tag.name.as_str(), "tbody" | "tfoot" | "thead") => {
+                if !self.in_table_scope(&tag.name) {
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    return Ctl::Done;
+                }
+                self.clear_to_table_body_context();
+                self.open.pop();
+                self.mode = InsertionMode::InTable;
+                Ctl::Done
+            }
+            Token::StartTag(ref tag)
+                if matches!(
+                    tag.name.as_str(),
+                    "caption" | "col" | "colgroup" | "tbody" | "tfoot" | "thead"
+                ) =>
+            {
+                if self.any_in_table_scope(&["tbody", "thead", "tfoot"]) {
+                    self.clear_to_table_body_context();
+                    self.open.pop();
+                    self.mode = InsertionMode::InTable;
+                    return Ctl::Reprocess(token);
+                }
+                self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                Ctl::Done
+            }
+            Token::EndTag(ref tag) if tag.name == "table" => {
+                if self.any_in_table_scope(&["tbody", "thead", "tfoot"]) {
+                    self.clear_to_table_body_context();
+                    self.open.pop();
+                    self.mode = InsertionMode::InTable;
+                    return Ctl::Reprocess(token);
+                }
+                self.event(TreeEventKind::StrayEndTag { tag: "table".into() });
+                Ctl::Done
+            }
+            Token::EndTag(ref tag)
+                if matches!(
+                    tag.name.as_str(),
+                    "body" | "caption" | "col" | "colgroup" | "html" | "td" | "th" | "tr"
+                ) =>
+            {
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                Ctl::Done
+            }
+            other => self.in_table(other, tok),
+        }
+    }
+
+    pub(crate) fn in_row(&mut self, token: Token, tok: &mut Tokenizer<'_>) -> Ctl {
+        match token {
+            Token::StartTag(ref tag) if matches!(tag.name.as_str(), "th" | "td") => {
+                self.clear_to_table_row_context();
+                self.insert_html(tag);
+                self.mode = InsertionMode::InCell;
+                self.formatting.push(super::FormatEntry::Marker);
+                Ctl::Done
+            }
+            Token::EndTag(ref tag) if tag.name == "tr" => {
+                if !self.in_table_scope("tr") {
+                    self.event(TreeEventKind::StrayEndTag { tag: "tr".into() });
+                    return Ctl::Done;
+                }
+                self.clear_to_table_row_context();
+                self.open.pop();
+                self.mode = InsertionMode::InTableBody;
+                Ctl::Done
+            }
+            Token::StartTag(ref tag)
+                if matches!(
+                    tag.name.as_str(),
+                    "caption" | "col" | "colgroup" | "tbody" | "tfoot" | "thead" | "tr"
+                ) =>
+            {
+                if self.in_table_scope("tr") {
+                    self.clear_to_table_row_context();
+                    self.open.pop();
+                    self.mode = InsertionMode::InTableBody;
+                    return Ctl::Reprocess(token);
+                }
+                self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                Ctl::Done
+            }
+            Token::EndTag(ref tag) if tag.name == "table" => {
+                if self.in_table_scope("tr") {
+                    self.clear_to_table_row_context();
+                    self.open.pop();
+                    self.mode = InsertionMode::InTableBody;
+                    return Ctl::Reprocess(token);
+                }
+                self.event(TreeEventKind::StrayEndTag { tag: "table".into() });
+                Ctl::Done
+            }
+            Token::EndTag(ref tag) if matches!(tag.name.as_str(), "tbody" | "tfoot" | "thead") => {
+                if !self.in_table_scope(&tag.name) {
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    return Ctl::Done;
+                }
+                if self.in_table_scope("tr") {
+                    self.clear_to_table_row_context();
+                    self.open.pop();
+                    self.mode = InsertionMode::InTableBody;
+                    return Ctl::Reprocess(token);
+                }
+                Ctl::Done
+            }
+            Token::EndTag(ref tag)
+                if matches!(
+                    tag.name.as_str(),
+                    "body" | "caption" | "col" | "colgroup" | "html" | "td" | "th"
+                ) =>
+            {
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                Ctl::Done
+            }
+            other => self.in_table(other, tok),
+        }
+    }
+
+    pub(crate) fn in_cell(&mut self, token: Token, tok: &mut Tokenizer<'_>) -> Ctl {
+        match token {
+            Token::EndTag(ref tag) if matches!(tag.name.as_str(), "td" | "th") => {
+                if !self.in_table_scope(&tag.name) {
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    return Ctl::Done;
+                }
+                self.generate_implied_end_tags(None);
+                if !self.current_is_html(&tag.name) {
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                }
+                self.pop_through(&tag.name);
+                super::formatting::clear_to_marker(&mut self.formatting);
+                self.mode = InsertionMode::InRow;
+                Ctl::Done
+            }
+            Token::StartTag(ref tag)
+                if matches!(
+                    tag.name.as_str(),
+                    "caption" | "col" | "colgroup" | "tbody" | "td" | "tfoot" | "th" | "thead"
+                        | "tr"
+                ) =>
+            {
+                if self.any_in_table_scope(&["td", "th"]) {
+                    self.close_cell();
+                    return Ctl::Reprocess(token);
+                }
+                self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                Ctl::Done
+            }
+            Token::EndTag(ref tag)
+                if matches!(tag.name.as_str(), "body" | "caption" | "col" | "colgroup" | "html") =>
+            {
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                Ctl::Done
+            }
+            Token::EndTag(ref tag)
+                if matches!(tag.name.as_str(), "table" | "tbody" | "tfoot" | "thead" | "tr") =>
+            {
+                if self.in_table_scope(&tag.name) {
+                    self.close_cell();
+                    return Ctl::Reprocess(token);
+                }
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                Ctl::Done
+            }
+            other => self.in_body(other, tok),
+        }
+    }
+
+    fn close_cell(&mut self) {
+        self.generate_implied_end_tags(None);
+        while let Some(id) = self.open.pop() {
+            if matches!(self.doc.html_name(id), Some("td" | "th")) {
+                break;
+            }
+        }
+        super::formatting::clear_to_marker(&mut self.formatting);
+        self.mode = InsertionMode::InRow;
+    }
+
+    // ----- select modes -----
+
+    pub(crate) fn in_select(&mut self, token: Token, tok: &mut Tokenizer<'_>) -> Ctl {
+        match token {
+            Token::Characters(s) => {
+                let cleaned: String = s.chars().filter(|&c| c != '\0').collect();
+                self.insert_chars(&cleaned, false);
+                Ctl::Done
+            }
+            Token::Comment(c) => {
+                self.insert_comment(&c);
+                Ctl::Done
+            }
+            Token::Doctype(_) => {
+                self.event(TreeEventKind::UnexpectedDoctype);
+                Ctl::Done
+            }
+            Token::StartTag(ref tag) => match tag.name.as_str() {
+                "html" => {
+                    self.merge_html_attrs(tag);
+                    Ctl::Done
+                }
+                "option" => {
+                    if self.current_is_html("option") {
+                        self.open.pop();
+                    }
+                    self.insert_html(tag);
+                    Ctl::Done
+                }
+                "optgroup" => {
+                    if self.current_is_html("option") {
+                        self.open.pop();
+                    }
+                    if self.current_is_html("optgroup") {
+                        self.open.pop();
+                    }
+                    self.insert_html(tag);
+                    Ctl::Done
+                }
+                "select" => {
+                    // <select> inside <select> acts like </select>.
+                    self.event(TreeEventKind::StrayStartTag { tag: "select".into() });
+                    if self.in_select_scope("select") {
+                        self.pop_through("select");
+                        self.reset_insertion_mode();
+                    }
+                    Ctl::Done
+                }
+                "input" | "keygen" | "textarea" => {
+                    self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                    if self.in_select_scope("select") {
+                        self.pop_through("select");
+                        self.reset_insertion_mode();
+                        return Ctl::Reprocess(token);
+                    }
+                    Ctl::Done
+                }
+                "script" | "template" => self.in_head(token.clone(), tok),
+                _ => {
+                    self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                    Ctl::Done
+                }
+            },
+            Token::EndTag(ref tag) => match tag.name.as_str() {
+                "optgroup" => {
+                    if self.current_is_html("option") {
+                        // An option directly inside optgroup closes too.
+                        let len = self.open.len();
+                        if len >= 2 && self.doc.is_html(self.open[len - 2], "optgroup") {
+                            self.open.pop();
+                        }
+                    }
+                    if self.current_is_html("optgroup") {
+                        self.open.pop();
+                    } else {
+                        self.event(TreeEventKind::StrayEndTag { tag: "optgroup".into() });
+                    }
+                    Ctl::Done
+                }
+                "option" => {
+                    if self.current_is_html("option") {
+                        self.open.pop();
+                    } else {
+                        self.event(TreeEventKind::StrayEndTag { tag: "option".into() });
+                    }
+                    Ctl::Done
+                }
+                "select" => {
+                    if !self.in_select_scope("select") {
+                        self.event(TreeEventKind::StrayEndTag { tag: "select".into() });
+                        return Ctl::Done;
+                    }
+                    self.pop_through("select");
+                    self.reset_insertion_mode();
+                    Ctl::Done
+                }
+                "template" => self.in_head(token.clone(), tok),
+                _ => {
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    Ctl::Done
+                }
+            },
+            Token::Eof => self.in_body(Token::Eof, tok),
+        }
+    }
+
+    pub(crate) fn in_select_in_table(&mut self, token: Token, tok: &mut Tokenizer<'_>) -> Ctl {
+        match &token {
+            Token::StartTag(tag)
+                if matches!(
+                    tag.name.as_str(),
+                    "caption" | "table" | "tbody" | "tfoot" | "thead" | "tr" | "td" | "th"
+                ) =>
+            {
+                self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                self.pop_through("select");
+                self.reset_insertion_mode();
+                Ctl::Reprocess(token)
+            }
+            Token::EndTag(tag)
+                if matches!(
+                    tag.name.as_str(),
+                    "caption" | "table" | "tbody" | "tfoot" | "thead" | "tr" | "td" | "th"
+                ) =>
+            {
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                if self.in_table_scope(&tag.name) {
+                    self.pop_through("select");
+                    self.reset_insertion_mode();
+                    return Ctl::Reprocess(token);
+                }
+                Ctl::Done
+            }
+            _ => self.in_select(token, tok),
+        }
+    }
+
+    // ----- stack clearing helpers -----
+
+    pub(crate) fn clear_to_table_context(&mut self) {
+        self.pop_until_one_of(&["table", "template", "html"]);
+    }
+
+    pub(crate) fn clear_to_table_body_context(&mut self) {
+        self.pop_until_one_of(&["tbody", "tfoot", "thead", "template", "html"]);
+    }
+
+    pub(crate) fn clear_to_table_row_context(&mut self) {
+        self.pop_until_one_of(&["tr", "template", "html"]);
+    }
+
+    fn any_in_table_scope(&self, names: &[&str]) -> bool {
+        names.iter().any(|n| self.in_table_scope(n))
+    }
+}

@@ -1,0 +1,69 @@
+//! The §4.4 automatic repair, applied to the paper's own examples of
+//! real-world mistakes (Figures 13–15).
+//!
+//! ```sh
+//! cargo run --example autofix_tour
+//! ```
+
+use html_violations::prelude::*;
+
+fn show(title: &str, input: &str) {
+    println!("=== {title} ===");
+    println!("input:\n  {}", input.replace('\n', "\n  "));
+    let outcome = auto_fix(input);
+    println!(
+        "violations before: {:?}",
+        outcome.before.iter().map(|k| k.id()).collect::<Vec<_>>()
+    );
+    println!("fixed output:\n  {}", outcome.fixed_html.trim().replace('\n', "\n  "));
+    println!(
+        "violations after:  {:?}",
+        outcome.after.iter().map(|k| k.id()).collect::<Vec<_>>()
+    );
+    println!(
+        "eliminated automatically: {:?}\n",
+        outcome.eliminated().iter().map(|k| k.id()).collect::<Vec<_>>()
+    );
+}
+
+fn main() {
+    // Figure 13 line 6: the iframe whose missing `>` turns `<` into an
+    // attribute (FB2).
+    show("Figure 13: broken iframe", r#"<iframe src="https://foobar"</iframe>"#);
+
+    // Figure 13 line 8: the Côte d'Ivoire quoting accident (FB2).
+    show(
+        "Figure 13: quote inside quoted value",
+        "<select><option value='Cote d'Ivoire'>Cote d'Ivoire</option></select>",
+    );
+
+    // Figure 13 line 10: nested quotes breaking an onClick (FB1).
+    show(
+        "Figure 13: slash interpreted as whitespace",
+        r#"<a href="/go" target="_blank" onClick="img=new Image();img.src="/foo?cl=16796306";">x</a>"#,
+    );
+
+    // Figure 14: a refactor added alt attributes although some existed
+    // (DM3).
+    show(
+        "Figure 14: duplicate alt attributes",
+        r#"<img src="p.jpg" alt="" width="90" alt="Product photo">"#,
+    );
+
+    // Figure 15: the meta redirect outside the head (DM1).
+    show(
+        "Figure 15: meta refresh outside head",
+        "<html><head><title>Redirection</title></head>\n<META HTTP-EQUIV=\"Refresh\" CONTENT=\"0; URL=HTTP://wds.iea.org/wds\">\n<body>Page has moved <a href=\"http://wds.iea.org/wds\">here</a></body></html>",
+    );
+
+    // What automation must NOT touch: an unterminated textarea (DE1) — the
+    // fixer cannot know where the developer meant to close it.
+    let de1 = "<body><form action=\"/f\"><input type=\"submit\"><textarea>\n<p>swallowed</p>";
+    let outcome = auto_fix(de1);
+    println!("=== DE1 stays manual ===");
+    println!(
+        "DE1 fixability: {:?}; the checker classifies it for a human.",
+        ViolationKind::DE1.fixability()
+    );
+    assert!(outcome.before.contains(&ViolationKind::DE1));
+}

@@ -1,0 +1,52 @@
+//! Quickstart: parse a document, list its specification violations, and fix
+//! what can be fixed automatically.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use html_violations::prelude::*;
+
+fn main() {
+    // A small page with several of the paper's most common violations.
+    let page = r#"<!DOCTYPE html>
+<html>
+<head>
+  <div class="oops">modal markup that does not belong in head</div>
+  <title>demo</title>
+</head>
+<body>
+  <img src="logo.png"onerror="track()" alt="logo">
+  <nav id="menu" class="top" class="wide">
+    <a href="/a/">a</a>
+  </nav>
+  <table><tr><strong>headline in a row</strong></tr><tr><td>cell</td></tr></table>
+</body>
+</html>"#;
+
+    let report = check_page(page);
+    println!("found {} violation finding(s):\n", report.findings.len());
+    for f in &report.findings {
+        println!(
+            "  {:6} {:30} @{:<5} {}",
+            f.kind.id(),
+            f.kind.definition(),
+            f.offset,
+            f.evidence
+        );
+    }
+
+    // The §4.4 automatic repair: FB/DM violations disappear; HF ones need a
+    // developer.
+    let outcome = auto_fix(page);
+    println!("\nautomatic fix eliminates: {:?}", outcome.eliminated().iter().map(|k| k.id()).collect::<Vec<_>>());
+    println!("still needs a human:      {:?}", outcome.after.iter().map(|k| k.id()).collect::<Vec<_>>());
+
+    // The parser substrate is a public API too.
+    let doc = parse_document(page);
+    println!(
+        "\nparser recorded {} tokenizer error(s) and {} tree event(s)",
+        doc.errors.len(),
+        doc.events.len()
+    );
+}

@@ -1,0 +1,60 @@
+//! A sanitizer vs. the parser's error tolerance.
+//!
+//! Builds two allowlist sanitizers on the library's fragment parser — one
+//! with the permissive posture DOMPurify had before the Figure-1 bypass,
+//! one hardened — and runs the paper's payload corpus against both.
+//!
+//! ```sh
+//! cargo run --example sanitizer_showdown
+//! ```
+
+use html_violations::hv_core::sanitizer::{is_executable, Sanitizer};
+
+fn main() {
+    let payloads: &[(&str, &str)] = &[
+        ("plain script", "<script>alert(1)</script><p>hi</p>"),
+        ("event handler", r#"<img src="x.png" onerror="alert(1)">"#),
+        ("javascript: URL", r#"<a href="javascript:alert(1)">click</a>"#),
+        ("FB1 slashes", r#"<img/src="x"/onerror="alert(1)">"#),
+        ("FB2 missing space", r#"<img src="x"onerror="alert(1)">"#),
+        (
+            "Figure-1 mXSS",
+            concat!(
+                "<math><mtext><table><mglyph><style><!--</style>",
+                "<img title=\"--&gt;&lt;img src=1 onerror=alert(1)&gt;\">"
+            ),
+        ),
+    ];
+
+    let permissive = Sanitizer::permissive();
+    let hardened = Sanitizer::hardened();
+
+    println!("{:22} {:12} {:12}", "payload", "permissive", "hardened");
+    println!("{}", "-".repeat(48));
+    let mut bypassed = 0;
+    for (name, payload) in payloads {
+        let p_out = permissive.sanitize(payload);
+        let h_out = hardened.sanitize(payload);
+        // The oracle: does the sanitizer OUTPUT execute when the browser
+        // parses it (i.e. after one more parse)?
+        let p_fires = is_executable(&p_out);
+        let h_fires = is_executable(&h_out);
+        if p_fires {
+            bypassed += 1;
+        }
+        println!(
+            "{:22} {:12} {:12}",
+            name,
+            if p_fires { "BYPASSED ✗" } else { "blocked ✓" },
+            if h_fires { "BYPASSED ✗" } else { "blocked ✓" },
+        );
+        assert!(!h_fires, "the hardened sanitizer must never be bypassed");
+    }
+
+    println!(
+        "\nThe permissive configuration was bypassed {bypassed} time(s) — every bypass rides\n\
+         the parser's error tolerance (foster parenting + foreign-content rules), which is\n\
+         exactly the root cause the paper argues should be deprecated (§5.3)."
+    );
+    assert!(bypassed >= 1, "the Figure-1 payload must demonstrate the bypass");
+}

@@ -1,0 +1,61 @@
+//! The paper's §5.3.2 roadmap in action: the STRICT-PARSER header and its
+//! staged deprecation of error tolerance, simulated against a scan of the
+//! synthetic eight-year corpus.
+//!
+//! ```sh
+//! cargo run --release --example strict_rollout
+//! ```
+
+use html_violations::hv_core::strict::{evaluate, Decision, EnforcementList, StrictPolicy};
+use html_violations::hv_pipeline::aggregate;
+use html_violations::prelude::*;
+
+fn main() {
+    // 1. The header itself.
+    println!("=== the STRICT-PARSER header ===\n");
+    for raw in ["strict", "default; report-to https://monitor.example/r", "unsafe"] {
+        let policy = StrictPolicy::parse(raw).unwrap();
+        println!("  STRICT-PARSER: {:<45} -> {:?}", raw, policy.mode);
+    }
+
+    // 2. What a compliant parser does with a violating page at each stage.
+    println!("\n=== one violating page through the rollout ===\n");
+    let page = r#"<img src="x.png"onerror="track()"><select><option>a"#; // FB2 + DE2
+    let report = check_page(page);
+    println!(
+        "page violations: {:?}\n",
+        report.kinds().iter().map(|k| k.id()).collect::<Vec<_>>()
+    );
+    for stage in 0..=4u8 {
+        let list = EnforcementList::stage(stage);
+        let (decision, _) = evaluate(&report, &StrictPolicy::default_mode(), &list);
+        let verdict = match &decision {
+            Decision::Render => "renders".to_owned(),
+            Decision::RenderWithWarnings { warned } => {
+                format!("renders with {} console warning(s)", warned.len())
+            }
+            Decision::Block { blocking } => format!(
+                "BLOCKED ({})",
+                blocking.iter().map(|k| k.id()).collect::<Vec<_>>().join(", ")
+            ),
+        };
+        println!("  stage {stage} ({:>2} checks enforced): {verdict}", list.len());
+    }
+
+    // 3. The deployment question: breakage per stage per year, measured.
+    println!("\n=== measured breakage per rollout stage ===\n");
+    let archive = Archive::new(CorpusConfig { seed: 0x48_56_31, scale: 0.01 });
+    let store = scan(&archive, ScanOptions::default());
+    println!("{:28}{:>10}{:>10}", "", 2015, 2022);
+    for (stage, series) in aggregate::rollout_breakage(&store) {
+        println!(
+            "  stage {stage} would block      {:>8.2}% {:>8.2}%",
+            series[0], series[7]
+        );
+    }
+    println!(
+        "\nStage 1 (math + dangling markup) breaks well under 1% of domains — the\n\
+         \"definitely some parts of the standard could be made stricter\" of §4.2.\n\
+         Stage 4 is today's 68%: the reason the paper proposes a *staged* rollout."
+    );
+}

@@ -1,0 +1,52 @@
+//! # html-violations — reproduction of *HTML Violations and Where to Find
+//! Them* (IMC '22)
+//!
+//! This facade crate re-exports the workspace's public API in one place:
+//!
+//! * [`spec_html`] — the WHATWG HTML parsing substrate with parse-error
+//!   reporting (tokenizer, tree builder, DOM, serializer).
+//! * [`hv_core`] — the paper's contribution: the 20-check violation
+//!   taxonomy, the checker battery, the §4.4 auto-fixer, and the §4.5
+//!   mitigation analyzers.
+//! * [`hv_corpus`] — the deterministic synthetic web archive standing in
+//!   for Tranco + Common Crawl, calibrated to the paper's published rates.
+//! * [`hv_pipeline`] — the Figure-6 measurement pipeline and the
+//!   aggregation queries behind every table and figure.
+//! * [`hv_report`] — text renderers regenerating Tables 1–2, Figures 8–10
+//!   and 16–21, and the §4.2/§4.4/§4.5 statistics.
+//!
+//! ## Thirty-second tour
+//!
+//! ```
+//! use html_violations::prelude::*;
+//!
+//! // Check one document.
+//! let report = check_page(r#"<img src="logo.png"onerror="alert(1)">"#);
+//! assert!(report.has(ViolationKind::FB2));
+//!
+//! // Fix what can be fixed automatically (§4.4).
+//! let fixed = auto_fix(r#"<img src="logo.png"onerror="alert(1)">"#);
+//! assert!(fixed.after.is_empty());
+//!
+//! // Run a miniature version of the eight-year study.
+//! let archive = Archive::new(CorpusConfig { seed: 7, scale: 0.002 });
+//! let store = scan(&archive, ScanOptions::default());
+//! let any_2022 = hv_pipeline::aggregate::violating_domains_by_year(&store)[7];
+//! assert!(any_2022 > 30.0, "most of the web violates the spec");
+//! ```
+
+pub use hv_core;
+pub use hv_corpus;
+pub use hv_pipeline;
+pub use hv_report;
+pub use spec_html;
+
+/// Everything needed for the common workflows.
+pub mod prelude {
+    pub use hv_core::autofix::{auto_fix, FixOutcome};
+    pub use hv_core::checkers::check_page;
+    pub use hv_core::{Finding, PageReport, ProblemGroup, ViolationKind};
+    pub use hv_corpus::{Archive, CorpusConfig, Snapshot};
+    pub use hv_pipeline::{scan, ResultStore, ScanOptions};
+    pub use spec_html::{parse_document, serializer::serialize};
+}

@@ -1,0 +1,163 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Internal-coherence invariants of the aggregation layer: relations that
+//! must hold between the tables/figures regardless of corpus seed or scale
+//! (the cross-checks a reviewer would run on the paper's own numbers).
+
+use html_violations::hv_pipeline::aggregate;
+use html_violations::prelude::*;
+use std::sync::OnceLock;
+
+fn store() -> &'static ResultStore {
+    static STORE: OnceLock<ResultStore> = OnceLock::new();
+    STORE.get_or_init(|| {
+        let archive = Archive::new(CorpusConfig { seed: 2024, scale: 0.008 });
+        scan(&archive, ScanOptions::default())
+    })
+}
+
+#[test]
+fn any_violation_bounds_every_kind_trend() {
+    // P(any violation) ≥ P(specific violation), every year.
+    let any = aggregate::violating_domains_by_year(store());
+    for kind in ViolationKind::ALL {
+        let t = aggregate::kind_trend(store(), kind);
+        for y in 0..8 {
+            assert!(
+                t[y] <= any[y] + 1e-9,
+                "{kind} year {y}: {:.2} > any {:.2}",
+                t[y],
+                any[y]
+            );
+        }
+    }
+}
+
+#[test]
+fn group_trend_bounds_member_kinds_and_any_bounds_groups() {
+    let any = aggregate::violating_domains_by_year(store());
+    let groups = aggregate::group_trends(store());
+    for (group, series) in &groups {
+        for y in 0..8 {
+            assert!(series[y] <= any[y] + 1e-9, "{group:?} year {y}");
+        }
+        for kind in ViolationKind::ALL.iter().filter(|k| k.group() == *group) {
+            let t = aggregate::kind_trend(store(), *kind);
+            for y in 0..8 {
+                assert!(
+                    t[y] <= series[y] + 1e-9,
+                    "{kind} exceeds its group {group:?} in year {y}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn union_share_bounds_yearly_shares() {
+    // Violating-ever ≥ violating in any single year (up to denominator
+    // drift between analyzed-ever and analyzed-in-year; allow 2pp).
+    let union = aggregate::overall_violating_share(store());
+    let yearly = aggregate::violating_domains_by_year(store());
+    for y in 0..8 {
+        assert!(union + 2.0 >= yearly[y], "union {union:.1} < year {y} {:.1}", yearly[y]);
+    }
+}
+
+#[test]
+fn fig8_union_bounds_kind_years() {
+    for bar in aggregate::overall_distribution(store()) {
+        let trend = aggregate::kind_trend(store(), bar.kind);
+        let max_year = trend.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            bar.share + 2.0 >= max_year,
+            "{}: union {:.2} < max yearly {:.2}",
+            bar.kind,
+            bar.share,
+            max_year
+        );
+    }
+}
+
+#[test]
+fn autofix_never_increases_violations() {
+    for snap in Snapshot::ALL {
+        let p = aggregate::autofix_projection(store(), snap);
+        assert!(p.violating_after_fix <= p.violating, "{snap}");
+        assert!(p.violating <= p.analyzed, "{snap}");
+        assert!((0.0..=100.0).contains(&p.fixed_share), "{snap}");
+    }
+}
+
+#[test]
+fn rollout_stages_are_monotone_and_bounded_by_any() {
+    let any = aggregate::violating_domains_by_year(store());
+    let rollout = aggregate::rollout_breakage(store());
+    for y in 0..8 {
+        for w in rollout.windows(2) {
+            assert!(w[1].1[y] + 1e-9 >= w[0].1[y], "stage regression in year {y}");
+        }
+        // Full enforcement = exactly the any-violation share.
+        let full = rollout.last().unwrap().1[y];
+        assert!((full - any[y]).abs() < 1e-9, "year {y}: full {full:.2} vs any {:.2}", any[y]);
+    }
+}
+
+#[test]
+fn mitigation_subset_relations() {
+    let m = aggregate::mitigation_trends(store());
+    for y in 0..8 {
+        // newline+'<' implies newline.
+        assert!(m.newline_and_lt_in_url[y].0 <= m.newline_in_url[y].0, "year {y}");
+        // nonced-script conflicts imply script-in-attribute.
+        assert!(m.script_in_nonced_script[y] <= m.script_in_attribute[y].0, "year {y}");
+    }
+    // DE3_1's trend and the newline+'<' mitigation counter measure the
+    // same phenomenon (modulo non-start-tag sources): close agreement.
+    let de3_1 = aggregate::kind_trend(store(), ViolationKind::DE3_1);
+    for y in 0..8 {
+        assert!(
+            (de3_1[y] - m.newline_and_lt_in_url[y].1).abs() < 0.8,
+            "year {y}: DE3_1 {:.2} vs mitigation {:.2}",
+            de3_1[y],
+            m.newline_and_lt_in_url[y].1
+        );
+    }
+}
+
+#[test]
+fn table2_columns_are_internally_consistent() {
+    let rows = aggregate::table2(store());
+    let mut found_ever = 0usize;
+    for row in &rows {
+        assert!(row.domains_analyzed <= row.domains_found);
+        assert!((0.0..=100.0).contains(&row.analyzed_share));
+        assert!(row.avg_pages <= 100.0);
+        found_ever = found_ever.max(row.domains_found);
+    }
+    let (found, analyzed) = aggregate::table2_total(store());
+    assert!(found >= found_ever, "total found must cover every year");
+    assert!(analyzed <= found);
+    assert!(found <= store().universe);
+}
+
+#[test]
+fn math_usage_grows_and_stays_rare() {
+    let usage = aggregate::math_usage_by_year(store());
+    assert!(usage[7] >= usage[0], "math usage must grow: {usage:?}");
+    let rows = aggregate::table2(store());
+    // ~1% of analyzed domains in 2022.
+    assert!(usage[7] <= rows[7].domains_analyzed / 20, "{usage:?}");
+}
+
+#[test]
+fn page_counts_upper_bound_kinds() {
+    // A kind recorded for a domain must have at least one carrying page.
+    for r in &store().records {
+        for k in &r.kinds {
+            let pages = r.page_counts.get(k).copied().unwrap_or(0);
+            assert!(pages >= 1, "{k} recorded without pages on {}", r.domain_name);
+            assert!(pages as usize <= r.pages_analyzed);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Data-driven tree-construction conformance in the html5lib-tests `.dat`
+//! format: `#data` blocks hold the input, `#document` blocks the expected
+//! tree in the suite's indented notation (`| <tag>`, `|   attr="v"`,
+//! `|   "text"`, foreign elements as `<svg name>`/`<math name>`).
+//!
+//! Fixtures live in `tests/fixtures/*.dat` — add cases there without
+//! touching code.
+
+use html_violations::spec_html::{self, Namespace, NodeData, NodeId};
+
+/// One parsed test case.
+struct DatCase {
+    line: usize,
+    data: String,
+    expected: String,
+}
+
+fn parse_dat(content: &str) -> Vec<DatCase> {
+    let mut cases = Vec::new();
+    let mut mode = "";
+    let mut data = String::new();
+    let mut expected = String::new();
+    let mut case_line = 0usize;
+
+    let flush =
+        |cases: &mut Vec<DatCase>, data: &mut String, expected: &mut String, line: usize| {
+            if !data.is_empty() || !expected.is_empty() {
+                // The format's final newline in #data is an artifact of the
+                // block syntax, not input.
+                let d = data.strip_suffix('\n').unwrap_or(data).to_owned();
+                cases.push(DatCase { line, data: d, expected: std::mem::take(expected) });
+                data.clear();
+            }
+        };
+
+    for (i, line) in content.lines().enumerate() {
+        match line {
+            "#data" => {
+                flush(&mut cases, &mut data, &mut expected, case_line);
+                case_line = i + 1;
+                mode = "data";
+            }
+            "#document" => mode = "document",
+            _ => match mode {
+                "data" => {
+                    data.push_str(line);
+                    data.push('\n');
+                }
+                "document" => {
+                    if !line.is_empty() {
+                        expected.push_str(line);
+                        expected.push('\n');
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+    flush(&mut cases, &mut data, &mut expected, case_line);
+    cases
+}
+
+/// Render a DOM in the html5lib-tests notation.
+fn render_tree(dom: &spec_html::Dom) -> String {
+    let mut out = String::new();
+    for child in dom.children(dom.root()) {
+        render_node(dom, child, 0, &mut out);
+    }
+    out
+}
+
+fn render_node(dom: &spec_html::Dom, id: NodeId, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    match &dom.node(id).data {
+        NodeData::Doctype { name, .. } => {
+            out.push_str(&format!("| {indent}<!DOCTYPE {name}>\n"));
+        }
+        NodeData::Comment(c) => {
+            out.push_str(&format!("| {indent}<!-- {c} -->\n"));
+        }
+        NodeData::Text(t) => {
+            out.push_str(&format!("| {indent}\"{t}\"\n"));
+        }
+        NodeData::Element(e) => {
+            let name = match e.ns {
+                Namespace::Html => e.name.clone(),
+                Namespace::Svg => format!("svg {}", e.name),
+                Namespace::MathMl => format!("math {}", e.name),
+            };
+            out.push_str(&format!("| {indent}<{name}>\n"));
+            // Attributes sorted by name, one per line (suite convention).
+            let mut attrs = e.attrs.clone();
+            attrs.sort_by(|a, b| a.name.cmp(&b.name));
+            for a in attrs {
+                out.push_str(&format!("| {indent}  {}=\"{}\"\n", a.name, a.value));
+            }
+            for child in dom.children(id) {
+                render_node(dom, child, depth + 1, out);
+            }
+        }
+        NodeData::Document => {
+            for child in dom.children(id) {
+                render_node(dom, child, depth, out);
+            }
+        }
+    }
+}
+
+#[test]
+fn dat_fixtures_conform() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut total = 0usize;
+    let mut failures = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("dat") {
+            continue;
+        }
+        let content = std::fs::read_to_string(&path).unwrap();
+        for case in parse_dat(&content) {
+            total += 1;
+            let out = spec_html::parse_document(&case.data);
+            let rendered = render_tree(&out.dom);
+            if rendered.trim_end() != case.expected.trim_end() {
+                failures.push(format!(
+                    "{}:{} input {:?}\n--- expected ---\n{}--- got ---\n{}",
+                    path.file_name().unwrap().to_string_lossy(),
+                    case.line,
+                    case.data,
+                    case.expected,
+                    rendered
+                ));
+            }
+        }
+    }
+    assert!(total >= 30, "expected a substantive fixture suite, found {total}");
+    assert!(
+        failures.is_empty(),
+        "{} of {total} .dat cases failed:\n\n{}",
+        failures.len(),
+        failures.join("\n================\n")
+    );
+}
+
+#[test]
+fn dat_parser_handles_multiple_blocks() {
+    let cases = parse_dat("#data\n<p>x\n#document\n| <p>\n\n#data\n<b>y\n#document\n| <b>\n");
+    assert_eq!(cases.len(), 2);
+    assert_eq!(cases[0].data, "<p>x");
+    assert_eq!(cases[1].data, "<b>y");
+    assert!(cases[0].expected.contains("| <p>"));
+}
