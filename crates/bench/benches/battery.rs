@@ -1,0 +1,71 @@
+//! Battery reuse vs per-page construction: the scan engine's hot path.
+//!
+//! `reused_battery` is what the page-granular engine does (one
+//! [`Battery`] per worker, findings buffer recycled, report borrowed);
+//! `fresh_per_page` is the old per-page path (`checkers::check_context`):
+//! construct the rule set, run it, and return an owned `PageReport` —
+//! cloning every finding's evidence string. The reuse path should be
+//! meaningfully faster.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hv_bench::{sample_pages, total_bytes};
+use hv_core::context::CheckContext;
+use hv_core::Battery;
+
+fn bench_battery(c: &mut Criterion) {
+    let pages = sample_pages(64);
+    let contexts: Vec<CheckContext<'_>> = pages.iter().map(|p| CheckContext::new(p)).collect();
+
+    let mut g = c.benchmark_group("battery");
+    g.throughput(Throughput::Bytes(total_bytes(&pages)));
+
+    g.bench_function("reused_battery", |b| {
+        let mut battery = Battery::full();
+        b.iter(|| {
+            let mut findings = 0usize;
+            for cx in &contexts {
+                findings += battery.run_ref(black_box(cx)).findings.len();
+            }
+            black_box(findings)
+        })
+    });
+
+    g.bench_function("fresh_per_page", |b| {
+        b.iter(|| {
+            let mut findings = 0usize;
+            for cx in &contexts {
+                findings += hv_core::checkers::check_context(black_box(cx)).findings.len();
+            }
+            black_box(findings)
+        })
+    });
+
+    // Finding-heavy worst case: every page violates several kinds, so the
+    // owned-report path pays maximal per-finding clone cost.
+    let violating = hv_bench::violating_page();
+    let vcx = CheckContext::new(&violating);
+    g.bench_function("reused_battery_violating", |b| {
+        let mut battery = Battery::full();
+        b.iter(|| black_box(battery.run_ref(black_box(&vcx)).findings.len()))
+    });
+    g.bench_function("fresh_per_page_violating", |b| {
+        b.iter(|| black_box(hv_core::checkers::check_context(black_box(&vcx)).findings.len()))
+    });
+
+    g.bench_function("instrumented_reused_battery", |b| {
+        let mut battery = Battery::full();
+        let mut stats = battery.new_stats();
+        b.iter(|| {
+            let mut findings = 0usize;
+            for cx in &contexts {
+                findings += battery.run_instrumented(black_box(cx), &mut stats).findings.len();
+            }
+            black_box(findings)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_battery);
+criterion_main!(benches);

@@ -59,5 +59,11 @@ fn bench_autofix(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_full_battery, bench_individual_rules, bench_mitigations, bench_autofix);
+criterion_group!(
+    benches,
+    bench_full_battery,
+    bench_individual_rules,
+    bench_mitigations,
+    bench_autofix
+);
 criterion_main!(benches);

@@ -82,8 +82,7 @@ fn bench_statistics(c: &mut Criterion) {
     println!("{}", hv_report::experiments::autofix(store));
     g.bench_function("stats_4_4_autofix_projection", |b| {
         b.iter(|| {
-            black_box(aggregate::autofix_projection(black_box(store), Snapshot::ALL[7]))
-                .fixed_share
+            black_box(aggregate::autofix_projection(black_box(store), Snapshot::ALL[7])).fixed_share
         })
     });
 

@@ -51,11 +51,8 @@ fn bench_scan(c: &mut Criterion) {
     g.throughput(Throughput::Elements(pages as u64));
     g.bench_function("one_snapshot_parallel", |b| {
         b.iter(|| {
-            let store = scan_snapshots(
-                black_box(&archive),
-                &[Snapshot::ALL[7]],
-                ScanOptions::default(),
-            );
+            let store =
+                scan_snapshots(black_box(&archive), &[Snapshot::ALL[7]], ScanOptions::default());
             black_box(store.records.len())
         })
     });
@@ -64,7 +61,7 @@ fn bench_scan(c: &mut Criterion) {
             let store = scan_snapshots(
                 black_box(&archive),
                 &[Snapshot::ALL[7]],
-                ScanOptions { threads: 1, ..Default::default() },
+                ScanOptions::new().threads(1),
             );
             black_box(store.records.len())
         })

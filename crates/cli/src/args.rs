@@ -12,8 +12,10 @@ USAGE:
   hva gen [--seed N] [--scale F] [--out DIR] [--domains N] [--year Y]
           [--warc]                   materialize sample corpus pages to disk
                                      (--warc: standard WARC/1.0 + CDXJ files)
-  hva scan [--seed N] [--scale F] [--threads N] [--store FILE]
+  hva scan [--seed N] [--scale F] [--threads N] [--store FILE] [--metrics]
                                      run the full measurement pipeline
+                                     (--metrics: collect + print scan
+                                      observability, embedded in the store)
   hva report <exp> --store FILE      render one experiment from a saved scan
                                      (exp: table1 table2 fig8 fig9 fig10
                                       fig16..fig21 stats autofix mitigations
@@ -37,7 +39,7 @@ pub enum Command {
     Check { file: PathBuf, json: bool },
     Fix { file: PathBuf, out: Option<PathBuf> },
     Gen { seed: u64, scale: f64, out: PathBuf, domains: usize, year: Option<u16>, warc: bool },
-    Scan { seed: u64, scale: f64, threads: usize, store: Option<PathBuf> },
+    Scan { seed: u64, scale: f64, threads: usize, store: Option<PathBuf>, metrics: bool },
     Report { experiment: String, store: PathBuf },
     Repro { seed: u64, scale: f64, threads: usize, out: Option<PathBuf>, json: Option<PathBuf> },
     ScanWarc { dir: PathBuf, store: Option<PathBuf> },
@@ -75,9 +77,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 out: flags.get("out").map(PathBuf::from).unwrap_or_else(|| "corpus-out".into()),
                 domains: flags.num("domains", 10)? as usize,
                 year: match flags.get("year") {
-                    Some(v) => {
-                        Some(v.parse().map_err(|_| format!("gen: bad --year value {v}"))?)
-                    }
+                    Some(v) => Some(v.parse().map_err(|_| format!("gen: bad --year value {v}"))?),
                     None => None,
                 },
                 warc: flags.has("warc"),
@@ -90,6 +90,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 scale: flags.float("scale", DEFAULT_SCALE)?,
                 threads: flags.num("threads", 0)? as usize,
                 store: flags.get("store").map(PathBuf::from),
+                metrics: flags.has("metrics"),
             })
         }
         "report" => {
@@ -216,11 +217,23 @@ mod tests {
     #[test]
     fn scan_defaults() {
         match p(&["scan"]).unwrap() {
-            Command::Scan { seed, scale, threads, store } => {
+            Command::Scan { seed, scale, threads, store, metrics } => {
                 assert_eq!(seed, 0x48_56_31);
                 assert!((scale - 0.05).abs() < 1e-12);
                 assert_eq!(threads, 0);
                 assert!(store.is_none());
+                assert!(!metrics);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_metrics_flag() {
+        match p(&["scan", "--metrics", "--threads", "2"]).unwrap() {
+            Command::Scan { threads, metrics, .. } => {
+                assert!(metrics);
+                assert_eq!(threads, 2);
             }
             other => panic!("{other:?}"),
         }

@@ -19,8 +19,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Gen { seed, scale, out, domains, year, warc } => {
             gen(seed, scale, &out, domains, year, warc)
         }
-        Command::Scan { seed, scale, threads, store } => {
-            let result = run_scan(seed, scale, threads)?;
+        Command::Scan { seed, scale, threads, store, metrics } => {
+            let result = run_scan(seed, scale, threads, metrics)?;
             if let Some(path) = store {
                 result.save(&path).map_err(|e| format!("saving store: {e}"))?;
                 println!("store written to {}", path.display());
@@ -38,10 +38,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             let inputs = hv_pipeline::warcscan::discover(&dir)
                 .map_err(|e| format!("discovering WARC inputs in {}: {e}", dir.display()))?;
             if inputs.is_empty() {
-                return Err(format!(
-                    "no CC-MAIN-*.warc/.cdxj pairs found in {}",
-                    dir.display()
-                ));
+                return Err(format!("no CC-MAIN-*.warc/.cdxj pairs found in {}", dir.display()));
             }
             eprintln!("scanning {} WARC snapshot(s) ...", inputs.len());
             let result = hv_pipeline::warcscan::scan_warc(&inputs)
@@ -57,7 +54,9 @@ pub fn run(cmd: Command) -> Result<(), String> {
         }
         Command::Explain { what } => explain(&what),
         Command::Repro { seed, scale, threads, out, json } => {
-            let store = run_scan(seed, scale, threads)?;
+            // Repro always collects metrics: the run's provenance (how fast,
+            // how many pages, which checks fired) belongs in the record.
+            let store = run_scan(seed, scale, threads, true)?;
             println!("{}", hv_report::full_report(&store));
             if let Some(path) = out {
                 let md = hv_report::experiments_markdown(&store);
@@ -143,15 +142,16 @@ fn check(file: &Path, json: bool) -> Result<(), String> {
     }
     let m = report.mitigations;
     if m.script_in_attribute || m.newline_in_url {
-        println!("mitigation flags: script_in_attribute={} newline_in_url={} newline_and_lt_in_url={}",
-            m.script_in_attribute, m.newline_in_url, m.newline_and_lt_in_url);
+        println!(
+            "mitigation flags: script_in_attribute={} newline_in_url={} newline_and_lt_in_url={}",
+            m.script_in_attribute, m.newline_in_url, m.newline_and_lt_in_url
+        );
     }
     Ok(())
 }
 
 fn fix(file: &Path, out: Option<&Path>) -> Result<(), String> {
-    let text =
-        fs::read_to_string(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
+    let text = fs::read_to_string(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
     let outcome = autofix::auto_fix(&text);
     eprintln!(
         "before: {:?}\nafter:  {:?}\neliminated: {:?}",
@@ -180,7 +180,9 @@ fn gen(
 ) -> Result<(), String> {
     let archive = Archive::new(CorpusConfig { seed, scale });
     let snaps: Vec<Snapshot> = match year {
-        Some(y) => vec![Snapshot::from_year(y).ok_or(format!("--year must be 2015..=2022, got {y}"))?],
+        Some(y) => {
+            vec![Snapshot::from_year(y).ok_or(format!("--year must be 2015..=2022, got {y}"))?]
+        }
         None => Snapshot::ALL.to_vec(),
     };
     fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
@@ -211,8 +213,7 @@ fn gen(
                 } else {
                     format!("page{}.html", entry.page_index)
                 };
-                fs::write(dir.join(&name), &body.body)
-                    .map_err(|e| format!("writing page: {e}"))?;
+                fs::write(dir.join(&name), &body.body).map_err(|e| format!("writing page: {e}"))?;
                 written += 1;
             }
         }
@@ -225,7 +226,7 @@ fn gen(
     Ok(())
 }
 
-fn run_scan(seed: u64, scale: f64, threads: usize) -> Result<ResultStore, String> {
+fn run_scan(seed: u64, scale: f64, threads: usize, metrics: bool) -> Result<ResultStore, String> {
     let t0 = Instant::now();
     eprintln!("building archive (seed {seed}, scale {scale}) ...");
     let archive = Archive::new(CorpusConfig { seed, scale });
@@ -236,13 +237,16 @@ fn run_scan(seed: u64, scale: f64, threads: usize) -> Result<ResultStore, String
     );
     let store = scan(
         &archive,
-        ScanOptions { threads, autofix_projection: true, progress_every: 20_000 },
+        ScanOptions::new().threads(threads).progress_every(20_000).collect_metrics(metrics),
     );
     eprintln!(
         "scan finished in {:.1}s ({} domain-snapshot records)",
         t0.elapsed().as_secs_f64(),
         store.records.len()
     );
+    if let Some(m) = &store.metrics {
+        eprint!("{}", m.render());
+    }
     Ok(store)
 }
 

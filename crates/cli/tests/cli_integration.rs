@@ -135,11 +135,7 @@ fn scan_store_report_roundtrip() {
     for (experiment, needle) in
         [("fig9", "Figure 9"), ("table2", "Table 2"), ("autofix", "Automatic fixing")]
     {
-        let out = hva()
-            .args(["report", experiment, "--store"])
-            .arg(&store_path)
-            .output()
-            .unwrap();
+        let out = hva().args(["report", experiment, "--store"]).arg(&store_path).output().unwrap();
         assert!(out.status.success());
         assert!(
             String::from_utf8_lossy(&out.stdout).contains(needle),

@@ -17,7 +17,7 @@
 //! the head, dedupe extra `base` elements, and serialize. The outcome
 //! reports which violations disappeared and which (manual) ones remain.
 
-use crate::checkers;
+use crate::battery::Battery;
 use crate::taxonomy::{Fixability, ViolationKind};
 use spec_html::dom::{Document, NodeId};
 use spec_html::serializer;
@@ -48,13 +48,15 @@ impl FixOutcome {
 
 /// Run the §4.4 automatic repair over a document.
 pub fn auto_fix(raw: &str) -> FixOutcome {
-    let before = checkers::check_page(raw).kinds();
+    // One battery serves both the before- and after-check.
+    let mut battery = Battery::full();
+    let before = battery.run_str(raw).kinds();
 
     let mut out = spec_html::parse_document(raw);
     relocate_head_content(&mut out.dom);
     let fixed_html = serializer::serialize(&out.dom);
 
-    let after = checkers::check_page(&fixed_html).kinds();
+    let after = battery.run_str(&fixed_html).kinds();
     FixOutcome { fixed_html, before, after }
 }
 

@@ -1,0 +1,369 @@
+//! A reusable checker battery.
+//!
+//! [`Battery`] packages the rule set ([`checkers::all_checks`]) together
+//! with a reusable output buffer, so a scan constructs the battery **once
+//! per worker** and then runs it over every page with zero per-page setup:
+//! no re-boxing of the twenty checkers and, via [`Battery::run_ref`], no
+//! per-page findings allocation either.
+//!
+//! The battery also carries the observability hooks of the page-granular
+//! scan engine: [`Battery::run_instrumented`] times each rule and feeds
+//! per-check [`CheckStats`] (fire counts and log₂-bucketed wall-time
+//! histograms) that merge losslessly across workers.
+//!
+//! ```
+//! use hv_core::{Battery, ViolationKind};
+//!
+//! let mut battery = Battery::full();
+//! let report = battery.run_str(r#"<img src="x.png"onerror="alert(1)">"#);
+//! assert!(report.has(ViolationKind::FB2));
+//!
+//! // Restrict the rule set; everything else never runs.
+//! let mut fb_only = Battery::only(&[ViolationKind::FB1, ViolationKind::FB2]);
+//! assert_eq!(fb_only.kinds().len(), 2);
+//! ```
+
+use crate::checkers::{self, Check};
+use crate::context::CheckContext;
+use crate::report::PageReport;
+use crate::taxonomy::ViolationKind;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// A constructed-once, run-many checker battery with a reusable scratch
+/// report. See the [module docs](self) for the design.
+pub struct Battery {
+    checks: Vec<Box<dyn Check>>,
+    kinds: Vec<ViolationKind>,
+    /// Reused output buffer for [`Battery::run_ref`]; findings capacity is
+    /// retained across pages.
+    report: PageReport,
+}
+
+impl Battery {
+    /// The full rule set, in taxonomy order — one checker per Figure-8 bar.
+    pub fn full() -> Self {
+        Battery::from_checks(checkers::all_checks())
+    }
+
+    /// A battery restricted to the given kinds (order and duplicates in
+    /// `kinds` are irrelevant; the taxonomy order is kept).
+    pub fn only(kinds: &[ViolationKind]) -> Self {
+        let checks =
+            checkers::all_checks().into_iter().filter(|c| kinds.contains(&c.kind())).collect();
+        Battery::from_checks(checks)
+    }
+
+    fn from_checks(checks: Vec<Box<dyn Check>>) -> Self {
+        let kinds = checks.iter().map(|c| c.kind()).collect();
+        Battery { checks, kinds, report: PageReport::default() }
+    }
+
+    /// The kinds this battery runs, in execution (taxonomy) order.
+    pub fn kinds(&self) -> &[ViolationKind] {
+        &self.kinds
+    }
+
+    /// Number of rules in the battery.
+    pub fn len(&self) -> usize {
+        self.checks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.checks.is_empty()
+    }
+
+    /// Run the battery, reusing the internal report buffer. The returned
+    /// reference is valid until the next `run_*` call; use this in hot
+    /// loops that only *read* the per-page result.
+    pub fn run_ref(&mut self, cx: &CheckContext<'_>) -> &PageReport {
+        self.report.findings.clear();
+        for c in &self.checks {
+            c.check(cx, &mut self.report.findings);
+        }
+        self.report.findings.sort_by_key(|f| (f.kind, f.offset));
+        self.report.mitigations = checkers::mitigation_flags(cx);
+        &self.report
+    }
+
+    /// Run the battery and return an owned [`PageReport`].
+    pub fn run(&mut self, cx: &CheckContext<'_>) -> PageReport {
+        self.run_ref(cx).clone()
+    }
+
+    /// Parse `raw` as a full document and run the battery over it.
+    pub fn run_str(&mut self, raw: &str) -> PageReport {
+        let cx = CheckContext::new(raw);
+        self.run(&cx)
+    }
+
+    /// A stats accumulator shaped to this battery (one slot per rule).
+    pub fn new_stats(&self) -> BatteryStats {
+        BatteryStats { per_check: self.kinds.iter().map(|&k| (k, CheckStats::default())).collect() }
+    }
+
+    /// Like [`Battery::run_ref`], additionally timing every rule into
+    /// `stats` (which must come from [`Battery::new_stats`] on a battery
+    /// with the same rule set).
+    pub fn run_instrumented(
+        &mut self,
+        cx: &CheckContext<'_>,
+        stats: &mut BatteryStats,
+    ) -> &PageReport {
+        assert_eq!(stats.per_check.len(), self.checks.len(), "stats shape mismatch");
+        self.report.findings.clear();
+        for (c, slot) in self.checks.iter().zip(stats.per_check.iter_mut()) {
+            let before = self.report.findings.len();
+            let t0 = Instant::now();
+            c.check(cx, &mut self.report.findings);
+            let nanos = t0.elapsed().as_nanos() as u64;
+            let fired = (self.report.findings.len() - before) as u64;
+            slot.1.record_page(fired, nanos);
+        }
+        self.report.findings.sort_by_key(|f| (f.kind, f.offset));
+        self.report.mitigations = checkers::mitigation_flags(cx);
+        &self.report
+    }
+}
+
+/// Per-rule observability counters. All fields merge by addition, so
+/// worker-local stats combine into scan totals without locks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CheckStats {
+    /// Pages on which the rule produced at least one finding.
+    pub pages_fired: u64,
+    /// Total findings across all pages.
+    pub findings_total: u64,
+    /// Wall-time distribution of individual rule executions.
+    pub nanos: DurationHistogram,
+}
+
+impl CheckStats {
+    /// Account one page execution: `fired` findings produced in `nanos` ns.
+    pub fn record_page(&mut self, fired: u64, nanos: u64) {
+        if fired > 0 {
+            self.pages_fired += 1;
+        }
+        self.findings_total += fired;
+        self.nanos.record(nanos);
+    }
+
+    pub fn merge(&mut self, other: &CheckStats) {
+        self.pages_fired += other.pages_fired;
+        self.findings_total += other.findings_total;
+        self.nanos.merge(&other.nanos);
+    }
+}
+
+/// Log₂-bucketed histogram of nanosecond durations: bucket *i* counts
+/// samples in `[2^i, 2^(i+1))` (bucket 0 additionally holds 0 ns). Exact
+/// count and sum ride along, so means stay precise while the buckets give
+/// the shape. Addition-only, hence mergeable across workers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurationHistogram {
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum_nanos: u64,
+}
+
+/// 2^47 ns ≈ 39 hours — no single rule execution exceeds this.
+const HISTOGRAM_BUCKETS: usize = 48;
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        DurationHistogram { buckets: vec![0; HISTOGRAM_BUCKETS], count: 0, sum_nanos: 0 }
+    }
+}
+
+impl DurationHistogram {
+    pub fn record(&mut self, nanos: u64) {
+        let bucket = if nanos < 2 {
+            0
+        } else {
+            ((63 - nanos.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_nanos += nanos;
+    }
+
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_nanos += other.sum_nanos;
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_nanos as f64 / self.count as f64
+        }
+    }
+
+    /// Upper edge (exclusive) of the highest non-empty bucket, in ns.
+    pub fn max_bucket_nanos(&self) -> u64 {
+        match self.buckets.iter().rposition(|&c| c > 0) {
+            Some(i) => 1u64 << (i as u32 + 1).min(63),
+            None => 0,
+        }
+    }
+}
+
+/// Per-battery stats: one [`CheckStats`] per rule, in execution order.
+/// Produced by [`Battery::new_stats`], filled by
+/// [`Battery::run_instrumented`], merged across workers with
+/// [`BatteryStats::merge`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatteryStats {
+    pub per_check: Vec<(ViolationKind, CheckStats)>,
+}
+
+impl BatteryStats {
+    /// Fold another worker's stats into this one. Both must describe the
+    /// same battery shape.
+    pub fn merge(&mut self, other: &BatteryStats) {
+        assert_eq!(
+            self.per_check.len(),
+            other.per_check.len(),
+            "cannot merge stats of different batteries"
+        );
+        for ((k, s), (ok, os)) in self.per_check.iter_mut().zip(&other.per_check) {
+            assert_eq!(*k, *ok, "battery kind order mismatch");
+            s.merge(os);
+        }
+    }
+
+    /// Stats for one kind, if the battery ran it.
+    pub fn get(&self, kind: ViolationKind) -> Option<&CheckStats> {
+        self.per_check.iter().find(|(k, _)| *k == kind).map(|(_, s)| s)
+    }
+
+    /// Total findings across all rules.
+    pub fn findings_total(&self) -> u64 {
+        self.per_check.iter().map(|(_, s)| s.findings_total).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIRTY: &str = "<img src=a src=b><div id=x id=y><p/ class=c><a href=\"u\"title=t>";
+
+    #[test]
+    fn full_battery_matches_check_page() {
+        let mut battery = Battery::full();
+        let a = battery.run_str(DIRTY);
+        let b = checkers::check_page(DIRTY);
+        assert_eq!(a.findings, b.findings);
+        assert_eq!(a.mitigations, b.mitigations);
+    }
+
+    #[test]
+    fn battery_reuse_is_stateless_across_pages() {
+        let mut battery = Battery::full();
+        let first = battery.run_str(DIRTY);
+        // A clean page in between must not leak findings…
+        let clean = battery.run_str("<!DOCTYPE html><html lang=en><head><meta charset=utf-8><title>t</title></head><body><p>ok</p></body></html>");
+        assert!(clean.is_clean(), "leaked: {:?}", clean.findings);
+        // …and re-running the dirty page reproduces the first result.
+        let again = battery.run_str(DIRTY);
+        assert_eq!(first.findings, again.findings);
+    }
+
+    #[test]
+    fn only_restricts_the_rule_set() {
+        let mut fb = Battery::only(&[ViolationKind::FB1, ViolationKind::FB2]);
+        assert_eq!(fb.kinds(), &[ViolationKind::FB1, ViolationKind::FB2]);
+        let report = fb.run_str(DIRTY);
+        assert!(report
+            .findings
+            .iter()
+            .all(|f| matches!(f.kind, ViolationKind::FB1 | ViolationKind::FB2)));
+    }
+
+    #[test]
+    fn only_preserves_taxonomy_order_regardless_of_input_order() {
+        let battery = Battery::only(&[ViolationKind::FB2, ViolationKind::DE1]);
+        assert_eq!(battery.kinds(), &[ViolationKind::DE1, ViolationKind::FB2]);
+    }
+
+    #[test]
+    fn run_ref_avoids_realloc_after_first_page() {
+        let mut battery = Battery::full();
+        battery.run_ref(&CheckContext::new(DIRTY));
+        let cap = battery.report.findings.capacity();
+        for _ in 0..3 {
+            battery.run_ref(&CheckContext::new(DIRTY));
+            assert_eq!(battery.report.findings.capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn instrumented_run_counts_every_rule_once_per_page() {
+        let mut battery = Battery::full();
+        let mut stats = battery.new_stats();
+        let cx = CheckContext::new(DIRTY);
+        battery.run_instrumented(&cx, &mut stats);
+        battery.run_instrumented(&cx, &mut stats);
+        for (kind, s) in &stats.per_check {
+            assert_eq!(s.nanos.count, 2, "rule {kind} not timed on both pages");
+        }
+        // The instrumented findings agree with the plain run.
+        let plain = battery.run(&cx);
+        assert_eq!(stats.findings_total(), 2 * plain.findings.len() as u64);
+    }
+
+    #[test]
+    fn stats_merge_is_additive() {
+        let mut battery = Battery::full();
+        let cx = CheckContext::new(DIRTY);
+        let mut a = battery.new_stats();
+        battery.run_instrumented(&cx, &mut a);
+        let mut b = battery.new_stats();
+        battery.run_instrumented(&cx, &mut b);
+        battery.run_instrumented(&cx, &mut b);
+
+        let mut merged = battery.new_stats();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.findings_total(), a.findings_total() + b.findings_total());
+        for ((_, m), (_, x)) in merged.per_check.iter().zip(&a.per_check) {
+            assert!(m.nanos.count == x.nanos.count * 3);
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = DurationHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum_nanos, 1030);
+        assert_eq!(h.buckets[0], 2); // 0 and 1
+        assert_eq!(h.buckets[1], 2); // 2 and 3
+        assert_eq!(h.buckets[10], 1); // 1024
+        assert_eq!(h.max_bucket_nanos(), 2048);
+        assert!((h.mean_nanos() - 206.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_serialize_roundtrip() {
+        let mut battery = Battery::full();
+        let mut stats = battery.new_stats();
+        battery.run_instrumented(&CheckContext::new(DIRTY), &mut stats);
+        let v = serde::Serialize::to_value(&stats);
+        let back: BatteryStats = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, stats);
+    }
+}

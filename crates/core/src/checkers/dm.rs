@@ -217,8 +217,7 @@ mod tests {
     #[test]
     fn dm3_duplicate_onclick() {
         // §3.2.2's example: the injected onclick invalidates the benign one.
-        let r =
-            check_page(r#"<div id="injection" onclick="evil()" onclick="benign()">x</div>"#);
+        let r = check_page(r#"<div id="injection" onclick="evil()" onclick="benign()">x</div>"#);
         assert!(r.has(DM3));
     }
 

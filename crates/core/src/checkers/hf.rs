@@ -64,8 +64,7 @@ impl Check for Hf2 {
                 // independent "content before body". Only bodies implied by
                 // content after a regularly closed head count as HF2.
                 let caused_by_head_close = cx.parse.events.iter().any(|e| {
-                    e.offset == ev.offset
-                        && matches!(e.kind, TreeEventKind::HeadClosedBy { .. })
+                    e.offset == ev.offset && matches!(e.kind, TreeEventKind::HeadClosedBy { .. })
                 });
                 if !caused_by_head_close {
                     out.push(Finding::new(
@@ -217,8 +216,7 @@ mod tests {
     use crate::checkers::check_page;
     use crate::taxonomy::ViolationKind::*;
 
-    const CLEAN_PREFIX: &str =
-        "<!DOCTYPE html><html><head><title>t</title></head><body>";
+    const CLEAN_PREFIX: &str = "<!DOCTYPE html><html><head><title>t</title></head><body>";
     const CLEAN_SUFFIX: &str = "</body></html>";
 
     fn in_body(content: &str) -> String {

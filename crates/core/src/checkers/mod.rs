@@ -49,29 +49,49 @@ pub fn all_checks() -> Vec<Box<dyn Check>> {
 
 /// Run every rule over a page and assemble the [`PageReport`] (violations +
 /// §4.5 mitigation flags).
+///
+/// Convenience one-shot path: builds a throwaway [`crate::Battery`] per
+/// call. Hot loops should construct one [`crate::Battery`] per worker and
+/// reuse it instead.
 pub fn check_page(raw: &str) -> PageReport {
-    let cx = CheckContext::new(raw);
-    check_context(&cx)
+    crate::Battery::full().run_str(raw)
 }
 
 /// Run every rule over a dynamically loaded HTML *fragment* (parsed with
 /// innerHTML semantics in a `div` context) — the §5.1 pre-study's unit of
 /// analysis.
+///
+/// One-shot path; see [`check_page`] on battery reuse.
 pub fn check_fragment(raw: &str) -> PageReport {
     let cx = CheckContext::fragment(raw, "div");
-    check_context(&cx)
+    crate::Battery::full().run(&cx)
 }
 
-/// Like [`check_page`] but reusing an existing context (the pipeline builds
-/// the context once and also feeds the auto-fixer).
+/// Like [`check_page`] but reusing an existing context (the caller builds
+/// the context once and also feeds, e.g., the auto-fixer).
+///
+/// One-shot path; see [`check_page`] on battery reuse.
 pub fn check_context(cx: &CheckContext<'_>) -> PageReport {
-    let mut findings = Vec::new();
-    for c in all_checks() {
-        c.check(cx, &mut findings);
+    crate::Battery::full().run(cx)
+}
+
+/// Allocation-free ASCII-case-insensitive substring search. `needle` must
+/// already be lowercase.
+fn contains_ascii_ci(haystack: &str, needle: &str) -> bool {
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    debug_assert!(n.iter().all(|b| !b.is_ascii_uppercase()));
+    if n.is_empty() {
+        return true;
     }
-    findings.sort_by_key(|f| (f.kind, f.offset));
-    let mitigations = mitigation_flags(cx);
-    PageReport { findings, mitigations }
+    if h.len() < n.len() {
+        return false;
+    }
+    let first = n[0];
+    h[..=h.len() - n.len()].iter().enumerate().any(|(i, &b)| {
+        b.eq_ignore_ascii_case(&first)
+            && h[i + 1..i + n.len()].iter().zip(&n[1..]).all(|(a, c)| a.eq_ignore_ascii_case(c))
+    })
 }
 
 /// §4.5: per-page flags for the two deployed browser mitigations.
@@ -81,20 +101,18 @@ pub fn mitigation_flags(cx: &CheckContext<'_>) -> MitigationFlags {
         let is_script = tag.name == "script";
         let has_nonce = tag.attr("nonce").is_some();
         for attr in &tag.attrs {
-            let lower = attr.value.to_ascii_lowercase();
-            if lower.contains("<script") {
+            if contains_ascii_ci(&attr.value, "<script") {
                 flags.script_in_attribute = true;
                 if is_script && has_nonce {
                     flags.script_in_nonced_script = true;
                 }
             }
-            if spec_html::tags::is_url_attribute(&attr.name)
-                && attr.raw_value.contains('\n') {
-                    flags.newline_in_url = true;
-                    if attr.raw_value.contains('<') {
-                        flags.newline_and_lt_in_url = true;
-                    }
+            if spec_html::tags::is_url_attribute(&attr.name) && attr.raw_value.contains('\n') {
+                flags.newline_in_url = true;
+                if attr.raw_value.contains('<') {
+                    flags.newline_and_lt_in_url = true;
                 }
+            }
         }
     }
     flags
@@ -128,6 +146,29 @@ mod tests {
         let mut sorted = report.findings.clone();
         sorted.sort_by_key(|f| (f.kind, f.offset));
         assert_eq!(report.findings, sorted);
+    }
+
+    #[test]
+    fn mitigation_flags_detect_mixed_case_script() {
+        // The tokenizer lowercases tag/attribute *names* but leaves attribute
+        // *values* as written; the `<script` probe must be case-insensitive
+        // over the value without allocating a lowered copy.
+        let cx = crate::context::CheckContext::new(
+            r#"<iframe srcdoc="<ScRiPt>alert(1)</ScRiPt>"></iframe>"#,
+        );
+        let flags = mitigation_flags(&cx);
+        assert!(flags.script_in_attribute);
+    }
+
+    #[test]
+    fn contains_ascii_ci_edges() {
+        assert!(contains_ascii_ci("x<SCRIPT y", "<script"));
+        assert!(contains_ascii_ci("<script", "<script"));
+        assert!(!contains_ascii_ci("<scrip", "<script"));
+        assert!(!contains_ascii_ci("", "<script"));
+        assert!(contains_ascii_ci("anything", ""));
+        // Case-insensitivity is ASCII-only: no Unicode case folding.
+        assert!(!contains_ascii_ci("<ſcript>", "<script"));
     }
 
     #[test]

@@ -9,12 +9,17 @@
 //!   Parsing Errors, and classified by §4.4 auto-fixability.
 //! * [`checkers`] — one independent rule per check, built on the
 //!   [`spec_html`] parser's error states, recovery events and DOM.
+//! * [`battery`] — the reusable [`Battery`]: construct the rule set once
+//!   (per worker), run it over any number of pages with zero per-page
+//!   setup, optionally timing every rule into mergeable [`CheckStats`].
 //! * [`autofix`] — the §4.4 automatic repair (serialize-reparse for FB,
 //!   duplicate removal for DM3, head relocation for DM1/DM2).
 //! * [`checkers::mitigation_flags`] — the §4.5 deployed-mitigation
 //!   conflict analysis (`<script` in attributes, newline+`<` URLs).
 //!
 //! ## Quickstart
+//!
+//! For a single page, [`check_page`] is the shortest path:
 //!
 //! ```
 //! use hv_core::checkers::check_page;
@@ -26,8 +31,29 @@
 //! let fixed = hv_core::autofix::auto_fix(r#"<img src="x.png"onerror="alert(1)">"#);
 //! assert!(!fixed.after.contains(&ViolationKind::FB2));
 //! ```
+//!
+//! When scanning many pages, build one [`Battery`] and reuse it — the rule
+//! set is boxed once and the findings buffer is recycled between pages:
+//!
+//! ```
+//! use hv_core::{Battery, CheckContext, ViolationKind};
+//!
+//! let mut battery = Battery::full();
+//! for page in ["<p>fine</p>", "<img src=a src=b>"] {
+//!     let cx = CheckContext::new(page);
+//!     let report = battery.run_ref(&cx); // borrow, no per-page allocation
+//!     if report.has(ViolationKind::DM3) {
+//!         assert!(page.contains("src=a"));
+//!     }
+//! }
+//!
+//! // Only a subset of rules:
+//! let mut fb = Battery::only(&[ViolationKind::FB1, ViolationKind::FB2]);
+//! assert_eq!(fb.kinds().len(), 2);
+//! ```
 
 pub mod autofix;
+pub mod battery;
 pub mod checkers;
 pub mod context;
 pub mod report;
@@ -35,6 +61,7 @@ pub mod sanitizer;
 pub mod strict;
 pub mod taxonomy;
 
+pub use battery::{Battery, BatteryStats, CheckStats, DurationHistogram};
 pub use context::CheckContext;
 pub use report::{Finding, MitigationFlags, PageReport};
 pub use taxonomy::{Fixability, ProblemGroup, ViolationCategory, ViolationKind};

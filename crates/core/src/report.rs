@@ -50,20 +50,47 @@ impl PageReport {
 }
 
 /// Page-level flags for the two deployed mitigations §4.5 evaluates.
+///
+/// Every field carries `#[serde(default)]` so the struct can be embedded
+/// with `#[serde(flatten)]` in larger records (and loaded from stores
+/// written before a given flag existed).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MitigationFlags {
     /// An attribute value contains the string `<script` (the nonce-stealing
     /// heuristic the CSP spec discussion proposed).
+    #[serde(default)]
     pub script_in_attribute: bool,
     /// …and that attribute sits on an actual `<script>` element carrying a
     /// CSP nonce (the only case the mitigation would break). The paper found
     /// zero of these.
+    #[serde(default)]
     pub script_in_nonced_script: bool,
     /// A URL-valued attribute contains a raw newline.
+    #[serde(default)]
     pub newline_in_url: bool,
     /// A URL-valued attribute contains a newline *and* a `<` (what Chromium
     /// blocks since 2017).
+    #[serde(default)]
     pub newline_and_lt_in_url: bool,
+}
+
+impl MitigationFlags {
+    /// OR the other page's flags into this accumulator (how per-domain
+    /// flags are built from per-page flags).
+    pub fn merge(&mut self, other: MitigationFlags) {
+        self.script_in_attribute |= other.script_in_attribute;
+        self.script_in_nonced_script |= other.script_in_nonced_script;
+        self.newline_in_url |= other.newline_in_url;
+        self.newline_and_lt_in_url |= other.newline_and_lt_in_url;
+    }
+
+    /// True when any flag is set.
+    pub fn any(&self) -> bool {
+        self.script_in_attribute
+            || self.script_in_nonced_script
+            || self.newline_in_url
+            || self.newline_and_lt_in_url
+    }
 }
 
 #[cfg(test)]

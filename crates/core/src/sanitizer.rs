@@ -37,15 +37,73 @@ pub struct Sanitizer {
 }
 
 const SAFE_ELEMENTS: &[&str] = &[
-    "a", "abbr", "article", "b", "blockquote", "br", "caption", "code", "dd", "div", "dl", "dt",
-    "em", "figcaption", "figure", "h1", "h2", "h3", "h4", "h5", "h6", "hr", "i", "img", "li",
-    "main", "nav", "ol", "p", "pre", "s", "section", "small", "span", "strike", "strong", "sub",
-    "sup", "table", "tbody", "td", "tfoot", "th", "thead", "tr", "u", "ul",
+    "a",
+    "abbr",
+    "article",
+    "b",
+    "blockquote",
+    "br",
+    "caption",
+    "code",
+    "dd",
+    "div",
+    "dl",
+    "dt",
+    "em",
+    "figcaption",
+    "figure",
+    "h1",
+    "h2",
+    "h3",
+    "h4",
+    "h5",
+    "h6",
+    "hr",
+    "i",
+    "img",
+    "li",
+    "main",
+    "nav",
+    "ol",
+    "p",
+    "pre",
+    "s",
+    "section",
+    "small",
+    "span",
+    "strike",
+    "strong",
+    "sub",
+    "sup",
+    "table",
+    "tbody",
+    "td",
+    "tfoot",
+    "th",
+    "thead",
+    "tr",
+    "u",
+    "ul",
 ];
 
 const FOREIGN_ELEMENTS: &[&str] = &[
-    "math", "mtext", "mi", "mo", "mn", "ms", "mglyph", "mrow", "annotation-xml", "svg", "title",
-    "desc", "path", "circle", "rect", "g", "style",
+    "math",
+    "mtext",
+    "mi",
+    "mo",
+    "mn",
+    "ms",
+    "mglyph",
+    "mrow",
+    "annotation-xml",
+    "svg",
+    "title",
+    "desc",
+    "path",
+    "circle",
+    "rect",
+    "g",
+    "style",
 ];
 
 const SAFE_ATTRIBUTES: &[&str] = &[
@@ -95,10 +153,7 @@ impl Sanitizer {
     fn sanitize_once(&self, html: &str) -> String {
         let parsed = parse_fragment(html, "div");
         let mut dom = parsed.dom;
-        let root = dom
-            .children(dom.root())
-            .next()
-            .expect("fragment parse always yields a root");
+        let root = dom.children(dom.root()).next().expect("fragment parse always yields a root");
         self.clean(&mut dom, root);
         serializer::serialize_children(&dom, root)
     }
@@ -208,10 +263,8 @@ mod tests {
     fn filter_bypass_payloads_are_neutralized_syntactically() {
         // FB1/FB2 style payloads: parsing normalizes them, the attribute
         // allowlist strips the handler.
-        for payload in [
-            r#"<img/src="x"/onerror="alert(1)">"#,
-            r#"<img src="x"onerror="alert(1)">"#,
-        ] {
+        for payload in [r#"<img/src="x"/onerror="alert(1)">"#, r#"<img src="x"onerror="alert(1)">"#]
+        {
             let out = Sanitizer::hardened().sanitize(payload);
             assert_eq!(out, r#"<img src="x">"#);
         }

@@ -181,7 +181,9 @@ pub fn evaluate(
         let blocking: BTreeSet<ViolationKind> = match policy.mode {
             StrictMode::Strict => kinds.clone(),
             StrictMode::Unsafe => BTreeSet::new(),
-            StrictMode::Default => kinds.iter().copied().filter(|k| enforced.contains(*k)).collect(),
+            StrictMode::Default => {
+                kinds.iter().copied().filter(|k| enforced.contains(*k)).collect()
+            }
         };
         if blocking.is_empty() {
             Decision::RenderWithWarnings { warned: kinds.clone() }
@@ -267,7 +269,7 @@ mod tests {
     #[test]
     fn default_blocks_only_enforced() {
         let report = check_page(VIOLATING); // FB2 + HF4: common violations
-        // Early rollout stage: FB2/HF4 not yet enforced.
+                                            // Early rollout stage: FB2/HF4 not yet enforced.
         let (d, _) = evaluate(&report, &StrictPolicy::default_mode(), &EnforcementList::stage(1));
         assert!(!d.is_blocked(), "{d:?}");
         // Stage 3 enforces HF4.
@@ -280,6 +282,29 @@ mod tests {
         let report = check_page(RARE_ONLY); // DE2
         let (d, _) = evaluate(&report, &StrictPolicy::default_mode(), &EnforcementList::stage(1));
         assert!(d.is_blocked(), "DE2 is in the first enforcement band: {d:?}");
+    }
+
+    /// A compliant `default`-mode parser only needs to run the *enforced*
+    /// rules to decide blocking — [`crate::Battery::only`] restricted to
+    /// the enforcement list fires exactly when `evaluate` blocks.
+    #[test]
+    fn battery_restricted_to_enforced_list_agrees_on_blocking() {
+        for n in 0..=4 {
+            let list = EnforcementList::stage(n);
+            let enforced: Vec<ViolationKind> = list.kinds().collect();
+            let mut battery = crate::Battery::only(&enforced);
+            assert_eq!(battery.len(), list.len());
+            for page in [VIOLATING, RARE_ONLY, CLEAN] {
+                let (decision, _) =
+                    evaluate(&check_page(page), &StrictPolicy::default_mode(), &list);
+                let restricted = battery.run_str(page);
+                assert_eq!(
+                    !restricted.findings.is_empty(),
+                    decision.is_blocked(),
+                    "stage {n}, page {page:?}"
+                );
+            }
+        }
     }
 
     #[test]

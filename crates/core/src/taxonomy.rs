@@ -88,9 +88,7 @@ pub enum Fixability {
 
 /// The 20 concrete checks of the study (Table 1 with sub-checks, ordered as
 /// in Figure 8's x-axis universe).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[allow(non_camel_case_types)]
 pub enum ViolationKind {
     /// Non-terminated `textarea` element.

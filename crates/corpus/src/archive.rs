@@ -14,7 +14,6 @@ use crate::htmlgen;
 use crate::profile::{DomainSnapshot, ProfileModel};
 use crate::snapshots::Snapshot;
 use crate::tranco::{self, RankedDomain};
-use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 /// Corpus configuration.
@@ -57,7 +56,7 @@ pub struct CdxEntry {
 pub struct WarcRecord {
     pub url: String,
     pub snapshot: Snapshot,
-    pub body: Bytes,
+    pub body: Vec<u8>,
 }
 
 /// The archive: ranked universe + profile model + generator.
@@ -107,18 +106,16 @@ impl Archive {
             .iter()
             .find(|d| d.id == entry.domain_id)
             .expect("entry must come from this archive");
-        let ds = self
-            .model
-            .domain_snapshot(domain, entry.snapshot)
-            .expect("entry implies presence");
+        let ds =
+            self.model.domain_snapshot(domain, entry.snapshot).expect("entry implies presence");
         let body = htmlgen::generate_page_bytes(self.cfg.seed, &ds, entry.page_index);
-        WarcRecord { url: entry.url.clone(), snapshot: entry.snapshot, body: Bytes::from(body) }
+        WarcRecord { url: entry.url.clone(), snapshot: entry.snapshot, body }
     }
 
     /// Fetch directly from a `DomainCdx` (avoids the domain lookup when
     /// the caller already holds the snapshot view — the pipeline's path).
-    pub fn fetch_page(&self, ds: &DomainSnapshot, page_index: usize) -> Bytes {
-        Bytes::from(htmlgen::generate_page_bytes(self.cfg.seed, ds, page_index))
+    pub fn fetch_page(&self, ds: &DomainSnapshot, page_index: usize) -> Vec<u8> {
+        htmlgen::generate_page_bytes(self.cfg.seed, ds, page_index)
     }
 }
 

@@ -39,10 +39,8 @@ pub const FRAGMENT_KINDS: [ViolationKind; 11] = [
 /// domain's static posture: the same templates and the same developers
 /// produce both.
 pub fn dynamic_fragments(seed: u64, ds: &DomainSnapshot, page_index: usize) -> Vec<String> {
-    let mut r = KeyedRng::new(
-        seed,
-        &[0xD14A, ds.domain_id, ds.snapshot.index() as u64, page_index as u64],
-    );
+    let mut r =
+        KeyedRng::new(seed, &[0xD14A, ds.domain_id, ds.snapshot.index() as u64, page_index as u64]);
     let n = r.below(4);
     let mut out = Vec::with_capacity(n);
     for frag_idx in 0..n {
@@ -100,7 +98,9 @@ fn one_fragment(
         1 => {
             // A mini data table.
             if has(ViolationKind::HF4) {
-                f.push_str("<table><tr><strong>Live scores</strong></tr><tr><td>2:1</td></tr></table>");
+                f.push_str(
+                    "<table><tr><strong>Live scores</strong></tr><tr><td>2:1</td></tr></table>",
+                );
             } else {
                 f.push_str("<table><tr><td>Live scores</td><td>2:1</td></tr></table>");
             }
@@ -111,14 +111,18 @@ fn one_fragment(
         _ => {
             // An embed/chart payload.
             if has(ViolationKind::HF5_2) {
-                f.push_str("<svg viewBox=\"0 0 10 2\"><rect width=\"4\"></rect><div>40%</div></svg>");
+                f.push_str(
+                    "<svg viewBox=\"0 0 10 2\"><rect width=\"4\"></rect><div>40%</div></svg>",
+                );
             } else if has(ViolationKind::HF5_1) {
                 f.push_str("<path d=\"M0 0L4 4\" class=\"spark\"></path>");
             } else {
                 f.push_str("<svg viewBox=\"0 0 10 2\"><rect width=\"4\"></rect></svg>");
             }
             if has(ViolationKind::DE3_2) {
-                f.push_str("<div data-embed='<script src=\"https://w.example/w.js\"></script>'></div>");
+                f.push_str(
+                    "<div data-embed='<script src=\"https://w.example/w.js\"></script>'></div>",
+                );
             }
         }
     }
@@ -136,7 +140,12 @@ fn one_fragment(
 /// smaller (few pages), simpler, and drop most of the complexity-driven
 /// violations (the namespace mess of huge SVG-heavy properties), while the
 /// typo-class violations persist at a damped rate.
-pub fn longtail_snapshot(seed: u64, index: u64, snap: Snapshot, ds_model: &crate::profile::ProfileModel) -> DomainSnapshot {
+pub fn longtail_snapshot(
+    seed: u64,
+    index: u64,
+    snap: Snapshot,
+    ds_model: &crate::profile::ProfileModel,
+) -> DomainSnapshot {
     // Long-tail ids live far outside the Tranco universe.
     let id = 0x4000_0000_0000 + index;
     let mut expressed: Vec<ViolationKind> = ds_model
@@ -233,10 +242,7 @@ mod tests {
             for frag in dynamic_fragments(a.cfg.seed, &ds, page) {
                 let r = check_fragment(&frag);
                 for k in r.kinds() {
-                    assert!(
-                        FRAGMENT_KINDS.contains(&k),
-                        "structural kind {k} fired in a fragment"
-                    );
+                    assert!(FRAGMENT_KINDS.contains(&k), "structural kind {k} fired in a fragment");
                 }
             }
         }

@@ -95,8 +95,7 @@ pub fn paper_yearly_pct(kind: ViolationKind) -> [f64; YEARS] {
 
 /// §4.5 auxiliary series (percent of analyzed domains): any URL attribute
 /// with a raw newline — 2314 (11.2%) in 2015 → 2469 (11.0%) in 2022.
-pub const PAPER_NEWLINE_URL_PCT: [f64; YEARS] =
-    [11.2, 11.2, 11.3, 11.2, 11.1, 11.1, 11.0, 11.0];
+pub const PAPER_NEWLINE_URL_PCT: [f64; YEARS] = [11.2, 11.2, 11.3, 11.2, 11.1, 11.1, 11.0, 11.0];
 
 /// §4.4: violating domains 2022 with vs. without the automatic fix:
 /// 15,337 (68%) → 8,298 (37%), i.e. 46% of violating sites fixed.
@@ -204,10 +203,8 @@ fn solve_chronic(kind: ViolationKind, g: f64) -> f64 {
 /// Bisection for `α_y`: `(1-G)·α·(1 - Π_V (1 - ȳ_V/α)) = any_y`.
 fn solve_activity(year: usize, g: f64) -> f64 {
     let target = PAPER_ANY_VIOLATION_PCT[year] / 100.0;
-    let yearly: Vec<f64> = ViolationKind::ALL
-        .iter()
-        .map(|&k| paper_yearly_pct(k)[year] / 100.0 / (1.0 - g))
-        .collect();
+    let yearly: Vec<f64> =
+        ViolationKind::ALL.iter().map(|&k| paper_yearly_pct(k)[year] / 100.0 / (1.0 - g)).collect();
     let max_yearly = yearly.iter().cloned().fold(0.0, f64::max);
     let f = |alpha: f64| -> f64 {
         let mut none = 1.0;
@@ -334,10 +331,7 @@ mod tests {
         }
         // §4.2 union-any within 1.5 points of 92%.
         let measured_any = 100.0 * any_ever as f64 / n as f64;
-        assert!(
-            (measured_any - PAPER_UNION_ANY_PCT).abs() < 1.5,
-            "union any {measured_any:.2}%"
-        );
+        assert!((measured_any - PAPER_UNION_ANY_PCT).abs() < 1.5, "union any {measured_any:.2}%");
         // Per-kind yearly and union rates within tolerance scaled to rate.
         for (i, kind) in ViolationKind::ALL.iter().enumerate() {
             let union_target_pct = union_target(*kind) * 100.0;

@@ -32,11 +32,7 @@ pub const TEMPLATE_KINDS: [ViolationKind; 9] = [
 const TEMPLATE_COVERAGE: f64 = 0.8;
 
 /// Which of the domain's expressed violations appear on this page.
-pub fn page_violations(
-    seed: u64,
-    ds: &DomainSnapshot,
-    page_index: usize,
-) -> Vec<ViolationKind> {
+pub fn page_violations(seed: u64, ds: &DomainSnapshot, page_index: usize) -> Vec<ViolationKind> {
     let mut out = Vec::new();
     let n = ds.page_count;
     for &kind in &ds.expressed {
@@ -78,13 +74,7 @@ fn local_pages(seed: u64, ds: &DomainSnapshot, kind: ViolationKind) -> Vec<usize
                 .map(|j| {
                     rng::below(
                         seed,
-                        &[
-                            0x10CB,
-                            ds.domain_id,
-                            ds.snapshot.index() as u64,
-                            kind as u64,
-                            j as u64,
-                        ],
+                        &[0x10CB, ds.domain_id, ds.snapshot.index() as u64, kind as u64, j as u64],
                         n,
                     )
                 })
@@ -118,10 +108,8 @@ const PARAGRAPH_WORDS: [&str; 24] = [
 pub fn generate_page(seed: u64, ds: &DomainSnapshot, page_index: usize) -> String {
     let violations = page_violations(seed, ds, page_index);
     let has = |k: ViolationKind| violations.contains(&k);
-    let mut r = KeyedRng::new(
-        seed,
-        &[0x9E4E, ds.domain_id, ds.snapshot.index() as u64, page_index as u64],
-    );
+    let mut r =
+        KeyedRng::new(seed, &[0x9E4E, ds.domain_id, ds.snapshot.index() as u64, page_index as u64]);
     let site = &ds.domain_name;
     let year = ds.snapshot.year();
     let mut h = String::with_capacity(4096);
@@ -207,7 +195,9 @@ pub fn generate_page(seed: u64, ds: &DomainSnapshot, page_index: usize) -> Strin
         } else if ds.benign_newline_url && i == 2 {
             // Multi-line URL without '<': counted by the §4.5 mitigation
             // analysis, not a violation.
-            h.push_str(&format!("    <a href=\"/{item}\n/archive\" class=\"nav-link\">{item}</a>\n"));
+            h.push_str(&format!(
+                "    <a href=\"/{item}\n/archive\" class=\"nav-link\">{item}</a>\n"
+            ));
         } else {
             h.push_str(&format!("    <a href=\"/{item}/\" class=\"nav-link\">{item}</a>\n"));
         }
@@ -242,9 +232,7 @@ pub fn generate_page(seed: u64, ds: &DomainSnapshot, page_index: usize) -> Strin
 
     if has(ViolationKind::DM1) {
         // A meta refresh dropped into the body (Figure 15).
-        h.push_str(
-            "  <meta http-equiv=\"refresh\" content=\"600; URL=/refresh\">\n",
-        );
+        h.push_str("  <meta http-equiv=\"refresh\" content=\"600; URL=/refresh\">\n");
     }
 
     match ds.archetype {

@@ -139,12 +139,7 @@ impl ProfileModel {
         if size_pct < self.cap_prob[snap.index()] {
             100
         } else {
-            rng::range(
-                self.seed,
-                &[key::SMALL_PAGES, id, snap.index() as u64],
-                SMALL_LO,
-                SMALL_HI,
-            )
+            rng::range(self.seed, &[key::SMALL_PAGES, id, snap.index() as u64], SMALL_LO, SMALL_HI)
         }
     }
 
@@ -163,7 +158,8 @@ impl ProfileModel {
         }
         let mut out = Vec::new();
         for (i, &kind) in ViolationKind::ALL.iter().enumerate() {
-            let chronic = rng::chance(self.seed, &[key::CHRONIC, id, i as u64], self.cal.chronic[i]);
+            let chronic =
+                rng::chance(self.seed, &[key::CHRONIC, id, i as u64], self.cal.chronic[i]);
             if chronic
                 && rng::chance(
                     self.seed,
@@ -196,8 +192,7 @@ impl ProfileModel {
             return false;
         }
         let y = snap.index();
-        let chronic =
-            rng::chance(self.seed, &[key::NEWLINE_URL, id], self.newline_chronic);
+        let chronic = rng::chance(self.seed, &[key::NEWLINE_URL, id], self.newline_chronic);
         if !chronic {
             return false;
         }
@@ -263,9 +258,8 @@ mod tests {
     fn found_ever_rate_matches() {
         let m = model();
         let n = 40_000u64;
-        let found = (0..n)
-            .filter(|&i| Snapshot::ALL.iter().any(|&s| m.present(i, s)))
-            .count() as f64
+        let found = (0..n).filter(|&i| Snapshot::ALL.iter().any(|&s| m.present(i, s))).count()
+            as f64
             / n as f64;
         let target = FOUND_EVER as f64 / 24_915.0; // 96.5%
         assert!((found - target).abs() < 0.01, "found-ever {found:.3} vs {target:.3}");

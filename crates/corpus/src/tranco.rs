@@ -47,8 +47,7 @@ pub fn domain_name(i: u64) -> String {
         "stack", "grid", "cast", "play", "game", "tech", "soft", "apps", "tools", "bank", "pay",
         "trade", "market", "travel", "food", "health", "learn", "edu", "video", "music", "photo",
     ];
-    const TLD: [&str; 10] =
-        ["com", "org", "net", "io", "de", "co.uk", "fr", "it", "nl", "app"];
+    const TLD: [&str; 10] = ["com", "org", "net", "io", "de", "co.uk", "fr", "it", "nl", "app"];
     let f = (i % FIRST.len() as u64) as usize;
     let s = ((i / FIRST.len() as u64) % SECOND.len() as u64) as usize;
     let t = ((i / (FIRST.len() as u64 * SECOND.len() as u64)) % TLD.len() as u64) as usize;

@@ -63,10 +63,8 @@ impl CdxjLine {
 /// SURT (Sort-friendly URI Reordering Transform) of an http(s) URL:
 /// `https://www.example.com/a/b` → `com,example,www)/a/b`.
 pub fn surt(url: &str) -> String {
-    let stripped = url
-        .strip_prefix("https://")
-        .or_else(|| url.strip_prefix("http://"))
-        .unwrap_or(url);
+    let stripped =
+        url.strip_prefix("https://").or_else(|| url.strip_prefix("http://")).unwrap_or(url);
     let (host, path) = match stripped.find('/') {
         Some(i) => (&stripped[..i], &stripped[i..]),
         None => (stripped, "/"),
@@ -281,11 +279,14 @@ mod tests {
     fn warc_write_read_roundtrip() {
         let mut buf = io::Cursor::new(Vec::new());
         let mut w = WarcWriter::new(&mut buf);
-        let (o1, l1) = w
-            .write_response("https://a.example/", "2022-01-20T00:00:00Z", b"<p>one</p>")
-            .unwrap();
+        let (o1, l1) =
+            w.write_response("https://a.example/", "2022-01-20T00:00:00Z", b"<p>one</p>").unwrap();
         let (o2, l2) = w
-            .write_response("https://b.example/x", "2022-01-20T00:00:00Z", "<p>zw\u{F6}lf</p>".as_bytes())
+            .write_response(
+                "https://b.example/x",
+                "2022-01-20T00:00:00Z",
+                "<p>zw\u{F6}lf</p>".as_bytes(),
+            )
             .unwrap();
         assert_eq!(o2, l1);
         let rec1 = read_record(&mut buf, o1, l1).unwrap();

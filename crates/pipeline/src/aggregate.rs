@@ -84,12 +84,8 @@ pub fn overall_distribution(store: &ResultStore) -> Vec<DistributionBar> {
 /// §4.2: share of analyzed domains with at least one violation in any year.
 pub fn overall_violating_share(store: &ResultStore) -> f64 {
     let analyzed = store.analyzed_domains();
-    let violating: BTreeSet<u64> = store
-        .records
-        .iter()
-        .filter(|r| r.violating())
-        .map(|r| r.domain_id)
-        .collect();
+    let violating: BTreeSet<u64> =
+        store.records.iter().filter(|r| r.violating()).map(|r| r.domain_id).collect();
     percent(violating.intersection(&analyzed).count(), analyzed.len())
 }
 
@@ -183,10 +179,10 @@ pub fn mitigation_trends(store: &ResultStore) -> MitigationTrends {
         let (mut s, mut ns, mut nl, mut nllt) = (0usize, 0usize, 0usize, 0usize);
         for r in store.by_snapshot(snap).filter(|r| r.analyzed()) {
             analyzed += 1;
-            s += usize::from(r.script_in_attribute);
-            ns += usize::from(r.script_in_nonced_script);
-            nl += usize::from(r.newline_in_url);
-            nllt += usize::from(r.newline_and_lt_in_url);
+            s += usize::from(r.mitigations.script_in_attribute);
+            ns += usize::from(r.mitigations.script_in_nonced_script);
+            nl += usize::from(r.mitigations.newline_in_url);
+            nllt += usize::from(r.mitigations.newline_and_lt_in_url);
         }
         out.script_in_attribute[y] = (s, percent(s, analyzed));
         out.script_in_nonced_script[y] = ns;
@@ -204,8 +200,7 @@ pub fn rollout_breakage(store: &ResultStore) -> Vec<(u8, YearSeries)> {
     (0..=4u8)
         .map(|stage| {
             let list = hv_core::strict::EnforcementList::stage(stage);
-            let series =
-                per_year(store, move |r| r.kinds.iter().any(|&k| list.contains(k)));
+            let series = per_year(store, move |r| r.kinds.iter().any(|&k| list.contains(k)));
             (stage, series)
         })
         .collect()
@@ -216,8 +211,7 @@ pub fn rollout_breakage(store: &ResultStore) -> Vec<(u8, YearSeries)> {
 pub fn math_usage_by_year(store: &ResultStore) -> [usize; YEARS] {
     let mut out = [0usize; YEARS];
     for snap in Snapshot::ALL {
-        out[snap.index()] =
-            store.by_snapshot(snap).filter(|r| r.analyzed() && r.uses_math).count();
+        out[snap.index()] = store.by_snapshot(snap).filter(|r| r.analyzed() && r.uses_math).count();
     }
     out
 }
@@ -229,10 +223,7 @@ pub fn domains_with_kind_in_year(
     kind: ViolationKind,
     snap: Snapshot,
 ) -> usize {
-    store
-        .by_snapshot(snap)
-        .filter(|r| r.analyzed() && r.kinds.contains(&kind))
-        .count()
+    store.by_snapshot(snap).filter(|r| r.analyzed() && r.kinds.contains(&kind)).count()
 }
 
 fn per_year(
@@ -284,10 +275,7 @@ mod tests {
             pages_analyzed: if analyzed { 10 } else { 0 },
             kinds: kinds.iter().copied().collect(),
             page_counts: Default::default(),
-            script_in_attribute: false,
-            script_in_nonced_script: false,
-            newline_in_url: false,
-            newline_and_lt_in_url: false,
+            mitigations: Default::default(),
             kinds_after_autofix: kinds
                 .iter()
                 .copied()
@@ -299,11 +287,7 @@ mod tests {
 
     #[test]
     fn table2_counts_found_and_analyzed() {
-        let s = store_with(vec![
-            rec(1, 0, &[], true),
-            rec(2, 0, &[], false),
-            rec(1, 1, &[], true),
-        ]);
+        let s = store_with(vec![rec(1, 0, &[], true), rec(2, 0, &[], false), rec(1, 1, &[], true)]);
         let rows = table2(&s);
         assert_eq!(rows[0].domains_found, 2);
         assert_eq!(rows[0].domains_analyzed, 1);
@@ -356,7 +340,7 @@ mod tests {
     #[test]
     fn autofix_projection_math() {
         let s = store_with(vec![
-            rec(1, 7, &[ViolationKind::FB2], true),                 // fully fixable
+            rec(1, 7, &[ViolationKind::FB2], true), // fully fixable
             rec(2, 7, &[ViolationKind::FB2, ViolationKind::HF4], true), // HF4 remains
             rec(3, 7, &[], true),
         ]);
@@ -370,8 +354,8 @@ mod tests {
     #[test]
     fn rollout_breakage_grows_with_stage() {
         let s = store_with(vec![
-            rec(1, 7, &[ViolationKind::FB2], true),  // only blocked at stage 4
-            rec(2, 7, &[ViolationKind::DE2], true),  // blocked from stage 1
+            rec(1, 7, &[ViolationKind::FB2], true), // only blocked at stage 4
+            rec(2, 7, &[ViolationKind::DE2], true), // blocked from stage 1
             rec(3, 7, &[], true),
         ]);
         let rollout = rollout_breakage(&s);
@@ -458,10 +442,7 @@ mod churn_tests {
             pages_analyzed: 5,
             kinds: kinds.iter().copied().collect(),
             page_counts: Default::default(),
-            script_in_attribute: false,
-            script_in_nonced_script: false,
-            newline_in_url: false,
-            newline_and_lt_in_url: false,
+            mitigations: Default::default(),
             kinds_after_autofix: Default::default(),
             uses_math: false,
         };

@@ -123,10 +123,7 @@ pub fn longtail_study(archive: &Archive, sample: usize, snap: Snapshot) -> Longt
 }
 
 /// Scan all pages of one domain-snapshot and return the distinct kinds.
-fn scan_snapshot_kinds(
-    archive: &Archive,
-    ds: &hv_corpus::DomainSnapshot,
-) -> Vec<ViolationKind> {
+fn scan_snapshot_kinds(archive: &Archive, ds: &hv_corpus::DomainSnapshot) -> Vec<ViolationKind> {
     let mut kinds: Vec<ViolationKind> = Vec::new();
     for page in 0..ds.page_count.min(100) {
         let body = archive.fetch_page(ds, page);

@@ -9,8 +9,12 @@
 //!                   (4) ResultStore ◀─ (3) checker battery (hv_core)
 //! ```
 //!
-//! * [`run`] — the orchestrator: CPU-bound parsing fanned out over a
-//!   crossbeam worker pool; deterministic at any thread count.
+//! * [`run`] — the page-granular scan engine: workers pull individual
+//!   pages from an atomic cursor, each running one reusable
+//!   [`hv_core::Battery`]; per-domain partials merge commutatively, so
+//!   the result is byte-identical at any thread count.
+//! * [`metrics`] — scan observability: throughput, per-phase timings and
+//!   per-check fire counts, collected lock-free and embedded in the store.
 //! * [`store`] — the embedded result database (the paper used Postgres; a
 //!   typed in-memory table with JSON persistence serves the same queries).
 //! * [`aggregate`] — every number behind Tables 1–2, Figures 8–10 and
@@ -18,19 +22,24 @@
 //!
 //! ```no_run
 //! use hv_corpus::{Archive, CorpusConfig};
-//! use hv_pipeline::{aggregate, run};
+//! use hv_pipeline::{aggregate, run, ScanOptions};
 //!
 //! let archive = Archive::new(CorpusConfig { seed: 7, scale: 0.01 });
-//! let store = run::scan(&archive, run::ScanOptions::default());
+//! let store = run::scan(&archive, ScanOptions::new().threads(8).collect_metrics(true));
+//! if let Some(m) = &store.metrics {
+//!     eprintln!("{}", m.render());
+//! }
 //! let fig9 = aggregate::violating_domains_by_year(&store);
 //! println!("violating domains 2022: {:.2}%", fig9[7]);
 //! ```
 
 pub mod aggregate;
 pub mod auxstudies;
+pub mod metrics;
 pub mod run;
 pub mod store;
 pub mod warcscan;
 
+pub use metrics::{PhaseNanos, ScanMetrics};
 pub use run::{scan, scan_snapshots, ScanOptions};
 pub use store::{DomainYearRecord, ResultStore};

@@ -1,0 +1,233 @@
+//! Scan observability: what the engine did, how fast, and where the time
+//! went.
+//!
+//! Each worker accumulates its own [`ScanMetrics`] lock-free (plain
+//! counters on the worker's stack); the driver merges them after the join
+//! — every field is additive or shape-aligned, so the merge is
+//! order-independent. The merged metrics are embedded in the
+//! [`crate::ResultStore`] as provenance and rendered by `hv scan
+//! --metrics` / `hv repro`.
+
+use hv_core::BatteryStats;
+use serde::{Deserialize, Serialize};
+
+/// Worker-side wall time per pipeline phase (Figure 6 steps), summed over
+/// all workers — on an N-thread scan the phase total can exceed the scan's
+/// wall clock by up to a factor of N.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseNanos {
+    /// (1) CDX index lookups (driver-side, single-threaded).
+    #[serde(default)]
+    pub cdx: u64,
+    /// (2) WARC record fetch (page generation / disk read).
+    #[serde(default)]
+    pub fetch: u64,
+    /// §4.1 UTF-8 validation of the fetched bytes.
+    #[serde(default)]
+    pub decode: u64,
+    /// Building the [`hv_core::CheckContext`] (tokenize + tree build).
+    #[serde(default)]
+    pub parse: u64,
+    /// (3) running the checker battery over the parsed page.
+    #[serde(default)]
+    pub check: u64,
+}
+
+impl PhaseNanos {
+    pub fn merge(&mut self, other: &PhaseNanos) {
+        self.cdx += other.cdx;
+        self.fetch += other.fetch;
+        self.decode += other.decode;
+        self.parse += other.parse;
+        self.check += other.check;
+    }
+
+    /// Total attributed worker time.
+    pub fn total(&self) -> u64 {
+        self.cdx + self.fetch + self.decode + self.parse + self.check
+    }
+}
+
+/// Aggregated scan telemetry. Every counter is a plain sum over workers,
+/// so partial metrics from any number of workers merge into the same
+/// totals regardless of thread count or merge order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ScanMetrics {
+    /// Worker threads the scan ran with.
+    #[serde(default)]
+    pub threads: usize,
+    /// Driver-side wall clock for the whole scan, nanoseconds.
+    #[serde(default)]
+    pub wall_nanos: u64,
+    /// (domain, snapshot) pairs that had a CDX entry.
+    #[serde(default)]
+    pub domain_snapshots: u64,
+    /// Pages listed in the CDX indices (before the UTF-8 filter).
+    #[serde(default)]
+    pub pages_listed: u64,
+    /// Pages that decoded as UTF-8 and went through the battery.
+    #[serde(default)]
+    pub pages_analyzed: u64,
+    /// Pages rejected by the §4.1 UTF-8 filter.
+    #[serde(default)]
+    pub pages_rejected_utf8: u64,
+    /// Bytes fetched from the archive (all listed pages).
+    #[serde(default)]
+    pub bytes_fetched: u64,
+    /// Bytes of the pages that passed the filter (== bytes parsed).
+    #[serde(default)]
+    pub bytes_decoded: u64,
+    /// Where worker time went, per phase.
+    #[serde(default)]
+    pub phases: PhaseNanos,
+    /// Per-check fire counts and wall-time histograms.
+    #[serde(default)]
+    pub battery: BatteryStats,
+}
+
+impl ScanMetrics {
+    /// Fold one worker's partial metrics into the aggregate.
+    pub fn merge(&mut self, other: &ScanMetrics) {
+        self.domain_snapshots += other.domain_snapshots;
+        self.pages_listed += other.pages_listed;
+        self.pages_analyzed += other.pages_analyzed;
+        self.pages_rejected_utf8 += other.pages_rejected_utf8;
+        self.bytes_fetched += other.bytes_fetched;
+        self.bytes_decoded += other.bytes_decoded;
+        self.phases.merge(&other.phases);
+        if self.battery.per_check.is_empty() {
+            self.battery = other.battery.clone();
+        } else if !other.battery.per_check.is_empty() {
+            self.battery.merge(&other.battery);
+        }
+        // threads / wall_nanos are driver-owned, not summed.
+    }
+
+    /// Throughput over the scan's wall clock.
+    pub fn pages_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.pages_analyzed as f64 / (self.wall_nanos as f64 / 1e9)
+    }
+
+    /// Fraction of listed pages the §4.1 filter rejected.
+    pub fn utf8_reject_rate(&self) -> f64 {
+        if self.pages_listed == 0 {
+            return 0.0;
+        }
+        self.pages_rejected_utf8 as f64 / self.pages_listed as f64
+    }
+
+    /// Human-readable multi-line summary (what `hv scan --metrics` prints).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("scan metrics\n");
+        s.push_str(&format!(
+            "  threads {:>3}   wall {:>8.2}s   throughput {:>9.0} pages/s\n",
+            self.threads,
+            self.wall_nanos as f64 / 1e9,
+            self.pages_per_sec()
+        ));
+        s.push_str(&format!(
+            "  domain-snapshots {}   pages listed {}   analyzed {}   utf-8 rejected {} ({:.2}%)\n",
+            self.domain_snapshots,
+            self.pages_listed,
+            self.pages_analyzed,
+            self.pages_rejected_utf8,
+            100.0 * self.utf8_reject_rate()
+        ));
+        s.push_str(&format!(
+            "  bytes fetched {:.1} MiB   decoded {:.1} MiB\n",
+            self.bytes_fetched as f64 / (1024.0 * 1024.0),
+            self.bytes_decoded as f64 / (1024.0 * 1024.0)
+        ));
+        let t = self.phases.total().max(1);
+        s.push_str(&format!(
+            "  worker time: cdx {:.1}% fetch {:.1}% decode {:.1}% parse {:.1}% check {:.1}%\n",
+            100.0 * self.phases.cdx as f64 / t as f64,
+            100.0 * self.phases.fetch as f64 / t as f64,
+            100.0 * self.phases.decode as f64 / t as f64,
+            100.0 * self.phases.parse as f64 / t as f64,
+            100.0 * self.phases.check as f64 / t as f64
+        ));
+        if !self.battery.per_check.is_empty() {
+            s.push_str("  per-check: pages fired / findings / mean ns\n");
+            for (kind, st) in &self.battery.per_check {
+                s.push_str(&format!(
+                    "    {:<6} {:>8} {:>9} {:>9.0}\n",
+                    kind.to_string(),
+                    st.pages_fired,
+                    st.findings_total,
+                    st.nanos.mean_nanos()
+                ));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worker(pages: u64, bytes: u64) -> ScanMetrics {
+        ScanMetrics {
+            domain_snapshots: 2,
+            pages_listed: pages + 1,
+            pages_analyzed: pages,
+            pages_rejected_utf8: 1,
+            bytes_fetched: bytes + 100,
+            bytes_decoded: bytes,
+            phases: PhaseNanos { cdx: 0, fetch: 10, decode: 20, parse: 300, check: 400 },
+            ..ScanMetrics::default()
+        }
+    }
+
+    #[test]
+    fn merge_is_additive_and_order_independent() {
+        let (a, b) = (worker(10, 1000), worker(7, 500));
+        let mut ab = ScanMetrics::default();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = ScanMetrics::default();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.pages_analyzed, 17);
+        assert_eq!(ab.pages_listed, 19);
+        assert_eq!(ab.bytes_decoded, 1500);
+        assert_eq!(ab.phases, ba.phases);
+        assert_eq!(ab.pages_analyzed, ba.pages_analyzed);
+    }
+
+    #[test]
+    fn rates_guard_division_by_zero() {
+        let m = ScanMetrics::default();
+        assert_eq!(m.pages_per_sec(), 0.0);
+        assert_eq!(m.utf8_reject_rate(), 0.0);
+    }
+
+    #[test]
+    fn render_mentions_throughput_and_phases() {
+        let mut m = worker(100, 10_000);
+        m.threads = 4;
+        m.wall_nanos = 2_000_000_000;
+        let out = m.render();
+        assert!(out.contains("threads"));
+        assert!(out.contains("pages/s"));
+        assert!(out.contains("parse"));
+        assert!(out.contains("utf-8 rejected 1"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut m = worker(3, 64);
+        m.threads = 2;
+        m.wall_nanos = 5;
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ScanMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.pages_analyzed, m.pages_analyzed);
+        assert_eq!(back.phases, m.phases);
+        assert_eq!(back.threads, 2);
+    }
+}

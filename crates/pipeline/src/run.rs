@@ -1,35 +1,96 @@
-//! The Figure-6 pipeline orchestrator.
+//! The Figure-6 pipeline orchestrator — a page-granular scan engine.
 //!
-//! Steps per (domain, snapshot): (1) CDX metadata lookup, (2) fetch WARC
-//! records, (3) decode + run the checker battery, (4) store. Work is fanned
-//! out over a crossbeam worker pool — the workload is pure CPU (parsing),
-//! so threads, not async, are the right tool. Results are independent per
-//! work item and re-sorted at the end, making the scan deterministic at any
-//! thread count.
+//! Steps: (1) the driver performs every CDX metadata lookup up front and
+//! flattens the hits into one global page index (prefix sums over the
+//! per-domain page counts). Workers then pull *individual pages* from an
+//! atomic cursor — no domain is large enough to straggle, so the pool
+//! stays busy to the last page. Each worker owns one reusable
+//! [`hv_core::Battery`] (the rule set is boxed once, the findings buffer
+//! recycled page-to-page) and accumulates per-domain partials locally;
+//! (4) after the join the driver folds the partials into
+//! [`DomainYearRecord`]s. Every merge is commutative (set union, count
+//! addition, flag OR), so the result is byte-identical at any thread
+//! count.
+//!
+//! With [`ScanOptions::collect_metrics`] the workers additionally time
+//! each phase (fetch/decode/parse/check) and every individual rule into a
+//! [`ScanMetrics`], merged lock-free at the join and embedded in the
+//! store as provenance.
 
+use crate::metrics::{PhaseNanos, ScanMetrics};
 use crate::store::{DomainYearRecord, ResultStore};
-use hv_core::checkers;
 use hv_core::context::CheckContext;
+use hv_core::{Battery, MitigationFlags};
+use hv_corpus::archive::DomainCdx;
 use hv_corpus::{Archive, Snapshot};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
-/// Scan options.
+/// Scan options. Construct with [`ScanOptions::new`] and chain the
+/// builder methods; the struct is `#[non_exhaustive]` so new knobs can be
+/// added without breaking callers.
+///
+/// ```
+/// use hv_pipeline::ScanOptions;
+/// let opts = ScanOptions::new().threads(8).progress_every(500).collect_metrics(true);
+/// assert_eq!(opts.threads, 8);
+/// ```
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct ScanOptions {
     /// Worker threads; 0 = one per available core.
     pub threads: usize,
     /// Also compute the §4.4 auto-fix projection per domain (adds one
     /// classification pass; cheap — it reuses the check results).
     pub autofix_projection: bool,
-    /// Print progress to stderr every this many domain-snapshots
-    /// (0 = silent).
+    /// Print progress to stderr every this many pages (0 = silent).
     pub progress_every: usize,
+    /// Collect [`ScanMetrics`] (per-phase timings, per-check fire counts)
+    /// and embed them in the store. Adds two clock reads per page plus one
+    /// per rule execution.
+    pub collect_metrics: bool,
+}
+
+impl ScanOptions {
+    /// The defaults: all cores, auto-fix projection on, silent, no metrics.
+    pub fn new() -> Self {
+        ScanOptions {
+            threads: 0,
+            autofix_projection: true,
+            progress_every: 0,
+            collect_metrics: false,
+        }
+    }
+
+    /// Worker threads; 0 = one per available core.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Toggle the §4.4 auto-fix projection.
+    pub fn autofix_projection(mut self, on: bool) -> Self {
+        self.autofix_projection = on;
+        self
+    }
+
+    /// Print progress to stderr every `every` pages (0 = silent).
+    pub fn progress_every(mut self, every: usize) -> Self {
+        self.progress_every = every;
+        self
+    }
+
+    /// Toggle [`ScanMetrics`] collection.
+    pub fn collect_metrics(mut self, on: bool) -> Self {
+        self.collect_metrics = on;
+        self
+    }
 }
 
 impl Default for ScanOptions {
     fn default() -> Self {
-        ScanOptions { threads: 0, autofix_projection: true, progress_every: 0 }
+        ScanOptions::new()
     }
 }
 
@@ -39,6 +100,36 @@ pub fn scan(archive: &Archive, opts: ScanOptions) -> ResultStore {
     scan_snapshots(archive, &Snapshot::ALL, opts)
 }
 
+/// One (domain, snapshot) with a CDX hit — the unit the partials merge
+/// back into.
+struct Slot {
+    dom_idx: usize,
+    snap: Snapshot,
+    cdx: DomainCdx,
+}
+
+/// A worker's running totals for one slot. All fields merge commutatively.
+#[derive(Default)]
+struct Partial {
+    analyzed: usize,
+    kinds: BTreeSet<hv_core::ViolationKind>,
+    page_counts: BTreeMap<hv_core::ViolationKind, u32>,
+    mitigations: MitigationFlags,
+    uses_math: bool,
+}
+
+impl Partial {
+    fn absorb(&mut self, other: Partial) {
+        self.analyzed += other.analyzed;
+        self.kinds.extend(other.kinds);
+        for (k, n) in other.page_counts {
+            *self.page_counts.entry(k).or_insert(0) += n;
+        }
+        self.mitigations.merge(other.mitigations);
+        self.uses_math |= other.uses_math;
+    }
+}
+
 /// Run the measurement for a subset of snapshots.
 pub fn scan_snapshots(archive: &Archive, snapshots: &[Snapshot], opts: ScanOptions) -> ResultStore {
     let threads = if opts.threads == 0 {
@@ -46,107 +137,188 @@ pub fn scan_snapshots(archive: &Archive, snapshots: &[Snapshot], opts: ScanOptio
     } else {
         opts.threads
     };
+    let scan_start = Instant::now();
 
-    // Work items: (domain index, snapshot). The vector is only indices —
-    // workers pull from an atomic cursor, so no channel overhead.
+    // Phase (1): all CDX lookups, driver-side. Cheap relative to parsing,
+    // and doing them up front yields the flat page index the workers need.
+    let cdx_start = Instant::now();
     let domains = archive.domains();
-    let mut work: Vec<(usize, Snapshot)> = Vec::with_capacity(domains.len() * snapshots.len());
-    for (i, _) in domains.iter().enumerate() {
+    let mut slots: Vec<Slot> = Vec::new();
+    for (dom_idx, domain) in domains.iter().enumerate() {
         for &snap in snapshots {
-            work.push((i, snap));
+            if let Some(cdx) = archive.cdx_lookup(domain, snap) {
+                slots.push(Slot { dom_idx, snap, cdx });
+            }
         }
     }
+    let cdx_nanos = cdx_start.elapsed().as_nanos() as u64;
+
+    // Prefix sums: global page index g lives in slot
+    // partition_point(starts, <= g) - 1 at local offset g - starts[slot].
+    let mut starts = Vec::with_capacity(slots.len() + 1);
+    let mut acc = 0usize;
+    for slot in &slots {
+        starts.push(acc);
+        acc += slot.cdx.pages.len();
+    }
+    starts.push(acc);
+    let total_pages = acc;
 
     let cursor = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
-    let total = work.len();
 
-    let mut store = ResultStore::new(archive.cfg.seed, archive.cfg.scale, domains.len());
-    let records: Vec<Vec<DomainYearRecord>> = crossbeam::thread::scope(|s| {
+    let worker_out: Vec<(BTreeMap<usize, Partial>, ScanMetrics)> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for _ in 0..threads {
             let cursor = &cursor;
             let done = &done;
-            let work = &work;
-            handles.push(s.spawn(move |_| {
-                let mut out = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= work.len() {
-                        break;
-                    }
-                    let (dom_idx, snap) = work[i];
-                    if let Some(rec) = scan_domain_snapshot(archive, dom_idx, snap, opts) {
-                        out.push(rec);
-                    }
-                    let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if opts.progress_every > 0 && d.is_multiple_of(opts.progress_every) {
-                        eprintln!("  scanned {d}/{total} domain-snapshots");
-                    }
-                }
-                out
+            let slots = &slots;
+            let starts = &starts;
+            handles.push(s.spawn(move || {
+                scan_worker(archive, slots, starts, total_pages, cursor, done, opts)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope");
+        handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+    });
 
-    for batch in records {
-        store.records.extend(batch);
+    // Fold worker partials per slot. Each merge is commutative, so the
+    // worker order cannot show through.
+    let mut merged: Vec<Partial> = (0..slots.len()).map(|_| Partial::default()).collect();
+    let mut metrics = ScanMetrics::default();
+    for (partials, wm) in worker_out {
+        for (slot_idx, partial) in partials {
+            merged[slot_idx].absorb(partial);
+        }
+        metrics.merge(&wm);
+    }
+
+    let mut store = ResultStore::new(archive.cfg.seed, archive.cfg.scale, domains.len());
+    for (slot, partial) in slots.iter().zip(merged) {
+        store.records.push(make_record(archive, slot, partial, opts));
     }
     store.finalize();
+
+    if opts.collect_metrics {
+        metrics.threads = threads;
+        metrics.phases.cdx = cdx_nanos;
+        metrics.domain_snapshots = slots.len() as u64;
+        metrics.pages_listed = total_pages as u64;
+        metrics.wall_nanos = scan_start.elapsed().as_nanos() as u64;
+        store.metrics = Some(metrics);
+    }
     store
 }
 
-/// Steps (1)–(3) for one (domain, snapshot); `None` when the domain has no
-/// CDX entry in that crawl.
-fn scan_domain_snapshot(
+/// The worker loop: pull global page indices until the cursor runs dry.
+/// Returns the per-slot partials plus this worker's metrics share.
+fn scan_worker(
     archive: &Archive,
-    dom_idx: usize,
-    snap: Snapshot,
+    slots: &[Slot],
+    starts: &[usize],
+    total_pages: usize,
+    cursor: &AtomicUsize,
+    done: &AtomicUsize,
     opts: ScanOptions,
-) -> Option<DomainYearRecord> {
-    let domain = &archive.domains()[dom_idx];
-    let cdx = archive.cdx_lookup(domain, snap)?;
+) -> (BTreeMap<usize, Partial>, ScanMetrics) {
+    let mut battery = Battery::full();
+    let mut stats = opts.collect_metrics.then(|| battery.new_stats());
+    let mut partials: BTreeMap<usize, Partial> = BTreeMap::new();
+    let mut wm = ScanMetrics::default();
+    let mut phases = PhaseNanos::default();
 
-    let mut kinds: BTreeSet<hv_core::ViolationKind> = BTreeSet::new();
-    let mut page_counts: BTreeMap<hv_core::ViolationKind, u32> = BTreeMap::new();
-    let mut analyzed = 0usize;
-    let mut script_in_attribute = false;
-    let mut script_in_nonced_script = false;
-    let mut newline_in_url = false;
-    let mut newline_and_lt_in_url = false;
-    let mut uses_math = false;
-
-    for entry in &cdx.pages {
-        let body = archive.fetch_page(&cdx.snapshot, entry.page_index);
-        // §4.1: documents that are not UTF-8 decodable are filtered out.
-        let Some(text) = decode(&body) else { continue };
-        analyzed += 1;
-        let cx = CheckContext::new(&text);
-        let report = checkers::check_context(&cx);
-        for k in report.kinds() {
-            kinds.insert(k);
-            *page_counts.entry(k).or_insert(0) += 1;
+    loop {
+        let g = cursor.fetch_add(1, Ordering::Relaxed);
+        if g >= total_pages {
+            break;
         }
-        script_in_attribute |= report.mitigations.script_in_attribute;
-        script_in_nonced_script |= report.mitigations.script_in_nonced_script;
-        newline_in_url |= report.mitigations.newline_in_url;
-        newline_and_lt_in_url |= report.mitigations.newline_and_lt_in_url;
+        // starts is sorted and starts[0] == 0 <= g, so the subtraction is
+        // safe; the last entry (total_pages) is > g, bounding the slot.
+        let slot_idx = starts.partition_point(|&s| s <= g) - 1;
+        let slot = &slots[slot_idx];
+        let entry = &slot.cdx.pages[g - starts[slot_idx]];
+        let partial = partials.entry(slot_idx).or_default();
+
+        // Phase (2): fetch the record body.
+        let t = opts.collect_metrics.then(Instant::now);
+        let body = archive.fetch_page(&slot.cdx.snapshot, entry.page_index);
+        let t = lap(t, &mut phases.fetch);
+        wm.bytes_fetched += body.len() as u64;
+
+        // §4.1: documents that are not UTF-8 decodable are filtered out.
+        let decoded = decode(&body);
+        let t = lap(t, &mut phases.decode);
+        let Some(text) = decoded else {
+            wm.pages_rejected_utf8 += 1;
+            bump_progress(done, opts, total_pages);
+            continue;
+        };
+        partial.analyzed += 1;
+        wm.pages_analyzed += 1;
+        wm.bytes_decoded += text.len() as u64;
+
+        // Phase (3): parse once, then run the battery over the context.
+        let cx = CheckContext::new(&text);
+        let t = lap(t, &mut phases.parse);
+        let report = match &mut stats {
+            Some(stats) => battery.run_instrumented(&cx, stats),
+            None => battery.run_ref(&cx),
+        };
+        lap(t, &mut phases.check);
+
+        for k in report.kinds() {
+            partial.kinds.insert(k);
+            *partial.page_counts.entry(k).or_insert(0) += 1;
+        }
+        partial.mitigations.merge(report.mitigations);
         // §4.2's usage counter: any math element (either namespace's
         // spelling ends up as a MathML-ns `math` element or an HTML
         // orphan; count both).
-        uses_math |= cx
+        partial.uses_math |= cx
             .parse
             .dom
             .all_elements()
             .any(|id| cx.parse.dom.element(id).is_some_and(|e| e.name == "math"));
+
+        bump_progress(done, opts, total_pages);
     }
 
+    if let Some(stats) = stats {
+        wm.battery = stats;
+    }
+    wm.phases = phases;
+    (partials, wm)
+}
+
+/// Advance the phase clock: add the time since `t` to `acc` and restart.
+/// `None` (metrics off) stays `None` at zero cost.
+fn lap(t: Option<Instant>, acc: &mut u64) -> Option<Instant> {
+    t.map(|t0| {
+        let now = Instant::now();
+        *acc += (now - t0).as_nanos() as u64;
+        now
+    })
+}
+
+fn bump_progress(done: &AtomicUsize, opts: ScanOptions, total_pages: usize) {
+    let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+    if opts.progress_every > 0 && d.is_multiple_of(opts.progress_every) {
+        eprintln!("  scanned {d}/{total_pages} pages");
+    }
+}
+
+/// Fold one slot's merged partial into the final record.
+fn make_record(
+    archive: &Archive,
+    slot: &Slot,
+    partial: Partial,
+    opts: ScanOptions,
+) -> DomainYearRecord {
+    let domain = &archive.domains()[slot.dom_idx];
     let kinds_after_autofix = if opts.autofix_projection {
         // §4.4's projection: the automatic pass removes the Automatic
         // kinds; Manual kinds remain.
-        kinds
+        partial
+            .kinds
             .iter()
             .copied()
             .filter(|k| k.fixability() == hv_core::Fixability::Manual)
@@ -154,23 +326,19 @@ fn scan_domain_snapshot(
     } else {
         BTreeSet::new()
     };
-
-    Some(DomainYearRecord {
+    DomainYearRecord {
         domain_id: domain.id,
         domain_name: domain.name.clone(),
         rank: domain.rank,
-        snapshot: snap,
-        pages_found: cdx.pages.len(),
-        pages_analyzed: analyzed,
-        kinds,
-        page_counts,
-        script_in_attribute,
-        script_in_nonced_script,
-        newline_in_url,
-        newline_and_lt_in_url,
+        snapshot: slot.snap,
+        pages_found: slot.cdx.pages.len(),
+        pages_analyzed: partial.analyzed,
+        kinds: partial.kinds,
+        page_counts: partial.page_counts,
+        mitigations: partial.mitigations,
         kinds_after_autofix,
-        uses_math,
-    })
+        uses_math: partial.uses_math,
+    }
 }
 
 fn decode(bytes: &[u8]) -> Option<String> {
@@ -193,11 +361,7 @@ mod tests {
     #[test]
     fn scan_produces_records_for_present_domains() {
         let archive = tiny_archive();
-        let store = scan_snapshots(
-            &archive,
-            &[Snapshot::ALL[7]],
-            ScanOptions { threads: 2, ..ScanOptions::default() },
-        );
+        let store = scan_snapshots(&archive, &[Snapshot::ALL[7]], ScanOptions::new().threads(2));
         assert!(!store.records.is_empty());
         for r in &store.records {
             assert!(r.pages_found >= 1 && r.pages_found <= 100);
@@ -209,20 +373,77 @@ mod tests {
     fn scan_is_thread_count_invariant() {
         let archive = tiny_archive();
         let snaps = [Snapshot::ALL[0]];
-        let a = scan_snapshots(&archive, &snaps, ScanOptions { threads: 1, ..Default::default() });
-        let b = scan_snapshots(&archive, &snaps, ScanOptions { threads: 8, ..Default::default() });
-        assert_eq!(a.records.len(), b.records.len());
-        for (x, y) in a.records.iter().zip(&b.records) {
+        let a = scan_snapshots(&archive, &snaps, ScanOptions::new().threads(1));
+        let b = scan_snapshots(&archive, &snaps, ScanOptions::new().threads(8));
+        // Byte-for-byte: same records, same order, same serialization.
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+        // And with a third, adversarial thread count.
+        let c = scan_snapshots(&archive, &snaps, ScanOptions::new().threads(3));
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&c).unwrap());
+    }
+
+    #[test]
+    fn metrics_do_not_change_records() {
+        let archive = tiny_archive();
+        let snaps = [Snapshot::ALL[7]];
+        let plain = scan_snapshots(&archive, &snaps, ScanOptions::new().threads(2));
+        let metered =
+            scan_snapshots(&archive, &snaps, ScanOptions::new().threads(5).collect_metrics(true));
+        assert!(plain.metrics.is_none());
+        assert!(metered.metrics.is_some());
+        assert_eq!(plain.records.len(), metered.records.len());
+        for (x, y) in plain.records.iter().zip(&metered.records) {
             assert_eq!(x.domain_id, y.domain_id);
             assert_eq!(x.kinds, y.kinds);
+            assert_eq!(x.page_counts, y.page_counts);
             assert_eq!(x.pages_analyzed, y.pages_analyzed);
+            assert_eq!(x.mitigations, y.mitigations);
         }
+    }
+
+    #[test]
+    fn metrics_reconcile_with_records() {
+        let archive = tiny_archive();
+        let snaps = [Snapshot::ALL[0], Snapshot::ALL[7]];
+        let store =
+            scan_snapshots(&archive, &snaps, ScanOptions::new().threads(4).collect_metrics(true));
+        let m = store.metrics.as_ref().expect("metrics collected");
+
+        // Page accounting: listed = analyzed + rejected, and the totals
+        // match the records exactly.
+        assert_eq!(m.pages_analyzed + m.pages_rejected_utf8, m.pages_listed);
+        let rec_analyzed: u64 = store.records.iter().map(|r| r.pages_analyzed as u64).sum();
+        let rec_found: u64 = store.records.iter().map(|r| r.pages_found as u64).sum();
+        assert_eq!(m.pages_analyzed, rec_analyzed);
+        assert_eq!(m.pages_listed, rec_found);
+        assert_eq!(m.domain_snapshots, store.records.len() as u64);
+
+        // Per-check accounting: a rule "fires on a page" exactly when the
+        // page counts that kind, so the battery stats must reproduce the
+        // per-record page counts kind by kind.
+        for &kind in hv_core::ViolationKind::ALL.iter() {
+            let fired = m.battery.get(kind).map_or(0, |s| s.pages_fired);
+            let counted: u64 = store
+                .records
+                .iter()
+                .map(|r| u64::from(r.page_counts.get(&kind).copied().unwrap_or(0)))
+                .sum();
+            assert_eq!(fired, counted, "pages_fired mismatch for {kind}");
+        }
+
+        // Every analyzed page ran every rule once.
+        for (kind, st) in &m.battery.per_check {
+            assert_eq!(st.nanos.count, m.pages_analyzed, "execution count for {kind}");
+        }
+        assert!(m.wall_nanos > 0);
+        assert_eq!(m.threads, 4);
+        assert!(m.phases.check > 0);
     }
 
     #[test]
     fn utf8_filter_reduces_analyzed_pages() {
         let archive = tiny_archive();
-        let store = scan(&archive, ScanOptions { threads: 4, ..Default::default() });
+        let store = scan(&archive, ScanOptions::new().threads(4));
         // Some domain-snapshots fail the UTF-8 filter entirely.
         let failed = store.records.iter().filter(|r| r.pages_analyzed == 0).count();
         assert!(failed > 0, "expected some non-UTF-8 domain-snapshots");
@@ -258,7 +479,7 @@ mod tests {
             }
             for entry in cdx.pages.iter().take(2) {
                 let body = archive.fetch_page(&cdx.snapshot, entry.page_index);
-                let text = String::from_utf8(body.to_vec()).unwrap();
+                let text = String::from_utf8(body).unwrap();
                 let outcome = autofix::auto_fix(&text);
                 for k in &outcome.after {
                     // Everything surviving the real fixer is Manual.

@@ -5,7 +5,8 @@
 //! the §4.5 mitigation flags. Everything the aggregation layer needs, no
 //! external service.
 
-use hv_core::ViolationKind;
+use crate::metrics::ScanMetrics;
+use hv_core::{MitigationFlags, ViolationKind};
 use hv_corpus::Snapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -27,11 +28,12 @@ pub struct DomainYearRecord {
     pub kinds: BTreeSet<ViolationKind>,
     /// Number of pages on which each kind appeared.
     pub page_counts: BTreeMap<ViolationKind, u32>,
-    /// §4.5 mitigation flags, OR-ed over the domain's pages.
-    pub script_in_attribute: bool,
-    pub script_in_nonced_script: bool,
-    pub newline_in_url: bool,
-    pub newline_and_lt_in_url: bool,
+    /// §4.5 mitigation flags, OR-ed over the domain's pages. Flattened so
+    /// the JSON keeps the four historical top-level keys
+    /// (`script_in_attribute`, …) — stores written by older versions load
+    /// unchanged, and older readers can still read new stores.
+    #[serde(flatten)]
+    pub mitigations: MitigationFlags,
     /// Kinds that would remain after the §4.4 automatic fix.
     pub kinds_after_autofix: BTreeSet<ViolationKind>,
     /// §4.2 usage statistic: at least one page contains a `math` element.
@@ -59,11 +61,16 @@ pub struct ResultStore {
     /// Size of the scanned universe (domains on the averaged top list).
     pub universe: usize,
     pub records: Vec<DomainYearRecord>,
+    /// Scan observability provenance: how the store was produced
+    /// (throughput, per-phase timings, per-check fire counts). `None` for
+    /// stores written without `--metrics` or by older versions.
+    #[serde(default)]
+    pub metrics: Option<ScanMetrics>,
 }
 
 impl ResultStore {
     pub fn new(seed: u64, scale: f64, universe: usize) -> Self {
-        ResultStore { seed, scale, universe, records: Vec::new() }
+        ResultStore { seed, scale, universe, records: Vec::new(), metrics: None }
     }
 
     /// Insert records and keep the canonical ordering (snapshot, then
@@ -116,10 +123,7 @@ mod tests {
             pages_analyzed: 10,
             kinds: kinds.iter().copied().collect(),
             page_counts: kinds.iter().map(|&k| (k, 3)).collect(),
-            script_in_attribute: false,
-            script_in_nonced_script: false,
-            newline_in_url: false,
-            newline_and_lt_in_url: false,
+            mitigations: MitigationFlags::default(),
             kinds_after_autofix: BTreeSet::new(),
             uses_math: false,
         }
@@ -147,6 +151,39 @@ mod tests {
         assert_eq!(s.analyzed_domains().len(), 2);
         assert!(s.records[0].violating());
         assert!(!s.records[1].violating());
+    }
+
+    /// Stores written before the mitigation flags were grouped into an
+    /// embedded [`MitigationFlags`] (and before the `metrics` field
+    /// existed) keep loading: the flatten preserves the four historical
+    /// top-level keys and `metrics` defaults to `None`. The second fixture
+    /// record also omits `uses_math`, exercising its default.
+    #[test]
+    fn v0_format_store_still_loads() {
+        let raw = include_str!("../fixtures/store_v0.json");
+        let store: ResultStore = serde_json::from_str(raw).expect("v0 store loads");
+        assert_eq!(store.seed, 7);
+        assert!(store.metrics.is_none());
+        assert_eq!(store.records.len(), 2);
+
+        let alpha = &store.records[0];
+        assert_eq!(alpha.domain_id, 1234567890123456789);
+        assert!(alpha.mitigations.script_in_attribute);
+        assert!(alpha.mitigations.newline_in_url);
+        assert!(!alpha.mitigations.newline_and_lt_in_url);
+        assert_eq!(alpha.page_counts.get(&ViolationKind::FB2), Some(&33));
+        assert!(alpha.uses_math);
+
+        let beta = &store.records[1];
+        assert!(!beta.mitigations.any());
+        assert!(!beta.uses_math);
+
+        // Writing back keeps the v0 key layout: the four flags stay
+        // top-level on each record (no nested "mitigations" object).
+        let out = serde_json::to_value(&store);
+        let rec = &out["records"][0];
+        assert_eq!(rec["script_in_attribute"], serde_json::Value::Bool(true));
+        assert!(matches!(rec["mitigations"], serde_json::Value::Null));
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! renderer works on real data unchanged.
 
 use crate::store::{DomainYearRecord, ResultStore};
-use hv_core::checkers;
 use hv_core::context::CheckContext;
+use hv_core::Battery;
 use hv_corpus::warc::{load_cdxj, read_record, CdxjLine};
 use hv_corpus::Snapshot;
 use std::collections::{BTreeMap, BTreeSet};
@@ -56,6 +56,8 @@ fn snapshot_from_crawl_id(stem: &str) -> Option<Snapshot> {
 pub fn scan_warc(inputs: &[WarcInput]) -> io::Result<ResultStore> {
     let mut store = ResultStore::new(0, 0.0, 0);
     let mut domains_seen: BTreeSet<String> = BTreeSet::new();
+    // One battery for the whole scan: the WARC path is single-threaded.
+    let mut battery = Battery::full();
     for input in inputs {
         let index = load_cdxj(&input.cdx)?;
         let mut file = std::fs::File::open(&input.warc)?;
@@ -75,10 +77,7 @@ pub fn scan_warc(inputs: &[WarcInput]) -> io::Result<ResultStore> {
                 pages_analyzed: 0,
                 kinds: BTreeSet::new(),
                 page_counts: BTreeMap::new(),
-                script_in_attribute: false,
-                script_in_nonced_script: false,
-                newline_in_url: false,
-                newline_and_lt_in_url: false,
+                mitigations: hv_core::MitigationFlags::default(),
                 kinds_after_autofix: BTreeSet::new(),
                 uses_math: false,
             };
@@ -90,15 +89,12 @@ pub fn scan_warc(inputs: &[WarcInput]) -> io::Result<ResultStore> {
                 };
                 rec.pages_analyzed += 1;
                 let cx = CheckContext::new(&text);
-                let report = checkers::check_context(&cx);
+                let report = battery.run_ref(&cx);
                 for k in report.kinds() {
                     rec.kinds.insert(k);
                     *rec.page_counts.entry(k).or_insert(0) += 1;
                 }
-                rec.script_in_attribute |= report.mitigations.script_in_attribute;
-                rec.script_in_nonced_script |= report.mitigations.script_in_nonced_script;
-                rec.newline_in_url |= report.mitigations.newline_in_url;
-                rec.newline_and_lt_in_url |= report.mitigations.newline_and_lt_in_url;
+                rec.mitigations.merge(report.mitigations);
                 rec.uses_math |= cx
                     .parse
                     .dom
@@ -120,10 +116,8 @@ pub fn scan_warc(inputs: &[WarcInput]) -> io::Result<ResultStore> {
 }
 
 fn host_of(url: &str) -> String {
-    let stripped = url
-        .strip_prefix("https://")
-        .or_else(|| url.strip_prefix("http://"))
-        .unwrap_or(url);
+    let stripped =
+        url.strip_prefix("https://").or_else(|| url.strip_prefix("http://")).unwrap_or(url);
     stripped.split('/').next().unwrap_or(stripped).to_owned()
 }
 
@@ -150,7 +144,7 @@ mod tests {
         let virtual_store = crate::run::scan_snapshots(
             &archive,
             &[snap],
-            crate::run::ScanOptions { threads: 2, ..Default::default() },
+            crate::run::ScanOptions::new().threads(2),
         );
 
         // Align by domain name over the exported subset.
@@ -162,7 +156,7 @@ mod tests {
                 .unwrap_or_else(|| panic!("{} missing from virtual scan", wrec.domain_name));
             assert_eq!(wrec.kinds, vrec.kinds, "kinds differ for {}", wrec.domain_name);
             assert_eq!(wrec.pages_analyzed, vrec.pages_analyzed, "{}", wrec.domain_name);
-            assert_eq!(wrec.newline_in_url, vrec.newline_in_url);
+            assert_eq!(wrec.mitigations, vrec.mitigations);
             assert_eq!(wrec.uses_math, vrec.uses_math);
         }
         assert!(!warc_store.records.is_empty());

@@ -157,12 +157,7 @@ pub fn fig18(store: &ResultStore) -> String {
     appendix_figure(
         store,
         "Figure 18: HTML Formatting 2",
-        &[
-            ViolationKind::HF4,
-            ViolationKind::HF5_2,
-            ViolationKind::HF5_3,
-            ViolationKind::HF5_1,
-        ],
+        &[ViolationKind::HF4, ViolationKind::HF5_2, ViolationKind::HF5_3, ViolationKind::HF5_1],
     )
 }
 
@@ -253,19 +248,11 @@ pub fn mitigations(store: &ResultStore) -> String {
         out
     };
     s.push_str(&series_row("<script in attribute", &pick(&m.script_in_attribute), 30));
-    s.push_str(&series_row(
-        "  paper",
-        &paper_yearly_pct(ViolationKind::DE3_2),
-        30,
-    ));
+    s.push_str(&series_row("  paper", &paper_yearly_pct(ViolationKind::DE3_2), 30));
     s.push_str(&series_row("newline in URL", &pick(&m.newline_in_url), 30));
     s.push_str(&series_row("  paper", &PAPER_NEWLINE_URL_PCT, 30));
     s.push_str(&series_row("newline + '<' in URL", &pick(&m.newline_and_lt_in_url), 30));
-    s.push_str(&series_row(
-        "  paper",
-        &paper_yearly_pct(ViolationKind::DE3_1),
-        30,
-    ));
+    s.push_str(&series_row("  paper", &paper_yearly_pct(ViolationKind::DE3_1), 30));
     let nonced: usize = m.script_in_nonced_script.iter().sum();
     s.push_str(&format!(
         "\nnonced <script> elements containing \"<script\" in an attribute: {nonced}   (paper: none)\n"
@@ -331,10 +318,8 @@ pub fn churn(store: &ResultStore) -> String {
 /// Rebuilds the archive from the store's (seed, scale) provenance and runs
 /// both side analyses.
 pub fn aux_studies(store: &ResultStore) -> String {
-    let archive = hv_corpus::Archive::new(hv_corpus::CorpusConfig {
-        seed: store.seed,
-        scale: store.scale,
-    });
+    let archive =
+        hv_corpus::Archive::new(hv_corpus::CorpusConfig { seed: store.seed, scale: store.scale });
     let top_k = (archive.domains().len() / 20).clamp(50, 1000);
     let dynamic = hv_pipeline::auxstudies::dynamic_study(&archive, top_k, 30);
     let mut s = String::from("Auxiliary studies (§5.1 / §5.2)\n\n");
@@ -502,8 +487,12 @@ pub fn experiments_markdown(store: &ResultStore) -> String {
     for (row, t) in aggregate::table2(store).iter().zip(TABLE2_TARGETS.iter()) {
         md.push_str(&format!(
             "| {} | {} | {} | {:.1}% | {:.1} | {:.1} |\n",
-            row.snapshot, row.domains_found, row.domains_analyzed, row.analyzed_share,
-            row.avg_pages, t.avg_pages
+            row.snapshot,
+            row.domains_found,
+            row.domains_analyzed,
+            row.analyzed_share,
+            row.avg_pages,
+            t.avg_pages
         ));
     }
 
@@ -560,9 +549,8 @@ mod tests {
     use super::*;
 
     fn tiny_store() -> ResultStore {
-        let archive =
-            hv_corpus::Archive::new(hv_corpus::CorpusConfig { seed: 5, scale: 0.002 });
-        hv_pipeline::scan(&archive, hv_pipeline::ScanOptions { threads: 4, ..Default::default() })
+        let archive = hv_corpus::Archive::new(hv_corpus::CorpusConfig { seed: 5, scale: 0.002 });
+        hv_pipeline::scan(&archive, hv_pipeline::ScanOptions::new().threads(4))
     }
 
     #[test]
@@ -602,10 +590,17 @@ mod tests {
         let store = tiny_store();
         let v = experiments_json(&store);
         for key in [
-            "provenance", "table2", "fig8", "fig9", "fig10_groups",
-            "appendix_kind_trends", "stats_4_2_union_any_pct",
-            "stats_4_4_autofix_2022", "stats_4_5_mitigations",
-            "rollout_breakage", "churn",
+            "provenance",
+            "table2",
+            "fig8",
+            "fig9",
+            "fig10_groups",
+            "appendix_kind_trends",
+            "stats_4_2_union_any_pct",
+            "stats_4_4_autofix_2022",
+            "stats_4_5_mitigations",
+            "rollout_breakage",
+            "churn",
         ] {
             assert!(v.get(key).is_some(), "missing {key}");
         }

@@ -27,16 +27,8 @@ pub fn series_row(label: &str, values: &[f64; YEARS], label_width: usize) -> Str
 /// A coarse ASCII plot of one or more series on a shared y-axis, for
 /// eyeballing the trend shapes the paper shows in its figures.
 pub fn ascii_plot(series: &[(&str, [f64; YEARS])], height: usize) -> String {
-    let max = series
-        .iter()
-        .flat_map(|(_, v)| v.iter().copied())
-        .fold(f64::MIN, f64::max)
-        .max(1e-9);
-    let min = series
-        .iter()
-        .flat_map(|(_, v)| v.iter().copied())
-        .fold(f64::MAX, f64::min)
-        .min(max);
+    let max = series.iter().flat_map(|(_, v)| v.iter().copied()).fold(f64::MIN, f64::max).max(1e-9);
+    let min = series.iter().flat_map(|(_, v)| v.iter().copied()).fold(f64::MAX, f64::min).min(max);
     let span = (max - min).max(1e-9);
     let marks = ['*', 'o', '+', 'x', '#', '@'];
     let mut grid = vec![vec![' '; YEARS * 6]; height];
@@ -97,10 +89,8 @@ mod tests {
 
     #[test]
     fn plot_two_series_distinct_marks() {
-        let s = ascii_plot(
-            &[("x", [5.0; YEARS]), ("y", [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])],
-            6,
-        );
+        let s =
+            ascii_plot(&[("x", [5.0; YEARS]), ("y", [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])], 6);
         assert!(s.contains('*'));
         assert!(s.contains('o'));
     }

@@ -37,7 +37,8 @@ impl TextTable {
                 !self.rows.is_empty()
                     && self.rows.iter().all(|r| {
                         r[i].chars().all(|c| {
-                            c.is_ascii_digit() || matches!(c, '.' | '%' | ',' | '-' | '(' | ')' | ' ')
+                            c.is_ascii_digit()
+                                || matches!(c, '.' | '%' | ',' | '-' | '(' | ')' | ' ')
                         })
                     })
             })

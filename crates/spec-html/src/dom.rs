@@ -471,10 +471,8 @@ mod tests {
         d.insert_before(c, b);
         let front = elem(&mut d, "z");
         d.insert_before(a, front);
-        let names: Vec<_> = d
-            .children(root)
-            .map(|id| d.element(id).unwrap().name.clone())
-            .collect();
+        let names: Vec<_> =
+            d.children(root).map(|id| d.element(id).unwrap().name.clone()).collect();
         assert_eq!(names, vec!["z", "a", "b", "c"]);
         d.check_invariants().unwrap();
     }

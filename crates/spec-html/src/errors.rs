@@ -207,9 +207,7 @@ impl ErrorCode {
                 "missing-semicolon-after-numeric-character-reference"
             }
             NullCharacterReference => "null-character-reference",
-            CharacterReferenceOutsideUnicodeRange => {
-                "character-reference-outside-unicode-range"
-            }
+            CharacterReferenceOutsideUnicodeRange => "character-reference-outside-unicode-range",
             SurrogateCharacterReference => "surrogate-character-reference",
             NoncharacterCharacterReference => "noncharacter-character-reference",
             ControlCharacterReference => "control-character-reference",

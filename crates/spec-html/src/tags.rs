@@ -11,8 +11,20 @@
 pub fn is_void(name: &str) -> bool {
     matches!(
         name,
-        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
-            | "param" | "source" | "track" | "wbr"
+        "area"
+            | "base"
+            | "br"
+            | "col"
+            | "embed"
+            | "hr"
+            | "img"
+            | "input"
+            | "link"
+            | "meta"
+            | "param"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 
@@ -21,17 +33,89 @@ pub fn is_void(name: &str) -> bool {
 pub fn is_special(name: &str) -> bool {
     matches!(
         name,
-        "address" | "applet" | "area" | "article" | "aside" | "base" | "basefont" | "bgsound"
-            | "blockquote" | "body" | "br" | "button" | "caption" | "center" | "col"
-            | "colgroup" | "dd" | "details" | "dir" | "div" | "dl" | "dt" | "embed"
-            | "fieldset" | "figcaption" | "figure" | "footer" | "form" | "frame" | "frameset"
-            | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "head" | "header" | "hgroup" | "hr"
-            | "html" | "iframe" | "img" | "input" | "keygen" | "li" | "link" | "listing"
-            | "main" | "marquee" | "menu" | "meta" | "nav" | "noembed" | "noframes"
-            | "noscript" | "object" | "ol" | "p" | "param" | "plaintext" | "pre" | "script"
-            | "search" | "section" | "select" | "source" | "style" | "summary" | "table"
-            | "tbody" | "td" | "template" | "textarea" | "tfoot" | "th" | "thead" | "title"
-            | "tr" | "track" | "ul" | "wbr" | "xmp"
+        "address"
+            | "applet"
+            | "area"
+            | "article"
+            | "aside"
+            | "base"
+            | "basefont"
+            | "bgsound"
+            | "blockquote"
+            | "body"
+            | "br"
+            | "button"
+            | "caption"
+            | "center"
+            | "col"
+            | "colgroup"
+            | "dd"
+            | "details"
+            | "dir"
+            | "div"
+            | "dl"
+            | "dt"
+            | "embed"
+            | "fieldset"
+            | "figcaption"
+            | "figure"
+            | "footer"
+            | "form"
+            | "frame"
+            | "frameset"
+            | "h1"
+            | "h2"
+            | "h3"
+            | "h4"
+            | "h5"
+            | "h6"
+            | "head"
+            | "header"
+            | "hgroup"
+            | "hr"
+            | "html"
+            | "iframe"
+            | "img"
+            | "input"
+            | "keygen"
+            | "li"
+            | "link"
+            | "listing"
+            | "main"
+            | "marquee"
+            | "menu"
+            | "meta"
+            | "nav"
+            | "noembed"
+            | "noframes"
+            | "noscript"
+            | "object"
+            | "ol"
+            | "p"
+            | "param"
+            | "plaintext"
+            | "pre"
+            | "script"
+            | "search"
+            | "section"
+            | "select"
+            | "source"
+            | "style"
+            | "summary"
+            | "table"
+            | "tbody"
+            | "td"
+            | "template"
+            | "textarea"
+            | "tfoot"
+            | "th"
+            | "thead"
+            | "title"
+            | "tr"
+            | "track"
+            | "ul"
+            | "wbr"
+            | "xmp"
     )
 }
 
@@ -39,8 +123,19 @@ pub fn is_special(name: &str) -> bool {
 pub fn is_formatting(name: &str) -> bool {
     matches!(
         name,
-        "a" | "b" | "big" | "code" | "em" | "font" | "i" | "nobr" | "s" | "small" | "strike"
-            | "strong" | "tt" | "u"
+        "a" | "b"
+            | "big"
+            | "code"
+            | "em"
+            | "font"
+            | "i"
+            | "nobr"
+            | "s"
+            | "small"
+            | "strike"
+            | "strong"
+            | "tt"
+            | "u"
     )
 }
 
@@ -49,8 +144,17 @@ pub fn is_formatting(name: &str) -> bool {
 pub fn is_head_content(name: &str) -> bool {
     matches!(
         name,
-        "base" | "basefont" | "bgsound" | "link" | "meta" | "title" | "noscript" | "noframes"
-            | "style" | "script" | "template"
+        "base"
+            | "basefont"
+            | "bgsound"
+            | "link"
+            | "meta"
+            | "title"
+            | "noscript"
+            | "noframes"
+            | "style"
+            | "script"
+            | "template"
     )
 }
 
@@ -59,20 +163,53 @@ pub fn is_head_content(name: &str) -> bool {
 pub fn closes_p(name: &str) -> bool {
     matches!(
         name,
-        "address" | "article" | "aside" | "blockquote" | "center" | "details" | "dialog"
-            | "dir" | "div" | "dl" | "fieldset" | "figcaption" | "figure" | "footer"
-            | "header" | "hgroup" | "main" | "menu" | "nav" | "ol" | "p" | "search"
-            | "section" | "summary" | "ul" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "pre"
-            | "listing" | "form" | "plaintext" | "table" | "hr" | "xmp" | "li" | "dd" | "dt"
+        "address"
+            | "article"
+            | "aside"
+            | "blockquote"
+            | "center"
+            | "details"
+            | "dialog"
+            | "dir"
+            | "div"
+            | "dl"
+            | "fieldset"
+            | "figcaption"
+            | "figure"
+            | "footer"
+            | "header"
+            | "hgroup"
+            | "main"
+            | "menu"
+            | "nav"
+            | "ol"
+            | "p"
+            | "search"
+            | "section"
+            | "summary"
+            | "ul"
+            | "h1"
+            | "h2"
+            | "h3"
+            | "h4"
+            | "h5"
+            | "h6"
+            | "pre"
+            | "listing"
+            | "form"
+            | "plaintext"
+            | "table"
+            | "hr"
+            | "xmp"
+            | "li"
+            | "dd"
+            | "dt"
     )
 }
 
 /// The "generate implied end tags" set (§13.2.6.3).
 pub fn implied_end_tag(name: &str) -> bool {
-    matches!(
-        name,
-        "dd" | "dt" | "li" | "optgroup" | "option" | "p" | "rb" | "rp" | "rt" | "rtc"
-    )
+    matches!(name, "dd" | "dt" | "li" | "optgroup" | "option" | "p" | "rb" | "rp" | "rt" | "rtc")
 }
 
 /// Elements whose start tag switches the tokenizer to RCDATA.
@@ -92,11 +229,49 @@ pub fn is_rawtext(name: &str) -> bool {
 pub fn is_foreign_breakout(name: &str) -> bool {
     matches!(
         name,
-        "b" | "big" | "blockquote" | "body" | "br" | "center" | "code" | "dd" | "div" | "dl"
-            | "dt" | "em" | "embed" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "head" | "hr"
-            | "i" | "img" | "li" | "listing" | "menu" | "meta" | "nobr" | "ol" | "p" | "pre"
-            | "ruby" | "s" | "small" | "span" | "strong" | "strike" | "sub" | "sup" | "table"
-            | "tt" | "u" | "ul" | "var"
+        "b" | "big"
+            | "blockquote"
+            | "body"
+            | "br"
+            | "center"
+            | "code"
+            | "dd"
+            | "div"
+            | "dl"
+            | "dt"
+            | "em"
+            | "embed"
+            | "h1"
+            | "h2"
+            | "h3"
+            | "h4"
+            | "h5"
+            | "h6"
+            | "head"
+            | "hr"
+            | "i"
+            | "img"
+            | "li"
+            | "listing"
+            | "menu"
+            | "meta"
+            | "nobr"
+            | "ol"
+            | "p"
+            | "pre"
+            | "ruby"
+            | "s"
+            | "small"
+            | "span"
+            | "strong"
+            | "strike"
+            | "sub"
+            | "sup"
+            | "table"
+            | "tt"
+            | "u"
+            | "ul"
+            | "var"
     )
 }
 
@@ -116,9 +291,26 @@ pub fn is_svg_html_integration(name: &str) -> bool {
 pub fn is_svg_only(name: &str) -> bool {
     matches!(
         name,
-        "circle" | "clippath" | "defs" | "ellipse" | "fegaussianblur" | "filter" | "g"
-            | "lineargradient" | "marker" | "mask" | "path" | "pattern" | "polygon"
-            | "polyline" | "radialgradient" | "rect" | "stop" | "symbol" | "tspan" | "use"
+        "circle"
+            | "clippath"
+            | "defs"
+            | "ellipse"
+            | "fegaussianblur"
+            | "filter"
+            | "g"
+            | "lineargradient"
+            | "marker"
+            | "mask"
+            | "path"
+            | "pattern"
+            | "polygon"
+            | "polyline"
+            | "radialgradient"
+            | "rect"
+            | "stop"
+            | "symbol"
+            | "tspan"
+            | "use"
     )
 }
 
@@ -126,10 +318,35 @@ pub fn is_svg_only(name: &str) -> bool {
 pub fn is_mathml_only(name: &str) -> bool {
     matches!(
         name,
-        "annotation" | "annotation-xml" | "maction" | "merror" | "mfrac" | "mglyph" | "mi"
-            | "mmultiscripts" | "mn" | "mo" | "mover" | "mpadded" | "mphantom" | "mroot"
-            | "mrow" | "ms" | "mspace" | "msqrt" | "mstyle" | "msub" | "msubsup" | "msup"
-            | "mtable" | "mtd" | "mtext" | "mtr" | "munder" | "munderover" | "semantics"
+        "annotation"
+            | "annotation-xml"
+            | "maction"
+            | "merror"
+            | "mfrac"
+            | "mglyph"
+            | "mi"
+            | "mmultiscripts"
+            | "mn"
+            | "mo"
+            | "mover"
+            | "mpadded"
+            | "mphantom"
+            | "mroot"
+            | "mrow"
+            | "ms"
+            | "mspace"
+            | "msqrt"
+            | "mstyle"
+            | "msub"
+            | "msubsup"
+            | "msup"
+            | "mtable"
+            | "mtd"
+            | "mtext"
+            | "mtr"
+            | "munder"
+            | "munderover"
+            | "semantics"
     )
 }
 
@@ -184,8 +401,18 @@ pub fn svg_tag_fixup(lower: &str) -> Option<&'static str> {
 pub fn is_url_attribute(name: &str) -> bool {
     matches!(
         name,
-        "href" | "src" | "action" | "formaction" | "data" | "poster" | "background" | "cite"
-            | "longdesc" | "usemap" | "srcset" | "ping"
+        "href"
+            | "src"
+            | "action"
+            | "formaction"
+            | "data"
+            | "poster"
+            | "background"
+            | "cite"
+            | "longdesc"
+            | "usemap"
+            | "srcset"
+            | "ping"
     )
 }
 

@@ -319,7 +319,8 @@ impl<'a> Tokenizer<'a> {
 
     fn start_new_attr(&mut self) {
         self.finish_cur_attr();
-        self.cur_attr = Some(AttrBuilder { name_offset: self.pos.saturating_sub(1), ..AttrBuilder::default() });
+        self.cur_attr =
+            Some(AttrBuilder { name_offset: self.pos.saturating_sub(1), ..AttrBuilder::default() });
     }
 
     /// Leaving the attribute-name state: the spec's duplicate check.
@@ -394,7 +395,9 @@ impl<'a> Tokenizer<'a> {
     fn charref_in_attribute(&self) -> bool {
         matches!(
             self.return_state,
-            State::AttributeValueDouble | State::AttributeValueSingle | State::AttributeValueUnquoted
+            State::AttributeValueDouble
+                | State::AttributeValueSingle
+                | State::AttributeValueUnquoted
         )
     }
 
@@ -1599,7 +1602,9 @@ impl<'a> Tokenizer<'a> {
 
             // --- character references ---
             State::CharacterReference => match self.next() {
-                Some(c) if c.is_ascii_alphanumeric() => self.reconsume(State::NamedCharacterReference),
+                Some(c) if c.is_ascii_alphanumeric() => {
+                    self.reconsume(State::NamedCharacterReference)
+                }
                 Some('#') => self.state = State::NumericCharacterReference,
                 _ => {
                     let st = self.return_state;
@@ -1692,8 +1697,10 @@ impl<'a> Tokenizer<'a> {
             },
             State::HexCharRef => match self.next() {
                 Some(c) if c.is_ascii_hexdigit() => {
-                    self.char_ref_code =
-                        self.char_ref_code.saturating_mul(16).saturating_add(c.to_digit(16).unwrap());
+                    self.char_ref_code = self
+                        .char_ref_code
+                        .saturating_mul(16)
+                        .saturating_add(c.to_digit(16).unwrap());
                 }
                 Some(';') => self.state = State::NumericCharRefEnd,
                 _ => {
@@ -1703,8 +1710,10 @@ impl<'a> Tokenizer<'a> {
             },
             State::DecCharRef => match self.next() {
                 Some(c) if c.is_ascii_digit() => {
-                    self.char_ref_code =
-                        self.char_ref_code.saturating_mul(10).saturating_add(c.to_digit(10).unwrap());
+                    self.char_ref_code = self
+                        .char_ref_code
+                        .saturating_mul(10)
+                        .saturating_add(c.to_digit(10).unwrap());
                 }
                 Some(';') => self.state = State::NumericCharRefEnd,
                 _ => {
@@ -1729,7 +1738,9 @@ impl<'a> Tokenizer<'a> {
     /// content we are inside) terminates the content model.
     fn text_end_tag_name(&mut self, content_state: State) {
         match self.next() {
-            Some('\t') | Some('\n') | Some('\u{C}') | Some(' ') if self.is_appropriate_end_tag() => {
+            Some('\t') | Some('\n') | Some('\u{C}') | Some(' ')
+                if self.is_appropriate_end_tag() =>
+            {
                 self.state = State::BeforeAttributeName;
             }
             Some('/') if self.is_appropriate_end_tag() => {
@@ -1756,11 +1767,8 @@ impl<'a> Tokenizer<'a> {
     fn doctype_id_quoted(&mut self, quote: char, public: bool) {
         match self.next() {
             Some(c) if c == quote => {
-                self.state = if public {
-                    State::AfterDoctypePublicId
-                } else {
-                    State::AfterDoctypeSystemId
-                };
+                self.state =
+                    if public { State::AfterDoctypePublicId } else { State::AfterDoctypeSystemId };
             }
             Some('\0') => {
                 self.error(ErrorCode::UnexpectedNullCharacter);

@@ -531,7 +531,9 @@ mod edge_cases {
     #[test]
     fn doctype_system_only() {
         let (t, _) = toks(r#"<!DOCTYPE html SYSTEM "about:legacy-compat">"#);
-        assert!(matches!(&t[0], Token::Doctype(d) if d.system_id.as_deref() == Some("about:legacy-compat")));
+        assert!(
+            matches!(&t[0], Token::Doctype(d) if d.system_id.as_deref() == Some("about:legacy-compat"))
+        );
     }
 
     #[test]

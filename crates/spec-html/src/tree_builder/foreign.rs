@@ -16,9 +16,7 @@ impl Builder {
     /// The adjusted current node (the current node, since we never parse
     /// fragments).
     fn adjusted_current(&self) -> Option<(Namespace, String)> {
-        self.current()
-            .and_then(|id| self.doc.element(id))
-            .map(|e| (e.ns, e.name.clone()))
+        self.current().and_then(|id| self.doc.element(id)).map(|e| (e.ns, e.name.clone()))
     }
 
     /// §13.2.6 dispatcher condition: should this token be processed by the
@@ -49,15 +47,18 @@ impl Builder {
             // HTML integration point when encoding is text/html or XHTML —
             // approximated by checking the encoding attribute.
             if self.annotation_xml_is_integration()
-                && matches!(token, Token::StartTag(_) | Token::Characters(_)) {
-                    return false;
-                }
-        }
-        // SVG HTML integration points.
-        if ns == Namespace::Svg && tags::is_svg_html_integration(&name)
-            && matches!(token, Token::StartTag(_) | Token::Characters(_)) {
+                && matches!(token, Token::StartTag(_) | Token::Characters(_))
+            {
                 return false;
             }
+        }
+        // SVG HTML integration points.
+        if ns == Namespace::Svg
+            && tags::is_svg_html_integration(&name)
+            && matches!(token, Token::StartTag(_) | Token::Characters(_))
+        {
+            return false;
+        }
         !matches!(token, Token::Eof)
     }
 
@@ -83,20 +84,15 @@ impl Builder {
             }
         }
         // Fall back to the current node's namespace.
-        self.current()
-            .and_then(|id| self.doc.element(id))
-            .map(|e| e.ns)
-            .unwrap_or(Namespace::Html)
+        self.current().and_then(|id| self.doc.element(id)).map(|e| e.ns).unwrap_or(Namespace::Html)
     }
 
     /// §13.2.6.5 "The rules for parsing tokens in foreign content".
     pub(crate) fn foreign_content(&mut self, token: Token, tok: &mut Tokenizer<'_>) -> Ctl {
         match token {
             Token::Characters(s) => {
-                let cleaned: String = s
-                    .chars()
-                    .map(|c| if c == '\0' { '\u{FFFD}' } else { c })
-                    .collect();
+                let cleaned: String =
+                    s.chars().map(|c| if c == '\0' { '\u{FFFD}' } else { c }).collect();
                 if cleaned.chars().any(|c| !super::is_html_whitespace(c)) {
                     self.frameset_ok = false;
                 }
@@ -114,17 +110,15 @@ impl Builder {
             Token::StartTag(ref tag) => {
                 let breakout = tags::is_foreign_breakout(&tag.name)
                     || (tag.name == "font"
-                        && tag.attrs.iter().any(|a| {
-                            matches!(a.name.as_str(), "color" | "face" | "size")
-                        }));
+                        && tag
+                            .attrs
+                            .iter()
+                            .any(|a| matches!(a.name.as_str(), "color" | "face" | "size")));
                 if breakout {
                     // HF5: pop foreign elements until an integration point
                     // or HTML element, then reprocess with HTML rules.
                     let root_ns = self.foreign_root_ns();
-                    self.event(TreeEventKind::ForeignBreakout {
-                        tag: tag.name.clone(),
-                        root_ns,
-                    });
+                    self.event(TreeEventKind::ForeignBreakout { tag: tag.name.clone(), root_ns });
                     #[allow(clippy::while_let_loop)]
                     loop {
                         let Some(&cur) = self.open.last() else { break };
@@ -132,8 +126,7 @@ impl Builder {
                         let stop = e.ns == Namespace::Html
                             || (e.ns == Namespace::MathMl
                                 && tags::is_mathml_text_integration(&e.name))
-                            || (e.ns == Namespace::Svg
-                                && tags::is_svg_html_integration(&e.name));
+                            || (e.ns == Namespace::Svg && tags::is_svg_html_integration(&e.name));
                         if stop {
                             break;
                         }
@@ -142,10 +135,7 @@ impl Builder {
                     return Ctl::Reprocess(token);
                 }
                 // Insert in the adjusted current node's namespace.
-                let ns = self
-                    .adjusted_current()
-                    .map(|(ns, _)| ns)
-                    .unwrap_or(Namespace::Html);
+                let ns = self.adjusted_current().map(|(ns, _)| ns).unwrap_or(Namespace::Html);
                 self.insert_element(tag, ns, false);
                 if tag.self_closing {
                     // Foreign content acknowledges self-closing tags.
@@ -166,9 +156,7 @@ impl Builder {
                 // HTML rules.
                 if let Some((_, cur_name)) = self.adjusted_current() {
                     if cur_name.to_ascii_lowercase() != tag.name {
-                        self.event(TreeEventKind::ForeignEndTagMismatch {
-                            tag: tag.name.clone(),
-                        });
+                        self.event(TreeEventKind::ForeignEndTagMismatch { tag: tag.name.clone() });
                     }
                 }
                 let mut i = self.open.len();

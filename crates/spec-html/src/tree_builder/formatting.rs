@@ -57,7 +57,8 @@ impl Builder {
 
     /// Remove a node from the formatting list, if present.
     pub(crate) fn remove_from_formatting(&mut self, node: NodeId) {
-        self.formatting.retain(|e| !matches!(e, FormatEntry::Element { node: n, .. } if *n == node));
+        self.formatting
+            .retain(|e| !matches!(e, FormatEntry::Element { node: n, .. } if *n == node));
     }
 
     /// §13.2.6.1 "reconstruct the active formatting elements".
@@ -140,10 +141,8 @@ impl Builder {
                 FormatEntry::Element { tag, .. } => tag.name == subject,
                 FormatEntry::Marker => false,
             });
-            let marker_after = self
-                .formatting
-                .iter()
-                .rposition(|e| matches!(e, FormatEntry::Marker));
+            let marker_after =
+                self.formatting.iter().rposition(|e| matches!(e, FormatEntry::Marker));
             let fmt_idx = match (fmt_idx, marker_after) {
                 (Some(f), Some(m)) if m > f => None,
                 (f, _) => f,
@@ -172,12 +171,10 @@ impl Builder {
 
             // Furthest block: lowest element in the stack below fmt that is
             // "special".
-            let furthest = self.open[stack_idx + 1..].iter().copied().find(|&id| {
-                self.doc
-                    .html_name(id)
-                    .map(tags::is_special)
-                    .unwrap_or(false)
-            });
+            let furthest = self.open[stack_idx + 1..]
+                .iter()
+                .copied()
+                .find(|&id| self.doc.html_name(id).map(tags::is_special).unwrap_or(false));
             let Some(furthest_block) = furthest else {
                 // No furthest block: pop through the formatting element.
                 self.open.truncate(stack_idx);
@@ -280,7 +277,8 @@ impl Builder {
             // Update the formatting list: remove old entry, insert new at
             // the bookmark.
             self.formatting.remove(fmt_idx);
-            let bookmark = bookmark.min(self.formatting.len()).saturating_sub(usize::from(bookmark > fmt_idx));
+            let bookmark =
+                bookmark.min(self.formatting.len()).saturating_sub(usize::from(bookmark > fmt_idx));
             self.formatting.insert(bookmark, FormatEntry::Element { node: new_fmt, tag });
 
             // Update the stack: remove old fmt element, insert new one right

@@ -90,8 +90,24 @@ impl Builder {
                 Ctl::Done
             }
             name if tags::closes_p(name)
-                && !matches!(name, "li" | "dd" | "dt" | "table" | "hr" | "form" | "plaintext" | "xmp"
-                    | "pre" | "listing" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6") =>
+                && !matches!(
+                    name,
+                    "li" | "dd"
+                        | "dt"
+                        | "table"
+                        | "hr"
+                        | "form"
+                        | "plaintext"
+                        | "xmp"
+                        | "pre"
+                        | "listing"
+                        | "h1"
+                        | "h2"
+                        | "h3"
+                        | "h4"
+                        | "h5"
+                        | "h6"
+                ) =>
             {
                 if self.in_button_scope("p") {
                     self.close_p_element();

@@ -410,8 +410,15 @@ impl Builder {
                         }
                         if matches!(
                             e.name.as_str(),
-                            "applet" | "caption" | "html" | "table" | "td" | "th" | "marquee"
-                                | "object" | "template"
+                            "applet"
+                                | "caption"
+                                | "html"
+                                | "table"
+                                | "td"
+                                | "th"
+                                | "marquee"
+                                | "object"
+                                | "template"
                         ) || extra.contains(&e.name.as_str())
                         {
                             return false;
@@ -615,11 +622,7 @@ impl Builder {
         rawtext: bool,
     ) {
         self.insert_html(tag);
-        tok.set_state(if rawtext {
-            tokenizer::State::Rawtext
-        } else {
-            tokenizer::State::Rcdata
-        });
+        tok.set_state(if rawtext { tokenizer::State::Rawtext } else { tokenizer::State::Rcdata });
         tok.set_last_start_tag(&tag.name);
         self.orig_mode = self.mode;
         self.mode = InsertionMode::Text;
@@ -637,11 +640,8 @@ impl Builder {
             }
             // In the fragment case the bottom-most node is judged as the
             // context element (§13.2.6.4.22 step 2).
-            let name: &str = if last {
-                self.fragment_context.as_deref().unwrap_or(&e.name)
-            } else {
-                &e.name
-            };
+            let name: &str =
+                if last { self.fragment_context.as_deref().unwrap_or(&e.name) } else { &e.name };
             match name {
                 "select" => {
                     // Check for an enclosing table.

@@ -169,7 +169,14 @@ impl Builder {
             Token::StartTag(ref tag)
                 if matches!(
                     tag.name.as_str(),
-                    "caption" | "col" | "colgroup" | "tbody" | "td" | "tfoot" | "th" | "thead"
+                    "caption"
+                        | "col"
+                        | "colgroup"
+                        | "tbody"
+                        | "td"
+                        | "tfoot"
+                        | "th"
+                        | "thead"
                         | "tr"
                 ) =>
             {
@@ -191,8 +198,16 @@ impl Builder {
             Token::EndTag(ref tag)
                 if matches!(
                     tag.name.as_str(),
-                    "body" | "col" | "colgroup" | "html" | "tbody" | "td" | "tfoot" | "th"
-                        | "thead" | "tr"
+                    "body"
+                        | "col"
+                        | "colgroup"
+                        | "html"
+                        | "tbody"
+                        | "td"
+                        | "tfoot"
+                        | "th"
+                        | "thead"
+                        | "tr"
                 ) =>
             {
                 self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
@@ -429,7 +444,14 @@ impl Builder {
             Token::StartTag(ref tag)
                 if matches!(
                     tag.name.as_str(),
-                    "caption" | "col" | "colgroup" | "tbody" | "td" | "tfoot" | "th" | "thead"
+                    "caption"
+                        | "col"
+                        | "colgroup"
+                        | "tbody"
+                        | "td"
+                        | "tfoot"
+                        | "th"
+                        | "thead"
                         | "tr"
                 ) =>
             {
@@ -441,7 +463,10 @@ impl Builder {
                 Ctl::Done
             }
             Token::EndTag(ref tag)
-                if matches!(tag.name.as_str(), "body" | "caption" | "col" | "colgroup" | "html") =>
+                if matches!(
+                    tag.name.as_str(),
+                    "body" | "caption" | "col" | "colgroup" | "html"
+                ) =>
             {
                 self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
                 Ctl::Done

@@ -34,9 +34,8 @@ fn minimal_document_gets_html_head_body() {
 
 #[test]
 fn explicit_document_has_no_structure_events() {
-    let out = parse_doc(
-        "<!DOCTYPE html><html><head><title>t</title></head><body><p>x</p></body></html>",
-    );
+    let out =
+        parse_doc("<!DOCTYPE html><html><head><title>t</title></head><body><p>x</p></body></html>");
     assert!(!has_event(&out, |k| matches!(
         k,
         TreeEventKind::ImplicitHtml
@@ -66,18 +65,12 @@ fn nested_divs() {
 
 #[test]
 fn list_items_imply_close() {
-    assert_eq!(
-        body_html("<ul><li>a<li>b</ul>"),
-        "<ul><li>a</li><li>b</li></ul>"
-    );
+    assert_eq!(body_html("<ul><li>a<li>b</ul>"), "<ul><li>a</li><li>b</li></ul>");
 }
 
 #[test]
 fn dd_dt_imply_close() {
-    assert_eq!(
-        body_html("<dl><dt>t<dd>d<dd>e</dl>"),
-        "<dl><dt>t</dt><dd>d</dd><dd>e</dd></dl>"
-    );
+    assert_eq!(body_html("<dl><dt>t<dd>d<dd>e</dl>"), "<dl><dt>t</dt><dd>d</dd><dd>e</dd></dl>");
 }
 
 #[test]
@@ -114,11 +107,7 @@ fn hf1_div_in_head_closes_head() {
     assert!(has_event(&out, |k| matches!(k, TreeEventKind::HeadClosedBy { tag } if tag == "div")));
     // The meta after the div ends up in the body, not the head.
     let head = out.dom.find_html("head").unwrap();
-    let metas_in_head = out
-        .dom
-        .descendants(head)
-        .filter(|&id| out.dom.is_html(id, "meta"))
-        .count();
+    let metas_in_head = out.dom.descendants(head).filter(|&id| out.dom.is_html(id, "meta")).count();
     assert_eq!(metas_in_head, 0);
 }
 
@@ -171,7 +160,10 @@ fn hf3_second_body_merges_attributes() {
 #[test]
 fn late_head_content_reenters_head() {
     let out = parse_doc("<!DOCTYPE html><head></head><meta charset=utf-8><body>x</body>");
-    assert!(has_event(&out, |k| matches!(k, TreeEventKind::LateHeadContent { tag } if tag == "meta")));
+    assert!(has_event(
+        &out,
+        |k| matches!(k, TreeEventKind::LateHeadContent { tag } if tag == "meta")
+    ));
     let head = out.dom.find_html("head").unwrap();
     assert!(out.dom.descendants(head).any(|id| out.dom.is_html(id, "meta")));
 }
@@ -179,9 +171,8 @@ fn late_head_content_reenters_head() {
 #[test]
 fn meta_in_body_stays_in_body() {
     // DM1's DOM shape: meta inside body is NOT relocated.
-    let out = parse_doc(
-        "<!DOCTYPE html><head></head><body><meta http-equiv=refresh content=0></body>",
-    );
+    let out =
+        parse_doc("<!DOCTYPE html><head></head><body><meta http-equiv=refresh content=0></body>");
     let body = out.dom.find_html("body").unwrap();
     assert!(out.dom.descendants(body).any(|id| out.dom.is_html(id, "meta")));
 }
@@ -253,16 +244,9 @@ fn de4_nested_form_ignored() {
     );
     assert!(has_event(&out, |k| matches!(k, TreeEventKind::NestedFormIgnored)));
     // Only one form element exists, and it is the evil one.
-    let forms: Vec<_> = out
-        .dom
-        .all_elements()
-        .filter(|&id| out.dom.is_html(id, "form"))
-        .collect();
+    let forms: Vec<_> = out.dom.all_elements().filter(|&id| out.dom.is_html(id, "form")).collect();
     assert_eq!(forms.len(), 1);
-    assert_eq!(
-        out.dom.element(forms[0]).unwrap().attr("action"),
-        Some("https://evil.com")
-    );
+    assert_eq!(out.dom.element(forms[0]).unwrap().attr("action"), Some("https://evil.com"));
 }
 
 #[test]
@@ -335,21 +319,16 @@ fn select_in_table_closed_by_cell_tags() {
 #[test]
 fn svg_elements_get_svg_namespace() {
     let out = parse_doc("<body><svg><circle r=5></circle></svg></body>");
-    let circle = out
-        .dom
-        .all_elements()
-        .find(|&id| out.dom.element(id).unwrap().name == "circle")
-        .unwrap();
+    let circle =
+        out.dom.all_elements().find(|&id| out.dom.element(id).unwrap().name == "circle").unwrap();
     assert_eq!(out.dom.element(circle).unwrap().ns, Namespace::Svg);
 }
 
 #[test]
 fn svg_camel_case_fixups() {
     let out = parse_doc("<svg><foreignobject><div>html here</div></foreignobject></svg>");
-    let fo = out
-        .dom
-        .all_elements()
-        .find(|&id| out.dom.element(id).unwrap().name == "foreignObject");
+    let fo =
+        out.dom.all_elements().find(|&id| out.dom.element(id).unwrap().name == "foreignObject");
     assert!(fo.is_some(), "lowercased tag must be restored to foreignObject");
     // The div inside the integration point is HTML.
     let div = out.dom.find_html("div").unwrap();
@@ -366,7 +345,8 @@ fn hf5_breakout_pops_foreign_elements() {
     let div = out.dom.find_html("div").unwrap();
     assert_eq!(out.dom.element(div).unwrap().ns, Namespace::Html);
     // The div is a sibling of the svg, not inside it.
-    let svg = out.dom.all_elements().find(|&id| out.dom.element(id).unwrap().name == "svg").unwrap();
+    let svg =
+        out.dom.all_elements().find(|&id| out.dom.element(id).unwrap().name == "svg").unwrap();
     assert!(!out.dom.is_inclusive_ancestor(svg, div));
 }
 
@@ -376,22 +356,16 @@ fn math_text_integration_point_parses_html() {
     let b = out.dom.find_html("b").unwrap();
     assert_eq!(out.dom.element(b).unwrap().ns, Namespace::Html);
     // And it stays inside mtext.
-    let mtext = out
-        .dom
-        .all_elements()
-        .find(|&id| out.dom.element(id).unwrap().name == "mtext")
-        .unwrap();
+    let mtext =
+        out.dom.all_elements().find(|&id| out.dom.element(id).unwrap().name == "mtext").unwrap();
     assert!(out.dom.is_inclusive_ancestor(mtext, b));
 }
 
 #[test]
 fn mglyph_at_integration_point_stays_mathml() {
     let out = parse_doc("<body><math><mtext><mglyph></mglyph></mtext></math></body>");
-    let mglyph = out
-        .dom
-        .all_elements()
-        .find(|&id| out.dom.element(id).unwrap().name == "mglyph")
-        .unwrap();
+    let mglyph =
+        out.dom.all_elements().find(|&id| out.dom.element(id).unwrap().name == "mglyph").unwrap();
     assert_eq!(out.dom.element(mglyph).unwrap().ns, Namespace::MathMl);
 }
 
@@ -399,16 +373,11 @@ fn mglyph_at_integration_point_stays_mathml() {
 fn style_in_foreign_content_is_not_rawtext() {
     // In MathML, <style> content parses as markup: a comment is a comment.
     let out = parse_doc("<body><math><mglyph><style><!--x--></style></mglyph></math></body>");
-    let style = out
-        .dom
-        .all_elements()
-        .find(|&id| out.dom.element(id).unwrap().name == "style")
-        .unwrap();
+    let style =
+        out.dom.all_elements().find(|&id| out.dom.element(id).unwrap().name == "style").unwrap();
     assert_eq!(out.dom.element(style).unwrap().ns, Namespace::MathMl);
-    let has_comment = out
-        .dom
-        .descendants(style)
-        .any(|id| matches!(&out.dom.node(id).data, NodeData::Comment(_)));
+    let has_comment =
+        out.dom.descendants(style).any(|id| matches!(&out.dom.node(id).data, NodeData::Comment(_)));
     assert!(has_comment, "comment inside foreign <style> must be a real comment node");
 }
 
@@ -541,10 +510,7 @@ mod fragments {
 
     #[test]
     fn select_context_strips_tags() {
-        assert_eq!(
-            frag("<option>a</option><div>b</div>", "select"),
-            "<option>a</option>b"
-        );
+        assert_eq!(frag("<option>a</option><div>b</div>", "select"), "<option>a</option>b");
     }
 
     #[test]
@@ -567,10 +533,7 @@ mod fragments {
     #[test]
     fn form_context_suppresses_nested_form() {
         let out = parse_fragment("<form action=/x><input name=q>", "form");
-        assert!(out
-            .events
-            .iter()
-            .any(|e| matches!(e.kind, TreeEventKind::NestedFormIgnored)));
+        assert!(out.events.iter().any(|e| matches!(e.kind, TreeEventKind::NestedFormIgnored)));
     }
 
     #[test]
@@ -609,10 +572,7 @@ mod table_modes {
     fn caption_closed_by_row() {
         // A <tr> inside caption closes the caption first.
         let html = body_html("<table><caption>c<tr><td>x</td></table>");
-        assert_eq!(
-            html,
-            "<table><caption>c</caption><tbody><tr><td>x</td></tr></tbody></table>"
-        );
+        assert_eq!(html, "<table><caption>c</caption><tbody><tr><td>x</td></tr></tbody></table>");
     }
 
     #[test]
@@ -662,7 +622,12 @@ mod framesets {
         );
         out.dom.check_invariants().unwrap();
         let html = serialize(&out.dom);
-        assert!(html.contains("<frameset cols=\"50%,50%\"><frame src=\"a\"><frame src=\"b\"></frameset>"), "{html}");
+        assert!(
+            html.contains(
+                "<frameset cols=\"50%,50%\"><frame src=\"a\"><frame src=\"b\"></frameset>"
+            ),
+            "{html}"
+        );
         // No body in a frameset document.
         assert!(out.dom.find_html("body").is_none());
     }
@@ -673,7 +638,10 @@ mod framesets {
             "<head></head><frameset><frameset rows=\"*\"><frame></frameset><frame></frameset>",
         );
         let html = serialize(&out.dom);
-        assert!(html.contains("<frameset><frameset rows=\"*\"><frame></frameset><frame></frameset>"), "{html}");
+        assert!(
+            html.contains("<frameset><frameset rows=\"*\"><frame></frameset><frame></frameset>"),
+            "{html}"
+        );
     }
 
     #[test]

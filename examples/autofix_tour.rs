@@ -11,15 +11,9 @@ fn show(title: &str, input: &str) {
     println!("=== {title} ===");
     println!("input:\n  {}", input.replace('\n', "\n  "));
     let outcome = auto_fix(input);
-    println!(
-        "violations before: {:?}",
-        outcome.before.iter().map(|k| k.id()).collect::<Vec<_>>()
-    );
+    println!("violations before: {:?}", outcome.before.iter().map(|k| k.id()).collect::<Vec<_>>());
     println!("fixed output:\n  {}", outcome.fixed_html.trim().replace('\n', "\n  "));
-    println!(
-        "violations after:  {:?}",
-        outcome.after.iter().map(|k| k.id()).collect::<Vec<_>>()
-    );
+    println!("violations after:  {:?}", outcome.after.iter().map(|k| k.id()).collect::<Vec<_>>());
     println!(
         "eliminated automatically: {:?}\n",
         outcome.eliminated().iter().map(|k| k.id()).collect::<Vec<_>>()

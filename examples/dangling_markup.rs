@@ -63,7 +63,9 @@ fn nonce_stealing() {
     let report = check_page(page);
     assert!(report.has(ViolationKind::DE3_2));
     assert!(report.mitigations.script_in_attribute);
-    println!("checker: DE3_2 fires; Chromium's `<script`-in-attribute mitigation would catch this\n");
+    println!(
+        "checker: DE3_2 fires; Chromium's `<script`-in-attribute mitigation would catch this\n"
+    );
 }
 
 /// Figure 5: an unterminated target attribute absorbs following content;

@@ -70,6 +70,8 @@ fn main() {
         .descendants(second.dom.root())
         .filter(|&id| matches!(second.dom.node(id).data, NodeData::Comment(_)))
         .count();
-    println!("\n({comments} comment node(s) after the second parse — the `<!--` came alive in MathML)");
+    println!(
+        "\n({comments} comment node(s) after the second parse — the `<!--` came alive in MathML)"
+    );
     println!("\nThis is why HF4 (broken tables) and HF5 (wrong namespaces) are security-relevant.");
 }

@@ -27,20 +27,20 @@ fn main() {
     let report = check_page(page);
     println!("found {} violation finding(s):\n", report.findings.len());
     for f in &report.findings {
-        println!(
-            "  {:6} {:30} @{:<5} {}",
-            f.kind.id(),
-            f.kind.definition(),
-            f.offset,
-            f.evidence
-        );
+        println!("  {:6} {:30} @{:<5} {}", f.kind.id(), f.kind.definition(), f.offset, f.evidence);
     }
 
     // The §4.4 automatic repair: FB/DM violations disappear; HF ones need a
     // developer.
     let outcome = auto_fix(page);
-    println!("\nautomatic fix eliminates: {:?}", outcome.eliminated().iter().map(|k| k.id()).collect::<Vec<_>>());
-    println!("still needs a human:      {:?}", outcome.after.iter().map(|k| k.id()).collect::<Vec<_>>());
+    println!(
+        "\nautomatic fix eliminates: {:?}",
+        outcome.eliminated().iter().map(|k| k.id()).collect::<Vec<_>>()
+    );
+    println!(
+        "still needs a human:      {:?}",
+        outcome.after.iter().map(|k| k.id()).collect::<Vec<_>>()
+    );
 
     // The parser substrate is a public API too.
     let doc = parse_document(page);

@@ -22,10 +22,7 @@ fn main() {
     println!("\n=== one violating page through the rollout ===\n");
     let page = r#"<img src="x.png"onerror="track()"><select><option>a"#; // FB2 + DE2
     let report = check_page(page);
-    println!(
-        "page violations: {:?}\n",
-        report.kinds().iter().map(|k| k.id()).collect::<Vec<_>>()
-    );
+    println!("page violations: {:?}\n", report.kinds().iter().map(|k| k.id()).collect::<Vec<_>>());
     for stage in 0..=4u8 {
         let list = EnforcementList::stage(stage);
         let (decision, _) = evaluate(&report, &StrictPolicy::default_mode(), &list);
@@ -48,10 +45,7 @@ fn main() {
     let store = scan(&archive, ScanOptions::default());
     println!("{:28}{:>10}{:>10}", "", 2015, 2022);
     for (stage, series) in aggregate::rollout_breakage(&store) {
-        println!(
-            "  stage {stage} would block      {:>8.2}% {:>8.2}%",
-            series[0], series[7]
-        );
+        println!("  stage {stage} would block      {:>8.2}% {:>8.2}%", series[0], series[7]);
     }
     println!(
         "\nStage 1 (math + dangling markup) breaks well under 1% of domains — the\n\

@@ -45,7 +45,7 @@ pub use spec_html;
 pub mod prelude {
     pub use hv_core::autofix::{auto_fix, FixOutcome};
     pub use hv_core::checkers::check_page;
-    pub use hv_core::{Finding, PageReport, ProblemGroup, ViolationKind};
+    pub use hv_core::{Battery, Finding, MitigationFlags, PageReport, ProblemGroup, ViolationKind};
     pub use hv_corpus::{Archive, CorpusConfig, Snapshot};
     pub use hv_pipeline::{scan, ResultStore, ScanOptions};
     pub use spec_html::{parse_document, serializer::serialize};

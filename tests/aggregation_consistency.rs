@@ -23,12 +23,7 @@ fn any_violation_bounds_every_kind_trend() {
     for kind in ViolationKind::ALL {
         let t = aggregate::kind_trend(store(), kind);
         for y in 0..8 {
-            assert!(
-                t[y] <= any[y] + 1e-9,
-                "{kind} year {y}: {:.2} > any {:.2}",
-                t[y],
-                any[y]
-            );
+            assert!(t[y] <= any[y] + 1e-9, "{kind} year {y}: {:.2} > any {:.2}", t[y], any[y]);
         }
     }
 }
@@ -44,10 +39,7 @@ fn group_trend_bounds_member_kinds_and_any_bounds_groups() {
         for kind in ViolationKind::ALL.iter().filter(|k| k.group() == *group) {
             let t = aggregate::kind_trend(store(), *kind);
             for y in 0..8 {
-                assert!(
-                    t[y] <= series[y] + 1e-9,
-                    "{kind} exceeds its group {group:?} in year {y}"
-                );
+                assert!(t[y] <= series[y] + 1e-9, "{kind} exceeds its group {group:?} in year {y}");
             }
         }
     }

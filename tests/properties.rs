@@ -158,6 +158,43 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// [`Battery::only`] over any subset of the taxonomy reports exactly
+    /// the subset-filtered findings of the full battery, on any input —
+    /// restricting the rule set is observationally a filter.
+    #[test]
+    fn battery_only_is_a_filter_of_full(input in html_soup(), mask in 0u32..(1u32 << 20)) {
+        let subset: Vec<ViolationKind> = ViolationKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &k)| k)
+            .collect();
+        let full = Battery::full().run_str(&input);
+        let expected: Vec<_> =
+            full.findings.iter().filter(|f| subset.contains(&f.kind)).cloned().collect();
+        let got = Battery::only(&subset).run_str(&input);
+        prop_assert_eq!(&got.findings, &expected, "subset {:?} on {:?}", subset, input);
+        // The mitigation flags are battery-independent page facts.
+        prop_assert_eq!(got.mitigations, full.mitigations);
+    }
+
+    /// A reused battery agrees with a fresh one on every page — the
+    /// recycled findings buffer leaks no state between pages.
+    #[test]
+    fn battery_reuse_matches_fresh(pages in proptest::collection::vec(html_soup(), 1..6)) {
+        let mut reused = Battery::full();
+        for page in &pages {
+            let fresh = check_page(page);
+            let r = reused.run_str(page);
+            prop_assert_eq!(&r.findings, &fresh.findings);
+            prop_assert_eq!(r.mitigations, fresh.mitigations);
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Corpus determinism: same seed ⇒ same bytes; independent of
@@ -218,7 +255,8 @@ mod dom_arena_ops {
     fn op_strategy() -> impl Strategy<Value = Op> {
         prop_oneof![
             Just(Op::Create),
-            (any::<usize>(), any::<usize>()).prop_map(|(parent, child)| Op::Append { parent, child }),
+            (any::<usize>(), any::<usize>())
+                .prop_map(|(parent, child)| Op::Append { parent, child }),
             (any::<usize>(), any::<usize>())
                 .prop_map(|(sibling, child)| Op::InsertBefore { sibling, child }),
             any::<usize>().prop_map(|node| Op::Detach { node }),

@@ -155,7 +155,9 @@ fn quirks_mode_table_in_p() {
 
 #[test]
 fn whole_document_structure() {
-    let doc = parse_document("<!DOCTYPE html><html lang=en><head><title>t</title></head><body>x</body></html>");
+    let doc = parse_document(
+        "<!DOCTYPE html><html lang=en><head><title>t</title></head><body>x</body></html>",
+    );
     let whole = serializer::serialize(&doc.dom);
     assert_eq!(
         whole,

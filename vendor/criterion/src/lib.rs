@@ -1,0 +1,270 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the subset of the
+//! criterion API this workspace's benches use: `Criterion`,
+//! `benchmark_group` with `throughput`/`sample_size`/`bench_function`/
+//! `finish`, `Bencher::iter` / `iter_batched`, `Throughput`, `BatchSize`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Compared to real criterion there is no statistical analysis, outlier
+//! rejection, or HTML report — each benchmark is warmed up briefly and then
+//! timed for a small fixed budget, printing mean ns/iter (plus derived
+//! throughput when configured). Passing `--test` (as `cargo test` does for
+//! bench targets) runs every routine exactly once so test runs stay fast.
+
+// Vendored stand-in: keep the first-party clippy gate quiet here.
+#![allow(clippy::all)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped. Ignored by this harness; batches are
+/// always generated per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Work-per-iteration declaration used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    measure_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None, test_mode: false, measure_budget: Duration::from_millis(40) }
+    }
+}
+
+impl Criterion {
+    /// Read the CLI: `--test` (run each routine once, as `cargo test` does
+    /// for harness-less bench targets) and an optional name filter.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" => {}
+                a if a.starts_with("--") => {} // ignore unknown cargo/criterion flags
+                a => c.filter = Some(a.to_owned()),
+            }
+        }
+        c
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        let args = Criterion::from_args();
+        Criterion { measure_budget: self.measure_budget, ..args }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(self, id, None, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    c: &mut Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(filter) = &c.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        test_mode: c.test_mode,
+        budget: c.measure_budget,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("bench {id:<50} (no measurement)");
+        return;
+    }
+    let mean_ns = b.total.as_nanos() as f64 / b.iters as f64;
+    let extra = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mbps = n as f64 / mean_ns * 1e9 / (1024.0 * 1024.0);
+            format!("  {mbps:10.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / mean_ns * 1e9;
+            format!("  {eps:10.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!("bench {id:<50} {mean_ns:14.1} ns/iter ({} iters){extra}", b.iters);
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    test_mode: bool,
+    budget: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            let start = Instant::now();
+            black_box(routine());
+            self.total = start.elapsed();
+            self.iters = 1;
+            return;
+        }
+        // Warmup.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + self.budget;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while Instant::now() < deadline && iters < 100_000 {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.total = total;
+        self.iters = iters.max(1);
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total = start.elapsed();
+            self.iters = 1;
+            return;
+        }
+        black_box(routine(setup()));
+        let deadline = Instant::now() + self.budget;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while Instant::now() < deadline && iters < 100_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.total = total;
+        self.iters = iters.max(1);
+    }
+}
+
+/// Bundle bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_counts() {
+        let mut c = Criterion { measure_budget: Duration::from_millis(5), ..Criterion::default() };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { measure_budget: Duration::from_millis(5), ..Criterion::default() };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(10);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true, ..Criterion::default() };
+        let mut count = 0u64;
+        c.bench_function("once", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        assert_eq!(count, 1);
+    }
+}

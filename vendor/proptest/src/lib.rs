@@ -1,0 +1,556 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Deterministic generation-only property testing. Each `proptest!` test
+//! derives its RNG seed from the test name, so runs are reproducible without
+//! any persistence files; there is no shrinking — a failing case reports the
+//! generated inputs verbatim.
+//!
+//! Covered surface (exactly what this workspace uses): `Strategy` with
+//! `prop_map`/`boxed`, `Just`, `any::<T>()`, integer range strategies,
+//! regex-like string strategies (char classes, `\PC`, `{m,n}`/`*`/`+`/`?`),
+//! `collection::vec`, tuple strategies, `prop_oneof!`, `proptest!` with
+//! `ProptestConfig::with_cases`, and `prop_assert!`/`prop_assert_eq!`.
+
+// Vendored stand-in: keep the first-party clippy gate quiet here.
+#![allow(clippy::all)]
+
+pub mod test_runner {
+    /// Deterministic splitmix64 RNG.
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// Seed from a stable string (the test name) so every run of a given
+        /// test explores the same cases.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Rng { state: h | 1 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[lo, hi)`.
+        pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            assert!(lo < hi, "empty range {lo}..{hi}");
+            let span = hi - lo;
+            lo + self.next_u64() % span
+        }
+
+        /// Uniform in `[0, n)`.
+        pub fn index(&mut self, n: usize) -> usize {
+            self.range_u64(0, n as u64) as usize
+        }
+    }
+
+    /// Why a property case failed.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::Rng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// A value generator. Unlike real proptest there is no value tree or
+    /// shrinking — `generate` produces a final value directly.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> MapStrategy<Self, F>
+        where
+            Self: Sized,
+        {
+            MapStrategy { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// Type-erased strategy, used by `prop_oneof!` to mix arm types.
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut Rng) -> T>);
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct MapStrategy<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for MapStrategy<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut Rng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed arms (all arms equally weighted).
+    pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            let i = rng.index(self.0.len());
+            self.0[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut Rng) -> $ty {
+                    rng.range_u64(self.start as u64, self.end as u64) as $ty
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (S0/0);
+        (S0/0, S1/1);
+        (S0/0, S1/1, S2/2);
+        (S0/0, S1/1, S2/2, S3/3);
+    }
+
+    /// `&str` strategies interpret the string as a small regex subset:
+    /// literal chars, `[...]` classes with ranges, `\PC` (any non-control
+    /// char), and `{m}`/`{m,n}`/`*`/`+`/`?` quantifiers.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut Rng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+
+    /// Marker for `any::<T>()`.
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    pub trait Arbitrary: Debug + Sized {
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut Rng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Uniform generator over `T`'s whole value space.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let n = rng.range_u64(self.len.start as u64, self.len.end as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vector of `element` values with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+}
+
+mod string {
+    use crate::test_runner::Rng;
+
+    enum CharSet {
+        /// Inclusive ranges; singles are `(c, c)`.
+        Ranges(Vec<(char, char)>),
+        /// `\PC` — any char outside Unicode category C (controls etc.).
+        AnyNonControl,
+    }
+
+    struct Atom {
+        set: CharSet,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated [ in pattern {pattern:?}");
+                    i += 1; // skip ']'
+                    CharSet::Ranges(ranges)
+                }
+                '\\' => {
+                    let esc = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling backslash in pattern {pattern:?}"));
+                    i += 2;
+                    match esc {
+                        'P' => {
+                            // Only \PC (non-control) is supported.
+                            assert_eq!(
+                                chars.get(i),
+                                Some(&'C'),
+                                "unsupported \\P class in {pattern:?}"
+                            );
+                            i += 1;
+                            CharSet::AnyNonControl
+                        }
+                        'n' => CharSet::Ranges(vec![('\n', '\n')]),
+                        't' => CharSet::Ranges(vec![('\t', '\t')]),
+                        c => CharSet::Ranges(vec![(c, c)]),
+                    }
+                }
+                c => {
+                    i += 1;
+                    CharSet::Ranges(vec![(c, c)])
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    (0, 32)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 32)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unterminated {{ in pattern {pattern:?}"));
+                    let body: String = chars[i + 1..i + close].iter().collect();
+                    i += close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n: usize = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            atoms.push(Atom { set, min, max });
+        }
+        atoms
+    }
+
+    fn sample_char(set: &CharSet, rng: &mut Rng) -> char {
+        match set {
+            CharSet::Ranges(ranges) => {
+                let total: u64 =
+                    ranges.iter().map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1).sum();
+                let mut pick = rng.range_u64(0, total);
+                for (lo, hi) in ranges {
+                    let span = (*hi as u64) - (*lo as u64) + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+                    }
+                    pick -= span;
+                }
+                unreachable!()
+            }
+            CharSet::AnyNonControl => {
+                // Mostly ASCII printable, with multibyte chars mixed in to
+                // exercise UTF-8 boundaries.
+                match rng.range_u64(0, 10) {
+                    0 => 'é',
+                    1 => '«',
+                    2 => '世',
+                    3 => '😀',
+                    _ => char::from_u32(rng.range_u64(0x20, 0x7F) as u32).unwrap(),
+                }
+            }
+        }
+    }
+
+    pub fn generate_matching(pattern: &str, rng: &mut Rng) -> String {
+        let mut out = String::new();
+        for atom in parse(pattern) {
+            let n = rng.range_u64(atom.min as u64, atom.max as u64 + 1) as usize;
+            for _ in 0..n {
+                out.push(sample_char(&atom.set, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategies that all yield the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+), __l, __r
+                );
+            }
+        }
+    };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::Rng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = format!(concat!($(stringify!($arg), " = {:?} ",)+), $(&$arg),+);
+                #[allow(unreachable_code)]
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}:\n{}\ninputs: {}",
+                        stringify!($name), __case + 1, __config.cases, e, __inputs
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        let mut a = crate::test_runner::Rng::deterministic("x");
+        let mut b = crate::test_runner::Rng::deterministic("x");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = crate::test_runner::Rng::deterministic("regex");
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = "[a-zA-Z0-9 <>&';]{0,40}".generate(&mut rng);
+            assert!(t.chars().count() <= 40);
+
+            let u = "\\PC*".generate(&mut rng);
+            assert!(u.chars().all(|c| !c.is_control()), "{u:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::Rng::deterministic("ranges");
+        for _ in 0..200 {
+            let v = (0u64..1000).generate(&mut rng);
+            assert!(v < 1000);
+            let w = (3usize..5).generate(&mut rng);
+            assert!((3..5).contains(&w));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_end_to_end(v in crate::collection::vec(any::<u8>(), 0..10), s in "[a-z]{1,4}") {
+            prop_assert!(v.len() < 10);
+            prop_assert_eq!(s.len(), s.chars().count());
+            if v.is_empty() {
+                return Ok(());
+            }
+            let choice = prop_oneof![Just(1u8), Just(2u8)];
+            let mut rng = crate::test_runner::Rng::deterministic("inner");
+            let picked = choice.generate(&mut rng);
+            prop_assert!(picked == 1 || picked == 2);
+        }
+    }
+}

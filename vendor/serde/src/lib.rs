@@ -1,0 +1,444 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the subset of serde's surface the workspace uses: the
+//! `Serialize`/`Deserialize` traits (modelled as conversions to/from a JSON
+//! [`Value`] tree), impls for the std types that appear in our data model,
+//! and — behind the `derive` feature — the `#[derive(Serialize,
+//! Deserialize)]` proc macros from the sibling `serde_derive` crate.
+//!
+//! Supported derive attributes: `#[serde(default)]` and
+//! `#[serde(flatten)]`. That is exactly what the repo needs; anything more
+//! is a compile error in `serde_derive` rather than a silent misparse.
+
+// Vendored stand-in: keep the first-party clippy gate quiet here.
+#![allow(clippy::all)]
+
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization error: a human-readable path + message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize into the [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by generated derive code.
+
+/// Fetch a struct field from an object map. Missing fields are fed
+/// [`Value::Null`] so that `Option<T>` fields deserialize to `None` (serde's
+/// behaviour); types that reject `Null` produce a "missing field" error.
+pub fn field<T: Deserialize>(m: &Map<String, Value>, name: &str) -> Result<T, Error> {
+    match m.get(name) {
+        Some(v) => T::from_value(v).map_err(|e| Error(format!("field `{name}`: {e}"))),
+        None => T::from_value(&Value::Null).map_err(|_| Error(format!("missing field `{name}`"))),
+    }
+}
+
+impl Value {
+    /// Expect an object, with a type name for the error message. Used by
+    /// generated code.
+    pub fn expect_object(&self, ty: &str) -> Result<&Map<String, Value>, Error> {
+        match self {
+            Value::Object(m) => Ok(m),
+            other => Err(Error(format!("expected object for {ty}, got {}", other.kind()))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls.
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64_strict()?;
+                <$t>::try_from(n).map_err(|_| Error(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64_strict()?;
+                <$t>::try_from(n).map_err(|_| Error(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::F(*self))
+        } else {
+            // serde_json serializes non-finite floats as null.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(Error(format!("expected number, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+/// `&'static str` deserialization leaks the parsed string. It exists only so
+/// `#[derive(Deserialize)]` compiles on types carrying static metadata
+/// strings (e.g. MIME constants) that are never actually deserialized in
+/// practice.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl<'a, T: Serialize + ?Sized> Serialize for &'a T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers.
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items.try_into().map_err(|_| Error(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+/// Map keys must serialize to a string or number value (serde_json's rule).
+fn key_to_string<K: Serialize>(k: &K) -> Result<String, Error> {
+    match k.to_value() {
+        Value::String(s) => Ok(s),
+        Value::Number(n) => Ok(n.render()),
+        other => Err(Error(format!("map key must be string-like, got {}", other.kind()))),
+    }
+}
+
+/// Reverse of [`key_to_string`]: try the key as a string first, then as a
+/// number, so both enum keys ("FB2") and numeric keys ("3") round-trip.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::String(s.to_owned())) {
+        return Ok(k);
+    }
+    if let Some(n) = Number::parse(s) {
+        if let Ok(k) = K::from_value(&Value::Number(n)) {
+            return Ok(k);
+        }
+    }
+    Err(Error(format!("cannot deserialize map key from {s:?}")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            // Key conversion failures cannot surface through the infallible
+            // serialize trait; fall back to the debug-ish rendering.
+            let key = key_to_string(k).unwrap_or_else(|_| format!("{:?}", k.to_value()));
+            m.insert(key, v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => {
+                m.iter().map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?))).collect()
+            }
+            other => Err(Error(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            let key = key_to_string(k).unwrap_or_else(|_| format!("{:?}", k.to_value()));
+            m.insert(key, v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        let expected = [$(stringify!($idx)),+].len();
+                        if items.len() != expected {
+                            return Err(Error(format!(
+                                "expected tuple of {expected}, got array of {}", items.len())));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error(format!("expected array, got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(String::from_value(&"x".to_value()).unwrap(), "x");
+    }
+
+    #[test]
+    fn option_missing_is_none() {
+        let m = Map::new();
+        let v: Option<String> = field(&m, "absent").unwrap();
+        assert!(v.is_none());
+        assert!(field::<String>(&m, "absent").is_err());
+    }
+
+    #[test]
+    fn map_keys_roundtrip_numbers() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(3u64, "x".to_owned());
+        let v = m.to_value();
+        let back: std::collections::BTreeMap<u64, String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn arrays_and_tuples() {
+        let a = [(1usize, 2.5f64), (3, 4.0)];
+        let v = a.to_value();
+        let back: [(usize, f64); 2] = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let big = u64::MAX - 3;
+        let back = u64::from_value(&big.to_value()).unwrap();
+        assert_eq!(back, big);
+    }
+}

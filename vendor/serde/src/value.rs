@@ -1,0 +1,196 @@
+//! The JSON data model shared by the vendored `serde` and `serde_json`.
+
+use std::collections::BTreeMap;
+
+/// Object map. `serde_json::Map<String, Value>` in real serde_json preserves
+/// insertion order; a sorted map is observably different only in output key
+/// order, which nothing in this workspace depends on.
+pub type Map<K = String, V = Value> = BTreeMap<K, V>;
+
+/// A JSON number. Unsigned/signed integers are kept exact (domain ids are
+/// 64-bit hashes; an f64-only model would corrupt them on save/load).
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+/// Value-based equality: `U(1) == I(1)` (a serializer may pick either
+/// integer representation), while floats only equal other floats.
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (*self, *other) {
+            (Number::U(a), Number::U(b)) => a == b,
+            (Number::I(a), Number::I(b)) => a == b,
+            (Number::U(a), Number::I(b)) | (Number::I(b), Number::U(a)) => b >= 0 && a == b as u64,
+            (Number::F(a), Number::F(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Number {
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(n) => n as f64,
+            Number::I(n) => n as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// Canonical JSON rendering. Floats use Rust's shortest round-trip
+    /// formatting, which always includes a fractional part or exponent.
+    pub fn render(self) -> String {
+        match self {
+            Number::U(n) => n.to_string(),
+            Number::I(n) => n.to_string(),
+            Number::F(f) => {
+                if f.is_finite() {
+                    format!("{f:?}")
+                } else {
+                    "null".to_owned()
+                }
+            }
+        }
+    }
+
+    /// Parse a JSON number literal.
+    pub fn parse(s: &str) -> Option<Number> {
+        if !s.contains(['.', 'e', 'E']) {
+            if let Some(rest) = s.strip_prefix('-') {
+                rest.parse::<u64>().ok()?;
+                return s.parse::<i64>().ok().map(Number::I);
+            }
+            if let Ok(u) = s.parse::<u64>() {
+                return Some(Number::U(u));
+            }
+        }
+        s.parse::<f64>().ok().filter(|f| f.is_finite()).map(Number::F)
+    }
+}
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl Value {
+    /// Short kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(n)) => Some(*n),
+            Value::Number(Number::I(n)) => u64::try_from(*n).ok(),
+            Value::Number(Number::F(f)) if f.fract() == 0.0 && *f >= 0.0 => Some(*f as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I(n)) => Some(*n),
+            Value::Number(Number::U(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::F(f)) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_u64_strict(&self) -> Result<u64, crate::Error> {
+        self.as_u64()
+            .ok_or_else(|| crate::Error(format!("expected unsigned integer, got {}", self.kind())))
+    }
+
+    pub(crate) fn as_i64_strict(&self) -> Result<i64, crate::Error> {
+        self.as_i64().ok_or_else(|| crate::Error(format!("expected integer, got {}", self.kind())))
+    }
+}
+
+/// `value["key"]` — returns `Null` for missing keys, as serde_json does.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// `value[i]` on arrays.
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! A syn-free derive implementation for the vendored `serde` facade. It
+//! parses the item's token stream by hand and generates `Serialize` /
+//! `Deserialize` impls in terms of `serde::Value`.
+//!
+//! Supported shapes (everything this workspace derives):
+//! * structs with named fields — attrs `#[serde(default)]`, `#[serde(flatten)]`
+//! * tuple structs (newtype and wider)
+//! * enums with unit, named-field, and tuple variants (externally tagged)
+//!
+//! Anything else (generics, unknown serde attributes) is a loud compile
+//! error rather than a silent misparse.
+
+// Vendored stand-in: keep the first-party clippy gate quiet here.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    default: bool,
+    flatten: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing.
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Skip `#[...]` attributes; returns the serde attrs seen.
+    fn skip_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
+        loop {
+            let is_hash = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_hash {
+                return attrs;
+            }
+            self.pos += 1;
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    parse_attr_group(g.stream(), &mut attrs);
+                }
+                other => panic!("serde_derive: expected [...] after #, got {other:?}"),
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, etc.
+    fn skip_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skip a type (after `:` in a field), stopping at a top-level comma or
+    /// end of stream. Tracks `<...>` nesting; parens/brackets arrive as
+    /// whole groups so their inner commas are invisible here.
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_attr_group(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let mut it = stream.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // doc comment, cfg, non_exhaustive, ... — not ours
+    }
+    let Some(TokenTree::Group(inner)) = it.next() else {
+        return;
+    };
+    for tok in inner.stream() {
+        match tok {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "default" => attrs.default = true,
+                "flatten" => attrs.flatten = true,
+                other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde_derive: unsupported serde attribute syntax at {other:?}"),
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let attrs = cur.skip_attrs();
+        cur.skip_visibility();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        if !cur.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field `{name}`");
+        }
+        cur.skip_type();
+        cur.eat_punct(',');
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0usize;
+    loop {
+        cur.skip_attrs();
+        cur.skip_visibility();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.skip_type();
+        count += 1;
+        if !cur.eat_punct(',') {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attrs();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.pos += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                cur.pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` up to the comma.
+        while let Some(t) = cur.peek() {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            cur.pos += 1;
+        }
+        cur.eat_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    // Outer attributes and visibility.
+    cur.skip_attrs();
+    cur.skip_visibility();
+
+    let is_enum = if cur.eat_ident("struct") {
+        false
+    } else if cur.eat_ident("enum") {
+        true
+    } else {
+        panic!("serde_derive: expected `struct` or `enum`, got {:?}", cur.peek());
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+    match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            } else {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+        other => panic!("serde_derive: unsupported item body {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (assembled as source text, parsed back into tokens).
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                if f.attrs.flatten {
+                    body.push_str(&format!(
+                        "if let ::serde::Value::Object(__o) = ::serde::Serialize::to_value(&self.{n}) {{ for (__k, __fv) in __o {{ __m.insert(__k, __fv); }} }}\n",
+                        n = f.name
+                    ));
+                } else {
+                    body.push_str(&format!(
+                        "__m.insert({q}.to_string(), ::serde::Serialize::to_value(&self.{n}));\n",
+                        q = quote_str(&f.name),
+                        n = f.name
+                    ));
+                }
+            }
+            body.push_str("::serde::Value::Object(__m)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            impl_serialize(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            impl_serialize(name, &format!("::serde::Value::Array(vec![{}])", items.join(", ")))
+        }
+        Item::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vq = quote_str(&v.name);
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String({vq}.to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut __f = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__f.insert({q}.to_string(), ::serde::Serialize::to_value({n}));\n",
+                                q = quote_str(&f.name),
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ {inner} let mut __m = ::serde::Map::new(); __m.insert({vq}.to_string(), ::serde::Value::Object(__f)); ::serde::Value::Object(__m) }}\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__t{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(__t0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{ let mut __m = ::serde::Map::new(); __m.insert({vq}.to_string(), {payload}); ::serde::Value::Object(__m) }}\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.attrs.flatten {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::Deserialize::from_value(__v)?,\n",
+                        n = f.name
+                    ));
+                } else if f.attrs.default {
+                    inits.push_str(&format!(
+                        "{n}: match __m.get({q}) {{ ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, ::std::option::Option::None => ::std::default::Default::default() }},\n",
+                        n = f.name,
+                        q = quote_str(&f.name)
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::field(__m, {q})?,\n",
+                        n = f.name,
+                        q = quote_str(&f.name)
+                    ));
+                }
+            }
+            let body = format!(
+                "let __m = __v.expect_object({q})?;\n::std::result::Result::Ok({name} {{\n{inits}}})",
+                q = quote_str(name)
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity: 1 } => impl_deserialize(
+            name,
+            &format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            let body = format!(
+                "match __v {{ ::serde::Value::Array(__items) if __items.len() == {arity} => ::std::result::Result::Ok({name}({inits})), _ => ::std::result::Result::Err(::serde::Error::msg(\"expected array of {arity} for {name}\")) }}",
+                inits = inits.join(", ")
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::UnitStruct { name } => {
+            impl_deserialize(name, &format!("::std::result::Result::Ok({name})"))
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vq = quote_str(&v.name);
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{vq} => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{n}: ::serde::field(__f, {q})?",
+                                    n = f.name,
+                                    q = quote_str(&f.name)
+                                )
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vq} => {{ let __f = __inner.expect_object({vq})?; ::std::result::Result::Ok({name}::{v} {{ {inits} }}) }}\n",
+                            v = v.name,
+                            inits = inits.join(", "),
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        if *arity == 1 {
+                            payload_arms.push_str(&format!(
+                                "{vq} => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),\n",
+                                v = v.name
+                            ));
+                        } else {
+                            let inits: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            payload_arms.push_str(&format!(
+                                "{vq} => match __inner {{ ::serde::Value::Array(__items) if __items.len() == {arity} => ::std::result::Result::Ok({name}::{v}({inits})), _ => ::std::result::Result::Err(::serde::Error::msg(\"bad payload for {name}::{v}\")) }},\n",
+                                v = v.name,
+                                inits = inits.join(", "),
+                            ));
+                        }
+                    }
+                }
+            }
+            let body = format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(format!(\"unknown {name} variant {{__other:?}}\"))),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __inner) = __m.iter().next().unwrap();\n\
+                 match __k.as_str() {{\n{payload_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(format!(\"unknown {name} variant {{__other:?}}\"))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(format!(\"cannot deserialize {name} from {{}}\", __other.kind()))),\n}}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn quote_str(s: &str) -> String {
+    format!("{s:?}")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl must parse")
+}

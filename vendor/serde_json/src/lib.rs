@@ -1,0 +1,542 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! JSON text <-> [`Value`] conversion plus the `json!` macro, built on the
+//! vendored `serde` facade's `Value` data model. Covers exactly the API
+//! surface this workspace uses: `to_string`, `to_string_pretty`,
+//! `to_writer`, `from_str`, `from_slice`, `from_reader`, `to_value`,
+//! `from_value`, and `json!`.
+
+// Vendored stand-in: keep the first-party clippy gate quiet here.
+#![allow(clippy::all)]
+
+use std::io;
+
+pub use serde::{Error, Map, Number, Value};
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Serialization.
+
+/// Convert any `Serialize` into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Convert a [`Value`] tree into any `Deserialize`.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value)
+}
+
+/// Compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Human-readable JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), &mut out, 0);
+    Ok(out)
+}
+
+/// Compact JSON to an `io::Write`.
+pub fn to_writer<W: io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    let text = to_string(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .and_then(|_| writer.flush())
+        .map_err(|e| Error::msg(format!("write error: {e}")))
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.render()),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_pretty(v: &Value, out: &mut String, depth: usize) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                write_pretty(item, out, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(out, depth + 1);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(item, out, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialization.
+
+/// Parse JSON text into any `Deserialize`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value(s)?;
+    T::from_value(&value)
+}
+
+/// Parse JSON bytes (must be UTF-8).
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Parse JSON from an `io::Read`.
+pub fn from_reader<R: io::Read, T: serde::Deserialize>(mut reader: R) -> Result<T> {
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf).map_err(|e| Error::msg(format!("read error: {e}")))?;
+    from_slice(&buf)
+}
+
+fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(Error::msg(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::msg(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut m = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(m));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            m.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(m));
+                }
+                _ => return Err(Error::msg(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Bulk-copy the unescaped run.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::msg(format!("invalid UTF-8 in string: {e}")))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc =
+                        self.peek().ok_or_else(|| Error::msg("unterminated escape".to_string()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(Error::msg("lone high surrogate".to_string()));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::msg("invalid low surrogate".to_string()));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::msg("invalid codepoint".to_string()))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::msg(format!("bad escape \\{}", other as char)));
+                        }
+                    }
+                }
+                _ => return Err(Error::msg("unterminated string".to_string())),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::msg("truncated \\u escape".to_string()));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::msg("non-ASCII in \\u escape".to_string()))?;
+        let v = u32::from_str_radix(hex, 16)
+            .map_err(|_| Error::msg(format!("bad \\u escape {hex:?}")))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        Number::parse(text)
+            .map(Value::Number)
+            .ok_or_else(|| Error::msg(format!("invalid number {text:?}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// json! macro.
+
+/// Build a [`Value`] from a JSON-like literal. Keys must be string literals;
+/// values may be nested `{...}` / `[...]` literals or arbitrary `Serialize`
+/// expressions.
+#[macro_export]
+macro_rules! json {
+    // --- internal: object entries ---
+    (@obj $m:ident $(,)?) => {};
+    (@obj $m:ident, $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json!(@obj $m $(, $($rest)*)?);
+    };
+    (@obj $m:ident, $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json!(@obj $m $(, $($rest)*)?);
+    };
+    (@obj $m:ident, $key:literal : null $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::Value::Null);
+        $crate::json!(@obj $m $(, $($rest)*)?);
+    };
+    (@obj $m:ident, $key:literal : $value:expr, $($rest:tt)*) => {
+        $m.insert($key.to_string(), $crate::to_value(&$value));
+        $crate::json!(@obj $m, $($rest)*);
+    };
+    (@obj $m:ident, $key:literal : $value:expr) => {
+        $m.insert($key.to_string(), $crate::to_value(&$value));
+    };
+    // --- internal: array elements ---
+    (@arr $v:ident $(,)?) => {};
+    (@arr $v:ident, { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $v.push($crate::json!({ $($inner)* }));
+        $crate::json!(@arr $v $(, $($rest)*)?);
+    };
+    (@arr $v:ident, [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $v.push($crate::json!([ $($inner)* ]));
+        $crate::json!(@arr $v $(, $($rest)*)?);
+    };
+    (@arr $v:ident, null $(, $($rest:tt)*)?) => {
+        $v.push($crate::Value::Null);
+        $crate::json!(@arr $v $(, $($rest)*)?);
+    };
+    (@arr $v:ident, $elem:expr, $($rest:tt)*) => {
+        $v.push($crate::to_value(&$elem));
+        $crate::json!(@arr $v, $($rest)*);
+    };
+    (@arr $v:ident, $elem:expr) => {
+        $v.push($crate::to_value(&$elem));
+    };
+    // --- entry points ---
+    (null) => { $crate::Value::Null };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $crate::json!(@obj __m, $($tt)*);
+        $crate::Value::Object(__m)
+    }};
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut __v: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json!(@arr __v, $($tt)*);
+        $crate::Value::Array(__v)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for text in ["null", "true", "false", "0", "-7", "3.5", "\"hi\"", "18446744073709551615"] {
+            let v: Value = from_str(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text, "roundtrip {text}");
+        }
+    }
+
+    #[test]
+    fn u64_ids_survive_exactly() {
+        let id = 0xDEAD_BEEF_CAFE_F00Du64;
+        let text = to_string(&id).unwrap();
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let text = r#"{"a":[1,2,{"b":null}],"c":"x\nyA","d":{"e":false}}"#;
+        let v: Value = from_str(text).unwrap();
+        let compact = to_string(&v).unwrap();
+        let v2: Value = from_str(&compact).unwrap();
+        assert_eq!(v, v2);
+        assert_eq!(v["a"][2]["b"], Value::Null);
+        assert_eq!(v["c"].as_str(), Some("x\nyA"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v: Value = from_str(r#""tab\there \"q\" \\ é 😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("tab\there \"q\" \\ é 😀"));
+        let printed = to_string(&v).unwrap();
+        let back: Value = from_str(&printed).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let n = 3usize;
+        let v = json!({
+            "plain": n,
+            "nested": { "a": 1, "b": [1, 2, 3] },
+            "expr": (1 + 2),
+            "arr": [ { "x": true }, null ],
+            "null_value": null,
+        });
+        assert_eq!(v["plain"].as_u64(), Some(3));
+        assert_eq!(v["nested"]["b"][2].as_u64(), Some(3));
+        assert_eq!(v["expr"].as_u64(), Some(3));
+        assert!(v["arr"][0]["x"].as_bool().unwrap());
+        assert!(v["arr"][1].is_null());
+        assert!(v["null_value"].is_null());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({ "k": [1, 2], "m": { "x": "y" } });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+}
