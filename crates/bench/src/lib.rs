@@ -57,6 +57,87 @@ pub fn total_bytes(pages: &[String]) -> u64 {
     pages.iter().map(|p| p.len() as u64).sum()
 }
 
+/// Workload profile names for the `parse_throughput` bench, in report order.
+/// Each stresses a different tokenizer regime: long inert text runs (the
+/// batch fast path's best case), dense tag/attribute machinery, dense
+/// character references, and raw script data.
+pub const PROFILES: &[&str] = &["plain_text", "attribute_heavy", "entity_heavy", "script_heavy"];
+
+const WORDS: &[&str] = &[
+    "violation",
+    "specification",
+    "longitudinal",
+    "archive",
+    "tokenizer",
+    "document",
+    "measure",
+    "parser",
+    "snapshot",
+    "domain",
+    "analysis",
+    "framework",
+    "content",
+    "security",
+    "attribute",
+];
+
+/// A deterministic synthetic page of roughly `target` bytes exercising one
+/// workload profile. Pure function of its arguments — no RNG, so before and
+/// after numbers in BENCH_parse.json describe the same bytes.
+pub fn profile_page(profile: &str, target: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(target + 256);
+    out.push_str("<!DOCTYPE html><html><head><title>bench</title></head><body>\n");
+    let mut i = 0usize;
+    while out.len() < target {
+        i += 1;
+        match profile {
+            "plain_text" => {
+                out.push_str("<p>");
+                for w in 0..40 {
+                    out.push_str(WORDS[(i * 7 + w) % WORDS.len()]);
+                    out.push(if w % 13 == 12 { ',' } else { ' ' });
+                }
+                out.push_str("</p>\n");
+            }
+            "attribute_heavy" => {
+                let _ = writeln!(
+                    out,
+                    "<div id=\"s{i}\" class=\"row col item-{i}\" data-key=\"value-{i}\" \
+                     data-rank=\"{i}\" title=\"section {i}\" role=\"region\" \
+                     aria-label=\"row {i}\" style=\"margin:0;padding:{}px\">\
+                     <a href=\"/page/{i}?a=1&amp;b=2\" rel=\"nofollow\" target=\"_blank\">x</a>\
+                     </div>",
+                    i % 16
+                );
+            }
+            "entity_heavy" => {
+                let _ = writeln!(
+                    out,
+                    "<p>&amp; &lt;tag&gt; &quot;q&quot; &copy; 2022 &ndash; {} \
+                     &#65;&#x41;&#x1F600; fish &amp chips &hellip; &nbsp;&middot;&raquo;</p>",
+                    WORDS[i % WORDS.len()]
+                );
+            }
+            "script_heavy" => {
+                out.push_str("<script>\n");
+                for w in 0..12 {
+                    let _ = writeln!(
+                        out,
+                        "  var {}_{i} = {{ index: {i}, label: '{} {w}', ok: {i} > {w} }};",
+                        WORDS[w % WORDS.len()],
+                        WORDS[(i + w) % WORDS.len()]
+                    );
+                }
+                out.push_str("</script>\n");
+            }
+            other => panic!("unknown bench profile {other:?}"),
+        }
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

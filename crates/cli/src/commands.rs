@@ -103,15 +103,16 @@ fn explain(what: &str) -> Result<(), String> {
 
 fn check(file: &Path, json: bool) -> Result<(), String> {
     let bytes = fs::read(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
-    let text = match spec_html::decoder::decode_utf8(&bytes) {
-        spec_html::decoder::Decoded::Utf8(t) => t,
+    // Clean UTF-8 borrows from `bytes`; only the lossy fallback allocates.
+    let text: std::borrow::Cow<'_, str> = match spec_html::decoder::decode_utf8(&bytes) {
+        spec_html::decoder::Decoded::Utf8(t) => t.into(),
         spec_html::decoder::Decoded::NotUtf8 { valid_up_to } => {
             eprintln!(
                 "note: {} is not valid UTF-8 (first bad byte at {valid_up_to}); \
                  decoding lossily (the measurement pipeline would skip this document)",
                 file.display()
             );
-            spec_html::decoder::decode_utf8_lossy(&bytes)
+            spec_html::decoder::decode_utf8_lossy(&bytes).into()
         }
     };
     let report = checkers::check_page(&text);

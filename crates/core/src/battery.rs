@@ -97,6 +97,17 @@ impl Battery {
         self.run(&cx)
     }
 
+    /// Run the battery over a raw byte body, applying the study's UTF-8
+    /// inclusion filter. Validation borrows — no decode-time copy is made.
+    /// Returns `None` when the bytes are not valid UTF-8 (the document is
+    /// excluded from measurement); the returned reference is valid until
+    /// the next `run_*` call.
+    pub fn run_bytes(&mut self, bytes: &[u8]) -> Option<&PageReport> {
+        let text = spec_html::decoder::decode_utf8(bytes).text()?;
+        let cx = CheckContext::new(text);
+        Some(self.run_ref(&cx))
+    }
+
     /// A stats accumulator shaped to this battery (one slot per rule).
     pub fn new_stats(&self) -> BatteryStats {
         BatteryStats { per_check: self.kinds.iter().map(|&k| (k, CheckStats::default())).collect() }
@@ -276,6 +287,19 @@ mod tests {
         // …and re-running the dirty page reproduces the first result.
         let again = battery.run_str(DIRTY);
         assert_eq!(first.findings, again.findings);
+    }
+
+    #[test]
+    fn run_bytes_filters_and_matches_run_str() {
+        let mut battery = Battery::full();
+        let via_str = battery.run_str(DIRTY);
+        let via_bytes = battery.run_bytes(DIRTY.as_bytes()).expect("clean UTF-8").clone();
+        assert_eq!(via_str.findings, via_bytes.findings);
+        // Non-UTF-8 bodies are excluded, mirroring the paper's filter.
+        assert!(battery.run_bytes(b"<p>gr\xFC\xDFe</p>").is_none());
+        // A UTF-8 BOM is stripped before parsing.
+        let bom = [b"\xEF\xBB\xBF".as_slice(), DIRTY.as_bytes()].concat();
+        assert_eq!(battery.run_bytes(&bom).unwrap().findings, via_str.findings);
     }
 
     #[test]

@@ -257,7 +257,7 @@ fn scan_worker(
         wm.bytes_decoded += text.len() as u64;
 
         // Phase (3): parse once, then run the battery over the context.
-        let cx = CheckContext::new(&text);
+        let cx = CheckContext::new(text);
         let t = lap(t, &mut phases.parse);
         let report = match &mut stats {
             Some(stats) => battery.run_instrumented(&cx, stats),
@@ -341,7 +341,9 @@ fn make_record(
     }
 }
 
-fn decode(bytes: &[u8]) -> Option<String> {
+/// Borrowing decode: validation only, no copy — the parse reads straight
+/// from the fetched body.
+fn decode(bytes: &[u8]) -> Option<&str> {
     match spec_html::decoder::decode_utf8(bytes) {
         spec_html::decoder::Decoded::Utf8(s) => Some(s),
         spec_html::decoder::Decoded::NotUtf8 { .. } => None,

@@ -88,7 +88,7 @@ pub fn scan_warc(inputs: &[WarcInput]) -> io::Result<ResultStore> {
                     spec_html::decoder::Decoded::NotUtf8 { .. } => continue,
                 };
                 rec.pages_analyzed += 1;
-                let cx = CheckContext::new(&text);
+                let cx = CheckContext::new(text);
                 let report = battery.run_ref(&cx);
                 for k in report.kinds() {
                     rec.kinds.insert(k);

@@ -7,10 +7,14 @@
 //! lossy mode for tooling that prefers replacement characters over rejection.
 
 /// Outcome of decoding a byte stream under the study's UTF-8 policy.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Decoded {
+///
+/// UTF-8 validation does not transform the bytes (beyond BOM stripping), so
+/// the success case *borrows* the input — the pipeline parses straight out of
+/// the fetched record body with no decode-time copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded<'a> {
     /// The bytes were valid UTF-8 (possibly after BOM removal).
-    Utf8(String),
+    Utf8(&'a str),
     /// The bytes were not valid UTF-8; the document is excluded from
     /// measurement, mirroring the paper's filter.
     NotUtf8 {
@@ -19,9 +23,9 @@ pub enum Decoded {
     },
 }
 
-impl Decoded {
+impl<'a> Decoded<'a> {
     /// The decoded text, if the input was clean UTF-8.
-    pub fn text(&self) -> Option<&str> {
+    pub fn text(&self) -> Option<&'a str> {
         match self {
             Decoded::Utf8(s) => Some(s),
             Decoded::NotUtf8 { .. } => None,
@@ -33,10 +37,10 @@ impl Decoded {
 ///
 /// Returns [`Decoded::NotUtf8`] on any invalid sequence — the caller is
 /// expected to drop the document from the measurement, as the paper does.
-pub fn decode_utf8(bytes: &[u8]) -> Decoded {
+pub fn decode_utf8(bytes: &[u8]) -> Decoded<'_> {
     let body = strip_bom(bytes);
     match std::str::from_utf8(body) {
-        Ok(s) => Decoded::Utf8(s.to_owned()),
+        Ok(s) => Decoded::Utf8(s),
         Err(e) => Decoded::NotUtf8 { valid_up_to: e.valid_up_to() },
     }
 }

@@ -235,49 +235,77 @@ const C1_REMAP: [char; 32] = [
     '\u{02DC}', '\u{2122}', '\u{0161}', '\u{203A}', '\u{0153}', '\u{9D}', '\u{017E}', '\u{0178}',
 ];
 
-/// Result of attempting to match a named reference at `&` + `chars[pos..]`.
+/// Result of attempting to match a named reference at the text after `&`.
 pub struct NamedMatch {
     /// Replacement text.
     pub replacement: &'static str,
     /// Number of characters consumed after the `&` (name + optional `;`).
+    /// Names are ASCII, so this is also the number of bytes.
     pub consumed: usize,
     /// Whether the match ended with a semicolon.
     pub with_semicolon: bool,
 }
 
+/// Lookup structure over [`LEGACY`] + [`MODERN`]: all entries sorted by
+/// name, with a per-first-byte range index so a lookup only walks the
+/// handful of names sharing the input's first letter instead of the whole
+/// table. Built once on first use.
+struct NamedIndex {
+    /// (name, replacement, legacy) sorted by name bytes.
+    entries: Vec<(&'static str, &'static str, bool)>,
+    /// `buckets[b]` is the `entries` range of names whose first byte is `b`.
+    /// Entity names start with ASCII letters, so 128 slots suffice.
+    buckets: [(u32, u32); 128],
+}
+
+fn named_index() -> &'static NamedIndex {
+    static INDEX: std::sync::OnceLock<NamedIndex> = std::sync::OnceLock::new();
+    INDEX.get_or_init(|| {
+        let mut entries: Vec<(&str, &str, bool)> = LEGACY
+            .iter()
+            .map(|e| (e.name, e.chars, true))
+            .chain(MODERN.iter().map(|e| (e.name, e.chars, false)))
+            .collect();
+        entries.sort_unstable_by_key(|&(name, _, _)| name);
+        debug_assert!(entries.iter().all(|e| e.0.is_ascii() && e.0.as_bytes()[0] < 128));
+        let mut buckets = [(0u32, 0u32); 128];
+        let mut i = 0;
+        while i < entries.len() {
+            let b = entries[i].0.as_bytes()[0] as usize;
+            let start = i;
+            while i < entries.len() && entries[i].0.as_bytes()[0] as usize == b {
+                i += 1;
+            }
+            buckets[b] = (start as u32, i as u32);
+        }
+        NamedIndex { entries, buckets }
+    })
+}
+
 /// Longest-prefix match of a named character reference starting *after* an
 /// ampersand. `rest` is the input beginning just after `&`.
-pub fn match_named(rest: &[char]) -> Option<NamedMatch> {
-    let first = *rest.first()?;
+pub fn match_named(rest: &str) -> Option<NamedMatch> {
+    let first = *rest.as_bytes().first()?;
+    if first >= 128 {
+        return None;
+    }
+    let index = named_index();
+    let (start, end) = index.buckets[first as usize];
     let mut best: Option<NamedMatch> = None;
-    for (table, legacy) in [(LEGACY, true), (MODERN, false)] {
-        for ent in table {
-            // Entity names are ASCII; compare without allocating.
-            let bytes = ent.name.as_bytes();
-            if bytes[0] as char != first || rest.len() < bytes.len() {
-                continue;
-            }
-            if !bytes.iter().zip(rest).all(|(&b, &c)| b as char == c) {
-                continue;
-            }
-            let with_semi = rest.get(bytes.len()) == Some(&';');
-            if !with_semi && !legacy {
-                continue; // modern names require the semicolon
-            }
-            let consumed = bytes.len() + usize::from(with_semi);
-            let better = match &best {
-                None => true,
-                // Prefer longer matches; among equal lengths prefer the
-                // semicolon-terminated form.
-                Some(b) => consumed > b.consumed,
-            };
-            if better {
-                best = Some(NamedMatch {
-                    replacement: ent.chars,
-                    consumed,
-                    with_semicolon: with_semi,
-                });
-            }
+    for &(name, replacement, legacy) in &index.entries[start as usize..end as usize] {
+        if !rest.as_bytes().starts_with(name.as_bytes()) {
+            continue;
+        }
+        let with_semi = rest.as_bytes().get(name.len()) == Some(&b';');
+        if !with_semi && !legacy {
+            continue; // modern names require the semicolon
+        }
+        // Longest consumed span wins. Ties are impossible: two distinct
+        // names matching the same input with equal consumed length would
+        // have to be the same string (a `;` cannot occur inside a name).
+        let consumed = name.len() + usize::from(with_semi);
+        if best.as_ref().is_none_or(|b| consumed > b.consumed) {
+            best = Some(NamedMatch { replacement, consumed, with_semicolon: with_semi });
         }
     }
     best
@@ -316,19 +344,18 @@ pub fn resolve_numeric(value: u32, offset: usize, errors: &mut Vec<ParseError>) 
 /// attribute). Convenience for checkers and tests; the tokenizer uses the
 /// streaming path.
 pub fn decode_data(s: &str) -> String {
-    let chars: Vec<char> = s.chars().collect();
     let mut out = String::with_capacity(s.len());
     let mut i = 0;
     let mut errs = Vec::new();
-    while i < chars.len() {
-        if chars[i] == '&' {
-            let rest = &chars[i + 1..];
+    while let Some(c) = s[i..].chars().next() {
+        if c == '&' {
+            let rest = &s[i + 1..];
             if let Some(m) = match_named(rest) {
                 out.push_str(m.replacement);
                 i += 1 + m.consumed;
                 continue;
             }
-            if rest.first() == Some(&'#') {
+            if rest.as_bytes().first() == Some(&b'#') {
                 if let Some((value, used)) = scan_numeric(rest) {
                     out.push(resolve_numeric(value, i, &mut errs));
                     i += 1 + used;
@@ -336,25 +363,26 @@ pub fn decode_data(s: &str) -> String {
                 }
             }
         }
-        out.push(chars[i]);
-        i += 1;
+        out.push(c);
+        i += c.len_utf8();
     }
     out
 }
 
-/// Scan `#123;` / `#x1F;` after an `&`. Returns (value, chars consumed
+/// Scan `#123;` / `#x1F;` after an `&`. Returns (value, bytes consumed
 /// including the `#`, digits, and optional semicolon).
-fn scan_numeric(rest: &[char]) -> Option<(u32, usize)> {
-    debug_assert_eq!(rest.first(), Some(&'#'));
+fn scan_numeric(rest: &str) -> Option<(u32, usize)> {
+    let bytes = rest.as_bytes();
+    debug_assert_eq!(bytes.first(), Some(&b'#'));
     let mut i = 1;
-    let hex = matches!(rest.get(i), Some('x') | Some('X'));
+    let hex = matches!(bytes.get(i), Some(b'x') | Some(b'X'));
     if hex {
         i += 1;
     }
     let start = i;
     let mut value: u32 = 0;
-    while let Some(&c) = rest.get(i) {
-        let d = if hex { c.to_digit(16) } else { c.to_digit(10) };
+    while let Some(&c) = bytes.get(i) {
+        let d = (c as char).to_digit(if hex { 16 } else { 10 });
         match d {
             Some(d) => {
                 value = value.saturating_mul(if hex { 16 } else { 10 }).saturating_add(d);
@@ -366,7 +394,7 @@ fn scan_numeric(rest: &[char]) -> Option<(u32, usize)> {
     if i == start {
         return None;
     }
-    if rest.get(i) == Some(&';') {
+    if bytes.get(i) == Some(&b';') {
         i += 1;
     }
     Some((value, i))
@@ -436,5 +464,92 @@ mod tests {
         // is present.
         assert_eq!(decode_data("&notin;"), "∉");
         assert_eq!(decode_data("&notit"), "¬it");
+    }
+
+    /// The pre-index implementation: a linear scan over both tables in
+    /// declaration order. Kept as the reference the indexed lookup is
+    /// tested against.
+    fn match_named_linear(rest: &str) -> Option<(&'static str, usize, bool)> {
+        let mut best: Option<(&'static str, usize, bool)> = None;
+        for (table, legacy) in [(LEGACY, true), (MODERN, false)] {
+            for ent in table {
+                if !rest.as_bytes().starts_with(ent.name.as_bytes()) {
+                    continue;
+                }
+                let with_semi = rest.as_bytes().get(ent.name.len()) == Some(&b';');
+                if !with_semi && !legacy {
+                    continue;
+                }
+                let consumed = ent.name.len() + usize::from(with_semi);
+                if best.is_none_or(|b| consumed > b.1) {
+                    best = Some((ent.chars, consumed, with_semi));
+                }
+            }
+        }
+        best
+    }
+
+    fn assert_matches_reference(input: &str) {
+        let got = match_named(input).map(|m| (m.replacement, m.consumed, m.with_semicolon));
+        assert_eq!(got, match_named_linear(input), "diverged on {input:?}");
+    }
+
+    #[test]
+    fn indexed_lookup_matches_linear_reference_exhaustively() {
+        // Every name from both tables, with every suffix that can change
+        // the outcome: semicolon, alphanumeric continuation, terminator,
+        // truncation by one character.
+        for table in [LEGACY, MODERN] {
+            for ent in table {
+                for suffix in ["", ";", "x", "9", ";x", " rest", "=v"] {
+                    assert_matches_reference(&format!("{}{}", ent.name, suffix));
+                    let truncated = &ent.name[..ent.name.len() - 1];
+                    assert_matches_reference(&format!("{}{}", truncated, suffix));
+                }
+            }
+        }
+        for edge in ["", ";", "&", "ü", "漢", "x", "Zz;", "amp\u{0}"] {
+            assert_matches_reference(edge);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Name-like soup biased toward real prefixes of table entries.
+        fn name_soup() -> impl Strategy<Value = String> {
+            let stem = prop_oneof![
+                Just("amp".to_owned()),
+                Just("am".to_owned()),
+                Just("not".to_owned()),
+                Just("notin".to_owned()),
+                Just("sup".to_owned()),
+                Just("sup1".to_owned()),
+                Just("lt".to_owned()),
+                Just("copy".to_owned()),
+                Just("ndash".to_owned()),
+                Just("Dagger".to_owned()),
+                "[a-zA-Z]{0,8}".prop_map(|s| s),
+            ];
+            let tail = prop_oneof![
+                Just(String::new()),
+                Just(";".to_owned()),
+                Just("; x".to_owned()),
+                "[a-zA-Z0-9;=& ]{0,6}".prop_map(|s| s),
+            ];
+            (stem, tail).prop_map(|(s, t)| format!("{s}{t}"))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            #[test]
+            fn indexed_lookup_matches_linear_reference(input in name_soup()) {
+                let got =
+                    match_named(&input).map(|m| (m.replacement, m.consumed, m.with_semicolon));
+                prop_assert_eq!(got, match_named_linear(&input));
+            }
+        }
     }
 }

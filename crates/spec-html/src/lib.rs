@@ -9,11 +9,16 @@
 //!    characters (the study restricts itself to UTF-8-decodable documents).
 //! 2. **Input stream preprocessor** ([`preprocess`]) — normalizes newlines
 //!    (CRLF/CR → LF) and reports control-character/noncharacter errors.
+//!    Implemented as a zero-copy streaming cursor ([`preprocess::InputStream`])
+//!    the tokenizer pulls from; no intermediate `Vec<char>` is built.
 //! 3. **Tokenizer** ([`tokenizer`]) — the §13.2.5 state machine, emitting
 //!    [`tokenizer::Token`]s *and* structured [`ParseError`]s instead of
 //!    silently recovering. This is the crate's reason to exist: browsers
 //!    implement the same machine but discard the error states; the paper's
-//!    checkers are built directly on those error states.
+//!    checkers are built directly on those error states. Hot states take
+//!    SWAR-batched fast paths ([`scan`]); [`tokenize_scalar`] runs the pure
+//!    per-character spec machine, and property tests pin the two to be
+//!    observationally identical.
 //! 4. **Tree builder** ([`tree_builder`]) — the §13.2.6 insertion-mode state
 //!    machine constructing a [`dom::Document`], including the error-tolerance
 //!    behaviours the paper's violations exploit: implied tags, foster
@@ -40,6 +45,7 @@ pub mod dom;
 pub mod entities;
 pub mod errors;
 pub mod preprocess;
+pub mod scan;
 pub mod serializer;
 pub mod tags;
 pub mod tokenizer;
@@ -65,8 +71,18 @@ pub fn parse_document(input: &str) -> ParseOutput {
 /// driven by a minimal built-in feedback rule equivalent to what the tree
 /// builder would do for well-nested documents.
 pub fn tokenize(input: &str) -> (Vec<tokenizer::Token>, Vec<ParseError>) {
-    let pre = preprocess::preprocess(input);
-    let mut tok = tokenizer::Tokenizer::new(&pre.chars);
+    drive_tokenizer(tokenizer::Tokenizer::new(input))
+}
+
+/// [`tokenize`] with the batched input-stream fast paths disabled: every
+/// character goes through the per-state scalar machine. Exists so tests can
+/// assert the batched and scalar paths are observationally identical; the
+/// output contract is exactly that of [`tokenize`].
+pub fn tokenize_scalar(input: &str) -> (Vec<tokenizer::Token>, Vec<ParseError>) {
+    drive_tokenizer(tokenizer::Tokenizer::new_scalar(input))
+}
+
+fn drive_tokenizer(mut tok: tokenizer::Tokenizer<'_>) -> (Vec<tokenizer::Token>, Vec<ParseError>) {
     let mut tokens = Vec::new();
     loop {
         let t = tok.next_token();
@@ -81,7 +97,10 @@ pub fn tokenize(input: &str) -> (Vec<tokenizer::Token>, Vec<ParseError>) {
             break;
         }
     }
-    let mut errors = pre.errors;
+    // Preprocessing errors come first, as when preprocessing was a separate
+    // eager pass; EOF implies the stream (and thus the error list) is
+    // complete.
+    let mut errors = tok.take_preprocess_errors();
     errors.extend(tok.take_errors());
     (tokens, errors)
 }

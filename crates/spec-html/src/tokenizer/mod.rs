@@ -14,6 +14,7 @@ pub use token::{Attr, Doctype, Tag, Token};
 
 use crate::entities;
 use crate::errors::{ErrorCode, ParseError};
+use crate::preprocess::InputStream;
 use std::collections::VecDeque;
 
 /// Tokenizer states (§13.2.5.1–80). Names mirror the specification.
@@ -121,13 +122,18 @@ struct AttrBuilder {
     duplicate: bool,
 }
 
-/// The tokenizer. Feed it the preprocessed character stream; pull tokens with
+/// The tokenizer. Feed it the decoded document text — preprocessing
+/// (newline normalization, control/noncharacter errors) happens inline via
+/// [`InputStream`], with no intermediate character buffer. Pull tokens with
 /// [`Tokenizer::next_token`]. The tree builder drives the tag feedback
 /// (RCDATA/RAWTEXT/script-data switching) via [`Tokenizer::set_state`] and
 /// [`Tokenizer::set_last_start_tag`].
 pub struct Tokenizer<'a> {
-    input: &'a [char],
-    pos: usize,
+    stream: InputStream<'a>,
+    /// Whether the batched fast paths (whole-slice appends over plain
+    /// character runs) are enabled; disabled only by [`Tokenizer::new_scalar`]
+    /// so tests can compare both modes.
+    batched: bool,
     state: State,
     return_state: State,
     errors: Vec<ParseError>,
@@ -147,7 +153,10 @@ pub struct Tokenizer<'a> {
     last_start_tag: String,
     temp_buffer: String,
     char_ref_code: u32,
+    /// Start of the pending character reference (`&`) as a char offset
+    /// (for error reporting) and a byte offset (for raw-source slicing).
     char_ref_start: usize,
+    char_ref_start_byte: usize,
     allow_cdata: bool,
     eof_done: bool,
     /// Whether the most recent `next()` consumed a character (vs. hit EOF);
@@ -156,10 +165,21 @@ pub struct Tokenizer<'a> {
 }
 
 impl<'a> Tokenizer<'a> {
-    pub fn new(input: &'a [char]) -> Self {
+    pub fn new(input: &'a str) -> Self {
+        Self::with_mode(input, true)
+    }
+
+    /// A tokenizer with the batched fast paths disabled — every character is
+    /// pulled through the scalar state machine. Output is identical to
+    /// [`Tokenizer::new`]; tests use both to prove it.
+    pub fn new_scalar(input: &'a str) -> Self {
+        Self::with_mode(input, false)
+    }
+
+    fn with_mode(input: &'a str, batched: bool) -> Self {
         Tokenizer {
-            input,
-            pos: 0,
+            stream: InputStream::new(input),
+            batched,
             state: State::Data,
             return_state: State::Data,
             errors: Vec::new(),
@@ -178,6 +198,7 @@ impl<'a> Tokenizer<'a> {
             temp_buffer: String::new(),
             char_ref_code: 0,
             char_ref_start: 0,
+            char_ref_start_byte: 0,
             allow_cdata: false,
             eof_done: false,
             last_consumed: false,
@@ -200,6 +221,13 @@ impl<'a> Tokenizer<'a> {
     /// Drain the parse errors recorded so far.
     pub fn take_errors(&mut self) -> Vec<ParseError> {
         std::mem::take(&mut self.errors)
+    }
+
+    /// Drain the input-stream preprocessing errors (control characters,
+    /// noncharacters). The list is complete once an EOF token has been
+    /// emitted, since that requires consuming the whole stream.
+    pub fn take_preprocess_errors(&mut self) -> Vec<ParseError> {
+        self.stream.take_errors()
     }
 
     /// Tree-construction feedback: switch the machine state (used for
@@ -234,18 +262,15 @@ impl<'a> Tokenizer<'a> {
         self.set_last_start_tag(name);
     }
 
-    /// Current position in the input (characters consumed so far).
+    /// Current position in the input (normalized characters consumed so far).
     pub fn position(&self) -> usize {
-        self.pos
+        self.stream.chars_consumed()
     }
 
     // ----- low-level helpers -----
 
     fn next(&mut self) -> Option<char> {
-        let c = self.input.get(self.pos).copied();
-        if c.is_some() {
-            self.pos += 1;
-        }
+        let c = self.stream.next();
         self.last_consumed = c.is_some();
         c
     }
@@ -253,8 +278,7 @@ impl<'a> Tokenizer<'a> {
     /// Reprocess the current input character (or EOF) in `state`.
     fn reconsume(&mut self, state: State) {
         if self.last_consumed {
-            debug_assert!(self.pos > 0);
-            self.pos -= 1;
+            self.stream.un_next();
             self.last_consumed = false;
         }
         self.state = state;
@@ -263,7 +287,7 @@ impl<'a> Tokenizer<'a> {
     fn error(&mut self, code: ErrorCode) {
         // Offsets point at the character that triggered the error (the one
         // just consumed), or at EOF.
-        let off = self.pos.saturating_sub(1).min(self.input.len());
+        let off = self.stream.chars_consumed().saturating_sub(1);
         self.errors.push(ParseError::new(code, off));
     }
 
@@ -314,13 +338,14 @@ impl<'a> Tokenizer<'a> {
         self.tag_dup_attrs.clear();
         self.cur_attr = None;
         // The `<` is one or two chars back (`</` for end tags).
-        self.tag_offset = self.pos.saturating_sub(if kind == TagKind::End { 3 } else { 2 });
+        let pos = self.stream.chars_consumed();
+        self.tag_offset = pos.saturating_sub(if kind == TagKind::End { 3 } else { 2 });
     }
 
     fn start_new_attr(&mut self) {
         self.finish_cur_attr();
-        self.cur_attr =
-            Some(AttrBuilder { name_offset: self.pos.saturating_sub(1), ..AttrBuilder::default() });
+        let name_offset = self.stream.chars_consumed().saturating_sub(1);
+        self.cur_attr = Some(AttrBuilder { name_offset, ..AttrBuilder::default() });
     }
 
     /// Leaving the attribute-name state: the spec's duplicate check.
@@ -401,17 +426,27 @@ impl<'a> Tokenizer<'a> {
         )
     }
 
+    /// The raw source span of the pending character reference, from its `&`
+    /// to the cursor. Such spans consist of `&`, `#`, `x`, ASCII
+    /// alphanumerics, and `;` only — never CR — so the raw bytes equal the
+    /// normalized characters and the slice can be used verbatim.
+    fn charref_raw(&self) -> &'a str {
+        let raw = self.stream.slice(self.char_ref_start_byte, self.stream.byte_pos());
+        debug_assert!(raw.is_ascii() && !raw.contains('\r'));
+        raw
+    }
+
     /// Flush the raw characters consumed as (part of) a character reference
     /// without decoding them.
     fn flush_charref_literal(&mut self) {
-        let slice: String = self.input[self.char_ref_start..self.pos].iter().collect();
+        let slice = self.charref_raw();
         if self.charref_in_attribute() {
             if let Some(a) = self.cur_attr.as_mut() {
-                a.value.push_str(&slice);
-                a.raw_value.push_str(&slice);
+                a.value.push_str(slice);
+                a.raw_value.push_str(slice);
             }
         } else {
-            self.emit_str(&slice);
+            self.emit_str(slice);
         }
     }
 
@@ -419,25 +454,82 @@ impl<'a> Tokenizer<'a> {
     /// original source characters to the raw value.
     fn flush_charref_decoded(&mut self, decoded: &str) {
         if self.charref_in_attribute() {
-            let raw: String = self.input[self.char_ref_start..self.pos].iter().collect();
+            let raw = self.charref_raw();
             if let Some(a) = self.cur_attr.as_mut() {
                 a.value.push_str(decoded);
-                a.raw_value.push_str(&raw);
+                a.raw_value.push_str(raw);
             }
         } else {
             self.emit_str(decoded);
         }
     }
 
+    /// Flush a lone `&` that turned out not to start a reference.
+    fn flush_charref_amp(&mut self) {
+        if self.charref_in_attribute() {
+            if let Some(a) = self.cur_attr.as_mut() {
+                a.value.push('&');
+                a.raw_value.push('&');
+            }
+        } else {
+            self.emit_char('&');
+        }
+    }
+
     // ----- the state machine -----
+
+    /// Record that a character reference starts at the just-consumed `&`.
+    fn mark_charref_start(&mut self) {
+        self.char_ref_start = self.stream.chars_consumed() - 1;
+        self.char_ref_start_byte = self.stream.byte_pos() - 1;
+    }
+
+    /// Batched fast path: in states whose per-character action for plain
+    /// characters is "append and stay", consume the whole run of plain
+    /// characters at once (found with a SWAR byte scan, see [`crate::scan`])
+    /// and append it as a single slice. Returns `true` if it made progress;
+    /// anything it could not prove inert (delimiters, NUL, CR, controls,
+    /// non-ASCII) is left for the scalar machine.
+    fn step_batched(&mut self) -> bool {
+        let delims: &[u8] = match self.state {
+            State::Data | State::Rcdata => b"&<",
+            State::Rawtext | State::ScriptData => b"<",
+            State::Plaintext => &[],
+            State::Comment => b"<-",
+            State::AttributeValueDouble => b"\"&",
+            State::AttributeValueSingle => b"'&",
+            _ => return false,
+        };
+        let run = self.stream.take_plain_run(delims);
+        if run.is_empty() {
+            return false;
+        }
+        match self.state {
+            State::Data | State::Rcdata | State::Rawtext | State::ScriptData | State::Plaintext => {
+                self.text_buf.push_str(run)
+            }
+            State::Comment => self.comment.push_str(run),
+            State::AttributeValueDouble | State::AttributeValueSingle => {
+                if let Some(a) = self.cur_attr.as_mut() {
+                    a.value.push_str(run);
+                    a.raw_value.push_str(run);
+                }
+            }
+            _ => unreachable!(),
+        }
+        true
+    }
 
     #[allow(clippy::too_many_lines)]
     fn step(&mut self) {
+        if self.batched && self.step_batched() {
+            return;
+        }
         match self.state {
             State::Data => match self.next() {
                 Some('&') => {
                     self.return_state = State::Data;
-                    self.char_ref_start = self.pos - 1;
+                    self.mark_charref_start();
                     self.state = State::CharacterReference;
                 }
                 Some('<') => self.state = State::TagOpen,
@@ -445,24 +537,14 @@ impl<'a> Tokenizer<'a> {
                     self.error(ErrorCode::UnexpectedNullCharacter);
                     self.emit_char('\0');
                 }
-                Some(c) => {
-                    self.emit_char(c);
-                    // Fast path: consume the run of inert characters.
-                    while let Some(&c) = self.input.get(self.pos) {
-                        if c == '&' || c == '<' || c == '\0' {
-                            break;
-                        }
-                        self.text_buf.push(c);
-                        self.pos += 1;
-                    }
-                }
+                Some(c) => self.emit_char(c),
                 None => self.emit_eof(),
             },
 
             State::Rcdata => match self.next() {
                 Some('&') => {
                     self.return_state = State::Rcdata;
-                    self.char_ref_start = self.pos - 1;
+                    self.mark_charref_start();
                     self.state = State::CharacterReference;
                 }
                 Some('<') => self.state = State::RcdataLessThan,
@@ -937,7 +1019,7 @@ impl<'a> Tokenizer<'a> {
                 Some('"') => self.state = State::AfterAttributeValueQuoted,
                 Some('&') => {
                     self.return_state = State::AttributeValueDouble;
-                    self.char_ref_start = self.pos - 1;
+                    self.mark_charref_start();
                     self.state = State::CharacterReference;
                 }
                 Some('\0') => {
@@ -955,7 +1037,7 @@ impl<'a> Tokenizer<'a> {
                 Some('\'') => self.state = State::AfterAttributeValueQuoted,
                 Some('&') => {
                     self.return_state = State::AttributeValueSingle;
-                    self.char_ref_start = self.pos - 1;
+                    self.mark_charref_start();
                     self.state = State::CharacterReference;
                 }
                 Some('\0') => {
@@ -975,7 +1057,7 @@ impl<'a> Tokenizer<'a> {
                 }
                 Some('&') => {
                     self.return_state = State::AttributeValueUnquoted;
-                    self.char_ref_start = self.pos - 1;
+                    self.mark_charref_start();
                     self.state = State::CharacterReference;
                 }
                 Some('>') => {
@@ -1050,14 +1132,14 @@ impl<'a> Tokenizer<'a> {
 
             State::MarkupDeclarationOpen => {
                 if self.lookahead_is("--") {
-                    self.pos += 2;
+                    self.stream.advance_ascii(2);
                     self.comment.clear();
                     self.state = State::CommentStart;
                 } else if self.lookahead_is_ascii_ci("doctype") {
-                    self.pos += 7;
+                    self.stream.advance_ascii(7);
                     self.state = State::Doctype;
                 } else if self.lookahead_is("[CDATA[") {
-                    self.pos += 7;
+                    self.stream.advance_ascii(7);
                     if self.allow_cdata {
                         self.state = State::CdataSection;
                     } else {
@@ -1286,13 +1368,13 @@ impl<'a> Tokenizer<'a> {
                     self.emit_eof();
                 }
                 Some(_) => {
-                    self.pos -= 1;
+                    self.stream.un_next();
                     self.last_consumed = false;
                     if self.lookahead_is_ascii_ci("public") {
-                        self.pos += 6;
+                        self.stream.advance_ascii(6);
                         self.state = State::AfterDoctypePublicKeyword;
                     } else if self.lookahead_is_ascii_ci("system") {
-                        self.pos += 6;
+                        self.stream.advance_ascii(6);
                         self.state = State::AfterDoctypeSystemKeyword;
                     } else {
                         self.error(ErrorCode::InvalidCharacterSequenceAfterDoctypeName);
@@ -1610,19 +1692,25 @@ impl<'a> Tokenizer<'a> {
                     let st = self.return_state;
                     self.reconsume(st);
                     // Flush the bare `&`.
-                    self.flush_charref_literal_range(self.char_ref_start, self.char_ref_start + 1);
+                    self.flush_charref_amp();
                 }
             },
 
             State::NamedCharacterReference => {
-                // `pos` currently sits on the first name character.
-                let rest = &self.input[self.pos..];
+                // The cursor currently sits on the first name character.
+                // Entity names are ASCII and never contain CR, so matching
+                // against the raw remainder equals matching the normalized
+                // stream, and `consumed` counts bytes and characters alike.
+                let rest = self.stream.rest();
                 if let Some(m) = entities::match_named(rest) {
                     let consumed = m.consumed;
                     let with_semi = m.with_semicolon;
                     let replacement = m.replacement;
-                    let next_after = self.input.get(self.pos + consumed).copied();
-                    self.pos += consumed;
+                    // The divergence check only asks whether the next raw
+                    // character is `=` or alphanumeric; CR/LF normalization
+                    // cannot change that answer.
+                    let next_after = rest[consumed..].chars().next();
+                    self.stream.advance_ascii(consumed);
                     let attr = self.charref_in_attribute();
                     if attr
                         && !with_semi
@@ -1640,7 +1728,7 @@ impl<'a> Tokenizer<'a> {
                 } else {
                     // No match: flush the `&` and continue in ambiguous
                     // ampersand handling.
-                    self.flush_charref_literal_range(self.char_ref_start, self.char_ref_start + 1);
+                    self.flush_charref_amp();
                     self.state = State::AmbiguousAmpersand;
                 }
             }
@@ -1805,45 +1893,26 @@ impl<'a> Tokenizer<'a> {
         }
     }
 
-    fn flush_charref_literal_range(&mut self, from: usize, to: usize) {
-        let slice: String = self.input[from..to.min(self.input.len())].iter().collect();
-        if self.charref_in_attribute() {
-            if let Some(a) = self.cur_attr.as_mut() {
-                a.value.push_str(&slice);
-                a.raw_value.push_str(&slice);
-            }
-        } else {
-            self.emit_str(&slice);
-        }
-    }
-
     /// Reconsume on EOF: there is no character to step back over; just
     /// switch states so the EOF is handled there.
     fn reconsume_eof(&mut self, state: State) {
         self.state = state;
     }
 
+    // The lookahead patterns (`--`, `doctype`, `[CDATA[`, `public`,
+    // `system`) contain neither CR nor LF, so comparing against the raw
+    // source is equivalent to comparing against the normalized stream: a CR
+    // in the source mismatches the pattern either way.
+
     fn lookahead_is(&self, s: &str) -> bool {
-        let mut i = self.pos;
-        #[allow(clippy::explicit_counter_loop)]
-        for c in s.chars() {
-            if self.input.get(i) != Some(&c) {
-                return false;
-            }
-            i += 1;
-        }
-        true
+        self.stream.rest().starts_with(s)
     }
 
     fn lookahead_is_ascii_ci(&self, lower: &str) -> bool {
-        let mut i = self.pos;
-        for c in lower.chars() {
-            match self.input.get(i) {
-                Some(&g) if g.to_ascii_lowercase() == c => i += 1,
-                _ => return false,
-            }
-        }
-        true
+        debug_assert!(lower.bytes().all(|b| b.is_ascii_lowercase()));
+        let rest = self.stream.rest().as_bytes();
+        rest.len() >= lower.len()
+            && rest.iter().zip(lower.as_bytes()).all(|(g, p)| g.to_ascii_lowercase() == *p)
     }
 }
 

@@ -3,7 +3,6 @@
 //! DE checkers rely on (RCDATA, RAWTEXT, script data).
 
 use super::*;
-use crate::preprocess::preprocess;
 
 fn toks(input: &str) -> (Vec<Token>, Vec<ParseError>) {
     crate::tokenize(input)
@@ -449,8 +448,7 @@ fn lt_in_attribute_name_errors() {
 
 #[test]
 fn manual_feedback_controls_content_model() {
-    let pre = preprocess("<div>a</div>");
-    let mut tok = Tokenizer::new(&pre.chars);
+    let mut tok = Tokenizer::new("<div>a</div>");
     tok.set_state(State::Plaintext);
     // In PLAINTEXT everything is text; no tags are produced.
     let mut texts = String::new();
@@ -466,8 +464,7 @@ fn manual_feedback_controls_content_model() {
 
 #[test]
 fn allow_cdata_pass_through() {
-    let pre = preprocess("<![CDATA[x<y]]>");
-    let mut tok = Tokenizer::new(&pre.chars);
+    let mut tok = Tokenizer::new("<![CDATA[x<y]]>");
     tok.set_allow_cdata(true);
     let mut texts = String::new();
     loop {
@@ -657,8 +654,7 @@ mod edge_cases {
 
     #[test]
     fn cdata_bracket_machinery() {
-        let pre = crate::preprocess::preprocess("<![CDATA[a]b]]c]]>");
-        let mut tok = Tokenizer::new(&pre.chars);
+        let mut tok = Tokenizer::new("<![CDATA[a]b]]c]]>");
         tok.set_allow_cdata(true);
         let mut text = String::new();
         loop {

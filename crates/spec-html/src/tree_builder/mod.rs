@@ -25,7 +25,6 @@ pub use formatting::FormatEntry;
 
 use crate::dom::{Document, ElemAttr, Namespace, NodeData, NodeId};
 use crate::errors::ParseError;
-use crate::preprocess;
 use crate::tags;
 use crate::tokenizer::{self, Tag, Token, Tokenizer};
 
@@ -104,8 +103,7 @@ impl ParseOutput {
 
 /// Parse a document (after preprocessing) into a [`ParseOutput`].
 pub fn parse(input: &str) -> ParseOutput {
-    let pre = preprocess::preprocess(input);
-    let mut tok = Tokenizer::new(&pre.chars);
+    let mut tok = Tokenizer::new(input);
     let mut b = Builder::new();
     let mut start_tags = Vec::new();
     loop {
@@ -122,7 +120,10 @@ pub fn parse(input: &str) -> ParseOutput {
             break;
         }
     }
-    let mut errors = pre.errors;
+    // Preprocessing errors first (matching the former eager-preprocessing
+    // order), then tokenizer errors; the sort below is stable, so equal
+    // offsets keep that order.
+    let mut errors = tok.take_preprocess_errors();
     errors.extend(tok.take_errors());
     errors.sort_by_key(|e| e.offset);
     ParseOutput {
@@ -143,8 +144,7 @@ pub fn parse(input: &str) -> ParseOutput {
 /// children are the fragment's nodes; use [`fragment_children`] or
 /// serialize with [`crate::serializer::serialize_children`] on the root.
 pub fn parse_fragment(input: &str, context: &str) -> ParseOutput {
-    let pre = preprocess::preprocess(input);
-    let mut tok = Tokenizer::new(&pre.chars);
+    let mut tok = Tokenizer::new(input);
     let mut b = Builder::new_fragment(context);
     // §13.2.4 step 11: set the tokenizer's initial state from the context
     // element's content model.
@@ -162,7 +162,7 @@ pub fn parse_fragment(input: &str, context: &str) -> ParseOutput {
             break;
         }
     }
-    let mut errors = pre.errors;
+    let mut errors = tok.take_preprocess_errors();
     errors.extend(tok.take_errors());
     errors.sort_by_key(|e| e.offset);
     ParseOutput {

@@ -1,0 +1,79 @@
+//! Golden fixture pinning tokenizer + preprocessing error *offsets*.
+//!
+//! Error offsets are char indices into the *normalized* (post-preprocessing)
+//! input stream; the checkers and the report layer key on them, so they must
+//! not move when the input-stream/tokenizer internals change. The fixture
+//! page deliberately mixes every offset-sensitive construct: CRLF and bare
+//! CR (which collapse during normalization, shifting char indices relative
+//! to bytes), NUL bytes, control characters, a noncharacter, named/numeric
+//! character references (valid, legacy-without-semicolon, and unknown),
+//! script data with comment-like content, comments with `--` inside, and
+//! multi-byte UTF-8 (ü, 漢) ahead of later errors so char≠byte indices are
+//! actually exercised.
+//!
+//! The expected list below was captured from the pre-batching scalar
+//! implementation (PR 1 state) and must stay identical forever.
+
+use spec_html::{tokenize, ErrorCode};
+
+/// The representative page. Built with explicit escapes so every byte is
+/// visible; do not reformat.
+fn fixture() -> String {
+    String::new()
+        + "<!DOCTYPE html>\r\n"
+        + "<html>\r"
+        + "<head>\u{1}<title>T&amp;T gr\u{fc}\u{00df}e</title>\r\n"
+        + "<script>var a = 1 < 2; // <b> \r\n<!-- x --></script>\r"
+        + "</head>\r\n"
+        + "<body>\r\n"
+        + "<!-- comment -- dash -->\r\n"
+        + "<p class=\"a&ampb\" id='x\u{0}y'>fish &amp chips &unknown; &#x41; &notin; 漢字\u{0}</p>\r\n"
+        + "<img src=x alt='y' /extra>\u{fdd0}\r\n"
+        + "</body>\r\n"
+        + "</html>\r\n"
+}
+
+/// (code, char offset) for every error `tokenize` reports, in stream order.
+fn expected() -> Vec<(ErrorCode, usize)> {
+    vec![
+        (ErrorCode::ControlCharacterInInputStream, 29),
+        (ErrorCode::NoncharacterInInputStream, 252),
+        (ErrorCode::UnexpectedNullCharacter, 173),
+        (ErrorCode::MissingSemicolonAfterCharacterReference, 185),
+        (ErrorCode::UnknownNamedCharacterReference, 201),
+        (ErrorCode::UnexpectedNullCharacter, 220),
+        (ErrorCode::UnexpectedSolidusInTag, 246),
+    ]
+}
+
+#[test]
+fn golden_error_offsets_are_pinned() {
+    let page = fixture();
+    let (tokens, errors) = tokenize(&page);
+    let got: Vec<(ErrorCode, usize)> = errors.iter().map(|e| (e.code, e.offset)).collect();
+    assert_eq!(got, expected(), "tokenizer/preprocessing error offsets moved");
+    // Token-stream shape is pinned too: a moved boundary would change it.
+    assert_eq!(tokens.len(), 31, "token count changed: {tokens:#?}");
+}
+
+#[test]
+fn golden_parse_document_offsets_are_pinned() {
+    let page = fixture();
+    let out = spec_html::parse_document(&page);
+    // parse() sorts by offset; pin the sorted stream.
+    let got: Vec<(ErrorCode, usize)> = out.errors.iter().map(|e| (e.code, e.offset)).collect();
+    let mut want = expected();
+    want.sort_by_key(|&(_, off)| off);
+    assert_eq!(got, want, "parse_document error offsets moved");
+}
+
+#[test]
+#[ignore = "dev tool: run with --ignored --nocapture to regenerate the expected list"]
+fn dump_golden() {
+    let page = fixture();
+    let (tokens, errors) = tokenize(&page);
+    for e in &errors {
+        println!("(ErrorCode::{:?}, {}),", e.code, e.offset);
+    }
+    println!("tokens: {}", tokens.len());
+}

@@ -1,0 +1,122 @@
+//! Batched-vs-scalar tokenizer equivalence, and the streaming preprocessor
+//! against its eager reference.
+//!
+//! The batched tokenizer ([`spec_html::tokenize`]) takes SWAR fast paths
+//! through Data, RCDATA, RAWTEXT, ScriptData, PLAINTEXT, comment, and
+//! quoted-attribute-value states; the scalar tokenizer
+//! ([`spec_html::tokenize_scalar`]) walks the pure spec state machine one
+//! character at a time. The tentpole contract is *observational identity*:
+//! same tokens, same error codes, same char-index offsets, on any input —
+//! including inputs that exercise the normalization seams (CR, CRLF, NUL,
+//! C0/C1 controls, noncharacters, multi-byte UTF-8) and the batch-path
+//! boundaries (`&`, `<`, `-`, quotes).
+
+use proptest::prelude::*;
+use spec_html::preprocess::{preprocess, InputStream};
+use spec_html::{tokenize, tokenize_scalar};
+
+/// Tokenizer-stressing soup with the characters that distinguish the batch
+/// paths from the scalar state machine: run delimiters, CR/CRLF
+/// normalization, preprocessing-error bytes, entities, and multi-byte text.
+fn stream_soup() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        Just("<".to_owned()),
+        Just(">".to_owned()),
+        Just("</".to_owned()),
+        Just("/>".to_owned()),
+        Just("=".to_owned()),
+        Just("\"".to_owned()),
+        Just("'".to_owned()),
+        Just("&".to_owned()),
+        Just("&amp".to_owned()),
+        Just("&amp;".to_owned()),
+        Just("&ampx".to_owned()),
+        Just("&notin;".to_owned()),
+        Just("&#x41;".to_owned()),
+        Just("&#65;".to_owned()),
+        Just("&#xD800;".to_owned()),
+        Just("<!--".to_owned()),
+        Just("-->".to_owned()),
+        Just("--!>".to_owned()),
+        Just("-".to_owned()),
+        Just("<!DOCTYPE html>".to_owned()),
+        Just("<!doctype PUBLIC".to_owned()),
+        Just("<![CDATA[".to_owned()),
+        Just("]]>".to_owned()),
+        Just("<div class=\"a b\">".to_owned()),
+        Just("<a href='u&v'>".to_owned()),
+        Just("<p>".to_owned()),
+        Just("<script>".to_owned()),
+        Just("</script>".to_owned()),
+        Just("<style>".to_owned()),
+        Just("</style>".to_owned()),
+        Just("<title>".to_owned()),
+        Just("</title>".to_owned()),
+        Just("<textarea>".to_owned()),
+        Just("</textarea>".to_owned()),
+        Just("<plaintext>".to_owned()),
+        Just("\r".to_owned()),
+        Just("\r\n".to_owned()),
+        Just("\n".to_owned()),
+        Just("\t".to_owned()),
+        Just("\0".to_owned()),
+        Just("\u{1}".to_owned()),
+        Just("\u{B}".to_owned()),
+        Just("\u{7F}".to_owned()),
+        Just("\u{9D}".to_owned()),
+        Just("\u{FDD0}".to_owned()),
+        Just("\u{FFFF}".to_owned()),
+        Just("ü".to_owned()),
+        Just("漢字".to_owned()),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(|s| s),
+    ];
+    proptest::collection::vec(atom, 0..32).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The SWAR-batched tokenizer and the pure-spec scalar tokenizer are
+    /// observationally identical: same token stream, same errors, same
+    /// char-index offsets.
+    #[test]
+    fn batched_tokenizer_matches_scalar(input in stream_soup()) {
+        let (batched_tokens, batched_errors) = tokenize(&input);
+        let (scalar_tokens, scalar_errors) = tokenize_scalar(&input);
+        prop_assert_eq!(batched_tokens, scalar_tokens);
+        prop_assert_eq!(batched_errors, scalar_errors);
+    }
+
+    /// Draining the streaming preprocessor reproduces the eager reference:
+    /// same normalized characters, same preprocessing errors at the same
+    /// char offsets.
+    #[test]
+    fn input_stream_matches_eager_preprocess(input in stream_soup()) {
+        let reference = preprocess(&input);
+        let mut stream = InputStream::new(&input);
+        let mut chars = Vec::new();
+        while let Some(c) = stream.next() {
+            chars.push(c);
+        }
+        prop_assert_eq!(chars, reference.chars);
+        prop_assert_eq!(stream.take_errors(), reference.errors);
+    }
+
+    /// Batched runs interleaved with scalar reads still agree with the
+    /// reference — the seam the tokenizer exercises on every `<` and `&`.
+    #[test]
+    fn interleaved_plain_runs_match_reference(input in stream_soup()) {
+        let reference = preprocess(&input);
+        let mut stream = InputStream::new(&input);
+        let mut chars: Vec<char> = Vec::new();
+        loop {
+            chars.extend(stream.take_plain_run(b"&<").chars());
+            match stream.next() {
+                Some(c) => chars.push(c),
+                None => break,
+            }
+        }
+        prop_assert_eq!(chars, reference.chars);
+        prop_assert_eq!(stream.take_errors(), reference.errors);
+    }
+}
