@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (no CLI dependency needed for six
 //! subcommands).
 
+use hv_corpus::FaultPlan;
 use std::path::PathBuf;
 
 pub const USAGE: &str = "\
@@ -13,9 +14,17 @@ USAGE:
           [--warc]                   materialize sample corpus pages to disk
                                      (--warc: standard WARC/1.0 + CDXJ files)
   hva scan [--seed N] [--scale F] [--threads N] [--store FILE] [--metrics]
-                                     run the full measurement pipeline
+           [--inject-faults S:R]     run the full measurement pipeline
                                      (--metrics: collect + print scan
-                                      observability, embedded in the store)
+                                      observability, embedded in the store;
+                                      --inject-faults: deterministic read-
+                                      path faults, seed S at rate R)
+  hva chaos [--seed N] [--scale F] [--faults S:R] [--threads N]
+                                     scan under deterministic fault
+                                     injection and verify the robustness
+                                     invariants (workers survive, thread-
+                                     invariant quarantine, clean pages
+                                     untouched); exits non-zero on FAIL
   hva report <exp> --store FILE      render one experiment from a saved scan
                                      (exp: table1 table2 fig8 fig9 fig10
                                       fig16..fig21 stats autofix mitigations
@@ -36,14 +45,54 @@ DEFAULTS: --seed 4740657 (0x485631), --scale 0.05, --threads = cores
 
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    Check { file: PathBuf, json: bool },
-    Fix { file: PathBuf, out: Option<PathBuf> },
-    Gen { seed: u64, scale: f64, out: PathBuf, domains: usize, year: Option<u16>, warc: bool },
-    Scan { seed: u64, scale: f64, threads: usize, store: Option<PathBuf>, metrics: bool },
-    Report { experiment: String, store: PathBuf },
-    Repro { seed: u64, scale: f64, threads: usize, out: Option<PathBuf>, json: Option<PathBuf> },
-    ScanWarc { dir: PathBuf, store: Option<PathBuf> },
-    Explain { what: String },
+    Check {
+        file: PathBuf,
+        json: bool,
+    },
+    Fix {
+        file: PathBuf,
+        out: Option<PathBuf>,
+    },
+    Gen {
+        seed: u64,
+        scale: f64,
+        out: PathBuf,
+        domains: usize,
+        year: Option<u16>,
+        warc: bool,
+    },
+    Scan {
+        seed: u64,
+        scale: f64,
+        threads: usize,
+        store: Option<PathBuf>,
+        metrics: bool,
+        faults: Option<FaultPlan>,
+    },
+    Chaos {
+        seed: u64,
+        scale: f64,
+        faults: FaultPlan,
+        threads: usize,
+    },
+    Report {
+        experiment: String,
+        store: PathBuf,
+    },
+    Repro {
+        seed: u64,
+        scale: f64,
+        threads: usize,
+        out: Option<PathBuf>,
+        json: Option<PathBuf>,
+    },
+    ScanWarc {
+        dir: PathBuf,
+        store: Option<PathBuf>,
+    },
+    Explain {
+        what: String,
+    },
     Help,
 }
 
@@ -91,6 +140,24 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 threads: flags.num("threads", 0)? as usize,
                 store: flags.get("store").map(PathBuf::from),
                 metrics: flags.has("metrics"),
+                faults: match flags.get("inject-faults") {
+                    Some(spec) => Some(FaultPlan::parse(&spec).map_err(|e| format!("scan: {e}"))?),
+                    None => None,
+                },
+            })
+        }
+        "chaos" => {
+            let (_, flags) = split(&rest)?;
+            let faults = match flags.get("faults") {
+                Some(spec) => FaultPlan::parse(&spec).map_err(|e| format!("chaos: {e}"))?,
+                // Default: the corpus default seed at a 10% fault rate.
+                None => FaultPlan::new(DEFAULT_SEED, 0.1).expect("static plan is valid"),
+            };
+            Ok(Command::Chaos {
+                seed: flags.num("seed", DEFAULT_SEED)?,
+                scale: flags.float("scale", DEFAULT_SCALE)?,
+                faults,
+                threads: flags.num("threads", 0)? as usize,
             })
         }
         "report" => {
@@ -217,15 +284,51 @@ mod tests {
     #[test]
     fn scan_defaults() {
         match p(&["scan"]).unwrap() {
-            Command::Scan { seed, scale, threads, store, metrics } => {
+            Command::Scan { seed, scale, threads, store, metrics, faults } => {
                 assert_eq!(seed, 0x48_56_31);
                 assert!((scale - 0.05).abs() < 1e-12);
                 assert_eq!(threads, 0);
                 assert!(store.is_none());
                 assert!(!metrics);
+                assert!(faults.is_none());
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn scan_inject_faults() {
+        match p(&["scan", "--inject-faults", "7:0.25"]).unwrap() {
+            Command::Scan { faults, .. } => {
+                assert_eq!(faults, Some(FaultPlan { seed: 7, rate: 0.25 }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Malformed specs are rejected at parse time, not mid-scan.
+        assert!(p(&["scan", "--inject-faults", "7"]).is_err());
+        assert!(p(&["scan", "--inject-faults", "x:0.5"]).is_err());
+        assert!(p(&["scan", "--inject-faults", "7:1.5"]).is_err());
+    }
+
+    #[test]
+    fn chaos_defaults_and_flags() {
+        match p(&["chaos"]).unwrap() {
+            Command::Chaos { seed, scale, faults, threads } => {
+                assert_eq!(seed, 0x48_56_31);
+                assert!((scale - 0.05).abs() < 1e-12);
+                assert_eq!(faults, FaultPlan { seed: 0x48_56_31, rate: 0.1 });
+                assert_eq!(threads, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&["chaos", "--faults", "3:0.5", "--scale", "0.002", "--threads", "4"]).unwrap() {
+            Command::Chaos { faults, threads, .. } => {
+                assert_eq!(faults, FaultPlan { seed: 3, rate: 0.5 });
+                assert_eq!(threads, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["chaos", "--faults", "bogus"]).is_err());
     }
 
     #[test]

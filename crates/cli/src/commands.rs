@@ -19,8 +19,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Gen { seed, scale, out, domains, year, warc } => {
             gen(seed, scale, &out, domains, year, warc)
         }
-        Command::Scan { seed, scale, threads, store, metrics } => {
-            let result = run_scan(seed, scale, threads, metrics)?;
+        Command::Scan { seed, scale, threads, store, metrics, faults } => {
+            let result = run_scan(seed, scale, threads, metrics, faults)?;
             if let Some(path) = store {
                 result.save(&path).map_err(|e| format!("saving store: {e}"))?;
                 println!("store written to {}", path.display());
@@ -29,6 +29,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Chaos { seed, scale, faults, threads } => chaos(seed, scale, faults, threads),
         Command::Report { experiment, store } => {
             let store = ResultStore::load(&store).map_err(|e| format!("loading store: {e}"))?;
             println!("{}", render_experiment(&experiment, &store)?);
@@ -56,7 +57,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Repro { seed, scale, threads, out, json } => {
             // Repro always collects metrics: the run's provenance (how fast,
             // how many pages, which checks fired) belongs in the record.
-            let store = run_scan(seed, scale, threads, true)?;
+            let store = run_scan(seed, scale, threads, true, None)?;
             println!("{}", hv_report::full_report(&store));
             if let Some(path) = out {
                 let md = hv_report::experiments_markdown(&store);
@@ -227,7 +228,13 @@ fn gen(
     Ok(())
 }
 
-fn run_scan(seed: u64, scale: f64, threads: usize, metrics: bool) -> Result<ResultStore, String> {
+fn run_scan(
+    seed: u64,
+    scale: f64,
+    threads: usize,
+    metrics: bool,
+    faults: Option<hv_corpus::FaultPlan>,
+) -> Result<ResultStore, String> {
     let t0 = Instant::now();
     eprintln!("building archive (seed {seed}, scale {scale}) ...");
     let archive = Archive::new(CorpusConfig { seed, scale });
@@ -236,19 +243,61 @@ fn run_scan(seed: u64, scale: f64, threads: usize, metrics: bool) -> Result<Resu
         archive.domains().len(),
         Snapshot::ALL.len()
     );
-    let store = scan(
-        &archive,
-        ScanOptions::new().threads(threads).progress_every(20_000).collect_metrics(metrics),
-    );
+    let mut opts =
+        ScanOptions::new().threads(threads).progress_every(20_000).collect_metrics(metrics);
+    if let Some(plan) = faults {
+        eprintln!("injecting deterministic faults ({}) ...", plan.render());
+        opts = opts.inject_faults(plan);
+    }
+    let store = scan(&archive, opts);
     eprintln!(
         "scan finished in {:.1}s ({} domain-snapshot records)",
         t0.elapsed().as_secs_f64(),
         store.records.len()
     );
+    if !store.quarantine.is_empty() {
+        let faulted: usize = store.records.iter().map(|r| r.pages_faulted).sum();
+        let degraded: usize = store.records.iter().map(|r| r.pages_degraded).sum();
+        eprintln!(
+            "faults: {faulted} pages faulted, {degraded} degraded, {} quarantined",
+            store.quarantine.len()
+        );
+    }
     if let Some(m) = &store.metrics {
         eprint!("{}", m.render());
     }
     Ok(store)
+}
+
+/// `hva chaos`: run the scan under deterministic fault injection at two
+/// thread counts and verify the robustness invariants. Non-zero exit (an
+/// `Err`) when any invariant fails, so CI can smoke-test robustness.
+fn chaos(
+    seed: u64,
+    scale: f64,
+    faults: hv_corpus::FaultPlan,
+    threads: usize,
+) -> Result<(), String> {
+    let t0 = Instant::now();
+    eprintln!("building archive (seed {seed}, scale {scale}) ...");
+    let archive = Archive::new(CorpusConfig { seed, scale });
+    // Single-threaded as the reference, the requested (or all-core) count
+    // as the challenger: the pair is what makes thread-invariance a check.
+    let thread_counts = [1usize, threads];
+    eprintln!(
+        "chaos: scanning {} domains under fault injection ({}) at threads {:?} ...",
+        archive.domains().len(),
+        faults.render(),
+        thread_counts
+    );
+    let report = hv_pipeline::run_chaos(&archive, faults, &Snapshot::ALL, &thread_counts);
+    eprintln!("chaos finished in {:.1}s", t0.elapsed().as_secs_f64());
+    print!("{}", report.render());
+    if report.passed() {
+        Ok(())
+    } else {
+        Err("chaos invariants FAILED".into())
+    }
 }
 
 fn render_experiment(name: &str, store: &ResultStore) -> Result<String, String> {

@@ -207,3 +207,38 @@ fn scan_warc_end_to_end() {
     let out = hva().args(["scan-warc"]).arg(&empty).output().unwrap();
     assert_eq!(out.status.code(), Some(1));
 }
+
+#[test]
+fn chaos_verdict_passes() {
+    let out = hva()
+        .args(["chaos", "--scale", "0.002", "--faults", "9:0.1", "--threads", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("chaos report"));
+    assert!(stdout.contains("quarantine-thread-invariant"));
+    assert!(stdout.contains("verdict: PASS"));
+}
+
+#[test]
+fn scan_inject_faults_writes_quarantine() {
+    let dir = tmpdir("scan_faults");
+    let store_path = dir.join("faulted-store.json");
+    let out = hva()
+        .args(["scan", "--scale", "0.002", "--threads", "4", "--inject-faults", "9:0.1", "--store"])
+        .arg(&store_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("injecting deterministic faults"), "{stderr}");
+    assert!(stderr.contains("faulted"), "{stderr}");
+
+    let json = std::fs::read_to_string(&store_path).unwrap();
+    assert!(json.contains("\"quarantine\""), "faulted store records its quarantine set");
+
+    // A malformed fault spec is a usage error.
+    let out = hva().args(["scan", "--inject-faults", "9:2.0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

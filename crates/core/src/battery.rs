@@ -30,6 +30,35 @@ use crate::taxonomy::ViolationKind;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
+/// Why a raw byte body could not be analyzed. Returned by
+/// [`Battery::try_run_bytes`] so callers classify the page instead of
+/// silently dropping it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputError {
+    /// Not valid UTF-8 — excluded by the study's §4.1 inclusion filter.
+    NotUtf8 {
+        /// Byte offset of the first invalid sequence.
+        valid_up_to: usize,
+    },
+    /// The body exceeds the caller's byte budget; refused before decoding.
+    TooLarge { len: usize, budget: usize },
+}
+
+impl std::fmt::Display for InputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InputError::NotUtf8 { valid_up_to } => {
+                write!(f, "body is not valid UTF-8 (first invalid byte at {valid_up_to})")
+            }
+            InputError::TooLarge { len, budget } => {
+                write!(f, "body of {len} bytes exceeds the {budget}-byte budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InputError {}
+
 /// A constructed-once, run-many checker battery with a reusable scratch
 /// report. See the [module docs](self) for the design.
 pub struct Battery {
@@ -103,9 +132,31 @@ impl Battery {
     /// excluded from measurement); the returned reference is valid until
     /// the next `run_*` call.
     pub fn run_bytes(&mut self, bytes: &[u8]) -> Option<&PageReport> {
-        let text = spec_html::decoder::decode_utf8(bytes).text()?;
-        let cx = CheckContext::new(text);
-        Some(self.run_ref(&cx))
+        self.try_run_bytes(bytes, usize::MAX).ok()
+    }
+
+    /// Like [`Battery::run_bytes`], but with a structured verdict instead
+    /// of trusting the input: says *why* a body was not analyzed
+    /// ([`InputError`]) and refuses bodies over `byte_budget` **before**
+    /// decoding — the guard a fault-tolerant scan needs against oversized
+    /// records. Pass `usize::MAX` for no budget.
+    pub fn try_run_bytes(
+        &mut self,
+        bytes: &[u8],
+        byte_budget: usize,
+    ) -> Result<&PageReport, InputError> {
+        if bytes.len() > byte_budget {
+            return Err(InputError::TooLarge { len: bytes.len(), budget: byte_budget });
+        }
+        match spec_html::decoder::decode_utf8(bytes) {
+            spec_html::decoder::Decoded::Utf8(text) => {
+                let cx = CheckContext::new(text);
+                Ok(self.run_ref(&cx))
+            }
+            spec_html::decoder::Decoded::NotUtf8 { valid_up_to } => {
+                Err(InputError::NotUtf8 { valid_up_to })
+            }
+        }
     }
 
     /// A stats accumulator shaped to this battery (one slot per rule).
@@ -300,6 +351,22 @@ mod tests {
         // A UTF-8 BOM is stripped before parsing.
         let bom = [b"\xEF\xBB\xBF".as_slice(), DIRTY.as_bytes()].concat();
         assert_eq!(battery.run_bytes(&bom).unwrap().findings, via_str.findings);
+    }
+
+    #[test]
+    fn try_run_bytes_classifies_instead_of_trusting() {
+        let mut battery = Battery::full();
+        let ok = battery.try_run_bytes(DIRTY.as_bytes(), usize::MAX).unwrap().clone();
+        assert_eq!(ok.findings, battery.run_str(DIRTY).findings);
+        assert_eq!(
+            battery.try_run_bytes(b"<p>gr\xFC\xDFe</p>", usize::MAX).err(),
+            Some(InputError::NotUtf8 { valid_up_to: 5 })
+        );
+        // Budget is enforced on raw length, before any decode work.
+        assert_eq!(
+            battery.try_run_bytes(DIRTY.as_bytes(), 4).err(),
+            Some(InputError::TooLarge { len: DIRTY.len(), budget: 4 })
+        );
     }
 
     #[test]

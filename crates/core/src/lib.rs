@@ -61,7 +61,7 @@ pub mod sanitizer;
 pub mod strict;
 pub mod taxonomy;
 
-pub use battery::{Battery, BatteryStats, CheckStats, DurationHistogram};
+pub use battery::{Battery, BatteryStats, CheckStats, DurationHistogram, InputError};
 pub use context::CheckContext;
 pub use report::{Finding, MitigationFlags, PageReport};
 pub use taxonomy::{Fixability, ProblemGroup, ViolationCategory, ViolationKind};

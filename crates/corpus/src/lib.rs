@@ -18,6 +18,9 @@
 //!   record fetch, bodies generated on demand (no storage).
 //! * [`snapshots`] — the eight `CC-MAIN-*` snapshot ids and Table-2
 //!   targets.
+//! * [`faults`] — seeded deterministic fault injection over the read path
+//!   (truncation, corrupt compression, mojibake, oversized bodies,
+//!   malformed CDX, transient I/O) for chaos-testing the scan pipeline.
 //!
 //! ```
 //! use hv_corpus::{Archive, CorpusConfig, Snapshot};
@@ -34,6 +37,7 @@
 pub mod archive;
 pub mod auxstudies;
 pub mod calibration;
+pub mod faults;
 pub mod htmlgen;
 pub mod profile;
 pub mod rng;
@@ -42,6 +46,7 @@ pub mod tranco;
 pub mod warc;
 
 pub use archive::{Archive, CdxEntry, CorpusConfig, DomainCdx, WarcRecord};
+pub use faults::{Fault, FaultClass, FaultPlan, FetchFault, PageKey};
 pub use profile::{Archetype, DomainSnapshot, ProfileModel};
 pub use snapshots::{Snapshot, YEARS};
 pub use tranco::RankedDomain;

@@ -282,6 +282,9 @@ mod tests {
                 .filter(|k| k.fixability() == hv_core::Fixability::Manual)
                 .collect(),
             uses_math: false,
+            pages_faulted: 0,
+            pages_degraded: 0,
+            pages_quarantined: 0,
         }
     }
 
@@ -445,6 +448,9 @@ mod churn_tests {
             mitigations: Default::default(),
             kinds_after_autofix: Default::default(),
             uses_math: false,
+            pages_faulted: 0,
+            pages_degraded: 0,
+            pages_quarantined: 0,
         };
         // Domain 1: FB2 in 2015, FB2+DM3 in 2016 (one added).
         s.records.push(rec(1, 0, &[ViolationKind::FB2]));

@@ -17,6 +17,13 @@
 //!   per-check fire counts, collected lock-free and embedded in the store.
 //! * [`store`] — the embedded result database (the paper used Postgres; a
 //!   typed in-memory table with JSON persistence serves the same queries).
+//! * [`outcome`] — the failure model: every listed page ends `Ok`,
+//!   `Degraded` (analyzed after retries), or `Quarantined` with a
+//!   structured [`ErrorClass`]; never a dead worker, never a silent skip.
+//! * [`chaos`] — the deterministic fault-injection harness (`hva chaos`):
+//!   scans under `hv_corpus::faults` injection and asserts that workers
+//!   survive, quarantine is thread-count-invariant, and fault-free pages
+//!   are untouched.
 //! * [`aggregate`] — every number behind Tables 1–2, Figures 8–10 and
 //!   16–21, and the §4.2/§4.4/§4.5 statistics.
 //!
@@ -35,11 +42,15 @@
 
 pub mod aggregate;
 pub mod auxstudies;
+pub mod chaos;
 pub mod metrics;
+pub mod outcome;
 pub mod run;
 pub mod store;
 pub mod warcscan;
 
-pub use metrics::{PhaseNanos, ScanMetrics};
+pub use chaos::{run_chaos, ChaosReport};
+pub use metrics::{FaultMetrics, PhaseNanos, ScanMetrics};
+pub use outcome::{ErrorClass, PageOutcome, QuarantineEntry, RetryPolicy};
 pub use run::{scan, scan_snapshots, ScanOptions};
 pub use store::{DomainYearRecord, ResultStore};

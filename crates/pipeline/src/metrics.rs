@@ -8,8 +8,93 @@
 //! [`crate::ResultStore`] as provenance and rendered by `hv scan
 //! --metrics` / `hv repro`.
 
+use crate::outcome::ErrorClass;
 use hv_core::BatteryStats;
 use serde::{Deserialize, Serialize};
+
+/// Failure-handling telemetry: what the robustness layer did. All
+/// counters are plain worker-side sums. The struct is all-zero on a clean
+/// scan and is then omitted from the serialized metrics entirely, keeping
+/// clean-run stores byte-identical to ones written before the failure
+/// model existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMetrics {
+    /// Pages whose fetch path had a fault injected (any class).
+    #[serde(default)]
+    pub injected: u64,
+    /// Fetch retries performed (each transient failure that was retried).
+    #[serde(default)]
+    pub retries: u64,
+    /// Total deterministic backoff the retries accounted, nanoseconds.
+    #[serde(default)]
+    pub backoff_nanos: u64,
+    /// Pages analyzed after ≥ 1 retry ([`PageOutcome::Degraded`]).
+    ///
+    /// [`PageOutcome::Degraded`]: crate::outcome::PageOutcome::Degraded
+    #[serde(default)]
+    pub degraded: u64,
+    /// Pages quarantined, all classes (== the per-class counters' sum).
+    #[serde(default)]
+    pub quarantined: u64,
+    /// Panics caught at the per-page isolation boundary.
+    #[serde(default)]
+    pub panics_caught: u64,
+    /// Injected invalid-UTF-8 faults. These pages land in
+    /// [`ScanMetrics::pages_rejected_utf8`] — the §4.1 filter is the
+    /// correct handler for mojibake — so they are counted here but never
+    /// quarantined.
+    #[serde(default)]
+    pub invalid_utf8_injected: u64,
+    /// Quarantines by class.
+    #[serde(default)]
+    pub malformed_cdx: u64,
+    #[serde(default)]
+    pub transient_io: u64,
+    #[serde(default)]
+    pub truncated_record: u64,
+    #[serde(default)]
+    pub corrupt_compression: u64,
+    #[serde(default)]
+    pub oversized_body: u64,
+    #[serde(default)]
+    pub parser_panic: u64,
+}
+
+impl FaultMetrics {
+    /// All-zero — the serializer omits the struct in this state.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultMetrics::default()
+    }
+
+    /// Record one quarantine under its class.
+    pub fn bump_quarantine(&mut self, class: ErrorClass) {
+        self.quarantined += 1;
+        match class {
+            ErrorClass::MalformedCdx => self.malformed_cdx += 1,
+            ErrorClass::TransientIo => self.transient_io += 1,
+            ErrorClass::TruncatedRecord => self.truncated_record += 1,
+            ErrorClass::CorruptCompression => self.corrupt_compression += 1,
+            ErrorClass::OversizedBody => self.oversized_body += 1,
+            ErrorClass::ParserPanic => self.parser_panic += 1,
+        }
+    }
+
+    pub fn merge(&mut self, other: &FaultMetrics) {
+        self.injected += other.injected;
+        self.retries += other.retries;
+        self.backoff_nanos += other.backoff_nanos;
+        self.degraded += other.degraded;
+        self.quarantined += other.quarantined;
+        self.panics_caught += other.panics_caught;
+        self.invalid_utf8_injected += other.invalid_utf8_injected;
+        self.malformed_cdx += other.malformed_cdx;
+        self.transient_io += other.transient_io;
+        self.truncated_record += other.truncated_record;
+        self.corrupt_compression += other.corrupt_compression;
+        self.oversized_body += other.oversized_body;
+        self.parser_panic += other.parser_panic;
+    }
+}
 
 /// Worker-side wall time per pipeline phase (Figure 6 steps), summed over
 /// all workers — on an N-thread scan the phase total can exceed the scan's
@@ -83,6 +168,11 @@ pub struct ScanMetrics {
     /// Per-check fire counts and wall-time histograms.
     #[serde(default)]
     pub battery: BatteryStats,
+    /// Failure-handling counters (retries, quarantines, caught panics).
+    /// All-zero on a clean scan and then omitted from the JSON, so stores
+    /// from before the failure model stay byte-identical.
+    #[serde(default, skip_serializing_if = "FaultMetrics::is_empty")]
+    pub faults: FaultMetrics,
 }
 
 impl ScanMetrics {
@@ -95,6 +185,7 @@ impl ScanMetrics {
         self.bytes_fetched += other.bytes_fetched;
         self.bytes_decoded += other.bytes_decoded;
         self.phases.merge(&other.phases);
+        self.faults.merge(&other.faults);
         if self.battery.per_check.is_empty() {
             self.battery = other.battery.clone();
         } else if !other.battery.per_check.is_empty() {
@@ -151,6 +242,23 @@ impl ScanMetrics {
             100.0 * self.phases.parse as f64 / t as f64,
             100.0 * self.phases.check as f64 / t as f64
         ));
+        if !self.faults.is_empty() {
+            let f = &self.faults;
+            s.push_str(&format!(
+                "  faults: injected {}   retries {}   degraded {}   quarantined {}   panics caught {}\n",
+                f.injected, f.retries, f.degraded, f.quarantined, f.panics_caught
+            ));
+            s.push_str(&format!(
+                "  quarantine by class: cdx {} transient {} truncated {} gzip {} oversized {} panic {}   (utf-8 faults → filter: {})\n",
+                f.malformed_cdx,
+                f.transient_io,
+                f.truncated_record,
+                f.corrupt_compression,
+                f.oversized_body,
+                f.parser_panic,
+                f.invalid_utf8_injected
+            ));
+        }
         if !self.battery.per_check.is_empty() {
             s.push_str("  per-check: pages fired / findings / mean ns\n");
             for (kind, st) in &self.battery.per_check {
@@ -217,6 +325,48 @@ mod tests {
         assert!(out.contains("pages/s"));
         assert!(out.contains("parse"));
         assert!(out.contains("utf-8 rejected 1"));
+    }
+
+    #[test]
+    fn fault_metrics_merge_and_classify() {
+        let mut a = FaultMetrics::default();
+        assert!(a.is_empty());
+        a.injected = 3;
+        a.retries = 2;
+        a.bump_quarantine(ErrorClass::TruncatedRecord);
+        a.bump_quarantine(ErrorClass::TransientIo);
+        let mut b = FaultMetrics { injected: 1, degraded: 1, ..FaultMetrics::default() };
+        b.bump_quarantine(ErrorClass::TruncatedRecord);
+        a.merge(&b);
+        assert_eq!(a.injected, 4);
+        assert_eq!(a.quarantined, 3);
+        assert_eq!(a.truncated_record, 2);
+        assert_eq!(a.transient_io, 1);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn empty_faults_are_omitted_from_json() {
+        let clean = worker(3, 64);
+        let json = serde_json::to_string(&clean).unwrap();
+        assert!(!json.contains("faults"), "clean metrics must not serialize faults: {json}");
+        let mut chaotic = worker(3, 64);
+        chaotic.faults.injected = 1;
+        let json = serde_json::to_string(&chaotic).unwrap();
+        assert!(json.contains("faults"));
+        let back: ScanMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.faults.injected, 1);
+    }
+
+    #[test]
+    fn render_mentions_faults_only_when_present() {
+        let mut m = worker(10, 100);
+        assert!(!m.render().contains("quarantine"));
+        m.faults.injected = 5;
+        m.faults.bump_quarantine(ErrorClass::OversizedBody);
+        let out = m.render();
+        assert!(out.contains("injected 5"));
+        assert!(out.contains("oversized 1"));
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! The scan's failure model: how a page that cannot be analyzed is
+//! classified, retried, and quarantined.
+//!
+//! Every page the CDX index lists ends in exactly one of three outcomes
+//! ([`PageOutcome`]): analyzed cleanly (`Ok`), analyzed after transient
+//! trouble (`Degraded`), or set aside with a structured reason
+//! (`Quarantined`) — never a dead worker and never a silent skip. The
+//! quarantine reasons ([`ErrorClass`]) mirror what a real Common Crawl
+//! measurement meets: records that cannot be located, read, decompressed,
+//! or bounded, plus the backstop nobody plans for — a parser panic caught
+//! at the page boundary. Quarantined pages are excluded from the §4
+//! aggregates *and accounted for*, so the denominator of every rate is
+//! explicit.
+//!
+//! Retries are governed by [`RetryPolicy`]: bounded attempts with
+//! deterministic exponential backoff. The backoff is part of the failure
+//! model, not a tuning knob — with a deterministic fault schedule
+//! (`hv_corpus::faults`), the same policy yields the same outcomes on
+//! every run at every thread count.
+
+use hv_corpus::Snapshot;
+use serde::{Deserialize, Serialize};
+
+/// Why a page was quarantined. The order (and the serialized variant
+/// name) is stable, so quarantine sets compare byte-for-byte across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ErrorClass {
+    /// The CDX metadata for the page could not be parsed.
+    MalformedCdx,
+    /// Transient I/O errors persisted through every retry attempt.
+    TransientIo,
+    /// The WARC record was truncated or otherwise unparseable.
+    TruncatedRecord,
+    /// The record body is a (corrupt) compressed stream, not HTML.
+    CorruptCompression,
+    /// The record body exceeds the scan's byte budget.
+    OversizedBody,
+    /// The parser or a checker panicked; the page was contained at the
+    /// isolation boundary.
+    ParserPanic,
+}
+
+impl ErrorClass {
+    pub const ALL: [ErrorClass; 6] = [
+        ErrorClass::MalformedCdx,
+        ErrorClass::TransientIo,
+        ErrorClass::TruncatedRecord,
+        ErrorClass::CorruptCompression,
+        ErrorClass::OversizedBody,
+        ErrorClass::ParserPanic,
+    ];
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorClass::MalformedCdx => "malformed-cdx",
+            ErrorClass::TransientIo => "transient-io",
+            ErrorClass::TruncatedRecord => "truncated-record",
+            ErrorClass::CorruptCompression => "corrupt-compression",
+            ErrorClass::OversizedBody => "oversized-body",
+            ErrorClass::ParserPanic => "parser-panic",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The terminal classification of one listed page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageOutcome {
+    /// Fetched and analyzed on the first attempt (or rejected by the §4.1
+    /// UTF-8 filter, which is a measurement decision, not a failure).
+    Ok,
+    /// Analyzed successfully, but only after `retries` transient-error
+    /// retries — counted so flaky inputs are visible, not silent.
+    Degraded { retries: u32 },
+    /// Set aside with a structured reason; excluded from aggregates.
+    Quarantined(ErrorClass),
+}
+
+/// Bounded retry with deterministic exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total fetch attempts per page (first try included). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` (1-based) is `base << (n - 1)` nanoseconds.
+    /// 0 disables sleeping — right for the virtual archive, where
+    /// "transient" faults are simulated and waiting buys nothing.
+    pub base_backoff_nanos: u64,
+}
+
+impl RetryPolicy {
+    /// Deterministic backoff before the `attempt`-th retry (1-based).
+    pub fn backoff_nanos(&self, attempt: u32) -> u64 {
+        self.base_backoff_nanos << (attempt - 1).min(20)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, no sleeping: with the injector drawing 1–4
+    /// transient failures per faulted page, roughly half recover
+    /// (degraded) and half exhaust into quarantine — both paths stay
+    /// exercised by default.
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, base_backoff_nanos: 0 }
+    }
+}
+
+/// One quarantined page, persisted in the [`crate::ResultStore`] so a scan
+/// is auditable: which pages are missing from the aggregates, and why.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    pub domain_id: u64,
+    pub snapshot: Snapshot,
+    pub page_index: usize,
+    pub url: String,
+    pub class: ErrorClass,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_class_names_are_stable_and_distinct() {
+        let names: std::collections::BTreeSet<_> =
+            ErrorClass::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(names.len(), ErrorClass::ALL.len());
+        assert_eq!(ErrorClass::ParserPanic.to_string(), "parser-panic");
+    }
+
+    #[test]
+    fn error_class_serde_roundtrip() {
+        for class in ErrorClass::ALL {
+            let json = serde_json::to_string(&class).unwrap();
+            let back: ErrorClass = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, class);
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_from_base() {
+        let p = RetryPolicy { max_attempts: 4, base_backoff_nanos: 100 };
+        assert_eq!(p.backoff_nanos(1), 100);
+        assert_eq!(p.backoff_nanos(2), 200);
+        assert_eq!(p.backoff_nanos(3), 400);
+        // The shift is clamped: no overflow however many attempts.
+        assert!(p.backoff_nanos(80) > 0);
+    }
+
+    #[test]
+    fn default_policy_never_sleeps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts, 3);
+        assert_eq!(p.backoff_nanos(1), 0);
+        assert_eq!(p.backoff_nanos(3), 0);
+    }
+
+    #[test]
+    fn quarantine_entry_roundtrips() {
+        let e = QuarantineEntry {
+            domain_id: 42,
+            snapshot: Snapshot::ALL[3],
+            page_index: 17,
+            url: "https://example.com/page/17.html".into(),
+            class: ErrorClass::TruncatedRecord,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: QuarantineEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

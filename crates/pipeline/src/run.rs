@@ -18,12 +18,15 @@
 //! store as provenance.
 
 use crate::metrics::{PhaseNanos, ScanMetrics};
+use crate::outcome::{ErrorClass, QuarantineEntry, RetryPolicy};
 use crate::store::{DomainYearRecord, ResultStore};
 use hv_core::context::CheckContext;
-use hv_core::{Battery, MitigationFlags};
-use hv_corpus::archive::DomainCdx;
+use hv_core::{Battery, MitigationFlags, ViolationKind};
+use hv_corpus::archive::{CdxEntry, DomainCdx};
+use hv_corpus::faults::{FaultClass, FaultPlan, FetchFault, PageKey};
 use hv_corpus::{Archive, Snapshot};
 use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -50,16 +53,32 @@ pub struct ScanOptions {
     /// and embed them in the store. Adds two clock reads per page plus one
     /// per rule execution.
     pub collect_metrics: bool,
+    /// Deterministic fault injection over the read path (`None` = clean
+    /// scan). See [`hv_corpus::faults`].
+    pub faults: Option<FaultPlan>,
+    /// Retry policy for transient fetch errors.
+    pub retry: RetryPolicy,
+    /// Record bodies larger than this are quarantined
+    /// ([`ErrorClass::OversizedBody`]) instead of parsed.
+    pub byte_budget: usize,
 }
 
+/// Default per-record byte budget: far above any page the generator emits,
+/// far below anything that could pressure memory.
+pub const DEFAULT_BYTE_BUDGET: usize = 1 << 20;
+
 impl ScanOptions {
-    /// The defaults: all cores, auto-fix projection on, silent, no metrics.
+    /// The defaults: all cores, auto-fix projection on, silent, no
+    /// metrics, no faults, three fetch attempts, 1 MiB byte budget.
     pub fn new() -> Self {
         ScanOptions {
             threads: 0,
             autofix_projection: true,
             progress_every: 0,
             collect_metrics: false,
+            faults: None,
+            retry: RetryPolicy::default(),
+            byte_budget: DEFAULT_BYTE_BUDGET,
         }
     }
 
@@ -84,6 +103,24 @@ impl ScanOptions {
     /// Toggle [`ScanMetrics`] collection.
     pub fn collect_metrics(mut self, on: bool) -> Self {
         self.collect_metrics = on;
+        self
+    }
+
+    /// Inject deterministic faults into the read path.
+    pub fn inject_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Override the transient-error retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Override the per-record byte budget.
+    pub fn byte_budget(mut self, budget: usize) -> Self {
+        self.byte_budget = budget;
         self
     }
 }
@@ -116,6 +153,12 @@ struct Partial {
     page_counts: BTreeMap<hv_core::ViolationKind, u32>,
     mitigations: MitigationFlags,
     uses_math: bool,
+    /// Pages with an injected fault (any class).
+    faulted: usize,
+    /// Pages analyzed only after transient-error retries.
+    degraded: usize,
+    /// Pages set aside with a structured reason.
+    quarantined: usize,
 }
 
 impl Partial {
@@ -127,6 +170,9 @@ impl Partial {
         }
         self.mitigations.merge(other.mitigations);
         self.uses_math |= other.uses_math;
+        self.faulted += other.faulted;
+        self.degraded += other.degraded;
+        self.quarantined += other.quarantined;
     }
 }
 
@@ -167,7 +213,7 @@ pub fn scan_snapshots(archive: &Archive, snapshots: &[Snapshot], opts: ScanOptio
     let cursor = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
 
-    let worker_out: Vec<(BTreeMap<usize, Partial>, ScanMetrics)> = std::thread::scope(|s| {
+    let worker_out: Vec<WorkerOut> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for _ in 0..threads {
             let cursor = &cursor;
@@ -178,24 +224,31 @@ pub fn scan_snapshots(archive: &Archive, snapshots: &[Snapshot], opts: ScanOptio
                 scan_worker(archive, slots, starts, total_pages, cursor, done, opts)
             }));
         }
+        // Per-page panics are caught *inside* the worker (quarantined as
+        // [`ErrorClass::ParserPanic`]); a worker dying here would be an
+        // engine bug, not an input problem.
         handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
     });
 
-    // Fold worker partials per slot. Each merge is commutative, so the
-    // worker order cannot show through.
+    // Fold worker partials per slot. Each merge is commutative, and the
+    // quarantine union is re-sorted in `finalize`, so the worker order
+    // cannot show through.
     let mut merged: Vec<Partial> = (0..slots.len()).map(|_| Partial::default()).collect();
     let mut metrics = ScanMetrics::default();
-    for (partials, wm) in worker_out {
-        for (slot_idx, partial) in partials {
+    let mut quarantine = Vec::new();
+    for out in worker_out {
+        for (slot_idx, partial) in out.partials {
             merged[slot_idx].absorb(partial);
         }
-        metrics.merge(&wm);
+        metrics.merge(&out.metrics);
+        quarantine.extend(out.quarantine);
     }
 
     let mut store = ResultStore::new(archive.cfg.seed, archive.cfg.scale, domains.len());
     for (slot, partial) in slots.iter().zip(merged) {
         store.records.push(make_record(archive, slot, partial, opts));
     }
+    store.quarantine = quarantine;
     store.finalize();
 
     if opts.collect_metrics {
@@ -209,8 +262,44 @@ pub fn scan_snapshots(archive: &Archive, snapshots: &[Snapshot], opts: ScanOptio
     store
 }
 
+/// Everything one worker hands back at the join.
+struct WorkerOut {
+    partials: BTreeMap<usize, Partial>,
+    quarantine: Vec<QuarantineEntry>,
+    metrics: ScanMetrics,
+}
+
+/// One fetch through the (optionally fault-injected) read path.
+struct Fetched {
+    body: Result<Vec<u8>, ErrorClass>,
+    /// A fault was planned for this page (any class).
+    faulted: bool,
+    /// The planned fault was invalid UTF-8 (handled by the §4.1 filter).
+    invalid_utf8: bool,
+    /// Transient-error retries performed.
+    retries: u32,
+    /// Deterministic backoff accounted across those retries.
+    backoff_nanos: u64,
+}
+
+/// What the guarded per-page analysis concluded. Produced *inside* the
+/// panic isolation boundary; all partial/metric updates happen outside it,
+/// so a caught panic cannot leave half-applied state.
+enum PageAnalysis {
+    RejectedUtf8,
+    Analyzed {
+        decoded_len: u64,
+        kinds: BTreeSet<ViolationKind>,
+        mitigations: MitigationFlags,
+        uses_math: bool,
+    },
+}
+
 /// The worker loop: pull global page indices until the cursor runs dry.
-/// Returns the per-slot partials plus this worker's metrics share.
+/// Returns the per-slot partials, quarantined pages, and this worker's
+/// metrics share. No page input can kill the worker: fetch errors are
+/// retried then quarantined, oversized/undecodable bodies are classified,
+/// and parse/check panics are caught at the page boundary.
 fn scan_worker(
     archive: &Archive,
     slots: &[Slot],
@@ -219,10 +308,11 @@ fn scan_worker(
     cursor: &AtomicUsize,
     done: &AtomicUsize,
     opts: ScanOptions,
-) -> (BTreeMap<usize, Partial>, ScanMetrics) {
+) -> WorkerOut {
     let mut battery = Battery::full();
     let mut stats = opts.collect_metrics.then(|| battery.new_stats());
     let mut partials: BTreeMap<usize, Partial> = BTreeMap::new();
+    let mut quarantine = Vec::new();
     let mut wm = ScanMetrics::default();
     let mut phases = PhaseNanos::default();
 
@@ -238,46 +328,104 @@ fn scan_worker(
         let entry = &slot.cdx.pages[g - starts[slot_idx]];
         let partial = partials.entry(slot_idx).or_default();
 
-        // Phase (2): fetch the record body.
+        // Phase (2): fetch the record body (fault-injected when asked,
+        // with bounded retry for transient errors).
         let t = opts.collect_metrics.then(Instant::now);
-        let body = archive.fetch_page(&slot.cdx.snapshot, entry.page_index);
-        let t = lap(t, &mut phases.fetch);
+        let fetched = fetch_page(archive, slot, entry, opts);
+        lap(t, &mut phases.fetch);
+        partial.faulted += fetched.faulted as usize;
+        wm.faults.injected += fetched.faulted as u64;
+        wm.faults.invalid_utf8_injected += fetched.invalid_utf8 as u64;
+        wm.faults.retries += u64::from(fetched.retries);
+        wm.faults.backoff_nanos += fetched.backoff_nanos;
+
+        let body = match fetched.body {
+            Ok(body) => body,
+            Err(class) => {
+                quarantine_page(class, slot, entry, partial, &mut wm, &mut quarantine);
+                bump_progress(done, opts, total_pages);
+                continue;
+            }
+        };
         wm.bytes_fetched += body.len() as u64;
 
-        // §4.1: documents that are not UTF-8 decodable are filtered out.
-        let decoded = decode(&body);
-        let t = lap(t, &mut phases.decode);
-        let Some(text) = decoded else {
-            wm.pages_rejected_utf8 += 1;
+        // Guards that refuse a body before any expensive work: the byte
+        // budget, and bodies that are (corrupt) compressed streams rather
+        // than HTML.
+        if let Some(class) = body_guard(&body, opts.byte_budget) {
+            quarantine_page(class, slot, entry, partial, &mut wm, &mut quarantine);
             bump_progress(done, opts, total_pages);
             continue;
-        };
-        partial.analyzed += 1;
-        wm.pages_analyzed += 1;
-        wm.bytes_decoded += text.len() as u64;
-
-        // Phase (3): parse once, then run the battery over the context.
-        let cx = CheckContext::new(text);
-        let t = lap(t, &mut phases.parse);
-        let report = match &mut stats {
-            Some(stats) => battery.run_instrumented(&cx, stats),
-            None => battery.run_ref(&cx),
-        };
-        lap(t, &mut phases.check);
-
-        for k in report.kinds() {
-            partial.kinds.insert(k);
-            *partial.page_counts.entry(k).or_insert(0) += 1;
         }
-        partial.mitigations.merge(report.mitigations);
-        // §4.2's usage counter: any math element (either namespace's
-        // spelling ends up as a MathML-ns `math` element or an HTML
-        // orphan; count both).
-        partial.uses_math |= cx
-            .parse
-            .dom
-            .all_elements()
-            .any(|id| cx.parse.dom.element(id).is_some_and(|e| e.name == "math"));
+
+        // Decode + parse + check run inside a panic isolation boundary:
+        // whatever a poisoned page does to the parser, the worker (and the
+        // other pages' partials) survive.
+        let analysis = catch_unwind(AssertUnwindSafe(|| {
+            // §4.1: documents that are not UTF-8 decodable are filtered out.
+            let t = opts.collect_metrics.then(Instant::now);
+            let decoded = decode(&body);
+            let t = lap(t, &mut phases.decode);
+            let Some(text) = decoded else {
+                return PageAnalysis::RejectedUtf8;
+            };
+
+            // Phase (3): parse once, then run the battery over the context.
+            let cx = CheckContext::new(text);
+            let t = lap(t, &mut phases.parse);
+            let report = match &mut stats {
+                Some(stats) => battery.run_instrumented(&cx, stats),
+                None => battery.run_ref(&cx),
+            };
+            lap(t, &mut phases.check);
+
+            // §4.2's usage counter: any math element (either namespace's
+            // spelling ends up as a MathML-ns `math` element or an HTML
+            // orphan; count both).
+            let uses_math = cx
+                .parse
+                .dom
+                .all_elements()
+                .any(|id| cx.parse.dom.element(id).is_some_and(|e| e.name == "math"));
+            PageAnalysis::Analyzed {
+                decoded_len: text.len() as u64,
+                kinds: report.kinds(),
+                mitigations: report.mitigations,
+                uses_math,
+            }
+        }));
+
+        match analysis {
+            Err(_panic) => {
+                wm.faults.panics_caught += 1;
+                quarantine_page(
+                    ErrorClass::ParserPanic,
+                    slot,
+                    entry,
+                    partial,
+                    &mut wm,
+                    &mut quarantine,
+                );
+            }
+            Ok(PageAnalysis::RejectedUtf8) => {
+                wm.pages_rejected_utf8 += 1;
+            }
+            Ok(PageAnalysis::Analyzed { decoded_len, kinds, mitigations, uses_math }) => {
+                partial.analyzed += 1;
+                if fetched.retries > 0 {
+                    partial.degraded += 1;
+                    wm.faults.degraded += 1;
+                }
+                wm.pages_analyzed += 1;
+                wm.bytes_decoded += decoded_len;
+                for k in kinds {
+                    partial.kinds.insert(k);
+                    *partial.page_counts.entry(k).or_insert(0) += 1;
+                }
+                partial.mitigations.merge(mitigations);
+                partial.uses_math |= uses_math;
+            }
+        }
 
         bump_progress(done, opts, total_pages);
     }
@@ -286,7 +434,94 @@ fn scan_worker(
         wm.battery = stats;
     }
     wm.phases = phases;
-    (partials, wm)
+    WorkerOut { partials, quarantine, metrics: wm }
+}
+
+/// Fetch one record body, applying the fault plan (when configured) and
+/// the bounded-retry policy for transient errors. Pure bookkeeping comes
+/// back in [`Fetched`]; the caller applies it to partials and metrics.
+fn fetch_page(archive: &Archive, slot: &Slot, entry: &CdxEntry, opts: ScanOptions) -> Fetched {
+    let clean = || archive.fetch_page(&slot.cdx.snapshot, entry.page_index);
+    let mut out = Fetched {
+        body: Ok(Vec::new()),
+        faulted: false,
+        invalid_utf8: false,
+        retries: 0,
+        backoff_nanos: 0,
+    };
+    let Some(plan) = opts.faults else {
+        out.body = Ok(clean());
+        return out;
+    };
+
+    let key = PageKey {
+        domain_id: slot.cdx.snapshot.domain_id,
+        snapshot_index: slot.snap.index() as u64,
+        page_index: entry.page_index as u64,
+    };
+    if let Some(fault) = plan.fault_for(key) {
+        out.faulted = true;
+        out.invalid_utf8 = fault.class == FaultClass::InvalidUtf8;
+    }
+
+    let mut attempt = 1u32;
+    out.body = loop {
+        match plan.apply(key, attempt, opts.byte_budget, clean) {
+            Ok(body) => break Ok(body),
+            Err(FetchFault::Transient) => {
+                if attempt >= opts.retry.max_attempts {
+                    break Err(ErrorClass::TransientIo);
+                }
+                out.retries += 1;
+                let backoff = opts.retry.backoff_nanos(attempt);
+                out.backoff_nanos += backoff;
+                if backoff > 0 {
+                    // Deterministic accounting either way; actual sleeping
+                    // only when a base was configured (real I/O).
+                    std::thread::sleep(std::time::Duration::from_nanos(backoff));
+                }
+                attempt += 1;
+            }
+            // Deterministic corruption: retrying cannot help.
+            Err(FetchFault::MalformedCdx) => break Err(ErrorClass::MalformedCdx),
+            Err(FetchFault::Warc(_)) => break Err(ErrorClass::TruncatedRecord),
+        }
+    };
+    out
+}
+
+/// Pre-parse guards: refuse bodies the parser should never see.
+fn body_guard(body: &[u8], byte_budget: usize) -> Option<ErrorClass> {
+    if body.len() > byte_budget {
+        return Some(ErrorClass::OversizedBody);
+    }
+    // Gzip magic: the record is a (possibly corrupt) compressed member,
+    // not HTML — decompression is out of scope for the measurement.
+    if body.starts_with(&[0x1f, 0x8b]) {
+        return Some(ErrorClass::CorruptCompression);
+    }
+    None
+}
+
+/// Set one page aside: count it on the slot and in the metrics, and keep
+/// the per-page audit entry.
+fn quarantine_page(
+    class: ErrorClass,
+    slot: &Slot,
+    entry: &CdxEntry,
+    partial: &mut Partial,
+    wm: &mut ScanMetrics,
+    quarantine: &mut Vec<QuarantineEntry>,
+) {
+    partial.quarantined += 1;
+    wm.faults.bump_quarantine(class);
+    quarantine.push(QuarantineEntry {
+        domain_id: slot.cdx.snapshot.domain_id,
+        snapshot: slot.snap,
+        page_index: entry.page_index,
+        url: entry.url.clone(),
+        class,
+    });
 }
 
 /// Advance the phase clock: add the time since `t` to `acc` and restart.
@@ -338,6 +573,9 @@ fn make_record(
         mitigations: partial.mitigations,
         kinds_after_autofix,
         uses_math: partial.uses_math,
+        pages_faulted: partial.faulted,
+        pages_degraded: partial.degraded,
+        pages_quarantined: partial.quarantined,
     }
 }
 
@@ -411,9 +649,9 @@ mod tests {
             scan_snapshots(&archive, &snaps, ScanOptions::new().threads(4).collect_metrics(true));
         let m = store.metrics.as_ref().expect("metrics collected");
 
-        // Page accounting: listed = analyzed + rejected, and the totals
-        // match the records exactly.
-        assert_eq!(m.pages_analyzed + m.pages_rejected_utf8, m.pages_listed);
+        // Page accounting: listed = analyzed + rejected + quarantined, and
+        // the totals match the records exactly.
+        assert_eq!(m.pages_analyzed + m.pages_rejected_utf8 + m.faults.quarantined, m.pages_listed);
         let rec_analyzed: u64 = store.records.iter().map(|r| r.pages_analyzed as u64).sum();
         let rec_found: u64 = store.records.iter().map(|r| r.pages_found as u64).sum();
         assert_eq!(m.pages_analyzed, rec_analyzed);
@@ -440,6 +678,72 @@ mod tests {
         assert!(m.wall_nanos > 0);
         assert_eq!(m.threads, 4);
         assert!(m.phases.check > 0);
+    }
+
+    #[test]
+    fn faulted_scan_accounts_for_every_listed_page() {
+        let archive = tiny_archive();
+        let plan = FaultPlan::new(5, 0.1).unwrap();
+        let opts = ScanOptions::new().threads(3).collect_metrics(true).inject_faults(plan);
+        let store = scan_snapshots(&archive, &[Snapshot::ALL[2], Snapshot::ALL[6]], opts);
+        let m = store.metrics.as_ref().unwrap();
+
+        // Nothing slips: every listed page is analyzed, filtered, or
+        // quarantined with a reason.
+        assert_eq!(m.pages_analyzed + m.pages_rejected_utf8 + m.faults.quarantined, m.pages_listed);
+        assert!(m.faults.injected > 0, "a 10% rate must fault something");
+        assert_eq!(
+            m.faults.quarantined,
+            m.faults.malformed_cdx
+                + m.faults.transient_io
+                + m.faults.truncated_record
+                + m.faults.corrupt_compression
+                + m.faults.oversized_body
+                + m.faults.parser_panic
+        );
+        // Counters and audit entries reconcile with the records.
+        let rec_faulted: u64 = store.records.iter().map(|r| r.pages_faulted as u64).sum();
+        let rec_degraded: u64 = store.records.iter().map(|r| r.pages_degraded as u64).sum();
+        let rec_quarantined: u64 = store.records.iter().map(|r| r.pages_quarantined as u64).sum();
+        assert_eq!(rec_faulted, m.faults.injected);
+        assert_eq!(rec_degraded, m.faults.degraded);
+        assert_eq!(rec_quarantined, m.faults.quarantined);
+        assert_eq!(store.quarantine.len() as u64, m.faults.quarantined);
+        // The default retry policy (3 attempts vs 1–4 planned failures)
+        // exercises both the recovery and the exhaustion path.
+        assert!(m.faults.degraded > 0, "some transient faults must recover");
+        assert!(m.faults.transient_io > 0, "some transient faults must exhaust");
+        assert_eq!(m.faults.parser_panic, 0, "no input may panic the parser");
+    }
+
+    #[test]
+    fn faulted_scan_is_thread_count_invariant() {
+        let archive = tiny_archive();
+        let plan = FaultPlan::new(11, 0.3).unwrap();
+        let snaps = [Snapshot::ALL[4]];
+        let opts = ScanOptions::new().inject_faults(plan);
+        let a = scan_snapshots(&archive, &snaps, opts.threads(1));
+        let b = scan_snapshots(&archive, &snaps, opts.threads(7));
+        assert!(!a.quarantine.is_empty(), "30% faults must quarantine pages");
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    }
+
+    #[test]
+    fn byte_budget_quarantines_instead_of_parsing() {
+        let archive = tiny_archive();
+        let snaps = [Snapshot::ALL[7]];
+        // A 10-byte budget refuses every page — a blunt way to prove the
+        // guard sits in front of the parser.
+        let store = scan_snapshots(&archive, &snaps, ScanOptions::new().threads(2).byte_budget(10));
+        assert!(store.records.iter().all(|r| r.pages_analyzed == 0));
+        assert!(store
+            .quarantine
+            .iter()
+            .all(|q| q.class == crate::outcome::ErrorClass::OversizedBody));
+        assert_eq!(
+            store.quarantine.len(),
+            store.records.iter().map(|r| r.pages_found).sum::<usize>()
+        );
     }
 
     #[test]

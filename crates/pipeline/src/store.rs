@@ -6,6 +6,7 @@
 //! external service.
 
 use crate::metrics::ScanMetrics;
+use crate::outcome::QuarantineEntry;
 use hv_core::{MitigationFlags, ViolationKind};
 use hv_corpus::Snapshot;
 use serde::{Deserialize, Serialize};
@@ -39,6 +40,23 @@ pub struct DomainYearRecord {
     /// §4.2 usage statistic: at least one page contains a `math` element.
     #[serde(default)]
     pub uses_math: bool,
+    /// Pages whose read path had a fault injected (`--inject-faults`).
+    /// Zero on clean scans and then omitted from the JSON — clean stores
+    /// stay byte-identical to ones written before the failure model.
+    #[serde(default, skip_serializing_if = "usize_is_zero")]
+    pub pages_faulted: usize,
+    /// Pages analyzed only after transient-error retries.
+    #[serde(default, skip_serializing_if = "usize_is_zero")]
+    pub pages_degraded: usize,
+    /// Pages set aside with a structured reason (see
+    /// [`ResultStore::quarantine`] for the per-page entries).
+    #[serde(default, skip_serializing_if = "usize_is_zero")]
+    pub pages_quarantined: usize,
+}
+
+/// `skip_serializing_if` predicate for the fault counters.
+fn usize_is_zero(n: &usize) -> bool {
+    *n == 0
 }
 
 impl DomainYearRecord {
@@ -66,17 +84,31 @@ pub struct ResultStore {
     /// stores written without `--metrics` or by older versions.
     #[serde(default)]
     pub metrics: Option<ScanMetrics>,
+    /// Pages the scan set aside with a structured reason, in canonical
+    /// (snapshot, domain, page) order. Empty on clean scans and then
+    /// omitted from the JSON (wire compatibility with older stores).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub quarantine: Vec<QuarantineEntry>,
 }
 
 impl ResultStore {
     pub fn new(seed: u64, scale: f64, universe: usize) -> Self {
-        ResultStore { seed, scale, universe, records: Vec::new(), metrics: None }
+        ResultStore {
+            seed,
+            scale,
+            universe,
+            records: Vec::new(),
+            metrics: None,
+            quarantine: Vec::new(),
+        }
     }
 
     /// Insert records and keep the canonical ordering (snapshot, then
-    /// domain id) so scans are byte-identical at any thread count.
+    /// domain id; quarantine additionally by page) so scans are
+    /// byte-identical at any thread count.
     pub fn finalize(&mut self) {
         self.records.sort_by_key(|r| (r.snapshot, r.domain_id));
+        self.quarantine.sort_by_key(|q| (q.snapshot, q.domain_id, q.page_index));
     }
 
     /// Records for one snapshot.
@@ -126,6 +158,9 @@ mod tests {
             mitigations: MitigationFlags::default(),
             kinds_after_autofix: BTreeSet::new(),
             uses_math: false,
+            pages_faulted: 0,
+            pages_degraded: 0,
+            pages_quarantined: 0,
         }
     }
 
@@ -184,6 +219,59 @@ mod tests {
         let rec = &out["records"][0];
         assert_eq!(rec["script_in_attribute"], serde_json::Value::Bool(true));
         assert!(matches!(rec["mitigations"], serde_json::Value::Null));
+    }
+
+    /// Clean stores must serialize without any trace of the failure model
+    /// — the new fields only appear when a fault actually occurred — and
+    /// faulted stores must round-trip them.
+    #[test]
+    fn fault_fields_are_invisible_on_clean_stores() {
+        let mut clean = ResultStore::new(1, 1.0, 10);
+        clean.records.push(record(1, 0, &[]));
+        let json = serde_json::to_string(&clean).unwrap();
+        for key in ["pages_faulted", "pages_degraded", "pages_quarantined", "quarantine"] {
+            assert!(!json.contains(key), "{key} leaked into a clean store: {json}");
+        }
+
+        let mut faulted = ResultStore::new(1, 1.0, 10);
+        let mut r = record(1, 0, &[]);
+        r.pages_faulted = 3;
+        r.pages_degraded = 1;
+        r.pages_quarantined = 2;
+        faulted.records.push(r);
+        faulted.quarantine.push(crate::outcome::QuarantineEntry {
+            domain_id: 1,
+            snapshot: Snapshot::ALL[0],
+            page_index: 4,
+            url: "https://d1.com/page/4.html".into(),
+            class: crate::outcome::ErrorClass::TruncatedRecord,
+        });
+        let json = serde_json::to_string(&faulted).unwrap();
+        let back: ResultStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.records[0].pages_faulted, 3);
+        assert_eq!(back.records[0].pages_degraded, 1);
+        assert_eq!(back.records[0].pages_quarantined, 2);
+        assert_eq!(back.quarantine, faulted.quarantine);
+    }
+
+    #[test]
+    fn finalize_orders_quarantine_canonically() {
+        let q = |d: u64, s: usize, p: usize| crate::outcome::QuarantineEntry {
+            domain_id: d,
+            snapshot: Snapshot::ALL[s],
+            page_index: p,
+            url: String::new(),
+            class: crate::outcome::ErrorClass::TransientIo,
+        };
+        let mut store = ResultStore::new(1, 1.0, 10);
+        store.quarantine = vec![q(5, 1, 0), q(1, 1, 9), q(1, 1, 2), q(9, 0, 3)];
+        store.finalize();
+        let order: Vec<_> = store
+            .quarantine
+            .iter()
+            .map(|e| (e.snapshot.index(), e.domain_id, e.page_index))
+            .collect();
+        assert_eq!(order, vec![(0, 9, 3), (1, 1, 2), (1, 1, 9), (1, 5, 0)]);
     }
 
     #[test]

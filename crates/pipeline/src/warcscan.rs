@@ -7,13 +7,16 @@
 //! [`ResultStore`] the virtual pipeline fills — so every table/figure
 //! renderer works on real data unchanged.
 
+use crate::outcome::{ErrorClass, QuarantineEntry};
+use crate::run::DEFAULT_BYTE_BUDGET;
 use crate::store::{DomainYearRecord, ResultStore};
 use hv_core::context::CheckContext;
 use hv_core::Battery;
-use hv_corpus::warc::{load_cdxj, read_record, CdxjLine};
+use hv_corpus::warc::{load_cdxj_lenient, read_record, CdxjLine};
 use hv_corpus::Snapshot;
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
 /// A (WARC, CDXJ) file pair associated with a snapshot.
@@ -53,13 +56,32 @@ fn snapshot_from_crawl_id(stem: &str) -> Option<Snapshot> {
 
 /// Scan WARC inputs into a [`ResultStore`]. Pages are grouped into domains
 /// by URL host; domain ids are stable hashes of the host.
+///
+/// Real crawl dumps are never entirely clean, so one poisoned record must
+/// not abort the scan: malformed CDXJ lines, unreadable WARC records,
+/// oversized or compressed bodies, and parser panics are all quarantined
+/// per page with a structured [`ErrorClass`]; only I/O failures on the
+/// files themselves (open errors) abort. Non-UTF-8 bodies are *rejected*,
+/// not quarantined — that is the study's §4.1 filter at work.
 pub fn scan_warc(inputs: &[WarcInput]) -> io::Result<ResultStore> {
     let mut store = ResultStore::new(0, 0.0, 0);
     let mut domains_seen: BTreeSet<String> = BTreeSet::new();
     // One battery for the whole scan: the WARC path is single-threaded.
     let mut battery = Battery::full();
     for input in inputs {
-        let index = load_cdxj(&input.cdx)?;
+        let (index, malformed) = load_cdxj_lenient(&input.cdx)?;
+        // Index lines the CDXJ parser refused: quarantined under a
+        // synthetic per-file pseudo-domain (there is no trustworthy URL to
+        // group by), keyed by line number for the audit trail.
+        for (line_no, _raw) in &malformed {
+            store.quarantine.push(QuarantineEntry {
+                domain_id: 0,
+                snapshot: input.snapshot,
+                page_index: *line_no,
+                url: format!("cdxj:{}#L{line_no}", input.cdx.display()),
+                class: ErrorClass::MalformedCdx,
+            });
+        }
         let mut file = std::fs::File::open(&input.warc)?;
         // Group the index lines by host.
         let mut by_host: BTreeMap<String, Vec<&CdxjLine>> = BTreeMap::new();
@@ -68,8 +90,9 @@ pub fn scan_warc(inputs: &[WarcInput]) -> io::Result<ResultStore> {
         }
         for (host, lines) in by_host {
             domains_seen.insert(host.clone());
+            let domain_id = hv_corpus::rng::str_key(&host);
             let mut rec = DomainYearRecord {
-                domain_id: hv_corpus::rng::str_key(&host),
+                domain_id,
                 domain_name: host,
                 rank: 0,
                 snapshot: input.snapshot,
@@ -80,26 +103,66 @@ pub fn scan_warc(inputs: &[WarcInput]) -> io::Result<ResultStore> {
                 mitigations: hv_core::MitigationFlags::default(),
                 kinds_after_autofix: BTreeSet::new(),
                 uses_math: false,
+                pages_faulted: 0,
+                pages_degraded: 0,
+                pages_quarantined: 0,
             };
-            for line in lines {
-                let record = read_record(&mut file, line.offset, line.length)?;
-                let text = match spec_html::decoder::decode_utf8(&record.body) {
-                    spec_html::decoder::Decoded::Utf8(t) => t,
-                    spec_html::decoder::Decoded::NotUtf8 { .. } => continue,
+            for (page_index, line) in lines.into_iter().enumerate() {
+                let mut quarantine = |rec: &mut DomainYearRecord, class: ErrorClass| {
+                    rec.pages_quarantined += 1;
+                    store.quarantine.push(QuarantineEntry {
+                        domain_id,
+                        snapshot: input.snapshot,
+                        page_index,
+                        url: line.url.clone(),
+                        class,
+                    });
                 };
-                rec.pages_analyzed += 1;
-                let cx = CheckContext::new(text);
-                let report = battery.run_ref(&cx);
-                for k in report.kinds() {
-                    rec.kinds.insert(k);
-                    *rec.page_counts.entry(k).or_insert(0) += 1;
+                let record = match read_record(&mut file, line.offset, line.length) {
+                    Ok(record) => record,
+                    Err(_warc_err) => {
+                        quarantine(&mut rec, ErrorClass::TruncatedRecord);
+                        continue;
+                    }
+                };
+                if record.body.len() > DEFAULT_BYTE_BUDGET {
+                    quarantine(&mut rec, ErrorClass::OversizedBody);
+                    continue;
                 }
-                rec.mitigations.merge(report.mitigations);
-                rec.uses_math |= cx
-                    .parse
-                    .dom
-                    .all_elements()
-                    .any(|id| cx.parse.dom.element(id).is_some_and(|e| e.name == "math"));
+                if record.body.starts_with(&[0x1f, 0x8b]) {
+                    quarantine(&mut rec, ErrorClass::CorruptCompression);
+                    continue;
+                }
+                // Parse + check inside the panic boundary; `rec` is only
+                // updated after a clean return, so a caught panic cannot
+                // leave half-applied counts.
+                let analysis = catch_unwind(AssertUnwindSafe(|| {
+                    let text = match spec_html::decoder::decode_utf8(&record.body) {
+                        spec_html::decoder::Decoded::Utf8(t) => t,
+                        spec_html::decoder::Decoded::NotUtf8 { .. } => return None,
+                    };
+                    let cx = CheckContext::new(text);
+                    let report = battery.run_ref(&cx);
+                    let uses_math = cx
+                        .parse
+                        .dom
+                        .all_elements()
+                        .any(|id| cx.parse.dom.element(id).is_some_and(|e| e.name == "math"));
+                    Some((report.kinds(), report.mitigations, uses_math))
+                }));
+                match analysis {
+                    Err(_panic) => quarantine(&mut rec, ErrorClass::ParserPanic),
+                    Ok(None) => {} // §4.1 UTF-8 rejection — not a failure
+                    Ok(Some((kinds, mitigations, uses_math))) => {
+                        rec.pages_analyzed += 1;
+                        for k in kinds {
+                            rec.kinds.insert(k);
+                            *rec.page_counts.entry(k).or_insert(0) += 1;
+                        }
+                        rec.mitigations.merge(mitigations);
+                        rec.uses_math |= uses_math;
+                    }
+                }
             }
             rec.kinds_after_autofix = rec
                 .kinds

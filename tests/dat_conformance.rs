@@ -131,7 +131,7 @@ fn dat_fixtures_conform() {
             }
         }
     }
-    assert!(total >= 30, "expected a substantive fixture suite, found {total}");
+    assert!(total >= 60, "expected a substantive fixture suite, found {total}");
     assert!(
         failures.is_empty(),
         "{} of {total} .dat cases failed:\n\n{}",

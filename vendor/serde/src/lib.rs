@@ -7,9 +7,10 @@
 //! and — behind the `derive` feature — the `#[derive(Serialize,
 //! Deserialize)]` proc macros from the sibling `serde_derive` crate.
 //!
-//! Supported derive attributes: `#[serde(default)]` and
-//! `#[serde(flatten)]`. That is exactly what the repo needs; anything more
-//! is a compile error in `serde_derive` rather than a silent misparse.
+//! Supported derive attributes: `#[serde(default)]`, `#[serde(flatten)]`
+//! and `#[serde(skip_serializing_if = "path")]`. That is exactly what the
+//! repo needs; anything more is a compile error in `serde_derive` rather
+//! than a silent misparse.
 
 // Vendored stand-in: keep the first-party clippy gate quiet here.
 #![allow(clippy::all)]

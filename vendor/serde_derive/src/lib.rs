@@ -5,7 +5,8 @@
 //! `Deserialize` impls in terms of `serde::Value`.
 //!
 //! Supported shapes (everything this workspace derives):
-//! * structs with named fields — attrs `#[serde(default)]`, `#[serde(flatten)]`
+//! * structs with named fields — attrs `#[serde(default)]`, `#[serde(flatten)]`,
+//!   `#[serde(skip_serializing_if = "path::to::predicate")]`
 //! * tuple structs (newtype and wider)
 //! * enums with unit, named-field, and tuple variants (externally tagged)
 //!
@@ -21,6 +22,10 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct FieldAttrs {
     default: bool,
     flatten: bool,
+    /// Path of a `fn(&T) -> bool` predicate; the field is omitted from the
+    /// serialized object when it returns true. Pair with `default` so the
+    /// omitted field still deserializes.
+    skip_if: Option<String>,
 }
 
 #[derive(Debug)]
@@ -150,11 +155,29 @@ fn parse_attr_group(stream: TokenStream, attrs: &mut FieldAttrs) {
     let Some(TokenTree::Group(inner)) = it.next() else {
         return;
     };
-    for tok in inner.stream() {
+    let mut toks = inner.stream().into_iter().peekable();
+    while let Some(tok) = toks.next() {
         match tok {
             TokenTree::Ident(id) => match id.to_string().as_str() {
                 "default" => attrs.default = true,
                 "flatten" => attrs.flatten = true,
+                "skip_serializing_if" => match (toks.next(), toks.next()) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let raw = lit.to_string();
+                        let path = raw.trim_matches('"');
+                        if path.is_empty() || path.len() == raw.len() {
+                            panic!(
+                                    "serde_derive: skip_serializing_if expects a string literal path, got {raw}"
+                                );
+                        }
+                        attrs.skip_if = Some(path.to_string());
+                    }
+                    other => panic!(
+                        "serde_derive: expected `skip_serializing_if = \"path\"`, got {other:?}"
+                    ),
+                },
                 other => panic!("serde_derive: unsupported serde attribute `{other}`"),
             },
             TokenTree::Punct(p) if p.as_char() == ',' => {}
@@ -285,6 +308,12 @@ fn gen_serialize(item: &Item) -> String {
                 if f.attrs.flatten {
                     body.push_str(&format!(
                         "if let ::serde::Value::Object(__o) = ::serde::Serialize::to_value(&self.{n}) {{ for (__k, __fv) in __o {{ __m.insert(__k, __fv); }} }}\n",
+                        n = f.name
+                    ));
+                } else if let Some(pred) = &f.attrs.skip_if {
+                    body.push_str(&format!(
+                        "if !{pred}(&self.{n}) {{ __m.insert({q}.to_string(), ::serde::Serialize::to_value(&self.{n})); }}\n",
+                        q = quote_str(&f.name),
                         n = f.name
                     ));
                 } else {
