@@ -29,14 +29,17 @@ fn bench_full_battery(c: &mut Criterion) {
 }
 
 fn bench_individual_rules(c: &mut Criterion) {
+    // Per-rule cost of the pre-fusion scans (the fused engine has no
+    // isolated per-rule path; `legacy::ALL` keeps the per-rule series
+    // comparable across builds).
     let page = hv_bench::violating_page();
     let cx = CheckContext::new(&page);
     let mut g = c.benchmark_group("per_rule");
-    for check in checkers::all_checks() {
-        g.bench_function(check.kind().id(), |b| {
+    for (kind, check) in checkers::legacy::ALL {
+        g.bench_function(kind.id(), |b| {
             b.iter(|| {
                 let mut out = Vec::new();
-                check.check(black_box(&cx), &mut out);
+                check(black_box(&cx), &mut out);
                 black_box(out.len())
             })
         });

@@ -52,6 +52,67 @@ pub fn violating_page() -> String {
     hv_corpus::htmlgen::generate_page(0xBE7C, &ds, 0)
 }
 
+/// A large multi-finding page: `n` repeated fragments, each expressing
+/// several violation kinds (FB2, FB1, DM3, HF4, …). Deterministic, so the
+/// fused-vs-legacy numbers in `BENCH_battery.json` describe the same bytes
+/// run to run. With `n = 400` the page is ~60 KiB with ~2000 findings —
+/// large enough that dispatch strategy, not fixture noise, dominates.
+pub fn dense_violating_page(n: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("<!DOCTYPE html><html><head><title>t</title></head><body>");
+    for i in 0..n {
+        let _ = write!(
+            out,
+            "<div id=d{i}><img src=\"a{i}.png\"onerror=\"x()\"><p/ class=c>\
+             <a href=\"u{i}\"title=t>link</a><img src=q alt=a alt=b>\
+             <table><tr><b>ad</b></tr><tr><td>c{i}</td></tr></table></div>"
+        );
+    }
+    out.push_str("</body></html>");
+    out
+}
+
+/// A large page with zero findings: `n` well-formed rows. The fused
+/// engine's no-regression guard — on clean pages the per-item dispatch
+/// must not cost more than twenty independent full scans did.
+pub fn dense_clean_page(n: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::from(
+        "<!DOCTYPE html><html lang=en><head><meta charset=utf-8>\
+         <title>t</title></head><body>",
+    );
+    for i in 0..n {
+        let _ = write!(
+            out,
+            "<div id=d{i} class=\"row\"><p>paragraph {i}</p><a href=\"/p/{i}\">go</a></div>"
+        );
+    }
+    out.push_str("</body></html>");
+    out
+}
+
+/// A large otherwise-clean page with exactly one violation (FB2, a missing
+/// space before an event-handler attribute) buried in the middle: the
+/// sparse-findings no-regression guard.
+pub fn single_finding_page(n: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::from(
+        "<!DOCTYPE html><html lang=en><head><meta charset=utf-8>\
+         <title>t</title></head><body>",
+    );
+    for i in 0..n {
+        if i == n / 2 {
+            out.push_str(r#"<img src="x.png"onerror="go()">"#);
+        }
+        let _ = write!(
+            out,
+            "<div id=d{i} class=\"row\"><p>paragraph {i}</p><a href=\"/p/{i}\">go</a></div>"
+        );
+    }
+    out.push_str("</body></html>");
+    out
+}
+
 /// Total bytes in a page sample (for throughput reporting).
 pub fn total_bytes(pages: &[String]) -> u64 {
     pages.iter().map(|p| p.len() as u64).sum()
@@ -149,5 +210,22 @@ mod tests {
         assert!(total_bytes(&pages) > 32 * 1000);
         let v = violating_page();
         assert!(hv_core::check_page(&v).has(hv_core::ViolationKind::FB2));
+    }
+
+    #[test]
+    fn dense_fixtures_have_expected_finding_profiles() {
+        let dense = dense_violating_page(40);
+        let report = hv_core::check_page(&dense);
+        assert!(report.findings.len() >= 40, "dense page should find plenty");
+        assert!(report.has(hv_core::ViolationKind::FB2));
+        assert!(report.has(hv_core::ViolationKind::DM3));
+
+        let clean = dense_clean_page(40);
+        assert!(hv_core::check_page(&clean).findings.is_empty());
+
+        let single = single_finding_page(40);
+        let report = hv_core::check_page(&single);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.has(hv_core::ViolationKind::FB2));
     }
 }

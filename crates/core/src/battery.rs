@@ -1,4 +1,4 @@
-//! A reusable checker battery.
+//! A reusable checker battery with a fused dispatch engine.
 //!
 //! [`Battery`] packages the rule set ([`checkers::all_checks`]) together
 //! with a reusable output buffer, so a scan constructs the battery **once
@@ -6,10 +6,24 @@
 //! no re-boxing of the twenty checkers and, via [`Battery::run_ref`], no
 //! per-page findings allocation either.
 //!
+//! Running a page is **one fused pass**, not twenty scans: the battery
+//! precomputes from each rule's [`checkers::Interest`] mask which rules
+//! want parse errors, tree events, start tags, DOM nodes, or a finish
+//! call, then walks each source exactly once — errors → events → start
+//! tags → pre-order DOM → finish — dispatching every item only to the
+//! rules that asked for it. Whole passes are skipped when no rule in the
+//! battery wants them (the tag pass always runs: it also feeds the §4.5
+//! mitigation flags). Findings are sorted by `(kind, offset)` at the end;
+//! since every kind belongs to exactly one rule and each rule sees its
+//! items in the same source order the pre-fusion per-rule scans used, the
+//! output is byte-identical to [`checkers::legacy`].
+//!
 //! The battery also carries the observability hooks of the page-granular
 //! scan engine: [`Battery::run_instrumented`] times each rule and feeds
-//! per-check [`CheckStats`] (fire counts and log₂-bucketed wall-time
-//! histograms) that merge losslessly across workers.
+//! per-check [`CheckStats`] (fire counts, dispatch counts, and
+//! log₂-bucketed wall-time histograms) that merge losslessly across
+//! workers. Timing accumulates per handler dispatch but is recorded once
+//! per page per rule, so histogram counts still equal pages analyzed.
 //!
 //! ```
 //! use hv_core::{Battery, ViolationKind};
@@ -23,7 +37,7 @@
 //! assert_eq!(fb_only.kinds().len(), 2);
 //! ```
 
-use crate::checkers::{self, Check};
+use crate::checkers::{self, Check, Interest, MitigationAccumulator};
 use crate::context::CheckContext;
 use crate::report::PageReport;
 use crate::taxonomy::ViolationKind;
@@ -64,9 +78,28 @@ impl std::error::Error for InputError {}
 pub struct Battery {
     checks: Vec<Box<dyn Check>>,
     kinds: Vec<ViolationKind>,
+    /// Dispatch tables: indices into `checks` per source, precomputed from
+    /// each rule's [`Interest`] mask at construction.
+    errors_idx: Vec<usize>,
+    events_idx: Vec<usize>,
+    tags_idx: Vec<usize>,
+    dom_idx: Vec<usize>,
+    finish_idx: Vec<usize>,
+    /// Per-rule instrumentation scratch for one page (zeroed after use).
+    scratch: Vec<Scratch>,
     /// Reused output buffer for [`Battery::run_ref`]; findings capacity is
     /// retained across pages.
     report: PageReport,
+}
+
+/// Per-page, per-rule instrumentation accumulator: handler time and
+/// findings are summed across a rule's dispatches, then folded into
+/// [`CheckStats`] once per page.
+#[derive(Clone, Copy, Default)]
+struct Scratch {
+    nanos: u64,
+    fired: u64,
+    dispatches: u64,
 }
 
 impl Battery {
@@ -85,7 +118,26 @@ impl Battery {
 
     fn from_checks(checks: Vec<Box<dyn Check>>) -> Self {
         let kinds = checks.iter().map(|c| c.kind()).collect();
-        Battery { checks, kinds, report: PageReport::default() }
+        let table = |want: Interest| -> Vec<usize> {
+            checks
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.interest().contains(want))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let scratch = vec![Scratch::default(); checks.len()];
+        Battery {
+            errors_idx: table(Interest::ERRORS),
+            events_idx: table(Interest::EVENTS),
+            tags_idx: table(Interest::START_TAGS),
+            dom_idx: table(Interest::DOM),
+            finish_idx: table(Interest::FINISH),
+            scratch,
+            checks,
+            kinds,
+            report: PageReport::default(),
+        }
     }
 
     /// The kinds this battery runs, in execution (taxonomy) order.
@@ -102,16 +154,92 @@ impl Battery {
         self.checks.is_empty()
     }
 
+    /// The fused pass: one walk per dispatch source, every item handed
+    /// only to the rules whose [`Interest`] asked for it. `instrument`
+    /// accumulates per-dispatch time and fire counts into the scratch
+    /// table; the caller folds scratch into [`CheckStats`] afterwards.
+    fn run_fused(&mut self, cx: &CheckContext<'_>, instrument: bool) {
+        let Battery {
+            checks,
+            errors_idx,
+            events_idx,
+            tags_idx,
+            dom_idx,
+            finish_idx,
+            scratch,
+            report,
+            ..
+        } = self;
+        for c in checks.iter_mut() {
+            c.reset();
+        }
+        let out = &mut report.findings;
+        out.clear();
+
+        /// One handler call, optionally timed into the rule's scratch slot.
+        macro_rules! dispatch {
+            ($i:expr, $call:expr) => {{
+                if instrument {
+                    let before = out.len();
+                    let t0 = Instant::now();
+                    $call;
+                    let s = &mut scratch[$i];
+                    s.nanos += t0.elapsed().as_nanos() as u64;
+                    s.fired += (out.len() - before) as u64;
+                    s.dispatches += 1;
+                } else {
+                    $call;
+                }
+            }};
+        }
+
+        if !errors_idx.is_empty() {
+            for err in &cx.parse.errors {
+                for &i in errors_idx.iter() {
+                    dispatch!(i, checks[i].on_parse_error(cx, err, out));
+                }
+            }
+        }
+
+        if !events_idx.is_empty() {
+            for ev in &cx.parse.events {
+                for &i in events_idx.iter() {
+                    dispatch!(i, checks[i].on_tree_event(cx, ev, out));
+                }
+            }
+        }
+
+        // The tag pass always runs: the §4.5 mitigation flags fold over
+        // the same stream even when no rule wants tags.
+        let mut mitigations = MitigationAccumulator::default();
+        for tag in cx.start_tags() {
+            mitigations.observe(tag);
+            for &i in tags_idx.iter() {
+                dispatch!(i, checks[i].on_start_tag(cx, tag, out));
+            }
+        }
+
+        if !dom_idx.is_empty() {
+            for id in cx.parse.dom.all_elements() {
+                for &i in dom_idx.iter() {
+                    dispatch!(i, checks[i].on_node(cx, id, out));
+                }
+            }
+        }
+
+        for &i in finish_idx.iter() {
+            dispatch!(i, checks[i].finish(cx, out));
+        }
+
+        out.sort_by_key(|f| (f.kind, f.offset));
+        report.mitigations = mitigations.finish();
+    }
+
     /// Run the battery, reusing the internal report buffer. The returned
     /// reference is valid until the next `run_*` call; use this in hot
     /// loops that only *read* the per-page result.
     pub fn run_ref(&mut self, cx: &CheckContext<'_>) -> &PageReport {
-        self.report.findings.clear();
-        for c in &self.checks {
-            c.check(cx, &mut self.report.findings);
-        }
-        self.report.findings.sort_by_key(|f| (f.kind, f.offset));
-        self.report.mitigations = checkers::mitigation_flags(cx);
+        self.run_fused(cx, false);
         &self.report
     }
 
@@ -166,24 +294,23 @@ impl Battery {
 
     /// Like [`Battery::run_ref`], additionally timing every rule into
     /// `stats` (which must come from [`Battery::new_stats`] on a battery
-    /// with the same rule set).
+    /// with the same rule set). A rule's time and findings accumulate
+    /// across its handler dispatches within the page and are recorded
+    /// **once** per page, so `nanos.count` equals pages analyzed;
+    /// [`CheckStats::dispatches`] additionally counts the individual
+    /// handler calls.
     pub fn run_instrumented(
         &mut self,
         cx: &CheckContext<'_>,
         stats: &mut BatteryStats,
     ) -> &PageReport {
         assert_eq!(stats.per_check.len(), self.checks.len(), "stats shape mismatch");
-        self.report.findings.clear();
-        for (c, slot) in self.checks.iter().zip(stats.per_check.iter_mut()) {
-            let before = self.report.findings.len();
-            let t0 = Instant::now();
-            c.check(cx, &mut self.report.findings);
-            let nanos = t0.elapsed().as_nanos() as u64;
-            let fired = (self.report.findings.len() - before) as u64;
-            slot.1.record_page(fired, nanos);
+        self.run_fused(cx, true);
+        for (slot, s) in stats.per_check.iter_mut().zip(self.scratch.iter_mut()) {
+            slot.1.record_page(s.fired, s.nanos);
+            slot.1.dispatches += s.dispatches;
+            *s = Scratch::default();
         }
-        self.report.findings.sort_by_key(|f| (f.kind, f.offset));
-        self.report.mitigations = checkers::mitigation_flags(cx);
         &self.report
     }
 }
@@ -196,8 +323,19 @@ pub struct CheckStats {
     pub pages_fired: u64,
     /// Total findings across all pages.
     pub findings_total: u64,
-    /// Wall-time distribution of individual rule executions.
+    /// Handler dispatches the fused engine made to this rule (one per
+    /// error/event/tag/node/finish item routed to it). Zero is omitted
+    /// from the JSON, keeping stores from older builds byte-identical.
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub dispatches: u64,
+    /// Wall-time distribution of per-page rule executions (a page's
+    /// dispatches to one rule are summed into one sample).
     pub nanos: DurationHistogram,
+}
+
+/// `skip_serializing_if` predicate for [`CheckStats::dispatches`].
+fn u64_is_zero(n: &u64) -> bool {
+    *n == 0
 }
 
 impl CheckStats {
@@ -213,6 +351,7 @@ impl CheckStats {
     pub fn merge(&mut self, other: &CheckStats) {
         self.pages_fired += other.pages_fired;
         self.findings_total += other.findings_total;
+        self.dispatches += other.dispatches;
         self.nanos.merge(&other.nanos);
     }
 }
@@ -410,6 +549,54 @@ mod tests {
         // The instrumented findings agree with the plain run.
         let plain = battery.run(&cx);
         assert_eq!(stats.findings_total(), 2 * plain.findings.len() as u64);
+    }
+
+    #[test]
+    fn fused_engine_matches_legacy_scans() {
+        let cx = CheckContext::new(DIRTY);
+        let fused = Battery::full().run(&cx);
+        let legacy = checkers::legacy::run(&cx);
+        assert_eq!(fused.findings, legacy.findings);
+        assert_eq!(fused.mitigations, legacy.mitigations);
+    }
+
+    #[test]
+    fn dispatch_counts_reflect_interest_masks() {
+        let mut battery = Battery::full();
+        let mut stats = battery.new_stats();
+        let cx = CheckContext::new(DIRTY);
+        battery.run_instrumented(&cx, &mut stats);
+        battery.run_instrumented(&cx, &mut stats);
+        // DE1 is finish-only: exactly one dispatch per page.
+        assert_eq!(stats.get(ViolationKind::DE1).unwrap().dispatches, 2);
+        // FB2 sees every parse error on both pages.
+        let errors = cx.parse.errors.len() as u64;
+        assert!(errors > 0);
+        assert_eq!(stats.get(ViolationKind::FB2).unwrap().dispatches, 2 * errors);
+        // DM1 walks every DOM element.
+        let elements = cx.parse.dom.all_elements().count() as u64;
+        assert_eq!(stats.get(ViolationKind::DM1).unwrap().dispatches, 2 * elements);
+    }
+
+    #[test]
+    fn dispatch_scratch_resets_between_pages() {
+        let mut battery = Battery::full();
+        let mut stats = battery.new_stats();
+        let cx = CheckContext::new(DIRTY);
+        battery.run_instrumented(&cx, &mut stats);
+        let after_one = stats.clone();
+        battery.run_instrumented(&cx, &mut stats);
+        for ((_, one), (_, two)) in after_one.per_check.iter().zip(&stats.per_check) {
+            assert_eq!(2 * one.dispatches, two.dispatches);
+            assert_eq!(2 * one.findings_total, two.findings_total);
+        }
+        // An uninstrumented run in between must not pollute the next
+        // instrumented one.
+        battery.run_ref(&cx);
+        battery.run_instrumented(&cx, &mut stats);
+        for ((_, one), (_, three)) in after_one.per_check.iter().zip(&stats.per_check) {
+            assert_eq!(3 * one.dispatches, three.dispatches);
+        }
     }
 
     #[test]

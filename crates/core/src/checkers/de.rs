@@ -1,11 +1,12 @@
 //! Data Exfiltration checks (DE1–DE4, §3.2).
 
-use super::Check;
+use super::{Check, Interest};
 use crate::context::CheckContext;
 use crate::report::Finding;
 use crate::taxonomy::ViolationKind;
 use spec_html::tags;
-use spec_html::TreeEventKind;
+use spec_html::tokenizer::Tag;
+use spec_html::{TreeEvent, TreeEventKind};
 
 /// DE1 — Non-terminated `textarea`.
 ///
@@ -23,7 +24,11 @@ impl Check for De1 {
         ViolationKind::DE1
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+    fn interest(&self) -> Interest {
+        Interest::FINISH
+    }
+
+    fn finish(&mut self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
         if cx.parse.open_at_eof.iter().any(|n| n == "textarea") {
             out.push(Finding::new(
                 ViolationKind::DE1,
@@ -48,7 +53,11 @@ impl Check for De2 {
         ViolationKind::DE2
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+    fn interest(&self) -> Interest {
+        Interest::FINISH
+    }
+
+    fn finish(&mut self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
         if cx.parse.open_at_eof.iter().any(|n| n == "select" || n == "option") {
             out.push(Finding::new(
                 ViolationKind::DE2,
@@ -70,19 +79,21 @@ impl Check for De3_1 {
         ViolationKind::DE3_1
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
-        for tag in cx.start_tags() {
-            for attr in &tag.attrs {
-                if tags::is_url_attribute(&attr.name)
-                    && attr.raw_value.contains('\n')
-                    && attr.raw_value.contains('<')
-                {
-                    out.push(Finding::new(
-                        ViolationKind::DE3_1,
-                        tag.offset,
-                        format!("<{} {}=…newline+'<'…>", tag.name, attr.name),
-                    ));
-                }
+    fn interest(&self) -> Interest {
+        Interest::START_TAGS
+    }
+
+    fn on_start_tag(&mut self, _cx: &CheckContext<'_>, tag: &Tag, out: &mut Vec<Finding>) {
+        for attr in &tag.attrs {
+            if tags::is_url_attribute(&attr.name)
+                && attr.raw_value.contains('\n')
+                && attr.raw_value.contains('<')
+            {
+                out.push(Finding::new(
+                    ViolationKind::DE3_1,
+                    tag.offset,
+                    format!("<{} {}=…newline+'<'…>", tag.name, attr.name),
+                ));
             }
         }
     }
@@ -98,16 +109,18 @@ impl Check for De3_2 {
         ViolationKind::DE3_2
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
-        for tag in cx.start_tags() {
-            for attr in &tag.attrs {
-                if attr.value.to_ascii_lowercase().contains("<script") {
-                    out.push(Finding::new(
-                        ViolationKind::DE3_2,
-                        tag.offset,
-                        format!("<{} {}=…<script…>", tag.name, attr.name),
-                    ));
-                }
+    fn interest(&self) -> Interest {
+        Interest::START_TAGS
+    }
+
+    fn on_start_tag(&mut self, _cx: &CheckContext<'_>, tag: &Tag, out: &mut Vec<Finding>) {
+        for attr in &tag.attrs {
+            if attr.value.to_ascii_lowercase().contains("<script") {
+                out.push(Finding::new(
+                    ViolationKind::DE3_2,
+                    tag.offset,
+                    format!("<{} {}=…<script…>", tag.name, attr.name),
+                ));
             }
         }
     }
@@ -124,16 +137,18 @@ impl Check for De3_3 {
         ViolationKind::DE3_3
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
-        for tag in cx.start_tags() {
-            for attr in &tag.attrs {
-                if attr.name == "target" && attr.raw_value.contains('\n') {
-                    out.push(Finding::new(
-                        ViolationKind::DE3_3,
-                        tag.offset,
-                        format!("<{} target=…newline…>", tag.name),
-                    ));
-                }
+    fn interest(&self) -> Interest {
+        Interest::START_TAGS
+    }
+
+    fn on_start_tag(&mut self, _cx: &CheckContext<'_>, tag: &Tag, out: &mut Vec<Finding>) {
+        for attr in &tag.attrs {
+            if attr.name == "target" && attr.raw_value.contains('\n') {
+                out.push(Finding::new(
+                    ViolationKind::DE3_3,
+                    tag.offset,
+                    format!("<{} target=…newline…>", tag.name),
+                ));
             }
         }
     }
@@ -152,8 +167,12 @@ impl Check for De4 {
         ViolationKind::DE4
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
-        for ev in cx.parse.events_where(|k| matches!(k, TreeEventKind::NestedFormIgnored)) {
+    fn interest(&self) -> Interest {
+        Interest::EVENTS
+    }
+
+    fn on_tree_event(&mut self, _cx: &CheckContext<'_>, ev: &TreeEvent, out: &mut Vec<Finding>) {
+        if matches!(ev.kind, TreeEventKind::NestedFormIgnored) {
             out.push(Finding::new(
                 ViolationKind::DE4,
                 ev.offset,

@@ -1,10 +1,11 @@
 //! Data Manipulation checks (DM1–DM3, §3.2).
 
-use super::Check;
+use super::{Check, Interest};
 use crate::context::CheckContext;
 use crate::report::Finding;
 use crate::taxonomy::ViolationKind;
 use spec_html::dom::NodeId;
+use spec_html::errors::ParseError;
 use spec_html::{tags, ErrorCode};
 
 /// Whether `id` sits inside the document's `head` element.
@@ -26,24 +27,23 @@ impl Check for Dm1 {
         ViolationKind::DM1
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+    fn interest(&self) -> Interest {
+        Interest::DOM
+    }
+
+    fn on_node(&mut self, cx: &CheckContext<'_>, id: NodeId, out: &mut Vec<Finding>) {
         let dom = &cx.parse.dom;
-        for id in dom.all_elements() {
-            if dom.is_html(id, "meta")
-                && dom.element(id).is_some_and(|e| e.has_attr("http-equiv"))
-                && !inside_head(cx, id)
-            {
-                let what = dom
-                    .element(id)
-                    .and_then(|e| e.attr("http-equiv"))
-                    .unwrap_or_default()
-                    .to_owned();
-                out.push(Finding::new(
-                    ViolationKind::DM1,
-                    dom.element(id).map(|e| e.src_offset).unwrap_or(0),
-                    format!("meta http-equiv=\"{what}\" outside head"),
-                ));
-            }
+        if dom.is_html(id, "meta")
+            && dom.element(id).is_some_and(|e| e.has_attr("http-equiv"))
+            && !inside_head(cx, id)
+        {
+            let what =
+                dom.element(id).and_then(|e| e.attr("http-equiv")).unwrap_or_default().to_owned();
+            out.push(Finding::new(
+                ViolationKind::DM1,
+                dom.element(id).map(|e| e.src_offset).unwrap_or(0),
+                format!("meta http-equiv=\"{what}\" outside head"),
+            ));
         }
     }
 }
@@ -57,34 +57,51 @@ impl Check for Dm2_1 {
         ViolationKind::DM2_1
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+    fn interest(&self) -> Interest {
+        Interest::DOM
+    }
+
+    fn on_node(&mut self, cx: &CheckContext<'_>, id: NodeId, out: &mut Vec<Finding>) {
         let dom = &cx.parse.dom;
-        for id in dom.all_elements() {
-            if dom.is_html(id, "base") && !inside_head(cx, id) {
-                let off = dom.element(id).map(|e| e.src_offset).unwrap_or(0);
-                out.push(Finding::new(ViolationKind::DM2_1, off, "base element outside head"));
-            }
+        if dom.is_html(id, "base") && !inside_head(cx, id) {
+            let off = dom.element(id).map(|e| e.src_offset).unwrap_or(0);
+            out.push(Finding::new(ViolationKind::DM2_1, off, "base element outside head"));
         }
     }
 }
 
 /// DM2_2 — more than one `base` element: only the first wins, so a second
 /// (injected) one is either inert or, if first, hijacking.
-pub struct Dm2_2;
+#[derive(Default)]
+pub struct Dm2_2 {
+    bases: usize,
+}
 
 impl Check for Dm2_2 {
     fn kind(&self) -> ViolationKind {
         ViolationKind::DM2_2
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
-        let dom = &cx.parse.dom;
-        let bases = dom.all_elements().filter(|&id| dom.is_html(id, "base")).count();
-        if bases > 1 {
+    fn interest(&self) -> Interest {
+        Interest::DOM | Interest::FINISH
+    }
+
+    fn reset(&mut self) {
+        self.bases = 0;
+    }
+
+    fn on_node(&mut self, cx: &CheckContext<'_>, id: NodeId, _out: &mut Vec<Finding>) {
+        if cx.parse.dom.is_html(id, "base") {
+            self.bases += 1;
+        }
+    }
+
+    fn finish(&mut self, _cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+        if self.bases > 1 {
             out.push(Finding::new(
                 ViolationKind::DM2_2,
                 0,
-                format!("{bases} base elements in one document"),
+                format!("{} base elements in one document", self.bases),
             ));
         }
     }
@@ -93,34 +110,44 @@ impl Check for Dm2_2 {
 /// DM2_3 — `base` after an element that uses a URL: the spec requires base
 /// to "appear before any other element that uses a URL" (§4.2.3), otherwise
 /// earlier URLs resolved against a different base than later ones.
-pub struct Dm2_3;
+#[derive(Default)]
+pub struct Dm2_3 {
+    /// Name of the first URL-using element seen on the DOM walk.
+    seen_url_element: Option<String>,
+}
 
 impl Check for Dm2_3 {
     fn kind(&self) -> ViolationKind {
         ViolationKind::DM2_3
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+    fn interest(&self) -> Interest {
+        Interest::DOM
+    }
+
+    fn reset(&mut self) {
+        self.seen_url_element = None;
+    }
+
+    fn on_node(&mut self, cx: &CheckContext<'_>, id: NodeId, out: &mut Vec<Finding>) {
         let dom = &cx.parse.dom;
-        let mut seen_url_element: Option<String> = None;
-        for id in dom.all_elements() {
-            let Some(e) = dom.element(id) else { continue };
-            if dom.is_html(id, "base") {
-                if let Some(prev) = &seen_url_element {
-                    out.push(Finding::new(
-                        ViolationKind::DM2_3,
-                        e.src_offset,
-                        format!("base element after URL-using <{prev}>"),
-                    ));
-                }
-                // Later URL-using elements are measured against this base;
-                // one finding per offending base is enough.
-                continue;
+        let Some(e) = dom.element(id) else { return };
+        if dom.is_html(id, "base") {
+            if let Some(prev) = &self.seen_url_element {
+                out.push(Finding::new(
+                    ViolationKind::DM2_3,
+                    e.src_offset,
+                    format!("base element after URL-using <{prev}>"),
+                ));
             }
-            if seen_url_element.is_none() && e.attrs.iter().any(|a| tags::is_url_attribute(&a.name))
-            {
-                seen_url_element = Some(e.name.clone());
-            }
+            // Later URL-using elements are measured against this base;
+            // one finding per offending base is enough.
+            return;
+        }
+        if self.seen_url_element.is_none()
+            && e.attrs.iter().any(|a| tags::is_url_attribute(&a.name))
+        {
+            self.seen_url_element = Some(e.name.clone());
         }
     }
 }
@@ -135,8 +162,12 @@ impl Check for Dm3 {
         ViolationKind::DM3
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
-        for err in cx.parse.errors.iter().filter(|e| e.code == ErrorCode::DuplicateAttribute) {
+    fn interest(&self) -> Interest {
+        Interest::ERRORS
+    }
+
+    fn on_parse_error(&mut self, cx: &CheckContext<'_>, err: &ParseError, out: &mut Vec<Finding>) {
+        if err.code == ErrorCode::DuplicateAttribute {
             out.push(Finding::new(
                 ViolationKind::DM3,
                 err.offset,

@@ -1,10 +1,11 @@
 //! Filter Bypass checks (FB1–FB2, §3.2.2) — the two most common violations
 //! in the study (FB2 on 78.5% of domains, FB1 on 42.8%).
 
-use super::Check;
+use super::{Check, Interest};
 use crate::context::CheckContext;
 use crate::report::Finding;
 use crate::taxonomy::ViolationKind;
+use spec_html::errors::ParseError;
 use spec_html::ErrorCode;
 
 /// FB1 — slash between attributes: the tokenizer's
@@ -17,8 +18,12 @@ impl Check for Fb1 {
         ViolationKind::FB1
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
-        for err in cx.parse.errors.iter().filter(|e| e.code == ErrorCode::UnexpectedSolidusInTag) {
+    fn interest(&self) -> Interest {
+        Interest::ERRORS
+    }
+
+    fn on_parse_error(&mut self, cx: &CheckContext<'_>, err: &ParseError, out: &mut Vec<Finding>) {
+        if err.code == ErrorCode::UnexpectedSolidusInTag {
             out.push(Finding::new(
                 ViolationKind::FB1,
                 err.offset,
@@ -39,13 +44,12 @@ impl Check for Fb2 {
         ViolationKind::FB2
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
-        for err in cx
-            .parse
-            .errors
-            .iter()
-            .filter(|e| e.code == ErrorCode::MissingWhitespaceBetweenAttributes)
-        {
+    fn interest(&self) -> Interest {
+        Interest::ERRORS
+    }
+
+    fn on_parse_error(&mut self, cx: &CheckContext<'_>, err: &ParseError, out: &mut Vec<Finding>) {
+        if err.code == ErrorCode::MissingWhitespaceBetweenAttributes {
             out.push(Finding::new(
                 ViolationKind::FB2,
                 err.offset,

@@ -1,11 +1,12 @@
 //! HTML Formatting checks (HF1–HF5, §3.2) — the mXSS enablers.
 
-use super::Check;
+use super::{Check, Interest};
 use crate::context::CheckContext;
 use crate::report::Finding;
 use crate::taxonomy::ViolationKind;
-use spec_html::dom::Namespace;
-use spec_html::{tags, TreeEventKind};
+use spec_html::dom::{Namespace, NodeId};
+use spec_html::tokenizer::Tag;
+use spec_html::{tags, TreeEvent, TreeEventKind};
 
 /// HF1 — broken head section: head tags omitted, or non-head content inside
 /// the head forcing the parser to relocate everything that follows. The
@@ -19,28 +20,30 @@ impl Check for Hf1 {
         ViolationKind::HF1
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
-        for ev in &cx.parse.events {
-            match &ev.kind {
-                TreeEventKind::ImplicitHead => {
-                    out.push(Finding::new(ViolationKind::HF1, ev.offset, "head tag omitted"));
-                }
-                TreeEventKind::HeadClosedBy { tag } => {
-                    out.push(Finding::new(
-                        ViolationKind::HF1,
-                        ev.offset,
-                        format!("head implicitly closed by <{tag}>"),
-                    ));
-                }
-                TreeEventKind::LateHeadContent { tag } => {
-                    out.push(Finding::new(
-                        ViolationKind::HF1,
-                        ev.offset,
-                        format!("head content <{tag}> after head was closed"),
-                    ));
-                }
-                _ => {}
+    fn interest(&self) -> Interest {
+        Interest::EVENTS
+    }
+
+    fn on_tree_event(&mut self, _cx: &CheckContext<'_>, ev: &TreeEvent, out: &mut Vec<Finding>) {
+        match &ev.kind {
+            TreeEventKind::ImplicitHead => {
+                out.push(Finding::new(ViolationKind::HF1, ev.offset, "head tag omitted"));
             }
+            TreeEventKind::HeadClosedBy { tag } => {
+                out.push(Finding::new(
+                    ViolationKind::HF1,
+                    ev.offset,
+                    format!("head implicitly closed by <{tag}>"),
+                ));
+            }
+            TreeEventKind::LateHeadContent { tag } => {
+                out.push(Finding::new(
+                    ViolationKind::HF1,
+                    ev.offset,
+                    format!("head content <{tag}> after head was closed"),
+                ));
+            }
+            _ => {}
         }
     }
 }
@@ -48,32 +51,45 @@ impl Check for Hf1 {
 /// HF2 — content before `body`: the body element was opened implicitly by a
 /// token that should not have been there (enables the Figure-4 attack where
 /// a dangling tag absorbs `<body onload=check()>`).
-pub struct Hf2;
+#[derive(Default)]
+pub struct Hf2 {
+    /// Offset of the most recent `HeadClosedBy` event. Event offsets are
+    /// non-decreasing and all events of one token are contiguous, so "is
+    /// there a `HeadClosedBy` at this `ImplicitBody`'s offset" reduces to
+    /// comparing against the last one seen — the O(events²) rescan the
+    /// pre-fusion checker did is equivalent to this one-flag accumulator.
+    head_closed_at: Option<usize>,
+}
 
 impl Check for Hf2 {
     fn kind(&self) -> ViolationKind {
         ViolationKind::HF2
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
-        for ev in &cx.parse.events {
-            if let TreeEventKind::ImplicitBody { by } = &ev.kind {
-                // When a misplaced element *inside the head* forces the head
-                // closed, the spec reprocesses that same token and implies a
-                // body — a consequence of the HF1 violation, not an
-                // independent "content before body". Only bodies implied by
-                // content after a regularly closed head count as HF2.
-                let caused_by_head_close = cx.parse.events.iter().any(|e| {
-                    e.offset == ev.offset && matches!(e.kind, TreeEventKind::HeadClosedBy { .. })
-                });
-                if !caused_by_head_close {
-                    out.push(Finding::new(
-                        ViolationKind::HF2,
-                        ev.offset,
-                        format!("body implicitly opened by {by}"),
-                    ));
-                }
+    fn interest(&self) -> Interest {
+        Interest::EVENTS
+    }
+
+    fn reset(&mut self) {
+        self.head_closed_at = None;
+    }
+
+    fn on_tree_event(&mut self, _cx: &CheckContext<'_>, ev: &TreeEvent, out: &mut Vec<Finding>) {
+        match &ev.kind {
+            TreeEventKind::HeadClosedBy { .. } => self.head_closed_at = Some(ev.offset),
+            // When a misplaced element *inside the head* forces the head
+            // closed, the spec reprocesses that same token and implies a
+            // body — a consequence of the HF1 violation, not an independent
+            // "content before body". Only bodies implied by content after a
+            // regularly closed head count as HF2.
+            TreeEventKind::ImplicitBody { by } if self.head_closed_at != Some(ev.offset) => {
+                out.push(Finding::new(
+                    ViolationKind::HF2,
+                    ev.offset,
+                    format!("body implicitly opened by {by}"),
+                ));
             }
+            _ => {}
         }
     }
 }
@@ -81,36 +97,63 @@ impl Check for Hf2 {
 /// HF3 — multiple `body` elements: the parser merges attributes of later
 /// bodies into the first (§13.2.6.4.7), so injections can add or be blocked
 /// by attributes.
-pub struct Hf3;
+///
+/// "Multiple body elements" means the *markup* contains more than one
+/// `<body>` start tag (the parser merge can also fire against an implied
+/// body, which is HF1/HF2 territory, not HF3) — so this rule correlates
+/// the tag stream with the merge event, accumulating across both passes
+/// and emitting in `finish`.
+#[derive(Default)]
+pub struct Hf3 {
+    body_tags: usize,
+    second_body_offset: usize,
+    /// (new, ignored) attr counts of the first `SecondBodyMerged` event.
+    merged_attrs: Option<(usize, usize)>,
+}
 
 impl Check for Hf3 {
     fn kind(&self) -> ViolationKind {
         ViolationKind::HF3
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
-        // "Multiple body elements" means the *markup* contains more than
-        // one <body> start tag (the parser merge can also fire against an
-        // implied body, which is HF1/HF2 territory, not HF3).
-        let body_tags: Vec<_> =
-            cx.start_tags().filter(|t| t.name == "body").map(|t| t.offset).collect();
-        if body_tags.len() >= 2 {
+    fn interest(&self) -> Interest {
+        Interest::EVENTS | Interest::START_TAGS | Interest::FINISH
+    }
+
+    fn reset(&mut self) {
+        self.body_tags = 0;
+        self.second_body_offset = 0;
+        self.merged_attrs = None;
+    }
+
+    fn on_tree_event(&mut self, _cx: &CheckContext<'_>, ev: &TreeEvent, _out: &mut Vec<Finding>) {
+        if self.merged_attrs.is_none() {
+            if let TreeEventKind::SecondBodyMerged { new_attrs, ignored_attrs } = &ev.kind {
+                self.merged_attrs = Some((new_attrs.len(), ignored_attrs.len()));
+            }
+        }
+    }
+
+    fn on_start_tag(&mut self, _cx: &CheckContext<'_>, tag: &Tag, _out: &mut Vec<Finding>) {
+        if tag.name == "body" {
+            self.body_tags += 1;
+            if self.body_tags == 2 {
+                self.second_body_offset = tag.offset;
+            }
+        }
+    }
+
+    fn finish(&mut self, _cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+        if self.body_tags >= 2 {
             // Attach the merge evidence when the parser recorded it.
-            let merged = cx
-                .parse
-                .events
-                .iter()
-                .find(|e| matches!(e.kind, TreeEventKind::SecondBodyMerged { .. }));
-            let detail = match merged.map(|e| &e.kind) {
-                Some(TreeEventKind::SecondBodyMerged { new_attrs, ignored_attrs }) => format!(
-                    "{} body tags; merge added {} and ignored {} attrs",
-                    body_tags.len(),
-                    new_attrs.len(),
-                    ignored_attrs.len()
+            let detail = match self.merged_attrs {
+                Some((new, ignored)) => format!(
+                    "{} body tags; merge added {new} and ignored {ignored} attrs",
+                    self.body_tags
                 ),
-                _ => format!("{} body start tags in markup", body_tags.len()),
+                None => format!("{} body start tags in markup", self.body_tags),
             };
-            out.push(Finding::new(ViolationKind::HF3, body_tags[1], detail));
+            out.push(Finding::new(ViolationKind::HF3, self.second_body_offset, detail));
         }
     }
 }
@@ -125,16 +168,18 @@ impl Check for Hf4 {
         ViolationKind::HF4
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
-        for ev in &cx.parse.events {
-            if let TreeEventKind::FosterParented { tag } = &ev.kind {
-                let what = tag.as_deref().unwrap_or("#text");
-                out.push(Finding::new(
-                    ViolationKind::HF4,
-                    ev.offset,
-                    format!("{what} foster-parented out of table"),
-                ));
-            }
+    fn interest(&self) -> Interest {
+        Interest::EVENTS
+    }
+
+    fn on_tree_event(&mut self, _cx: &CheckContext<'_>, ev: &TreeEvent, out: &mut Vec<Finding>) {
+        if let TreeEventKind::FosterParented { tag } = &ev.kind {
+            let what = tag.as_deref().unwrap_or("#text");
+            out.push(Finding::new(
+                ViolationKind::HF4,
+                ev.offset,
+                format!("{what} foster-parented out of table"),
+            ));
         }
     }
 }
@@ -149,19 +194,19 @@ impl Check for Hf5_1 {
         ViolationKind::HF5_1
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
-        let dom = &cx.parse.dom;
-        for id in dom.all_elements() {
-            let Some(e) = dom.element(id) else { continue };
-            if e.ns == Namespace::Html
-                && (tags::is_svg_only(&e.name) || tags::is_mathml_only(&e.name))
-            {
-                out.push(Finding::new(
-                    ViolationKind::HF5_1,
-                    e.src_offset,
-                    format!("foreign-only element <{}> in HTML namespace", e.name),
-                ));
-            }
+    fn interest(&self) -> Interest {
+        Interest::DOM
+    }
+
+    fn on_node(&mut self, cx: &CheckContext<'_>, id: NodeId, out: &mut Vec<Finding>) {
+        let Some(e) = cx.parse.dom.element(id) else { return };
+        if e.ns == Namespace::Html && (tags::is_svg_only(&e.name) || tags::is_mathml_only(&e.name))
+        {
+            out.push(Finding::new(
+                ViolationKind::HF5_1,
+                e.src_offset,
+                format!("foreign-only element <{}> in HTML namespace", e.name),
+            ));
         }
     }
 }
@@ -175,15 +220,17 @@ impl Check for Hf5_2 {
         ViolationKind::HF5_2
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
-        for ev in &cx.parse.events {
-            if let TreeEventKind::ForeignBreakout { tag, root_ns: Namespace::Svg } = &ev.kind {
-                out.push(Finding::new(
-                    ViolationKind::HF5_2,
-                    ev.offset,
-                    format!("<{tag}> broke out of SVG content"),
-                ));
-            }
+    fn interest(&self) -> Interest {
+        Interest::EVENTS
+    }
+
+    fn on_tree_event(&mut self, _cx: &CheckContext<'_>, ev: &TreeEvent, out: &mut Vec<Finding>) {
+        if let TreeEventKind::ForeignBreakout { tag, root_ns: Namespace::Svg } = &ev.kind {
+            out.push(Finding::new(
+                ViolationKind::HF5_2,
+                ev.offset,
+                format!("<{tag}> broke out of SVG content"),
+            ));
         }
     }
 }
@@ -198,15 +245,17 @@ impl Check for Hf5_3 {
         ViolationKind::HF5_3
     }
 
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
-        for ev in &cx.parse.events {
-            if let TreeEventKind::ForeignBreakout { tag, root_ns: Namespace::MathMl } = &ev.kind {
-                out.push(Finding::new(
-                    ViolationKind::HF5_3,
-                    ev.offset,
-                    format!("<{tag}> broke out of MathML content"),
-                ));
-            }
+    fn interest(&self) -> Interest {
+        Interest::EVENTS
+    }
+
+    fn on_tree_event(&mut self, _cx: &CheckContext<'_>, ev: &TreeEvent, out: &mut Vec<Finding>) {
+        if let TreeEventKind::ForeignBreakout { tag, root_ns: Namespace::MathMl } = &ev.kind {
+            out.push(Finding::new(
+                ViolationKind::HF5_3,
+                ev.offset,
+                format!("<{tag}> broke out of MathML content"),
+            ));
         }
     }
 }
@@ -259,6 +308,48 @@ mod tests {
             "<!DOCTYPE html><html><head></head><p\n<body onload=\"checkSecurity()\">content",
         );
         assert!(r.has(HF2));
+    }
+
+    /// HF2's one-flag accumulator vs the legacy whole-vec rescan, on an
+    /// adversarial synthetic event stream with many implicit bodies: same
+    /// findings, but linear instead of O(events²).
+    #[test]
+    fn hf2_accumulator_matches_legacy_on_many_implicit_bodies() {
+        use crate::checkers::{legacy, Check};
+        use crate::taxonomy::ViolationKind;
+        use spec_html::{TreeEvent, TreeEventKind};
+
+        let mut cx = crate::context::CheckContext::new("");
+        let mut events = Vec::new();
+        for i in 0..500 {
+            let offset = i * 10;
+            if i % 3 == 0 {
+                // Head closed by the same token that implies the body:
+                // HF1 fallout, not HF2.
+                events.push(TreeEvent {
+                    kind: TreeEventKind::HeadClosedBy { tag: "p".into() },
+                    offset,
+                });
+            }
+            events.push(TreeEvent {
+                kind: TreeEventKind::ImplicitBody { by: format!("<p#{i}>") },
+                offset,
+            });
+        }
+        cx.parse.events = events;
+
+        let mut legacy_out = Vec::new();
+        let (_, rescan) = legacy::ALL.iter().find(|(k, _)| *k == ViolationKind::HF2).unwrap();
+        rescan(&cx, &mut legacy_out);
+
+        let mut fused_out = Vec::new();
+        let mut hf2 = super::Hf2::default();
+        hf2.reset();
+        for ev in &cx.parse.events {
+            hf2.on_tree_event(&cx, ev, &mut fused_out);
+        }
+        assert!(!legacy_out.is_empty());
+        assert_eq!(fused_out, legacy_out);
     }
 
     #[test]

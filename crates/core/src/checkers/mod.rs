@@ -1,24 +1,120 @@
 //! The checker battery: one independent rule per [`ViolationKind`].
 //!
-//! Mirroring the paper's framework (§3.3), each rule is a small function
-//! over the shared [`CheckContext`]; rules never depend on each other's
-//! results. The module split follows the problem groups.
+//! Mirroring the paper's framework (§3.3), each rule is logically
+//! independent — rules never read each other's results. *Mechanically*,
+//! though, the rules are visitors: each declares an [`Interest`] mask and
+//! implements the matching [`Check`] handlers, and [`crate::Battery`]
+//! makes one fused pass over the page (parse errors → tree events → start
+//! tags → DOM pre-order walk → finish), dispatching every item only to the
+//! rules that asked for it. Rules that need cross-event state (DE1/DE2's
+//! EOF stack, HF2's head-close correlation, HF3's body counting) keep it
+//! in small per-check accumulators, reset per page.
+//!
+//! The pre-fusion implementation — twenty independent full-context scans —
+//! lives on in [`legacy`] as the reference the equivalence tests and the
+//! fused-vs-legacy bench run against.
+//!
+//! The module split follows the problem groups.
 
 pub mod de;
 pub mod dm;
 pub mod fb;
 pub mod hf;
+pub mod legacy;
 
 use crate::context::CheckContext;
 use crate::report::{Finding, MitigationFlags, PageReport};
 use crate::taxonomy::ViolationKind;
+use spec_html::dom::NodeId;
+use spec_html::errors::ParseError;
+use spec_html::tokenizer::Tag;
+use spec_html::TreeEvent;
 
-/// A single violation rule.
-pub trait Check: Sync + Send {
+/// Bitmask of the dispatch sources a rule wants to see. The battery skips
+/// a rule entirely for every source it did not ask for — and skips whole
+/// passes (e.g. the DOM walk) when no rule in the battery asked for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Nothing (useful as a fold seed).
+    pub const NONE: Interest = Interest(0);
+    /// Tokenizer/preprocessing [`ParseError`]s, in source order.
+    pub const ERRORS: Interest = Interest(1);
+    /// Tree-construction [`TreeEvent`]s, in source order.
+    pub const EVENTS: Interest = Interest(1 << 1);
+    /// Checker-relevant start tags, in source order.
+    pub const START_TAGS: Interest = Interest(1 << 2);
+    /// The shared pre-order DOM element walk.
+    pub const DOM: Interest = Interest(1 << 3);
+    /// One [`Check::finish`] call after all passes.
+    pub const FINISH: Interest = Interest(1 << 4);
+
+    /// Set union.
+    pub const fn union(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether every bit of `other` is set in `self`.
+    pub const fn contains(self, other: Interest) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.union(rhs)
+    }
+}
+
+/// A single violation rule, written as an event visitor.
+///
+/// The battery calls [`Check::reset`] before each page, then only the
+/// handlers named in [`Check::interest`], in a fixed pass order (errors,
+/// events, start tags, DOM nodes, finish). Within one pass, items arrive
+/// in source order — exactly the order the pre-fusion per-check scans
+/// iterated — so the sorted findings are byte-identical to the legacy
+/// engine's.
+pub trait Check: Send + Sync {
     /// Which check this is.
     fn kind(&self) -> ViolationKind;
-    /// Run the rule; push any findings.
-    fn check(&self, cx: &CheckContext<'_>, out: &mut Vec<Finding>);
+
+    /// Which dispatch sources this rule consumes.
+    fn interest(&self) -> Interest;
+
+    /// Clear per-page accumulator state. Stateless rules do nothing.
+    fn reset(&mut self) {}
+
+    /// One tokenizer/preprocessing parse error.
+    fn on_parse_error(&mut self, cx: &CheckContext<'_>, err: &ParseError, out: &mut Vec<Finding>) {
+        let _ = (cx, err, out);
+    }
+
+    /// One tree-construction recovery event.
+    fn on_tree_event(&mut self, cx: &CheckContext<'_>, ev: &TreeEvent, out: &mut Vec<Finding>) {
+        let _ = (cx, ev, out);
+    }
+
+    /// One checker-relevant start tag.
+    fn on_start_tag(&mut self, cx: &CheckContext<'_>, tag: &Tag, out: &mut Vec<Finding>) {
+        let _ = (cx, tag, out);
+    }
+
+    /// One element of the shared pre-order DOM walk.
+    fn on_node(&mut self, cx: &CheckContext<'_>, id: NodeId, out: &mut Vec<Finding>) {
+        let _ = (cx, id, out);
+    }
+
+    /// Called once after all passes; rules that accumulate (or read
+    /// whole-page parse facts like the EOF stack) emit here.
+    fn finish(&mut self, cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
+        let _ = (cx, out);
+    }
 }
 
 /// The full battery, in taxonomy order — one checker per Figure-8 bar.
@@ -32,12 +128,12 @@ pub fn all_checks() -> Vec<Box<dyn Check>> {
         Box::new(de::De4),
         Box::new(dm::Dm1),
         Box::new(dm::Dm2_1),
-        Box::new(dm::Dm2_2),
-        Box::new(dm::Dm2_3),
+        Box::new(dm::Dm2_2::default()),
+        Box::new(dm::Dm2_3::default()),
         Box::new(dm::Dm3),
         Box::new(hf::Hf1),
-        Box::new(hf::Hf2),
-        Box::new(hf::Hf3),
+        Box::new(hf::Hf2::default()),
+        Box::new(hf::Hf3::default()),
         Box::new(hf::Hf4),
         Box::new(hf::Hf5_1),
         Box::new(hf::Hf5_2),
@@ -94,28 +190,46 @@ fn contains_ascii_ci(haystack: &str, needle: &str) -> bool {
     })
 }
 
-/// §4.5: per-page flags for the two deployed browser mitigations.
-pub fn mitigation_flags(cx: &CheckContext<'_>) -> MitigationFlags {
-    let mut flags = MitigationFlags::default();
-    for tag in cx.start_tags() {
+/// Streaming accumulator behind [`mitigation_flags`]: folds one start tag
+/// at a time, so the battery computes the flags inside the same fused tag
+/// pass that feeds the tag-interested checks.
+#[derive(Default)]
+pub(crate) struct MitigationAccumulator {
+    flags: MitigationFlags,
+}
+
+impl MitigationAccumulator {
+    pub(crate) fn observe(&mut self, tag: &Tag) {
         let is_script = tag.name == "script";
         let has_nonce = tag.attr("nonce").is_some();
         for attr in &tag.attrs {
             if contains_ascii_ci(&attr.value, "<script") {
-                flags.script_in_attribute = true;
+                self.flags.script_in_attribute = true;
                 if is_script && has_nonce {
-                    flags.script_in_nonced_script = true;
+                    self.flags.script_in_nonced_script = true;
                 }
             }
             if spec_html::tags::is_url_attribute(&attr.name) && attr.raw_value.contains('\n') {
-                flags.newline_in_url = true;
+                self.flags.newline_in_url = true;
                 if attr.raw_value.contains('<') {
-                    flags.newline_and_lt_in_url = true;
+                    self.flags.newline_and_lt_in_url = true;
                 }
             }
         }
     }
-    flags
+
+    pub(crate) fn finish(self) -> MitigationFlags {
+        self.flags
+    }
+}
+
+/// §4.5: per-page flags for the two deployed browser mitigations.
+pub fn mitigation_flags(cx: &CheckContext<'_>) -> MitigationFlags {
+    let mut acc = MitigationAccumulator::default();
+    for tag in cx.start_tags() {
+        acc.observe(tag);
+    }
+    acc.finish()
 }
 
 #[cfg(test)]

@@ -7,11 +7,15 @@
 //!   checks, grouped into Data Exfiltration, Data Manipulation, HTML
 //!   Formatting and Filter Bypass, split into Definition Violations and
 //!   Parsing Errors, and classified by §4.4 auto-fixability.
-//! * [`checkers`] — one independent rule per check, built on the
-//!   [`spec_html`] parser's error states, recovery events and DOM.
-//! * [`battery`] — the reusable [`Battery`]: construct the rule set once
-//!   (per worker), run it over any number of pages with zero per-page
-//!   setup, optionally timing every rule into mergeable [`CheckStats`].
+//! * [`checkers`] — one logically independent rule per check, written as
+//!   an event visitor over the [`spec_html`] parser's error states,
+//!   recovery events, start-tag stream and DOM; each rule declares an
+//!   [`Interest`] mask naming the sources it consumes.
+//! * [`battery`] — the reusable [`Battery`] and its fused dispatch
+//!   engine: construct the rule set once (per worker), then analyze each
+//!   page in **one pass** over errors → tree events → start tags → DOM →
+//!   finish, dispatching every item only to the interested rules;
+//!   optionally timing every rule into mergeable [`CheckStats`].
 //! * [`autofix`] — the §4.4 automatic repair (serialize-reparse for FB,
 //!   duplicate removal for DM3, head relocation for DM1/DM2).
 //! * [`checkers::mitigation_flags`] — the §4.5 deployed-mitigation
@@ -62,6 +66,7 @@ pub mod strict;
 pub mod taxonomy;
 
 pub use battery::{Battery, BatteryStats, CheckStats, DurationHistogram, InputError};
+pub use checkers::{Check, Interest};
 pub use context::CheckContext;
 pub use report::{Finding, MitigationFlags, PageReport};
 pub use taxonomy::{Fixability, ProblemGroup, ViolationCategory, ViolationKind};

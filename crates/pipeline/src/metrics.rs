@@ -260,13 +260,14 @@ impl ScanMetrics {
             ));
         }
         if !self.battery.per_check.is_empty() {
-            s.push_str("  per-check: pages fired / findings / mean ns\n");
+            s.push_str("  per-check: pages fired / findings / dispatches / mean ns\n");
             for (kind, st) in &self.battery.per_check {
                 s.push_str(&format!(
-                    "    {:<6} {:>8} {:>9} {:>9.0}\n",
+                    "    {:<6} {:>8} {:>9} {:>10} {:>9.0}\n",
                     kind.to_string(),
                     st.pages_fired,
                     st.findings_total,
+                    st.dispatches,
                     st.nanos.mean_nanos()
                 ));
             }

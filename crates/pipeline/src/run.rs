@@ -675,6 +675,10 @@ mod tests {
         for (kind, st) in &m.battery.per_check {
             assert_eq!(st.nanos.count, m.pages_analyzed, "execution count for {kind}");
         }
+        // DE1 is finish-only: the fused engine dispatches to it exactly
+        // once per analyzed page.
+        let de1 = m.battery.get(hv_core::ViolationKind::DE1).unwrap();
+        assert_eq!(de1.dispatches, m.pages_analyzed);
         assert!(m.wall_nanos > 0);
         assert_eq!(m.threads, 4);
         assert!(m.phases.check > 0);

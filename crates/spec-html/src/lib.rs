@@ -53,7 +53,10 @@ pub mod tree_builder;
 
 pub use dom::{Document as Dom, Namespace, NodeData, NodeId};
 pub use errors::{ErrorCode, ParseError};
-pub use tree_builder::{fragment_children, parse_fragment, ParseOutput, TreeEvent, TreeEventKind};
+pub use tree_builder::{
+    fragment_children, parse_fragment, parse_fragment_with_sink, ParseOutput, TagSink, TreeEvent,
+    TreeEventKind,
+};
 
 /// Parse a complete HTML document the way a browser would, recording every
 /// specification violation (tokenizer parse errors and tree-construction
@@ -63,6 +66,15 @@ pub use tree_builder::{fragment_children, parse_fragment, ParseOutput, TreeEvent
 /// from bytes to text with the study's UTF-8 policy.
 pub fn parse_document(input: &str) -> ParseOutput {
     tree_builder::parse(input)
+}
+
+/// [`parse_document`] with a [`TagSink`] observing every start tag as it
+/// streams off the tokenizer. The parser retains no token stream of its
+/// own, so callers that inspect raw attribute values (e.g. the violation
+/// checkers) collect exactly the tags they need here instead of paying for
+/// a clone of every tag.
+pub fn parse_document_with(input: &str, sink: TagSink<'_>) -> ParseOutput {
+    tree_builder::parse_with_sink(input, sink)
 }
 
 /// Tokenize without tree construction; returns the token stream and the

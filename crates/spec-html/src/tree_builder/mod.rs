@@ -74,11 +74,6 @@ pub struct ParseOutput {
     pub errors: Vec<ParseError>,
     /// Tree-construction recovery events.
     pub events: Vec<TreeEvent>,
-    /// Every start tag the tokenizer emitted (attribute raw values
-    /// intact), for checkers that inspect attributes the DOM no longer
-    /// shows. (The full token stream is available via [`crate::tokenize`];
-    /// keeping only tags here avoids cloning all character data.)
-    pub start_tags: Vec<Tag>,
     /// Quirks mode the document ended up in.
     pub quirks: QuirksMode,
     /// Names of the HTML elements still on the stack of open elements when
@@ -101,16 +96,56 @@ impl ParseOutput {
     }
 }
 
+/// Observer for start tags as the parse loop pulls them off the tokenizer.
+///
+/// The parser itself retains no token stream; a caller that wants to see
+/// start tags (with their raw attribute values, which the DOM no longer
+/// shows) taps them here as they stream and decides per tag whether to
+/// clone. The sink runs *before* the tree builder consumes the token, so
+/// it observes every tag — including ones the builder then drops or merges.
+pub type TagSink<'s> = &'s mut dyn FnMut(&Tag);
+
 /// Parse a document (after preprocessing) into a [`ParseOutput`].
 pub fn parse(input: &str) -> ParseOutput {
+    parse_with_sink(input, &mut |_| {})
+}
+
+/// [`parse`], announcing every start tag to `sink` as it streams.
+pub fn parse_with_sink(input: &str, sink: TagSink<'_>) -> ParseOutput {
+    let tok = Tokenizer::new(input);
+    run_to_completion(Builder::new(), tok, sink)
+}
+
+/// Parse an HTML *fragment* in the context of an element named
+/// `context` (HTML namespace) — the algorithm behind `innerHTML` and
+/// every string-based sanitizer (§13.2.4 "parsing HTML fragments").
+///
+/// The resulting [`ParseOutput::dom`] holds a synthetic `html` root whose
+/// children are the fragment's nodes; use [`fragment_children`] or
+/// serialize with [`crate::serializer::serialize_children`] on the root.
+pub fn parse_fragment(input: &str, context: &str) -> ParseOutput {
+    parse_fragment_with_sink(input, context, &mut |_| {})
+}
+
+/// [`parse_fragment`], announcing every start tag to `sink` as it streams.
+pub fn parse_fragment_with_sink(input: &str, context: &str, sink: TagSink<'_>) -> ParseOutput {
     let mut tok = Tokenizer::new(input);
-    let mut b = Builder::new();
-    let mut start_tags = Vec::new();
+    // §13.2.4 step 11: set the tokenizer's initial state from the context
+    // element's content model.
+    tok.apply_default_feedback(context);
+    run_to_completion(Builder::new_fragment(context), tok, sink)
+}
+
+/// The shared parse driver: pump tokens through the builder, then collect
+/// the errors and assemble the [`ParseOutput`]. Document and fragment
+/// parsing differ only in their builder/tokenizer setup, so the tag sink
+/// taps the stream in exactly one place.
+fn run_to_completion(mut b: Builder, mut tok: Tokenizer<'_>, sink: TagSink<'_>) -> ParseOutput {
     loop {
         b.token_offset = tok.position();
         let t = tok.next_token();
         if let Token::StartTag(tag) = &t {
-            start_tags.push(tag.clone());
+            sink(tag);
         }
         let done = b.process(t, &mut tok);
         // Keep the tokenizer's CDATA rule in sync with the adjusted current
@@ -130,46 +165,6 @@ pub fn parse(input: &str) -> ParseOutput {
         dom: b.doc,
         errors,
         events: b.events,
-        start_tags,
-        quirks: b.quirks,
-        open_at_eof: b.open_at_eof,
-    }
-}
-
-/// Parse an HTML *fragment* in the context of an element named
-/// `context` (HTML namespace) — the algorithm behind `innerHTML` and
-/// every string-based sanitizer (§13.2.4 "parsing HTML fragments").
-///
-/// The resulting [`ParseOutput::dom`] holds a synthetic `html` root whose
-/// children are the fragment's nodes; use [`fragment_children`] or
-/// serialize with [`crate::serializer::serialize_children`] on the root.
-pub fn parse_fragment(input: &str, context: &str) -> ParseOutput {
-    let mut tok = Tokenizer::new(input);
-    let mut b = Builder::new_fragment(context);
-    // §13.2.4 step 11: set the tokenizer's initial state from the context
-    // element's content model.
-    tok.apply_default_feedback(context);
-    let mut start_tags = Vec::new();
-    loop {
-        b.token_offset = tok.position();
-        let t = tok.next_token();
-        if let Token::StartTag(tag) = &t {
-            start_tags.push(tag.clone());
-        }
-        let done = b.process(t, &mut tok);
-        tok.set_allow_cdata(b.current_is_foreign());
-        if done {
-            break;
-        }
-    }
-    let mut errors = tok.take_preprocess_errors();
-    errors.extend(tok.take_errors());
-    errors.sort_by_key(|e| e.offset);
-    ParseOutput {
-        dom: b.doc,
-        errors,
-        events: b.events,
-        start_tags,
         quirks: b.quirks,
         open_at_eof: b.open_at_eof,
     }
