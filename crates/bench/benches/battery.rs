@@ -13,6 +13,11 @@
 //! own) on the same reused-buffer footing, across a multi-finding page, a
 //! clean page, and a single-finding page. Results are recorded in
 //! `BENCH_battery.json`.
+//!
+//! The `fresh_per_page*` series intentionally call the deprecated
+//! `checkers::check_context` shim — that one-shot path *is* the baseline
+//! being compared against.
+#![allow(deprecated)]
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use hv_bench::{sample_pages, total_bytes};

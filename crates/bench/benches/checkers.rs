@@ -1,5 +1,10 @@
 //! Checker battery benchmarks: per-rule cost, full-battery cost, and the
 //! §4.4 auto-fixer.
+//!
+//! Deliberately exercises the deprecated `check_page`/`check_context`
+//! shims: these series track the one-shot convenience path's cost across
+//! builds for as long as the shims live.
+#![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hv_core::checkers;

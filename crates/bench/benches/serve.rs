@@ -1,0 +1,45 @@
+//! Round-trip cost of the HTTP service layer: `POST /v1/check` over real
+//! TCP against an in-process `hv_server`, versus the same analysis run
+//! directly on a [`hv_core::Battery`]. The delta is the wire tax —
+//! connect + parse + serialize + write — which should stay small relative
+//! to the analysis itself on non-trivial pages.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hv_bench::loadgen;
+use hv_server::{serve, ServeOptions};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn bench_serve(c: &mut Criterion) {
+    let server = serve(ServeOptions::new().addr("127.0.0.1:0").threads(2).queue_depth(32))
+        .expect("server starts");
+    let addr = server.addr().to_string();
+
+    let small = hv_bench::violating_page();
+    let dense = hv_bench::dense_violating_page(50);
+    let clean = hv_bench::dense_clean_page(100);
+
+    let mut g = c.benchmark_group("serve");
+    for (name, page) in [("violating", &small), ("dense_violating", &dense), ("clean", &clean)] {
+        g.throughput(Throughput::Bytes(page.len() as u64));
+        g.bench_function(&format!("post_check_{name}"), |b| {
+            b.iter(|| {
+                let resp = loadgen::post_check(&addr, black_box(page), TIMEOUT)
+                    .expect("request round-trips");
+                assert_eq!(resp.status, 200);
+                black_box(resp.body.len())
+            })
+        });
+        g.bench_function(&format!("battery_direct_{name}"), |b| {
+            let mut battery = hv_core::Battery::full();
+            b.iter(|| black_box(battery.run_str(black_box(page)).findings.len()))
+        });
+    }
+    g.finish();
+
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

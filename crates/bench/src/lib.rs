@@ -1,4 +1,7 @@
-//! Shared fixtures for the benchmark harness.
+//! Shared fixtures for the benchmark harness, plus the `loadgen` HTTP
+//! client used to exercise `hva serve`.
+
+pub mod loadgen;
 
 use hv_corpus::{Archive, CorpusConfig, DomainSnapshot, Snapshot};
 
@@ -209,22 +212,24 @@ mod tests {
         assert_eq!(pages.len(), 32);
         assert!(total_bytes(&pages) > 32 * 1000);
         let v = violating_page();
-        assert!(hv_core::check_page(&v).has(hv_core::ViolationKind::FB2));
+        assert!(hv_core::Battery::full().run_str(&v).has(hv_core::ViolationKind::FB2));
     }
 
     #[test]
     fn dense_fixtures_have_expected_finding_profiles() {
+        let mut battery = hv_core::Battery::full();
+
         let dense = dense_violating_page(40);
-        let report = hv_core::check_page(&dense);
+        let report = battery.run_str(&dense);
         assert!(report.findings.len() >= 40, "dense page should find plenty");
         assert!(report.has(hv_core::ViolationKind::FB2));
         assert!(report.has(hv_core::ViolationKind::DM3));
 
         let clean = dense_clean_page(40);
-        assert!(hv_core::check_page(&clean).findings.is_empty());
+        assert!(battery.run_str(&clean).findings.is_empty());
 
         let single = single_finding_page(40);
-        let report = hv_core::check_page(&single);
+        let report = battery.run_str(&single);
         assert_eq!(report.findings.len(), 1);
         assert!(report.has(hv_core::ViolationKind::FB2));
     }

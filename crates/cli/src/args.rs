@@ -38,9 +38,16 @@ USAGE:
                                      Crawl extracts in the same layout)
   hva explain <VIOLATION|all>        explain a violation: parser behaviour,
                                      attack, and fix (e.g. hva explain DM3)
+  hva serve [--addr HOST:PORT] [--threads N] [--max-body BYTES]
+            [--queue-depth N] [--store FILE]
+                                     serve the /v1 HTTP API (check, fix,
+                                     explain, report, store summary, plus
+                                     /healthz and /metricsz); --store loads
+                                     a saved scan for the report endpoints
   hva help                           show this message
 
-DEFAULTS: --seed 4740657 (0x485631), --scale 0.05, --threads = cores
+DEFAULTS: --seed 4740657 (0x485631), --scale 0.05, --threads = cores,
+          --addr 127.0.0.1:8077, --max-body 1048576, --queue-depth 64
 ";
 
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +99,13 @@ pub enum Command {
     },
     Explain {
         what: String,
+    },
+    Serve {
+        addr: String,
+        threads: usize,
+        max_body: usize,
+        queue_depth: usize,
+        store: Option<PathBuf>,
     },
     Help,
 }
@@ -178,6 +192,20 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let (positional, _) = split(&rest)?;
             let what = positional.first().ok_or("explain: missing <VIOLATION|all>")?;
             Ok(Command::Explain { what: what.to_string() })
+        }
+        "serve" => {
+            let (_, flags) = split(&rest)?;
+            let queue_depth = flags.num("queue-depth", 64)? as usize;
+            if queue_depth == 0 {
+                return Err("serve: --queue-depth must be positive".into());
+            }
+            Ok(Command::Serve {
+                addr: flags.get("addr").unwrap_or_else(|| "127.0.0.1:8077".to_owned()),
+                threads: flags.num("threads", 0)? as usize,
+                max_body: flags.num("max-body", 1 << 20)? as usize,
+                queue_depth,
+                store: flags.get("store").map(PathBuf::from),
+            })
         }
         "repro" => {
             let (_, flags) = split(&rest)?;
@@ -364,6 +392,46 @@ mod tests {
     fn report_requires_store() {
         assert!(p(&["report", "fig8"]).is_err());
         assert!(p(&["report", "fig8", "--store", "s.json"]).is_ok());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        assert_eq!(
+            p(&["serve"]).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:8077".into(),
+                threads: 0,
+                max_body: 1 << 20,
+                queue_depth: 64,
+                store: None,
+            }
+        );
+        match p(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--threads",
+            "4",
+            "--max-body",
+            "4096",
+            "--queue-depth",
+            "8",
+            "--store",
+            "s.json",
+        ])
+        .unwrap()
+        {
+            Command::Serve { addr, threads, max_body, queue_depth, store } => {
+                assert_eq!(addr, "0.0.0.0:9000");
+                assert_eq!(threads, 4);
+                assert_eq!(max_body, 4096);
+                assert_eq!(queue_depth, 8);
+                assert_eq!(store, Some("s.json".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["serve", "--queue-depth", "0"]).is_err());
+        assert!(p(&["serve", "--max-body", "lots"]).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::{Command, USAGE};
-use hv_core::{autofix, checkers};
+use hv_core::{autofix, Battery};
 use hv_corpus::{Archive, CorpusConfig, Snapshot};
 use hv_pipeline::{aggregate, scan, ResultStore, ScanOptions};
 use std::fs;
@@ -54,6 +54,9 @@ pub fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Explain { what } => explain(&what),
+        Command::Serve { addr, threads, max_body, queue_depth, store } => {
+            serve(addr, threads, max_body, queue_depth, store)
+        }
         Command::Repro { seed, scale, threads, out, json } => {
             // Repro always collects metrics: the run's provenance (how fast,
             // how many pages, which checks fired) belongs in the record.
@@ -73,6 +76,35 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
+    }
+}
+
+/// `hva serve`: run the /v1 HTTP API until the process is killed.
+fn serve(
+    addr: String,
+    threads: usize,
+    max_body: usize,
+    queue_depth: usize,
+    store: Option<std::path::PathBuf>,
+) -> Result<(), String> {
+    let mut opts = hv_server::ServeOptions::new()
+        .addr(addr)
+        .threads(threads)
+        .max_body(max_body)
+        .queue_depth(queue_depth);
+    if let Some(path) = store {
+        eprintln!("loading result store from {} ...", path.display());
+        opts = opts.store_path(path);
+    }
+    let server = hv_server::serve(opts).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving http://{} — POST /v1/check, POST /v1/fix, GET /v1/explain/{{kind}}, \
+         GET /v1/report/{{experiment}}, GET /v1/store/summary, GET /healthz, GET /metricsz",
+        server.addr()
+    );
+    // Serve until killed; the acceptor and workers own all the work.
+    loop {
+        std::thread::park();
     }
 }
 
@@ -116,7 +148,7 @@ fn check(file: &Path, json: bool) -> Result<(), String> {
             spec_html::decoder::decode_utf8_lossy(&bytes).into()
         }
     };
-    let report = checkers::check_page(&text);
+    let report = Battery::full().run_str(&text);
     if json {
         println!(
             "{}",
@@ -301,30 +333,8 @@ fn chaos(
 }
 
 fn render_experiment(name: &str, store: &ResultStore) -> Result<String, String> {
-    use hv_report::experiments as exp;
-    Ok(match name {
-        "table1" => exp::table1(),
-        "table2" => exp::table2(store),
-        "fig8" => exp::fig8(store),
-        "fig9" => exp::fig9(store),
-        "fig10" => exp::fig10(store),
-        "fig16" => exp::fig16(store),
-        "fig17" => exp::fig17(store),
-        "fig18" => exp::fig18(store),
-        "fig19" => exp::fig19(store),
-        "fig20" => exp::fig20(store),
-        "fig21" => exp::fig21(store),
-        "stats" => exp::stats(store),
-        "autofix" => exp::autofix(store),
-        "mitigations" => exp::mitigations(store),
-        "rollout" => exp::rollout(store),
-        "churn" => exp::churn(store),
-        "aux" => exp::aux_studies(store),
-        "all" => exp::full_report(store),
-        other => {
-            // `aggregate` is linked for the store type; keep the error crisp.
-            let _ = aggregate::table2_total(store);
-            return Err(format!("unknown experiment: {other} (try `hva help`)"));
-        }
-    })
+    // `aggregate` is linked for the store type; keep the error crisp.
+    let _ = aggregate::table2_total(store);
+    hv_report::render(name, store)
+        .ok_or_else(|| format!("unknown experiment: {name} (try `hva help`)"))
 }

@@ -254,6 +254,14 @@ impl Battery {
         self.run(&cx)
     }
 
+    /// Parse `raw` as a dynamically loaded HTML *fragment* (innerHTML
+    /// semantics in the given context element) and run the battery over
+    /// it — the §5.1 pre-study's unit of analysis.
+    pub fn run_fragment(&mut self, raw: &str, context_element: &str) -> PageReport {
+        let cx = CheckContext::fragment(raw, context_element);
+        self.run(&cx)
+    }
+
     /// Run the battery over a raw byte body, applying the study's UTF-8
     /// inclusion filter. Validation borrows — no decode-time copy is made.
     /// Returns `None` when the bytes are not valid UTF-8 (the document is
@@ -458,13 +466,25 @@ mod tests {
 
     const DIRTY: &str = "<img src=a src=b><div id=x id=y><p/ class=c><a href=\"u\"title=t>";
 
+    /// The deprecated one-shot shims must stay observationally identical
+    /// to the Battery methods they delegate to for the release they
+    /// survive.
     #[test]
-    fn full_battery_matches_check_page() {
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_battery_methods() {
         let mut battery = Battery::full();
         let a = battery.run_str(DIRTY);
         let b = checkers::check_page(DIRTY);
         assert_eq!(a.findings, b.findings);
         assert_eq!(a.mitigations, b.mitigations);
+
+        let frag = "<img src=a src=b>";
+        let via_method = battery.run_fragment(frag, "div");
+        let via_shim = checkers::check_fragment(frag);
+        assert_eq!(via_method.findings, via_shim.findings);
+
+        let cx = CheckContext::new(DIRTY);
+        assert_eq!(checkers::check_context(&cx).findings, battery.run(&cx).findings);
     }
 
     #[test]

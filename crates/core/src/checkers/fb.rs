@@ -61,7 +61,11 @@ impl Check for Fb2 {
 
 #[cfg(test)]
 mod tests {
-    use crate::checkers::check_page;
+    /// Test-local one-shot over the new Battery API (the deprecated
+    /// free-function shim delegates to exactly this).
+    fn check_page(raw: &str) -> crate::report::PageReport {
+        crate::Battery::full().run_str(raw)
+    }
     use crate::taxonomy::ViolationKind::*;
 
     #[test]

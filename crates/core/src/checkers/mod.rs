@@ -146,9 +146,14 @@ pub fn all_checks() -> Vec<Box<dyn Check>> {
 /// Run every rule over a page and assemble the [`PageReport`] (violations +
 /// §4.5 mitigation flags).
 ///
-/// Convenience one-shot path: builds a throwaway [`crate::Battery`] per
-/// call. Hot loops should construct one [`crate::Battery`] per worker and
-/// reuse it instead.
+/// Deprecated shim: the one-shot free functions folded into
+/// [`crate::Battery`], whose constructors (`full`/`only`) plus methods
+/// (`run_str`/`run_fragment`/`run`) cover the same ground and let hot
+/// loops reuse the rule set. Kept for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Battery::full().run_str(raw)` (reuse the Battery in loops)"
+)]
 pub fn check_page(raw: &str) -> PageReport {
     crate::Battery::full().run_str(raw)
 }
@@ -157,16 +162,20 @@ pub fn check_page(raw: &str) -> PageReport {
 /// innerHTML semantics in a `div` context) — the §5.1 pre-study's unit of
 /// analysis.
 ///
-/// One-shot path; see [`check_page`] on battery reuse.
+/// Deprecated shim; see [`check_page`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Battery::full().run_fragment(raw, \"div\")` (reuse the Battery in loops)"
+)]
 pub fn check_fragment(raw: &str) -> PageReport {
-    let cx = CheckContext::fragment(raw, "div");
-    crate::Battery::full().run(&cx)
+    crate::Battery::full().run_fragment(raw, "div")
 }
 
 /// Like [`check_page`] but reusing an existing context (the caller builds
 /// the context once and also feeds, e.g., the auto-fixer).
 ///
-/// One-shot path; see [`check_page`] on battery reuse.
+/// Deprecated shim; see [`check_page`].
+#[deprecated(since = "0.2.0", note = "use `Battery::full().run(cx)` (reuse the Battery in loops)")]
 pub fn check_context(cx: &CheckContext<'_>) -> PageReport {
     crate::Battery::full().run(cx)
 }
@@ -235,6 +244,10 @@ pub fn mitigation_flags(cx: &CheckContext<'_>) -> MitigationFlags {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn check_page(raw: &str) -> PageReport {
+        crate::Battery::full().run_str(raw)
+    }
 
     #[test]
     fn battery_covers_all_twenty_kinds() {

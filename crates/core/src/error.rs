@@ -1,0 +1,160 @@
+//! [`HvError`] — the one error type every cross-crate fallible entry
+//! point returns.
+//!
+//! Before the service layer, fallible surfaces were a mix of `String`
+//! (CLI plumbing), `io::Result` (store persistence), and per-module
+//! enums. A wire API cannot be built on that: the server needs to map
+//! *every* failure onto exactly one HTTP status and machine-readable
+//! code, in one place. `HvError` is that common currency. It lives in
+//! `hv-core` — the root of the workspace dependency DAG — so the
+//! pipeline's `ResultStore::load`/`save`, the WARC scanner, and the
+//! server's startup path can all return it, and the
+//! `html_violations` facade re-exports it from its prelude.
+//!
+//! The enum is `#[non_exhaustive]`: new failure classes can be added
+//! without a breaking release. Downstream matches must carry a wildcard
+//! arm, which is exactly what an error-mapping layer wants anyway.
+
+use crate::battery::InputError;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Unified error for the workspace's cross-crate entry points.
+///
+/// Constructors ([`HvError::parse`], [`HvError::store`], [`HvError::io`],
+/// [`HvError::server`]) keep call sites one-liners; `Display` renders a
+/// `context: detail` message and [`std::error::Error::source`] exposes the
+/// underlying `io::Error` where one exists.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HvError {
+    /// Structured input that failed parsing: a store's JSON, a WARC
+    /// record, a CDX line, a malformed request payload.
+    Parse {
+        /// What was being parsed ("store JSON", "CheckRequest", …).
+        what: String,
+        /// Parser-level detail.
+        detail: String,
+    },
+    /// A persisted result store could not be loaded or saved at `path`.
+    Store {
+        path: PathBuf,
+        detail: String,
+        /// The underlying I/O failure, when the failure was I/O (a JSON
+        /// syntax error has none).
+        source: Option<io::Error>,
+    },
+    /// An I/O failure outside store persistence (reading WARC inputs,
+    /// accepting connections, …).
+    Io { context: String, source: io::Error },
+    /// The HTTP service layer failed outside request handling (bind
+    /// error, worker pool wiring, startup store load).
+    Server { detail: String },
+    /// A document body refused by the input guards (§4.1 UTF-8 filter,
+    /// §7 byte budget) — carries the structured [`InputError`].
+    Input(InputError),
+}
+
+impl HvError {
+    /// A parse failure: `what` names the format, `detail` the reason.
+    pub fn parse(what: impl Into<String>, detail: impl Into<String>) -> Self {
+        HvError::Parse { what: what.into(), detail: detail.into() }
+    }
+
+    /// A store persistence failure with no underlying `io::Error`.
+    pub fn store(path: &Path, detail: impl Into<String>) -> Self {
+        HvError::Store { path: path.to_path_buf(), detail: detail.into(), source: None }
+    }
+
+    /// A store persistence failure caused by an `io::Error`.
+    pub fn store_io(path: &Path, source: io::Error) -> Self {
+        HvError::Store {
+            path: path.to_path_buf(),
+            detail: source.to_string(),
+            source: Some(source),
+        }
+    }
+
+    /// An I/O failure with a human context ("reading CDXJ index", …).
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        HvError::Io { context: context.into(), source }
+    }
+
+    /// A service-layer failure.
+    pub fn server(detail: impl Into<String>) -> Self {
+        HvError::Server { detail: detail.into() }
+    }
+}
+
+impl std::fmt::Display for HvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HvError::Parse { what, detail } => write!(f, "parsing {what}: {detail}"),
+            HvError::Store { path, detail, .. } => {
+                write!(f, "result store {}: {detail}", path.display())
+            }
+            HvError::Io { context, source } => write!(f, "{context}: {source}"),
+            HvError::Server { detail } => write!(f, "server: {detail}"),
+            HvError::Input(e) => write!(f, "input rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HvError::Io { source, .. } => Some(source),
+            HvError::Store { source: Some(source), .. } => Some(source),
+            HvError::Input(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InputError> for HvError {
+    fn from(e: InputError) -> Self {
+        HvError::Input(e)
+    }
+}
+
+impl From<io::Error> for HvError {
+    fn from(e: io::Error) -> Self {
+        HvError::Io { context: "I/O".into(), source: e }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_carries_context() {
+        let e = HvError::parse("store JSON", "expected object, got array");
+        assert_eq!(e.to_string(), "parsing store JSON: expected object, got array");
+        let e = HvError::server("address already in use");
+        assert_eq!(e.to_string(), "server: address already in use");
+    }
+
+    #[test]
+    fn io_sources_are_exposed() {
+        let inner = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e = HvError::io("opening WARC", inner);
+        assert!(e.to_string().contains("opening WARC"));
+        assert!(e.source().is_some());
+
+        let e = HvError::parse("x", "y");
+        assert!(e.source().is_none());
+
+        let e = HvError::store_io(Path::new("/tmp/s.json"), io::Error::other("disk"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("/tmp/s.json"));
+    }
+
+    #[test]
+    fn input_errors_convert() {
+        let e: HvError = InputError::TooLarge { len: 10, budget: 5 }.into();
+        assert!(matches!(e, HvError::Input(InputError::TooLarge { .. })));
+        assert!(e.source().is_some());
+    }
+}

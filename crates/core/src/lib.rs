@@ -23,13 +23,12 @@
 //!
 //! ## Quickstart
 //!
-//! For a single page, [`check_page`] is the shortest path:
+//! For a single page, a full [`Battery`] is the shortest path:
 //!
 //! ```
-//! use hv_core::checkers::check_page;
-//! use hv_core::ViolationKind;
+//! use hv_core::{Battery, ViolationKind};
 //!
-//! let report = check_page(r#"<img src="x.png"onerror="alert(1)">"#);
+//! let report = Battery::full().run_str(r#"<img src="x.png"onerror="alert(1)">"#);
 //! assert!(report.has(ViolationKind::FB2));
 //!
 //! let fixed = hv_core::autofix::auto_fix(r#"<img src="x.png"onerror="alert(1)">"#);
@@ -60,6 +59,7 @@ pub mod autofix;
 pub mod battery;
 pub mod checkers;
 pub mod context;
+pub mod error;
 pub mod report;
 pub mod sanitizer;
 pub mod strict;
@@ -68,8 +68,11 @@ pub mod taxonomy;
 pub use battery::{Battery, BatteryStats, CheckStats, DurationHistogram, InputError};
 pub use checkers::{Check, Interest};
 pub use context::CheckContext;
+pub use error::HvError;
 pub use report::{Finding, MitigationFlags, PageReport};
 pub use taxonomy::{Fixability, ProblemGroup, ViolationCategory, ViolationKind};
 
-/// Convenience re-export: check one page with the full battery.
+/// Convenience re-export of the deprecated one-shot shim; use
+/// [`Battery::full`] + [`Battery::run_str`] instead.
+#[allow(deprecated)]
 pub use checkers::check_page;

@@ -202,7 +202,11 @@ pub fn evaluate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::checkers::check_page;
+    /// Test-local one-shot over the new Battery API (the deprecated
+    /// free-function shim delegates to exactly this).
+    fn check_page(raw: &str) -> crate::report::PageReport {
+        crate::Battery::full().run_str(raw)
+    }
 
     const VIOLATING: &str = r#"<img src="x.png"onerror="a()"><table><tr><b>t</b></tr></table>"#;
     const RARE_ONLY: &str = "<body><select><option>a\nrest swallowed";

@@ -183,7 +183,12 @@ pub fn longtail_snapshot(
 mod tests {
     use super::*;
     use crate::archive::{Archive, CorpusConfig};
-    use hv_core::checkers::check_fragment;
+
+    /// Test-local one-shot over the new Battery API (the deprecated
+    /// free-function shim delegates to exactly this).
+    fn check_fragment(raw: &str) -> hv_core::PageReport {
+        hv_core::Battery::full().run_fragment(raw, "div")
+    }
 
     fn archive() -> Archive {
         Archive::new(CorpusConfig { seed: 77, scale: 0.005 })
@@ -281,7 +286,7 @@ mod tests {
             let html = crate::htmlgen::generate_page(a.cfg.seed, &ds, page);
             // Pages parse and the checkers never see structural kinds the
             // domain does not express.
-            let report = hv_core::check_page(&html);
+            let report = hv_core::Battery::full().run_str(&html);
             for k in report.kinds() {
                 assert!(ds.expressed.contains(&k), "unexpected {k} on longtail page");
             }

@@ -381,8 +381,13 @@ mod tests {
     use super::*;
     use crate::profile::DomainSnapshot;
     use crate::snapshots::Snapshot;
-    use hv_core::checkers::check_page;
     use hv_core::ViolationKind as VK;
+
+    /// Test-local one-shot over the new Battery API (the deprecated
+    /// free-function shim delegates to exactly this).
+    fn check_page(raw: &str) -> hv_core::PageReport {
+        hv_core::Battery::full().run_str(raw)
+    }
 
     /// A synthetic domain-snapshot for driving the generator directly.
     fn ds_with(expressed: Vec<VK>) -> DomainSnapshot {

@@ -6,8 +6,7 @@
 //! * [`longtail_study`] — §5.2: compare a random long-tail sample against
 //!   the popular universe on violation prevalence and per-domain counts.
 
-use hv_core::checkers::check_fragment;
-use hv_core::ViolationKind;
+use hv_core::{Battery, ViolationKind};
 use hv_corpus::auxstudies::{dynamic_fragments, longtail_snapshot};
 use hv_corpus::{Archive, Snapshot};
 use serde::{Deserialize, Serialize};
@@ -35,6 +34,9 @@ pub fn dynamic_study(archive: &Archive, top_k: usize, pages_per_domain: usize) -
     let mut fragments = 0usize;
     let mut violating = 0usize;
     let mut per_kind: BTreeMap<ViolationKind, usize> = BTreeMap::new();
+    // One battery for the whole study; fragments are checked in `<div>`
+    // context, like the paper's DOM-subtree extraction.
+    let mut battery = Battery::full();
     for d in archive.domains().iter().take(top_k) {
         let Some(cdx) = archive.cdx_lookup(d, snap) else { continue };
         if !cdx.snapshot.utf8_ok {
@@ -45,7 +47,7 @@ pub fn dynamic_study(archive: &Archive, top_k: usize, pages_per_domain: usize) -
         for page in 0..cdx.snapshot.page_count.min(pages_per_domain) {
             for frag in dynamic_fragments(archive.cfg.seed, &cdx.snapshot, page) {
                 fragments += 1;
-                let report = check_fragment(&frag);
+                let report = battery.run_fragment(&frag, "div");
                 domain_kinds.extend(report.kinds());
             }
         }
@@ -89,6 +91,7 @@ pub struct LongtailStudy {
 /// Pages are scanned for the long tail; the popular side reuses the same
 /// scanning path over the archive's top list.
 pub fn longtail_study(archive: &Archive, sample: usize, snap: Snapshot) -> LongtailStudy {
+    let mut battery = Battery::full();
     // Popular side.
     let mut pop = PopulationStats::default();
     for d in archive.domains().iter().take(sample) {
@@ -96,7 +99,7 @@ pub fn longtail_study(archive: &Archive, sample: usize, snap: Snapshot) -> Longt
         if !cdx.snapshot.utf8_ok {
             continue;
         }
-        let kinds = scan_snapshot_kinds(archive, &cdx.snapshot);
+        let kinds = scan_snapshot_kinds(archive, &mut battery, &cdx.snapshot);
         pop.add(&kinds);
     }
     // Long-tail side.
@@ -106,7 +109,7 @@ pub fn longtail_study(archive: &Archive, sample: usize, snap: Snapshot) -> Longt
         if !ds.utf8_ok {
             continue;
         }
-        let kinds = scan_snapshot_kinds(archive, &ds);
+        let kinds = scan_snapshot_kinds(archive, &mut battery, &ds);
         tail.add(&kinds);
     }
     LongtailStudy {
@@ -123,12 +126,16 @@ pub fn longtail_study(archive: &Archive, sample: usize, snap: Snapshot) -> Longt
 }
 
 /// Scan all pages of one domain-snapshot and return the distinct kinds.
-fn scan_snapshot_kinds(archive: &Archive, ds: &hv_corpus::DomainSnapshot) -> Vec<ViolationKind> {
+fn scan_snapshot_kinds(
+    archive: &Archive,
+    battery: &mut Battery,
+    ds: &hv_corpus::DomainSnapshot,
+) -> Vec<ViolationKind> {
     let mut kinds: Vec<ViolationKind> = Vec::new();
     for page in 0..ds.page_count.min(100) {
         let body = archive.fetch_page(ds, page);
         if let Ok(text) = std::str::from_utf8(&body) {
-            kinds.extend(hv_core::check_page(text).kinds());
+            kinds.extend(battery.run_str(text).kinds());
         }
     }
     kinds.sort_unstable();

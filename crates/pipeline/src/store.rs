@@ -7,7 +7,7 @@
 
 use crate::metrics::ScanMetrics;
 use crate::outcome::QuarantineEntry;
-use hv_core::{MitigationFlags, ViolationKind};
+use hv_core::{HvError, MitigationFlags, ViolationKind};
 use hv_corpus::Snapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -126,18 +126,21 @@ impl ResultStore {
         self.records.iter().filter(|r| r.analyzed()).map(|r| r.domain_id).collect()
     }
 
-    /// Persist as JSON.
-    pub fn save(&self, path: &Path) -> io::Result<()> {
-        let file = std::fs::File::create(path)?;
+    /// Persist as JSON. Failures come back as the workspace-wide
+    /// [`HvError`], so callers (CLI, server startup) map them uniformly.
+    pub fn save(&self, path: &Path) -> Result<(), HvError> {
+        let file = std::fs::File::create(path).map_err(|e| HvError::store_io(path, e))?;
         serde_json::to_writer(io::BufWriter::new(file), self)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+            .map_err(|e| HvError::store(path, e.to_string()))
     }
 
-    /// Load from JSON.
-    pub fn load(path: &Path) -> io::Result<Self> {
-        let file = std::fs::File::open(path)?;
+    /// Load from JSON. I/O failures become [`HvError::Store`] with the
+    /// `io::Error` as `source`; malformed JSON becomes a store error with
+    /// the parser's detail.
+    pub fn load(path: &Path) -> Result<Self, HvError> {
+        let file = std::fs::File::open(path).map_err(|e| HvError::store_io(path, e))?;
         serde_json::from_reader(io::BufReader::new(file))
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+            .map_err(|e| HvError::store(path, e.to_string()))
     }
 }
 

@@ -11,11 +11,10 @@ use crate::outcome::{ErrorClass, QuarantineEntry};
 use crate::run::DEFAULT_BYTE_BUDGET;
 use crate::store::{DomainYearRecord, ResultStore};
 use hv_core::context::CheckContext;
-use hv_core::Battery;
+use hv_core::{Battery, HvError};
 use hv_corpus::warc::{load_cdxj_lenient, read_record, CdxjLine};
 use hv_corpus::Snapshot;
 use std::collections::{BTreeMap, BTreeSet};
-use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
@@ -30,10 +29,13 @@ pub struct WarcInput {
 /// Discover `<CC-MAIN-*>.warc` / `.cdxj` pairs in a directory (the layout
 /// `hva gen --warc` produces). Snapshot association comes from the
 /// crawl-id file stem.
-pub fn discover(dir: &Path) -> io::Result<Vec<WarcInput>> {
+pub fn discover(dir: &Path) -> Result<Vec<WarcInput>, HvError> {
     let mut inputs = Vec::new();
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
+    let listing = std::fs::read_dir(dir)
+        .map_err(|e| HvError::io(format!("listing WARC directory {}", dir.display()), e))?;
+    for entry in listing {
+        let path =
+            entry.map_err(|e| HvError::io("reading WARC directory entry".to_string(), e))?.path();
         if path.extension().and_then(|e| e.to_str()) != Some("warc") {
             continue;
         }
@@ -63,13 +65,14 @@ fn snapshot_from_crawl_id(stem: &str) -> Option<Snapshot> {
 /// per page with a structured [`ErrorClass`]; only I/O failures on the
 /// files themselves (open errors) abort. Non-UTF-8 bodies are *rejected*,
 /// not quarantined — that is the study's §4.1 filter at work.
-pub fn scan_warc(inputs: &[WarcInput]) -> io::Result<ResultStore> {
+pub fn scan_warc(inputs: &[WarcInput]) -> Result<ResultStore, HvError> {
     let mut store = ResultStore::new(0, 0.0, 0);
     let mut domains_seen: BTreeSet<String> = BTreeSet::new();
     // One battery for the whole scan: the WARC path is single-threaded.
     let mut battery = Battery::full();
     for input in inputs {
-        let (index, malformed) = load_cdxj_lenient(&input.cdx)?;
+        let (index, malformed) = load_cdxj_lenient(&input.cdx)
+            .map_err(|e| HvError::io(format!("reading CDXJ index {}", input.cdx.display()), e))?;
         // Index lines the CDXJ parser refused: quarantined under a
         // synthetic per-file pseudo-domain (there is no trustworthy URL to
         // group by), keyed by line number for the audit trail.
@@ -82,7 +85,8 @@ pub fn scan_warc(inputs: &[WarcInput]) -> io::Result<ResultStore> {
                 class: ErrorClass::MalformedCdx,
             });
         }
-        let mut file = std::fs::File::open(&input.warc)?;
+        let mut file = std::fs::File::open(&input.warc)
+            .map_err(|e| HvError::io(format!("opening WARC {}", input.warc.display()), e))?;
         // Group the index lines by host.
         let mut by_host: BTreeMap<String, Vec<&CdxjLine>> = BTreeMap::new();
         for line in &index {

@@ -389,6 +389,57 @@ pub fn full_report(store: &ResultStore) -> String {
     parts.join("\n================================================================\n\n")
 }
 
+/// Names accepted by [`render`], in presentation order. This is the single
+/// source of truth for "what experiments exist" — the CLI usage text and
+/// the server's `/v1/report/{experiment}` endpoint both derive from it.
+pub const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "stats",
+    "autofix",
+    "mitigations",
+    "rollout",
+    "churn",
+    "aux",
+    "all",
+];
+
+/// Render one experiment by name, or `None` for an unknown name. Shared by
+/// `hva report` and the service layer's `/v1/report/{experiment}` so the
+/// two surfaces can never drift apart.
+pub fn render(name: &str, store: &ResultStore) -> Option<String> {
+    Some(match name {
+        "table1" => table1(),
+        "table2" => table2(store),
+        "fig8" => fig8(store),
+        "fig9" => fig9(store),
+        "fig10" => fig10(store),
+        "fig16" => fig16(store),
+        "fig17" => fig17(store),
+        "fig18" => fig18(store),
+        "fig19" => fig19(store),
+        "fig20" => fig20(store),
+        "fig21" => fig21(store),
+        "stats" => stats(store),
+        "autofix" => autofix(store),
+        "mitigations" => mitigations(store),
+        "rollout" => rollout(store),
+        "churn" => churn(store),
+        "aux" => aux_studies(store),
+        "all" => full_report(store),
+        _ => return None,
+    })
+}
+
 /// Machine-readable dump of every experiment (for downstream analysis or
 /// regression-diffing two scans).
 pub fn experiments_json(store: &ResultStore) -> serde_json::Value {

@@ -9,4 +9,4 @@ pub mod experiments;
 pub mod series;
 pub mod table;
 
-pub use experiments::{experiments_json, experiments_markdown, full_report};
+pub use experiments::{experiments_json, experiments_markdown, full_report, render, EXPERIMENTS};

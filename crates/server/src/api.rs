@@ -1,0 +1,11 @@
+//! Versioned wire types.
+//!
+//! Everything the service puts on the wire lives here, one module per
+//! major version. The DTOs are deliberately *decoupled* from the library
+//! types they mirror: `hv_core::Finding` can grow or rename fields freely,
+//! and the explicit `From` impls in [`v1`] are the single place where the
+//! mapping is maintained. Golden-fixture tests (`tests/wire_v1.rs`) pin
+//! the serialized shape, so an accidental wire break fails CI instead of a
+//! client.
+
+pub mod v1;

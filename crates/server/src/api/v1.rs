@@ -1,0 +1,283 @@
+//! The `/v1` wire contract.
+//!
+//! ## Compatibility promise
+//!
+//! Within `/v1`, existing fields never change name, type, or meaning, and
+//! enum-like strings (`code`, `fixability`, `category`) never change
+//! spelling. New **optional** fields may be added; clients must ignore
+//! unknown fields. A change that cannot satisfy this promise ships as
+//! `/v2` alongside `/v1`, never in place of it.
+//!
+//! The structs here are wire types, not library types: they mirror
+//! `hv_core`'s [`Finding`]/[`PageReport`]/[`FixOutcome`] through explicit
+//! `From` impls so that internal refactors cannot silently change the
+//! serialized shape. `tests/wire_v1.rs` pins the JSON golden fixtures.
+
+use hv_core::autofix::FixOutcome;
+use hv_core::{Finding, MitigationFlags, PageReport, ViolationKind};
+use serde::{Deserialize, Serialize};
+
+/// Body of `POST /v1/check` and `POST /v1/fix` (JSON form).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckRequest {
+    /// The HTML document to analyze, as text. Clients holding raw bytes
+    /// can alternatively POST them directly with `Content-Type: text/html`.
+    pub html: String,
+}
+
+/// Response of `POST /v1/check`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckResponse {
+    /// True iff `findings` is empty.
+    pub clean: bool,
+    /// Every violation found, sorted by `(kind, offset)`.
+    pub findings: Vec<FindingDto>,
+    /// The §4.5 deployed-mitigation flags measured alongside the checks.
+    pub mitigations: MitigationsDto,
+}
+
+impl From<&PageReport> for CheckResponse {
+    fn from(report: &PageReport) -> Self {
+        CheckResponse {
+            clean: report.is_clean(),
+            findings: report.findings.iter().map(FindingDto::from).collect(),
+            mitigations: MitigationsDto::from(report.mitigations),
+        }
+    }
+}
+
+/// One violation on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FindingDto {
+    /// Taxonomy id, e.g. `"FB2"` or `"HF5.1"` — the same ids `hva explain`
+    /// accepts.
+    pub kind: String,
+    /// Problem-group code: `"DE"`, `"DM"`, `"HF"`, or `"FB"`.
+    pub group: String,
+    /// `"definition_violation"` or `"parsing_error"` (§3.2).
+    pub category: String,
+    /// `"automatic"` or `"manual"` (§4.4).
+    pub fixability: String,
+    /// Character offset into the preprocessed document; 0 for
+    /// whole-document findings.
+    pub offset: usize,
+    /// Short human-readable evidence excerpt.
+    pub evidence: String,
+}
+
+impl From<&Finding> for FindingDto {
+    fn from(f: &Finding) -> Self {
+        FindingDto {
+            kind: f.kind.id().to_owned(),
+            group: f.kind.group().code().to_owned(),
+            category: category_str(f.kind).to_owned(),
+            fixability: fixability_str(f.kind).to_owned(),
+            offset: f.offset,
+            evidence: f.evidence.clone(),
+        }
+    }
+}
+
+/// §4.5 mitigation flags on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MitigationsDto {
+    #[serde(default)]
+    pub script_in_attribute: bool,
+    #[serde(default)]
+    pub script_in_nonced_script: bool,
+    #[serde(default)]
+    pub newline_in_url: bool,
+    #[serde(default)]
+    pub newline_and_lt_in_url: bool,
+}
+
+impl From<MitigationFlags> for MitigationsDto {
+    fn from(m: MitigationFlags) -> Self {
+        MitigationsDto {
+            script_in_attribute: m.script_in_attribute,
+            script_in_nonced_script: m.script_in_nonced_script,
+            newline_in_url: m.newline_in_url,
+            newline_and_lt_in_url: m.newline_and_lt_in_url,
+        }
+    }
+}
+
+/// Response of `POST /v1/fix` — the §4.4 automatic repair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixResponse {
+    /// The repaired document.
+    pub fixed_html: String,
+    /// Violation kinds before the repair (taxonomy ids, in taxonomy
+    /// order).
+    pub before: Vec<String>,
+    /// Violation kinds still present after the repair.
+    pub after: Vec<String>,
+    /// `before - after`: what the repair eliminated.
+    pub eliminated: Vec<String>,
+}
+
+impl From<&FixOutcome> for FixResponse {
+    fn from(o: &FixOutcome) -> Self {
+        let ids = |set: &std::collections::BTreeSet<ViolationKind>| -> Vec<String> {
+            set.iter().map(|k| k.id().to_owned()).collect()
+        };
+        FixResponse {
+            fixed_html: o.fixed_html.clone(),
+            before: ids(&o.before),
+            after: ids(&o.after),
+            eliminated: ids(&o.eliminated()),
+        }
+    }
+}
+
+/// Response of `GET /v1/explain/{kind}` — one taxonomy entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplainResponse {
+    pub kind: String,
+    pub definition: String,
+    /// Problem-group name, e.g. `"Filter Bypass"`.
+    pub group: String,
+    /// Problem-group code, e.g. `"FB"`.
+    pub group_code: String,
+    pub category: String,
+    pub fixability: String,
+    /// What the parser actually does with the violating markup.
+    pub behaviour: String,
+    /// What an attacker gains.
+    pub attack: String,
+    /// How a developer repairs it.
+    pub fix: String,
+}
+
+impl From<ViolationKind> for ExplainResponse {
+    fn from(kind: ViolationKind) -> Self {
+        let e = kind.explanation();
+        ExplainResponse {
+            kind: kind.id().to_owned(),
+            definition: kind.definition().to_owned(),
+            group: kind.group().name().to_owned(),
+            group_code: kind.group().code().to_owned(),
+            category: category_str(kind).to_owned(),
+            fixability: fixability_str(kind).to_owned(),
+            behaviour: e.behaviour.to_owned(),
+            attack: e.attack.to_owned(),
+            fix: e.fix.to_owned(),
+        }
+    }
+}
+
+/// Response of `GET /v1/store/summary` — provenance of the loaded
+/// [`hv_pipeline::ResultStore`], without shipping the whole store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreSummary {
+    /// Corpus seed the store was scanned from.
+    pub seed: u64,
+    /// Corpus scale factor.
+    pub scale: f64,
+    /// Domains in the scanned universe.
+    pub universe: usize,
+    /// Domain-snapshot records in the store.
+    pub records: usize,
+    /// Pages the scan quarantined with a structured reason.
+    pub quarantined: usize,
+    /// Whether the scan embedded observability metrics.
+    pub has_metrics: bool,
+    /// Experiments `GET /v1/report/{experiment}` can render.
+    pub experiments: Vec<String>,
+}
+
+impl From<&hv_pipeline::ResultStore> for StoreSummary {
+    fn from(store: &hv_pipeline::ResultStore) -> Self {
+        StoreSummary {
+            seed: store.seed,
+            scale: store.scale,
+            universe: store.universe,
+            records: store.records.len(),
+            quarantined: store.quarantine.len(),
+            has_metrics: store.metrics.is_some(),
+            experiments: hv_report::EXPERIMENTS.iter().map(|&s| s.to_owned()).collect(),
+        }
+    }
+}
+
+/// Every non-2xx response carries this body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Machine-readable error code, stable within `/v1`:
+    /// `bad_request`, `not_found`, `method_not_allowed`, `timeout`,
+    /// `body_too_large`, `headers_too_large`, `body_not_utf8`,
+    /// `store_not_loaded`, `internal_panic`, `shedding_load`.
+    pub code: String,
+    /// Human-readable detail. Free-form; clients must branch on `code`.
+    pub message: String,
+}
+
+impl ErrorBody {
+    pub fn new(code: impl Into<String>, message: impl Into<String>) -> Self {
+        ErrorBody { code: code.into(), message: message.into() }
+    }
+}
+
+fn category_str(kind: ViolationKind) -> &'static str {
+    match kind.category() {
+        hv_core::ViolationCategory::DefinitionViolation => "definition_violation",
+        hv_core::ViolationCategory::ParsingError => "parsing_error",
+    }
+}
+
+fn fixability_str(kind: ViolationKind) -> &'static str {
+    match kind.fixability() {
+        hv_core::Fixability::Automatic => "automatic",
+        hv_core::Fixability::Manual => "manual",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_response_mirrors_report() {
+        let mut battery = hv_core::Battery::full();
+        let report = battery.run_str(r#"<img src="x.png"onerror="alert(1)">"#);
+        let dto = CheckResponse::from(&report);
+        assert!(!dto.clean);
+        assert_eq!(dto.findings.len(), report.findings.len());
+        assert!(dto.findings.iter().any(|f| f.kind == "FB2"));
+        for f in &dto.findings {
+            assert!(f.group.len() == 2, "group code: {}", f.group);
+            assert!(matches!(f.category.as_str(), "definition_violation" | "parsing_error"));
+            assert!(matches!(f.fixability.as_str(), "automatic" | "manual"));
+        }
+    }
+
+    #[test]
+    fn explain_covers_every_kind() {
+        for kind in ViolationKind::ALL {
+            let dto = ExplainResponse::from(kind);
+            assert_eq!(dto.kind, kind.id());
+            assert!(!dto.behaviour.is_empty());
+            assert!(!dto.attack.is_empty());
+            assert!(!dto.fix.is_empty());
+        }
+    }
+
+    #[test]
+    fn fix_response_is_consistent() {
+        let o = hv_core::autofix::auto_fix(r#"<img src=a src=b><p/ class=c>"#);
+        let dto = FixResponse::from(&o);
+        assert!(!dto.before.is_empty());
+        for id in &dto.eliminated {
+            assert!(dto.before.contains(id));
+            assert!(!dto.after.contains(id));
+        }
+    }
+
+    #[test]
+    fn check_request_roundtrips() {
+        let req = CheckRequest { html: "<p>x</p>".into() };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: CheckRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+    }
+}

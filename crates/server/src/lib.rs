@@ -1,0 +1,377 @@
+//! # hv-server — `hva serve`, the HTTP service layer
+//!
+//! A dependency-free (std + the workspace's vendored serde) HTTP/1.1
+//! service over the checker battery, exposing a stable, versioned wire
+//! API:
+//!
+//! | endpoint | does |
+//! |---|---|
+//! | `POST /v1/check` | run the full battery over a document |
+//! | `POST /v1/fix` | the §4.4 automatic repair |
+//! | `GET /v1/explain/{kind}` | one taxonomy entry |
+//! | `GET /v1/report/{experiment}` | render a table/figure from the loaded store |
+//! | `GET /v1/store/summary` | provenance of the loaded store |
+//! | `GET /healthz` | liveness |
+//! | `GET /metricsz` | counters + log₂ latency histograms |
+//!
+//! ## Threading and backpressure
+//!
+//! One acceptor thread and a fixed pool of workers, each owning a
+//! reusable [`Battery`](hv_core::Battery) — the hot path performs no
+//! per-request battery construction. Between them sits a **bounded**
+//! queue ([`pool::BoundedQueue`]): when `threads` workers are busy and
+//! `queue_depth` connections already wait, the acceptor *sheds* the next
+//! connection with `503 + Retry-After` instead of queueing it. Worst-case
+//! admitted work is therefore `threads + queue_depth` connections; tail
+//! latency is bounded by queue depth, not by how fast clients arrive.
+//!
+//! Per-connection read/write timeouts bound slow peers; keep-alive is
+//! honored until shutdown. A handler panic is caught at the request
+//! boundary (`500 internal_panic`, worker survives) — the scan engine's
+//! page-quarantine philosophy applied to a service.
+//!
+//! ## Example
+//!
+//! ```
+//! use hv_server::{serve, ServeOptions};
+//!
+//! let server = serve(ServeOptions::new().addr("127.0.0.1:0").threads(2)).unwrap();
+//! let addr = server.addr();
+//! // ... point clients at http://{addr} ...
+//! server.shutdown();
+//! ```
+
+pub mod api;
+pub mod handler;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+
+use handler::{Handler, Shared};
+use hv_core::HvError;
+use metrics::Metrics;
+use pool::{BoundedQueue, PushError};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default request-body budget: the scan engine's §7 per-record byte
+/// budget, applied to request bodies.
+pub const DEFAULT_MAX_BODY: usize = hv_pipeline::run::DEFAULT_BYTE_BUDGET;
+
+/// Default bounded-queue depth.
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// Server configuration, following the workspace's `ScanOptions` builder
+/// idiom. `#[non_exhaustive]` keeps new knobs from being breaking
+/// changes: construct with [`ServeOptions::new`] and chain setters.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServeOptions {
+    /// Bind address, e.g. `"127.0.0.1:8077"`. Port 0 picks a free port
+    /// (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads; 0 = one per available core.
+    pub threads: usize,
+    /// Request-body byte budget; larger bodies get 413 before being read.
+    pub max_body: usize,
+    /// Bounded queue depth; connections beyond it are shed with 503.
+    pub queue_depth: usize,
+    /// Per-connection read timeout (also the keep-alive idle limit).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Result store to load at startup for the report endpoints.
+    pub store_path: Option<PathBuf>,
+}
+
+impl ServeOptions {
+    /// The defaults: loopback on port 8077, all cores, 1 MiB bodies,
+    /// depth-64 queue, 5 s timeouts, no store.
+    pub fn new() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:8077".to_owned(),
+            threads: 0,
+            max_body: DEFAULT_MAX_BODY,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            store_path: None,
+        }
+    }
+
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Worker threads; 0 = one per available core.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    pub fn max_body(mut self, bytes: usize) -> Self {
+        self.max_body = bytes;
+        self
+    }
+
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    pub fn read_timeout(mut self, t: Duration) -> Self {
+        self.read_timeout = t;
+        self
+    }
+
+    pub fn write_timeout(mut self, t: Duration) -> Self {
+        self.write_timeout = t;
+        self
+    }
+
+    /// Load this [`hv_pipeline::ResultStore`] at startup.
+    pub fn store_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store_path = Some(path.into());
+        self
+    }
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions::new()
+    }
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// detaches the threads (the process keeps serving until exit).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    shutting_down: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state (metrics, store) — mainly for tests and embedding.
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Graceful shutdown: stop accepting, drain every admitted
+    /// connection, join all threads. In-flight requests finish; idle
+    /// keep-alive connections are closed within the read timeout.
+    pub fn shutdown(mut self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        // The acceptor blocks in accept(); a self-connection wakes it so
+        // it can observe the flag without platform-specific listener
+        // tricks.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Start a server. Fails fast — bad address, unreadable store — with the
+/// workspace-wide [`HvError`]; once `Ok`, the server is accepting.
+pub fn serve(opts: ServeOptions) -> Result<Server, HvError> {
+    let store = match &opts.store_path {
+        Some(path) => Some(hv_pipeline::ResultStore::load(path)?),
+        None => None,
+    };
+    let listener = TcpListener::bind(&opts.addr)
+        .map_err(|e| HvError::server(format!("binding {}: {e}", opts.addr)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| HvError::server(format!("resolving local address: {e}")))?;
+
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map(usize::from).unwrap_or(4)
+    } else {
+        opts.threads
+    };
+    let shared = Arc::new(Shared { store, metrics: Metrics::new(), max_body: opts.max_body });
+    let queue: Arc<BoundedQueue<TcpStream>> = Arc::new(BoundedQueue::new(opts.queue_depth));
+    let shutting_down = Arc::new(AtomicBool::new(false));
+
+    let workers: Vec<JoinHandle<()>> = (0..threads)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let queue = Arc::clone(&queue);
+            let shutting_down = Arc::clone(&shutting_down);
+            let opts = opts.clone();
+            std::thread::Builder::new()
+                .name(format!("hv-serve-worker-{i}"))
+                .spawn(move || worker_loop(shared, queue, shutting_down, opts))
+                .expect("spawning worker thread")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let queue = Arc::clone(&queue);
+        let shutting_down = Arc::clone(&shutting_down);
+        std::thread::Builder::new()
+            .name("hv-serve-acceptor".to_owned())
+            .spawn(move || acceptor_loop(listener, shared, queue, shutting_down))
+            .expect("spawning acceptor thread")
+    };
+
+    Ok(Server { addr, shared, shutting_down, acceptor: Some(acceptor), workers })
+}
+
+/// Accept loop: admit into the bounded queue or shed with 503.
+fn acceptor_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    queue: Arc<BoundedQueue<TcpStream>>,
+    shutting_down: Arc<AtomicBool>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shutting_down.load(Ordering::SeqCst) {
+            // The wake-up self-connection (or a straggler) — close and go.
+            drop(stream);
+            break;
+        }
+        shared.metrics.accepted();
+        match queue.try_push(stream) {
+            Ok(()) => {}
+            Err(PushError::Full(mut stream)) => {
+                // Load shedding: answer 503 + Retry-After on the spot and
+                // close, so the client learns to back off instead of
+                // queueing behind a saturated pool.
+                shared.metrics.shed();
+                http::write_shed_response(&mut stream);
+            }
+            Err(PushError::Closed(_)) => break,
+        }
+    }
+    // Stop the workers: no more connections will arrive.
+    queue.close();
+}
+
+/// Worker loop: pull connections, serve keep-alive request cycles.
+fn worker_loop(
+    shared: Arc<Shared>,
+    queue: Arc<BoundedQueue<TcpStream>>,
+    shutting_down: Arc<AtomicBool>,
+    opts: ServeOptions,
+) {
+    let mut handler = Handler::new(Arc::clone(&shared));
+    while let Some(mut stream) = queue.pop() {
+        serve_connection(&mut stream, &mut handler, &shared, &shutting_down, &opts);
+    }
+}
+
+/// One connection: read → handle → write, looping while keep-alive holds.
+fn serve_connection(
+    stream: &mut TcpStream,
+    handler: &mut Handler,
+    shared: &Shared,
+    shutting_down: &AtomicBool,
+    opts: &ServeOptions,
+) {
+    let _ = stream.set_read_timeout(Some(opts.read_timeout));
+    let _ = stream.set_write_timeout(Some(opts.write_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let req = match http::read_request(stream, opts.max_body) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean close or idle keep-alive timeout
+            Err(e) => {
+                if matches!(e, http::RequestError::Timeout) {
+                    shared.metrics.timeout();
+                }
+                if let Some(resp) = e.to_response() {
+                    // The request was not fully read; half-close and drain
+                    // so the peer gets the error response, not a RST.
+                    if resp.write_to(stream, false).is_ok() {
+                        http::drain_before_close(stream);
+                    }
+                }
+                return;
+            }
+        };
+        let t0 = std::time::Instant::now();
+        let handled = handler.handle(&req);
+        let mut response = handled.response;
+        // During drain, finish this request but refuse to linger.
+        if shutting_down.load(Ordering::SeqCst) {
+            response = response.close();
+        }
+        let keep_alive = match response.write_to(stream, req.keep_alive) {
+            Ok(keep_alive) => keep_alive,
+            Err(_) => {
+                shared.metrics.timeout();
+                false
+            }
+        };
+        shared.metrics.served(handled.route, response.status, t0.elapsed(), handled.panicked);
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_builder_chains() {
+        let o = ServeOptions::new()
+            .addr("127.0.0.1:0")
+            .threads(3)
+            .max_body(1024)
+            .queue_depth(2)
+            .read_timeout(Duration::from_millis(100))
+            .write_timeout(Duration::from_millis(200))
+            .store_path("/tmp/s.json");
+        assert_eq!(o.addr, "127.0.0.1:0");
+        assert_eq!(o.threads, 3);
+        assert_eq!(o.max_body, 1024);
+        assert_eq!(o.queue_depth, 2);
+        assert_eq!(o.read_timeout, Duration::from_millis(100));
+        assert_eq!(o.store_path.as_deref(), Some(std::path::Path::new("/tmp/s.json")));
+    }
+
+    #[test]
+    fn bad_addr_fails_fast() {
+        // map() shuts down a server that unexpectedly started, leaving a
+        // Debug-printable Result for unwrap_err.
+        let err = serve(ServeOptions::new().addr("not-an-addr")).map(Server::shutdown).unwrap_err();
+        assert!(matches!(err, HvError::Server { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_store_fails_fast() {
+        let err =
+            serve(ServeOptions::new().addr("127.0.0.1:0").store_path("/definitely/not/here.json"))
+                .map(Server::shutdown)
+                .unwrap_err();
+        assert!(matches!(err, HvError::Store { .. }), "{err}");
+    }
+}

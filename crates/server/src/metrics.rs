@@ -1,0 +1,143 @@
+//! Service observability, `GET /metricsz`.
+//!
+//! Counters follow the load-shedding lifecycle — *accepted* connections
+//! either get *served* responses or are *shed* at the queue — plus the two
+//! abnormal endings (*timeouts*, *panics*). Per-endpoint latency uses the
+//! same mergeable log₂ [`DurationHistogram`] the scan engine's
+//! [`CheckStats`](hv_core::CheckStats) uses, so one fleet-side toolchain
+//! reads both.
+//!
+//! A single mutex guards the whole table. Requests hold it for the
+//! nanoseconds of two integer bumps and a bucket increment — at this
+//! service's request sizes (an HTML parse per request) the lock is never
+//! the bottleneck, and a mutex keeps the snapshot trivially consistent.
+
+use hv_core::DurationHistogram;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One endpoint's counters. Merge-by-addition, like [`hv_core::CheckStats`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EndpointStats {
+    /// Responses written, any status.
+    pub served: u64,
+    /// Responses with a 4xx status.
+    pub client_errors: u64,
+    /// Responses with a 5xx status (includes recovered panics).
+    pub server_errors: u64,
+    /// Handler panics recovered by the worker's panic boundary.
+    pub panics: u64,
+    /// Wall-time from parsed request to written response, log₂-bucketed
+    /// nanoseconds.
+    pub latency: DurationHistogram,
+}
+
+/// The full `/metricsz` document.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Connections the acceptor accepted.
+    pub accepted: u64,
+    /// Connections refused with 503 because the worker queue was full.
+    pub shed: u64,
+    /// Requests that died mid-read (408) or mid-write.
+    pub timeouts: u64,
+    /// Total responses written across endpoints.
+    pub served: u64,
+    /// Total recovered panics across endpoints.
+    pub panics: u64,
+    /// Per-route stats, keyed by route pattern (`POST /v1/check`, …).
+    pub endpoints: BTreeMap<String, EndpointStats>,
+}
+
+/// Shared, thread-safe metrics registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<MetricsSnapshot>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    pub fn accepted(&self) {
+        self.inner.lock().unwrap().accepted += 1;
+    }
+
+    pub fn shed(&self) {
+        self.inner.lock().unwrap().shed += 1;
+    }
+
+    pub fn timeout(&self) {
+        self.inner.lock().unwrap().timeouts += 1;
+    }
+
+    /// Account one written response for `route` (a route *pattern*, so
+    /// `/v1/explain/FB2` and `/v1/explain/DM3` share one row).
+    pub fn served(&self, route: &str, status: u16, latency: Duration, panicked: bool) {
+        let mut m = self.inner.lock().unwrap();
+        m.served += 1;
+        if panicked {
+            m.panics += 1;
+        }
+        let e = m.endpoints.entry(route.to_owned()).or_default();
+        e.served += 1;
+        match status {
+            400..=499 => e.client_errors += 1,
+            500..=599 => e.server_errors += 1,
+            _ => {}
+        }
+        if panicked {
+            e.panics += 1;
+        }
+        e.latency.record(latency.as_nanos() as u64);
+    }
+
+    /// A consistent copy for `/metricsz`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_counters() {
+        let m = Metrics::new();
+        m.accepted();
+        m.accepted();
+        m.shed();
+        m.served("POST /v1/check", 200, Duration::from_micros(30), false);
+        m.served("POST /v1/check", 400, Duration::from_micros(5), false);
+        m.served("GET /healthz", 500, Duration::from_micros(1), true);
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 2);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.served, 3);
+        assert_eq!(s.panics, 1);
+        let check = &s.endpoints["POST /v1/check"];
+        assert_eq!(check.served, 2);
+        assert_eq!(check.client_errors, 1);
+        assert_eq!(check.server_errors, 0);
+        assert_eq!(check.latency.count, 2);
+        assert!(check.latency.sum_nanos >= 35_000);
+        let health = &s.endpoints["GET /healthz"];
+        assert_eq!(health.panics, 1);
+        assert_eq!(health.server_errors, 1);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let m = Metrics::new();
+        m.served("GET /healthz", 200, Duration::from_nanos(100), false);
+        let json = serde_json::to_string(&m.snapshot()).unwrap();
+        assert!(json.contains("\"endpoints\""));
+        assert!(json.contains("GET /healthz"));
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m.snapshot());
+    }
+}

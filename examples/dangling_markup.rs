@@ -31,7 +31,7 @@ fn textarea_form_exfiltration() {
     let ta = doc.dom.find_html("textarea").expect("textarea");
     println!("content absorbed into the textarea:\n---\n{}\n---", doc.dom.text_content(ta).trim());
 
-    let report = check_page(page);
+    let report = Battery::full().run_str(page);
     assert!(report.has(ViolationKind::DE1));
     println!("checker: DE1 fires ({} finding(s))\n", report.findings.len());
 }
@@ -60,7 +60,7 @@ fn nonce_stealing() {
     assert_eq!(e.attr("nonce"), Some("the-rnd-nonce"), "the CSP nonce must transfer");
     assert!(inj.to_lowercase().contains("<script"), "inj absorbed the victim's open tag");
 
-    let report = check_page(page);
+    let report = Battery::full().run_str(page);
     assert!(report.has(ViolationKind::DE3_2));
     assert!(report.mitigations.script_in_attribute);
     println!(
@@ -83,7 +83,7 @@ fn window_name_exfiltration() {
     println!("window name for the next click:\n---\n{}\n---", target.trim());
     assert!(target.contains("secret"));
 
-    let report = check_page(page);
+    let report = Battery::full().run_str(page);
     assert!(report.has(ViolationKind::DE3_3));
     println!("checker: DE3_3 fires (newline inside target attribute)");
 }

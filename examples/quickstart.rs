@@ -24,7 +24,7 @@ fn main() {
 </body>
 </html>"#;
 
-    let report = check_page(page);
+    let report = Battery::full().run_str(page);
     println!("found {} violation finding(s):\n", report.findings.len());
     for f in &report.findings {
         println!("  {:6} {:30} @{:<5} {}", f.kind.id(), f.kind.definition(), f.offset, f.evidence);

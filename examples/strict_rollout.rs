@@ -21,7 +21,7 @@ fn main() {
     // 2. What a compliant parser does with a violating page at each stage.
     println!("\n=== one violating page through the rollout ===\n");
     let page = r#"<img src="x.png"onerror="track()"><select><option>a"#; // FB2 + DE2
-    let report = check_page(page);
+    let report = Battery::full().run_str(page);
     println!("page violations: {:?}\n", report.kinds().iter().map(|k| k.id()).collect::<Vec<_>>());
     for stage in 0..=4u8 {
         let list = EnforcementList::stage(stage);

@@ -14,14 +14,17 @@
 //!   aggregation queries behind every table and figure.
 //! * [`hv_report`] — text renderers regenerating Tables 1–2, Figures 8–10
 //!   and 16–21, and the §4.2/§4.4/§4.5 statistics.
+//! * [`hv_server`] — `hva serve`: the HTTP service layer with the stable
+//!   `/v1` wire API over the battery, auto-fixer, and report renderers.
 //!
 //! ## Thirty-second tour
 //!
 //! ```
 //! use html_violations::prelude::*;
 //!
-//! // Check one document.
-//! let report = check_page(r#"<img src="logo.png"onerror="alert(1)">"#);
+//! // Check one document: build a battery once, run it many times.
+//! let mut battery = Battery::full();
+//! let report = battery.run_str(r#"<img src="logo.png"onerror="alert(1)">"#);
 //! assert!(report.has(ViolationKind::FB2));
 //!
 //! // Fix what can be fixed automatically (§4.4).
@@ -34,19 +37,42 @@
 //! let any_2022 = hv_pipeline::aggregate::violating_domains_by_year(&store)[7];
 //! assert!(any_2022 > 30.0, "most of the web violates the spec");
 //! ```
+//!
+//! ## Serving the API
+//!
+//! ```no_run
+//! use html_violations::prelude::*;
+//!
+//! let server = hv_server::serve(ServeOptions::new().addr("127.0.0.1:8077")).unwrap();
+//! println!("serving http://{}", server.addr());
+//! // POST /v1/check with {"html": "..."} returns a CheckResponse.
+//! server.shutdown();
+//! ```
 
 pub use hv_core;
 pub use hv_corpus;
 pub use hv_pipeline;
 pub use hv_report;
+pub use hv_server;
 pub use spec_html;
 
 /// Everything needed for the common workflows.
 pub mod prelude {
     pub use hv_core::autofix::{auto_fix, FixOutcome};
-    pub use hv_core::checkers::check_page;
-    pub use hv_core::{Battery, Finding, MitigationFlags, PageReport, ProblemGroup, ViolationKind};
+    pub use hv_core::{
+        Battery, Finding, HvError, MitigationFlags, PageReport, ProblemGroup, ViolationKind,
+    };
     pub use hv_corpus::{Archive, CorpusConfig, Snapshot};
     pub use hv_pipeline::{scan, ResultStore, ScanOptions};
+    pub use hv_server::api::v1::{
+        CheckRequest, CheckResponse, ErrorBody, ExplainResponse, FindingDto, FixResponse,
+        MitigationsDto, StoreSummary,
+    };
+    pub use hv_server::{serve, ServeOptions};
     pub use spec_html::{parse_document, serializer::serialize};
+
+    /// Deprecated one-shot shim, kept for one release; use
+    /// [`Battery::full`] + [`Battery::run_str`].
+    #[allow(deprecated)]
+    pub use hv_core::checkers::check_page;
 }

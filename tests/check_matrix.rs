@@ -127,16 +127,18 @@ fn matrix_covers_every_kind_once() {
 
 #[test]
 fn every_kind_fires_on_its_positive_fixture() {
+    let mut battery = Battery::full();
     for (kind, positive, _) in MATRIX {
-        let r = check_page(positive);
+        let r = battery.run_str(positive);
         assert!(r.has(*kind), "{kind} missing on positive fixture: {:?}", r.findings);
     }
 }
 
 #[test]
 fn no_kind_fires_on_its_negative_fixture() {
+    let mut battery = Battery::full();
     for (kind, _, negative) in MATRIX {
-        let r = check_page(negative);
+        let r = battery.run_str(negative);
         assert!(!r.has(*kind), "{kind} fired on negative fixture: {:?}", r.findings);
     }
 }

@@ -94,7 +94,7 @@ fn mutated_output_reports_namespace_violation() {
     // After mutation, re-checking the document surfaces the MathML
     // breakout (HF5_3): exactly what a strict parser would reject.
     let mutated = sanitize_pass(PAYLOAD);
-    let report = check_page(&mutated);
+    let report = Battery::full().run_str(&mutated);
     assert!(
         report.has(ViolationKind::HF5_3) || report.has(ViolationKind::HF5_1),
         "expected a namespace violation on the mutated markup: {:?}",

@@ -104,8 +104,8 @@ proptest! {
     /// The checker battery is total and deterministic.
     #[test]
     fn checkers_are_total_and_deterministic(input in html_soup()) {
-        let a = check_page(&input);
-        let b = check_page(&input);
+        let a = Battery::full().run_str(&input);
+        let b = Battery::full().run_str(&input);
         prop_assert_eq!(a.findings, b.findings);
     }
 
@@ -186,7 +186,7 @@ proptest! {
     fn battery_reuse_matches_fresh(pages in proptest::collection::vec(html_soup(), 1..6)) {
         let mut reused = Battery::full();
         for page in &pages {
-            let fresh = check_page(page);
+            let fresh = Battery::full().run_str(page);
             let r = reused.run_str(page);
             prop_assert_eq!(&r.findings, &fresh.findings);
             prop_assert_eq!(r.mitigations, fresh.mitigations);
