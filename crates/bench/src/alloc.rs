@@ -1,0 +1,57 @@
+//! Allocation-counting global allocator for the benchmark harness.
+//!
+//! Every binary that links `hv_bench` (the criterion benches, the crate's
+//! integration tests, the loadgen example) routes heap traffic through
+//! [`CountingAlloc`], a thin shim over [`System`] that bumps one relaxed
+//! atomic per allocation. The overhead is a few cycles per malloc — far
+//! below criterion's noise floor — and in exchange the harness can report
+//! *allocations per page*, the metric the atom-interning work optimizes.
+//!
+//! Counting is always on; [`count_allocations`] takes a delta around a
+//! closure. Deltas are exact on a single thread and a lower bound when
+//! other threads allocate concurrently (the benches measure on one thread).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of calls to `alloc`/`alloc_zeroed`/`realloc` since process start.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`] allocator shim that counts allocation events.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc is a fresh allocation from the allocator's point of
+        // view (it may move); growth patterns show up here.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Total allocation events so far.
+pub fn allocation_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Run `f` and return its result plus the number of allocation events it
+/// performed (single-threaded: exact).
+pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = allocation_count();
+    let out = f();
+    (out, allocation_count() - before)
+}

@@ -1,9 +1,15 @@
 //! Shared fixtures for the benchmark harness, plus the `loadgen` HTTP
 //! client used to exercise `hva serve`.
 
+pub mod alloc;
 pub mod loadgen;
 
 use hv_corpus::{Archive, CorpusConfig, DomainSnapshot, Snapshot};
+
+/// Route every hv_bench binary (benches, tests, examples) through the
+/// counting allocator so allocs/page is measurable anywhere in the harness.
+#[global_allocator]
+static GLOBAL: alloc::CountingAlloc = alloc::CountingAlloc;
 
 /// A deterministic mid-size page corpus for parser/checker benches: a mix
 /// of clean and violating pages straight from the calibrated generator.
@@ -124,8 +130,11 @@ pub fn total_bytes(pages: &[String]) -> u64 {
 /// Workload profile names for the `parse_throughput` bench, in report order.
 /// Each stresses a different tokenizer regime: long inert text runs (the
 /// batch fast path's best case), dense tag/attribute machinery, dense
-/// character references, and raw script data.
-pub const PROFILES: &[&str] = &["plain_text", "attribute_heavy", "entity_heavy", "script_heavy"];
+/// character references, raw script data, and messy real-world attribute
+/// syntax (unquoted/single-quoted values, duplicates, missing spaces —
+/// the slow paths the atom pipeline targets).
+pub const PROFILES: &[&str] =
+    &["plain_text", "attribute_heavy", "entity_heavy", "script_heavy", "attribute_soup"];
 
 const WORDS: &[&str] = &[
     "violation",
@@ -194,6 +203,21 @@ pub fn profile_page(profile: &str, target: usize) -> String {
                     );
                 }
                 out.push_str("</script>\n");
+            }
+            "attribute_soup" => {
+                // Deliberately sloppy markup: unquoted and single-quoted
+                // values, duplicate attributes, missing inter-attribute
+                // spaces, bare boolean attributes, uppercase names. This is
+                // what archived pages actually look like, and it routes
+                // through the AttributeName / unquoted-value states.
+                let _ = writeln!(
+                    out,
+                    "<div ID=s{i} class=row data-key=value-{i} data-key=dup-{i} \
+                     title='section {i}'role=region hidden DATA-RANK={i} \
+                     style=margin:0 align=left><input type=text name=f{i} \
+                     value=v{i} required><a href=/page/{i} target=_blank \
+                     rel=nofollow>x</a></div>"
+                );
             }
             other => panic!("unknown bench profile {other:?}"),
         }

@@ -86,8 +86,8 @@ impl Check for De3_1 {
     fn on_start_tag(&mut self, _cx: &CheckContext<'_>, tag: &Tag, out: &mut Vec<Finding>) {
         for attr in &tag.attrs {
             if tags::is_url_attribute(&attr.name)
-                && attr.raw_value.contains('\n')
-                && attr.raw_value.contains('<')
+                && attr.raw_value().contains('\n')
+                && attr.raw_value().contains('<')
             {
                 out.push(Finding::new(
                     ViolationKind::DE3_1,
@@ -143,7 +143,7 @@ impl Check for De3_3 {
 
     fn on_start_tag(&mut self, _cx: &CheckContext<'_>, tag: &Tag, out: &mut Vec<Finding>) {
         for attr in &tag.attrs {
-            if attr.name == "target" && attr.raw_value.contains('\n') {
+            if attr.name == "target" && attr.raw_value().contains('\n') {
                 out.push(Finding::new(
                     ViolationKind::DE3_3,
                     tag.offset,

@@ -147,7 +147,7 @@ impl Check for Dm2_3 {
         if self.seen_url_element.is_none()
             && e.attrs.iter().any(|a| tags::is_url_attribute(&a.name))
         {
-            self.seen_url_element = Some(e.name.clone());
+            self.seen_url_element = Some(e.name.to_string());
         }
     }
 }

@@ -36,8 +36,8 @@ fn de3_1(cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
     for tag in cx.start_tags() {
         for attr in &tag.attrs {
             if tags::is_url_attribute(&attr.name)
-                && attr.raw_value.contains('\n')
-                && attr.raw_value.contains('<')
+                && attr.raw_value().contains('\n')
+                && attr.raw_value().contains('<')
             {
                 out.push(Finding::new(
                     ViolationKind::DE3_1,
@@ -66,7 +66,7 @@ fn de3_2(cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
 fn de3_3(cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
     for tag in cx.start_tags() {
         for attr in &tag.attrs {
-            if attr.name == "target" && attr.raw_value.contains('\n') {
+            if attr.name == "target" && attr.raw_value().contains('\n') {
                 out.push(Finding::new(
                     ViolationKind::DE3_3,
                     tag.offset,
@@ -147,7 +147,7 @@ fn dm2_3(cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
             continue;
         }
         if seen_url_element.is_none() && e.attrs.iter().any(|a| tags::is_url_attribute(&a.name)) {
-            seen_url_element = Some(e.name.clone());
+            seen_url_element = Some(e.name.to_string());
         }
     }
 }

@@ -218,9 +218,9 @@ impl MitigationAccumulator {
                     self.flags.script_in_nonced_script = true;
                 }
             }
-            if spec_html::tags::is_url_attribute(&attr.name) && attr.raw_value.contains('\n') {
+            if spec_html::tags::is_url_attribute(&attr.name) && attr.raw_value().contains('\n') {
                 self.flags.newline_in_url = true;
-                if attr.raw_value.contains('<') {
+                if attr.raw_value().contains('<') {
                     self.flags.newline_and_lt_in_url = true;
                 }
             }

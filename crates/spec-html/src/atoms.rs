@@ -1,0 +1,638 @@
+//! Interned tag/attribute names (**atoms**) and cheap shared strings.
+//!
+//! Tokenizing archived pages used to materialize three heap `String`s per
+//! attribute and two per tag, then clone them again into the DOM. At corpus
+//! scale the allocator dominated the attribute-heavy profile. This module
+//! removes those allocations structurally:
+//!
+//! * [`Atom`] — a tag/attribute *name*. Every name the HTML/SVG/MathML
+//!   specs know about (plus the common attribute vocabulary) lives in one
+//!   static table, [`STATIC_ATOMS`]; a static atom is a `u16` index —
+//!   `Clone` is a copy, equality is an integer compare, and classification
+//!   queries (`tags::is_void` & friends) become bitset probes. Unknown
+//!   names fall back to a per-parse [`Interner`] that hands out shared
+//!   `Arc<str>` atoms, so author-invented names (`<wibble x-data=…>`) cost
+//!   one allocation per *distinct* name per parse instead of one per use.
+//! * [`SharedStr`] — an immutable attribute *value*. Values ≤ 22 bytes
+//!   (the overwhelming majority in real markup) are stored inline with no
+//!   heap allocation at all; longer values are a shared `Arc<str>` so the
+//!   token → DOM handoff is a refcount bump, not a copy.
+//!
+//! Invariant (load-bearing for `Atom`'s fast equality): a dynamic atom
+//! never holds text that is present in the static table. Both constructors
+//! ([`Atom::from`] and [`Interner::intern`]) consult the static table
+//! first, and the `Repr` enum is private, so the invariant cannot be
+//! violated from outside this module. Given that, `Static(a) == Dyn(b)` is
+//! always false and static-vs-static equality is `a == b` on the indices.
+//!
+//! Interner lifecycle: the tokenizer owns one `Interner` per parse; it is
+//! constructed fresh in `Tokenizer::new`, so dynamic atoms never leak
+//! between documents and the set stays small (bounded by the number of
+//! distinct unknown names in one page). Atoms themselves remain valid
+//! after the parse — they share ownership via `Arc` — only the dedup set
+//! is per-parse.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
+
+/// Every known HTML, SVG, and MathML element name, the SVG/MathML
+/// mixed-case *adjusted* spellings the tree builder produces in foreign
+/// content (§13.2.6.5), and the common attribute vocabulary. Grouped for
+/// review; looked up through a lazily built sorted index, so order here is
+/// free. Names must be unique (asserted by test and by the index builder
+/// in debug builds).
+///
+/// This table is deliberately generous: membership is *only* a perf
+/// optimization. A name missing from the table still works — it becomes a
+/// dynamic atom with identical semantics.
+#[rustfmt::skip]
+pub static STATIC_ATOMS: &[&str] = &[
+    // The empty name: Atom::default(), placeholder tags.
+    "",
+    // HTML elements (current + obsolete — archived pages use both).
+    "a", "abbr", "acronym", "address", "applet", "area", "article", "aside", "audio", "b", "base",
+    "basefont", "bdi", "bdo", "bgsound", "big", "blink", "blockquote", "body", "br", "button",
+    "canvas", "caption", "center", "cite", "code", "col", "colgroup", "data", "datalist", "dd",
+    "del", "details", "dfn", "dialog", "dir", "div", "dl", "dt", "em", "embed", "fieldset",
+    "figcaption", "figure", "font", "footer", "form", "frame", "frameset", "h1", "h2", "h3", "h4",
+    "h5", "h6", "head", "header", "hgroup", "hr", "html", "i", "iframe", "image", "img", "input",
+    "ins", "isindex", "kbd", "keygen", "label", "legend", "li", "link", "listing", "main", "map",
+    "mark", "marquee", "menu", "menuitem", "meta", "meter", "nav", "nobr", "noembed", "noframes",
+    "noscript", "object", "ol", "optgroup", "option", "output", "p", "param", "picture",
+    "plaintext", "pre", "progress", "q", "rb", "rp", "rt", "rtc", "ruby", "s", "samp", "script",
+    "search", "section", "select", "slot", "small", "source", "spacer", "span", "strike",
+    "strong", "style", "sub", "summary", "sup", "table", "tbody", "td", "template", "textarea",
+    "tfoot", "th", "thead", "time", "title", "tr", "track", "tt", "u", "ul", "var", "video",
+    "wbr", "xmp",
+    // SVG elements: lowercase (as tokenized) and the §13.2.6.5 camelCase
+    // fixup spellings (as stored in the DOM inside <svg>).
+    "svg", "altglyph", "altGlyph", "altglyphdef", "altGlyphDef", "altglyphitem", "altGlyphItem",
+    "animate", "animatecolor", "animateColor", "animatemotion", "animateMotion",
+    "animatetransform", "animateTransform", "circle", "clippath", "clipPath", "defs", "desc",
+    "ellipse", "feblend", "feBlend", "fecolormatrix", "feColorMatrix", "fecomponenttransfer",
+    "feComponentTransfer", "fecomposite", "feComposite", "feconvolvematrix", "feConvolveMatrix",
+    "fediffuselighting", "feDiffuseLighting", "fedisplacementmap", "feDisplacementMap",
+    "fedistantlight", "feDistantLight", "fedropshadow", "feDropShadow", "feflood", "feFlood",
+    "fefunca", "feFuncA", "fefuncb", "feFuncB", "fefuncg", "feFuncG", "fefuncr", "feFuncR",
+    "fegaussianblur", "feGaussianBlur", "feimage", "feImage", "femerge", "feMerge", "femergenode",
+    "feMergeNode", "femorphology", "feMorphology", "feoffset", "feOffset", "fepointlight",
+    "fePointLight", "fespecularlighting", "feSpecularLighting", "fespotlight", "feSpotLight",
+    "fetile", "feTile", "feturbulence", "feTurbulence", "filter", "foreignobject",
+    "foreignObject", "g", "glyphref", "glyphRef", "line", "lineargradient", "linearGradient",
+    "marker", "mask", "metadata", "mpath", "path", "pattern", "polygon", "polyline",
+    "radialgradient", "radialGradient", "rect", "set", "stop", "switch", "symbol", "text",
+    "textpath", "textPath", "tspan", "use", "view",
+    // MathML elements.
+    "math", "annotation", "annotation-xml", "maction", "malignmark", "merror", "mfrac", "mglyph",
+    "mi", "mmultiscripts", "mn", "mo", "mover", "mpadded", "mphantom", "mroot", "mrow", "ms",
+    "mspace", "msqrt", "mstyle", "msub", "msubsup", "msup", "mtable", "mtd", "mtext", "mtr",
+    "munder", "munderover", "semantics",
+    // Common attribute names (HTML). Names that double as element names
+    // (abbr, cite, data, form, label, span, style, summary, title, …) are
+    // already present above — the table is one namespace.
+    "accept", "accept-charset", "accesskey", "action", "align",
+    "allow", "allowfullscreen", "alt", "archive", "aria-controls", "aria-describedby",
+    "aria-expanded", "aria-hidden", "aria-label", "aria-labelledby", "async", "autocomplete",
+    "autofocus", "autoplay", "background", "bgcolor", "border", "cellpadding", "cellspacing",
+    "char", "charset", "checked", "class", "classid", "clear", "codebase", "codetype", "color",
+    "cols", "colspan", "content", "contenteditable", "controls", "coords", "crossorigin",
+    "data-id", "data-key", "data-name", "data-rank", "data-role", "data-src", "data-target",
+    "data-toggle", "data-type", "data-value", "datetime", "declare", "default", "defer",
+    "disabled", "download", "draggable", "enctype", "face", "for", "formaction", "frameborder",
+    "headers", "height", "hidden", "high", "href", "hreflang", "hspace", "http-equiv", "icon",
+    "id", "integrity", "is", "ismap", "itemid", "itemprop", "itemref", "itemscope", "itemtype",
+    "kind", "lang", "language", "list", "longdesc", "loop", "low", "manifest", "marginheight",
+    "marginwidth", "max", "maxlength", "media", "method", "min", "minlength", "multiple", "muted",
+    "name", "nohref", "nonce", "noresize", "noshade", "novalidate", "nowrap", "onblur",
+    "onchange", "onclick", "ondblclick", "onerror", "onfocus", "onkeydown", "onkeypress",
+    "onkeyup", "onload", "onmousedown", "onmousemove", "onmouseout", "onmouseover", "onmouseup",
+    "onsubmit", "onunload", "open", "optimum", "ping", "placeholder", "playsinline", "poster",
+    "preload", "profile", "readonly", "referrerpolicy", "rel", "required", "rev", "reversed",
+    "role", "rows", "rowspan", "rules", "sandbox", "scheme", "scope", "scrolling", "selected",
+    "shape", "size", "sizes", "spellcheck", "src", "srcdoc", "srclang", "srcset", "standby",
+    "start", "step", "tabindex", "target", "translate", "type", "usemap", "valign", "value",
+    "valuetype", "version", "vlink", "vspace", "width", "wrap", "xmlns", "xmlns:xlink",
+    // Foreign-content adjusted attribute spellings (§13.2.6.5 "adjust
+    // SVG/MathML attributes") and their lowercase tokenized forms.
+    "definitionurl", "definitionURL", "attributename", "attributeName", "attributetype",
+    "attributeType", "basefrequency", "baseFrequency", "baseprofile", "baseProfile", "calcmode",
+    "calcMode", "clippathunits", "clipPathUnits", "diffuseconstant", "diffuseConstant",
+    "edgemode", "edgeMode", "filterunits", "filterUnits", "gradienttransform",
+    "gradientTransform", "gradientunits", "gradientUnits", "kernelmatrix", "kernelMatrix",
+    "kernelunitlength", "kernelUnitLength", "keypoints", "keyPoints", "keysplines", "keySplines",
+    "keytimes", "keyTimes", "lengthadjust", "lengthAdjust", "limitingconeangle",
+    "limitingConeAngle", "markerheight", "markerHeight", "markerunits", "markerUnits",
+    "markerwidth", "markerWidth", "maskcontentunits", "maskContentUnits", "maskunits",
+    "maskUnits", "numoctaves", "numOctaves", "pathlength", "pathLength", "patterncontentunits",
+    "patternContentUnits", "patterntransform", "patternTransform", "patternunits",
+    "patternUnits", "pointsatx", "pointsAtX", "pointsaty", "pointsAtY", "pointsatz", "pointsAtZ",
+    "preservealpha", "preserveAlpha", "preserveaspectratio", "preserveAspectRatio",
+    "primitiveunits", "primitiveUnits", "refx", "refX", "refy", "refY", "repeatcount",
+    "repeatCount", "repeatdur", "repeatDur", "requiredextensions", "requiredExtensions",
+    "requiredfeatures", "requiredFeatures", "specularconstant", "specularConstant",
+    "specularexponent", "specularExponent", "spreadmethod", "spreadMethod", "startoffset",
+    "startOffset", "stddeviation", "stdDeviation", "stitchtiles", "stitchTiles", "surfacescale",
+    "surfaceScale", "systemlanguage", "systemLanguage", "tablevalues", "tableValues", "targetx",
+    "targetX", "targety", "targetY", "textlength", "textLength", "viewbox", "viewBox",
+    "viewtarget", "viewTarget", "xchannelselector", "xChannelSelector", "ychannelselector",
+    "yChannelSelector", "zoomandpan", "zoomAndPan",
+];
+
+/// Total order used by the static index: `(first byte, length)` as plain
+/// integers first, full text only as the tiebreak. Lookups run once per
+/// attribute, so probe cost matters: under this order most binary-search
+/// probes resolve on the two-integer key and only the last step or two pay
+/// for a (short) memcmp.
+fn atom_order(a: &str, b: &str) -> std::cmp::Ordering {
+    let ka = (a.as_bytes().first().copied().unwrap_or(0), a.len());
+    let kb = (b.as_bytes().first().copied().unwrap_or(0), b.len());
+    ka.cmp(&kb).then_with(|| a.cmp(b))
+}
+
+/// Sorted index into [`STATIC_ATOMS`], built once on first lookup.
+fn sorted_index() -> &'static [u16] {
+    static INDEX: OnceLock<Vec<u16>> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let mut idx: Vec<u16> = (0..STATIC_ATOMS.len() as u16).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            atom_order(STATIC_ATOMS[a as usize], STATIC_ATOMS[b as usize])
+        });
+        debug_assert!(
+            idx.windows(2)
+                .all(|w| atom_order(STATIC_ATOMS[w[0] as usize], STATIC_ATOMS[w[1] as usize])
+                    == std::cmp::Ordering::Less),
+            "duplicate entry in STATIC_ATOMS"
+        );
+        idx
+    })
+}
+
+/// Look up a name in the static table.
+fn lookup_static(name: &str) -> Option<u16> {
+    let index = sorted_index();
+    index
+        .binary_search_by(|&i| atom_order(STATIC_ATOMS[i as usize], name))
+        .ok()
+        .map(|pos| index[pos])
+}
+
+/// An interned tag or attribute name. See the module docs for the
+/// representation invariant that makes equality cheap.
+#[derive(Clone)]
+pub struct Atom(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    /// Index into [`STATIC_ATOMS`].
+    Static(u16),
+    /// A name outside the static table, shared via the per-parse interner.
+    Dyn(Arc<str>),
+}
+
+impl Atom {
+    /// Intern a name without an [`Interner`] (cold paths: tests, checker
+    /// literals, fragment contexts). Unknown names allocate a fresh `Arc`.
+    pub fn from_name(name: &str) -> Atom {
+        match lookup_static(name) {
+            Some(i) => Atom(Repr::Static(i)),
+            None => Atom(Repr::Dyn(Arc::from(name))),
+        }
+    }
+
+    /// Construct from a known static-table index (crate-internal: used by
+    /// precomputed id→id maps like the SVG tag fixups).
+    #[inline]
+    pub(crate) fn from_static_id(id: u16) -> Atom {
+        debug_assert!((id as usize) < STATIC_ATOMS.len());
+        Atom(Repr::Static(id))
+    }
+
+    /// The atom's text.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            Repr::Static(i) => STATIC_ATOMS[*i as usize],
+            Repr::Dyn(s) => s,
+        }
+    }
+
+    /// Index into [`STATIC_ATOMS`] for known names, `None` for dynamic
+    /// atoms. Classification bitsets key on this.
+    #[inline]
+    pub fn static_id(&self) -> Option<usize> {
+        match &self.0 {
+            Repr::Static(i) => Some(*i as usize),
+            Repr::Dyn(_) => None,
+        }
+    }
+}
+
+impl Default for Atom {
+    /// The empty name (`STATIC_ATOMS[0]`).
+    fn default() -> Self {
+        Atom(Repr::Static(0))
+    }
+}
+
+impl Deref for Atom {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Atom {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for Atom {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq for Atom {
+    #[inline]
+    fn eq(&self, other: &Atom) -> bool {
+        match (&self.0, &other.0) {
+            (Repr::Static(a), Repr::Static(b)) => a == b,
+            // Module invariant: dynamic text is never in the static table,
+            // so mixed comparisons are always unequal.
+            (Repr::Static(_), Repr::Dyn(_)) | (Repr::Dyn(_), Repr::Static(_)) => false,
+            (Repr::Dyn(a), Repr::Dyn(b)) => Arc::ptr_eq(a, b) || a == b,
+        }
+    }
+}
+
+impl Eq for Atom {}
+
+impl PartialEq<str> for Atom {
+    #[inline]
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Atom {
+    #[inline]
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<Atom> for str {
+    fn eq(&self, other: &Atom) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Atom> for &str {
+    fn eq(&self, other: &Atom) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl Hash for Atom {
+    /// Hash the text (not the representation) so `Borrow<str>`-keyed maps
+    /// and mixed static/dynamic sets behave like string keys.
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state)
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(name: &str) -> Atom {
+        Atom::from_name(name)
+    }
+}
+
+impl From<&String> for Atom {
+    fn from(name: &String) -> Atom {
+        Atom::from_name(name)
+    }
+}
+
+impl From<&Atom> for Atom {
+    /// Cheap: an integer copy for static atoms, an `Arc` bump otherwise.
+    fn from(atom: &Atom) -> Atom {
+        atom.clone()
+    }
+}
+
+/// Per-parse dedup set for names outside the static table. One lives in
+/// the tokenizer; fresh per parse (see module docs).
+pub struct Interner {
+    dynamic: std::collections::HashSet<Arc<str>>,
+    /// Direct-mapped memo over *all* intern results. Documents repeat the
+    /// same handful of tag and attribute names over and over, so most
+    /// interns become one string compare and a cheap clone instead of a
+    /// static-table binary search (or a hash probe). Collisions just evict;
+    /// correctness comes from the full-string compare on hit.
+    cache: [Atom; CACHE_SLOTS],
+}
+
+const CACHE_SLOTS: usize = 64;
+
+/// Slot for `name`: mixes first byte and length, the same two facts the
+/// static table's comparator discriminates on first.
+#[inline]
+fn cache_slot(name: &str) -> usize {
+    let first = name.as_bytes().first().copied().unwrap_or(0) as usize;
+    (first ^ (name.len().wrapping_mul(37))) & (CACHE_SLOTS - 1)
+}
+
+impl Default for Interner {
+    fn default() -> Interner {
+        Interner {
+            dynamic: std::collections::HashSet::new(),
+            cache: std::array::from_fn(|_| Atom::default()),
+        }
+    }
+}
+
+impl Interner {
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Intern `name`: memo hit, then static-table hit, then per-parse
+    /// dedup, then a fresh shared allocation.
+    pub fn intern(&mut self, name: &str) -> Atom {
+        if name.is_empty() {
+            return Atom::default();
+        }
+        let slot = cache_slot(name);
+        if self.cache[slot].as_str() == name {
+            return self.cache[slot].clone();
+        }
+        let atom = self.intern_uncached(name);
+        self.cache[slot] = atom.clone();
+        atom
+    }
+
+    fn intern_uncached(&mut self, name: &str) -> Atom {
+        if let Some(i) = lookup_static(name) {
+            return Atom(Repr::Static(i));
+        }
+        if let Some(existing) = self.dynamic.get(name) {
+            return Atom(Repr::Dyn(existing.clone()));
+        }
+        let arc: Arc<str> = Arc::from(name);
+        self.dynamic.insert(arc.clone());
+        Atom(Repr::Dyn(arc))
+    }
+}
+
+/// Max bytes stored inline in a [`SharedStr`]. 22 + length byte + enum tag
+/// keeps the whole value at 24 bytes — the same size as the `String` it
+/// replaces, with no heap behind it.
+const INLINE_CAP: usize = 22;
+
+/// An immutable, cheaply clonable string for attribute values: inline for
+/// short text, shared (`Arc<str>`) beyond [`INLINE_CAP`].
+#[derive(Clone)]
+pub struct SharedStr(SRepr);
+
+#[derive(Clone)]
+enum SRepr {
+    Inline { len: u8, buf: [u8; INLINE_CAP] },
+    Heap(Arc<str>),
+}
+
+impl SharedStr {
+    pub fn new(s: &str) -> SharedStr {
+        if s.len() <= INLINE_CAP {
+            let mut buf = [0u8; INLINE_CAP];
+            buf[..s.len()].copy_from_slice(s.as_bytes());
+            SharedStr(SRepr::Inline { len: s.len() as u8, buf })
+        } else {
+            SharedStr(SRepr::Heap(Arc::from(s)))
+        }
+    }
+
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            SRepr::Inline { len, buf } => {
+                // SAFETY: `buf[..len]` was copied verbatim from a `&str` in
+                // `SharedStr::new` and never mutated afterwards (there is no
+                // mutating API), so it is valid UTF-8.
+                unsafe { std::str::from_utf8_unchecked(&buf[..*len as usize]) }
+            }
+            SRepr::Heap(s) => s,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.as_str().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.as_str().len()
+    }
+}
+
+impl Default for SharedStr {
+    fn default() -> Self {
+        SharedStr(SRepr::Inline { len: 0, buf: [0u8; INLINE_CAP] })
+    }
+}
+
+impl Deref for SharedStr {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for SharedStr {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq for SharedStr {
+    fn eq(&self, other: &SharedStr) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for SharedStr {}
+
+impl PartialEq<str> for SharedStr {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for SharedStr {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<SharedStr> for str {
+    fn eq(&self, other: &SharedStr) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<SharedStr> for &str {
+    fn eq(&self, other: &SharedStr) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl Hash for SharedStr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state)
+    }
+}
+
+impl fmt::Debug for SharedStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for SharedStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for SharedStr {
+    fn from(s: &str) -> SharedStr {
+        SharedStr::new(s)
+    }
+}
+
+impl From<String> for SharedStr {
+    fn from(s: String) -> SharedStr {
+        if s.len() <= INLINE_CAP {
+            SharedStr::new(&s)
+        } else {
+            // Reuses the String's buffer when capacity allows.
+            SharedStr(SRepr::Heap(Arc::from(s)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_table_is_unique() {
+        let mut sorted: Vec<&str> = STATIC_ATOMS.to_vec();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert_ne!(w[0], w[1], "duplicate static atom {:?}", w[0]);
+        }
+    }
+
+    #[test]
+    fn known_names_are_static() {
+        for name in ["div", "img", "svg", "foreignObject", "annotation-xml", "href", "viewBox"] {
+            let atom = Atom::from_name(name);
+            assert!(atom.static_id().is_some(), "{name} should be static");
+            assert_eq!(atom, name);
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_dynamic_and_roundtrip() {
+        let atom = Atom::from_name("x-custom-widget");
+        assert!(atom.static_id().is_none());
+        assert_eq!(atom.as_str(), "x-custom-widget");
+        assert_eq!(atom, "x-custom-widget");
+    }
+
+    #[test]
+    fn equality_static_vs_dynamic_text() {
+        // A dynamic atom can only hold non-static text, so this is about
+        // distinct names comparing unequal and same-name dynamic atoms
+        // comparing equal.
+        let mut interner = Interner::new();
+        let a = interner.intern("frobnicate");
+        let b = interner.intern("frobnicate");
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(
+            match &a.0 {
+                Repr::Dyn(s) => s,
+                _ => panic!(),
+            },
+            match &b.0 {
+                Repr::Dyn(s) => s,
+                _ => panic!(),
+            }
+        ));
+        assert_ne!(a, Atom::from_name("div"));
+    }
+
+    #[test]
+    fn interner_static_first() {
+        let mut interner = Interner::new();
+        assert!(interner.intern("div").static_id().is_some());
+        assert!(interner.intern("DIV").static_id().is_none(), "lookup is case-sensitive");
+    }
+
+    #[test]
+    fn hash_matches_str_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(v: impl Hash) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        assert_eq!(h(Atom::from_name("div")), h("div"));
+        assert_eq!(h(Atom::from_name("x-unknown")), h("x-unknown"));
+    }
+
+    #[test]
+    fn shared_str_inline_and_heap() {
+        let short = SharedStr::new("hello");
+        assert!(matches!(short.0, SRepr::Inline { .. }));
+        assert_eq!(short, "hello");
+
+        let exactly = SharedStr::new("0123456789012345678901"); // 22 bytes
+        assert!(matches!(exactly.0, SRepr::Inline { .. }));
+        assert_eq!(exactly.len(), 22);
+
+        let long = SharedStr::new("this string is longer than twenty-two bytes");
+        assert!(matches!(long.0, SRepr::Heap(_)));
+        assert_eq!(long, "this string is longer than twenty-two bytes");
+
+        // Multi-byte UTF-8 survives the inline path.
+        let uni = SharedStr::new("héllo ✓");
+        assert_eq!(uni.as_str(), "héllo ✓");
+    }
+
+    #[test]
+    fn shared_str_equality_across_reprs() {
+        let s = "0123456789012345678901x"; // 23 bytes -> heap
+        let heap = SharedStr::new(s);
+        let trimmed = SharedStr::new(&s[..22]);
+        assert_ne!(heap, trimmed);
+        assert_eq!(heap.clone(), heap);
+    }
+}

@@ -6,6 +6,7 @@
 //! the adoption agency re-parents whole ranges) cheap and safe without
 //! reference counting.
 
+use crate::atoms::{Atom, SharedStr};
 use std::fmt;
 
 /// Index of a node in a [`Document`] arena.
@@ -42,8 +43,8 @@ impl fmt::Display for Namespace {
 /// value with character references decoded).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ElemAttr {
-    pub name: String,
-    pub value: String,
+    pub name: Atom,
+    pub value: SharedStr,
 }
 
 /// Element payload.
@@ -51,7 +52,7 @@ pub struct ElemAttr {
 pub struct Element {
     /// Tag name. Lowercase for HTML; foreign elements keep their adjusted
     /// case (`foreignObject`, `clipPath`, …).
-    pub name: String,
+    pub name: Atom,
     pub ns: Namespace,
     pub attrs: Vec<ElemAttr>,
     /// Character offset of the `<` of the start tag that created this
@@ -153,19 +154,24 @@ impl Document {
         id
     }
 
-    pub fn create_element(&mut self, name: &str, ns: Namespace, attrs: Vec<ElemAttr>) -> NodeId {
+    pub fn create_element(
+        &mut self,
+        name: impl Into<Atom>,
+        ns: Namespace,
+        attrs: Vec<ElemAttr>,
+    ) -> NodeId {
         self.create_element_at(name, ns, attrs, 0)
     }
 
     /// Create a detached element carrying its source offset.
     pub fn create_element_at(
         &mut self,
-        name: &str,
+        name: impl Into<Atom>,
         ns: Namespace,
         attrs: Vec<ElemAttr>,
         src_offset: usize,
     ) -> NodeId {
-        self.create(NodeData::Element(Element { name: name.to_owned(), ns, attrs, src_offset }))
+        self.create(NodeData::Element(Element { name: name.into(), ns, attrs, src_offset }))
     }
 
     /// Element payload of `id`, if it is an element.
@@ -314,12 +320,31 @@ impl Document {
     /// Concatenated text content under `id`.
     pub fn text_content(&self, id: NodeId) -> String {
         let mut out = String::new();
+        self.text_content_into(id, &mut out);
+        out
+    }
+
+    /// Concatenated text content under `id`, written into a caller-owned
+    /// buffer (cleared first). Sizes the buffer in one cheap pre-pass, so a
+    /// buffer reused across many nodes settles at the largest size seen and
+    /// stops allocating.
+    pub fn text_content_into(&self, id: NodeId, out: &mut String) {
+        out.clear();
+        let mut total = 0usize;
+        for d in self.descendants(id) {
+            if let NodeData::Text(s) = &self.node(d).data {
+                total += s.len();
+            }
+        }
+        if total == 0 {
+            return;
+        }
+        out.reserve(total);
         for d in self.descendants(id) {
             if let NodeData::Text(s) = &self.node(d).data {
                 out.push_str(s);
             }
         }
-        out
     }
 
     /// Whether `anc` is an ancestor of `id` (or equal to it).

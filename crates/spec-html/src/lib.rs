@@ -40,6 +40,7 @@
 //!
 //! [HTML Living Standard §13.2]: https://html.spec.whatwg.org/multipage/parsing.html
 
+pub mod atoms;
 pub mod decoder;
 pub mod dom;
 pub mod entities;
@@ -51,6 +52,7 @@ pub mod tags;
 pub mod tokenizer;
 pub mod tree_builder;
 
+pub use atoms::{Atom, SharedStr};
 pub use dom::{Document as Dom, Namespace, NodeData, NodeId};
 pub use errors::{ErrorCode, ParseError};
 pub use tree_builder::{

@@ -186,10 +186,68 @@ impl<'a> InputStream<'a> {
     #[inline]
     pub fn take_plain_run(&mut self, delims: &[u8]) -> &'a str {
         let n = scan::plain_prefix_len(&self.src.as_bytes()[self.byte..], delims);
+        self.advance_run(n)
+    }
+
+    /// Consume and return the longest batchable run for the TagName state
+    /// (see [`scan::tag_name_prefix_len`]). Like plain runs, name-like runs
+    /// are printable ASCII: error-free, normalization-free, one byte per
+    /// character.
+    #[inline]
+    pub fn take_tag_name_run(&mut self) -> &'a str {
+        let n = scan::tag_name_prefix_len(&self.src.as_bytes()[self.byte..]);
+        self.advance_run(n)
+    }
+
+    /// Consume and return the longest batchable run for the AttributeName
+    /// state (see [`scan::attr_name_prefix_len`]).
+    #[inline]
+    pub fn take_attr_name_run(&mut self) -> &'a str {
+        let n = scan::attr_name_prefix_len(&self.src.as_bytes()[self.byte..]);
+        self.advance_run(n)
+    }
+
+    /// Consume and return the longest batchable run for the unquoted
+    /// AttributeValue state (see [`scan::unquoted_value_prefix_len`]).
+    #[inline]
+    pub fn take_unquoted_value_run(&mut self) -> &'a str {
+        let n = scan::unquoted_value_prefix_len(&self.src.as_bytes()[self.byte..]);
+        self.advance_run(n)
+    }
+
+    /// Peek the next raw byte without consuming it.
+    #[inline]
+    pub fn peek_byte(&self) -> Option<u8> {
+        self.src.as_bytes().get(self.byte).copied()
+    }
+
+    /// Consume the next character iff it is exactly the ASCII byte `b`.
+    /// Callers pass printable-ASCII bytes (never CR), so the consumed
+    /// character is one byte wide, needs no normalization, and can carry no
+    /// preprocessing error. Returns whether the byte was consumed — the
+    /// fused state-transition primitive of the batched tokenizer paths.
+    #[inline]
+    pub fn eat_byte(&mut self, b: u8) -> bool {
+        debug_assert!(b.is_ascii() && b != b'\r');
+        if self.src.as_bytes().get(self.byte) == Some(&b) {
+            self.byte += 1;
+            self.chars += 1;
+            self.reported = self.reported.max(self.byte);
+            self.last_width = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Shared tail of the batch-run takers: advance over `n` bytes known to
+    /// be printable ASCII and return them.
+    #[inline]
+    fn advance_run(&mut self, n: usize) -> &'a str {
         let run = &self.src[self.byte..self.byte + n];
         if n > 0 {
-            // Every plain byte is a one-byte character, so chars advance in
-            // lockstep with bytes.
+            // Every batched byte is a one-byte character, so chars advance
+            // in lockstep with bytes.
             self.byte += n;
             self.chars += n;
             self.reported = self.reported.max(self.byte);

@@ -100,6 +100,83 @@ pub fn plain_prefix_len(bytes: &[u8], delims: &[u8]) -> usize {
     bytes.len()
 }
 
+/// Whether `b` can be batch-appended in a *name-like* state (scalar
+/// reference and unaligned tail). Name-like runs are strictly printable
+/// ASCII (`0x21..=0x7E`): whitespace always terminates these states, so
+/// unlike [`is_plain`] there is no TAB/LF/FF allowance — which also means
+/// every batched byte is exactly one character and one column. Uppercase
+/// letters batch too: the name states lowercase the appended slice in
+/// place, which is byte-for-byte what the scalar `to_ascii_lowercase`
+/// per-character path produces.
+#[inline]
+fn is_name_plain(b: u8, delims: &[u8]) -> bool {
+    matches!(b, 0x21..=0x7E) && !delims.contains(&b)
+}
+
+/// Delimiters of the AttributeName state: `/`/`>` end the tag machinery,
+/// `=` separates the value, and `"`/`'`/`<` are in-name error characters
+/// the scalar path must report.
+const ATTR_NAME_DELIMS: &[u8] = b"/>=\"'<";
+
+/// Whether `b` can *start* an attribute name — used by the fused
+/// BeforeAttributeName fast path to decide it may open an attribute
+/// without bouncing through the scalar state machine. Exactly the bytes
+/// [`attr_name_prefix_len`] would batch.
+#[inline]
+pub fn is_attr_name_start(b: u8) -> bool {
+    is_name_plain(b, ATTR_NAME_DELIMS)
+}
+
+/// Length of the longest prefix batchable in a name-like tokenizer state
+/// (TagName, AttributeName, unquoted AttributeValue). Stops at anything
+/// outside printable ASCII (controls, NUL, CR, DEL, non-ASCII — the bytes
+/// the preprocessor or state machine must see) and at every `delims` byte.
+pub fn name_prefix_len(bytes: &[u8], delims: &[u8]) -> usize {
+    let mut i = 0;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().unwrap());
+        // Outside 0x21..=0x7E: non-ASCII, DEL, and everything below '!'.
+        let mut stops = (w & HI) | has_value(w, 0x7F) | has_less(w, 0x21);
+        for &d in delims {
+            stops |= has_value(w, d);
+        }
+        if stops != 0 {
+            return i + (stops.trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    for &b in chunks.remainder() {
+        if !is_name_plain(b, delims) {
+            return i;
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// [`name_prefix_len`] for the TagName state: `/` and `>` hand control
+/// back.
+#[inline]
+pub fn tag_name_prefix_len(bytes: &[u8]) -> usize {
+    name_prefix_len(bytes, b"/>")
+}
+
+/// [`name_prefix_len`] for the AttributeName state (see
+/// [`ATTR_NAME_DELIMS`]).
+#[inline]
+pub fn attr_name_prefix_len(bytes: &[u8]) -> usize {
+    name_prefix_len(bytes, ATTR_NAME_DELIMS)
+}
+
+/// [`name_prefix_len`] for the unquoted AttributeValue state: `&` starts a
+/// character reference, `>` closes the tag, and `"`/`'`/`<`/`=`/`` ` `` are
+/// in-value error characters.
+#[inline]
+pub fn unquoted_value_prefix_len(bytes: &[u8]) -> usize {
+    name_prefix_len(bytes, b"&>\"'<=`")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +184,11 @@ mod tests {
     /// Byte-at-a-time reference implementation.
     fn reference(bytes: &[u8], delims: &[u8]) -> usize {
         bytes.iter().position(|&b| !is_plain(b, delims)).unwrap_or(bytes.len())
+    }
+
+    /// Byte-at-a-time reference for the name-like scans.
+    fn name_reference(bytes: &[u8], delims: &[u8]) -> usize {
+        bytes.iter().position(|&b| !is_name_plain(b, delims)).unwrap_or(bytes.len())
     }
 
     #[test]
@@ -180,6 +262,76 @@ mod tests {
                             plain_prefix_len(&v, delims),
                             reference(&v, delims),
                             "pair {a:#x},{b:#x} at {pos}, delims {delims:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn name_scan_basics() {
+        assert_eq!(tag_name_prefix_len(b"div>"), 3);
+        assert_eq!(tag_name_prefix_len(b"div id=x>"), 3); // stops at space
+        assert_eq!(tag_name_prefix_len(b"br/>"), 2);
+        assert_eq!(tag_name_prefix_len(b"DIV>"), 3); // batched, lowercased in place
+        assert_eq!(tag_name_prefix_len(b"x-widget attr"), 8);
+
+        assert_eq!(attr_name_prefix_len(b"data-key=1"), 8);
+        assert_eq!(attr_name_prefix_len(b"checked>"), 7);
+        assert_eq!(attr_name_prefix_len(b"a\"b"), 1); // error char -> scalar
+        assert_eq!(attr_name_prefix_len(b"Xyz"), 3); // batched, lowercased in place
+
+        assert!(is_attr_name_start(b'a'));
+        assert!(is_attr_name_start(b'D'));
+        assert!(!is_attr_name_start(b' '));
+        assert!(!is_attr_name_start(b'='));
+        assert!(!is_attr_name_start(b'>'));
+        assert!(!is_attr_name_start(b'/'));
+        assert!(!is_attr_name_start(0x80));
+
+        assert_eq!(unquoted_value_prefix_len(b"v42 next"), 3);
+        assert_eq!(unquoted_value_prefix_len(b"UPPER-ok>"), 8); // case kept
+        assert_eq!(unquoted_value_prefix_len(b"a&amp;b"), 1);
+        assert_eq!(unquoted_value_prefix_len(b"q`r"), 1);
+    }
+
+    #[test]
+    fn name_scan_matches_reference_on_dense_byte_sweep() {
+        // Every byte value at every in-word alignment, for each of the
+        // three delimiter configurations the tokenizer uses.
+        let configs: &[&[u8]] = &[b"/>", b"/>=\"'<", b"&>\"'<=`"];
+        for &delims in configs {
+            for b in 0u8..=255 {
+                for pos in 0..17 {
+                    let mut v = vec![b'p'; 17];
+                    v[pos] = b;
+                    assert_eq!(
+                        name_prefix_len(&v, delims),
+                        name_reference(&v, delims),
+                        "byte {b:#x} at {pos}, delims {delims:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn name_scan_matches_reference_on_adjacent_byte_pairs() {
+        // Same adjacent-lane exhaustion as the plain scan: `has_less` is
+        // built from a borrow-free form, and this proves no cross-lane
+        // coupling slipped in.
+        for a in 0u8..=255 {
+            for b in 0u8..=255 {
+                for pos in [0usize, 5] {
+                    let mut v = vec![b'p'; 10];
+                    v[pos] = a;
+                    v[pos + 1] = b;
+                    for &delims in &[&b"/>"[..], &b"&>\"'<=`"[..]] {
+                        assert_eq!(
+                            name_prefix_len(&v, delims),
+                            name_reference(&v, delims),
+                            "pair {a:#x},{b:#x} at {pos}"
                         );
                     }
                 }

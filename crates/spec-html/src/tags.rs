@@ -6,6 +6,172 @@
 //! the membership sets the specification keys its algorithms on: the
 //! *special* category, void elements, the foreign-content breakout list,
 //! implied-end-tag sets, and the table/select scoping sets.
+//!
+//! The string predicates (`is_void(&str)` & friends) are the source of
+//! truth. For the hot paths, each predicate also has an [`Atom`] form
+//! (`is_void_atom` &c.) that answers in O(1): on first use the string
+//! predicate is evaluated over every entry of [`STATIC_ATOMS`] into a
+//! bitset, and a static atom probes one bit. Dynamic atoms (names outside
+//! the static table) fall back to the string predicate, so the two forms
+//! are equivalent *by construction* — and `tests/atom_semantics.rs` pins
+//! the equivalence exhaustively anyway.
+
+use crate::atoms::{Atom, STATIC_ATOMS};
+use std::sync::OnceLock;
+
+/// A bitset keyed by static-atom id.
+struct AtomSet {
+    words: Box<[u64]>,
+}
+
+impl AtomSet {
+    fn build(pred: fn(&str) -> bool) -> AtomSet {
+        let mut words = vec![0u64; STATIC_ATOMS.len().div_ceil(64)].into_boxed_slice();
+        for (id, name) in STATIC_ATOMS.iter().enumerate() {
+            if pred(name) {
+                words[id >> 6] |= 1 << (id & 63);
+            }
+        }
+        AtomSet { words }
+    }
+
+    #[inline]
+    fn contains(&self, id: usize) -> bool {
+        self.words[id >> 6] & (1 << (id & 63)) != 0
+    }
+}
+
+/// All classification bitsets, derived once from the string predicates.
+struct ClassSets {
+    void: AtomSet,
+    special: AtomSet,
+    formatting: AtomSet,
+    head_content: AtomSet,
+    closes_p: AtomSet,
+    implied_end: AtomSet,
+    rcdata: AtomSet,
+    rawtext: AtomSet,
+    foreign_breakout: AtomSet,
+    mathml_text_integration: AtomSet,
+    svg_html_integration: AtomSet,
+    url_attribute: AtomSet,
+    /// Static-id → static-id map for the SVG camelCase tag fixups (both
+    /// spellings are in the table by construction).
+    svg_fixup: Box<[u16]>,
+}
+
+fn sets() -> &'static ClassSets {
+    static SETS: OnceLock<ClassSets> = OnceLock::new();
+    SETS.get_or_init(|| {
+        let svg_fixup = STATIC_ATOMS
+            .iter()
+            .enumerate()
+            .map(|(id, name)| match svg_tag_fixup(name) {
+                Some(fixed) => match Atom::from_name(fixed).static_id() {
+                    Some(fixed_id) => fixed_id as u16,
+                    None => unreachable!("fixup target {fixed:?} missing from STATIC_ATOMS"),
+                },
+                None => id as u16,
+            })
+            .collect();
+        ClassSets {
+            void: AtomSet::build(is_void),
+            special: AtomSet::build(is_special),
+            formatting: AtomSet::build(is_formatting),
+            head_content: AtomSet::build(is_head_content),
+            closes_p: AtomSet::build(closes_p),
+            implied_end: AtomSet::build(implied_end_tag),
+            rcdata: AtomSet::build(is_rcdata),
+            rawtext: AtomSet::build(is_rawtext),
+            foreign_breakout: AtomSet::build(is_foreign_breakout),
+            mathml_text_integration: AtomSet::build(is_mathml_text_integration),
+            svg_html_integration: AtomSet::build(is_svg_html_integration),
+            url_attribute: AtomSet::build(is_url_attribute),
+            svg_fixup,
+        }
+    })
+}
+
+macro_rules! atom_predicate {
+    ($(#[$doc:meta])* $atom_fn:ident, $set:ident, $str_fn:ident) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $atom_fn(name: &Atom) -> bool {
+            match name.static_id() {
+                Some(id) => sets().$set.contains(id),
+                None => $str_fn(name.as_str()),
+            }
+        }
+    };
+}
+
+atom_predicate!(
+    /// O(1) form of [`is_void`].
+    is_void_atom, void, is_void
+);
+atom_predicate!(
+    /// O(1) form of [`is_special`].
+    is_special_atom, special, is_special
+);
+atom_predicate!(
+    /// O(1) form of [`is_formatting`].
+    is_formatting_atom, formatting, is_formatting
+);
+atom_predicate!(
+    /// O(1) form of [`is_head_content`].
+    is_head_content_atom, head_content, is_head_content
+);
+atom_predicate!(
+    /// O(1) form of [`closes_p`].
+    closes_p_atom, closes_p, closes_p
+);
+atom_predicate!(
+    /// O(1) form of [`implied_end_tag`].
+    implied_end_tag_atom, implied_end, implied_end_tag
+);
+atom_predicate!(
+    /// O(1) form of [`is_rcdata`].
+    is_rcdata_atom, rcdata, is_rcdata
+);
+atom_predicate!(
+    /// O(1) form of [`is_rawtext`].
+    is_rawtext_atom, rawtext, is_rawtext
+);
+atom_predicate!(
+    /// O(1) form of [`is_foreign_breakout`].
+    is_foreign_breakout_atom, foreign_breakout, is_foreign_breakout
+);
+atom_predicate!(
+    /// O(1) form of [`is_mathml_text_integration`].
+    is_mathml_text_integration_atom, mathml_text_integration, is_mathml_text_integration
+);
+atom_predicate!(
+    /// O(1) form of [`is_svg_html_integration`].
+    is_svg_html_integration_atom, svg_html_integration, is_svg_html_integration
+);
+atom_predicate!(
+    /// O(1) form of [`is_url_attribute`].
+    is_url_attribute_atom, url_attribute, is_url_attribute
+);
+
+/// O(1) form of [`svg_tag_fixup`]: the adjusted atom for a lowercased SVG
+/// tag name, or a clone of the input when no fixup applies.
+pub fn svg_tag_fixup_atom(name: &Atom) -> Atom {
+    match name.static_id() {
+        Some(id) => {
+            let fixed = sets().svg_fixup[id];
+            if fixed as usize == id {
+                name.clone()
+            } else {
+                Atom::from_static_id(fixed)
+            }
+        }
+        None => match svg_tag_fixup(name.as_str()) {
+            Some(fixed) => Atom::from_name(fixed),
+            None => name.clone(),
+        },
+    }
+}
 
 /// Elements with no end tag at all (§13.1.2 "void elements").
 pub fn is_void(name: &str) -> bool {

@@ -12,9 +12,11 @@ mod token;
 
 pub use token::{Attr, Doctype, Tag, Token};
 
+use crate::atoms::{Atom, Interner, SharedStr};
 use crate::entities;
 use crate::errors::{ErrorCode, ParseError};
 use crate::preprocess::InputStream;
+use crate::scan;
 use std::collections::VecDeque;
 
 /// Tokenizer states (§13.2.5.1–80). Names mirror the specification.
@@ -110,16 +112,31 @@ enum TagKind {
     End,
 }
 
-/// An attribute under construction.
+/// Scratch buffers for the attribute under construction. One lives in the
+/// tokenizer for its whole lifetime and is recycled across attributes and
+/// tags — `start_new_attr` clears the buffers (keeping their capacity)
+/// instead of allocating fresh `String`s per attribute.
 #[derive(Debug, Default)]
 struct AttrBuilder {
+    /// Whether an attribute is currently being built. Replaces the old
+    /// `Option<AttrBuilder>`: `false` ⇔ the old `None`.
+    active: bool,
     name: String,
     value: String,
+    /// Raw (undecoded) source text of the value. Only maintained once
+    /// `diverged` is set; until then the raw text equals `value` and is not
+    /// stored separately.
     raw_value: String,
+    /// Set by the first decoded character reference in the value — the only
+    /// way raw and decoded text can differ.
+    diverged: bool,
     name_offset: usize,
     /// Set when leaving the attribute-name state if the name already exists
     /// on the tag: the attribute is a spec `duplicate-attribute`.
     duplicate: bool,
+    /// The interned name, filled by the duplicate check when the name is
+    /// complete so `finish_cur_attr` doesn't intern a second time.
+    atom: Option<Atom>,
 }
 
 /// The tokenizer. Feed it the decoded document text — preprocessing
@@ -146,7 +163,14 @@ pub struct Tokenizer<'a> {
     tag_attrs: Vec<Attr>,
     tag_dup_attrs: Vec<Attr>,
     tag_offset: usize,
-    cur_attr: Option<AttrBuilder>,
+    cur_attr: AttrBuilder,
+    /// Per-parse dedup for names outside the static atom table; fresh per
+    /// tokenizer, so dynamic atoms never leak between documents.
+    interner: Interner,
+    /// The previously emitted tag's name atom. Documents repeat tag names
+    /// constantly (`<p>...</p><p>...`), so this one-entry memo turns most
+    /// tag-name interns into a single string compare plus a cheap clone.
+    last_tag_atom: Atom,
 
     comment: String,
     doctype: Option<Doctype>,
@@ -191,7 +215,9 @@ impl<'a> Tokenizer<'a> {
             tag_attrs: Vec::new(),
             tag_dup_attrs: Vec::new(),
             tag_offset: 0,
-            cur_attr: None,
+            cur_attr: AttrBuilder::default(),
+            interner: Interner::new(),
+            last_tag_atom: Atom::default(),
             comment: String::new(),
             doctype: None,
             last_start_tag: String::new(),
@@ -336,56 +362,106 @@ impl<'a> Tokenizer<'a> {
         self.tag_self_closing = false;
         self.tag_attrs.clear();
         self.tag_dup_attrs.clear();
-        self.cur_attr = None;
+        self.cur_attr.active = false;
         // The `<` is one or two chars back (`</` for end tags).
         let pos = self.stream.chars_consumed();
         self.tag_offset = pos.saturating_sub(if kind == TagKind::End { 3 } else { 2 });
     }
 
+    /// Scalar entry: the first name character was just consumed, so the
+    /// attribute starts one character back.
     fn start_new_attr(&mut self) {
-        self.finish_cur_attr();
-        let name_offset = self.stream.chars_consumed().saturating_sub(1);
-        self.cur_attr = Some(AttrBuilder { name_offset, ..AttrBuilder::default() });
+        let offset = self.stream.chars_consumed().saturating_sub(1);
+        self.start_new_attr_at(offset);
     }
 
-    /// Leaving the attribute-name state: the spec's duplicate check.
+    /// Shared with the fused batched path, which starts an attribute
+    /// *before* consuming its first character and passes the offset
+    /// explicitly.
+    fn start_new_attr_at(&mut self, name_offset: usize) {
+        self.finish_cur_attr();
+        let a = &mut self.cur_attr;
+        a.active = true;
+        a.name.clear();
+        a.value.clear();
+        a.raw_value.clear();
+        a.diverged = false;
+        a.duplicate = false;
+        a.atom = None;
+        a.name_offset = name_offset;
+    }
+
+    /// Leaving the attribute-name state: the spec's duplicate check. The
+    /// name is final here, so this is also where it is interned — the
+    /// comparison against earlier attributes is then an atom compare (an
+    /// integer compare for table names) instead of a string compare per
+    /// attribute.
     fn check_duplicate_attr(&mut self) {
-        let Some(attr) = self.cur_attr.as_mut() else { return };
-        if self.tag_attrs.iter().any(|a| a.name == attr.name) {
-            attr.duplicate = true;
-            let off = attr.name_offset;
+        if !self.cur_attr.active {
+            return;
+        }
+        let atom = self.interner.intern(&self.cur_attr.name);
+        if self.tag_attrs.iter().any(|a| a.name == atom) {
+            self.cur_attr.duplicate = true;
+            let off = self.cur_attr.name_offset;
             self.error_at(ErrorCode::DuplicateAttribute, off);
         }
+        self.cur_attr.atom = Some(atom);
     }
 
     fn finish_cur_attr(&mut self) {
-        if let Some(b) = self.cur_attr.take() {
-            let attr = Attr {
-                name: b.name,
-                value: b.value,
-                raw_value: b.raw_value,
-                name_offset: b.name_offset,
-            };
-            if b.duplicate {
-                self.tag_dup_attrs.push(attr);
-            } else {
-                self.tag_attrs.push(attr);
+        if !self.cur_attr.active {
+            return;
+        }
+        self.cur_attr.active = false;
+        let name = match self.cur_attr.atom.take() {
+            Some(a) => a,
+            // Rare: the tag ended while still inside the attribute name, so
+            // the duplicate check never ran.
+            None => self.interner.intern(&self.cur_attr.name),
+        };
+        let value = SharedStr::new(&self.cur_attr.value);
+        let raw = if self.cur_attr.diverged {
+            Some(SharedStr::new(&self.cur_attr.raw_value))
+        } else {
+            None
+        };
+        let attr = Attr::with_raw(name, value, raw, self.cur_attr.name_offset);
+        if self.cur_attr.duplicate {
+            self.tag_dup_attrs.push(attr);
+        } else {
+            // The attrs Vec is handed off with the tag (capacity 0 on the
+            // next tag), so skip the 1→2→4→8 realloc ladder up front.
+            // Tags without attributes never reach here and stay alloc-free.
+            if self.tag_attrs.capacity() == 0 {
+                self.tag_attrs.reserve(8);
             }
+            self.tag_attrs.push(attr);
         }
     }
 
     fn append_attr_value(&mut self, c: char) {
-        if let Some(a) = self.cur_attr.as_mut() {
-            a.value.push(c);
-            a.raw_value.push(c);
+        if self.cur_attr.active {
+            self.cur_attr.value.push(c);
+            if self.cur_attr.diverged {
+                self.cur_attr.raw_value.push(c);
+            }
         }
     }
 
     fn emit_tag(&mut self) {
         self.finish_cur_attr();
         self.flush_text();
+        let name = if self.last_tag_atom.as_str() == self.tag_name {
+            self.last_tag_atom.clone()
+        } else {
+            let atom = self.interner.intern(&self.tag_name);
+            self.last_tag_atom = atom.clone();
+            atom
+        };
+        self.tag_name.clear();
         let tag = Tag {
-            name: std::mem::take(&mut self.tag_name),
+            name,
             self_closing: self.tag_self_closing,
             attrs: std::mem::take(&mut self.tag_attrs),
             duplicate_attrs: std::mem::take(&mut self.tag_dup_attrs),
@@ -441,9 +517,11 @@ impl<'a> Tokenizer<'a> {
     fn flush_charref_literal(&mut self) {
         let slice = self.charref_raw();
         if self.charref_in_attribute() {
-            if let Some(a) = self.cur_attr.as_mut() {
-                a.value.push_str(slice);
-                a.raw_value.push_str(slice);
+            if self.cur_attr.active {
+                self.cur_attr.value.push_str(slice);
+                if self.cur_attr.diverged {
+                    self.cur_attr.raw_value.push_str(slice);
+                }
             }
         } else {
             self.emit_str(slice);
@@ -451,13 +529,21 @@ impl<'a> Tokenizer<'a> {
     }
 
     /// Flush a decoded character reference: decoded text to the value,
-    /// original source characters to the raw value.
+    /// original source characters to the raw value. This is the one place
+    /// the raw text can diverge from the decoded value; the raw buffer is
+    /// materialized lazily here, seeded with the (identical so far) value.
     fn flush_charref_decoded(&mut self, decoded: &str) {
         if self.charref_in_attribute() {
             let raw = self.charref_raw();
-            if let Some(a) = self.cur_attr.as_mut() {
-                a.value.push_str(decoded);
-                a.raw_value.push_str(raw);
+            if self.cur_attr.active {
+                let AttrBuilder { value, raw_value, diverged, .. } = &mut self.cur_attr;
+                if !*diverged {
+                    *diverged = true;
+                    raw_value.clear();
+                    raw_value.push_str(value);
+                }
+                value.push_str(decoded);
+                raw_value.push_str(raw);
             }
         } else {
             self.emit_str(decoded);
@@ -467,9 +553,11 @@ impl<'a> Tokenizer<'a> {
     /// Flush a lone `&` that turned out not to start a reference.
     fn flush_charref_amp(&mut self) {
         if self.charref_in_attribute() {
-            if let Some(a) = self.cur_attr.as_mut() {
-                a.value.push('&');
-                a.raw_value.push('&');
+            if self.cur_attr.active {
+                self.cur_attr.value.push('&');
+                if self.cur_attr.diverged {
+                    self.cur_attr.raw_value.push('&');
+                }
             }
         } else {
             self.emit_char('&');
@@ -490,34 +578,191 @@ impl<'a> Tokenizer<'a> {
     /// and append it as a single slice. Returns `true` if it made progress;
     /// anything it could not prove inert (delimiters, NUL, CR, controls,
     /// non-ASCII) is left for the scalar machine.
+    ///
+    /// On top of the runs, the tag states *fuse* the single-character
+    /// transitions that the spec defines with no parse error and no side
+    /// effect beyond a state change — the `=` after an attribute name, the
+    /// quotes around a value, the space between attributes, the closing
+    /// `>`. Each fused byte is checked with [`InputStream::eat_byte`] and
+    /// falls back to the scalar machine when absent, so every error path
+    /// (EOF, NUL, CR, `<` in names, missing whitespace, ...) still takes
+    /// the spec's per-character arms. The stream-equivalence tests compare
+    /// this path against the scalar reference token-for-token and
+    /// error-for-error.
     fn step_batched(&mut self) -> bool {
+        // The text-like arm stays inline and first: it is the whole fast
+        // path for document content, and keeping the tag-state machinery in
+        // separate functions keeps this function small enough to inline
+        // into `step`.
         let delims: &[u8] = match self.state {
             State::Data | State::Rcdata => b"&<",
             State::Rawtext | State::ScriptData => b"<",
             State::Plaintext => &[],
             State::Comment => b"<-",
-            State::AttributeValueDouble => b"\"&",
-            State::AttributeValueSingle => b"'&",
+            State::TagName => return self.step_batched_tag_name(),
+            State::BeforeAttributeName | State::AfterAttributeName => {
+                return self.step_batched_attr_start()
+            }
+            State::AttributeName => return self.step_batched_attr_name(),
+            State::AttributeValueUnquoted => return self.step_batched_unquoted_value(),
+            State::AttributeValueDouble | State::AttributeValueSingle => {
+                return self.step_batched_quoted_value()
+            }
             _ => return false,
         };
         let run = self.stream.take_plain_run(delims);
         if run.is_empty() {
             return false;
         }
-        match self.state {
-            State::Data | State::Rcdata | State::Rawtext | State::ScriptData | State::Plaintext => {
-                self.text_buf.push_str(run)
-            }
-            State::Comment => self.comment.push_str(run),
-            State::AttributeValueDouble | State::AttributeValueSingle => {
-                if let Some(a) = self.cur_attr.as_mut() {
-                    a.value.push_str(run);
-                    a.raw_value.push_str(run);
-                }
-            }
-            _ => unreachable!(),
+        if self.state == State::Comment {
+            self.comment.push_str(run);
+        } else {
+            self.text_buf.push_str(run);
         }
         true
+    }
+
+    /// Batched TagName: append the lowercased name run, then fuse the
+    /// error-free exits (space, `>`, `/`).
+    fn step_batched_tag_name(&mut self) -> bool {
+        let run = self.stream.take_tag_name_run();
+        if run.is_empty() {
+            return false;
+        }
+        let start = self.tag_name.len();
+        self.tag_name.push_str(run);
+        self.tag_name[start..].make_ascii_lowercase();
+        if self.stream.eat_byte(b' ') {
+            self.state = State::BeforeAttributeName;
+        } else if self.stream.eat_byte(b'>') {
+            self.state = State::Data;
+            self.emit_tag();
+        } else if self.stream.eat_byte(b'/') {
+            self.state = State::SelfClosingStartTag;
+        }
+        true
+    }
+
+    /// Batched BeforeAttributeName / AfterAttributeName: skip the space run,
+    /// then open the next attribute when a name-start byte follows. A
+    /// name-start byte begins an attribute in both states, error-free;
+    /// everything else (`/`, `>`, `=`, EOF, ...) stays scalar.
+    fn step_batched_attr_start(&mut self) -> bool {
+        let mut progressed = false;
+        while self.stream.eat_byte(b' ') {
+            progressed = true;
+        }
+        if self.stream.peek_byte().is_some_and(scan::is_attr_name_start) {
+            self.start_new_attr_at(self.stream.chars_consumed());
+            self.state = State::AttributeName;
+            return true;
+        }
+        progressed
+    }
+
+    /// Batched AttributeName: append the lowercased name run, then fuse the
+    /// error-free exits — `=` (plus an immediately following quote), space,
+    /// `>`, `/` — each of which leaves the name final and so runs the
+    /// spec's duplicate check here.
+    fn step_batched_attr_name(&mut self) -> bool {
+        if !self.cur_attr.active {
+            return false;
+        }
+        let run = self.stream.take_attr_name_run();
+        let progressed = !run.is_empty();
+        if progressed {
+            let start = self.cur_attr.name.len();
+            self.cur_attr.name.push_str(run);
+            self.cur_attr.name[start..].make_ascii_lowercase();
+        }
+        if self.stream.eat_byte(b'=') {
+            self.check_duplicate_attr();
+            if self.stream.eat_byte(b'"') {
+                self.state = State::AttributeValueDouble;
+            } else if self.stream.eat_byte(b'\'') {
+                self.state = State::AttributeValueSingle;
+            } else {
+                self.state = State::BeforeAttributeValue;
+            }
+            return true;
+        }
+        if self.stream.eat_byte(b' ') {
+            self.check_duplicate_attr();
+            self.state = State::AfterAttributeName;
+            return true;
+        }
+        if self.stream.eat_byte(b'>') {
+            self.check_duplicate_attr();
+            self.state = State::Data;
+            self.emit_tag();
+            return true;
+        }
+        if self.stream.eat_byte(b'/') {
+            self.check_duplicate_attr();
+            self.state = State::SelfClosingStartTag;
+            return true;
+        }
+        progressed
+    }
+
+    /// Batched unquoted AttributeValue: append the value run, then fuse the
+    /// error-free exits (space, `>`).
+    fn step_batched_unquoted_value(&mut self) -> bool {
+        if !self.cur_attr.active {
+            return false;
+        }
+        let run = self.stream.take_unquoted_value_run();
+        let progressed = !run.is_empty();
+        if progressed {
+            self.cur_attr.value.push_str(run);
+            if self.cur_attr.diverged {
+                self.cur_attr.raw_value.push_str(run);
+            }
+        }
+        if self.stream.eat_byte(b' ') {
+            self.state = State::BeforeAttributeName;
+            return true;
+        }
+        if self.stream.eat_byte(b'>') {
+            self.state = State::Data;
+            self.emit_tag();
+            return true;
+        }
+        progressed
+    }
+
+    /// Batched quoted AttributeValue: append the value run, then fuse the
+    /// closing quote and the error-free AfterAttributeValueQuoted exits
+    /// (space, `>`, `/`); anything else reconsumes there scalar
+    /// (missing-whitespace error, EOF).
+    fn step_batched_quoted_value(&mut self) -> bool {
+        if !self.cur_attr.active {
+            return false;
+        }
+        let (delims, quote): (&[u8], u8) =
+            if self.state == State::AttributeValueDouble { (b"\"&", b'"') } else { (b"'&", b'\'') };
+        let run = self.stream.take_plain_run(delims);
+        let progressed = !run.is_empty();
+        if progressed {
+            self.cur_attr.value.push_str(run);
+            if self.cur_attr.diverged {
+                self.cur_attr.raw_value.push_str(run);
+            }
+        }
+        if self.stream.eat_byte(quote) {
+            if self.stream.eat_byte(b' ') {
+                self.state = State::BeforeAttributeName;
+            } else if self.stream.eat_byte(b'>') {
+                self.state = State::Data;
+                self.emit_tag();
+            } else if self.stream.eat_byte(b'/') {
+                self.state = State::SelfClosingStartTag;
+            } else {
+                self.state = State::AfterAttributeValueQuoted;
+            }
+            return true;
+        }
+        progressed
     }
 
     #[allow(clippy::too_many_lines)]
@@ -941,9 +1186,7 @@ impl<'a> Tokenizer<'a> {
                 Some('=') => {
                     self.error(ErrorCode::UnexpectedEqualsSignBeforeAttributeName);
                     self.start_new_attr();
-                    if let Some(a) = self.cur_attr.as_mut() {
-                        a.name.push('=');
-                    }
+                    self.cur_attr.name.push('=');
                     self.state = State::AttributeName;
                 }
                 Some(_) => {
@@ -967,19 +1210,19 @@ impl<'a> Tokenizer<'a> {
                 }
                 Some('\0') => {
                     self.error(ErrorCode::UnexpectedNullCharacter);
-                    if let Some(a) = self.cur_attr.as_mut() {
-                        a.name.push('\u{FFFD}');
+                    if self.cur_attr.active {
+                        self.cur_attr.name.push('\u{FFFD}');
                     }
                 }
                 Some(c @ ('"' | '\'' | '<')) => {
                     self.error(ErrorCode::UnexpectedCharacterInAttributeName);
-                    if let Some(a) = self.cur_attr.as_mut() {
-                        a.name.push(c);
+                    if self.cur_attr.active {
+                        self.cur_attr.name.push(c);
                     }
                 }
                 Some(c) => {
-                    if let Some(a) = self.cur_attr.as_mut() {
-                        a.name.push(c.to_ascii_lowercase());
+                    if self.cur_attr.active {
+                        self.cur_attr.name.push(c.to_ascii_lowercase());
                     }
                 }
             },

@@ -167,7 +167,7 @@ fn charref_in_attribute_decoded_with_raw_preserved() {
     let tag = t[0].as_start_tag().unwrap();
     let attr = tag.attr("title").unwrap();
     assert_eq!(attr.value, "--><img>");
-    assert_eq!(attr.raw_value, "--&gt;&lt;img&gt;");
+    assert_eq!(attr.raw_value(), "--&gt;&lt;img&gt;");
 }
 
 #[test]
@@ -681,11 +681,11 @@ mod edge_cases {
         let input = r#"<a href="a&amp;b" title='c&#38;d' rel=e&amp;f>"#;
         let (t, _) = toks(input);
         let tag = t[0].as_start_tag().unwrap();
-        assert_eq!(tag.attr("href").unwrap().raw_value, "a&amp;b");
+        assert_eq!(tag.attr("href").unwrap().raw_value(), "a&amp;b");
         assert_eq!(tag.attr("href").unwrap().value, "a&b");
-        assert_eq!(tag.attr("title").unwrap().raw_value, "c&#38;d");
+        assert_eq!(tag.attr("title").unwrap().raw_value(), "c&#38;d");
         assert_eq!(tag.attr("title").unwrap().value, "c&d");
-        assert_eq!(tag.attr("rel").unwrap().raw_value, "e&amp;f");
+        assert_eq!(tag.attr("rel").unwrap().raw_value(), "e&amp;f");
         assert_eq!(tag.attr("rel").unwrap().value, "e&f");
     }
 }

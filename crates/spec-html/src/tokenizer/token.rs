@@ -1,24 +1,81 @@
 //! Token types emitted by the tokenizer.
 
+use crate::atoms::{Atom, SharedStr};
+
 /// An attribute on a start (or, erroneously, end) tag.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Names are interned [`Atom`]s and values are [`SharedStr`]s, so cloning
+/// an attribute (into the DOM, the formatting list, …) never copies text.
+#[derive(Debug, Clone, Eq)]
 pub struct Attr {
     /// Lowercased attribute name.
-    pub name: String,
+    pub name: Atom,
     /// Attribute value with character references decoded.
-    pub value: String,
-    /// The raw (undecoded) value exactly as written in the source. The DE3
-    /// checkers need this: `&#10;` in the source is *not* a dangling-markup
-    /// newline, but a literal newline is.
-    pub raw_value: String,
+    pub value: SharedStr,
+    /// See [`Attr::raw_value`]. `Shared` means no character reference was
+    /// decoded, so the raw text *is* the decoded value — the common case,
+    /// stored without a second string.
+    raw: RawValue,
     /// Character offset of the first character of the attribute name.
     pub name_offset: usize,
 }
 
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RawValue {
+    /// Raw text identical to the decoded value.
+    Shared,
+    /// Diverged: at least one character reference was decoded.
+    Owned(SharedStr),
+}
+
 impl Attr {
-    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
-        let value = value.into();
-        Attr { name: name.into(), raw_value: value.clone(), value, name_offset: 0 }
+    /// A synthetic attribute whose raw text equals its value (tests,
+    /// checker fixtures). No copy is made for the raw form.
+    pub fn new(name: impl AsRef<str>, value: impl AsRef<str>) -> Self {
+        Attr {
+            name: Atom::from_name(name.as_ref()),
+            value: SharedStr::new(value.as_ref()),
+            raw: RawValue::Shared,
+            name_offset: 0,
+        }
+    }
+
+    /// Tokenizer constructor: `raw` is `None` when no character reference
+    /// was decoded in the value (raw text == decoded text).
+    pub(crate) fn with_raw(
+        name: Atom,
+        value: SharedStr,
+        raw: Option<SharedStr>,
+        name_offset: usize,
+    ) -> Self {
+        let raw = match raw {
+            Some(r) => RawValue::Owned(r),
+            None => RawValue::Shared,
+        };
+        Attr { name, value, raw, name_offset }
+    }
+
+    /// The raw (undecoded) value exactly as written in the source. The DE3
+    /// checkers need this: `&#10;` in the source is *not* a dangling-markup
+    /// newline, but a literal newline is.
+    #[inline]
+    pub fn raw_value(&self) -> &str {
+        match &self.raw {
+            RawValue::Shared => &self.value,
+            RawValue::Owned(raw) => raw,
+        }
+    }
+}
+
+impl PartialEq for Attr {
+    /// Textual equality (plus offset), independent of whether the raw form
+    /// is stored shared or owned — exactly the semantics of the old
+    /// three-`String` struct.
+    fn eq(&self, other: &Attr) -> bool {
+        self.name == other.name
+            && self.value == other.value
+            && self.raw_value() == other.raw_value()
+            && self.name_offset == other.name_offset
     }
 }
 
@@ -26,7 +83,7 @@ impl Attr {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Tag {
     /// Lowercased tag name.
-    pub name: String,
+    pub name: Atom,
     /// Whether the tag used self-closing syntax (`/>`).
     pub self_closing: bool,
     /// Attributes in source order, with spec-mandated duplicates removed.
@@ -40,7 +97,7 @@ pub struct Tag {
 
 impl Tag {
     pub fn named(name: &str) -> Self {
-        Tag { name: name.to_owned(), ..Tag::default() }
+        Tag { name: Atom::from_name(name), ..Tag::default() }
     }
 
     /// First attribute with the given (lowercase) name, per spec semantics

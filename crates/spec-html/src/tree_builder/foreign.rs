@@ -8,14 +8,15 @@
 //! namespaces — comments inside them are real comments, not CSS text.
 
 use super::{Builder, Ctl, TreeEventKind};
+use crate::atoms::Atom;
 use crate::dom::Namespace;
 use crate::tags;
 use crate::tokenizer::{Token, Tokenizer};
 
 impl Builder {
     /// The adjusted current node (the current node, since we never parse
-    /// fragments).
-    fn adjusted_current(&self) -> Option<(Namespace, String)> {
+    /// fragments). Cloning the atom is an integer copy or `Arc` bump.
+    fn adjusted_current(&self) -> Option<(Namespace, Atom)> {
         self.current().and_then(|id| self.doc.element(id)).map(|e| (e.ns, e.name.clone()))
     }
 
@@ -28,7 +29,7 @@ impl Builder {
         }
         // MathML text integration point: HTML rules except for
         // mglyph/malignmark start tags.
-        if ns == Namespace::MathMl && tags::is_mathml_text_integration(&name) {
+        if ns == Namespace::MathMl && tags::is_mathml_text_integration_atom(&name) {
             match token {
                 Token::StartTag(t) if !matches!(t.name.as_str(), "mglyph" | "malignmark") => {
                     return false;
@@ -54,7 +55,7 @@ impl Builder {
         }
         // SVG HTML integration points.
         if ns == Namespace::Svg
-            && tags::is_svg_html_integration(&name)
+            && tags::is_svg_html_integration_atom(&name)
             && matches!(token, Token::StartTag(_) | Token::Characters(_))
         {
             return false;
@@ -108,7 +109,7 @@ impl Builder {
                 Ctl::Done
             }
             Token::StartTag(ref tag) => {
-                let breakout = tags::is_foreign_breakout(&tag.name)
+                let breakout = tags::is_foreign_breakout_atom(&tag.name)
                     || (tag.name == "font"
                         && tag
                             .attrs
@@ -118,15 +119,19 @@ impl Builder {
                     // HF5: pop foreign elements until an integration point
                     // or HTML element, then reprocess with HTML rules.
                     let root_ns = self.foreign_root_ns();
-                    self.event(TreeEventKind::ForeignBreakout { tag: tag.name.clone(), root_ns });
+                    self.event(TreeEventKind::ForeignBreakout {
+                        tag: tag.name.to_string(),
+                        root_ns,
+                    });
                     #[allow(clippy::while_let_loop)]
                     loop {
                         let Some(&cur) = self.open.last() else { break };
                         let Some(e) = self.doc.element(cur) else { break };
                         let stop = e.ns == Namespace::Html
                             || (e.ns == Namespace::MathMl
-                                && tags::is_mathml_text_integration(&e.name))
-                            || (e.ns == Namespace::Svg && tags::is_svg_html_integration(&e.name));
+                                && tags::is_mathml_text_integration_atom(&e.name))
+                            || (e.ns == Namespace::Svg
+                                && tags::is_svg_html_integration_atom(&e.name));
                         if stop {
                             break;
                         }
@@ -155,8 +160,13 @@ impl Builder {
                 // case-insensitive match; an HTML element hands over to the
                 // HTML rules.
                 if let Some((_, cur_name)) = self.adjusted_current() {
-                    if cur_name.to_ascii_lowercase() != tag.name {
-                        self.event(TreeEventKind::ForeignEndTagMismatch { tag: tag.name.clone() });
+                    // The end tag name is already lowercased, so a
+                    // case-insensitive compare matches the old
+                    // `to_ascii_lowercase()` allocation exactly.
+                    if !cur_name.eq_ignore_ascii_case(&tag.name) {
+                        self.event(TreeEventKind::ForeignEndTagMismatch {
+                            tag: tag.name.to_string(),
+                        });
                     }
                 }
                 let mut i = self.open.len();
@@ -168,7 +178,7 @@ impl Builder {
                         // Process using HTML rules.
                         return self.mode_dispatch_from_foreign(token, tok);
                     }
-                    if e.name.to_ascii_lowercase() == tag.name {
+                    if e.name.eq_ignore_ascii_case(&tag.name) {
                         self.open.truncate(i);
                         return Ctl::Done;
                     }

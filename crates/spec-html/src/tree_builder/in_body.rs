@@ -63,9 +63,9 @@ impl Builder {
                     if let Some(e) = self.doc.element_mut(body) {
                         for a in &tag.attrs {
                             if e.has_attr(&a.name) {
-                                ignored.push(a.name.clone());
+                                ignored.push(a.name.to_string());
                             } else {
-                                new_attrs.push(a.name.clone());
+                                new_attrs.push(a.name.to_string());
                                 e.attrs.push(ElemAttr {
                                     name: a.name.clone(),
                                     value: a.value.clone(),
@@ -121,7 +121,7 @@ impl Builder {
                     self.close_p_element();
                 }
                 if matches!(self.current_name(), Some("h1" | "h2" | "h3" | "h4" | "h5" | "h6")) {
-                    self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayStartTag { tag: tag.name.to_string() });
                     self.open.pop();
                 }
                 self.insert_html(tag);
@@ -395,7 +395,7 @@ impl Builder {
             }
             "caption" | "col" | "colgroup" | "frame" | "head" | "tbody" | "td" | "tfoot" | "th"
             | "thead" | "tr" => {
-                self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayStartTag { tag: tag.name.to_string() });
                 Ctl::Done
             }
             _ => {
@@ -430,7 +430,7 @@ impl Builder {
             | "header" | "hgroup" | "listing" | "main" | "menu" | "nav" | "ol" | "pre"
             | "search" | "section" | "summary" | "ul" => {
                 if !self.in_scope(&tag.name) {
-                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                     return Ctl::Done;
                 }
                 self.generate_implied_end_tags(None);
@@ -475,7 +475,7 @@ impl Builder {
             }
             "dd" | "dt" => {
                 if !self.in_scope(&tag.name) {
-                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                     return Ctl::Done;
                 }
                 self.generate_implied_end_tags(Some(&tag.name));
@@ -485,7 +485,7 @@ impl Builder {
             "h1" | "h2" | "h3" | "h4" | "h5" | "h6" => {
                 let hs = ["h1", "h2", "h3", "h4", "h5", "h6"];
                 if !self.any_in_scope(&hs) {
-                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                     return Ctl::Done;
                 }
                 self.generate_implied_end_tags(None);
@@ -505,7 +505,7 @@ impl Builder {
             }
             "applet" | "marquee" | "object" => {
                 if !self.in_scope(&tag.name) {
-                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                     return Ctl::Done;
                 }
                 self.generate_implied_end_tags(None);

@@ -23,6 +23,7 @@ mod tables;
 pub use events::{TreeEvent, TreeEventKind};
 pub use formatting::FormatEntry;
 
+use crate::atoms::Atom;
 use crate::dom::{Document, ElemAttr, Namespace, NodeData, NodeId};
 use crate::errors::ParseError;
 use crate::tags;
@@ -267,7 +268,7 @@ impl Builder {
             self.open_at_eof = self
                 .open
                 .iter()
-                .filter_map(|&id| self.doc.element(id).map(|e| e.name.clone()))
+                .filter_map(|&id| self.doc.element(id).map(|e| e.name.to_string()))
                 .collect();
         }
         // Handle the post-<pre>/<textarea> LF suppression.
@@ -522,7 +523,7 @@ impl Builder {
     pub(crate) fn insert_element(&mut self, tag: &Tag, ns: Namespace, foster: bool) -> NodeId {
         let foster = foster || self.foster;
         let name = match ns {
-            Namespace::Svg => tags::svg_tag_fixup(&tag.name).unwrap_or(&tag.name).to_owned(),
+            Namespace::Svg => tags::svg_tag_fixup_atom(&tag.name),
             _ => tag.name.clone(),
         };
         let attrs = tag
@@ -530,10 +531,10 @@ impl Builder {
             .iter()
             .map(|a| ElemAttr { name: adjust_foreign_attr(ns, &a.name), value: a.value.clone() })
             .collect();
-        let id = self.doc.create_element_at(&name, ns, attrs, tag.offset);
+        let id = self.doc.create_element_at(name, ns, attrs, tag.offset);
         let (parent, before) = self.insertion_place(foster);
         if foster && before.is_some() {
-            self.event(TreeEventKind::FosterParented { tag: Some(tag.name.clone()) });
+            self.event(TreeEventKind::FosterParented { tag: Some(tag.name.to_string()) });
         }
         match before {
             Some(b) => self.doc.insert_before(b, id),
@@ -560,7 +561,7 @@ impl Builder {
     /// start tag (the flag is never acknowledged for those).
     pub(crate) fn check_self_closing(&mut self, tag: &Tag) {
         if tag.self_closing && !tags::is_void(&tag.name) {
-            self.event(TreeEventKind::SelfClosingNonVoid { tag: tag.name.clone() });
+            self.event(TreeEventKind::SelfClosingNonVoid { tag: tag.name.to_string() });
         }
     }
 
@@ -719,8 +720,9 @@ impl Builder {
         let names: Vec<String> = self
             .open
             .iter()
-            .filter_map(|&id| self.doc.element(id).map(|e| e.name.clone()))
-            .filter(|n| !omittable.contains(&n.as_str()))
+            .filter_map(|&id| self.doc.element(id).map(|e| e.name.as_str()))
+            .filter(|n| !omittable.contains(n))
+            .map(str::to_owned)
             .collect();
         if !names.is_empty() {
             self.event(TreeEventKind::EofWithOpenElements { names });
@@ -810,7 +812,7 @@ impl Builder {
             Token::EndTag(ref tag)
                 if !matches!(tag.name.as_str(), "head" | "body" | "html" | "br") =>
             {
-                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                 Ctl::Done
             }
             other => {
@@ -861,7 +863,7 @@ impl Builder {
             Token::EndTag(ref tag)
                 if !matches!(tag.name.as_str(), "head" | "body" | "html" | "br") =>
             {
-                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                 Ctl::Done
             }
             other => {
@@ -967,7 +969,7 @@ impl Builder {
                     Ctl::Reprocess(token)
                 }
                 _ => {
-                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                     Ctl::Done
                 }
             },
@@ -1025,11 +1027,11 @@ impl Builder {
                 self.in_head(token.clone(), tok)
             }
             Token::StartTag(ref tag) if matches!(tag.name.as_str(), "head" | "noscript") => {
-                self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayStartTag { tag: tag.name.to_string() });
                 Ctl::Done
             }
             Token::EndTag(ref tag) if tag.name != "br" => {
-                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                 Ctl::Done
             }
             other => {
@@ -1082,7 +1084,7 @@ impl Builder {
                 "base" | "basefont" | "bgsound" | "link" | "meta" | "noframes" | "script"
                 | "style" | "template" | "title" => {
                     // Parse error: the element is put back inside head.
-                    self.event(TreeEventKind::LateHeadContent { tag: tag.name.clone() });
+                    self.event(TreeEventKind::LateHeadContent { tag: tag.name.to_string() });
                     if let Some(head) = self.head {
                         self.open.push(head);
                         let ctl = self.in_head(token.clone(), tok);
@@ -1113,7 +1115,7 @@ impl Builder {
                     Ctl::Reprocess(token)
                 }
                 _ => {
-                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                     Ctl::Done
                 }
             },
@@ -1262,7 +1264,7 @@ impl Builder {
                 }
                 "noframes" => self.in_head(token.clone(), tok),
                 _ => {
-                    self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayStartTag { tag: tag.name.to_string() });
                     Ctl::Done
                 }
             },
@@ -1276,7 +1278,7 @@ impl Builder {
                 Ctl::Done
             }
             Token::EndTag(ref tag) => {
-                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                 Ctl::Done
             }
             Token::Eof => self.stop_parsing(),
@@ -1364,12 +1366,23 @@ fn doctype_quirks(d: &tokenizer::Doctype) -> QuirksMode {
     QuirksMode::NoQuirks
 }
 
+/// `name == fixed.to_ascii_lowercase()` without the allocation: `fixed` is
+/// ASCII, so lowercasing byte-by-byte is exact.
+fn eq_lowercased(name: &str, fixed: &str) -> bool {
+    name.len() == fixed.len()
+        && name.bytes().zip(fixed.bytes()).all(|(n, f)| n == f.to_ascii_lowercase())
+}
+
 /// Foreign attribute adjustments (§13.2.6.5, simplified: the xlink/xml/xmlns
 /// prefixes are preserved verbatim; MathML's definitionURL gets its
-/// canonical case).
-fn adjust_foreign_attr(ns: Namespace, name: &str) -> String {
+/// canonical case). The adjusted spellings are all in the static atom table,
+/// so no path through here allocates.
+fn adjust_foreign_attr(ns: Namespace, name: &Atom) -> Atom {
+    if ns == Namespace::Html {
+        return name.clone();
+    }
     if ns == Namespace::MathMl && name == "definitionurl" {
-        return "definitionURL".to_owned();
+        return Atom::from_name("definitionURL");
     }
     if ns == Namespace::Svg {
         // A pragmatic subset of the SVG attribute case fixups.
@@ -1430,12 +1443,12 @@ fn adjust_foreign_attr(ns: Namespace, name: &str) -> String {
             "yChannelSelector",
             "zoomAndPan",
         ] {
-            if name == fixed.to_ascii_lowercase() {
-                return (*fixed).to_owned();
+            if eq_lowercased(name, fixed) {
+                return Atom::from_name(fixed);
             }
         }
     }
-    name.to_owned()
+    name.clone()
 }
 
 #[cfg(test)]

@@ -114,7 +114,7 @@ impl Builder {
                 }
                 "body" | "caption" | "col" | "colgroup" | "html" | "tbody" | "td" | "tfoot"
                 | "th" | "thead" | "tr" => {
-                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                     Ctl::Done
                 }
                 "template" => self.in_head(token.clone(), tok),
@@ -180,7 +180,7 @@ impl Builder {
                         | "tr"
                 ) =>
             {
-                self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayStartTag { tag: tag.name.to_string() });
                 if self.in_table_scope("caption") {
                     self.close_caption();
                     return Ctl::Reprocess(token);
@@ -210,7 +210,7 @@ impl Builder {
                         | "tr"
                 ) =>
             {
-                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                 Ctl::Done
             }
             other => self.in_body(other, tok),
@@ -309,7 +309,7 @@ impl Builder {
             }
             Token::EndTag(ref tag) if matches!(tag.name.as_str(), "tbody" | "tfoot" | "thead") => {
                 if !self.in_table_scope(&tag.name) {
-                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                     return Ctl::Done;
                 }
                 self.clear_to_table_body_context();
@@ -329,7 +329,7 @@ impl Builder {
                     self.mode = InsertionMode::InTable;
                     return Ctl::Reprocess(token);
                 }
-                self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayStartTag { tag: tag.name.to_string() });
                 Ctl::Done
             }
             Token::EndTag(ref tag) if tag.name == "table" => {
@@ -348,7 +348,7 @@ impl Builder {
                     "body" | "caption" | "col" | "colgroup" | "html" | "td" | "th" | "tr"
                 ) =>
             {
-                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                 Ctl::Done
             }
             other => self.in_table(other, tok),
@@ -386,7 +386,7 @@ impl Builder {
                     self.mode = InsertionMode::InTableBody;
                     return Ctl::Reprocess(token);
                 }
-                self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayStartTag { tag: tag.name.to_string() });
                 Ctl::Done
             }
             Token::EndTag(ref tag) if tag.name == "table" => {
@@ -401,7 +401,7 @@ impl Builder {
             }
             Token::EndTag(ref tag) if matches!(tag.name.as_str(), "tbody" | "tfoot" | "thead") => {
                 if !self.in_table_scope(&tag.name) {
-                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                     return Ctl::Done;
                 }
                 if self.in_table_scope("tr") {
@@ -418,7 +418,7 @@ impl Builder {
                     "body" | "caption" | "col" | "colgroup" | "html" | "td" | "th"
                 ) =>
             {
-                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                 Ctl::Done
             }
             other => self.in_table(other, tok),
@@ -429,12 +429,12 @@ impl Builder {
         match token {
             Token::EndTag(ref tag) if matches!(tag.name.as_str(), "td" | "th") => {
                 if !self.in_table_scope(&tag.name) {
-                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                     return Ctl::Done;
                 }
                 self.generate_implied_end_tags(None);
                 if !self.current_is_html(&tag.name) {
-                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                 }
                 self.pop_through(&tag.name);
                 super::formatting::clear_to_marker(&mut self.formatting);
@@ -459,7 +459,7 @@ impl Builder {
                     self.close_cell();
                     return Ctl::Reprocess(token);
                 }
-                self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayStartTag { tag: tag.name.to_string() });
                 Ctl::Done
             }
             Token::EndTag(ref tag)
@@ -468,7 +468,7 @@ impl Builder {
                     "body" | "caption" | "col" | "colgroup" | "html"
                 ) =>
             {
-                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                 Ctl::Done
             }
             Token::EndTag(ref tag)
@@ -478,7 +478,7 @@ impl Builder {
                     self.close_cell();
                     return Ctl::Reprocess(token);
                 }
-                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                 Ctl::Done
             }
             other => self.in_body(other, tok),
@@ -545,7 +545,7 @@ impl Builder {
                     Ctl::Done
                 }
                 "input" | "keygen" | "textarea" => {
-                    self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayStartTag { tag: tag.name.to_string() });
                     if self.in_select_scope("select") {
                         self.pop_through("select");
                         self.reset_insertion_mode();
@@ -555,7 +555,7 @@ impl Builder {
                 }
                 "script" | "template" => self.in_head(token.clone(), tok),
                 _ => {
-                    self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayStartTag { tag: tag.name.to_string() });
                     Ctl::Done
                 }
             },
@@ -594,7 +594,7 @@ impl Builder {
                 }
                 "template" => self.in_head(token.clone(), tok),
                 _ => {
-                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                    self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                     Ctl::Done
                 }
             },
@@ -610,7 +610,7 @@ impl Builder {
                     "caption" | "table" | "tbody" | "tfoot" | "thead" | "tr" | "td" | "th"
                 ) =>
             {
-                self.event(TreeEventKind::StrayStartTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayStartTag { tag: tag.name.to_string() });
                 self.pop_through("select");
                 self.reset_insertion_mode();
                 Ctl::Reprocess(token)
@@ -621,7 +621,7 @@ impl Builder {
                     "caption" | "table" | "tbody" | "tfoot" | "thead" | "tr" | "td" | "th"
                 ) =>
             {
-                self.event(TreeEventKind::StrayEndTag { tag: tag.name.clone() });
+                self.event(TreeEventKind::StrayEndTag { tag: tag.name.to_string() });
                 if self.in_table_scope(&tag.name) {
                     self.pop_through("select");
                     self.reset_insertion_mode();

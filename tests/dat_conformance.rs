@@ -81,7 +81,7 @@ fn render_node(dom: &spec_html::Dom, id: NodeId, depth: usize, out: &mut String)
         }
         NodeData::Element(e) => {
             let name = match e.ns {
-                Namespace::Html => e.name.clone(),
+                Namespace::Html => e.name.to_string(),
                 Namespace::Svg => format!("svg {}", e.name),
                 Namespace::MathMl => format!("math {}", e.name),
             };
