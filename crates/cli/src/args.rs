@@ -25,6 +25,14 @@ USAGE:
                                      invariants (workers survive, thread-
                                      invariant quarantine, clean pages
                                      untouched); exits non-zero on FAIL
+  hva fuzz [--seed N] [--cases N] [--time-budget SECS] [--oracle NAME]
+           [--regress-dir DIR] [--replay FILE] [--list-oracles]
+                                     differential fuzzing: run seeded
+                                     structure-aware cases through the
+                                     oracle registry, ddmin-minimize any
+                                     failure into DIR, exit non-zero;
+                                     --replay re-checks one reproducer,
+                                     --list-oracles names the invariants
   hva report <exp> --store FILE      render one experiment from a saved scan
                                      (exp: table1 table2 fig8 fig9 fig10
                                       fig16..fig21 stats autofix mitigations
@@ -47,7 +55,8 @@ USAGE:
   hva help                           show this message
 
 DEFAULTS: --seed 4740657 (0x485631), --scale 0.05, --threads = cores,
-          --addr 127.0.0.1:8077, --max-body 1048576, --queue-depth 64
+          --addr 127.0.0.1:8077, --max-body 1048576, --queue-depth 64,
+          --cases 1000, --regress-dir tests/fixtures/regressions
 ";
 
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +90,15 @@ pub enum Command {
         scale: f64,
         faults: FaultPlan,
         threads: usize,
+    },
+    Fuzz {
+        seed: u64,
+        cases: u64,
+        time_budget: Option<u64>,
+        oracle: Option<String>,
+        regress_dir: PathBuf,
+        replay: Option<PathBuf>,
+        list_oracles: bool,
     },
     Report {
         experiment: String,
@@ -172,6 +190,27 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 scale: flags.float("scale", DEFAULT_SCALE)?,
                 faults,
                 threads: flags.num("threads", 0)? as usize,
+            })
+        }
+        "fuzz" => {
+            let (_, flags) = split(&rest)?;
+            let time_budget = match flags.get("time-budget") {
+                Some(v) => Some(
+                    v.parse::<u64>().map_err(|_| format!("fuzz: bad --time-budget value {v}"))?,
+                ),
+                None => None,
+            };
+            Ok(Command::Fuzz {
+                seed: flags.num("seed", DEFAULT_SEED)?,
+                cases: flags.num("cases", 1000)?,
+                time_budget,
+                oracle: flags.get("oracle"),
+                regress_dir: flags
+                    .get("regress-dir")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| "tests/fixtures/regressions".into()),
+                replay: flags.get("replay").map(PathBuf::from),
+                list_oracles: flags.has("list-oracles"),
             })
         }
         "report" => {
@@ -432,6 +471,51 @@ mod tests {
         }
         assert!(p(&["serve", "--queue-depth", "0"]).is_err());
         assert!(p(&["serve", "--max-body", "lots"]).is_err());
+    }
+
+    #[test]
+    fn fuzz_defaults_and_flags() {
+        assert_eq!(
+            p(&["fuzz"]).unwrap(),
+            Command::Fuzz {
+                seed: 0x48_56_31,
+                cases: 1000,
+                time_budget: None,
+                oracle: None,
+                regress_dir: "tests/fixtures/regressions".into(),
+                replay: None,
+                list_oracles: false,
+            }
+        );
+        match p(&[
+            "fuzz",
+            "--seed",
+            "9",
+            "--cases",
+            "50000",
+            "--time-budget",
+            "60",
+            "--oracle",
+            "tokenizer-equivalence",
+            "--replay",
+            "repro.html",
+        ])
+        .unwrap()
+        {
+            Command::Fuzz { seed, cases, time_budget, oracle, replay, .. } => {
+                assert_eq!(seed, 9);
+                assert_eq!(cases, 50000);
+                assert_eq!(time_budget, Some(60));
+                assert_eq!(oracle.as_deref(), Some("tokenizer-equivalence"));
+                assert_eq!(replay, Some("repro.html".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            p(&["fuzz", "--list-oracles"]).unwrap(),
+            Command::Fuzz { list_oracles: true, .. }
+        ));
+        assert!(p(&["fuzz", "--time-budget", "soon"]).is_err());
     }
 
     #[test]

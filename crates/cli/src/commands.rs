@@ -30,6 +30,9 @@ pub fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Chaos { seed, scale, faults, threads } => chaos(seed, scale, faults, threads),
+        Command::Fuzz { seed, cases, time_budget, oracle, regress_dir, replay, list_oracles } => {
+            fuzz(seed, cases, time_budget, oracle, regress_dir, replay, list_oracles)
+        }
         Command::Report { experiment, store } => {
             let store = ResultStore::load(&store).map_err(|e| format!("loading store: {e}"))?;
             println!("{}", render_experiment(&experiment, &store)?);
@@ -77,6 +80,68 @@ pub fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// `hva fuzz`: differential fuzzing against the oracle registry. Exits
+/// non-zero on any oracle violation, with a one-line replay command per
+/// minimized reproducer so CI logs are directly actionable.
+fn fuzz(
+    seed: u64,
+    cases: u64,
+    time_budget: Option<u64>,
+    oracle: Option<String>,
+    regress_dir: std::path::PathBuf,
+    replay: Option<std::path::PathBuf>,
+    list_oracles: bool,
+) -> Result<(), String> {
+    if list_oracles {
+        for o in hv_fuzz::all_oracles() {
+            println!("{:24} {}", o.name(), o.describe());
+        }
+        return Ok(());
+    }
+    if let Some(path) = replay {
+        let violations = hv_fuzz::replay(&path, oracle.as_deref())?;
+        if violations.is_empty() {
+            println!("{}: all oracles pass", path.display());
+            return Ok(());
+        }
+        for (name, message) in &violations {
+            println!("FAIL {name}: {message}");
+        }
+        return Err(format!("{}: {} oracle violation(s)", path.display(), violations.len()));
+    }
+
+    let opts = hv_fuzz::FuzzOptions {
+        seed,
+        cases,
+        time_budget: time_budget.map(std::time::Duration::from_secs),
+        oracle: oracle.clone(),
+        regress_dir: Some(regress_dir),
+    };
+    eprintln!(
+        "fuzzing: seed {seed}, {cases} cases, {} ...",
+        oracle.as_deref().unwrap_or("all oracles")
+    );
+    let out = hv_fuzz::fuzz(&opts)?;
+    eprintln!(
+        "{} case(s) in {:.1}s{}",
+        out.cases_run,
+        out.elapsed.as_secs_f64(),
+        if out.stopped_by_budget { " (time budget reached)" } else { "" }
+    );
+    if out.ok() {
+        println!("OK: {} case(s), no oracle violations", out.cases_run);
+        return Ok(());
+    }
+    for f in &out.failures {
+        println!("FAIL {} on case (seed {}, index {}): {}", f.oracle, f.seed, f.index, f.message);
+        println!("  minimized to {} byte(s): {:?}", f.minimized.len(), f.minimized);
+        if let Some(path) = &f.fixture {
+            println!("  reproducer: hva fuzz --seed {} --replay {}", f.seed, path.display());
+        }
+    }
+    Err(format!("{} oracle violation(s) found", out.failures.len()))
 }
 
 /// `hva serve`: run the /v1 HTTP API until the process is killed.

@@ -52,11 +52,26 @@ pub fn auto_fix(raw: &str) -> FixOutcome {
     let mut battery = Battery::full();
     let before = battery.run_str(raw).kinds();
 
-    let mut out = spec_html::parse_document(raw);
-    relocate_head_content(&mut out.dom);
-    let fixed_html = serializer::serialize(&out.dom);
-
-    let after = battery.run_str(&fixed_html).kinds();
+    // One pass is not always enough: serializing can itself surface
+    // violations the original parse hid (a MathML-namespace <base>
+    // re-enters the HTML namespace once its <p> sibling breaks out of
+    // foreign content on reparse, becoming a fixable DM2_1). Iterate
+    // until no automatically fixable kind remains or the markup stops
+    // changing; three passes bound the loop — pass 1 fixes the input,
+    // pass 2 fixes what serialization surfaced, pass 3 is margin.
+    let mut fixed_html = raw.to_owned();
+    let mut after = before.clone();
+    for _ in 0..3 {
+        let mut out = spec_html::parse_document(&fixed_html);
+        relocate_head_content(&mut out.dom);
+        let next = serializer::serialize(&out.dom);
+        let stalled = next == fixed_html;
+        fixed_html = next;
+        after = battery.run_str(&fixed_html).kinds();
+        if stalled || !after.iter().any(|k| k.fixability() == Fixability::Automatic) {
+            break;
+        }
+    }
     FixOutcome { fixed_html, before, after }
 }
 

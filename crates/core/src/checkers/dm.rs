@@ -144,7 +144,15 @@ impl Check for Dm2_3 {
             // one finding per offending base is enough.
             return;
         }
+        // §4.2.3 exempts the html element itself ("except the html
+        // element"): no element can precede the root, so URL attributes
+        // landing there (e.g. via a merged duplicate <html> tag) don't
+        // put later base elements in violation. The same applies to the
+        // head element — it is base's own container, nothing inside it
+        // can precede it, and no UA resolves a URL attribute on head.
         if self.seen_url_element.is_none()
+            && !dom.is_html(id, "html")
+            && !dom.is_html(id, "head")
             && e.attrs.iter().any(|a| tags::is_url_attribute(&a.name))
         {
             self.seen_url_element = Some(e.name.to_string());

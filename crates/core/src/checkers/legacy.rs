@@ -146,7 +146,14 @@ fn dm2_3(cx: &CheckContext<'_>, out: &mut Vec<Finding>) {
             }
             continue;
         }
-        if seen_url_element.is_none() && e.attrs.iter().any(|a| tags::is_url_attribute(&a.name)) {
+        // §4.2.3 exempts the html element itself ("except the html
+        // element"), and head is base's own container; see the fused
+        // Dm2_3 for the rationale.
+        if seen_url_element.is_none()
+            && !dom.is_html(id, "html")
+            && !dom.is_html(id, "head")
+            && e.attrs.iter().any(|a| tags::is_url_attribute(&a.name))
+        {
             seen_url_element = Some(e.name.to_string());
         }
     }

@@ -1,0 +1,119 @@
+//! Delta-debugging minimization (Zeller & Hildebrandt's *ddmin*).
+//!
+//! [`ddmin`] shrinks any failing input to a locally minimal one: no single
+//! removable chunk at the final granularity can be deleted without the
+//! failure disappearing. The fuzz runner applies it twice — first over the
+//! **generator pieces** (whole tags, text runs, comments), which removes
+//! irrelevant structure along syntactic boundaries, then over the
+//! **bytes** of the rendered survivor ([`shrink_bytes`]), which trims
+//! inside the pieces themselves (attribute by attribute, character by
+//! character). Both passes are fully deterministic: candidate order is a
+//! pure function of the input, so the same failure always minimizes to
+//! the same reproducer.
+
+/// Minimize `input` while `fails` keeps returning `true`.
+///
+/// `fails` must hold for `input` itself (the caller established the
+/// failure); it is never called with an empty candidate unless the empty
+/// input legitimately fails, in which case empty is returned.
+pub fn ddmin<T: Clone>(input: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    if fails(&[]) {
+        return Vec::new();
+    }
+    let mut current: Vec<T> = input.to_vec();
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            // Complement test: remove [start, end).
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if !candidate.is_empty() && fails(&candidate) {
+                // The failure survives without this chunk; keep the
+                // smaller input and re-derive granularity.
+                n = (n.saturating_sub(1)).max(2);
+                current = candidate;
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= current.len() {
+                break; // 1-minimal at single-element granularity
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    current
+}
+
+/// Byte-granularity shrink of a UTF-8 string: ddmin over the raw bytes,
+/// where a candidate that is not valid UTF-8 simply "does not fail" (the
+/// whole stack only consumes `&str`, so invalid intermediate splits are
+/// skipped rather than erroring).
+pub fn shrink_bytes(input: &str, mut fails: impl FnMut(&str) -> bool) -> String {
+    let out =
+        ddmin(input.as_bytes(), |candidate| std::str::from_utf8(candidate).is_ok_and(&mut fails));
+    String::from_utf8(out).expect("ddmin only kept UTF-8-valid candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_single_failing_element() {
+        let input: Vec<u32> = (0..100).collect();
+        let min = ddmin(&input, |c| c.contains(&37));
+        assert_eq!(min, vec![37]);
+    }
+
+    #[test]
+    fn finds_a_failing_pair() {
+        let input: Vec<u32> = (0..64).collect();
+        let min = ddmin(&input, |c| c.contains(&3) && c.contains(&60));
+        assert_eq!(min, vec![3, 60]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let input: Vec<u32> = (0..40).collect();
+        // Fails when the candidate holds at least 3 even numbers.
+        let fails = |c: &[u32]| c.iter().filter(|x| **x % 2 == 0).count() >= 3;
+        let min = ddmin(&input, fails);
+        assert!(fails(&min));
+        for i in 0..min.len() {
+            let mut smaller = min.clone();
+            smaller.remove(i);
+            assert!(!fails(&smaller), "removable element survived: {min:?}");
+        }
+    }
+
+    #[test]
+    fn empty_failure_returns_empty() {
+        let min = ddmin(&[1, 2, 3], |_| true);
+        assert!(min.is_empty());
+    }
+
+    #[test]
+    fn shrink_bytes_respects_utf8() {
+        // Failure: contains the ü. Byte-level splits through the two-byte
+        // sequence must be skipped, not crash.
+        let min = shrink_bytes("aaaüzzz", |s| s.contains('ü'));
+        assert_eq!(min, "ü");
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let fails = |s: &str| s.contains("<b") && s.contains('>');
+        let a = shrink_bytes("<i>text<b class=x>more</b>", fails);
+        let b = shrink_bytes("<i>text<b class=x>more</b>", fails);
+        assert_eq!(a, b);
+        assert!(fails(&a));
+    }
+}

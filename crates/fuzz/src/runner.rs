@@ -1,0 +1,279 @@
+//! The fuzz driver: generate → check → minimize → persist.
+//!
+//! The runner is deliberately **single-threaded**: every case is a pure
+//! function of `(seed, index)` and every oracle verdict is a pure
+//! function of the case text, so parallelism would buy wall-clock at the
+//! price of the determinism guarantee the CLI advertises (same seed and
+//! case count ⇒ identical case bytes and identical verdicts, regardless
+//! of machine or thread count). Fuzzing throughput here is bounded by
+//! the parsers under test, not the driver.
+//!
+//! On failure the runner shrinks twice — [`crate::ddmin`] over the
+//! generator pieces (drops whole tags/comments/text runs along syntactic
+//! boundaries), then [`crate::shrink_bytes`] over the survivor — and
+//! writes the minimized reproducer into the regression directory, where
+//! `tests/fuzz_regressions.rs` replays it on every `cargo test` forever.
+
+use crate::gen;
+use crate::oracle::{oracles_named, Oracle};
+use crate::{ddmin, shrink_bytes};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Stop collecting after this many distinct failures: past a handful the
+/// run is telling you about one bug many times, and minimizing each
+/// failure costs thousands of oracle invocations.
+const MAX_FAILURES: usize = 5;
+
+/// Configuration for one [`fuzz`] run.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Corpus seed; every case is `gen::case(seed, index)`.
+    pub seed: u64,
+    /// Number of cases (indices `0..cases`).
+    pub cases: u64,
+    /// Optional wall-clock budget; the run stops cleanly at the first
+    /// case boundary past it.
+    pub time_budget: Option<Duration>,
+    /// Restrict to one oracle by registry name (`None` = all).
+    pub oracle: Option<String>,
+    /// Where minimized reproducers are written (`None` = don't persist).
+    pub regress_dir: Option<PathBuf>,
+}
+
+impl FuzzOptions {
+    pub fn new(seed: u64, cases: u64) -> Self {
+        FuzzOptions { seed, cases, time_budget: None, oracle: None, regress_dir: None }
+    }
+}
+
+/// One minimized failure.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Registry name of the violated oracle.
+    pub oracle: &'static str,
+    /// `(seed, index)` of the original failing case.
+    pub seed: u64,
+    pub index: u64,
+    /// The original generated case.
+    pub case: String,
+    /// The ddmin-minimized reproducer (still fails the same oracle).
+    pub minimized: String,
+    /// The oracle's message for the *minimized* case.
+    pub message: String,
+    /// Where the reproducer was persisted, when a directory was given.
+    pub fixture: Option<PathBuf>,
+}
+
+/// Result of a [`fuzz`] run.
+#[derive(Debug)]
+pub struct FuzzOutcome {
+    /// Indices actually executed (`< cases` when a budget or the failure
+    /// cap stopped the run early).
+    pub cases_run: u64,
+    pub failures: Vec<FuzzFailure>,
+    pub elapsed: Duration,
+    /// True when the time budget, not the case count, ended the run.
+    pub stopped_by_budget: bool,
+}
+
+impl FuzzOutcome {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run the corpus `(seed, 0..cases)` through the oracle registry.
+///
+/// Returns `Err` only for configuration problems (unknown oracle name,
+/// unwritable regression directory); oracle violations are *data*,
+/// reported in [`FuzzOutcome::failures`].
+pub fn fuzz(opts: &FuzzOptions) -> Result<FuzzOutcome, String> {
+    let mut oracles = oracles_named(opts.oracle.as_deref())?;
+    if let Some(dir) = &opts.regress_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("creating regression dir {}: {e}", dir.display()))?;
+    }
+
+    let start = Instant::now();
+    let mut outcome = FuzzOutcome {
+        cases_run: 0,
+        failures: Vec::new(),
+        elapsed: Duration::ZERO,
+        stopped_by_budget: false,
+    };
+    // One bug usually fails many indices; remember minimized reproducers
+    // per oracle so the run reports each distinct bug once.
+    let mut seen: std::collections::BTreeSet<(&'static str, String)> =
+        std::collections::BTreeSet::new();
+
+    for index in 0..opts.cases {
+        if let Some(budget) = opts.time_budget {
+            if start.elapsed() >= budget {
+                outcome.stopped_by_budget = true;
+                break;
+            }
+        }
+        let pieces = gen::case_pieces(opts.seed, index);
+        let case = gen::render(&pieces);
+        for oracle in &mut oracles {
+            let Err(_first_message) = oracle.check(&case) else { continue };
+            let mut failure = minimize(oracle.as_mut(), opts.seed, index, &pieces, &case);
+            if !seen.insert((failure.oracle, failure.minimized.clone())) {
+                continue; // same bug, already minimized and recorded
+            }
+            if let Some(dir) = &opts.regress_dir {
+                failure.fixture = Some(persist(dir, &failure)?);
+            }
+            outcome.failures.push(failure);
+            if outcome.failures.len() >= MAX_FAILURES {
+                outcome.cases_run = index + 1;
+                outcome.elapsed = start.elapsed();
+                return Ok(outcome);
+            }
+        }
+        outcome.cases_run = index + 1;
+    }
+    outcome.elapsed = start.elapsed();
+    Ok(outcome)
+}
+
+/// Shrink a failing case: piece-level ddmin first (syntactic boundaries),
+/// then byte-level on the survivor. "Fails" means *this oracle rejects
+/// the candidate* — the minimizer is allowed to slide from the original
+/// symptom to a simpler manifestation of the same invariant violation.
+fn minimize(
+    oracle: &mut dyn Oracle,
+    seed: u64,
+    index: u64,
+    pieces: &[String],
+    case: &str,
+) -> FuzzFailure {
+    let kept = ddmin(pieces, |candidate| oracle.check(&gen::render(candidate)).is_err());
+    let coarse = if kept.is_empty() { case.to_owned() } else { gen::render(&kept) };
+    let minimized = shrink_bytes(&coarse, |candidate| oracle.check(candidate).is_err());
+    // ddmin guarantees the final candidate still fails; capture its
+    // message (not the original's) so fixture provenance matches bytes.
+    let message = oracle
+        .check(&minimized)
+        .err()
+        .unwrap_or_else(|| "minimized case stopped failing (flaky oracle?)".to_owned());
+    FuzzFailure {
+        oracle: oracle.name(),
+        seed,
+        index,
+        case: case.to_owned(),
+        minimized,
+        message,
+        fixture: None,
+    }
+}
+
+/// Write the minimized reproducer. The file holds the case bytes and
+/// nothing else — a header comment would change what gets replayed — so
+/// provenance (oracle, seed, index) lives in the file name.
+fn persist(dir: &Path, failure: &FuzzFailure) -> Result<PathBuf, String> {
+    let path =
+        dir.join(format!("{}-seed{}-case{}.html", failure.oracle, failure.seed, failure.index));
+    std::fs::write(&path, &failure.minimized)
+        .map_err(|e| format!("writing reproducer {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Replay one reproducer file through the registry (or one named oracle).
+/// Returns the violations as `(oracle name, message)` pairs — empty means
+/// the bug stayed fixed.
+pub fn replay(path: &Path, oracle: Option<&str>) -> Result<Vec<(&'static str, String)>, String> {
+    let case = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading reproducer {}: {e}", path.display()))?;
+    replay_str(&case, oracle)
+}
+
+/// [`replay`] over in-memory case text.
+pub fn replay_str(case: &str, oracle: Option<&str>) -> Result<Vec<(&'static str, String)>, String> {
+    let mut violations = Vec::new();
+    for mut oracle in oracles_named(oracle)? {
+        if let Err(message) = oracle.check(case) {
+            violations.push((oracle.name(), message));
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A test oracle failing on a specific substring, to exercise the
+    /// minimization pipeline without a real bug in the stack.
+    struct Needle(&'static str);
+
+    impl Oracle for Needle {
+        fn name(&self) -> &'static str {
+            "needle"
+        }
+        fn describe(&self) -> &'static str {
+            "test oracle"
+        }
+        fn check(&mut self, case: &str) -> Result<(), String> {
+            if case.contains(self.0) {
+                Err(format!("contains {:?}", self.0))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_shrinks_to_the_needle() {
+        let mut oracle = Needle("<table");
+        // Find a generated case that actually contains a table.
+        let (index, pieces) = (0..5000)
+            .map(|i| (i, gen::case_pieces(9, i)))
+            .find(|(_, p)| gen::render(p).contains("<table"))
+            .expect("corpus produces a table");
+        let case = gen::render(&pieces);
+        let failure = minimize(&mut oracle, 9, index, &pieces, &case);
+        assert_eq!(failure.minimized, "<table", "piece+byte shrink reaches the exact needle");
+        assert!(failure.message.contains("<table"));
+    }
+
+    #[test]
+    fn dom_validity_run_is_deterministic_and_clean() {
+        let opts = FuzzOptions {
+            oracle: Some("dom-validity".to_owned()),
+            ..FuzzOptions::new(0x5EED, 150)
+        };
+        let a = fuzz(&opts).expect("run a");
+        let b = fuzz(&opts).expect("run b");
+        assert!(a.ok(), "dom-validity violated: {:?}", a.failures);
+        assert_eq!(a.cases_run, 150);
+        assert_eq!(a.cases_run, b.cases_run);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    #[test]
+    fn unknown_oracle_is_a_configuration_error() {
+        let opts = FuzzOptions { oracle: Some("bogus".to_owned()), ..FuzzOptions::new(1, 1) };
+        assert!(fuzz(&opts).is_err());
+    }
+
+    #[test]
+    fn time_budget_stops_the_run_early() {
+        let opts = FuzzOptions {
+            time_budget: Some(Duration::ZERO),
+            oracle: Some("dom-validity".to_owned()),
+            ..FuzzOptions::new(1, u64::MAX)
+        };
+        let out = fuzz(&opts).expect("run");
+        assert!(out.stopped_by_budget);
+        assert!(out.cases_run < 10);
+    }
+
+    #[test]
+    fn replay_str_reports_violations_per_oracle() {
+        // A clean page violates nothing.
+        let v = replay_str("<p>hello</p>", Some("dom-validity")).expect("replay");
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -6,7 +6,9 @@
 //! **before** reading a single body byte — the same refuse-early shape as
 //! the pipeline's §7 `OversizedBody` guard — and only then drains the
 //! body. Responses are written in one buffered pass with an explicit
-//! `Content-Length` (no chunked encoding, no pipelining).
+//! `Content-Length` (no chunked encoding). Pipelined requests are
+//! supported: bytes read past the current request are handed back to the
+//! caller through a per-connection carry buffer and seed the next parse.
 
 use serde::Serialize;
 use std::io::{self, Read, Write};
@@ -89,16 +91,24 @@ impl RequestError {
 /// Read one request from the stream. `Ok(None)` means the peer closed (or
 /// went idle past the read timeout) *between* requests — a clean keep-alive
 /// termination, not an error.
+///
+/// `carry` holds bytes already read from the stream that belong to the
+/// *next* request (a pipelining client sends several requests in one
+/// write). It seeds this parse and is refilled with whatever this parse
+/// reads past its own body; the caller owns it for the connection's
+/// lifetime and must not share it across connections.
 pub fn read_request(
     stream: &mut TcpStream,
     max_body: usize,
+    carry: &mut Vec<u8>,
 ) -> Result<Option<Request>, RequestError> {
     // --- head: everything up to \r\n\r\n, capped ---
-    let mut head = Vec::with_capacity(1024);
+    let mut head = std::mem::take(carry);
     let mut buf = [0u8; 4096];
-    let (head_end, mut spill) = loop {
+    let (head_end, spill) = loop {
         if let Some(pos) = find_head_end(&head) {
-            break (pos, Vec::new());
+            // Bytes past the head belong to the body (or the next request).
+            break (pos, head.split_off(pos + 4));
         }
         if head.len() >= MAX_HEAD_BYTES {
             return Err(RequestError::HeadersTooLarge);
@@ -120,10 +130,6 @@ pub fn read_request(
             Err(_) => return Err(RequestError::Disconnected),
         };
         head.extend_from_slice(&buf[..n]);
-        if let Some(pos) = find_head_end(&head) {
-            // Bytes past the head belong to the body.
-            break (pos, head.split_off(pos + 4));
-        }
     };
     head.truncate(head_end);
     let head_text = std::str::from_utf8(&head)
@@ -179,9 +185,12 @@ pub fn read_request(
         return Err(RequestError::BodyTooLarge { len: content_length, budget: max_body });
     }
     // Bytes already read past the head seed the body; anything beyond the
-    // declared length (pipelined bytes) is dropped — we don't pipeline.
-    spill.truncate(content_length);
+    // declared length belongs to the next pipelined request and goes back
+    // into the carry buffer.
     let mut body = spill;
+    if body.len() > content_length {
+        *carry = body.split_off(content_length);
+    }
     while body.len() < content_length {
         let n = match stream.read(&mut buf) {
             Ok(0) => return Err(RequestError::Disconnected),
@@ -191,6 +200,9 @@ pub fn read_request(
         };
         let want = content_length - body.len();
         body.extend_from_slice(&buf[..n.min(want)]);
+        if n > want {
+            carry.extend_from_slice(&buf[want..n]);
+        }
     }
 
     let path = target.split('?').next().unwrap_or(target).to_owned();
@@ -349,7 +361,7 @@ mod tests {
         });
         let (mut stream, _) = listener.accept().unwrap();
         stream.set_read_timeout(Some(std::time::Duration::from_secs(2))).unwrap();
-        let out = read_request(&mut stream, max_body);
+        let out = read_request(&mut stream, max_body, &mut Vec::new());
         let _ = writer.join();
         out
     }
@@ -410,6 +422,35 @@ mod tests {
     #[test]
     fn clean_eof_is_none() {
         assert!(parse_raw(b"", 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn pipelined_requests_survive_in_carry() {
+        // Two requests in one write: the first parse must hand the second
+        // request's bytes back through the carry, and a second parse seeded
+        // from the carry must read it without touching the (now-EOF) stream.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(
+                b"POST /v1/check HTTP/1.1\r\ncontent-length: 5\r\n\r\nfirstGET /healthz HTTP/1.1\r\n\r\n",
+            )
+            .unwrap();
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+            s
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(2))).unwrap();
+        let mut carry = Vec::new();
+        let first = read_request(&mut stream, 1024, &mut carry).unwrap().unwrap();
+        assert_eq!(first.body, b"first");
+        assert!(!carry.is_empty(), "second request's bytes must land in the carry");
+        let second = read_request(&mut stream, 1024, &mut carry).unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert!(carry.is_empty());
+        let _ = writer.join();
     }
 
     #[test]

@@ -297,8 +297,10 @@ fn serve_connection(
     let _ = stream.set_read_timeout(Some(opts.read_timeout));
     let _ = stream.set_write_timeout(Some(opts.write_timeout));
     let _ = stream.set_nodelay(true);
+    // Bytes read past one request (pipelining) seed the next read.
+    let mut carry = Vec::new();
     loop {
-        let req = match http::read_request(stream, opts.max_body) {
+        let req = match http::read_request(stream, opts.max_body, &mut carry) {
             Ok(Some(req)) => req,
             Ok(None) => return, // clean close or idle keep-alive timeout
             Err(e) => {

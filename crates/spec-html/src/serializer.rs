@@ -58,7 +58,11 @@ fn serialize_node(doc: &Document, id: NodeId, out: &mut String) {
         }
         NodeData::Text(t) => {
             // Text inside the spec's "literal text" elements is emitted
-            // verbatim; everything else is escaped.
+            // verbatim; everything else is escaped. `noscript` is NOT in
+            // this set: §13.2 only exempts it "if the scripting flag is
+            // enabled", and this parser runs scripting-disabled (noscript
+            // children are real markup, so their text must re-escape or
+            // `&lt` inside noscript round-trips into a bogus tag).
             let parent_name = doc
                 .node(id)
                 .parent
@@ -67,16 +71,7 @@ fn serialize_node(doc: &Document, id: NodeId, out: &mut String) {
                 .map(|e| e.name.clone());
             let literal = matches!(
                 parent_name.as_deref(),
-                Some(
-                    "style"
-                        | "script"
-                        | "xmp"
-                        | "iframe"
-                        | "noembed"
-                        | "noframes"
-                        | "plaintext"
-                        | "noscript"
-                )
+                Some("style" | "script" | "xmp" | "iframe" | "noembed" | "noframes" | "plaintext")
             );
             if literal {
                 out.push_str(t);

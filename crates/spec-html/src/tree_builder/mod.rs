@@ -1121,6 +1121,7 @@ impl Builder {
             },
             Token::Eof => {
                 // An empty body is not a "content before body" violation.
+                self.unwind_to_html();
                 let tag = Tag::named("body");
                 self.insert_html(&tag);
                 self.mode = InsertionMode::InBody;
@@ -1131,9 +1132,25 @@ impl Builder {
 
     pub(crate) fn create_body_implied(&mut self, by: &str) {
         self.event(TreeEventKind::ImplicitBody { by: by.to_owned() });
+        self.unwind_to_html();
         let tag = Tag::named("body");
         self.insert_html(&tag);
         self.mode = InsertionMode::InBody;
+    }
+
+    /// In "after head" the current node is normally the html element, but
+    /// late head content handled through the in-head rules can leave an
+    /// element open above it — a `<template>` reopened into head stays on
+    /// the stack after the head pointer is removed. The implied body must
+    /// still become a child of html, so close anything left above it (and
+    /// release the formatting marker a template pushed).
+    fn unwind_to_html(&mut self) {
+        while self.open.len() > 1 {
+            let popped = self.open.pop().expect("len checked");
+            if self.doc.is_html(popped, "template") {
+                formatting::clear_to_marker(&mut self.formatting);
+            }
+        }
     }
 
     /// The in-body `<html>` rule: merge attributes the html element lacks.

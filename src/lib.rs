@@ -16,6 +16,10 @@
 //!   and 16–21, and the §4.2/§4.4/§4.5 statistics.
 //! * [`hv_server`] — `hva serve`: the HTTP service layer with the stable
 //!   `/v1` wire API over the battery, auto-fixer, and report renderers.
+//! * [`hv_fuzz`] — `hva fuzz`: deterministic differential fuzzing — a
+//!   seeded structure-aware HTML generator, an oracle registry of
+//!   cross-implementation invariants, and ddmin shrinking into replayable
+//!   regression fixtures.
 //!
 //! ## Thirty-second tour
 //!
@@ -51,6 +55,7 @@
 
 pub use hv_core;
 pub use hv_corpus;
+pub use hv_fuzz;
 pub use hv_pipeline;
 pub use hv_report;
 pub use hv_server;

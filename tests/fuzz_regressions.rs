@@ -1,0 +1,82 @@
+//! Replay every minimized fuzz reproducer forever.
+//!
+//! When `hva fuzz` finds an oracle violation it ddmin-minimizes the case
+//! and writes it into `tests/fixtures/regressions/` (provenance — oracle,
+//! seed, case index — lives in the filename). This harness replays each
+//! fixture through the *full* oracle registry on every `cargo test` run,
+//! so a fixed bug that resurfaces fails tier-1 immediately with the exact
+//! input that caught it the first time. The suite passes when the
+//! directory is empty: an empty regression set is the goal state, not an
+//! error.
+
+use std::path::PathBuf;
+
+fn regressions_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/regressions")
+}
+
+fn fixture_paths() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(regressions_dir())
+        .expect("regressions dir exists (it ships a README)")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("html"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+/// Every checked-in reproducer passes every oracle — not just the one that
+/// originally caught it; a fix that merely moves the bug between oracles
+/// must not count as a fix.
+#[test]
+fn regression_fixtures_replay_clean() {
+    let mut failures = Vec::new();
+    for path in fixture_paths() {
+        match html_violations::hv_fuzz::replay(&path, None) {
+            Ok(violations) => {
+                for (oracle, message) in violations {
+                    failures.push(format!(
+                        "{}: {oracle}: {message}",
+                        path.file_name().unwrap().to_string_lossy()
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!("{}: {e}", path.display())),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} regression fixture(s) fail again:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// Replay is deterministic: two passes over the same fixture agree
+/// violation-for-violation (the oracles carry no cross-case state).
+#[test]
+fn regression_replay_is_deterministic() {
+    for path in fixture_paths() {
+        let a = html_violations::hv_fuzz::replay(&path, None).expect("fixture readable");
+        let b = html_violations::hv_fuzz::replay(&path, None).expect("fixture readable");
+        assert_eq!(a, b, "replay of {} is not deterministic", path.display());
+    }
+}
+
+/// A small all-oracle fuzz smoke inside tier-1: a pinned seed over a few
+/// hundred generated cases must come back clean (deeper sweeps run in the
+/// CI `fuzz-smoke` job and release gates). Failures here do NOT write
+/// fixtures — reproduce with `hva fuzz --seed 4740657` and let the CLI
+/// minimize and persist.
+#[test]
+fn fuzz_smoke_pinned_seed_is_clean() {
+    let opts = html_violations::hv_fuzz::FuzzOptions::new(4_740_657, 300);
+    let outcome = html_violations::hv_fuzz::fuzz(&opts).expect("fuzz runs");
+    assert!(
+        outcome.ok(),
+        "pinned-seed smoke found {} violation(s): {:?}",
+        outcome.failures.len(),
+        outcome.failures
+    );
+    assert_eq!(outcome.cases_run, 300);
+}

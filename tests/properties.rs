@@ -39,8 +39,16 @@ fn html_soup() -> impl Strategy<Value = String> {
         Just("</script>".to_owned()),
         Just("<style>".to_owned()),
         Just("<svg>".to_owned()),
+        Just("</svg>".to_owned()),
         Just("<math>".to_owned()),
+        Just("</math>".to_owned()),
         Just("<mtext>".to_owned()),
+        Just("<foreignObject>".to_owned()),
+        Just("<desc>".to_owned()),
+        Just("<annotation-xml>".to_owned()),
+        Just("<annotation-xml encoding=\"text/html\">".to_owned()),
+        Just("<template>".to_owned()),
+        Just("</template>".to_owned()),
         Just("<b>".to_owned()),
         Just("</b>".to_owned()),
         Just("<i>".to_owned()),
@@ -50,7 +58,12 @@ fn html_soup() -> impl Strategy<Value = String> {
         Just("<head>".to_owned()),
         Just(" ".to_owned()),
         Just("\n".to_owned()),
+        Just("\r\n".to_owned()),
         Just("\0".to_owned()),
+        Just("\u{1}".to_owned()),
+        Just("\u{c}".to_owned()),
+        Just("&#0;".to_owned()),
+        Just("&notit;".to_owned()),
         "[a-zA-Z0-9 ]{0,12}".prop_map(|s| s),
     ];
     proptest::collection::vec(atom, 0..40).prop_map(|v| v.concat())

@@ -250,3 +250,101 @@ fn deprecated_shims_agree_with_battery_methods() {
     assert_eq!(via_shim.findings, via_battery.findings);
     assert_eq!(via_shim.mitigations, via_battery.mitigations);
 }
+
+/// Read exactly `n` responses off one keep-alive connection, splitting on
+/// each response's own `Content-Length`.
+fn read_responses(stream: &mut TcpStream, n: usize) -> Vec<(String, String)> {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    let mut out = Vec::new();
+    while out.len() < n {
+        let head_end = loop {
+            if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let got = stream.read(&mut buf).expect("read response");
+            assert!(got > 0, "server closed before all pipelined responses arrived");
+            raw.extend_from_slice(&buf[..got]);
+        };
+        let head = String::from_utf8_lossy(&raw[..head_end]).to_ascii_lowercase();
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length:"))
+            .expect("content-length header")
+            .trim()
+            .parse()
+            .expect("numeric content-length");
+        while raw.len() < head_end + 4 + len {
+            let got = stream.read(&mut buf).expect("read body");
+            assert!(got > 0, "server closed mid-body");
+            raw.extend_from_slice(&buf[..got]);
+        }
+        let rest = raw.split_off(head_end + 4 + len);
+        let body = String::from_utf8_lossy(&raw[head_end + 4..]).into_owned();
+        let status = head.lines().next().unwrap_or("").to_owned();
+        out.push((status, body));
+        raw = rest;
+    }
+    out
+}
+
+/// A pipelining client: several requests written in one burst on a single
+/// keep-alive connection must each get their own correct response, in
+/// order — bytes read past one request's body seed the next parse instead
+/// of being dropped.
+#[test]
+fn pipelined_keep_alive_requests_are_all_answered() {
+    let (server, addr) = start(ServeOptions::new().addr("127.0.0.1:0").threads(1));
+    let pages = ["<p>first", "<div id=a id=a>second</div>", "<table><tr><b>third"];
+
+    let mut burst = Vec::new();
+    for (i, page) in pages.iter().enumerate() {
+        let connection = if i + 1 == pages.len() { "close" } else { "keep-alive" };
+        burst.extend_from_slice(
+            format!(
+                "POST /v1/check HTTP/1.1\r\nhost: t\r\nconnection: {connection}\r\n\
+                 content-type: text/html\r\ncontent-length: {}\r\n\r\n{page}",
+                page.len()
+            )
+            .as_bytes(),
+        );
+    }
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+    stream.write_all(&burst).expect("write pipelined burst");
+    let responses = read_responses(&mut stream, pages.len());
+    for ((status, body), page) in responses.iter().zip(&pages) {
+        assert!(status.contains("200"), "pipelined response: {status}");
+        assert_eq!(body, &expected_check_json(page), "response out of order for {page:?}");
+    }
+    server.shutdown();
+}
+
+/// A POST with `Content-Length: 0` is a complete, valid request: the empty
+/// page must be checked (not hang waiting for body bytes, not 400).
+#[test]
+fn content_length_zero_post_checks_the_empty_page() {
+    let (server, addr) = start(ServeOptions::new().addr("127.0.0.1:0").threads(1));
+    let (status, _, body) = post(&addr, "/v1/check", "text/html", b"");
+    assert!(status.contains("200"), "empty POST: {status}");
+    assert_eq!(body, expected_check_json(""));
+    server.shutdown();
+}
+
+/// Header names are case-insensitive (RFC 9110 §5.1): a client shouting
+/// `CONTENT-LENGTH` must parse the same as one whispering it.
+#[test]
+fn header_names_are_case_insensitive() {
+    let (server, addr) = start(ServeOptions::new().addr("127.0.0.1:0").threads(1));
+    let page = "<p>hi";
+    let req = format!(
+        "POST /v1/check HTTP/1.1\r\nHOST: t\r\nCONNECTION: CLOSE\r\n\
+         Content-TYPE: TEXT/HTML\r\nCONTENT-Length: {}\r\n\r\n{page}",
+        page.len()
+    );
+    let (status, _, body) = roundtrip(&addr, req.as_bytes());
+    assert!(status.contains("200"), "mixed-case headers: {status}");
+    assert_eq!(body, expected_check_json(page));
+    server.shutdown();
+}
