@@ -4,19 +4,21 @@
 //! (the scan itself is benchmarked in `pipeline.rs`) and, once per run,
 //! prints the regenerated output so `cargo bench` doubles as a results
 //! dump. The aggregation cost is what a researcher iterating on queries
-//! would feel against the paper's Postgres.
+//! would feel against the paper's Postgres. Queries read the one-pass
+//! [`AggregateIndex`](hv_pipeline::AggregateIndex); `table2_legacy` keeps
+//! the per-query record fold on the board as the before/after baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hv_corpus::{Archive, CorpusConfig, Snapshot};
-use hv_pipeline::{aggregate, scan, ResultStore, ScanOptions};
+use hv_pipeline::{aggregate, scan, IndexedStore, ScanOptions};
 use std::hint::black_box;
 use std::sync::OnceLock;
 
-fn store() -> &'static ResultStore {
-    static STORE: OnceLock<ResultStore> = OnceLock::new();
+fn store() -> &'static IndexedStore {
+    static STORE: OnceLock<IndexedStore> = OnceLock::new();
     STORE.get_or_init(|| {
         let archive = Archive::new(CorpusConfig { seed: 0x48_56_31, scale: 0.01 });
-        scan(&archive, ScanOptions::default())
+        IndexedStore::new(scan(&archive, ScanOptions::default()))
     })
 }
 
@@ -28,9 +30,13 @@ fn bench_tables(c: &mut Criterion) {
     println!("\n{}", hv_report::experiments::table1());
     g.bench_function("table1", |b| b.iter(|| black_box(hv_report::experiments::table1()).len()));
 
-    // Table 2.
+    // Table 2 — from the index, and via the legacy per-query fold as the
+    // baseline the index is measured against.
     println!("{}", hv_report::experiments::table2(store));
-    g.bench_function("table2", |b| b.iter(|| black_box(aggregate::table2(black_box(store))).len()));
+    g.bench_function("table2", |b| b.iter(|| black_box(store.index.table2()).len()));
+    g.bench_function("table2_legacy", |b| {
+        b.iter(|| black_box(aggregate::legacy::table2(black_box(store))).len())
+    });
 
     g.finish();
 }
@@ -41,23 +47,23 @@ fn bench_figures(c: &mut Criterion) {
 
     println!("{}", hv_report::experiments::fig8(store));
     g.bench_function("fig8_distribution", |b| {
-        b.iter(|| black_box(aggregate::overall_distribution(black_box(store))).len())
+        b.iter(|| black_box(store.index.overall_distribution()).len())
     });
 
     println!("{}", hv_report::experiments::fig9(store));
     g.bench_function("fig9_any_violation_trend", |b| {
-        b.iter(|| black_box(aggregate::violating_domains_by_year(black_box(store))))
+        b.iter(|| black_box(store.index.violating_domains_by_year()))
     });
 
     println!("{}", hv_report::experiments::fig10(store));
     g.bench_function("fig10_group_trends", |b| {
-        b.iter(|| black_box(aggregate::group_trends(black_box(store))).len())
+        b.iter(|| black_box(store.index.group_trends()).len())
     });
 
     // Figures 16–21: per-kind trends, one bench each (they share the same
     // query; benched per figure to mirror the paper's artifact list).
     for (name, renderer) in [
-        ("fig16_filter_bypass", hv_report::experiments::fig16 as fn(&ResultStore) -> String),
+        ("fig16_filter_bypass", hv_report::experiments::fig16 as fn(&IndexedStore) -> String),
         ("fig17_html_formatting_1", hv_report::experiments::fig17),
         ("fig18_html_formatting_2", hv_report::experiments::fig18),
         ("fig19_data_manipulation", hv_report::experiments::fig19),
@@ -76,19 +82,17 @@ fn bench_statistics(c: &mut Criterion) {
 
     println!("{}", hv_report::experiments::stats(store));
     g.bench_function("stats_4_2_union_share", |b| {
-        b.iter(|| black_box(aggregate::overall_violating_share(black_box(store))))
+        b.iter(|| black_box(store.index.overall_violating_share()))
     });
 
     println!("{}", hv_report::experiments::autofix(store));
     g.bench_function("stats_4_4_autofix_projection", |b| {
-        b.iter(|| {
-            black_box(aggregate::autofix_projection(black_box(store), Snapshot::ALL[7])).fixed_share
-        })
+        b.iter(|| black_box(store.index.autofix_projection(Snapshot::ALL[7])).fixed_share)
     });
 
     println!("{}", hv_report::experiments::mitigations(store));
     g.bench_function("stats_4_5_mitigations", |b| {
-        b.iter(|| black_box(aggregate::mitigation_trends(black_box(store))).newline_in_url[7])
+        b.iter(|| black_box(store.index.mitigation_trends()).newline_in_url[7])
     });
 
     g.bench_function("full_report_render", |b| {

@@ -2,6 +2,7 @@
 //! subcommands).
 
 use hv_corpus::FaultPlan;
+use hv_pipeline::StoreFormat;
 use std::path::PathBuf;
 
 pub const USAGE: &str = "\
@@ -33,10 +34,24 @@ USAGE:
                                      failure into DIR, exit non-zero;
                                      --replay re-checks one reproducer,
                                      --list-oracles names the invariants
-  hva report <exp> --store FILE      render one experiment from a saved scan
+  hva report <exp> --store FILE [--allow-partial]
+                                     render one experiment from a saved scan
                                      (exp: table1 table2 fig8 fig9 fig10
                                       fig16..fig21 stats autofix mitigations
-                                      rollout churn aux all)
+                                      rollout churn aux all; --allow-partial
+                                      keeps intact segments of a damaged
+                                      v1 store and reports the rest)
+  hva store inspect <FILE> [--allow-partial]
+                                     print a store's format, provenance, and
+                                     per-segment summary table
+  hva store verify <FILE>            strict integrity check (checksums,
+                                     framing, footers); non-zero on corruption
+  hva store migrate <SRC> <DST> [--to v0-json|v1-binary] [--allow-partial]
+                                     convert between store formats (default
+                                     target: by DST extension — .json is v0,
+                                     anything else the v1 binary format)
+  hva store export <SRC> <DST> [--allow-partial]
+                                     export any store as v0 JSON interchange
   hva repro [--seed N] [--scale F] [--threads N] [--out FILE] [--json FILE]
                                      scan + print every experiment
                                      (+ write EXPERIMENTS-style markdown
@@ -103,6 +118,10 @@ pub enum Command {
     Report {
         experiment: String,
         store: PathBuf,
+        allow_partial: bool,
+    },
+    Store {
+        action: StoreAction,
     },
     Repro {
         seed: u64,
@@ -126,6 +145,15 @@ pub enum Command {
         store: Option<PathBuf>,
     },
     Help,
+}
+
+/// `hva store <action>` — maintenance verbs over saved result stores.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreAction {
+    Inspect { file: PathBuf, allow_partial: bool },
+    Verify { file: PathBuf },
+    Migrate { src: PathBuf, dst: PathBuf, to: Option<StoreFormat>, allow_partial: bool },
+    Export { src: PathBuf, dst: PathBuf, allow_partial: bool },
 }
 
 const DEFAULT_SEED: u64 = 0x48_56_31;
@@ -217,7 +245,53 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let (positional, flags) = split(&rest)?;
             let experiment = positional.first().ok_or("report: missing <experiment>")?;
             let store = flags.get("store").ok_or("report: missing --store FILE")?;
-            Ok(Command::Report { experiment: experiment.to_string(), store: PathBuf::from(store) })
+            Ok(Command::Report {
+                experiment: experiment.to_string(),
+                store: PathBuf::from(store),
+                allow_partial: flags.has("allow-partial"),
+            })
+        }
+        "store" => {
+            let (positional, flags) = split(&rest)?;
+            let action = positional
+                .first()
+                .ok_or("store: missing action (inspect | verify | migrate | export)")?;
+            let allow_partial = flags.has("allow-partial");
+            let action = match *action {
+                "inspect" => StoreAction::Inspect {
+                    file: positional.get(1).ok_or("store inspect: missing <FILE>")?.into(),
+                    allow_partial,
+                },
+                "verify" => StoreAction::Verify {
+                    file: positional.get(1).ok_or("store verify: missing <FILE>")?.into(),
+                },
+                "migrate" => StoreAction::Migrate {
+                    src: positional.get(1).ok_or("store migrate: missing <SRC>")?.into(),
+                    dst: positional.get(2).ok_or("store migrate: missing <DST>")?.into(),
+                    to: match flags.get("to").as_deref() {
+                        Some("v0-json") | Some("v0") => Some(StoreFormat::V0Json),
+                        Some("v1-binary") | Some("v1") => Some(StoreFormat::V1Binary),
+                        Some(other) => {
+                            return Err(format!(
+                                "store migrate: bad --to value {other} (v0-json | v1-binary)"
+                            ))
+                        }
+                        None => None,
+                    },
+                    allow_partial,
+                },
+                "export" => StoreAction::Export {
+                    src: positional.get(1).ok_or("store export: missing <SRC>")?.into(),
+                    dst: positional.get(2).ok_or("store export: missing <DST>")?.into(),
+                    allow_partial,
+                },
+                other => {
+                    return Err(format!(
+                        "store: unknown action {other} (inspect | verify | migrate | export)"
+                    ))
+                }
+            };
+            Ok(Command::Store { action })
         }
         "scan-warc" => {
             let (positional, flags) = split(&rest)?;
@@ -430,7 +504,75 @@ mod tests {
     #[test]
     fn report_requires_store() {
         assert!(p(&["report", "fig8"]).is_err());
-        assert!(p(&["report", "fig8", "--store", "s.json"]).is_ok());
+        assert_eq!(
+            p(&["report", "fig8", "--store", "s.json"]).unwrap(),
+            Command::Report {
+                experiment: "fig8".into(),
+                store: "s.json".into(),
+                allow_partial: false
+            }
+        );
+        assert!(matches!(
+            p(&["report", "all", "--store", "s.hvs", "--allow-partial"]).unwrap(),
+            Command::Report { allow_partial: true, .. }
+        ));
+    }
+
+    #[test]
+    fn store_actions_parse() {
+        assert_eq!(
+            p(&["store", "inspect", "s.hvs"]).unwrap(),
+            Command::Store {
+                action: StoreAction::Inspect { file: "s.hvs".into(), allow_partial: false }
+            }
+        );
+        assert_eq!(
+            p(&["store", "inspect", "s.hvs", "--allow-partial"]).unwrap(),
+            Command::Store {
+                action: StoreAction::Inspect { file: "s.hvs".into(), allow_partial: true }
+            }
+        );
+        assert_eq!(
+            p(&["store", "verify", "s.hvs"]).unwrap(),
+            Command::Store { action: StoreAction::Verify { file: "s.hvs".into() } }
+        );
+        assert_eq!(
+            p(&["store", "migrate", "s.json", "s.hvs"]).unwrap(),
+            Command::Store {
+                action: StoreAction::Migrate {
+                    src: "s.json".into(),
+                    dst: "s.hvs".into(),
+                    to: None,
+                    allow_partial: false,
+                }
+            }
+        );
+        assert_eq!(
+            p(&["store", "migrate", "a", "b", "--to", "v0-json"]).unwrap(),
+            Command::Store {
+                action: StoreAction::Migrate {
+                    src: "a".into(),
+                    dst: "b".into(),
+                    to: Some(StoreFormat::V0Json),
+                    allow_partial: false,
+                }
+            }
+        );
+        assert_eq!(
+            p(&["store", "export", "s.hvs", "out.json"]).unwrap(),
+            Command::Store {
+                action: StoreAction::Export {
+                    src: "s.hvs".into(),
+                    dst: "out.json".into(),
+                    allow_partial: false,
+                }
+            }
+        );
+        assert!(p(&["store"]).is_err());
+        assert!(p(&["store", "inspect"]).is_err());
+        assert!(p(&["store", "migrate", "a"]).is_err());
+        assert!(p(&["store", "migrate", "a", "b", "--to", "v9"]).is_err());
+        assert!(p(&["store", "frobnicate", "x"]).is_err());
     }
 
     #[test]

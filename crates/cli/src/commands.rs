@@ -1,9 +1,11 @@
 //! Subcommand implementations.
 
-use crate::args::{Command, USAGE};
+use crate::args::{Command, StoreAction, USAGE};
 use hv_core::{autofix, Battery};
 use hv_corpus::{Archive, CorpusConfig, Snapshot};
-use hv_pipeline::{aggregate, scan, ResultStore, ScanOptions};
+use hv_pipeline::{
+    scan, scan_streamed, IndexedStore, LoadOptions, ResultStore, ScanOptions, StoreFormat,
+};
 use std::fs;
 use std::path::Path;
 use std::time::Instant;
@@ -20,12 +22,23 @@ pub fn run(cmd: Command) -> Result<(), String> {
             gen(seed, scale, &out, domains, year, warc)
         }
         Command::Scan { seed, scale, threads, store, metrics, faults } => {
-            let result = run_scan(seed, scale, threads, metrics, faults)?;
-            if let Some(path) = store {
-                result.save(&path).map_err(|e| format!("saving store: {e}"))?;
-                println!("store written to {}", path.display());
-            } else {
-                println!("{}", hv_report::full_report(&result));
+            match store {
+                // Writing the binary format streams one snapshot segment at
+                // a time: peak memory never holds the full record set.
+                Some(path) if StoreFormat::for_path(&path) == StoreFormat::V1Binary => {
+                    run_scan_streamed(seed, scale, threads, metrics, faults, &path)?;
+                    println!("store written to {} (v1-binary, streamed)", path.display());
+                }
+                Some(path) => {
+                    let result = run_scan(seed, scale, threads, metrics, faults)?;
+                    result.save(&path).map_err(|e| format!("saving store: {e}"))?;
+                    println!("store written to {}", path.display());
+                }
+                None => {
+                    let result = run_scan(seed, scale, threads, metrics, faults)?;
+                    // Index exactly once; every experiment renders from it.
+                    println!("{}", hv_report::full_report(&IndexedStore::new(result)));
+                }
             }
             Ok(())
         }
@@ -33,11 +46,16 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Fuzz { seed, cases, time_budget, oracle, regress_dir, replay, list_oracles } => {
             fuzz(seed, cases, time_budget, oracle, regress_dir, replay, list_oracles)
         }
-        Command::Report { experiment, store } => {
-            let store = ResultStore::load(&store).map_err(|e| format!("loading store: {e}"))?;
-            println!("{}", render_experiment(&experiment, &store)?);
+        Command::Report { experiment, store, allow_partial } => {
+            // One load, one index build per invocation: the IndexedStore is
+            // constructed here and every render below reads from it.
+            let indexed = IndexedStore::load_with(&store, LoadOptions { allow_partial })
+                .map_err(|e| format!("loading store: {e}"))?;
+            warn_dropped(&indexed);
+            println!("{}", render_experiment(&experiment, &indexed)?);
             Ok(())
         }
+        Command::Store { action } => store_cmd(action),
         Command::ScanWarc { dir, store } => {
             let inputs = hv_pipeline::warcscan::discover(&dir)
                 .map_err(|e| format!("discovering WARC inputs in {}: {e}", dir.display()))?;
@@ -49,10 +67,16 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 .map_err(|e| format!("scanning WARC: {e}"))?;
             match store {
                 Some(path) => {
-                    result.save(&path).map_err(|e| format!("saving store: {e}"))?;
-                    println!("store written to {}", path.display());
+                    result
+                        .save_as(&path, StoreFormat::for_path(&path))
+                        .map_err(|e| format!("saving store: {e}"))?;
+                    println!(
+                        "store written to {} ({})",
+                        path.display(),
+                        StoreFormat::for_path(&path).name()
+                    );
                 }
-                None => println!("{}", hv_report::full_report(&result)),
+                None => println!("{}", hv_report::full_report(&IndexedStore::new(result))),
             }
             Ok(())
         }
@@ -64,6 +88,9 @@ pub fn run(cmd: Command) -> Result<(), String> {
             // Repro always collects metrics: the run's provenance (how fast,
             // how many pages, which checks fired) belongs in the record.
             let store = run_scan(seed, scale, threads, true, None)?;
+            // One index build feeds the console report, the markdown dump,
+            // and the JSON dump — the records are never re-aggregated.
+            let store = IndexedStore::new(store);
             println!("{}", hv_report::full_report(&store));
             if let Some(path) = out {
                 let md = hv_report::experiments_markdown(&store);
@@ -325,14 +352,14 @@ fn gen(
     Ok(())
 }
 
-fn run_scan(
+/// Shared scan setup: build the archive and options, narrating to stderr.
+fn scan_setup(
     seed: u64,
     scale: f64,
     threads: usize,
     metrics: bool,
     faults: Option<hv_corpus::FaultPlan>,
-) -> Result<ResultStore, String> {
-    let t0 = Instant::now();
+) -> (Archive, ScanOptions) {
     eprintln!("building archive (seed {seed}, scale {scale}) ...");
     let archive = Archive::new(CorpusConfig { seed, scale });
     eprintln!(
@@ -346,6 +373,46 @@ fn run_scan(
         eprintln!("injecting deterministic faults ({}) ...", plan.render());
         opts = opts.inject_faults(plan);
     }
+    (archive, opts)
+}
+
+/// Scan straight into a v1 binary store, one snapshot segment at a time.
+fn run_scan_streamed(
+    seed: u64,
+    scale: f64,
+    threads: usize,
+    metrics: bool,
+    faults: Option<hv_corpus::FaultPlan>,
+    path: &Path,
+) -> Result<(), String> {
+    let t0 = Instant::now();
+    let (archive, opts) = scan_setup(seed, scale, threads, metrics, faults);
+    let summary = scan_streamed(&archive, &Snapshot::ALL, opts, path)
+        .map_err(|e| format!("streamed scan: {e}"))?;
+    eprintln!(
+        "scan finished in {:.1}s ({} domain-snapshot records in {} segment(s))",
+        t0.elapsed().as_secs_f64(),
+        summary.records,
+        summary.segments.len()
+    );
+    if summary.quarantined > 0 {
+        eprintln!("faults: {} page(s) quarantined", summary.quarantined);
+    }
+    if let Some(m) = &summary.metrics {
+        eprint!("{}", m.render());
+    }
+    Ok(())
+}
+
+fn run_scan(
+    seed: u64,
+    scale: f64,
+    threads: usize,
+    metrics: bool,
+    faults: Option<hv_corpus::FaultPlan>,
+) -> Result<ResultStore, String> {
+    let t0 = Instant::now();
+    let (archive, opts) = scan_setup(seed, scale, threads, metrics, faults);
     let store = scan(&archive, opts);
     eprintln!(
         "scan finished in {:.1}s ({} domain-snapshot records)",
@@ -397,9 +464,117 @@ fn chaos(
     }
 }
 
-fn render_experiment(name: &str, store: &ResultStore) -> Result<String, String> {
-    // `aggregate` is linked for the store type; keep the error crisp.
-    let _ = aggregate::table2_total(store);
+fn render_experiment(name: &str, store: &IndexedStore) -> Result<String, String> {
     hv_report::render(name, store)
         .ok_or_else(|| format!("unknown experiment: {name} (try `hva help`)"))
+}
+
+/// Surface what a partial load dropped — the report still renders, but
+/// the operator must know it is built from a damaged store.
+fn warn_dropped(store: &IndexedStore) {
+    for d in &store.dropped {
+        eprintln!(
+            "warning: dropped segment {} at byte {}: {} (results exclude it)",
+            d.segment, d.offset, d.detail
+        );
+    }
+}
+
+/// `hva store <action>`: maintenance verbs over saved result stores.
+fn store_cmd(action: StoreAction) -> Result<(), String> {
+    match action {
+        StoreAction::Inspect { file, allow_partial } => {
+            let loaded = ResultStore::load_with(&file, LoadOptions { allow_partial })
+                .map_err(|e| format!("loading store: {e}"))?;
+            let s = &loaded.store;
+            println!("{}: {}", file.display(), loaded.format.name());
+            println!("  seed       {:#x} ({})", s.seed, s.seed);
+            println!("  scale      {}", s.scale);
+            println!("  universe   {} domains", s.universe);
+            println!("  records    {}", s.records.len());
+            println!("  metrics    {}", if s.metrics.is_some() { "embedded" } else { "none" });
+            println!("  quarantine {} page(s)", s.quarantine.len());
+            if !loaded.segments.is_empty() {
+                println!(
+                    "  {:<16} {:>8} {:>9} {:>10} {:>11} {:>12} {:>12}",
+                    "segment",
+                    "records",
+                    "analyzed",
+                    "violating",
+                    "pages-found",
+                    "pages-anlzd",
+                    "quarantined"
+                );
+                for seg in &loaded.segments {
+                    println!(
+                        "  {:<16} {:>8} {:>9} {:>10} {:>11} {:>12} {:>12}",
+                        seg.snapshot.crawl_id(),
+                        seg.records,
+                        seg.domains_analyzed,
+                        seg.domains_violating,
+                        seg.pages_found,
+                        seg.pages_analyzed,
+                        seg.pages_quarantined
+                    );
+                }
+            }
+            for d in &loaded.dropped {
+                println!("  DROPPED segment {} at byte {}: {}", d.segment, d.offset, d.detail);
+            }
+            Ok(())
+        }
+        StoreAction::Verify { file } => {
+            // Strict load: any framing, checksum, or footer mismatch fails.
+            let loaded = ResultStore::load_with(&file, LoadOptions::default())
+                .map_err(|e| format!("verify FAILED: {e}"))?;
+            println!(
+                "OK: {} ({}, {} segment(s), {} record(s), checksums and footers verified)",
+                file.display(),
+                loaded.format.name(),
+                loaded.segments.len(),
+                loaded.store.records.len()
+            );
+            Ok(())
+        }
+        StoreAction::Migrate { src, dst, to, allow_partial } => {
+            let loaded = ResultStore::load_with(&src, LoadOptions { allow_partial })
+                .map_err(|e| format!("loading store: {e}"))?;
+            for d in &loaded.dropped {
+                eprintln!(
+                    "warning: dropped segment {} at byte {}: {} (not migrated)",
+                    d.segment, d.offset, d.detail
+                );
+            }
+            let target = to.unwrap_or_else(|| StoreFormat::for_path(&dst));
+            loaded.store.save_as(&dst, target).map_err(|e| format!("writing store: {e}"))?;
+            println!(
+                "migrated {} ({}) -> {} ({}), {} record(s)",
+                src.display(),
+                loaded.format.name(),
+                dst.display(),
+                target.name(),
+                loaded.store.records.len()
+            );
+            Ok(())
+        }
+        StoreAction::Export { src, dst, allow_partial } => {
+            let loaded = ResultStore::load_with(&src, LoadOptions { allow_partial })
+                .map_err(|e| format!("loading store: {e}"))?;
+            for d in &loaded.dropped {
+                eprintln!(
+                    "warning: dropped segment {} at byte {}: {} (not exported)",
+                    d.segment, d.offset, d.detail
+                );
+            }
+            loaded.store.save(&dst).map_err(|e| format!("writing JSON: {e}"))?;
+            println!(
+                "exported {} ({}) -> {} (v0-json), {} record(s)",
+                src.display(),
+                loaded.format.name(),
+                dst.display(),
+                loaded.store.records.len()
+            );
+            Ok(())
+        }
+    }
 }

@@ -44,6 +44,18 @@ pub enum HvError {
         /// syntax error has none).
         source: Option<io::Error>,
     },
+    /// A persisted binary store failed integrity checking: a truncated
+    /// file, a checksum mismatch, a frame that does not parse. Carries the
+    /// exact location so `hva store verify` output is actionable.
+    StoreCorrupt {
+        path: PathBuf,
+        /// Segment ordinal (0-based) when the corruption sits inside a
+        /// segment block; `None` for the header, trailer, or framing.
+        segment: Option<u32>,
+        /// Byte offset of the failing structure within the file.
+        offset: u64,
+        detail: String,
+    },
     /// An I/O failure outside store persistence (reading WARC inputs,
     /// accepting connections, …).
     Io { context: String, source: io::Error },
@@ -75,6 +87,17 @@ impl HvError {
         }
     }
 
+    /// A store integrity failure at a known byte offset (and segment,
+    /// when the corruption is inside one).
+    pub fn store_corrupt(
+        path: &Path,
+        segment: Option<u32>,
+        offset: u64,
+        detail: impl Into<String>,
+    ) -> Self {
+        HvError::StoreCorrupt { path: path.to_path_buf(), segment, offset, detail: detail.into() }
+    }
+
     /// An I/O failure with a human context ("reading CDXJ index", …).
     pub fn io(context: impl Into<String>, source: io::Error) -> Self {
         HvError::Io { context: context.into(), source }
@@ -92,6 +115,13 @@ impl std::fmt::Display for HvError {
             HvError::Parse { what, detail } => write!(f, "parsing {what}: {detail}"),
             HvError::Store { path, detail, .. } => {
                 write!(f, "result store {}: {detail}", path.display())
+            }
+            HvError::StoreCorrupt { path, segment, offset, detail } => {
+                write!(f, "result store {}: corrupt at byte {offset}", path.display())?;
+                if let Some(n) = segment {
+                    write!(f, " (segment {n})")?;
+                }
+                write!(f, ": {detail}")
             }
             HvError::Io { context, source } => write!(f, "{context}: {source}"),
             HvError::Server { detail } => write!(f, "server: {detail}"),
@@ -134,6 +164,18 @@ mod tests {
         assert_eq!(e.to_string(), "parsing store JSON: expected object, got array");
         let e = HvError::server("address already in use");
         assert_eq!(e.to_string(), "server: address already in use");
+    }
+
+    #[test]
+    fn store_corrupt_names_segment_and_offset() {
+        let e = HvError::store_corrupt(Path::new("/tmp/s.hvs"), Some(3), 4096, "crc mismatch");
+        assert_eq!(
+            e.to_string(),
+            "result store /tmp/s.hvs: corrupt at byte 4096 (segment 3): crc mismatch"
+        );
+        assert!(e.source().is_none());
+        let e = HvError::store_corrupt(Path::new("/tmp/s.hvs"), None, 12, "missing trailer");
+        assert_eq!(e.to_string(), "result store /tmp/s.hvs: corrupt at byte 12: missing trailer");
     }
 
     #[test]

@@ -1,12 +1,33 @@
-//! Aggregation queries — every number behind the paper's tables and
-//! figures, computed from the [`ResultStore`].
+//! Aggregation — every number behind the paper's tables and figures.
+//!
+//! Originally each query here re-scanned the full [`ResultStore`]; a
+//! report render walked the records ~14 times. [`AggregateIndex::build`]
+//! now folds everything — Table 2, the Figure 8 distribution, group and
+//! kind trends, the autofix projection, mitigation trends, rollout
+//! breakage, churn — in **one** streaming pass, and the query surface
+//! becomes cheap views over the precomputed counters. The original
+//! per-query implementations live on verbatim in [`legacy`] as the
+//! equivalence oracle (the same pattern the checker rewrite used with
+//! `checkers::legacy`): every view must return bit-identical results,
+//! asserted by unit tests here, the root proptest suite, and the golden
+//! migration test.
 
-use crate::store::ResultStore;
-use hv_core::{ProblemGroup, ViolationKind};
+use crate::format::{DroppedSegment, LoadOptions, SegmentSummary};
+use crate::store::{LoadedStore, ResultStore, StoreFormat};
+use hv_core::{HvError, ProblemGroup, ViolationKind};
 use hv_corpus::snapshots::YEARS;
 use hv_corpus::Snapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Deref;
+use std::path::Path;
+
+/// Number of violation kinds (bitmask width).
+const KINDS: usize = ViolationKind::ALL.len();
+/// Number of §3.2 problem groups.
+const GROUPS: usize = ProblemGroup::ALL.len();
+/// Number of §5.3.2 enforcement stages (0..=4).
+const STAGES: usize = 5;
 
 /// One Table-2 row.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -18,39 +39,6 @@ pub struct Table2Row {
     pub avg_pages: f64,
 }
 
-/// Table 2: analyzed domains per crawl.
-pub fn table2(store: &ResultStore) -> Vec<Table2Row> {
-    let mut rows = Vec::new();
-    for snap in Snapshot::ALL {
-        let mut found = 0usize;
-        let mut analyzed = 0usize;
-        let mut pages = 0usize;
-        for r in store.by_snapshot(snap) {
-            found += 1;
-            if r.analyzed() {
-                analyzed += 1;
-                pages += r.pages_analyzed;
-            }
-        }
-        rows.push(Table2Row {
-            snapshot: snap.crawl_id().to_owned(),
-            domains_found: found,
-            domains_analyzed: analyzed,
-            analyzed_share: percent(analyzed, found),
-            avg_pages: if analyzed > 0 { pages as f64 / analyzed as f64 } else { 0.0 },
-        });
-    }
-    rows
-}
-
-/// The Table-2 "Total (All Snaps.)" row: domains found / analyzed at least
-/// once.
-pub fn table2_total(store: &ResultStore) -> (usize, usize) {
-    let found: BTreeSet<u64> = store.records.iter().map(|r| r.domain_id).collect();
-    let analyzed = store.analyzed_domains();
-    (found.len(), analyzed.len())
-}
-
 /// One Figure-8 bar: domains showing the kind at least once over the whole
 /// study, as count and share of all analyzed domains.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -60,57 +48,8 @@ pub struct DistributionBar {
     pub share: f64,
 }
 
-/// Figure 8: overall distribution of violations, sorted descending (the
-/// paper's x-axis order).
-pub fn overall_distribution(store: &ResultStore) -> Vec<DistributionBar> {
-    let analyzed = store.analyzed_domains();
-    let mut per_kind: BTreeMap<ViolationKind, BTreeSet<u64>> = BTreeMap::new();
-    for r in &store.records {
-        for &k in &r.kinds {
-            per_kind.entry(k).or_default().insert(r.domain_id);
-        }
-    }
-    let mut bars: Vec<DistributionBar> = ViolationKind::ALL
-        .iter()
-        .map(|&kind| {
-            let domains = per_kind.get(&kind).map(|s| s.len()).unwrap_or(0);
-            DistributionBar { kind, domains, share: percent(domains, analyzed.len()) }
-        })
-        .collect();
-    bars.sort_by(|a, b| b.domains.cmp(&a.domains).then(a.kind.cmp(&b.kind)));
-    bars
-}
-
-/// §4.2: share of analyzed domains with at least one violation in any year.
-pub fn overall_violating_share(store: &ResultStore) -> f64 {
-    let analyzed = store.analyzed_domains();
-    let violating: BTreeSet<u64> =
-        store.records.iter().filter(|r| r.violating()).map(|r| r.domain_id).collect();
-    percent(violating.intersection(&analyzed).count(), analyzed.len())
-}
-
 /// A yearly series (Figure 9/10/16–21 shape): one value per snapshot.
 pub type YearSeries = [f64; YEARS];
-
-/// Figure 9: share of analyzed domains with ≥ 1 violation, per year.
-pub fn violating_domains_by_year(store: &ResultStore) -> YearSeries {
-    per_year(store, |r| r.violating())
-}
-
-/// Figure 10: per problem group, share of analyzed domains violating at
-/// least one check of the group, per year.
-pub fn group_trends(store: &ResultStore) -> BTreeMap<ProblemGroup, YearSeries> {
-    ProblemGroup::ALL
-        .iter()
-        .map(|&g| (g, per_year(store, move |r| r.kinds.iter().any(|k| k.group() == g))))
-        .collect()
-}
-
-/// Figures 16–21: share of analyzed domains violating one specific check,
-/// per year.
-pub fn kind_trend(store: &ResultStore, kind: ViolationKind) -> YearSeries {
-    per_year(store, move |r| r.kinds.contains(&kind))
-}
 
 /// §4.4: the auto-fix projection for one snapshot — (violating domains,
 /// domains still violating after the automatic pass, share fixed).
@@ -126,33 +65,6 @@ pub struct AutofixProjection {
     pub fixed_share: f64,
 }
 
-pub fn autofix_projection(store: &ResultStore, snap: Snapshot) -> AutofixProjection {
-    let mut analyzed = 0usize;
-    let mut violating = 0usize;
-    let mut still = 0usize;
-    for r in store.by_snapshot(snap) {
-        if !r.analyzed() {
-            continue;
-        }
-        analyzed += 1;
-        if r.violating() {
-            violating += 1;
-            if !r.kinds_after_autofix.is_empty() {
-                still += 1;
-            }
-        }
-    }
-    AutofixProjection {
-        snapshot: snap.crawl_id().to_owned(),
-        analyzed,
-        violating,
-        violating_after_fix: still,
-        violating_share: percent(violating, analyzed),
-        after_share: percent(still, analyzed),
-        fixed_share: percent(violating - still, violating),
-    }
-}
-
 /// §4.5: the mitigation-conflict series.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MitigationTrends {
@@ -166,90 +78,594 @@ pub struct MitigationTrends {
     pub newline_and_lt_in_url: [(usize, f64); YEARS],
 }
 
-pub fn mitigation_trends(store: &ResultStore) -> MitigationTrends {
-    let mut out = MitigationTrends {
-        script_in_attribute: [(0, 0.0); YEARS],
-        script_in_nonced_script: [0; YEARS],
-        newline_in_url: [(0, 0.0); YEARS],
-        newline_and_lt_in_url: [(0, 0.0); YEARS],
-    };
-    for snap in Snapshot::ALL {
-        let y = snap.index();
-        let mut analyzed = 0usize;
-        let (mut s, mut ns, mut nl, mut nllt) = (0usize, 0usize, 0usize, 0usize);
-        for r in store.by_snapshot(snap).filter(|r| r.analyzed()) {
-            analyzed += 1;
-            s += usize::from(r.mitigations.script_in_attribute);
-            ns += usize::from(r.mitigations.script_in_nonced_script);
-            nl += usize::from(r.mitigations.newline_in_url);
-            nllt += usize::from(r.mitigations.newline_and_lt_in_url);
-        }
-        out.script_in_attribute[y] = (s, percent(s, analyzed));
-        out.script_in_nonced_script[y] = ns;
-        out.newline_in_url[y] = (nl, percent(nl, analyzed));
-        out.newline_and_lt_in_url[y] = (nllt, percent(nllt, analyzed));
-    }
-    out
+/// One year-over-year churn row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnRow {
+    pub from: String,
+    pub to: String,
+    /// (domain, kind) pairs newly violating in `to`.
+    pub added: usize,
+    /// (domain, kind) pairs fixed between `from` and `to`.
+    pub removed: usize,
 }
 
-/// §5.3.2 rollout simulation: for each enforcement stage of the proposed
-/// STRICT-PARSER deprecation, the share of analyzed domains per year that
-/// would have at least one page *blocked* under `default` mode — the
-/// breakage browser vendors would weigh at each step.
-pub fn rollout_breakage(store: &ResultStore) -> Vec<(u8, YearSeries)> {
-    (0..=4u8)
-        .map(|stage| {
-            let list = hv_core::strict::EnforcementList::stage(stage);
-            let series = per_year(store, move |r| r.kinds.iter().any(|&k| list.contains(k)));
-            (stage, series)
-        })
-        .collect()
+/// The kind's 0..20 bit position — [`ViolationKind::ALL`] is in
+/// discriminant order, so `k as usize` indexes both the bitmask and the
+/// per-kind arrays (asserted by `kind_discriminants_match_all_order`).
+fn kind_bit(k: ViolationKind) -> usize {
+    k as usize
 }
 
-/// §4.2's usage aside: domains using `math` elements per year (the paper
-/// saw growth from 42 domains in 2015 to 224 in 2022).
-pub fn math_usage_by_year(store: &ResultStore) -> [usize; YEARS] {
-    let mut out = [0usize; YEARS];
-    for snap in Snapshot::ALL {
-        out[snap.index()] = store.by_snapshot(snap).filter(|r| r.analyzed() && r.uses_math).count();
-    }
-    out
+/// Every table and figure, folded from the records in one pass.
+///
+/// All counters follow the legacy query semantics exactly: per-year
+/// series count *analyzed* records only, while the overall distribution
+/// and violating-share fold over all records with the analyzed-ever
+/// denominator. The float math in the views reuses the same [`percent`]
+/// helper in the same operation order, so rendered output is
+/// byte-identical to the oracle's.
+#[derive(Debug, Clone)]
+pub struct AggregateIndex {
+    // Per-year counters (index = Snapshot::index()).
+    found: [usize; YEARS],
+    analyzed: [usize; YEARS],
+    pages: [usize; YEARS],
+    violating: [usize; YEARS],
+    still_after_fix: [usize; YEARS],
+    math: [usize; YEARS],
+    kind_per_year: [[usize; YEARS]; KINDS],
+    group_per_year: [[usize; YEARS]; GROUPS],
+    stage_per_year: [[usize; YEARS]; STAGES],
+    script_in_attribute: [usize; YEARS],
+    script_in_nonced_script: [usize; YEARS],
+    newline_in_url: [usize; YEARS],
+    newline_and_lt_in_url: [usize; YEARS],
+    // Whole-study set sizes (resolved from transient sets at build time).
+    found_ever: usize,
+    analyzed_ever: usize,
+    violating_ever: usize,
+    kind_domains: [usize; KINDS],
+    // §5.2 churn, precomputed.
+    churn: Vec<ChurnRow>,
 }
 
-/// Usage counter used for §4.2's "math element usage grew" aside: domains
-/// whose pages contain at least one page-count entry for a kind.
-pub fn domains_with_kind_in_year(
-    store: &ResultStore,
-    kind: ViolationKind,
-    snap: Snapshot,
-) -> usize {
-    store.by_snapshot(snap).filter(|r| r.analyzed() && r.kinds.contains(&kind)).count()
-}
-
-fn per_year(
-    store: &ResultStore,
-    pred: impl Fn(&crate::store::DomainYearRecord) -> bool,
-) -> YearSeries {
-    let mut out = [0.0; YEARS];
-    for snap in Snapshot::ALL {
-        let mut analyzed = 0usize;
-        let mut hits = 0usize;
-        for r in store.by_snapshot(snap).filter(|r| r.analyzed()) {
-            analyzed += 1;
-            if pred(r) {
-                hits += 1;
+impl AggregateIndex {
+    /// Fold the store's records once.
+    pub fn build(store: &ResultStore) -> Self {
+        // Group/stage membership as kind bitmasks, so the per-record work
+        // is a handful of AND-tests instead of set walks.
+        let mut group_masks = [0u32; GROUPS];
+        for (gi, &g) in ProblemGroup::ALL.iter().enumerate() {
+            for &k in ViolationKind::ALL.iter() {
+                if k.group() == g {
+                    group_masks[gi] |= 1 << kind_bit(k);
+                }
             }
         }
-        out[snap.index()] = percent(hits, analyzed);
+        let mut stage_masks = [0u32; STAGES];
+        for (si, mask) in stage_masks.iter_mut().enumerate() {
+            let list = hv_core::strict::EnforcementList::stage(si as u8);
+            for &k in ViolationKind::ALL.iter() {
+                if list.contains(k) {
+                    *mask |= 1 << kind_bit(k);
+                }
+            }
+        }
+
+        let mut idx = AggregateIndex {
+            found: [0; YEARS],
+            analyzed: [0; YEARS],
+            pages: [0; YEARS],
+            violating: [0; YEARS],
+            still_after_fix: [0; YEARS],
+            math: [0; YEARS],
+            kind_per_year: [[0; YEARS]; KINDS],
+            group_per_year: [[0; YEARS]; GROUPS],
+            stage_per_year: [[0; YEARS]; STAGES],
+            script_in_attribute: [0; YEARS],
+            script_in_nonced_script: [0; YEARS],
+            newline_in_url: [0; YEARS],
+            newline_and_lt_in_url: [0; YEARS],
+            found_ever: 0,
+            analyzed_ever: 0,
+            violating_ever: 0,
+            kind_domains: [0; KINDS],
+            churn: Vec::with_capacity(YEARS - 1),
+        };
+
+        // Transient fold state, resolved below.
+        let mut found_ids: BTreeSet<u64> = BTreeSet::new();
+        let mut analyzed_ids: BTreeSet<u64> = BTreeSet::new();
+        let mut violating_ids: BTreeSet<u64> = BTreeSet::new();
+        let mut kind_ids: [BTreeSet<u64>; KINDS] = std::array::from_fn(|_| BTreeSet::new());
+        let mut year_masks: [BTreeMap<u64, u32>; YEARS] = std::array::from_fn(|_| BTreeMap::new());
+
+        for r in &store.records {
+            let y = r.snapshot.index();
+            let mut kmask = 0u32;
+            for &k in &r.kinds {
+                kmask |= 1 << kind_bit(k);
+                kind_ids[kind_bit(k)].insert(r.domain_id);
+            }
+            idx.found[y] += 1;
+            found_ids.insert(r.domain_id);
+            if r.violating() {
+                violating_ids.insert(r.domain_id);
+            }
+            if !r.analyzed() {
+                continue;
+            }
+            analyzed_ids.insert(r.domain_id);
+            idx.analyzed[y] += 1;
+            idx.pages[y] += r.pages_analyzed;
+            if r.violating() {
+                idx.violating[y] += 1;
+                if !r.kinds_after_autofix.is_empty() {
+                    idx.still_after_fix[y] += 1;
+                }
+            }
+            if r.uses_math {
+                idx.math[y] += 1;
+            }
+            for &k in &r.kinds {
+                idx.kind_per_year[kind_bit(k)][y] += 1;
+            }
+            for (gi, &mask) in group_masks.iter().enumerate() {
+                idx.group_per_year[gi][y] += usize::from(kmask & mask != 0);
+            }
+            for (si, &mask) in stage_masks.iter().enumerate() {
+                idx.stage_per_year[si][y] += usize::from(kmask & mask != 0);
+            }
+            idx.script_in_attribute[y] += usize::from(r.mitigations.script_in_attribute);
+            idx.script_in_nonced_script[y] += usize::from(r.mitigations.script_in_nonced_script);
+            idx.newline_in_url[y] += usize::from(r.mitigations.newline_in_url);
+            idx.newline_and_lt_in_url[y] += usize::from(r.mitigations.newline_and_lt_in_url);
+            year_masks[y].insert(r.domain_id, kmask);
+        }
+
+        idx.found_ever = found_ids.len();
+        idx.analyzed_ever = analyzed_ids.len();
+        idx.violating_ever = violating_ids.intersection(&analyzed_ids).count();
+        for (k, ids) in idx.kind_domains.iter_mut().zip(kind_ids.iter()) {
+            *k = ids.len();
+        }
+        for w in Snapshot::ALL.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let mut added = 0usize;
+            let mut removed = 0usize;
+            for (domain, &kb) in &year_masks[b.index()] {
+                let Some(&ka) = year_masks[a.index()].get(domain) else { continue };
+                added += (kb & !ka).count_ones() as usize;
+                removed += (ka & !kb).count_ones() as usize;
+            }
+            idx.churn.push(ChurnRow {
+                from: a.crawl_id().to_owned(),
+                to: b.crawl_id().to_owned(),
+                added,
+                removed,
+            });
+        }
+        idx
     }
-    out
+
+    /// Table 2: analyzed domains per crawl.
+    pub fn table2(&self) -> Vec<Table2Row> {
+        Snapshot::ALL
+            .iter()
+            .map(|&snap| {
+                let y = snap.index();
+                let analyzed = self.analyzed[y];
+                Table2Row {
+                    snapshot: snap.crawl_id().to_owned(),
+                    domains_found: self.found[y],
+                    domains_analyzed: analyzed,
+                    analyzed_share: percent(analyzed, self.found[y]),
+                    avg_pages: if analyzed > 0 {
+                        self.pages[y] as f64 / analyzed as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// The Table-2 "Total (All Snaps.)" row: domains found / analyzed at
+    /// least once.
+    pub fn table2_total(&self) -> (usize, usize) {
+        (self.found_ever, self.analyzed_ever)
+    }
+
+    /// Figure 8: overall distribution of violations, sorted descending
+    /// (the paper's x-axis order).
+    pub fn overall_distribution(&self) -> Vec<DistributionBar> {
+        let mut bars: Vec<DistributionBar> = ViolationKind::ALL
+            .iter()
+            .map(|&kind| {
+                let domains = self.kind_domains[kind_bit(kind)];
+                DistributionBar { kind, domains, share: percent(domains, self.analyzed_ever) }
+            })
+            .collect();
+        bars.sort_by(|a, b| b.domains.cmp(&a.domains).then(a.kind.cmp(&b.kind)));
+        bars
+    }
+
+    /// §4.2: share of analyzed domains with ≥ 1 violation in any year.
+    pub fn overall_violating_share(&self) -> f64 {
+        percent(self.violating_ever, self.analyzed_ever)
+    }
+
+    /// Figure 9: share of analyzed domains with ≥ 1 violation, per year.
+    pub fn violating_domains_by_year(&self) -> YearSeries {
+        self.share_series(&self.violating)
+    }
+
+    /// Figure 10: per problem group, share of analyzed domains violating
+    /// at least one check of the group, per year.
+    pub fn group_trends(&self) -> BTreeMap<ProblemGroup, YearSeries> {
+        ProblemGroup::ALL
+            .iter()
+            .enumerate()
+            .map(|(gi, &g)| (g, self.share_series(&self.group_per_year[gi])))
+            .collect()
+    }
+
+    /// Figures 16–21: share of analyzed domains violating one specific
+    /// check, per year.
+    pub fn kind_trend(&self, kind: ViolationKind) -> YearSeries {
+        self.share_series(&self.kind_per_year[kind_bit(kind)])
+    }
+
+    /// §4.4: the auto-fix projection for one snapshot.
+    pub fn autofix_projection(&self, snap: Snapshot) -> AutofixProjection {
+        let y = snap.index();
+        let (analyzed, violating, still) =
+            (self.analyzed[y], self.violating[y], self.still_after_fix[y]);
+        AutofixProjection {
+            snapshot: snap.crawl_id().to_owned(),
+            analyzed,
+            violating,
+            violating_after_fix: still,
+            violating_share: percent(violating, analyzed),
+            after_share: percent(still, analyzed),
+            fixed_share: percent(violating - still, violating),
+        }
+    }
+
+    /// §4.5: the mitigation-conflict series.
+    pub fn mitigation_trends(&self) -> MitigationTrends {
+        let mut out = MitigationTrends {
+            script_in_attribute: [(0, 0.0); YEARS],
+            script_in_nonced_script: [0; YEARS],
+            newline_in_url: [(0, 0.0); YEARS],
+            newline_and_lt_in_url: [(0, 0.0); YEARS],
+        };
+        for y in 0..YEARS {
+            let analyzed = self.analyzed[y];
+            out.script_in_attribute[y] =
+                (self.script_in_attribute[y], percent(self.script_in_attribute[y], analyzed));
+            out.script_in_nonced_script[y] = self.script_in_nonced_script[y];
+            out.newline_in_url[y] =
+                (self.newline_in_url[y], percent(self.newline_in_url[y], analyzed));
+            out.newline_and_lt_in_url[y] =
+                (self.newline_and_lt_in_url[y], percent(self.newline_and_lt_in_url[y], analyzed));
+        }
+        out
+    }
+
+    /// §5.3.2 rollout simulation: per enforcement stage, the share of
+    /// analyzed domains per year with at least one page blocked.
+    pub fn rollout_breakage(&self) -> Vec<(u8, YearSeries)> {
+        (0..STAGES).map(|si| (si as u8, self.share_series(&self.stage_per_year[si]))).collect()
+    }
+
+    /// §4.2's usage aside: domains using `math` elements per year.
+    pub fn math_usage_by_year(&self) -> [usize; YEARS] {
+        self.math
+    }
+
+    /// Domains violating `kind` in `snap` (analyzed only).
+    pub fn domains_with_kind_in_year(&self, kind: ViolationKind, snap: Snapshot) -> usize {
+        self.kind_per_year[kind_bit(kind)][snap.index()]
+    }
+
+    /// §5.2's churn observation, quantified.
+    pub fn violation_churn(&self) -> Vec<ChurnRow> {
+        self.churn.clone()
+    }
+
+    fn share_series(&self, hits: &[usize; YEARS]) -> YearSeries {
+        let mut out = [0.0; YEARS];
+        for y in 0..YEARS {
+            out[y] = percent(hits[y], self.analyzed[y]);
+        }
+        out
+    }
 }
 
-fn percent(part: usize, whole: usize) -> f64 {
+/// A [`ResultStore`] with its [`AggregateIndex`] and load provenance —
+/// the unit the report renderer, the server, and the CLI pass around so a
+/// store is loaded and indexed exactly once per invocation.
+///
+/// Derefs to the store, so read-only record access (`store.scale`,
+/// `store.records`, …) keeps working unchanged.
+#[derive(Debug)]
+pub struct IndexedStore {
+    store: ResultStore,
+    pub index: AggregateIndex,
+    /// On-disk encoding, when the store came from a file.
+    pub format: Option<StoreFormat>,
+    /// Per-segment summaries (footers for v1 files, derived otherwise).
+    pub segments: Vec<SegmentSummary>,
+    /// Segments a partial load dropped (empty unless `allow_partial`).
+    pub dropped: Vec<DroppedSegment>,
+}
+
+impl Deref for IndexedStore {
+    type Target = ResultStore;
+
+    fn deref(&self) -> &ResultStore {
+        &self.store
+    }
+}
+
+impl IndexedStore {
+    /// Index an in-memory store (fresh scans; tests).
+    pub fn new(store: ResultStore) -> Self {
+        let index = AggregateIndex::build(&store);
+        let segments = SegmentSummary::derive(&store);
+        IndexedStore { store, index, format: None, segments, dropped: Vec::new() }
+    }
+
+    /// Load (sniffing v0/v1) and index in one step, strictly.
+    pub fn load(path: &Path) -> Result<Self, HvError> {
+        Self::load_with(path, LoadOptions::default())
+    }
+
+    /// [`IndexedStore::load`] with load options (`allow_partial`).
+    pub fn load_with(path: &Path, opts: LoadOptions) -> Result<Self, HvError> {
+        ResultStore::load_with(path, opts).map(Self::from_loaded)
+    }
+
+    /// Index an already-loaded store, keeping its provenance.
+    pub fn from_loaded(loaded: LoadedStore) -> Self {
+        let index = AggregateIndex::build(&loaded.store);
+        IndexedStore {
+            store: loaded.store,
+            index,
+            format: Some(loaded.format),
+            segments: loaded.segments,
+            dropped: loaded.dropped,
+        }
+    }
+
+    /// The underlying store, for callers that need to mutate or persist.
+    pub fn into_store(self) -> ResultStore {
+        self.store
+    }
+}
+
+pub(crate) fn percent(part: usize, whole: usize) -> f64 {
     if whole == 0 {
         0.0
     } else {
         100.0 * part as f64 / whole as f64
+    }
+}
+
+/// The original per-query implementations, kept verbatim as the
+/// equivalence oracle for [`AggregateIndex`]: each function re-scans the
+/// store independently, exactly as the pre-index module did. Tests and
+/// benches compare these against the index views; production paths use
+/// the index.
+pub mod legacy {
+    use super::*;
+    use crate::store::DomainYearRecord;
+
+    /// Table 2: analyzed domains per crawl.
+    pub fn table2(store: &ResultStore) -> Vec<Table2Row> {
+        let mut rows = Vec::new();
+        for snap in Snapshot::ALL {
+            let mut found = 0usize;
+            let mut analyzed = 0usize;
+            let mut pages = 0usize;
+            for r in store.by_snapshot(snap) {
+                found += 1;
+                if r.analyzed() {
+                    analyzed += 1;
+                    pages += r.pages_analyzed;
+                }
+            }
+            rows.push(Table2Row {
+                snapshot: snap.crawl_id().to_owned(),
+                domains_found: found,
+                domains_analyzed: analyzed,
+                analyzed_share: percent(analyzed, found),
+                avg_pages: if analyzed > 0 { pages as f64 / analyzed as f64 } else { 0.0 },
+            });
+        }
+        rows
+    }
+
+    /// The Table-2 "Total (All Snaps.)" row.
+    pub fn table2_total(store: &ResultStore) -> (usize, usize) {
+        let found: BTreeSet<u64> = store.records.iter().map(|r| r.domain_id).collect();
+        let analyzed = store.analyzed_domains();
+        (found.len(), analyzed.len())
+    }
+
+    /// Figure 8: overall distribution, sorted descending.
+    pub fn overall_distribution(store: &ResultStore) -> Vec<DistributionBar> {
+        let analyzed = store.analyzed_domains();
+        let mut per_kind: BTreeMap<ViolationKind, BTreeSet<u64>> = BTreeMap::new();
+        for r in &store.records {
+            for &k in &r.kinds {
+                per_kind.entry(k).or_default().insert(r.domain_id);
+            }
+        }
+        let mut bars: Vec<DistributionBar> = ViolationKind::ALL
+            .iter()
+            .map(|&kind| {
+                let domains = per_kind.get(&kind).map(|s| s.len()).unwrap_or(0);
+                DistributionBar { kind, domains, share: percent(domains, analyzed.len()) }
+            })
+            .collect();
+        bars.sort_by(|a, b| b.domains.cmp(&a.domains).then(a.kind.cmp(&b.kind)));
+        bars
+    }
+
+    /// §4.2: share of analyzed domains with ≥ 1 violation in any year.
+    pub fn overall_violating_share(store: &ResultStore) -> f64 {
+        let analyzed = store.analyzed_domains();
+        let violating: BTreeSet<u64> =
+            store.records.iter().filter(|r| r.violating()).map(|r| r.domain_id).collect();
+        percent(violating.intersection(&analyzed).count(), analyzed.len())
+    }
+
+    /// Figure 9: share of analyzed domains with ≥ 1 violation, per year.
+    pub fn violating_domains_by_year(store: &ResultStore) -> YearSeries {
+        per_year(store, |r| r.violating())
+    }
+
+    /// Figure 10: per-group yearly shares.
+    pub fn group_trends(store: &ResultStore) -> BTreeMap<ProblemGroup, YearSeries> {
+        ProblemGroup::ALL
+            .iter()
+            .map(|&g| (g, per_year(store, move |r| r.kinds.iter().any(|k| k.group() == g))))
+            .collect()
+    }
+
+    /// Figures 16–21: per-kind yearly shares.
+    pub fn kind_trend(store: &ResultStore, kind: ViolationKind) -> YearSeries {
+        per_year(store, move |r| r.kinds.contains(&kind))
+    }
+
+    /// §4.4 auto-fix projection for one snapshot.
+    pub fn autofix_projection(store: &ResultStore, snap: Snapshot) -> AutofixProjection {
+        let mut analyzed = 0usize;
+        let mut violating = 0usize;
+        let mut still = 0usize;
+        for r in store.by_snapshot(snap) {
+            if !r.analyzed() {
+                continue;
+            }
+            analyzed += 1;
+            if r.violating() {
+                violating += 1;
+                if !r.kinds_after_autofix.is_empty() {
+                    still += 1;
+                }
+            }
+        }
+        AutofixProjection {
+            snapshot: snap.crawl_id().to_owned(),
+            analyzed,
+            violating,
+            violating_after_fix: still,
+            violating_share: percent(violating, analyzed),
+            after_share: percent(still, analyzed),
+            fixed_share: percent(violating - still, violating),
+        }
+    }
+
+    /// §4.5 mitigation-conflict series.
+    pub fn mitigation_trends(store: &ResultStore) -> MitigationTrends {
+        let mut out = MitigationTrends {
+            script_in_attribute: [(0, 0.0); YEARS],
+            script_in_nonced_script: [0; YEARS],
+            newline_in_url: [(0, 0.0); YEARS],
+            newline_and_lt_in_url: [(0, 0.0); YEARS],
+        };
+        for snap in Snapshot::ALL {
+            let y = snap.index();
+            let mut analyzed = 0usize;
+            let (mut s, mut ns, mut nl, mut nllt) = (0usize, 0usize, 0usize, 0usize);
+            for r in store.by_snapshot(snap).filter(|r| r.analyzed()) {
+                analyzed += 1;
+                s += usize::from(r.mitigations.script_in_attribute);
+                ns += usize::from(r.mitigations.script_in_nonced_script);
+                nl += usize::from(r.mitigations.newline_in_url);
+                nllt += usize::from(r.mitigations.newline_and_lt_in_url);
+            }
+            out.script_in_attribute[y] = (s, percent(s, analyzed));
+            out.script_in_nonced_script[y] = ns;
+            out.newline_in_url[y] = (nl, percent(nl, analyzed));
+            out.newline_and_lt_in_url[y] = (nllt, percent(nllt, analyzed));
+        }
+        out
+    }
+
+    /// §5.3.2 rollout simulation.
+    pub fn rollout_breakage(store: &ResultStore) -> Vec<(u8, YearSeries)> {
+        (0..=4u8)
+            .map(|stage| {
+                let list = hv_core::strict::EnforcementList::stage(stage);
+                let series = per_year(store, move |r| r.kinds.iter().any(|&k| list.contains(k)));
+                (stage, series)
+            })
+            .collect()
+    }
+
+    /// §4.2's usage aside: `math`-using domains per year.
+    pub fn math_usage_by_year(store: &ResultStore) -> [usize; YEARS] {
+        let mut out = [0usize; YEARS];
+        for snap in Snapshot::ALL {
+            out[snap.index()] =
+                store.by_snapshot(snap).filter(|r| r.analyzed() && r.uses_math).count();
+        }
+        out
+    }
+
+    /// Domains violating `kind` in `snap` (analyzed only).
+    pub fn domains_with_kind_in_year(
+        store: &ResultStore,
+        kind: ViolationKind,
+        snap: Snapshot,
+    ) -> usize {
+        store.by_snapshot(snap).filter(|r| r.analyzed() && r.kinds.contains(&kind)).count()
+    }
+
+    /// §5.2's churn observation, quantified.
+    pub fn violation_churn(store: &ResultStore) -> Vec<ChurnRow> {
+        let mut out = Vec::new();
+        for w in Snapshot::ALL.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let mut added = 0usize;
+            let mut removed = 0usize;
+            // Domains analyzed in both years.
+            let in_a: BTreeMap<u64, &DomainYearRecord> =
+                store.by_snapshot(a).filter(|r| r.analyzed()).map(|r| (r.domain_id, r)).collect();
+            for rb in store.by_snapshot(b).filter(|r| r.analyzed()) {
+                let Some(ra) = in_a.get(&rb.domain_id) else { continue };
+                let ka: BTreeSet<_> = ra.kinds.iter().collect();
+                let kb: BTreeSet<_> = rb.kinds.iter().collect();
+                added += kb.difference(&ka).count();
+                removed += ka.difference(&kb).count();
+            }
+            out.push(ChurnRow {
+                from: a.crawl_id().to_owned(),
+                to: b.crawl_id().to_owned(),
+                added,
+                removed,
+            });
+        }
+        out
+    }
+
+    fn per_year(store: &ResultStore, pred: impl Fn(&DomainYearRecord) -> bool) -> YearSeries {
+        let mut out = [0.0; YEARS];
+        for snap in Snapshot::ALL {
+            let mut analyzed = 0usize;
+            let mut hits = 0usize;
+            for r in store.by_snapshot(snap).filter(|r| r.analyzed()) {
+                analyzed += 1;
+                if pred(r) {
+                    hits += 1;
+                }
+            }
+            out[snap.index()] = percent(hits, analyzed);
+        }
+        out
     }
 }
 
@@ -288,17 +704,28 @@ mod tests {
         }
     }
 
+    /// The bitmask fold relies on `k as usize` matching the kind's
+    /// position in `ViolationKind::ALL`.
+    #[test]
+    fn kind_discriminants_match_all_order() {
+        for (i, &k) in ViolationKind::ALL.iter().enumerate() {
+            assert_eq!(k as usize, i, "{k:?} discriminant out of ALL order");
+        }
+        assert!(ViolationKind::ALL.len() <= 32, "kind bitmask must fit u32");
+    }
+
     #[test]
     fn table2_counts_found_and_analyzed() {
         let s = store_with(vec![rec(1, 0, &[], true), rec(2, 0, &[], false), rec(1, 1, &[], true)]);
-        let rows = table2(&s);
+        let rows = legacy::table2(&s);
         assert_eq!(rows[0].domains_found, 2);
         assert_eq!(rows[0].domains_analyzed, 1);
         assert!((rows[0].analyzed_share - 50.0).abs() < 1e-9);
         assert_eq!(rows[1].domains_found, 1);
-        let (found, analyzed) = table2_total(&s);
+        let (found, analyzed) = legacy::table2_total(&s);
         // Domain 2 was found but never successfully analyzed.
         assert_eq!((found, analyzed), (2, 1));
+        assert_eq!(AggregateIndex::build(&s).table2_total(), (2, 1));
     }
 
     #[test]
@@ -308,7 +735,7 @@ mod tests {
             rec(1, 1, &[ViolationKind::FB2], true),
             rec(2, 0, &[], true),
         ]);
-        let bars = overall_distribution(&s);
+        let bars = legacy::overall_distribution(&s);
         let fb2 = bars.iter().find(|b| b.kind == ViolationKind::FB2).unwrap();
         assert_eq!(fb2.domains, 1);
         assert!((fb2.share - 50.0).abs() < 1e-9);
@@ -323,8 +750,10 @@ mod tests {
             rec(2, 0, &[], true),
             rec(3, 0, &[ViolationKind::DM3], false), // not analyzed: excluded
         ]);
-        let series = violating_domains_by_year(&s);
+        let series = legacy::violating_domains_by_year(&s);
         assert!((series[0] - 50.0).abs() < 1e-9);
+        let from_index = AggregateIndex::build(&s).violating_domains_by_year();
+        assert_eq!(series, from_index);
     }
 
     #[test]
@@ -334,10 +763,11 @@ mod tests {
             rec(2, 7, &[ViolationKind::DE4], true),
             rec(3, 7, &[], true),
         ]);
-        let g = group_trends(&s);
+        let g = legacy::group_trends(&s);
         assert!((g[&ProblemGroup::FilterBypass][7] - 33.33).abs() < 0.1);
         assert!((g[&ProblemGroup::DataExfiltration][7] - 33.33).abs() < 0.1);
         assert!((g[&ProblemGroup::HtmlFormatting][7] - 0.0).abs() < 1e-9);
+        assert_eq!(g, AggregateIndex::build(&s).group_trends());
     }
 
     #[test]
@@ -347,7 +777,7 @@ mod tests {
             rec(2, 7, &[ViolationKind::FB2, ViolationKind::HF4], true), // HF4 remains
             rec(3, 7, &[], true),
         ]);
-        let p = autofix_projection(&s, Snapshot::ALL[7]);
+        let p = legacy::autofix_projection(&s, Snapshot::ALL[7]);
         assert_eq!(p.analyzed, 3);
         assert_eq!(p.violating, 2);
         assert_eq!(p.violating_after_fix, 1);
@@ -361,7 +791,7 @@ mod tests {
             rec(2, 7, &[ViolationKind::DE2], true), // blocked from stage 1
             rec(3, 7, &[], true),
         ]);
-        let rollout = rollout_breakage(&s);
+        let rollout = legacy::rollout_breakage(&s);
         assert_eq!(rollout.len(), 5);
         assert!((rollout[0].1[7] - 0.0).abs() < 1e-9, "stage 0 blocks nothing");
         assert!((rollout[1].1[7] - 33.33).abs() < 0.1, "stage 1 blocks the DE2 domain");
@@ -380,89 +810,111 @@ mod tests {
             rec(2, 7, &[ViolationKind::HF4], true),
             rec(3, 7, &[], true),
         ]);
-        let t = kind_trend(&s, ViolationKind::HF4);
+        let t = legacy::kind_trend(&s, ViolationKind::HF4);
         assert!((t[0] - 100.0).abs() < 1e-9);
         assert!((t[7] - 33.33).abs() < 0.1);
     }
-}
 
-/// §5.2's churn observation, quantified: between consecutive snapshots, how
-/// many (domain, kind) pairs appeared and how many disappeared — "changes
-/// to a website can, on the one side, remove violations but, on the other
-/// side, introduce new ones."
-pub fn violation_churn(store: &ResultStore) -> Vec<ChurnRow> {
-    use std::collections::BTreeSet;
-    let mut out = Vec::new();
-    for w in Snapshot::ALL.windows(2) {
-        let (a, b) = (w[0], w[1]);
-        let mut added = 0usize;
-        let mut removed = 0usize;
-        // Domains analyzed in both years.
-        let in_a: BTreeMap<u64, &crate::store::DomainYearRecord> =
-            store.by_snapshot(a).filter(|r| r.analyzed()).map(|r| (r.domain_id, r)).collect();
-        for rb in store.by_snapshot(b).filter(|r| r.analyzed()) {
-            let Some(ra) = in_a.get(&rb.domain_id) else { continue };
-            let ka: BTreeSet<_> = ra.kinds.iter().collect();
-            let kb: BTreeSet<_> = rb.kinds.iter().collect();
-            added += kb.difference(&ka).count();
-            removed += ka.difference(&kb).count();
+    /// The index must agree with every legacy query, bit for bit, on a
+    /// store exercising every counter: non-analyzed records, multiple
+    /// kinds, mitigations, math usage, autofix leftovers, churn in both
+    /// directions. Serialized-JSON equality is float-bit equality.
+    #[test]
+    fn index_views_match_legacy_oracle() {
+        let mut records = vec![
+            rec(1, 0, &[ViolationKind::FB2, ViolationKind::DM3], true),
+            rec(1, 1, &[ViolationKind::FB2], true),
+            rec(2, 0, &[ViolationKind::HF4], true),
+            rec(2, 1, &[], true),
+            rec(3, 0, &[ViolationKind::DE2], false), // found, never analyzed
+            rec(4, 6, &[ViolationKind::DE1, ViolationKind::HF5_1], true),
+            rec(4, 7, &[ViolationKind::DE1], true),
+            rec(5, 7, &[], true),
+        ];
+        records[0].mitigations.script_in_attribute = true;
+        records[0].mitigations.newline_in_url = true;
+        records[5].mitigations.newline_and_lt_in_url = true;
+        records[1].uses_math = true;
+        records[6].uses_math = true;
+        let s = store_with(records);
+        let idx = AggregateIndex::build(&s);
+
+        // Compare via serde_json strings: identical floats serialize
+        // identically (and differing bits never collide under ryu).
+        assert_eq!(
+            serde_json::to_string(&idx.table2()).unwrap(),
+            serde_json::to_string(&legacy::table2(&s)).unwrap()
+        );
+        assert_eq!(idx.table2_total(), legacy::table2_total(&s));
+        assert_eq!(
+            serde_json::to_string(&idx.overall_distribution()).unwrap(),
+            serde_json::to_string(&legacy::overall_distribution(&s)).unwrap()
+        );
+        assert_eq!(
+            idx.overall_violating_share().to_bits(),
+            legacy::overall_violating_share(&s).to_bits()
+        );
+        assert_eq!(idx.violating_domains_by_year(), legacy::violating_domains_by_year(&s));
+        assert_eq!(idx.group_trends(), legacy::group_trends(&s));
+        for &k in ViolationKind::ALL.iter() {
+            assert_eq!(idx.kind_trend(k), legacy::kind_trend(&s, k), "kind_trend {k:?}");
+            for snap in Snapshot::ALL {
+                assert_eq!(
+                    idx.domains_with_kind_in_year(k, snap),
+                    legacy::domains_with_kind_in_year(&s, k, snap)
+                );
+            }
         }
-        out.push(ChurnRow {
-            from: a.crawl_id().to_owned(),
-            to: b.crawl_id().to_owned(),
-            added,
-            removed,
-        });
+        for snap in Snapshot::ALL {
+            assert_eq!(
+                serde_json::to_string(&idx.autofix_projection(snap)).unwrap(),
+                serde_json::to_string(&legacy::autofix_projection(&s, snap)).unwrap()
+            );
+        }
+        assert_eq!(
+            serde_json::to_string(&idx.mitigation_trends()).unwrap(),
+            serde_json::to_string(&legacy::mitigation_trends(&s)).unwrap()
+        );
+        assert_eq!(idx.rollout_breakage(), legacy::rollout_breakage(&s));
+        assert_eq!(idx.math_usage_by_year(), legacy::math_usage_by_year(&s));
+        assert_eq!(
+            serde_json::to_string(&idx.violation_churn()).unwrap(),
+            serde_json::to_string(&legacy::violation_churn(&s)).unwrap()
+        );
     }
-    out
-}
 
-/// One year-over-year churn row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ChurnRow {
-    pub from: String,
-    pub to: String,
-    /// (domain, kind) pairs newly violating in `to`.
-    pub added: usize,
-    /// (domain, kind) pairs fixed between `from` and `to`.
-    pub removed: usize,
-}
-
-#[cfg(test)]
-mod churn_tests {
-    use super::*;
-    use crate::store::DomainYearRecord;
+    #[test]
+    fn indexed_store_derefs_and_derives_segments() {
+        let s = store_with(vec![rec(1, 0, &[ViolationKind::FB2], true), rec(1, 3, &[], true)]);
+        let indexed = IndexedStore::new(s);
+        assert_eq!(indexed.scale, 1.0); // Deref into the store
+        assert!(indexed.format.is_none());
+        assert_eq!(indexed.segments.len(), 2);
+        assert_eq!(indexed.segments[0].snapshot, Snapshot::ALL[0]);
+        assert_eq!(indexed.segments[0].domains_violating, 1);
+        assert_eq!(indexed.segments[1].domains_violating, 0);
+        assert!(indexed.dropped.is_empty());
+    }
 
     #[test]
     fn churn_counts_added_and_removed_pairs() {
         let mut s = ResultStore::new(1, 1.0, 10);
-        let rec = |d: u64, y: usize, kinds: &[ViolationKind]| DomainYearRecord {
-            domain_id: d,
-            domain_name: format!("d{d}"),
-            rank: d as u32,
-            snapshot: Snapshot::ALL[y],
-            pages_found: 5,
-            pages_analyzed: 5,
-            kinds: kinds.iter().copied().collect(),
-            page_counts: Default::default(),
-            mitigations: Default::default(),
-            kinds_after_autofix: Default::default(),
-            uses_math: false,
-            pages_faulted: 0,
-            pages_degraded: 0,
-            pages_quarantined: 0,
-        };
         // Domain 1: FB2 in 2015, FB2+DM3 in 2016 (one added).
-        s.records.push(rec(1, 0, &[ViolationKind::FB2]));
-        s.records.push(rec(1, 1, &[ViolationKind::FB2, ViolationKind::DM3]));
+        s.records.push(rec(1, 0, &[ViolationKind::FB2], true));
+        s.records.push(rec(1, 1, &[ViolationKind::FB2, ViolationKind::DM3], true));
         // Domain 2: HF4 in 2015, clean in 2016 (one removed).
-        s.records.push(rec(2, 0, &[ViolationKind::HF4]));
-        s.records.push(rec(2, 1, &[]));
+        s.records.push(rec(2, 0, &[ViolationKind::HF4], true));
+        s.records.push(rec(2, 1, &[], true));
         s.finalize();
-        let churn = violation_churn(&s);
+        let churn = legacy::violation_churn(&s);
         assert_eq!(churn.len(), 7);
         assert_eq!(churn[0].added, 1);
         assert_eq!(churn[0].removed, 1);
         assert_eq!(churn[1].added + churn[1].removed, 0);
+        let from_index = AggregateIndex::build(&s).violation_churn();
+        assert_eq!(
+            serde_json::to_string(&churn).unwrap(),
+            serde_json::to_string(&from_index).unwrap()
+        );
     }
 }

@@ -1,0 +1,667 @@
+//! The v1 segmented binary store format — framing, checksums, writer and
+//! reader.
+//!
+//! A v1 store is an append-only sequence of checksummed blocks:
+//!
+//! ```text
+//! "HVSTORE1"                                  8-byte magic
+//! [len u32][header JSON][crc32]               seed / scale / universe
+//! 0x01 [snap u8][payload_len u64][payload][crc32]   one segment per snapshot
+//! 0x02 [payload_len u64][metrics JSON][crc32]       optional
+//! 0x03 [payload_len u64][quarantine JSON][crc32]    optional
+//! 0xFF [segments u32][records u64][crc32]           trailer
+//! ```
+//!
+//! A segment's payload is `[count u32]` followed by `count` length-prefixed
+//! [`DomainYearRecord`] JSON frames and one length-prefixed footer frame
+//! carrying the pre-folded [`SegmentSummary`] — so `hva store inspect` and
+//! `/v1/store/summary` can report per-snapshot statistics without decoding
+//! a single record.
+//!
+//! Integrity: every byte after the magic is covered by exactly one CRC-32
+//! (the length prefixes are inside their block's checksum), and the
+//! trailer makes truncation detectable. Any single-byte corruption
+//! therefore surfaces as a structured [`HvError::StoreCorrupt`] naming the
+//! segment and byte offset — never a panic, never silently wrong numbers.
+//! [`read_v1`] with [`LoadOptions::allow_partial`] instead skips corrupt
+//! segments (resynchronizing via the framed `payload_len`) and reports
+//! what was dropped.
+
+use crate::metrics::ScanMetrics;
+use crate::outcome::QuarantineEntry;
+use crate::store::{DomainYearRecord, ResultStore};
+use hv_core::HvError;
+use hv_corpus::Snapshot;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// File magic of the v1 binary format. The first byte can never be `{`,
+/// so [`ResultStore::load`] can sniff v0 JSON vs v1 binary.
+pub const MAGIC: [u8; 8] = *b"HVSTORE1";
+
+const TAG_SEGMENT: u8 = 0x01;
+const TAG_METRICS: u8 = 0x02;
+const TAG_QUARANTINE: u8 = 0x03;
+const TAG_TRAILER: u8 = 0xFF;
+
+/// Upper bound accepted for any length prefix: a corrupted length field
+/// must not trigger a multi-gigabyte allocation before the CRC catches it.
+const MAX_FRAME: u64 = 1 << 32;
+
+// --- CRC-32 (IEEE 802.3 polynomial, table-driven) -----------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32 (IEEE). `Crc32::new().update(a).update(b).finish()`
+/// equals `crc32(a ++ b)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    pub fn update(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 = CRC_TABLE[((self.0 ^ b as u32) & 0xFF) as usize] ^ (self.0 >> 8);
+        }
+        self
+    }
+
+    pub fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    Crc32::new().update(bytes).finish()
+}
+
+// --- Per-segment summaries ----------------------------------------------
+
+/// Pre-folded per-snapshot statistics, written into every segment footer
+/// at scan time so inspection never has to decode records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentSummary {
+    pub snapshot: Snapshot,
+    /// Records in the segment.
+    pub records: u32,
+    /// Records with at least one analyzed page.
+    pub domains_analyzed: u32,
+    /// Records with at least one violation kind.
+    pub domains_violating: u32,
+    pub pages_found: u64,
+    pub pages_analyzed: u64,
+    pub pages_quarantined: u64,
+}
+
+impl SegmentSummary {
+    /// Fold a snapshot's records into its summary — the single source of
+    /// truth shared by the writer (footers), the loader (verification),
+    /// and v0/in-memory stores (derived summaries).
+    pub fn from_records<'a>(
+        snapshot: Snapshot,
+        records: impl IntoIterator<Item = &'a DomainYearRecord>,
+    ) -> Self {
+        let mut s = SegmentSummary {
+            snapshot,
+            records: 0,
+            domains_analyzed: 0,
+            domains_violating: 0,
+            pages_found: 0,
+            pages_analyzed: 0,
+            pages_quarantined: 0,
+        };
+        for r in records {
+            s.records += 1;
+            s.domains_analyzed += u32::from(r.analyzed());
+            s.domains_violating += u32::from(r.violating());
+            s.pages_found += r.pages_found as u64;
+            s.pages_analyzed += r.pages_analyzed as u64;
+            s.pages_quarantined += r.pages_quarantined as u64;
+        }
+        s
+    }
+
+    /// Derive the per-snapshot summaries of an in-memory store (used for
+    /// v0 loads and freshly scanned stores, where no footers exist).
+    pub fn derive(store: &ResultStore) -> Vec<SegmentSummary> {
+        Snapshot::ALL
+            .iter()
+            .map(|&snap| SegmentSummary::from_records(snap, store.by_snapshot(snap)))
+            .filter(|s| s.records > 0)
+            .collect()
+    }
+}
+
+/// The header frame right after the magic: scan provenance.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Header {
+    seed: u64,
+    scale: f64,
+    universe: usize,
+}
+
+// --- Writer --------------------------------------------------------------
+
+/// Streaming v1 writer: segments are written (and checksummed, and
+/// summarized) as they complete, so a scan never has to hold more than one
+/// snapshot's records in memory.
+pub struct StoreWriter<W: Write> {
+    out: W,
+    path: std::path::PathBuf,
+    segments: Vec<SegmentSummary>,
+    total_records: u64,
+    last_snapshot: Option<Snapshot>,
+}
+
+impl StoreWriter<std::io::BufWriter<std::fs::File>> {
+    /// Create a v1 store at `path` and write the magic + header.
+    pub fn create(path: &Path, seed: u64, scale: f64, universe: usize) -> Result<Self, HvError> {
+        let file = std::fs::File::create(path).map_err(|e| HvError::store_io(path, e))?;
+        StoreWriter::new(std::io::BufWriter::new(file), path, seed, scale, universe)
+    }
+}
+
+impl<W: Write> StoreWriter<W> {
+    /// Write the magic + header to an arbitrary sink (`path` only labels
+    /// errors).
+    pub fn new(
+        mut out: W,
+        path: &Path,
+        seed: u64,
+        scale: f64,
+        universe: usize,
+    ) -> Result<Self, HvError> {
+        let header = serde_json::to_string(&Header { seed, scale, universe })
+            .map(String::into_bytes)
+            .map_err(|e| HvError::store(path, e.to_string()))?;
+        let mut frame = Vec::with_capacity(header.len() + 16);
+        frame.extend_from_slice(&(header.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&header);
+        frame.extend_from_slice(&crc32(&frame).to_le_bytes());
+        out.write_all(&MAGIC)
+            .and_then(|()| out.write_all(&frame))
+            .map_err(|e| HvError::store_io(path, e))?;
+        Ok(StoreWriter {
+            out,
+            path: path.to_path_buf(),
+            segments: Vec::new(),
+            total_records: 0,
+            last_snapshot: None,
+        })
+    }
+
+    fn io(&self, e: std::io::Error) -> HvError {
+        HvError::store_io(&self.path, e)
+    }
+
+    /// Write one block: `tag [extra] [payload_len u64] payload crc32`,
+    /// with the CRC covering everything from the tag on.
+    fn write_block(&mut self, tag: u8, extra: &[u8], payload: &[u8]) -> Result<(), HvError> {
+        let mut head = Vec::with_capacity(extra.len() + 9);
+        head.push(tag);
+        head.extend_from_slice(extra);
+        head.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let crc = Crc32::new().update(&head).update(payload).finish();
+        self.out
+            .write_all(&head)
+            .and_then(|()| self.out.write_all(payload))
+            .and_then(|()| self.out.write_all(&crc.to_le_bytes()))
+            .map_err(|e| self.io(e))
+    }
+
+    /// Write one snapshot's records as a segment. Segments must arrive in
+    /// ascending snapshot order; records are sorted by domain id so the
+    /// on-disk order is the store's canonical order.
+    pub fn write_segment(
+        &mut self,
+        snapshot: Snapshot,
+        records: &[DomainYearRecord],
+    ) -> Result<SegmentSummary, HvError> {
+        if self.last_snapshot.is_some_and(|last| snapshot <= last) {
+            return Err(HvError::store(
+                &self.path,
+                format!("segments must be written in ascending snapshot order (got {snapshot} after {})",
+                    self.last_snapshot.unwrap()),
+            ));
+        }
+        self.last_snapshot = Some(snapshot);
+
+        let mut sorted: Vec<&DomainYearRecord> = records.iter().collect();
+        sorted.sort_by_key(|r| r.domain_id);
+        let summary = SegmentSummary::from_records(snapshot, sorted.iter().copied());
+
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(sorted.len() as u32).to_le_bytes());
+        for r in &sorted {
+            let json = serde_json::to_string(r)
+                .map(String::into_bytes)
+                .map_err(|e| HvError::store(&self.path, e.to_string()))?;
+            payload.extend_from_slice(&(json.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&json);
+        }
+        let footer = serde_json::to_string(&summary)
+            .map(String::into_bytes)
+            .map_err(|e| HvError::store(&self.path, e.to_string()))?;
+        payload.extend_from_slice(&(footer.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&footer);
+
+        self.write_block(TAG_SEGMENT, &[snapshot.0], &payload)?;
+        self.total_records += sorted.len() as u64;
+        self.segments.push(summary);
+        Ok(summary)
+    }
+
+    /// Embed the scan's observability metrics.
+    pub fn write_metrics(&mut self, metrics: &ScanMetrics) -> Result<(), HvError> {
+        let json = serde_json::to_string(metrics)
+            .map(String::into_bytes)
+            .map_err(|e| HvError::store(&self.path, e.to_string()))?;
+        self.write_block(TAG_METRICS, &[], &json)
+    }
+
+    /// Embed the quarantine audit entries (canonical order expected).
+    pub fn write_quarantine(&mut self, entries: &[QuarantineEntry]) -> Result<(), HvError> {
+        let json = serde_json::to_string(entries)
+            .map(String::into_bytes)
+            .map_err(|e| HvError::store(&self.path, e.to_string()))?;
+        self.write_block(TAG_QUARANTINE, &[], &json)
+    }
+
+    /// Write the trailer and flush. Returns the per-segment summaries.
+    pub fn finish(mut self) -> Result<Vec<SegmentSummary>, HvError> {
+        let mut body = Vec::with_capacity(13);
+        body.push(TAG_TRAILER);
+        body.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        body.extend_from_slice(&self.total_records.to_le_bytes());
+        let crc = crc32(&body);
+        self.out
+            .write_all(&body)
+            .and_then(|()| self.out.write_all(&crc.to_le_bytes()))
+            .and_then(|()| self.out.flush())
+            .map_err(|e| HvError::store_io(&self.path, e))?;
+        Ok(std::mem::take(&mut self.segments))
+    }
+}
+
+// --- Reader --------------------------------------------------------------
+
+/// How a load behaves on corruption.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadOptions {
+    /// Keep intact segments and report corrupt ones as
+    /// [`DroppedSegment`]s instead of failing the whole load. The header
+    /// must still verify — without it there is no store to speak of.
+    pub allow_partial: bool,
+}
+
+/// One block dropped by a partial load.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DroppedSegment {
+    /// Segment ordinal (0-based) for segment blocks; metrics/quarantine
+    /// blocks and unrecoverable tails report the next ordinal.
+    pub segment: u32,
+    /// Byte offset of the dropped block's tag.
+    pub offset: u64,
+    pub detail: String,
+}
+
+/// The outcome of reading a v1 store.
+pub struct V1Contents {
+    pub seed: u64,
+    pub scale: f64,
+    pub universe: usize,
+    pub records: Vec<DomainYearRecord>,
+    pub metrics: Option<ScanMetrics>,
+    pub quarantine: Vec<QuarantineEntry>,
+    /// Footer summaries of the intact segments, in file order.
+    pub segments: Vec<SegmentSummary>,
+    /// Blocks a partial load had to drop (always empty on strict loads).
+    pub dropped: Vec<DroppedSegment>,
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl<'a> Cursor<'a> {
+    fn corrupt(&self, segment: Option<u32>, offset: usize, detail: impl Into<String>) -> HvError {
+        HvError::store_corrupt(self.path, segment, offset as u64, detail)
+    }
+
+    fn take(&mut self, n: usize, what: &str, segment: Option<u32>) -> Result<&'a [u8], HvError> {
+        let start = self.pos;
+        let end = start
+            .checked_add(n)
+            .filter(|&end| end <= self.data.len())
+            .ok_or_else(|| self.corrupt(segment, start, format!("truncated {what}")))?;
+        self.pos = end;
+        Ok(&self.data[start..end])
+    }
+
+    fn u32_le(&mut self, what: &str, segment: Option<u32>) -> Result<u32, HvError> {
+        Ok(u32::from_le_bytes(self.take(4, what, segment)?.try_into().unwrap()))
+    }
+
+    fn u64_le(&mut self, what: &str, segment: Option<u32>) -> Result<u64, HvError> {
+        Ok(u64::from_le_bytes(self.take(8, what, segment)?.try_into().unwrap()))
+    }
+}
+
+/// Parse a v1 store image. Strict mode returns the first integrity
+/// failure as [`HvError::StoreCorrupt`]; with
+/// [`LoadOptions::allow_partial`] corrupt segments are skipped (using the
+/// framed length to resynchronize) and reported in
+/// [`V1Contents::dropped`].
+pub fn read_v1(data: &[u8], path: &Path, opts: LoadOptions) -> Result<V1Contents, HvError> {
+    let mut cur = Cursor { data, pos: 0, path };
+    if cur.take(MAGIC.len(), "magic", None)? != MAGIC {
+        return Err(cur.corrupt(None, 0, "bad magic (not a v1 store)"));
+    }
+
+    // Header: the provenance triple. Non-negotiable even for partial
+    // loads — without it there is no store identity.
+    let header_start = cur.pos;
+    let header_len = cur.u32_le("header length", None)?;
+    if u64::from(header_len) > MAX_FRAME {
+        return Err(cur.corrupt(None, header_start, "implausible header length"));
+    }
+    let header_json = cur.take(header_len as usize, "header", None)?;
+    let stored_crc = cur.u32_le("header checksum", None)?;
+    let actual = Crc32::new().update(&header_len.to_le_bytes()).update(header_json).finish();
+    if stored_crc != actual {
+        return Err(cur.corrupt(None, header_start, "header checksum mismatch"));
+    }
+    let header: Header = serde_json::from_slice(header_json)
+        .map_err(|e| cur.corrupt(None, header_start, format!("header does not parse: {e}")))?;
+
+    let mut out = V1Contents {
+        seed: header.seed,
+        scale: header.scale,
+        universe: header.universe,
+        records: Vec::new(),
+        metrics: None,
+        quarantine: Vec::new(),
+        segments: Vec::new(),
+        dropped: Vec::new(),
+    };
+
+    let mut segment_ordinal: u32 = 0;
+    let mut saw_trailer = false;
+    while cur.pos < data.len() {
+        let block_start = cur.pos;
+        match read_block(&mut cur, segment_ordinal, &mut out) {
+            Ok(BlockOutcome::Segment) => segment_ordinal += 1,
+            Ok(BlockOutcome::Other) => {}
+            Ok(BlockOutcome::Trailer { segments, records }) => {
+                saw_trailer = true;
+                // The trailer's counts cross-check the walk — but only a
+                // complete walk; a partial load with drops can't match.
+                if out.dropped.is_empty()
+                    && (segments != segment_ordinal || records != out.records.len() as u64)
+                {
+                    let e = cur.corrupt(None, block_start, "trailer counts do not match contents");
+                    if !opts.allow_partial {
+                        return Err(e);
+                    }
+                    out.dropped.push(DroppedSegment {
+                        segment: segment_ordinal,
+                        offset: block_start as u64,
+                        detail: e.to_string(),
+                    });
+                }
+                if cur.pos != data.len() {
+                    let e = cur.corrupt(None, cur.pos, "trailing bytes after trailer");
+                    if !opts.allow_partial {
+                        return Err(e);
+                    }
+                    out.dropped.push(DroppedSegment {
+                        segment: segment_ordinal,
+                        offset: cur.pos as u64,
+                        detail: e.to_string(),
+                    });
+                }
+                break;
+            }
+            Err((recovery, e)) => {
+                if !opts.allow_partial {
+                    return Err(e);
+                }
+                out.dropped.push(DroppedSegment {
+                    segment: segment_ordinal,
+                    offset: block_start as u64,
+                    detail: e.to_string(),
+                });
+                match recovery {
+                    // The framing was intact (checksum or content failure
+                    // inside the block): skip to the next block.
+                    Recovery::Resync { next } => {
+                        cur.pos = next;
+                        segment_ordinal += 1;
+                    }
+                    // The framing itself is untrustworthy: drop the rest.
+                    Recovery::Unrecoverable => {
+                        return Ok(out);
+                    }
+                }
+            }
+        }
+    }
+
+    if !saw_trailer {
+        let e = cur.corrupt(None, cur.pos, "missing trailer (truncated store)");
+        if !opts.allow_partial {
+            return Err(e);
+        }
+        out.dropped.push(DroppedSegment {
+            segment: segment_ordinal,
+            offset: cur.pos as u64,
+            detail: e.to_string(),
+        });
+    }
+    Ok(out)
+}
+
+enum BlockOutcome {
+    Segment,
+    Other,
+    Trailer { segments: u32, records: u64 },
+}
+
+enum Recovery {
+    /// Skip to this absolute offset (the byte after the block's CRC).
+    Resync {
+        next: usize,
+    },
+    Unrecoverable,
+}
+
+/// Read one block. On error, reports whether the caller can resynchronize
+/// past it (framing verified in-bounds) or must give up.
+fn read_block(
+    cur: &mut Cursor<'_>,
+    ordinal: u32,
+    out: &mut V1Contents,
+) -> Result<BlockOutcome, (Recovery, HvError)> {
+    let block_start = cur.pos;
+    let unrecoverable = |e: HvError| (Recovery::Unrecoverable, e);
+    let tag = cur.take(1, "block tag", Some(ordinal)).map_err(unrecoverable)?[0];
+
+    if tag == TAG_TRAILER {
+        let body_start = block_start;
+        let segments = cur.u32_le("trailer", None).map_err(unrecoverable)?;
+        let records = cur.u64_le("trailer", None).map_err(unrecoverable)?;
+        let stored = cur.u32_le("trailer checksum", None).map_err(unrecoverable)?;
+        let actual = crc32(&cur.data[body_start..body_start + 13]);
+        if stored != actual {
+            return Err(unrecoverable(cur.corrupt(None, block_start, "trailer checksum mismatch")));
+        }
+        return Ok(BlockOutcome::Trailer { segments, records });
+    }
+
+    let seg = (tag == TAG_SEGMENT).then_some(ordinal);
+    let snapshot_byte = if tag == TAG_SEGMENT {
+        Some(cur.take(1, "segment snapshot", seg).map_err(unrecoverable)?[0])
+    } else {
+        None
+    };
+    if !matches!(tag, TAG_SEGMENT | TAG_METRICS | TAG_QUARANTINE) {
+        return Err(unrecoverable(cur.corrupt(
+            Some(ordinal),
+            block_start,
+            format!("unrecognized block tag 0x{tag:02x}"),
+        )));
+    }
+    let payload_len = cur.u64_le("block length", seg).map_err(unrecoverable)?;
+    if payload_len > MAX_FRAME {
+        return Err(unrecoverable(cur.corrupt(seg, block_start, "implausible block length")));
+    }
+    let payload_start = cur.pos;
+    let payload = cur.take(payload_len as usize, "block payload", seg).map_err(unrecoverable)?;
+    let stored = cur.u32_le("block checksum", seg).map_err(unrecoverable)?;
+    // From here on the framing is trusted: a failure can resync to `next`.
+    let next = cur.pos;
+    let resync = |e: HvError| (Recovery::Resync { next }, e);
+    let actual =
+        Crc32::new().update(&cur.data[block_start..payload_start]).update(payload).finish();
+    if stored != actual {
+        return Err(resync(cur.corrupt(seg, block_start, "block checksum mismatch")));
+    }
+
+    match tag {
+        TAG_SEGMENT => {
+            let snap = snapshot_byte.expect("segment has a snapshot byte");
+            if usize::from(snap) >= Snapshot::ALL.len() {
+                return Err(resync(cur.corrupt(
+                    seg,
+                    block_start,
+                    format!("invalid snapshot index {snap}"),
+                )));
+            }
+            let snapshot = Snapshot(snap);
+            let (records, summary) =
+                parse_segment_payload(payload, cur.path, ordinal, block_start).map_err(resync)?;
+            if summary.snapshot != snapshot {
+                return Err(resync(cur.corrupt(seg, block_start, "footer snapshot mismatch")));
+            }
+            let recomputed = SegmentSummary::from_records(snapshot, &records);
+            if recomputed != summary {
+                return Err(resync(cur.corrupt(
+                    seg,
+                    block_start,
+                    "footer summary does not match segment records",
+                )));
+            }
+            out.records.extend(records);
+            out.segments.push(summary);
+            Ok(BlockOutcome::Segment)
+        }
+        TAG_METRICS => {
+            let metrics: ScanMetrics = serde_json::from_slice(payload).map_err(|e| {
+                resync(cur.corrupt(None, block_start, format!("metrics block does not parse: {e}")))
+            })?;
+            out.metrics = Some(metrics);
+            Ok(BlockOutcome::Other)
+        }
+        TAG_QUARANTINE => {
+            let entries: Vec<QuarantineEntry> = serde_json::from_slice(payload).map_err(|e| {
+                resync(cur.corrupt(
+                    None,
+                    block_start,
+                    format!("quarantine block does not parse: {e}"),
+                ))
+            })?;
+            out.quarantine = entries;
+            Ok(BlockOutcome::Other)
+        }
+        _ => unreachable!("tag validated above"),
+    }
+}
+
+/// Decode a (checksum-verified) segment payload into its records + footer.
+fn parse_segment_payload(
+    payload: &[u8],
+    path: &Path,
+    ordinal: u32,
+    block_start: usize,
+) -> Result<(Vec<DomainYearRecord>, SegmentSummary), HvError> {
+    let mut cur = Cursor { data: payload, pos: 0, path };
+    let seg = Some(ordinal);
+    let bad = |detail: String| HvError::store_corrupt(path, seg, block_start as u64, detail);
+    let count =
+        cur.u32_le("record count", seg).map_err(|_| bad("truncated record count".into()))?;
+    let mut records = Vec::with_capacity(count.min(1 << 20) as usize);
+    for i in 0..count {
+        let len =
+            cur.u32_le("record length", seg).map_err(|_| bad(format!("truncated record {i}")))?;
+        let json = cur
+            .take(len as usize, "record", seg)
+            .map_err(|_| bad(format!("truncated record {i}")))?;
+        let record: DomainYearRecord = serde_json::from_slice(json)
+            .map_err(|e| bad(format!("record {i} does not parse: {e}")))?;
+        records.push(record);
+    }
+    let len = cur.u32_le("footer length", seg).map_err(|_| bad("truncated footer".into()))?;
+    let json = cur.take(len as usize, "footer", seg).map_err(|_| bad("truncated footer".into()))?;
+    let summary: SegmentSummary =
+        serde_json::from_slice(json).map_err(|e| bad(format!("footer does not parse: {e}")))?;
+    if cur.pos != payload.len() {
+        return Err(bad("trailing bytes in segment payload".into()));
+    }
+    Ok((records, summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Incremental equals one-shot.
+        let inc = Crc32::new().update(b"1234").update(b"56789").finish();
+        assert_eq!(inc, crc32(b"123456789"));
+    }
+
+    #[test]
+    fn segment_summary_folds_records() {
+        let mut r = crate::store::test_record(3, 0, &[hv_core::ViolationKind::FB2]);
+        r.pages_quarantined = 2;
+        let clean = crate::store::test_record(4, 0, &[]);
+        let s = SegmentSummary::from_records(Snapshot::ALL[0], &[r, clean]);
+        assert_eq!(s.records, 2);
+        assert_eq!(s.domains_analyzed, 2);
+        assert_eq!(s.domains_violating, 1);
+        assert_eq!(s.pages_found, 20);
+        assert_eq!(s.pages_analyzed, 20);
+        assert_eq!(s.pages_quarantined, 2);
+    }
+}

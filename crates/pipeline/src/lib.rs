@@ -16,7 +16,13 @@
 //! * [`metrics`] — scan observability: throughput, per-phase timings and
 //!   per-check fire counts, collected lock-free and embedded in the store.
 //! * [`store`] — the embedded result database (the paper used Postgres; a
-//!   typed in-memory table with JSON persistence serves the same queries).
+//!   typed in-memory table serves the same queries). Persistence sniffs
+//!   two formats: v0 JSON (export/interchange) and the [`format`] v1
+//!   segmented binary layout with per-segment checksums and summaries.
+//! * [`aggregate`] — the one-pass [`AggregateIndex`]: every number behind
+//!   Tables 1–2, Figures 8–10 and 16–21 folded in a single O(records)
+//!   sweep, with the original per-query scans kept in
+//!   [`aggregate::legacy`] as the equivalence oracle.
 //! * [`outcome`] — the failure model: every listed page ends `Ok`,
 //!   `Degraded` (analyzed after retries), or `Quarantined` with a
 //!   structured [`ErrorClass`]; never a dead worker, never a silent skip.
@@ -24,33 +30,35 @@
 //!   scans under `hv_corpus::faults` injection and asserts that workers
 //!   survive, quarantine is thread-count-invariant, and fault-free pages
 //!   are untouched.
-//! * [`aggregate`] — every number behind Tables 1–2, Figures 8–10 and
-//!   16–21, and the §4.2/§4.4/§4.5 statistics.
 //!
 //! ```no_run
 //! use hv_corpus::{Archive, CorpusConfig};
-//! use hv_pipeline::{aggregate, run, ScanOptions};
+//! use hv_pipeline::{run, IndexedStore, ScanOptions};
 //!
 //! let archive = Archive::new(CorpusConfig { seed: 7, scale: 0.01 });
 //! let store = run::scan(&archive, ScanOptions::new().threads(8).collect_metrics(true));
 //! if let Some(m) = &store.metrics {
 //!     eprintln!("{}", m.render());
 //! }
-//! let fig9 = aggregate::violating_domains_by_year(&store);
+//! let indexed = IndexedStore::new(store);
+//! let fig9 = indexed.index.violating_domains_by_year();
 //! println!("violating domains 2022: {:.2}%", fig9[7]);
 //! ```
 
 pub mod aggregate;
 pub mod auxstudies;
 pub mod chaos;
+pub mod format;
 pub mod metrics;
 pub mod outcome;
 pub mod run;
 pub mod store;
 pub mod warcscan;
 
+pub use aggregate::{AggregateIndex, IndexedStore};
 pub use chaos::{run_chaos, ChaosReport};
+pub use format::{DroppedSegment, LoadOptions, SegmentSummary, StoreWriter};
 pub use metrics::{FaultMetrics, PhaseNanos, ScanMetrics};
 pub use outcome::{ErrorClass, PageOutcome, QuarantineEntry, RetryPolicy};
-pub use run::{scan, scan_snapshots, ScanOptions};
-pub use store::{DomainYearRecord, ResultStore};
+pub use run::{scan, scan_snapshots, scan_streamed, ScanOptions, ScanSummary};
+pub use store::{DomainYearRecord, LoadedStore, ResultStore, StoreFormat};

@@ -17,11 +17,12 @@
 //! [`ScanMetrics`], merged lock-free at the join and embedded in the
 //! store as provenance.
 
+use crate::format::{SegmentSummary, StoreWriter};
 use crate::metrics::{PhaseNanos, ScanMetrics};
 use crate::outcome::{ErrorClass, QuarantineEntry, RetryPolicy};
 use crate::store::{DomainYearRecord, ResultStore};
 use hv_core::context::CheckContext;
-use hv_core::{Battery, MitigationFlags, ViolationKind};
+use hv_core::{Battery, HvError, MitigationFlags, ViolationKind};
 use hv_corpus::archive::{CdxEntry, DomainCdx};
 use hv_corpus::faults::{FaultClass, FaultPlan, FetchFault, PageKey};
 use hv_corpus::{Archive, Snapshot};
@@ -260,6 +261,75 @@ pub fn scan_snapshots(archive: &Archive, snapshots: &[Snapshot], opts: ScanOptio
         store.metrics = Some(metrics);
     }
     store
+}
+
+/// What a streamed scan produced: everything except the records, which
+/// went straight to disk.
+#[derive(Debug, Clone)]
+pub struct ScanSummary {
+    /// Records written across all segments.
+    pub records: u64,
+    /// Pages set aside with a structured reason.
+    pub quarantined: usize,
+    /// Per-segment summaries, in snapshot order (matches the footers).
+    pub segments: Vec<SegmentSummary>,
+    /// The merged metrics, when [`ScanOptions::collect_metrics`] was on.
+    pub metrics: Option<ScanMetrics>,
+}
+
+/// Run the measurement snapshot by snapshot, streaming each snapshot's
+/// records to a v1 store segment at `path` as it completes — peak memory
+/// holds one snapshot's records, not the whole run. The per-snapshot
+/// scans use the same engine as [`scan_snapshots`], so the store on disk
+/// is byte-identical to `scan` + [`ResultStore::save_v1`] (modulo metric
+/// timings) at any thread count.
+pub fn scan_streamed(
+    archive: &Archive,
+    snapshots: &[Snapshot],
+    opts: ScanOptions,
+    path: &std::path::Path,
+) -> Result<ScanSummary, HvError> {
+    let start = Instant::now();
+    let mut snaps: Vec<Snapshot> = snapshots.to_vec();
+    snaps.sort();
+    snaps.dedup();
+
+    let mut writer =
+        StoreWriter::create(path, archive.cfg.seed, archive.cfg.scale, archive.domains().len())?;
+    let mut metrics = ScanMetrics::default();
+    let mut quarantine: Vec<QuarantineEntry> = Vec::new();
+    let mut segments = Vec::new();
+    let mut records = 0u64;
+    for &snap in &snaps {
+        let store = scan_snapshots(archive, &[snap], opts);
+        records += store.records.len() as u64;
+        if !store.records.is_empty() {
+            segments.push(writer.write_segment(snap, &store.records)?);
+        }
+        if let Some(m) = &store.metrics {
+            // Counters are additive across snapshots; threads is constant
+            // and wall_nanos is re-measured over the whole run below.
+            metrics.threads = m.threads;
+            metrics.merge(m);
+        }
+        quarantine.extend(store.quarantine);
+    }
+
+    let metrics = if opts.collect_metrics {
+        metrics.wall_nanos = start.elapsed().as_nanos() as u64;
+        writer.write_metrics(&metrics)?;
+        Some(metrics)
+    } else {
+        None
+    };
+    if !quarantine.is_empty() {
+        // Already canonical (ascending snapshots, finalized per scan), but
+        // the sort is cheap insurance on the store's ordering invariant.
+        quarantine.sort_by_key(|q| (q.snapshot, q.domain_id, q.page_index));
+        writer.write_quarantine(&quarantine)?;
+    }
+    writer.finish()?;
+    Ok(ScanSummary { records, quarantined: quarantine.len(), segments, metrics })
 }
 
 /// Everything one worker hands back at the join.
@@ -620,6 +690,35 @@ mod tests {
         // And with a third, adversarial thread count.
         let c = scan_snapshots(&archive, &snaps, ScanOptions::new().threads(3));
         assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&c).unwrap());
+    }
+
+    /// The streaming path writes byte-for-byte the same v1 store as a
+    /// full in-memory scan followed by `save_v1` (without metrics, whose
+    /// timings legitimately differ run to run).
+    #[test]
+    fn scan_streamed_equals_scan_then_save_v1() {
+        let archive = tiny_archive();
+        let snaps = [Snapshot::ALL[1], Snapshot::ALL[6]];
+        let opts = ScanOptions::new().threads(2);
+        let dir = std::env::temp_dir().join("hv_scan_streamed_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let batch_path = dir.join("batch.hvs");
+        let stream_path = dir.join("stream.hvs");
+
+        let store = scan_snapshots(&archive, &snaps, opts);
+        store.save_v1(&batch_path).unwrap();
+        let summary = scan_streamed(&archive, &snaps, opts, &stream_path).unwrap();
+
+        assert_eq!(summary.records, store.records.len() as u64);
+        assert_eq!(summary.segments.len(), 2);
+        let batch = std::fs::read(&batch_path).unwrap();
+        let streamed = std::fs::read(&stream_path).unwrap();
+        assert_eq!(batch, streamed, "streamed store must be byte-identical");
+
+        let back = ResultStore::load(&stream_path).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), serde_json::to_string(&store).unwrap());
+        std::fs::remove_file(&batch_path).ok();
+        std::fs::remove_file(&stream_path).ok();
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! the §4.5 mitigation flags. Everything the aggregation layer needs, no
 //! external service.
 
+use crate::format::{self, DroppedSegment, LoadOptions, SegmentSummary, StoreWriter};
 use crate::metrics::ScanMetrics;
 use crate::outcome::QuarantineEntry;
 use hv_core::{HvError, MitigationFlags, ViolationKind};
@@ -126,46 +127,146 @@ impl ResultStore {
         self.records.iter().filter(|r| r.analyzed()).map(|r| r.domain_id).collect()
     }
 
-    /// Persist as JSON. Failures come back as the workspace-wide
-    /// [`HvError`], so callers (CLI, server startup) map them uniformly.
+    /// Persist as v0 JSON — the export/interchange format. Failures come
+    /// back as the workspace-wide [`HvError`], so callers (CLI, server
+    /// startup) map them uniformly.
     pub fn save(&self, path: &Path) -> Result<(), HvError> {
         let file = std::fs::File::create(path).map_err(|e| HvError::store_io(path, e))?;
         serde_json::to_writer(io::BufWriter::new(file), self)
             .map_err(|e| HvError::store(path, e.to_string()))
     }
 
-    /// Load from JSON. I/O failures become [`HvError::Store`] with the
-    /// `io::Error` as `source`; malformed JSON becomes a store error with
-    /// the parser's detail.
+    /// Persist as a v1 segmented binary store: one checksummed segment per
+    /// snapshot, metrics and quarantine as their own blocks. Returns the
+    /// per-segment summaries that went into the footers.
+    pub fn save_v1(&self, path: &Path) -> Result<Vec<SegmentSummary>, HvError> {
+        let mut w = StoreWriter::create(path, self.seed, self.scale, self.universe)?;
+        for &snap in Snapshot::ALL.iter() {
+            let records: Vec<DomainYearRecord> = self.by_snapshot(snap).cloned().collect();
+            if !records.is_empty() {
+                w.write_segment(snap, &records)?;
+            }
+        }
+        if let Some(metrics) = &self.metrics {
+            w.write_metrics(metrics)?;
+        }
+        if !self.quarantine.is_empty() {
+            w.write_quarantine(&self.quarantine)?;
+        }
+        w.finish()
+    }
+
+    /// Persist in an explicit format.
+    pub fn save_as(&self, path: &Path, fmt: StoreFormat) -> Result<(), HvError> {
+        match fmt {
+            StoreFormat::V0Json => self.save(path),
+            StoreFormat::V1Binary => self.save_v1(path).map(|_| ()),
+        }
+    }
+
+    /// Load a store, sniffing v0 JSON vs v1 binary by the leading bytes —
+    /// every store ever written keeps loading through this one entry
+    /// point. I/O failures become [`HvError::Store`] with the `io::Error`
+    /// as `source`; malformed JSON becomes a store error with the parser's
+    /// detail; v1 integrity failures become [`HvError::StoreCorrupt`].
     pub fn load(path: &Path) -> Result<Self, HvError> {
-        let file = std::fs::File::open(path).map_err(|e| HvError::store_io(path, e))?;
-        serde_json::from_reader(io::BufReader::new(file))
-            .map_err(|e| HvError::store(path, e.to_string()))
+        Self::load_with(path, LoadOptions::default()).map(|l| l.store)
+    }
+
+    /// [`ResultStore::load`] with options and provenance: which format was
+    /// sniffed, the per-segment summaries (footers for v1, derived for
+    /// v0), and — under [`LoadOptions::allow_partial`] — what was dropped.
+    pub fn load_with(path: &Path, opts: LoadOptions) -> Result<LoadedStore, HvError> {
+        let data = std::fs::read(path).map_err(|e| HvError::store_io(path, e))?;
+        if data.starts_with(&format::MAGIC) {
+            let v1 = format::read_v1(&data, path, opts)?;
+            let mut store = ResultStore::new(v1.seed, v1.scale, v1.universe);
+            store.records = v1.records;
+            store.metrics = v1.metrics;
+            store.quarantine = v1.quarantine;
+            store.finalize();
+            Ok(LoadedStore {
+                store,
+                format: StoreFormat::V1Binary,
+                segments: v1.segments,
+                dropped: v1.dropped,
+            })
+        } else {
+            let store: ResultStore =
+                serde_json::from_slice(&data).map_err(|e| HvError::store(path, e.to_string()))?;
+            let segments = SegmentSummary::derive(&store);
+            Ok(LoadedStore { store, format: StoreFormat::V0Json, segments, dropped: Vec::new() })
+        }
+    }
+}
+
+/// The two on-disk encodings of a [`ResultStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFormat {
+    /// The original single-JSON-blob layout — still the export and
+    /// interchange format.
+    V0Json,
+    /// The segmented, checksummed binary layout (see [`crate::format`]).
+    V1Binary,
+}
+
+impl StoreFormat {
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreFormat::V0Json => "v0-json",
+            StoreFormat::V1Binary => "v1-binary",
+        }
+    }
+
+    /// The format a path's extension implies when *writing*: `.json`
+    /// means v0, everything else the binary format. (Reading always
+    /// sniffs content, never the extension.)
+    pub fn for_path(path: &Path) -> StoreFormat {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => StoreFormat::V0Json,
+            _ => StoreFormat::V1Binary,
+        }
+    }
+}
+
+/// A loaded store plus its provenance.
+#[derive(Debug)]
+pub struct LoadedStore {
+    pub store: ResultStore,
+    /// Which encoding the sniffing found on disk.
+    pub format: StoreFormat,
+    /// Per-segment summaries: footers for v1 stores, derived for v0.
+    pub segments: Vec<SegmentSummary>,
+    /// Segments a partial load dropped (empty on strict loads).
+    pub dropped: Vec<DroppedSegment>,
+}
+
+/// Shared test-record factory: 10 pages found and analyzed, the given
+/// kinds each on 3 pages. Used by sibling modules' tests too.
+#[cfg(test)]
+pub(crate) fn test_record(domain: u64, snap: usize, kinds: &[ViolationKind]) -> DomainYearRecord {
+    DomainYearRecord {
+        domain_id: domain,
+        domain_name: format!("d{domain}.com"),
+        rank: domain as u32 + 1,
+        snapshot: Snapshot::ALL[snap],
+        pages_found: 10,
+        pages_analyzed: 10,
+        kinds: kinds.iter().copied().collect(),
+        page_counts: kinds.iter().map(|&k| (k, 3)).collect(),
+        mitigations: MitigationFlags::default(),
+        kinds_after_autofix: BTreeSet::new(),
+        uses_math: false,
+        pages_faulted: 0,
+        pages_degraded: 0,
+        pages_quarantined: 0,
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::test_record as record;
     use super::*;
-
-    fn record(domain: u64, snap: usize, kinds: &[ViolationKind]) -> DomainYearRecord {
-        DomainYearRecord {
-            domain_id: domain,
-            domain_name: format!("d{domain}.com"),
-            rank: domain as u32 + 1,
-            snapshot: Snapshot::ALL[snap],
-            pages_found: 10,
-            pages_analyzed: 10,
-            kinds: kinds.iter().copied().collect(),
-            page_counts: kinds.iter().map(|&k| (k, 3)).collect(),
-            mitigations: MitigationFlags::default(),
-            kinds_after_autofix: BTreeSet::new(),
-            uses_math: false,
-            pages_faulted: 0,
-            pages_degraded: 0,
-            pages_quarantined: 0,
-        }
-    }
 
     #[test]
     fn finalize_orders_canonically() {
@@ -290,6 +391,123 @@ mod tests {
         assert_eq!(back.seed, 7);
         assert_eq!(back.records.len(), 1);
         assert!(back.records[0].kinds.contains(&ViolationKind::HF4));
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn sample_store() -> ResultStore {
+        let mut s = ResultStore::new(9, 0.25, 42);
+        s.records.push(record(1, 0, &[ViolationKind::FB2]));
+        s.records.push(record(2, 0, &[]));
+        s.records.push(record(77, 5, &[ViolationKind::DM3]));
+        s.metrics = Some(ScanMetrics::default());
+        s.quarantine.push(QuarantineEntry {
+            domain_id: 2,
+            snapshot: Snapshot::ALL[0],
+            page_index: 3,
+            url: "https://d2.com/page/3.html".into(),
+            class: crate::outcome::ErrorClass::TransientIo,
+        });
+        s.finalize();
+        s
+    }
+
+    #[test]
+    fn v1_roundtrip_preserves_everything_and_sniffing_names_formats() {
+        let s = sample_store();
+        let dir = std::env::temp_dir().join("hv_store_v1_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let v1 = dir.join("store.hvs");
+        let segs = s.save_v1(&v1).unwrap();
+        assert_eq!(segs.len(), 2, "two snapshots, two segments");
+        assert_eq!(segs[0].records, 2);
+        assert_eq!(segs[0].domains_violating, 1);
+        assert_eq!(segs[1].records, 1);
+
+        let loaded = ResultStore::load_with(&v1, LoadOptions::default()).unwrap();
+        assert_eq!(loaded.format, StoreFormat::V1Binary);
+        assert_eq!(loaded.segments, segs, "footers round-trip");
+        assert!(loaded.dropped.is_empty());
+        assert_eq!(
+            serde_json::to_string(&loaded.store).unwrap(),
+            serde_json::to_string(&s).unwrap(),
+            "v1 round-trip is lossless"
+        );
+
+        // The same store through the v0 path sniffs as JSON and derives
+        // the identical per-segment summaries.
+        let v0 = dir.join("store.json");
+        s.save(&v0).unwrap();
+        let loaded = ResultStore::load_with(&v0, LoadOptions::default()).unwrap();
+        assert_eq!(loaded.format, StoreFormat::V0Json);
+        assert_eq!(loaded.segments, segs);
+
+        assert_eq!(StoreFormat::for_path(&v0), StoreFormat::V0Json);
+        assert_eq!(StoreFormat::for_path(&v1), StoreFormat::V1Binary);
+        assert_eq!(StoreFormat::V0Json.name(), "v0-json");
+        assert_eq!(StoreFormat::V1Binary.name(), "v1-binary");
+        std::fs::remove_file(&v0).ok();
+        std::fs::remove_file(&v1).ok();
+    }
+
+    /// A bit flip inside a segment fails the strict load with the segment
+    /// and offset named; `--allow-partial` keeps the intact segment and
+    /// reports the dropped one.
+    #[test]
+    fn corrupt_segment_strict_fails_partial_recovers() {
+        let s = sample_store();
+        let dir = std::env::temp_dir().join("hv_store_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.hvs");
+        s.save_v1(&path).unwrap();
+
+        // Flip a byte inside the second segment: domain "d77.com" only
+        // appears there.
+        let mut data = std::fs::read(&path).unwrap();
+        let needle = b"d77.com";
+        let at = data.windows(needle.len()).position(|w| w == needle).unwrap();
+        data[at] ^= 0x01;
+        std::fs::write(&path, &data).unwrap();
+
+        let err = ResultStore::load(&path).unwrap_err();
+        match err {
+            hv_core::HvError::StoreCorrupt { segment, offset, .. } => {
+                assert_eq!(segment, Some(1));
+                assert!(offset > 0);
+            }
+            other => panic!("expected StoreCorrupt, got {other}"),
+        }
+
+        let partial = ResultStore::load_with(&path, LoadOptions { allow_partial: true }).unwrap();
+        assert_eq!(partial.store.records.len(), 2, "snapshot-0 segment survives");
+        assert_eq!(partial.segments.len(), 1);
+        assert_eq!(partial.dropped.len(), 1);
+        assert_eq!(partial.dropped[0].segment, 1);
+        assert!(partial.dropped[0].detail.contains("checksum"));
+        // Metrics and quarantine blocks sit after the corrupt segment and
+        // still load.
+        assert!(partial.store.metrics.is_some());
+        assert_eq!(partial.store.quarantine.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Truncation (a partial write, a torn download) is caught by the
+    /// missing trailer even when it lands exactly on a block boundary.
+    #[test]
+    fn truncated_store_is_rejected() {
+        let s = sample_store();
+        let dir = std::env::temp_dir().join("hv_store_trunc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.hvs");
+        s.save_v1(&path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        // Drop the trailer exactly (17 bytes: tag + u32 + u64 + crc).
+        std::fs::write(&path, &data[..data.len() - 17]).unwrap();
+        let err = ResultStore::load(&path).unwrap_err();
+        assert!(err.to_string().contains("missing trailer"), "got: {err}");
+        let partial = ResultStore::load_with(&path, LoadOptions { allow_partial: true }).unwrap();
+        assert_eq!(partial.store.records.len(), 3, "all segments intact");
+        assert_eq!(partial.dropped.len(), 1, "the missing trailer is reported");
         std::fs::remove_file(&path).ok();
     }
 }

@@ -11,8 +11,7 @@ use hv_corpus::calibration::{
     PAPER_NEWLINE_URL_PCT, PAPER_UNION_ANY_PCT,
 };
 use hv_corpus::snapshots::{Snapshot, TABLE2_TARGETS, YEARS};
-use hv_pipeline::aggregate;
-use hv_pipeline::ResultStore;
+use hv_pipeline::IndexedStore;
 
 /// Table 1: the violation list (static — the taxonomy itself).
 pub fn table1() -> String {
@@ -36,8 +35,8 @@ pub fn table1() -> String {
 }
 
 /// Table 2: analyzed domains per crawl, measured vs. paper.
-pub fn table2(store: &ResultStore) -> String {
-    let rows = aggregate::table2(store);
+pub fn table2(store: &IndexedStore) -> String {
+    let rows = store.index.table2();
     let scale = store.scale;
     let mut t = TextTable::new([
         "Snapshot",
@@ -61,7 +60,7 @@ pub fn table2(store: &ResultStore) -> String {
             format!("{:.1}", target.avg_pages),
         ]);
     }
-    let (found, analyzed) = aggregate::table2_total(store);
+    let (found, analyzed) = store.index.table2_total();
     let mut s = format!(
         "Table 2: analyzed domains per crawl (scale {scale}, universe {} domains)\n\n{}",
         store.universe,
@@ -76,8 +75,8 @@ pub fn table2(store: &ResultStore) -> String {
 }
 
 /// Figure 8: overall distribution of violations across the whole study.
-pub fn fig8(store: &ResultStore) -> String {
-    let bars = aggregate::overall_distribution(store);
+pub fn fig8(store: &IndexedStore) -> String {
+    let bars = store.index.overall_distribution();
     let mut t = TextTable::new(["Violation", "Domains", "Share", "paper:Share"]);
     for b in &bars {
         t.row([
@@ -94,8 +93,8 @@ pub fn fig8(store: &ResultStore) -> String {
 }
 
 /// Figure 9: domains with at least one violation, per year.
-pub fn fig9(store: &ResultStore) -> String {
-    let measured = aggregate::violating_domains_by_year(store);
+pub fn fig9(store: &IndexedStore) -> String {
+    let measured = store.index.violating_domains_by_year();
     let mut s = String::from("Figure 9: domains with at least one violation\n\n");
     s.push_str(&year_header(10));
     s.push_str(&series_row("measured", &measured, 10));
@@ -106,8 +105,8 @@ pub fn fig9(store: &ResultStore) -> String {
 }
 
 /// Figure 10: trend of problem groups.
-pub fn fig10(store: &ResultStore) -> String {
-    let trends = aggregate::group_trends(store);
+pub fn fig10(store: &IndexedStore) -> String {
+    let trends = store.index.group_trends();
     let mut s = String::from("Figure 10: trend of problem groups over the years\n\n");
     s.push_str(&year_header(22));
     let mut plot: Vec<(&str, [f64; YEARS])> = Vec::new();
@@ -123,12 +122,12 @@ pub fn fig10(store: &ResultStore) -> String {
 
 /// One appendix figure: yearly trends for a set of kinds, measured and
 /// paper side by side.
-fn appendix_figure(store: &ResultStore, title: &str, kinds: &[ViolationKind]) -> String {
+fn appendix_figure(store: &IndexedStore, title: &str, kinds: &[ViolationKind]) -> String {
     let mut s = format!("{title}\n\n");
     s.push_str(&year_header(18));
     let mut plot: Vec<(&str, [f64; YEARS])> = Vec::new();
     for &kind in kinds {
-        let measured = aggregate::kind_trend(store, kind);
+        let measured = store.index.kind_trend(kind);
         s.push_str(&series_row(&format!("{} measured", kind.id()), &measured, 18));
         s.push_str(&series_row(&format!("{} paper", kind.id()), &paper_yearly_pct(kind), 18));
         plot.push((kind.id(), measured));
@@ -139,12 +138,12 @@ fn appendix_figure(store: &ResultStore, title: &str, kinds: &[ViolationKind]) ->
 }
 
 /// Figure 16: Filter Bypass trends.
-pub fn fig16(store: &ResultStore) -> String {
+pub fn fig16(store: &IndexedStore) -> String {
     appendix_figure(store, "Figure 16: Filter Bypass", &[ViolationKind::FB2, ViolationKind::FB1])
 }
 
 /// Figure 17: HTML Formatting 1 (HF1–HF3).
-pub fn fig17(store: &ResultStore) -> String {
+pub fn fig17(store: &IndexedStore) -> String {
     appendix_figure(
         store,
         "Figure 17: HTML Formatting 1",
@@ -153,7 +152,7 @@ pub fn fig17(store: &ResultStore) -> String {
 }
 
 /// Figure 18: HTML Formatting 2 (HF4, HF5_*).
-pub fn fig18(store: &ResultStore) -> String {
+pub fn fig18(store: &IndexedStore) -> String {
     appendix_figure(
         store,
         "Figure 18: HTML Formatting 2",
@@ -162,7 +161,7 @@ pub fn fig18(store: &ResultStore) -> String {
 }
 
 /// Figure 19: Data Manipulation trends.
-pub fn fig19(store: &ResultStore) -> String {
+pub fn fig19(store: &IndexedStore) -> String {
     appendix_figure(
         store,
         "Figure 19: Data Manipulation",
@@ -177,7 +176,7 @@ pub fn fig19(store: &ResultStore) -> String {
 }
 
 /// Figure 20: Data Exfiltration 1 (DE3_*).
-pub fn fig20(store: &ResultStore) -> String {
+pub fn fig20(store: &IndexedStore) -> String {
     appendix_figure(
         store,
         "Figure 20: Data Exfiltration 1",
@@ -186,7 +185,7 @@ pub fn fig20(store: &ResultStore) -> String {
 }
 
 /// Figure 21: Data Exfiltration 2 (DE1, DE2, DE4).
-pub fn fig21(store: &ResultStore) -> String {
+pub fn fig21(store: &IndexedStore) -> String {
     appendix_figure(
         store,
         "Figure 21: Data Exfiltration 2",
@@ -195,10 +194,10 @@ pub fn fig21(store: &ResultStore) -> String {
 }
 
 /// §4.2 statistics: overall violating share and the math-usage aside.
-pub fn stats(store: &ResultStore) -> String {
-    let share = aggregate::overall_violating_share(store);
-    let (found, analyzed) = aggregate::table2_total(store);
-    let math = aggregate::math_usage_by_year(store);
+pub fn stats(store: &IndexedStore) -> String {
+    let share = store.index.overall_violating_share();
+    let (found, analyzed) = store.index.table2_total();
+    let math = store.index.math_usage_by_year();
     format!(
         "General statistics (§4.2)\n\n\
          domains found ever:        {found}\n\
@@ -214,8 +213,8 @@ pub fn stats(store: &ResultStore) -> String {
 }
 
 /// §4.4: the auto-fix projection for 2022.
-pub fn autofix(store: &ResultStore) -> String {
-    let p = aggregate::autofix_projection(store, Snapshot::ALL[7]);
+pub fn autofix(store: &IndexedStore) -> String {
+    let p = store.index.autofix_projection(Snapshot::ALL[7]);
     let (paper_before, paper_after) = PAPER_AUTOFIX_2022;
     let paper_fixed = 100.0 * (paper_before - paper_after) as f64 / paper_before as f64;
     format!(
@@ -236,8 +235,8 @@ pub fn autofix(store: &ResultStore) -> String {
 }
 
 /// §4.5: deployed-mitigation conflicts.
-pub fn mitigations(store: &ResultStore) -> String {
-    let m = aggregate::mitigation_trends(store);
+pub fn mitigations(store: &IndexedStore) -> String {
+    let m = store.index.mitigation_trends();
     let mut s = String::from("Existing mitigations (§4.5)\n\n");
     s.push_str(&year_header(30));
     let pick = |xs: &[(usize, f64); YEARS]| {
@@ -263,8 +262,8 @@ pub fn mitigations(store: &ResultStore) -> String {
 /// §5.3.2 extension: the STRICT-PARSER rollout simulation — breakage per
 /// enforcement stage per year. (Not a figure in the paper; it answers the
 /// question the roadmap poses with the measured data.)
-pub fn rollout(store: &ResultStore) -> String {
-    let stages = aggregate::rollout_breakage(store);
+pub fn rollout(store: &IndexedStore) -> String {
+    let stages = store.index.rollout_breakage();
     let mut s = String::from(
         "STRICT-PARSER rollout simulation (§5.3.2 proposal)\n\
          Share of analyzed domains with ≥1 page blocked under `default` mode:\n\n",
@@ -295,8 +294,8 @@ pub fn rollout(store: &ResultStore) -> String {
 
 /// §5.2's churn quantified: violations appearing and disappearing between
 /// consecutive snapshots — the refactor dynamics behind Figure 14.
-pub fn churn(store: &ResultStore) -> String {
-    let rows = aggregate::violation_churn(store);
+pub fn churn(store: &IndexedStore) -> String {
+    let rows = store.index.violation_churn();
     let mut t = TextTable::new(["From", "To", "Added", "Removed", "Net"]);
     for r in &rows {
         t.row([
@@ -317,7 +316,7 @@ pub fn churn(store: &ResultStore) -> String {
 /// §5.1/§5.2: the auxiliary studies (dynamic content and long tail).
 /// Rebuilds the archive from the store's (seed, scale) provenance and runs
 /// both side analyses.
-pub fn aux_studies(store: &ResultStore) -> String {
+pub fn aux_studies(store: &IndexedStore) -> String {
     let archive =
         hv_corpus::Archive::new(hv_corpus::CorpusConfig { seed: store.seed, scale: store.scale });
     let top_k = (archive.domains().len() / 20).clamp(50, 1000);
@@ -366,7 +365,7 @@ pub fn aux_studies(store: &ResultStore) -> String {
 }
 
 /// The full report: every experiment in order.
-pub fn full_report(store: &ResultStore) -> String {
+pub fn full_report(store: &IndexedStore) -> String {
     let parts = [
         table1(),
         table2(store),
@@ -416,7 +415,7 @@ pub const EXPERIMENTS: &[&str] = &[
 /// Render one experiment by name, or `None` for an unknown name. Shared by
 /// `hva report` and the service layer's `/v1/report/{experiment}` so the
 /// two surfaces can never drift apart.
-pub fn render(name: &str, store: &ResultStore) -> Option<String> {
+pub fn render(name: &str, store: &IndexedStore) -> Option<String> {
     Some(match name {
         "table1" => table1(),
         "table2" => table2(store),
@@ -442,8 +441,10 @@ pub fn render(name: &str, store: &ResultStore) -> Option<String> {
 
 /// Machine-readable dump of every experiment (for downstream analysis or
 /// regression-diffing two scans).
-pub fn experiments_json(store: &ResultStore) -> serde_json::Value {
-    let groups: serde_json::Map<String, serde_json::Value> = aggregate::group_trends(store)
+pub fn experiments_json(store: &IndexedStore) -> serde_json::Value {
+    let groups: serde_json::Map<String, serde_json::Value> = store
+        .index
+        .group_trends()
         .into_iter()
         .map(|(g, series)| (g.code().to_owned(), serde_json::json!(series.to_vec())))
         .collect();
@@ -455,35 +456,35 @@ pub fn experiments_json(store: &ResultStore) -> serde_json::Value {
                 serde_json::json!({
                     "paper_union_pct": union_target(k) * 100.0,
                     "paper_yearly_pct": paper_yearly_pct(k).to_vec(),
-                    "measured_yearly_pct": aggregate::kind_trend(store, k).to_vec(),
+                    "measured_yearly_pct": store.index.kind_trend(k).to_vec(),
                 }),
             )
         })
         .collect();
     serde_json::json!({
         "provenance": { "seed": store.seed, "scale": store.scale, "universe": store.universe },
-        "table2": aggregate::table2(store),
-        "fig8": aggregate::overall_distribution(store),
+        "table2": store.index.table2(),
+        "fig8": store.index.overall_distribution(),
         "fig9": {
             "paper": PAPER_ANY_VIOLATION_PCT.to_vec(),
-            "measured": aggregate::violating_domains_by_year(store).to_vec(),
+            "measured": store.index.violating_domains_by_year().to_vec(),
         },
         "fig10_groups": groups,
         "appendix_kind_trends": kinds,
-        "stats_4_2_union_any_pct": aggregate::overall_violating_share(store),
-        "stats_4_2_math_usage": aggregate::math_usage_by_year(store).to_vec(),
-        "stats_4_4_autofix_2022": aggregate::autofix_projection(store, Snapshot::ALL[7]),
-        "stats_4_5_mitigations": aggregate::mitigation_trends(store),
-        "rollout_breakage": aggregate::rollout_breakage(store)
+        "stats_4_2_union_any_pct": store.index.overall_violating_share(),
+        "stats_4_2_math_usage": store.index.math_usage_by_year().to_vec(),
+        "stats_4_4_autofix_2022": store.index.autofix_projection(Snapshot::ALL[7]),
+        "stats_4_5_mitigations": store.index.mitigation_trends(),
+        "rollout_breakage": store.index.rollout_breakage()
             .into_iter()
             .map(|(stage, series)| serde_json::json!({"stage": stage, "blocked_pct": series.to_vec()}))
             .collect::<Vec<_>>(),
-        "churn": aggregate::violation_churn(store),
+        "churn": store.index.violation_churn(),
     })
 }
 
 /// Markdown paper-vs-measured summary for EXPERIMENTS.md.
-pub fn experiments_markdown(store: &ResultStore) -> String {
+pub fn experiments_markdown(store: &IndexedStore) -> String {
     let mut md = String::new();
     md.push_str(&format!(
         "# EXPERIMENTS — paper vs. measured\n\n\
@@ -495,7 +496,7 @@ pub fn experiments_markdown(store: &ResultStore) -> String {
     // Figure 9.
     md.push_str("## Figure 9 — domains with ≥1 violation per year (%)\n\n");
     md.push_str("| year | paper | measured |\n|---|---|---|\n");
-    let fig9 = aggregate::violating_domains_by_year(store);
+    let fig9 = store.index.violating_domains_by_year();
     for y in 0..YEARS {
         md.push_str(&format!(
             "| {} | {:.2} | {:.2} |\n",
@@ -508,7 +509,7 @@ pub fn experiments_markdown(store: &ResultStore) -> String {
     // Figure 8.
     md.push_str("\n## Figure 8 — overall distribution (% of analyzed domains)\n\n");
     md.push_str("| violation | paper | measured |\n|---|---|---|\n");
-    for b in aggregate::overall_distribution(store) {
+    for b in store.index.overall_distribution() {
         md.push_str(&format!(
             "| {} | {:.2} | {:.2} |\n",
             b.kind.id(),
@@ -520,7 +521,7 @@ pub fn experiments_markdown(store: &ResultStore) -> String {
     // Figure 10.
     md.push_str("\n## Figure 10 — problem-group trends (%)\n\n");
     md.push_str("| group | 2015 measured | 2022 measured | paper 2015→2022 |\n|---|---|---|---|\n");
-    let groups = aggregate::group_trends(store);
+    let groups = store.index.group_trends();
     let envelopes = [
         (ProblemGroup::FilterBypass, "52→43"),
         (ProblemGroup::DataManipulation, "47→44"),
@@ -535,7 +536,7 @@ pub fn experiments_markdown(store: &ResultStore) -> String {
     // Table 2.
     md.push_str("\n## Table 2 — dataset (counts at this scale)\n\n");
     md.push_str("| snapshot | found | analyzed | share | Ø pages | paper Ø pages |\n|---|---|---|---|---|---|\n");
-    for (row, t) in aggregate::table2(store).iter().zip(TABLE2_TARGETS.iter()) {
+    for (row, t) in store.index.table2().iter().zip(TABLE2_TARGETS.iter()) {
         md.push_str(&format!(
             "| {} | {} | {} | {:.1}% | {:.1} | {:.1} |\n",
             row.snapshot,
@@ -548,16 +549,16 @@ pub fn experiments_markdown(store: &ResultStore) -> String {
     }
 
     // §4.2 / §4.4 / §4.5.
-    let share = aggregate::overall_violating_share(store);
+    let share = store.index.overall_violating_share();
     md.push_str(&format!(
         "\n## §4.2 — violated at least once: measured {share:.1}% (paper {PAPER_UNION_ANY_PCT:.0}%)\n"
     ));
-    let p = aggregate::autofix_projection(store, Snapshot::ALL[7]);
+    let p = store.index.autofix_projection(Snapshot::ALL[7]);
     md.push_str(&format!(
         "\n## §4.4 — auto-fix 2022: violating {:.1}% → {:.1}% after fix; {:.1}% of violating sites fixed (paper 68% → 37%, 46%)\n",
         p.violating_share, p.after_share, p.fixed_share
     ));
-    let m = aggregate::mitigation_trends(store);
+    let m = store.index.mitigation_trends();
     md.push_str(&format!(
         "\n## §4.5 — mitigation conflicts 2015→2022: `<script` in attr {:.2}%→{:.2}% (paper 1.5→1.4); newline URL {:.1}%→{:.1}% (paper 11.2→11.0); newline+`<` {:.2}%→{:.2}% (paper 1.37→0.76); nonced-script conflicts: {} (paper 0)\n",
         m.script_in_attribute[0].1,
@@ -572,7 +573,7 @@ pub fn experiments_markdown(store: &ResultStore) -> String {
     // §5.3.2 rollout simulation.
     md.push_str("\n## §5.3.2 — STRICT-PARSER rollout: % of domains blocked per stage (2022)\n\n");
     md.push_str("| stage | enforced checks | blocked domains 2022 |\n|---|---|---|\n");
-    for (stage, series) in aggregate::rollout_breakage(store) {
+    for (stage, series) in store.index.rollout_breakage() {
         let list = hv_core::strict::EnforcementList::stage(stage);
         md.push_str(&format!("| {} | {} | {:.2}% |\n", stage, list.len(), series[7]));
     }
@@ -581,7 +582,7 @@ pub fn experiments_markdown(store: &ResultStore) -> String {
     md.push_str("\n## Appendix B (Figures 16–21) — per-violation yearly trends (%)\n\n");
     md.push_str("| violation | 2015 paper | 2015 measured | 2022 paper | 2022 measured |\n|---|---|---|---|---|\n");
     for kind in ViolationKind::ALL {
-        let measured = aggregate::kind_trend(store, kind);
+        let measured = store.index.kind_trend(kind);
         let paper = paper_yearly_pct(kind);
         md.push_str(&format!(
             "| {} | {:.2} | {:.2} | {:.2} | {:.2} |\n",
@@ -599,9 +600,9 @@ pub fn experiments_markdown(store: &ResultStore) -> String {
 mod tests {
     use super::*;
 
-    fn tiny_store() -> ResultStore {
+    fn tiny_store() -> IndexedStore {
         let archive = hv_corpus::Archive::new(hv_corpus::CorpusConfig { seed: 5, scale: 0.002 });
-        hv_pipeline::scan(&archive, hv_pipeline::ScanOptions::new().threads(4))
+        IndexedStore::new(hv_pipeline::scan(&archive, hv_pipeline::ScanOptions::new().threads(4)))
     }
 
     #[test]

@@ -167,7 +167,11 @@ impl From<ViolationKind> for ExplainResponse {
 }
 
 /// Response of `GET /v1/store/summary` — provenance of the loaded
-/// [`hv_pipeline::ResultStore`], without shipping the whole store.
+/// [`hv_pipeline::IndexedStore`], without shipping the whole store.
+///
+/// The `format`/`segments`/`dropped` fields were added with the v1
+/// binary store; per the compatibility promise they are optional and
+/// omitted when absent, so pre-existing clients see the original shape.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StoreSummary {
     /// Corpus seed the store was scanned from.
@@ -184,10 +188,50 @@ pub struct StoreSummary {
     pub has_metrics: bool,
     /// Experiments `GET /v1/report/{experiment}` can render.
     pub experiments: Vec<String>,
+    /// On-disk encoding the store was loaded from (`"v0-json"` or
+    /// `"v1-binary"`); absent for in-memory stores.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub format: Option<String>,
+    /// Per-snapshot segment summaries; absent for empty stores.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub segments: Vec<SegmentDto>,
+    /// Segments a partial (`--allow-partial`) load dropped.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub dropped: Vec<DroppedDto>,
 }
 
-impl From<&hv_pipeline::ResultStore> for StoreSummary {
-    fn from(store: &hv_pipeline::ResultStore) -> Self {
+/// One store segment (= one snapshot's records) on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentDto {
+    /// Crawl id, e.g. `"CC-MAIN-2015-14"`.
+    pub snapshot: String,
+    /// Domain-snapshot records in the segment.
+    pub records: u32,
+    /// Distinct domains with at least one analyzed page.
+    pub domains_analyzed: u32,
+    /// Distinct analyzed domains with at least one violation.
+    pub domains_violating: u32,
+    /// Pages found across the segment.
+    pub pages_found: u64,
+    /// Pages analyzed across the segment.
+    pub pages_analyzed: u64,
+    /// Pages quarantined across the segment.
+    pub pages_quarantined: u64,
+}
+
+/// One dropped segment from a partial load, on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DroppedDto {
+    /// Zero-based index of the segment in file order.
+    pub segment: u32,
+    /// Byte offset of the corrupt frame.
+    pub offset: u64,
+    /// Human-readable corruption detail.
+    pub detail: String,
+}
+
+impl From<&hv_pipeline::IndexedStore> for StoreSummary {
+    fn from(store: &hv_pipeline::IndexedStore) -> Self {
         StoreSummary {
             seed: store.seed,
             scale: store.scale,
@@ -196,6 +240,29 @@ impl From<&hv_pipeline::ResultStore> for StoreSummary {
             quarantined: store.quarantine.len(),
             has_metrics: store.metrics.is_some(),
             experiments: hv_report::EXPERIMENTS.iter().map(|&s| s.to_owned()).collect(),
+            format: store.format.map(|f| f.name().to_owned()),
+            segments: store
+                .segments
+                .iter()
+                .map(|s| SegmentDto {
+                    snapshot: s.snapshot.crawl_id().to_owned(),
+                    records: s.records,
+                    domains_analyzed: s.domains_analyzed,
+                    domains_violating: s.domains_violating,
+                    pages_found: s.pages_found,
+                    pages_analyzed: s.pages_analyzed,
+                    pages_quarantined: s.pages_quarantined,
+                })
+                .collect(),
+            dropped: store
+                .dropped
+                .iter()
+                .map(|d| DroppedDto {
+                    segment: d.segment,
+                    offset: d.offset,
+                    detail: d.detail.clone(),
+                })
+                .collect(),
         }
     }
 }

@@ -3,8 +3,10 @@
 //! One [`Handler`] lives on each worker thread and owns that worker's
 //! [`Battery`] — constructed once at startup, reused for every request, so
 //! the hot path allocates nothing per request beyond the response body.
-//! Everything shared and read-only (the loaded [`ResultStore`], the
-//! metrics registry, limits) sits behind one [`Shared`] Arc.
+//! Everything shared and read-only (the loaded [`IndexedStore`], the
+//! metrics registry, limits) sits behind one [`Shared`] Arc. The
+//! aggregate index is built **once** at startup; report endpoints render
+//! from it with no per-request re-aggregation.
 //!
 //! Every handler runs inside a `catch_unwind` boundary: a panic on a
 //! hostile document becomes a `500 internal_panic` response and a fresh
@@ -15,15 +17,15 @@ use crate::api::v1;
 use crate::http::{Request, Response};
 use crate::metrics::Metrics;
 use hv_core::{autofix, Battery, CheckContext, HvError, InputError, ViolationKind};
-use hv_pipeline::ResultStore;
+use hv_pipeline::IndexedStore;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// State shared by every worker.
 pub struct Shared {
-    /// Result store loaded at startup (`--store`); report endpoints 409
-    /// without one.
-    pub store: Option<ResultStore>,
+    /// Result store loaded and indexed at startup (`--store`); report
+    /// endpoints 409 without one.
+    pub store: Option<IndexedStore>,
     pub metrics: Metrics,
     /// Byte budget for request bodies — the §7 `OversizedBody` guard,
     /// enforced both pre-read (Content-Length) and pre-parse.
@@ -226,6 +228,7 @@ pub fn error_response(e: &HvError) -> Response {
         HvError::Input(InputError::TooLarge { .. }) => (413, "body_too_large"),
         HvError::Input(InputError::NotUtf8 { .. }) => (400, "body_not_utf8"),
         HvError::Store { .. } => (500, "store_error"),
+        HvError::StoreCorrupt { .. } => (500, "store_error"),
         HvError::Io { .. } => (500, "io_error"),
         HvError::Server { .. } => (500, "server_error"),
         // `HvError` is #[non_exhaustive]: future variants degrade to 500
@@ -253,7 +256,8 @@ mod tests {
         }
     }
 
-    fn handler(store: Option<ResultStore>) -> Handler {
+    fn handler(store: Option<hv_pipeline::ResultStore>) -> Handler {
+        let store = store.map(IndexedStore::new);
         Handler::new(Arc::new(Shared { store, metrics: Metrics::new(), max_body: 1 << 20 }))
     }
 
@@ -333,7 +337,7 @@ mod tests {
 
     #[test]
     fn report_with_store_renders() {
-        let store = ResultStore::new(7, 0.01, 100);
+        let store = hv_pipeline::ResultStore::new(7, 0.01, 100);
         let mut h = handler(Some(store));
         let r = h.handle(&request("GET", "/v1/report/table1", b"", None));
         assert_eq!(r.response.status, 200);
@@ -372,6 +376,7 @@ mod tests {
             (HvError::from(InputError::TooLarge { len: 2, budget: 1 }), 413),
             (HvError::from(InputError::NotUtf8 { valid_up_to: 0 }), 400),
             (HvError::store(std::path::Path::new("/s"), "z"), 500),
+            (HvError::store_corrupt(std::path::Path::new("/s"), Some(1), 64, "bad crc"), 500),
             (HvError::io("ctx", std::io::Error::other("e")), 500),
             (HvError::server("boom"), 500),
         ];

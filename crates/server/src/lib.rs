@@ -134,7 +134,8 @@ impl ServeOptions {
         self
     }
 
-    /// Load this [`hv_pipeline::ResultStore`] at startup.
+    /// Load (and index) this result store at startup — v0 JSON or v1
+    /// binary, sniffed by content.
     pub fn store_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.store_path = Some(path.into());
         self
@@ -189,8 +190,10 @@ impl Server {
 /// Start a server. Fails fast — bad address, unreadable store — with the
 /// workspace-wide [`HvError`]; once `Ok`, the server is accepting.
 pub fn serve(opts: ServeOptions) -> Result<Server, HvError> {
+    // Load + index once at startup; every report request renders from
+    // this prebuilt AggregateIndex, never re-folding the record set.
     let store = match &opts.store_path {
-        Some(path) => Some(hv_pipeline::ResultStore::load(path)?),
+        Some(path) => Some(hv_pipeline::IndexedStore::load(path)?),
         None => None,
     };
     let listener = TcpListener::bind(&opts.addr)

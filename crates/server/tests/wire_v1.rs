@@ -86,12 +86,48 @@ fn fix_response_golden() {
 
 #[test]
 fn store_summary_golden() {
-    let store = hv_pipeline::ResultStore::new(0x48_56_31, 0.05, 1234);
+    // An empty in-memory store has no format, segments, or dropped list,
+    // so the new optional fields are skipped and the pre-v1 wire shape is
+    // preserved byte for byte.
+    let store =
+        hv_pipeline::IndexedStore::new(hv_pipeline::ResultStore::new(0x48_56_31, 0.05, 1234));
     let dto = StoreSummary::from(&store);
     let json = serde_json::to_string(&dto).unwrap();
     assert_eq!(
         json,
         r#"{"experiments":["table1","table2","fig8","fig9","fig10","fig16","fig17","fig18","fig19","fig20","fig21","stats","autofix","mitigations","rollout","churn","aux","all"],"has_metrics":false,"quarantined":0,"records":0,"scale":0.05,"seed":4740657,"universe":1234}"#
+    );
+    // And the old shape still deserializes: the added fields default.
+    let back: StoreSummary = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, dto);
+}
+
+#[test]
+fn store_summary_segments_golden() {
+    let mut store = hv_pipeline::ResultStore::new(1, 0.05, 10);
+    store.records.push(hv_pipeline::DomainYearRecord {
+        domain_id: 3,
+        domain_name: "d3.com".into(),
+        rank: 3,
+        snapshot: hv_corpus::Snapshot(0),
+        pages_found: 5,
+        pages_analyzed: 4,
+        kinds: [hv_core::ViolationKind::DM3].into_iter().collect(),
+        page_counts: [(hv_core::ViolationKind::DM3, 2)].into_iter().collect(),
+        mitigations: Default::default(),
+        kinds_after_autofix: Default::default(),
+        uses_math: false,
+        pages_faulted: 0,
+        pages_degraded: 0,
+        pages_quarantined: 1,
+    });
+    let dto = StoreSummary::from(&hv_pipeline::IndexedStore::new(store));
+    let json = serde_json::to_string(&dto).unwrap();
+    assert!(
+        json.contains(
+            r#""segments":[{"domains_analyzed":1,"domains_violating":1,"pages_analyzed":4,"pages_found":5,"pages_quarantined":1,"records":1,"snapshot":"CC-MAIN-2015-14"}]"#
+        ),
+        "{json}"
     );
 }
 

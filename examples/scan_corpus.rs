@@ -9,7 +9,6 @@
 //! SCALE=0.05 cargo run --release --example scan_corpus # bigger sample
 //! ```
 
-use html_violations::hv_pipeline::aggregate;
 use html_violations::hv_report;
 use html_violations::prelude::*;
 use std::time::Instant;
@@ -27,7 +26,7 @@ fn main() {
         Snapshot::ALL[7].crawl_id()
     );
 
-    let store = scan(&archive, ScanOptions::default());
+    let store = IndexedStore::new(scan(&archive, ScanOptions::default()));
     let pages: usize = store.records.iter().map(|r| r.pages_analyzed).sum();
     println!(
         "scanned {} domain-snapshots / {} pages in {:.1}s\n",
@@ -37,7 +36,7 @@ fn main() {
     );
 
     // Figure 9 headline.
-    let fig9 = aggregate::violating_domains_by_year(&store);
+    let fig9 = store.index.violating_domains_by_year();
     println!("domains with ≥1 violation (Figure 9):");
     println!("  2015: {:.1}%  (paper 74.3%)", fig9[0]);
     println!("  2022: {:.1}%  (paper 68.4%)", fig9[7]);
@@ -45,17 +44,17 @@ fn main() {
     // §4.2.
     println!(
         "violated at least once over all years: {:.1}%  (paper 92%)\n",
-        aggregate::overall_violating_share(&store)
+        store.index.overall_violating_share()
     );
 
     // Figure 8 top five.
     println!("most common violations over the whole study (Figure 8 top 5):");
-    for bar in aggregate::overall_distribution(&store).iter().take(5) {
+    for bar in store.index.overall_distribution().iter().take(5) {
         println!("  {:6} {:>6.2}%  — {}", bar.kind.id(), bar.share, bar.kind.definition());
     }
 
     // §4.4.
-    let fix = aggregate::autofix_projection(&store, Snapshot::ALL[7]);
+    let fix = store.index.autofix_projection(Snapshot::ALL[7]);
     println!(
         "\nautomatic fixing (2022): {:.1}% violating → {:.1}% after fix ({:.1}% of violating sites fixed; paper: 68% → 37%, 46%)",
         fix.violating_share, fix.after_share, fix.fixed_share

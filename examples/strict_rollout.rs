@@ -7,7 +7,6 @@
 //! ```
 
 use html_violations::hv_core::strict::{evaluate, Decision, EnforcementList, StrictPolicy};
-use html_violations::hv_pipeline::aggregate;
 use html_violations::prelude::*;
 
 fn main() {
@@ -42,9 +41,9 @@ fn main() {
     // 3. The deployment question: breakage per stage per year, measured.
     println!("\n=== measured breakage per rollout stage ===\n");
     let archive = Archive::new(CorpusConfig { seed: 0x48_56_31, scale: 0.01 });
-    let store = scan(&archive, ScanOptions::default());
+    let store = IndexedStore::new(scan(&archive, ScanOptions::default()));
     println!("{:28}{:>10}{:>10}", "", 2015, 2022);
-    for (stage, series) in aggregate::rollout_breakage(&store) {
+    for (stage, series) in store.index.rollout_breakage() {
         println!("  stage {stage} would block      {:>8.2}% {:>8.2}%", series[0], series[7]);
     }
     println!(

@@ -10,8 +10,9 @@
 //!   mitigation analyzers.
 //! * [`hv_corpus`] — the deterministic synthetic web archive standing in
 //!   for Tranco + Common Crawl, calibrated to the paper's published rates.
-//! * [`hv_pipeline`] — the Figure-6 measurement pipeline and the
-//!   aggregation queries behind every table and figure.
+//! * [`hv_pipeline`] — the Figure-6 measurement pipeline, the segmented
+//!   result store (v0 JSON + checksummed v1 binary), and the one-pass
+//!   aggregate index behind every table and figure.
 //! * [`hv_report`] — text renderers regenerating Tables 1–2, Figures 8–10
 //!   and 16–21, and the §4.2/§4.4/§4.5 statistics.
 //! * [`hv_server`] — `hva serve`: the HTTP service layer with the stable
@@ -35,10 +36,12 @@
 //! let fixed = auto_fix(r#"<img src="logo.png"onerror="alert(1)">"#);
 //! assert!(fixed.after.is_empty());
 //!
-//! // Run a miniature version of the eight-year study.
+//! // Run a miniature version of the eight-year study. The one-pass
+//! // AggregateIndex answers every table/figure query without re-folding
+//! // the record set.
 //! let archive = Archive::new(CorpusConfig { seed: 7, scale: 0.002 });
-//! let store = scan(&archive, ScanOptions::default());
-//! let any_2022 = hv_pipeline::aggregate::violating_domains_by_year(&store)[7];
+//! let store = IndexedStore::new(scan(&archive, ScanOptions::default()));
+//! let any_2022 = store.index.violating_domains_by_year()[7];
 //! assert!(any_2022 > 30.0, "most of the web violates the spec");
 //! ```
 //!
@@ -68,7 +71,7 @@ pub mod prelude {
         Battery, Finding, HvError, MitigationFlags, PageReport, ProblemGroup, ViolationKind,
     };
     pub use hv_corpus::{Archive, CorpusConfig, Snapshot};
-    pub use hv_pipeline::{scan, ResultStore, ScanOptions};
+    pub use hv_pipeline::{scan, IndexedStore, LoadOptions, ResultStore, ScanOptions, StoreFormat};
     pub use hv_server::api::v1::{
         CheckRequest, CheckResponse, ErrorBody, ExplainResponse, FindingDto, FixResponse,
         MitigationsDto, StoreSummary,

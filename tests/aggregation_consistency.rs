@@ -4,24 +4,23 @@
 //! must hold between the tables/figures regardless of corpus seed or scale
 //! (the cross-checks a reviewer would run on the paper's own numbers).
 
-use html_violations::hv_pipeline::aggregate;
 use html_violations::prelude::*;
 use std::sync::OnceLock;
 
-fn store() -> &'static ResultStore {
-    static STORE: OnceLock<ResultStore> = OnceLock::new();
+fn store() -> &'static IndexedStore {
+    static STORE: OnceLock<IndexedStore> = OnceLock::new();
     STORE.get_or_init(|| {
         let archive = Archive::new(CorpusConfig { seed: 2024, scale: 0.008 });
-        scan(&archive, ScanOptions::default())
+        IndexedStore::new(scan(&archive, ScanOptions::default()))
     })
 }
 
 #[test]
 fn any_violation_bounds_every_kind_trend() {
     // P(any violation) ≥ P(specific violation), every year.
-    let any = aggregate::violating_domains_by_year(store());
+    let any = store().index.violating_domains_by_year();
     for kind in ViolationKind::ALL {
-        let t = aggregate::kind_trend(store(), kind);
+        let t = store().index.kind_trend(kind);
         for y in 0..8 {
             assert!(t[y] <= any[y] + 1e-9, "{kind} year {y}: {:.2} > any {:.2}", t[y], any[y]);
         }
@@ -30,14 +29,14 @@ fn any_violation_bounds_every_kind_trend() {
 
 #[test]
 fn group_trend_bounds_member_kinds_and_any_bounds_groups() {
-    let any = aggregate::violating_domains_by_year(store());
-    let groups = aggregate::group_trends(store());
+    let any = store().index.violating_domains_by_year();
+    let groups = store().index.group_trends();
     for (group, series) in &groups {
         for y in 0..8 {
             assert!(series[y] <= any[y] + 1e-9, "{group:?} year {y}");
         }
         for kind in ViolationKind::ALL.iter().filter(|k| k.group() == *group) {
-            let t = aggregate::kind_trend(store(), *kind);
+            let t = store().index.kind_trend(*kind);
             for y in 0..8 {
                 assert!(t[y] <= series[y] + 1e-9, "{kind} exceeds its group {group:?} in year {y}");
             }
@@ -49,8 +48,8 @@ fn group_trend_bounds_member_kinds_and_any_bounds_groups() {
 fn union_share_bounds_yearly_shares() {
     // Violating-ever ≥ violating in any single year (up to denominator
     // drift between analyzed-ever and analyzed-in-year; allow 2pp).
-    let union = aggregate::overall_violating_share(store());
-    let yearly = aggregate::violating_domains_by_year(store());
+    let union = store().index.overall_violating_share();
+    let yearly = store().index.violating_domains_by_year();
     for y in 0..8 {
         assert!(union + 2.0 >= yearly[y], "union {union:.1} < year {y} {:.1}", yearly[y]);
     }
@@ -58,8 +57,8 @@ fn union_share_bounds_yearly_shares() {
 
 #[test]
 fn fig8_union_bounds_kind_years() {
-    for bar in aggregate::overall_distribution(store()) {
-        let trend = aggregate::kind_trend(store(), bar.kind);
+    for bar in store().index.overall_distribution() {
+        let trend = store().index.kind_trend(bar.kind);
         let max_year = trend.iter().cloned().fold(0.0, f64::max);
         assert!(
             bar.share + 2.0 >= max_year,
@@ -74,7 +73,7 @@ fn fig8_union_bounds_kind_years() {
 #[test]
 fn autofix_never_increases_violations() {
     for snap in Snapshot::ALL {
-        let p = aggregate::autofix_projection(store(), snap);
+        let p = store().index.autofix_projection(snap);
         assert!(p.violating_after_fix <= p.violating, "{snap}");
         assert!(p.violating <= p.analyzed, "{snap}");
         assert!((0.0..=100.0).contains(&p.fixed_share), "{snap}");
@@ -83,8 +82,8 @@ fn autofix_never_increases_violations() {
 
 #[test]
 fn rollout_stages_are_monotone_and_bounded_by_any() {
-    let any = aggregate::violating_domains_by_year(store());
-    let rollout = aggregate::rollout_breakage(store());
+    let any = store().index.violating_domains_by_year();
+    let rollout = store().index.rollout_breakage();
     for y in 0..8 {
         for w in rollout.windows(2) {
             assert!(w[1].1[y] + 1e-9 >= w[0].1[y], "stage regression in year {y}");
@@ -97,7 +96,7 @@ fn rollout_stages_are_monotone_and_bounded_by_any() {
 
 #[test]
 fn mitigation_subset_relations() {
-    let m = aggregate::mitigation_trends(store());
+    let m = store().index.mitigation_trends();
     for y in 0..8 {
         // newline+'<' implies newline.
         assert!(m.newline_and_lt_in_url[y].0 <= m.newline_in_url[y].0, "year {y}");
@@ -106,7 +105,7 @@ fn mitigation_subset_relations() {
     }
     // DE3_1's trend and the newline+'<' mitigation counter measure the
     // same phenomenon (modulo non-start-tag sources): close agreement.
-    let de3_1 = aggregate::kind_trend(store(), ViolationKind::DE3_1);
+    let de3_1 = store().index.kind_trend(ViolationKind::DE3_1);
     for y in 0..8 {
         assert!(
             (de3_1[y] - m.newline_and_lt_in_url[y].1).abs() < 0.8,
@@ -119,7 +118,7 @@ fn mitigation_subset_relations() {
 
 #[test]
 fn table2_columns_are_internally_consistent() {
-    let rows = aggregate::table2(store());
+    let rows = store().index.table2();
     let mut found_ever = 0usize;
     for row in &rows {
         assert!(row.domains_analyzed <= row.domains_found);
@@ -127,7 +126,7 @@ fn table2_columns_are_internally_consistent() {
         assert!(row.avg_pages <= 100.0);
         found_ever = found_ever.max(row.domains_found);
     }
-    let (found, analyzed) = aggregate::table2_total(store());
+    let (found, analyzed) = store().index.table2_total();
     assert!(found >= found_ever, "total found must cover every year");
     assert!(analyzed <= found);
     assert!(found <= store().universe);
@@ -135,9 +134,9 @@ fn table2_columns_are_internally_consistent() {
 
 #[test]
 fn math_usage_grows_and_stays_rare() {
-    let usage = aggregate::math_usage_by_year(store());
+    let usage = store().index.math_usage_by_year();
     assert!(usage[7] >= usage[0], "math usage must grow: {usage:?}");
-    let rows = aggregate::table2(store());
+    let rows = store().index.table2();
     // ~1% of analyzed domains in 2022.
     assert!(usage[7] <= rows[7].domains_analyzed / 20, "{usage:?}");
 }
