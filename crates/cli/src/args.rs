@@ -15,11 +15,17 @@ USAGE:
           [--warc]                   materialize sample corpus pages to disk
                                      (--warc: standard WARC/1.0 + CDXJ files)
   hva scan [--seed N] [--scale F] [--threads N] [--store FILE] [--metrics]
-           [--inject-faults S:R]     run the full measurement pipeline
+           [--inject-faults S:R] [--resume] [--overwrite]
+                                     run the full measurement pipeline
                                      (--metrics: collect + print scan
                                       observability, embedded in the store;
                                       --inject-faults: deterministic read-
-                                      path faults, seed S at rate R)
+                                      path faults, seed S at rate R;
+                                      --resume: continue a crash-interrupted
+                                      v1 store, skipping its completed
+                                      snapshots; --overwrite: replace an
+                                      existing store — without either flag,
+                                      clobbering an existing store fails)
   hva chaos [--seed N] [--scale F] [--faults S:R] [--threads N]
                                      scan under deterministic fault
                                      injection and verify the robustness
@@ -99,6 +105,8 @@ pub enum Command {
         store: Option<PathBuf>,
         metrics: bool,
         faults: Option<FaultPlan>,
+        resume: bool,
+        overwrite: bool,
     },
     Chaos {
         seed: u64,
@@ -194,16 +202,27 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         "scan" => {
             let (_, flags) = split(&rest)?;
+            let resume = flags.has("resume");
+            let overwrite = flags.has("overwrite");
+            if resume && overwrite {
+                return Err("scan: --resume and --overwrite are mutually exclusive".into());
+            }
+            let store = flags.get("store").map(PathBuf::from);
+            if resume && store.is_none() {
+                return Err("scan: --resume requires --store FILE".into());
+            }
             Ok(Command::Scan {
                 seed: flags.num("seed", DEFAULT_SEED)?,
                 scale: flags.float("scale", DEFAULT_SCALE)?,
                 threads: flags.num("threads", 0)? as usize,
-                store: flags.get("store").map(PathBuf::from),
+                store,
                 metrics: flags.has("metrics"),
                 faults: match flags.get("inject-faults") {
                     Some(spec) => Some(FaultPlan::parse(&spec).map_err(|e| format!("scan: {e}"))?),
                     None => None,
                 },
+                resume,
+                overwrite,
             })
         }
         "chaos" => {
@@ -425,16 +444,37 @@ mod tests {
     #[test]
     fn scan_defaults() {
         match p(&["scan"]).unwrap() {
-            Command::Scan { seed, scale, threads, store, metrics, faults } => {
+            Command::Scan { seed, scale, threads, store, metrics, faults, resume, overwrite } => {
                 assert_eq!(seed, 0x48_56_31);
                 assert!((scale - 0.05).abs() < 1e-12);
                 assert_eq!(threads, 0);
                 assert!(store.is_none());
                 assert!(!metrics);
                 assert!(faults.is_none());
+                assert!(!resume);
+                assert!(!overwrite);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn scan_resume_and_overwrite_flags() {
+        match p(&["scan", "--store", "s.hvs", "--resume"]).unwrap() {
+            Command::Scan { resume, overwrite, store, .. } => {
+                assert!(resume);
+                assert!(!overwrite);
+                assert_eq!(store, Some("s.hvs".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            p(&["scan", "--store", "s.hvs", "--overwrite"]).unwrap(),
+            Command::Scan { overwrite: true, .. }
+        ));
+        // Contradictory or incomplete combinations fail at parse time.
+        assert!(p(&["scan", "--store", "s.hvs", "--resume", "--overwrite"]).is_err());
+        assert!(p(&["scan", "--resume"]).is_err());
     }
 
     #[test]

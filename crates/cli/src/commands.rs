@@ -21,13 +21,22 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Gen { seed, scale, out, domains, year, warc } => {
             gen(seed, scale, &out, domains, year, warc)
         }
-        Command::Scan { seed, scale, threads, store, metrics, faults } => {
+        Command::Scan { seed, scale, threads, store, metrics, faults, resume, overwrite } => {
             match store {
                 // Writing the binary format streams one snapshot segment at
                 // a time: peak memory never holds the full record set.
                 Some(path) if StoreFormat::for_path(&path) == StoreFormat::V1Binary => {
-                    run_scan_streamed(seed, scale, threads, metrics, faults, &path)?;
+                    run_scan_streamed(
+                        seed, scale, threads, metrics, faults, resume, overwrite, &path,
+                    )?;
                     println!("store written to {} (v1-binary, streamed)", path.display());
+                }
+                Some(path) if resume => {
+                    return Err(format!(
+                        "scan: --resume requires a v1 binary store, but {} is v0 JSON \
+                         (one-shot writes cannot be resumed)",
+                        path.display()
+                    ));
                 }
                 Some(path) => {
                     let result = run_scan(seed, scale, threads, metrics, faults)?;
@@ -377,18 +386,36 @@ fn scan_setup(
 }
 
 /// Scan straight into a v1 binary store, one snapshot segment at a time.
+#[allow(clippy::too_many_arguments)]
 fn run_scan_streamed(
     seed: u64,
     scale: f64,
     threads: usize,
     metrics: bool,
     faults: Option<hv_corpus::FaultPlan>,
+    resume: bool,
+    overwrite: bool,
     path: &Path,
 ) -> Result<(), String> {
     let t0 = Instant::now();
-    let (archive, opts) = scan_setup(seed, scale, threads, metrics, faults);
+    let (archive, mut opts) = scan_setup(seed, scale, threads, metrics, faults);
+    opts = opts.resume(resume).overwrite(overwrite);
+    if resume {
+        eprintln!("resuming {} ...", path.display());
+    }
     let summary = scan_streamed(&archive, &Snapshot::ALL, opts, path)
         .map_err(|e| format!("streamed scan: {e}"))?;
+    if summary.resumed_segments > 0 {
+        eprintln!(
+            "resume: kept {} completed segment(s){}",
+            summary.resumed_segments,
+            if summary.truncated_bytes > 0 {
+                format!(", truncated {} torn-tail byte(s)", summary.truncated_bytes)
+            } else {
+                String::new()
+            }
+        );
+    }
     eprintln!(
         "scan finished in {:.1}s ({} domain-snapshot records in {} segment(s))",
         t0.elapsed().as_secs_f64(),

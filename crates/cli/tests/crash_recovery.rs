@@ -1,0 +1,128 @@
+//! Kill -9 matrix for `hva scan`: the binary is SIGKILLed at staged byte
+//! offsets via the `HV_STORE_CRASH_AFTER` fuse, then `hva scan --resume`
+//! must reproduce the uninterrupted store byte for byte.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The crash fuse env var — mirrors
+/// `hv_pipeline::format::CRASH_AFTER_ENV`.
+const CRASH_AFTER: &str = "HV_STORE_CRASH_AFTER";
+
+const SEED: &str = "99";
+const SCALE: &str = "0.002";
+
+fn hva() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hva"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hva_crash_tests").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn scan_args(store: &Path) -> Vec<String> {
+    vec![
+        "scan".into(),
+        "--seed".into(),
+        SEED.into(),
+        "--scale".into(),
+        SCALE.into(),
+        "--threads".into(),
+        "2".into(),
+        "--store".into(),
+        store.display().to_string(),
+    ]
+}
+
+#[test]
+fn kill_matrix_resume_is_byte_identical() {
+    let dir = tmpdir("matrix");
+    let full = dir.join("full.hvs");
+    std::fs::remove_file(&full).ok();
+
+    let out = hva().args(scan_args(&full)).output().unwrap();
+    assert!(out.status.success(), "baseline scan failed: {}", String::from_utf8_lossy(&out.stderr));
+    let reference = std::fs::read(&full).unwrap();
+    let len = reference.len() as u64;
+
+    // Staged cut points: mid-magic, inside and at the end of the header
+    // frame, through the segment run, and inside the trailer.
+    let header_end = 12 + u64::from(u32::from_le_bytes(reference[8..12].try_into().unwrap())) + 4;
+    let mut points = vec![4, header_end - 2, header_end, len / 4, len / 2, 3 * len / 4, len - 5];
+    points.retain(|&p| p < len);
+    points.sort_unstable();
+    points.dedup();
+
+    for p in points {
+        let store = dir.join(format!("crash-{p}.hvs"));
+        std::fs::remove_file(&store).ok();
+
+        let out = hva().args(scan_args(&store)).env(CRASH_AFTER, p.to_string()).output().unwrap();
+        assert!(!out.status.success(), "fused scan at byte {p} must not survive");
+        #[cfg(unix)]
+        {
+            use std::os::unix::process::ExitStatusExt;
+            assert_eq!(out.status.signal(), Some(9), "fuse at byte {p} must SIGKILL");
+        }
+        assert_eq!(
+            std::fs::metadata(&store).unwrap().len(),
+            p,
+            "the killed store must hold exactly the fused prefix"
+        );
+
+        let out = hva().args(scan_args(&store)).arg("--resume").output().unwrap();
+        assert!(
+            out.status.success(),
+            "resume after kill at byte {p} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            std::fs::read(&store).unwrap(),
+            reference,
+            "resume after kill at byte {p} must be byte-identical to the full scan"
+        );
+        std::fs::remove_file(&store).ok();
+    }
+    std::fs::remove_file(&full).ok();
+}
+
+#[test]
+fn scan_refuses_to_clobber_without_resume_or_overwrite() {
+    let dir = tmpdir("clobber");
+    let store = dir.join("store.hvs");
+    std::fs::remove_file(&store).ok();
+
+    let out = hva().args(scan_args(&store)).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let first = std::fs::read(&store).unwrap();
+
+    // A second plain scan must refuse to destroy the existing store.
+    let out = hva().args(scan_args(&store)).output().unwrap();
+    assert!(!out.status.success(), "plain rescan must refuse to clobber");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("already exists"), "stderr: {stderr}");
+    assert_eq!(std::fs::read(&store).unwrap(), first, "refused scan must not touch the store");
+
+    // --overwrite is the explicit escape hatch.
+    let out = hva().args(scan_args(&store)).arg("--overwrite").output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::read(&store).unwrap(), first, "same seed, same bytes");
+
+    // Resuming a complete store is a no-op that leaves it intact.
+    let out = hva().args(scan_args(&store)).arg("--resume").output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::read(&store).unwrap(), first, "resume of a complete store is a no-op");
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn resume_refuses_v0_json_stores() {
+    let dir = tmpdir("v0_resume");
+    let store = dir.join("store.json");
+    let out = hva().args(scan_args(&store)).arg("--resume").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("requires a v1 binary store"), "stderr: {stderr}");
+}

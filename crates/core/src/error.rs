@@ -56,6 +56,9 @@ pub enum HvError {
         offset: u64,
         detail: String,
     },
+    /// A write would clobber an existing non-empty store at `path`.
+    /// Callers must opt in to resuming or overwriting it.
+    StoreExists { path: PathBuf },
     /// An I/O failure outside store persistence (reading WARC inputs,
     /// accepting connections, …).
     Io { context: String, source: io::Error },
@@ -98,6 +101,11 @@ impl HvError {
         HvError::StoreCorrupt { path: path.to_path_buf(), segment, offset, detail: detail.into() }
     }
 
+    /// A refusal to clobber the existing non-empty store at `path`.
+    pub fn store_exists(path: &Path) -> Self {
+        HvError::StoreExists { path: path.to_path_buf() }
+    }
+
     /// An I/O failure with a human context ("reading CDXJ index", …).
     pub fn io(context: impl Into<String>, source: io::Error) -> Self {
         HvError::Io { context: context.into(), source }
@@ -123,6 +131,12 @@ impl std::fmt::Display for HvError {
                 }
                 write!(f, ": {detail}")
             }
+            HvError::StoreExists { path } => write!(
+                f,
+                "result store {}: already exists (pass --resume to continue it or --overwrite \
+                 to replace it)",
+                path.display()
+            ),
             HvError::Io { context, source } => write!(f, "{context}: {source}"),
             HvError::Server { detail } => write!(f, "server: {detail}"),
             HvError::Input(e) => write!(f, "input rejected: {e}"),
@@ -176,6 +190,16 @@ mod tests {
         assert!(e.source().is_none());
         let e = HvError::store_corrupt(Path::new("/tmp/s.hvs"), None, 12, "missing trailer");
         assert_eq!(e.to_string(), "result store /tmp/s.hvs: corrupt at byte 12: missing trailer");
+    }
+
+    #[test]
+    fn store_exists_points_at_the_escape_hatches() {
+        let e = HvError::store_exists(Path::new("/tmp/s.hvs"));
+        let msg = e.to_string();
+        assert!(msg.contains("/tmp/s.hvs"), "{msg}");
+        assert!(msg.contains("--resume"), "{msg}");
+        assert!(msg.contains("--overwrite"), "{msg}");
+        assert!(e.source().is_none());
     }
 
     #[test]

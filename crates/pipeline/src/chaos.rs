@@ -16,9 +16,14 @@
 //!    failed.
 //! 4. **Accounting closes** — per-record quarantine counters reconcile
 //!    with the per-page quarantine entries exactly.
+//! 5. **Crash-resume is identical** — a streamed faulted scan cut at any
+//!    staged byte point and resumed (`hva scan --resume`) reproduces the
+//!    uninterrupted store byte for byte: durability composes with the
+//!    fault injection.
 
+use crate::format::scan_prefix;
 use crate::outcome::ErrorClass;
-use crate::run::{scan_snapshots, ScanOptions};
+use crate::run::{scan_snapshots, scan_streamed, ScanOptions};
 use crate::store::ResultStore;
 use hv_corpus::faults::FaultPlan;
 use hv_corpus::{Archive, Snapshot};
@@ -186,6 +191,9 @@ pub fn run_chaos(
         });
     }
 
+    // Invariant 5: crash-at-any-point → resume → identical bytes.
+    checks.push(crash_resume_check(archive, plan, snapshots, threads[0]));
+
     ChaosReport {
         plan,
         threads: threads.to_vec(),
@@ -195,6 +203,88 @@ pub fn run_chaos(
         pages_quarantined: quarantined,
         panics_caught: panics,
         checks,
+    }
+}
+
+/// Invariant 5: write the faulted store through the streamed (durable)
+/// writer, cut the bytes at staged points derived from the real block
+/// boundaries, resume each cut, and require the recovered file to be
+/// byte-identical to the uninterrupted one.
+///
+/// Early cuts re-scan almost everything, so the harness probes a handful
+/// of representative points (mid-magic, mid-header, first/last segment
+/// midpoints and boundaries, mid-trailer) rather than sweeping — the
+/// every-byte sweep lives in the crash-recovery test suite.
+fn crash_resume_check(
+    archive: &Archive,
+    plan: FaultPlan,
+    snapshots: &[Snapshot],
+    threads: usize,
+) -> ChaosCheck {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let name = "crash-resume-identical";
+    let fail = |detail: String| ChaosCheck { name, passed: false, detail };
+
+    let dir = std::env::temp_dir().join(format!(
+        "hv-chaos-crash-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return fail(format!("creating temp dir: {e}"));
+    }
+    let opts = ScanOptions::new().threads(threads).inject_faults(plan).overwrite(true);
+    let full_path = dir.join("full.hvs");
+    let crash_path = dir.join("crash.hvs");
+    let outcome = (|| -> Result<usize, String> {
+        scan_streamed(archive, snapshots, opts, &full_path)
+            .map_err(|e| format!("uninterrupted scan: {e}"))?;
+        let full = std::fs::read(&full_path).map_err(|e| format!("reading full store: {e}"))?;
+        let prefix =
+            scan_prefix(&full, &full_path).map_err(|e| format!("prefix of full store: {e}"))?;
+        if !prefix.complete {
+            return Err("uninterrupted store does not parse as complete".into());
+        }
+        let header_end = 12 + u64::from(u32::from_le_bytes(full[8..12].try_into().unwrap())) + 4;
+
+        let mut points: Vec<u64> = vec![4, header_end - 2, header_end, full.len() as u64 - 5];
+        let ends = &prefix.segment_ends;
+        if let (Some(&first), Some(&last)) = (ends.first(), ends.last()) {
+            points.extend([(header_end + first) / 2, first, last]);
+            if ends.len() > 1 {
+                points.push((ends[ends.len() - 2] + last) / 2);
+            }
+        }
+        points.retain(|&p| p < full.len() as u64);
+        points.sort_unstable();
+        points.dedup();
+
+        for &p in &points {
+            std::fs::write(&crash_path, &full[..p as usize])
+                .map_err(|e| format!("writing cut at {p}: {e}"))?;
+            scan_streamed(archive, snapshots, opts.overwrite(false).resume(true), &crash_path)
+                .map_err(|e| format!("resume from cut at {p}: {e}"))?;
+            let resumed =
+                std::fs::read(&crash_path).map_err(|e| format!("reading resumed store: {e}"))?;
+            if resumed != full {
+                return Err(format!(
+                    "resume from cut at byte {p} diverged ({} vs {} bytes)",
+                    resumed.len(),
+                    full.len()
+                ));
+            }
+        }
+        Ok(points.len())
+    })();
+    std::fs::remove_dir_all(&dir).ok();
+    match outcome {
+        Ok(n) => ChaosCheck {
+            name,
+            passed: true,
+            detail: format!("{n} staged cut points all resumed to identical bytes"),
+        },
+        Err(detail) => fail(detail),
     }
 }
 
@@ -214,6 +304,7 @@ mod tests {
         let out = report.render();
         assert!(out.contains("verdict: PASS"));
         assert!(out.contains("quarantine-thread-invariant"));
+        assert!(out.contains("crash-resume-identical"));
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //! `/v1/store/summary` can report per-snapshot statistics without decoding
 //! a single record.
 //!
+//! A segment's payload optionally ends with one more length-prefixed
+//! frame carrying the snapshot's [`QuarantineEntry`] list — quarantine
+//! travels *with* its segment, so a crash-and-resume never loses the
+//! audit trail of a completed snapshot. Stores written before this frame
+//! existed (no trailing frame, or a standalone `0x03` block) keep
+//! loading unchanged.
+//!
 //! Integrity: every byte after the magic is covered by exactly one CRC-32
 //! (the length prefixes are inside their block's checksum), and the
 //! trailer makes truncation detectable. Any single-byte corruption
@@ -26,6 +33,16 @@
 //! [`read_v1`] with [`LoadOptions::allow_partial`] instead skips corrupt
 //! segments (resynchronizing via the framed `payload_len`) and reports
 //! what was dropped.
+//!
+//! Durability: the streaming writer ([`StoreWriter::create`] /
+//! [`StoreWriter::resume`]) fsyncs the header and every segment boundary,
+//! so a crash at *any* point leaves a valid prefix on disk — magic +
+//! header + N complete CRC'd segments, no trailer. [`scan_prefix`]
+//! validates such a prefix and [`StoreWriter::resume`] truncates the torn
+//! tail and appends from there. One-shot writers
+//! ([`ResultStore::save_as`](crate::store::ResultStore::save_as)) instead
+//! write a temp sibling, fsync it, rename it into place, and fsync the
+//! parent directory, so readers never observe a torn store.
 
 use crate::metrics::ScanMetrics;
 use crate::outcome::QuarantineEntry;
@@ -33,7 +50,8 @@ use crate::store::{DomainYearRecord, ResultStore};
 use hv_core::HvError;
 use hv_corpus::Snapshot;
 use serde::{Deserialize, Serialize};
-use std::io::Write;
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// File magic of the v1 binary format. The first byte can never be `{`,
@@ -157,12 +175,155 @@ impl SegmentSummary {
     }
 }
 
-/// The header frame right after the magic: scan provenance.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-struct Header {
-    seed: u64,
-    scale: f64,
-    universe: usize,
+/// The header frame right after the magic: scan provenance. Public so
+/// resume callers can report what an existing store was written with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoreHeader {
+    pub seed: u64,
+    pub scale: f64,
+    pub universe: usize,
+}
+
+// --- Sinks ----------------------------------------------------------------
+
+/// A writer the store can ask to make its bytes durable. `sync` must not
+/// return until everything written so far survives a crash of the process
+/// *and* the machine (an fsync for files; a no-op for memory sinks).
+pub trait StoreSink: Write {
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// Memory sink for tests and byte-level tooling; durability is trivial.
+impl StoreSink for Vec<u8> {
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Mutable borrows delegate, so a caller can keep the underlying sink
+/// (and inspect its bytes) after the writer is dropped mid-failure.
+impl<S: StoreSink> StoreSink for &mut S {
+    fn sync(&mut self) -> io::Result<()> {
+        (**self).sync()
+    }
+}
+
+/// Name of the environment variable carrying the crash fuse: when set to
+/// an integer N, a [`FileSink`] opened by [`StoreWriter::create`] /
+/// [`StoreWriter::resume`] writes until the file holds exactly N bytes,
+/// then SIGKILLs its own process. Exists solely so the crash-recovery
+/// tests and CI job can kill `hva scan` at byte-deterministic points.
+pub const CRASH_AFTER_ENV: &str = "HV_STORE_CRASH_AFTER";
+
+/// Buffered file sink that tracks its absolute write position and
+/// optionally carries the [`CRASH_AFTER_ENV`] crash fuse.
+pub struct FileSink {
+    out: BufWriter<File>,
+    /// Absolute file position — bytes 0..written are on their way to disk.
+    written: u64,
+    /// Kill the process once the file holds exactly this many bytes.
+    crash_after: Option<u64>,
+}
+
+impl FileSink {
+    /// Create (truncate) `path`. No crash fuse: one-shot writers go
+    /// through temp + rename and must not be fused mid-copy.
+    pub fn create(path: &Path) -> io::Result<FileSink> {
+        Ok(FileSink { out: BufWriter::new(File::create(path)?), written: 0, crash_after: None })
+    }
+
+    /// Wrap an already-positioned file (used by resume, which appends at
+    /// `written`).
+    fn at(file: File, written: u64) -> FileSink {
+        FileSink { out: BufWriter::new(file), written, crash_after: None }
+    }
+
+    /// Arm the crash fuse from [`CRASH_AFTER_ENV`], if set.
+    fn armed(mut self) -> FileSink {
+        self.crash_after = std::env::var(CRASH_AFTER_ENV).ok().and_then(|v| v.parse().ok());
+        self
+    }
+}
+
+/// Die the way a power cut does: no unwinding, no buffer flushes beyond
+/// what already reached the OS, no atexit handlers.
+fn kill_self() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill").args(["-9", &pid]).status();
+    // If no `kill` binary exists, abort still dies without cleanup.
+    std::process::abort();
+}
+
+impl Write for FileSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(fuse) = self.crash_after {
+            if self.written + buf.len() as u64 >= fuse {
+                // Top the file up to exactly `fuse` bytes. The flush only
+                // moves them to the OS page cache — which survives SIGKILL,
+                // exactly like a real crash losing userspace buffers.
+                let allowed = fuse.saturating_sub(self.written) as usize;
+                let _ = self.out.write_all(&buf[..allowed]);
+                let _ = self.out.flush();
+                kill_self();
+            }
+        }
+        let n = self.out.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+impl StoreSink for FileSink {
+    fn sync(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        self.out.get_ref().sync_data()
+    }
+}
+
+/// Deterministic fault injector: forwards writes until `budget` bytes
+/// have passed, then fails every further write. Sweeping `budget` across
+/// a store's full length exercises an I/O failure at every byte boundary.
+pub struct FailingWriter<W> {
+    inner: W,
+    budget: usize,
+}
+
+impl<W> FailingWriter<W> {
+    pub fn new(inner: W, budget: usize) -> Self {
+        FailingWriter { inner, budget }
+    }
+
+    /// The wrapped sink (holding exactly the bytes written before the
+    /// failure).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.budget == 0 {
+            return Err(io::Error::other("injected write failure"));
+        }
+        let n = self.budget.min(buf.len());
+        self.inner.write_all(&buf[..n])?;
+        self.budget -= n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<W: StoreSink> StoreSink for FailingWriter<W> {
+    fn sync(&mut self) -> io::Result<()> {
+        self.inner.sync()
+    }
 }
 
 // --- Writer --------------------------------------------------------------
@@ -170,23 +331,126 @@ struct Header {
 /// Streaming v1 writer: segments are written (and checksummed, and
 /// summarized) as they complete, so a scan never has to hold more than one
 /// snapshot's records in memory.
-pub struct StoreWriter<W: Write> {
+///
+/// Two durability modes. [`StoreWriter::create`] / [`StoreWriter::resume`]
+/// write in place and fsync the header and every segment boundary, so a
+/// crash leaves a valid resumable prefix. [`StoreWriter::new`] (arbitrary
+/// sinks, including the temp files behind
+/// [`ResultStore::save_as`](crate::store::ResultStore::save_as)) skips the
+/// per-segment fsyncs and only syncs in [`StoreWriter::finish`].
+pub struct StoreWriter<W: StoreSink> {
     out: W,
     path: std::path::PathBuf,
     segments: Vec<SegmentSummary>,
     total_records: u64,
     last_snapshot: Option<Snapshot>,
+    /// fsync after the header and each segment (crash-safe streaming
+    /// mode); one-shot writers leave it off and sync once in `finish`.
+    sync_segments: bool,
 }
 
-impl StoreWriter<std::io::BufWriter<std::fs::File>> {
-    /// Create a v1 store at `path` and write the magic + header.
+/// What [`StoreWriter::resume`] found at the target path.
+pub enum Resumed {
+    /// The store is already complete (valid through its trailer); there
+    /// is nothing to append.
+    Complete { segments: Vec<SegmentSummary> },
+    /// A writer positioned after the last intact segment. `truncated`
+    /// counts the torn-tail bytes that were cut (0 when the prefix ended
+    /// cleanly or the file was new).
+    Partial { writer: StoreWriter<FileSink>, truncated: u64 },
+}
+
+impl StoreWriter<FileSink> {
+    /// Create a v1 store at `path` and durably write the magic + header.
+    ///
+    /// Refuses to clobber an existing non-empty file — callers must opt
+    /// in via [`StoreWriter::resume`] or [`StoreWriter::create_overwrite`].
     pub fn create(path: &Path, seed: u64, scale: f64, universe: usize) -> Result<Self, HvError> {
-        let file = std::fs::File::create(path).map_err(|e| HvError::store_io(path, e))?;
-        StoreWriter::new(std::io::BufWriter::new(file), path, seed, scale, universe)
+        if std::fs::metadata(path).is_ok_and(|m| m.len() > 0) {
+            return Err(HvError::store_exists(path));
+        }
+        Self::create_overwrite(path, seed, scale, universe)
+    }
+
+    /// Create a v1 store at `path`, replacing whatever is there.
+    pub fn create_overwrite(
+        path: &Path,
+        seed: u64,
+        scale: f64,
+        universe: usize,
+    ) -> Result<Self, HvError> {
+        let sink = FileSink::create(path).map_err(|e| HvError::store_io(path, e))?.armed();
+        let mut w = StoreWriter::new(sink, path, seed, scale, universe)?;
+        w.sync_segments = true;
+        w.out.sync().map_err(|e| HvError::store_io(path, e))?;
+        Ok(w)
+    }
+
+    /// Resume a crash-interrupted store at `path`.
+    ///
+    /// Validates the on-disk prefix (magic + header + intact segments),
+    /// refuses a header that does not match the requested provenance
+    /// (resuming with a different seed/scale/universe would silently mix
+    /// corpora), truncates any torn tail, and returns a writer positioned
+    /// to append — or [`Resumed::Complete`] when the store already parses
+    /// end to end. A missing or empty file degenerates to a fresh create.
+    pub fn resume(path: &Path, seed: u64, scale: f64, universe: usize) -> Result<Resumed, HvError> {
+        let mut file = match std::fs::OpenOptions::new().read(true).write(true).open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                let writer = Self::create_overwrite(path, seed, scale, universe)?;
+                return Ok(Resumed::Partial { writer, truncated: 0 });
+            }
+            Err(e) => return Err(HvError::store_io(path, e)),
+        };
+        let mut data = Vec::new();
+        file.read_to_end(&mut data).map_err(|e| HvError::store_io(path, e))?;
+
+        let prefix = scan_prefix(&data, path)?;
+        if let Some(h) = &prefix.header {
+            let expected = StoreHeader { seed, scale, universe };
+            if *h != expected {
+                return Err(HvError::store(
+                    path,
+                    format!(
+                        "refusing to resume: store was written with seed {} / scale {} / \
+                         universe {}, but this scan requests seed {} / scale {} / universe {}",
+                        h.seed, h.scale, h.universe, seed, scale, universe
+                    ),
+                ));
+            }
+        }
+        if prefix.complete {
+            return Ok(Resumed::Complete { segments: prefix.segments });
+        }
+        if prefix.header.is_none() {
+            // Nothing durable yet (torn inside magic/header): start over.
+            drop(file);
+            let truncated = data.len() as u64;
+            let writer = Self::create_overwrite(path, seed, scale, universe)?;
+            return Ok(Resumed::Partial { writer, truncated });
+        }
+
+        let truncated = data.len() as u64 - prefix.valid_end;
+        file.set_len(prefix.valid_end).map_err(|e| HvError::store_io(path, e))?;
+        file.seek(SeekFrom::Start(prefix.valid_end)).map_err(|e| HvError::store_io(path, e))?;
+        // Make the truncation itself durable before appending past it.
+        file.sync_data().map_err(|e| HvError::store_io(path, e))?;
+
+        let total_records = prefix.segments.iter().map(|s| u64::from(s.records)).sum();
+        let writer = StoreWriter {
+            out: FileSink::at(file, prefix.valid_end).armed(),
+            path: path.to_path_buf(),
+            last_snapshot: prefix.segments.last().map(|s| s.snapshot),
+            segments: prefix.segments,
+            total_records,
+            sync_segments: true,
+        };
+        Ok(Resumed::Partial { writer, truncated })
     }
 }
 
-impl<W: Write> StoreWriter<W> {
+impl<W: StoreSink> StoreWriter<W> {
     /// Write the magic + header to an arbitrary sink (`path` only labels
     /// errors).
     pub fn new(
@@ -196,7 +460,7 @@ impl<W: Write> StoreWriter<W> {
         scale: f64,
         universe: usize,
     ) -> Result<Self, HvError> {
-        let header = serde_json::to_string(&Header { seed, scale, universe })
+        let header = serde_json::to_string(&StoreHeader { seed, scale, universe })
             .map(String::into_bytes)
             .map_err(|e| HvError::store(path, e.to_string()))?;
         let mut frame = Vec::with_capacity(header.len() + 16);
@@ -212,7 +476,15 @@ impl<W: Write> StoreWriter<W> {
             segments: Vec::new(),
             total_records: 0,
             last_snapshot: None,
+            sync_segments: false,
         })
+    }
+
+    /// Footer summaries of the segments written (or recovered) so far, in
+    /// file order — after [`StoreWriter::resume`] this is the completed
+    /// snapshot set a scan can skip.
+    pub fn completed(&self) -> &[SegmentSummary] {
+        &self.segments
     }
 
     fn io(&self, e: std::io::Error) -> HvError {
@@ -234,13 +506,17 @@ impl<W: Write> StoreWriter<W> {
             .map_err(|e| self.io(e))
     }
 
-    /// Write one snapshot's records as a segment. Segments must arrive in
-    /// ascending snapshot order; records are sorted by domain id so the
-    /// on-disk order is the store's canonical order.
+    /// Write one snapshot's records as a segment, with the snapshot's
+    /// quarantine entries embedded after the footer (omitted when empty,
+    /// so quarantine-free stores are byte-identical to the original v1
+    /// layout). Segments must arrive in ascending snapshot order; records
+    /// are sorted by domain id so the on-disk order is the store's
+    /// canonical order.
     pub fn write_segment(
         &mut self,
         snapshot: Snapshot,
         records: &[DomainYearRecord],
+        quarantine: &[QuarantineEntry],
     ) -> Result<SegmentSummary, HvError> {
         if self.last_snapshot.is_some_and(|last| snapshot <= last) {
             return Err(HvError::store(
@@ -269,8 +545,18 @@ impl<W: Write> StoreWriter<W> {
             .map_err(|e| HvError::store(&self.path, e.to_string()))?;
         payload.extend_from_slice(&(footer.len() as u32).to_le_bytes());
         payload.extend_from_slice(&footer);
+        if !quarantine.is_empty() {
+            let json = serde_json::to_string(quarantine)
+                .map(String::into_bytes)
+                .map_err(|e| HvError::store(&self.path, e.to_string()))?;
+            payload.extend_from_slice(&(json.len() as u32).to_le_bytes());
+            payload.extend_from_slice(&json);
+        }
 
         self.write_block(TAG_SEGMENT, &[snapshot.0], &payload)?;
+        if self.sync_segments {
+            self.out.sync().map_err(|e| self.io(e))?;
+        }
         self.total_records += sorted.len() as u64;
         self.segments.push(summary);
         Ok(summary)
@@ -292,7 +578,8 @@ impl<W: Write> StoreWriter<W> {
         self.write_block(TAG_QUARANTINE, &[], &json)
     }
 
-    /// Write the trailer and flush. Returns the per-segment summaries.
+    /// Write the trailer and make the store durable. Returns the
+    /// per-segment summaries.
     pub fn finish(mut self) -> Result<Vec<SegmentSummary>, HvError> {
         let mut body = Vec::with_capacity(13);
         body.push(TAG_TRAILER);
@@ -302,7 +589,7 @@ impl<W: Write> StoreWriter<W> {
         self.out
             .write_all(&body)
             .and_then(|()| self.out.write_all(&crc.to_le_bytes()))
-            .and_then(|()| self.out.flush())
+            .and_then(|()| self.out.sync())
             .map_err(|e| HvError::store_io(&self.path, e))?;
         Ok(std::mem::take(&mut self.segments))
     }
@@ -398,7 +685,7 @@ pub fn read_v1(data: &[u8], path: &Path, opts: LoadOptions) -> Result<V1Contents
     if stored_crc != actual {
         return Err(cur.corrupt(None, header_start, "header checksum mismatch"));
     }
-    let header: Header = serde_json::from_slice(header_json)
+    let header: StoreHeader = serde_json::from_slice(header_json)
         .map_err(|e| cur.corrupt(None, header_start, format!("header does not parse: {e}")))?;
 
     let mut out = V1Contents {
@@ -565,7 +852,7 @@ fn read_block(
                 )));
             }
             let snapshot = Snapshot(snap);
-            let (records, summary) =
+            let (records, summary, quarantine) =
                 parse_segment_payload(payload, cur.path, ordinal, block_start).map_err(resync)?;
             if summary.snapshot != snapshot {
                 return Err(resync(cur.corrupt(seg, block_start, "footer snapshot mismatch")));
@@ -578,7 +865,15 @@ fn read_block(
                     "footer summary does not match segment records",
                 )));
             }
+            if quarantine.iter().any(|q| q.snapshot != snapshot) {
+                return Err(resync(cur.corrupt(
+                    seg,
+                    block_start,
+                    "embedded quarantine entry for a different snapshot",
+                )));
+            }
             out.records.extend(records);
+            out.quarantine.extend(quarantine);
             out.segments.push(summary);
             Ok(BlockOutcome::Segment)
         }
@@ -597,20 +892,24 @@ fn read_block(
                     format!("quarantine block does not parse: {e}"),
                 ))
             })?;
-            out.quarantine = entries;
+            // Extend, don't assign: new-format stores may carry segment-
+            // embedded entries, with a standalone block only for entries
+            // whose snapshot has no segment.
+            out.quarantine.extend(entries);
             Ok(BlockOutcome::Other)
         }
         _ => unreachable!("tag validated above"),
     }
 }
 
-/// Decode a (checksum-verified) segment payload into its records + footer.
+/// Decode a (checksum-verified) segment payload into its records, footer,
+/// and optional embedded quarantine entries.
 fn parse_segment_payload(
     payload: &[u8],
     path: &Path,
     ordinal: u32,
     block_start: usize,
-) -> Result<(Vec<DomainYearRecord>, SegmentSummary), HvError> {
+) -> Result<(Vec<DomainYearRecord>, SegmentSummary, Vec<QuarantineEntry>), HvError> {
     let mut cur = Cursor { data: payload, pos: 0, path };
     let seg = Some(ordinal);
     let bad = |detail: String| HvError::store_corrupt(path, seg, block_start as u64, detail);
@@ -631,10 +930,135 @@ fn parse_segment_payload(
     let json = cur.take(len as usize, "footer", seg).map_err(|_| bad("truncated footer".into()))?;
     let summary: SegmentSummary =
         serde_json::from_slice(json).map_err(|e| bad(format!("footer does not parse: {e}")))?;
+    // Optional trailing frame: the snapshot's quarantine entries. Absent
+    // in quarantine-free and pre-embedding stores.
+    let mut quarantine = Vec::new();
     if cur.pos != payload.len() {
-        return Err(bad("trailing bytes in segment payload".into()));
+        let len =
+            cur.u32_le("quarantine length", seg).map_err(|_| bad("truncated quarantine".into()))?;
+        let json = cur
+            .take(len as usize, "quarantine", seg)
+            .map_err(|_| bad("truncated quarantine".into()))?;
+        quarantine = serde_json::from_slice(json)
+            .map_err(|e| bad(format!("embedded quarantine does not parse: {e}")))?;
+        if cur.pos != payload.len() {
+            return Err(bad("trailing bytes in segment payload".into()));
+        }
     }
-    Ok((records, summary))
+    Ok((records, summary, quarantine))
+}
+
+// --- Prefix validation (crash recovery) -----------------------------------
+
+/// What a resume-time walk of an on-disk v1 image found: the longest
+/// valid durable prefix (magic + header + intact leading segments).
+#[derive(Debug)]
+pub struct PrefixState {
+    /// Parsed provenance, when the magic + header frame verify. `None`
+    /// means nothing durable exists yet — a resume starts from scratch.
+    pub header: Option<StoreHeader>,
+    /// Footer summaries of the fully intact leading segments.
+    pub segments: Vec<SegmentSummary>,
+    /// Byte offset after each intact segment, in file order (crash tests
+    /// and the chaos harness derive staged kill points from these).
+    pub segment_ends: Vec<u64>,
+    /// Length of the valid prefix — a resume truncates the file here.
+    pub valid_end: u64,
+    /// The image parses strictly end to end (trailer verified): the
+    /// store is already complete.
+    pub complete: bool,
+}
+
+/// Walk the durable prefix of a v1 store image.
+///
+/// Returns how far the image is valid: header, then consecutive segment
+/// blocks that pass every integrity check (CRC, footer cross-check,
+/// embedded quarantine, ascending snapshot order). The walk stops —
+/// without erroring — at the first torn or non-segment byte, because
+/// everything past the last intact segment (a torn segment, or a
+/// metrics/quarantine/trailer tail) is rewritten by the resumed scan.
+///
+/// Errors only on an image that is not this format at all (≥ 8 bytes of
+/// wrong magic), so a resume cannot silently destroy a foreign file.
+pub fn scan_prefix(data: &[u8], path: &Path) -> Result<PrefixState, HvError> {
+    let fresh = PrefixState {
+        header: None,
+        segments: Vec::new(),
+        segment_ends: Vec::new(),
+        valid_end: 0,
+        complete: false,
+    };
+    if data.len() < MAGIC.len() {
+        // A torn write inside the magic is a fresh store; anything else
+        // at this path is not ours to truncate.
+        return if MAGIC.starts_with(data) {
+            Ok(fresh)
+        } else {
+            Err(HvError::store_corrupt(path, None, 0, "bad magic (not a v1 store)"))
+        };
+    }
+    if data[..MAGIC.len()] != MAGIC {
+        return Err(HvError::store_corrupt(path, None, 0, "bad magic (not a v1 store)"));
+    }
+
+    // Header frame: torn or corrupt ⇒ nothing durable was committed.
+    let mut cur = Cursor { data, pos: MAGIC.len(), path };
+    let header = (|| -> Result<StoreHeader, HvError> {
+        let header_start = cur.pos;
+        let header_len = cur.u32_le("header length", None)?;
+        if u64::from(header_len) > MAX_FRAME {
+            return Err(cur.corrupt(None, header_start, "implausible header length"));
+        }
+        let header_json = cur.take(header_len as usize, "header", None)?;
+        let stored_crc = cur.u32_le("header checksum", None)?;
+        let actual = Crc32::new().update(&header_len.to_le_bytes()).update(header_json).finish();
+        if stored_crc != actual {
+            return Err(cur.corrupt(None, header_start, "header checksum mismatch"));
+        }
+        serde_json::from_slice(header_json)
+            .map_err(|e| cur.corrupt(None, header_start, format!("header does not parse: {e}")))
+    })();
+    let Ok(header) = header else {
+        return Ok(fresh);
+    };
+
+    let mut state = PrefixState {
+        header: Some(header),
+        segments: Vec::new(),
+        segment_ends: Vec::new(),
+        valid_end: cur.pos as u64,
+        complete: false,
+    };
+    let mut scratch = V1Contents {
+        seed: header.seed,
+        scale: header.scale,
+        universe: header.universe,
+        records: Vec::new(),
+        metrics: None,
+        quarantine: Vec::new(),
+        segments: Vec::new(),
+        dropped: Vec::new(),
+    };
+    while cur.pos < data.len() && data[cur.pos] == TAG_SEGMENT {
+        let ordinal = state.segments.len() as u32;
+        if read_block(&mut cur, ordinal, &mut scratch).is_err() {
+            break;
+        }
+        let summary = *scratch.segments.last().expect("segment block pushed a summary");
+        if state.segments.last().is_some_and(|prev| summary.snapshot <= prev.snapshot) {
+            break;
+        }
+        state.segments.push(summary);
+        state.segment_ends.push(cur.pos as u64);
+        state.valid_end = cur.pos as u64;
+    }
+
+    // Completeness: the whole image parses strictly through its trailer.
+    if read_v1(data, path, LoadOptions::default()).is_ok() {
+        state.complete = true;
+        state.valid_end = data.len() as u64;
+    }
+    Ok(state)
 }
 
 #[cfg(test)]

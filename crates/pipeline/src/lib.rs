@@ -57,7 +57,10 @@ pub mod warcscan;
 
 pub use aggregate::{AggregateIndex, IndexedStore};
 pub use chaos::{run_chaos, ChaosReport};
-pub use format::{DroppedSegment, LoadOptions, SegmentSummary, StoreWriter};
+pub use format::{
+    scan_prefix, DroppedSegment, FailingWriter, FileSink, LoadOptions, PrefixState, Resumed,
+    SegmentSummary, StoreHeader, StoreSink, StoreWriter,
+};
 pub use metrics::{FaultMetrics, PhaseNanos, ScanMetrics};
 pub use outcome::{ErrorClass, PageOutcome, QuarantineEntry, RetryPolicy};
 pub use run::{scan, scan_snapshots, scan_streamed, ScanOptions, ScanSummary};

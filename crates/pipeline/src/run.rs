@@ -17,7 +17,7 @@
 //! [`ScanMetrics`], merged lock-free at the join and embedded in the
 //! store as provenance.
 
-use crate::format::{SegmentSummary, StoreWriter};
+use crate::format::{Resumed, SegmentSummary, StoreWriter};
 use crate::metrics::{PhaseNanos, ScanMetrics};
 use crate::outcome::{ErrorClass, QuarantineEntry, RetryPolicy};
 use crate::store::{DomainYearRecord, ResultStore};
@@ -62,6 +62,15 @@ pub struct ScanOptions {
     /// Record bodies larger than this are quarantined
     /// ([`ErrorClass::OversizedBody`]) instead of parsed.
     pub byte_budget: usize,
+    /// Resume a crash-interrupted streamed scan: validate the existing
+    /// store's prefix, skip its completed snapshots, and append the rest
+    /// (see [`StoreWriter::resume`]). Only meaningful for
+    /// [`scan_streamed`].
+    pub resume: bool,
+    /// Allow [`scan_streamed`] to replace an existing non-empty store
+    /// (without it, clobbering is refused with
+    /// [`HvError::StoreExists`](hv_core::HvError::StoreExists)).
+    pub overwrite: bool,
 }
 
 /// Default per-record byte budget: far above any page the generator emits,
@@ -80,6 +89,8 @@ impl ScanOptions {
             faults: None,
             retry: RetryPolicy::default(),
             byte_budget: DEFAULT_BYTE_BUDGET,
+            resume: false,
+            overwrite: false,
         }
     }
 
@@ -122,6 +133,18 @@ impl ScanOptions {
     /// Override the per-record byte budget.
     pub fn byte_budget(mut self, budget: usize) -> Self {
         self.byte_budget = budget;
+        self
+    }
+
+    /// Resume a crash-interrupted streamed scan at the target path.
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
+    /// Allow a streamed scan to replace an existing non-empty store.
+    pub fn overwrite(mut self, on: bool) -> Self {
+        self.overwrite = on;
         self
     }
 }
@@ -275,14 +298,29 @@ pub struct ScanSummary {
     pub segments: Vec<SegmentSummary>,
     /// The merged metrics, when [`ScanOptions::collect_metrics`] was on.
     pub metrics: Option<ScanMetrics>,
+    /// Segments recovered from an existing store by [`ScanOptions::resume`]
+    /// (0 on fresh scans).
+    pub resumed_segments: usize,
+    /// Torn-tail bytes a resume truncated before appending (0 on fresh
+    /// scans and clean prefixes).
+    pub truncated_bytes: u64,
 }
 
 /// Run the measurement snapshot by snapshot, streaming each snapshot's
 /// records to a v1 store segment at `path` as it completes — peak memory
-/// holds one snapshot's records, not the whole run. The per-snapshot
-/// scans use the same engine as [`scan_snapshots`], so the store on disk
-/// is byte-identical to `scan` + [`ResultStore::save_v1`] (modulo metric
-/// timings) at any thread count.
+/// holds one snapshot's records, not the whole run. Each segment embeds
+/// its snapshot's quarantine entries and is fsynced as it lands, so a
+/// crash at any point leaves a valid prefix that
+/// [`ScanOptions::resume`] can continue — and because generation is
+/// seed-deterministic, the resumed store is byte-identical to an
+/// uninterrupted run. Scanned-but-empty snapshots get an (empty) segment
+/// too, so the completed set on disk is exact.
+///
+/// The per-snapshot scans use the same engine as [`scan_snapshots`], so
+/// the store on disk is byte-identical to `scan` +
+/// [`ResultStore::save_v1`] (modulo metric timings, and modulo empty
+/// segments, which `save_v1` cannot distinguish from unscanned ones) at
+/// any thread count.
 pub fn scan_streamed(
     archive: &Archive,
     snapshots: &[Snapshot],
@@ -294,25 +332,49 @@ pub fn scan_streamed(
     snaps.sort();
     snaps.dedup();
 
-    let mut writer =
-        StoreWriter::create(path, archive.cfg.seed, archive.cfg.scale, archive.domains().len())?;
-    let mut metrics = ScanMetrics::default();
-    let mut quarantine: Vec<QuarantineEntry> = Vec::new();
-    let mut segments = Vec::new();
-    let mut records = 0u64;
-    for &snap in &snaps {
-        let store = scan_snapshots(archive, &[snap], opts);
-        records += store.records.len() as u64;
-        if !store.records.is_empty() {
-            segments.push(writer.write_segment(snap, &store.records)?);
+    let seed = archive.cfg.seed;
+    let scale = archive.cfg.scale;
+    let universe = archive.domains().len();
+    let (mut writer, truncated_bytes) = if opts.resume {
+        match StoreWriter::resume(path, seed, scale, universe)? {
+            Resumed::Complete { segments } => {
+                // Nothing to append — report what the finished store holds.
+                let store = ResultStore::load(path)?;
+                return Ok(ScanSummary {
+                    records: segments.iter().map(|s| u64::from(s.records)).sum(),
+                    quarantined: store.quarantine.len(),
+                    resumed_segments: segments.len(),
+                    truncated_bytes: 0,
+                    segments,
+                    metrics: store.metrics,
+                });
+            }
+            Resumed::Partial { writer, truncated } => (writer, truncated),
         }
+    } else if opts.overwrite {
+        (StoreWriter::create_overwrite(path, seed, scale, universe)?, 0)
+    } else {
+        (StoreWriter::create(path, seed, scale, universe)?, 0)
+    };
+    let resumed_segments = writer.completed().len();
+    let completed: BTreeSet<Snapshot> = writer.completed().iter().map(|s| s.snapshot).collect();
+
+    let mut metrics = ScanMetrics::default();
+    for &snap in &snaps {
+        if completed.contains(&snap) {
+            continue;
+        }
+        let store = scan_snapshots(archive, &[snap], opts);
+        // Empty segments are written too: on disk, "scanned and found
+        // nothing" must stay distinguishable from "never scanned", or a
+        // resume would re-scan (and a reader under-count) the snapshot.
+        writer.write_segment(snap, &store.records, &store.quarantine)?;
         if let Some(m) = &store.metrics {
             // Counters are additive across snapshots; threads is constant
             // and wall_nanos is re-measured over the whole run below.
             metrics.threads = m.threads;
             metrics.merge(m);
         }
-        quarantine.extend(store.quarantine);
     }
 
     let metrics = if opts.collect_metrics {
@@ -322,14 +384,10 @@ pub fn scan_streamed(
     } else {
         None
     };
-    if !quarantine.is_empty() {
-        // Already canonical (ascending snapshots, finalized per scan), but
-        // the sort is cheap insurance on the store's ordering invariant.
-        quarantine.sort_by_key(|q| (q.snapshot, q.domain_id, q.page_index));
-        writer.write_quarantine(&quarantine)?;
-    }
-    writer.finish()?;
-    Ok(ScanSummary { records, quarantined: quarantine.len(), segments, metrics })
+    let segments = writer.finish()?;
+    let records = segments.iter().map(|s| u64::from(s.records)).sum();
+    let quarantined = segments.iter().map(|s| s.pages_quarantined as usize).sum();
+    Ok(ScanSummary { records, quarantined, segments, metrics, resumed_segments, truncated_bytes })
 }
 
 /// Everything one worker hands back at the join.
@@ -704,6 +762,9 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let batch_path = dir.join("batch.hvs");
         let stream_path = dir.join("stream.hvs");
+        // A leftover from an interrupted previous run would trip the
+        // clobber guard.
+        std::fs::remove_file(&stream_path).ok();
 
         let store = scan_snapshots(&archive, &snaps, opts);
         store.save_v1(&batch_path).unwrap();
@@ -719,6 +780,54 @@ mod tests {
         assert_eq!(serde_json::to_string(&back).unwrap(), serde_json::to_string(&store).unwrap());
         std::fs::remove_file(&batch_path).ok();
         std::fs::remove_file(&stream_path).ok();
+    }
+
+    /// Truncating a streamed (faulted!) store at a segment boundary and
+    /// resuming reproduces the uninterrupted bytes — the embedded
+    /// quarantine travels with its segment through the crash.
+    #[test]
+    fn resumed_scan_is_byte_identical_after_truncation() {
+        let archive = tiny_archive();
+        let snaps = [Snapshot::ALL[0], Snapshot::ALL[4], Snapshot::ALL[7]];
+        let plan = FaultPlan::new(11, 0.3).unwrap();
+        let opts = ScanOptions::new().threads(2).inject_faults(plan);
+        let dir = std::env::temp_dir().join("hv_scan_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let full_path = dir.join("full.hvs");
+        let crash_path = dir.join("crash.hvs");
+
+        let summary = scan_streamed(&archive, &snaps, opts.overwrite(true), &full_path).unwrap();
+        assert!(summary.quarantined > 0, "30% faults must quarantine pages");
+        let full = std::fs::read(&full_path).unwrap();
+        let prefix = crate::format::scan_prefix(&full, &full_path).unwrap();
+        assert!(prefix.complete);
+        assert_eq!(prefix.segment_ends.len(), 3);
+
+        // Cut mid-segment-1 (torn tail) and resume.
+        let cut = (prefix.segment_ends[0] + prefix.segment_ends[1]) as usize / 2;
+        std::fs::write(&crash_path, &full[..cut]).unwrap();
+        let resumed = scan_streamed(&archive, &snaps, opts.resume(true), &crash_path).unwrap();
+        assert_eq!(resumed.resumed_segments, 1, "segment 0 survives the cut");
+        assert!(resumed.truncated_bytes > 0, "the torn tail was truncated");
+        assert_eq!(std::fs::read(&crash_path).unwrap(), full, "resume reproduces the bytes");
+
+        // Resuming a complete store is a no-op with the same summary shape.
+        let again = scan_streamed(&archive, &snaps, opts.resume(true), &crash_path).unwrap();
+        assert_eq!(again.records, resumed.records);
+        assert_eq!(again.quarantined, resumed.quarantined);
+        assert_eq!(again.resumed_segments, 3);
+        assert_eq!(std::fs::read(&crash_path).unwrap(), full);
+
+        // A fresh scan at the same path now refuses to clobber.
+        let err = scan_streamed(&archive, &snaps, opts, &crash_path).unwrap_err();
+        assert!(matches!(err, HvError::StoreExists { .. }), "got: {err}");
+        // And a resume under different provenance refuses too.
+        let other = Archive::new(CorpusConfig { seed: 4321, scale: 0.002 });
+        let err = scan_streamed(&other, &snaps, opts.resume(true), &crash_path).unwrap_err();
+        assert!(err.to_string().contains("refusing to resume"), "got: {err}");
+
+        std::fs::remove_file(&full_path).ok();
+        std::fs::remove_file(&crash_path).ok();
     }
 
     #[test]

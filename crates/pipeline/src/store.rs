@@ -130,30 +130,61 @@ impl ResultStore {
     /// Persist as v0 JSON — the export/interchange format. Failures come
     /// back as the workspace-wide [`HvError`], so callers (CLI, server
     /// startup) map them uniformly.
+    ///
+    /// Writes through a temp sibling + fsync + rename + parent-dir fsync,
+    /// so a crash mid-save never leaves a torn store at `path`.
     pub fn save(&self, path: &Path) -> Result<(), HvError> {
-        let file = std::fs::File::create(path).map_err(|e| HvError::store_io(path, e))?;
-        serde_json::to_writer(io::BufWriter::new(file), self)
-            .map_err(|e| HvError::store(path, e.to_string()))
+        let tmp = tmp_sibling(path);
+        let write = || -> Result<(), HvError> {
+            let file = std::fs::File::create(&tmp).map_err(|e| HvError::store_io(path, e))?;
+            let mut out = io::BufWriter::new(file);
+            serde_json::to_writer(&mut out, self)
+                .map_err(|e| HvError::store(path, e.to_string()))?;
+            io::Write::flush(&mut out)
+                .and_then(|()| out.get_ref().sync_data())
+                .map_err(|e| HvError::store_io(path, e))
+        };
+        commit_tmp(write(), &tmp, path)
     }
 
     /// Persist as a v1 segmented binary store: one checksummed segment per
-    /// snapshot, metrics and quarantine as their own blocks. Returns the
-    /// per-segment summaries that went into the footers.
+    /// snapshot (each embedding its snapshot's quarantine entries), metrics
+    /// as its own block, plus a standalone quarantine block for entries
+    /// whose snapshot has no records. Returns the per-segment summaries
+    /// that went into the footers.
+    ///
+    /// One-shot and atomic: temp sibling + fsync + rename + parent-dir
+    /// fsync (a resumable in-place writer is [`StoreWriter::resume`]).
     pub fn save_v1(&self, path: &Path) -> Result<Vec<SegmentSummary>, HvError> {
-        let mut w = StoreWriter::create(path, self.seed, self.scale, self.universe)?;
-        for &snap in Snapshot::ALL.iter() {
-            let records: Vec<DomainYearRecord> = self.by_snapshot(snap).cloned().collect();
-            if !records.is_empty() {
-                w.write_segment(snap, &records)?;
+        let tmp = tmp_sibling(path);
+        let write = || -> Result<Vec<SegmentSummary>, HvError> {
+            let sink = format::FileSink::create(&tmp).map_err(|e| HvError::store_io(path, e))?;
+            let mut w = StoreWriter::new(sink, path, self.seed, self.scale, self.universe)?;
+            let mut covered: BTreeSet<Snapshot> = BTreeSet::new();
+            for &snap in Snapshot::ALL.iter() {
+                let records: Vec<DomainYearRecord> = self.by_snapshot(snap).cloned().collect();
+                if !records.is_empty() {
+                    let quarantine: Vec<QuarantineEntry> =
+                        self.quarantine.iter().filter(|q| q.snapshot == snap).cloned().collect();
+                    w.write_segment(snap, &records, &quarantine)?;
+                    covered.insert(snap);
+                }
             }
-        }
-        if let Some(metrics) = &self.metrics {
-            w.write_metrics(metrics)?;
-        }
-        if !self.quarantine.is_empty() {
-            w.write_quarantine(&self.quarantine)?;
-        }
-        w.finish()
+            if let Some(metrics) = &self.metrics {
+                w.write_metrics(metrics)?;
+            }
+            let leftover: Vec<QuarantineEntry> = self
+                .quarantine
+                .iter()
+                .filter(|q| !covered.contains(&q.snapshot))
+                .cloned()
+                .collect();
+            if !leftover.is_empty() {
+                w.write_quarantine(&leftover)?;
+            }
+            w.finish()
+        };
+        commit_tmp(write(), &tmp, path)
     }
 
     /// Persist in an explicit format.
@@ -196,6 +227,46 @@ impl ResultStore {
                 serde_json::from_slice(&data).map_err(|e| HvError::store(path, e.to_string()))?;
             let segments = SegmentSummary::derive(&store);
             Ok(LoadedStore { store, format: StoreFormat::V0Json, segments, dropped: Vec::new() })
+        }
+    }
+}
+
+/// A process-unique temp sibling of `path`, in the same directory so the
+/// final `rename` stays on one filesystem (rename across mounts is a
+/// copy, not an atomic swap).
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    path.with_file_name(format!(
+        ".{name}.tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// fsync the directory holding `path`, making a just-committed rename
+/// durable.
+fn sync_dir(path: &Path) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(dir)?.sync_all()
+}
+
+/// Commit a finished temp-file write: rename it over `path` and fsync the
+/// directory; on a failed write, clean the temp file up instead.
+fn commit_tmp<T>(result: Result<T, HvError>, tmp: &Path, path: &Path) -> Result<T, HvError> {
+    match result {
+        Ok(v) => {
+            std::fs::rename(tmp, path).map_err(|e| HvError::store_io(path, e))?;
+            sync_dir(path).map_err(|e| HvError::store_io(path, e))?;
+            Ok(v)
+        }
+        Err(e) => {
+            std::fs::remove_file(tmp).ok();
+            Err(e)
         }
     }
 }
@@ -484,8 +555,8 @@ mod tests {
         assert_eq!(partial.dropped.len(), 1);
         assert_eq!(partial.dropped[0].segment, 1);
         assert!(partial.dropped[0].detail.contains("checksum"));
-        // Metrics and quarantine blocks sit after the corrupt segment and
-        // still load.
+        // The metrics block sits after the corrupt segment and still
+        // loads; the quarantine entry rides inside the intact segment 0.
         assert!(partial.store.metrics.is_some());
         assert_eq!(partial.store.quarantine.len(), 1);
         std::fs::remove_file(&path).ok();

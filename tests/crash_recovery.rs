@@ -1,0 +1,265 @@
+//! Crash-safety integration tests for the v1 store.
+//!
+//! The durability contract under test: a crash at *any* byte leaves a
+//! valid prefix (magic + header + N complete segments), and resuming from
+//! that prefix reproduces the uninterrupted store byte for byte.
+//!
+//! Three attack surfaces:
+//! 1. [`FailingWriter`] swept across every byte budget of a small
+//!    synthetic store — the writer must surface a structured error (never
+//!    panic), the sink must hold exactly the allowed prefix, and
+//!    [`StoreWriter::resume`] + a replay of the remaining work must
+//!    reproduce the reference bytes.
+//! 2. Exhaustive torn-tail truncation of the same store at every offset —
+//!    [`scan_prefix`] keeps exactly the segments fully contained in the
+//!    prefix, strict loads fail, partial loads never panic.
+//! 3. Proptest-sampled truncation of the migrated v0 fixture (a real scan
+//!    output), the same invariants at realistic scale.
+
+use html_violations::hv_core::{HvError, MitigationFlags, ViolationKind};
+use html_violations::hv_corpus::Snapshot;
+use html_violations::hv_pipeline::format::read_v1;
+use html_violations::hv_pipeline::{
+    scan_prefix, DomainYearRecord, ErrorClass, FailingWriter, LoadOptions, QuarantineEntry,
+    ResultStore, Resumed, ScanMetrics, SegmentSummary, StoreSink, StoreWriter,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+const FIXTURE: &str = "tests/fixtures/store_v0.json";
+const SEED: u64 = 7;
+const SCALE: f64 = 0.5;
+const UNIVERSE: usize = 64;
+
+/// A unique temp path per call, so cases never collide.
+fn temp_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("hv-crash-{}-{tag}-{n}", std::process::id()))
+}
+
+fn record(domain: u64, snap: u8, kinds: &[ViolationKind]) -> DomainYearRecord {
+    let kinds: BTreeSet<ViolationKind> = kinds.iter().copied().collect();
+    DomainYearRecord {
+        domain_id: domain,
+        domain_name: format!("d{domain}.example"),
+        rank: domain as u32 + 1,
+        snapshot: Snapshot(snap),
+        pages_found: 4,
+        pages_analyzed: 3,
+        page_counts: kinds.iter().map(|&k| (k, 2)).collect(),
+        kinds: kinds.clone(),
+        mitigations: MitigationFlags::default(),
+        kinds_after_autofix: BTreeSet::new(),
+        uses_math: false,
+        pages_faulted: 0,
+        pages_degraded: 0,
+        pages_quarantined: 1,
+    }
+}
+
+fn qentry(domain: u64, snap: u8, page: usize) -> QuarantineEntry {
+    QuarantineEntry {
+        domain_id: domain,
+        snapshot: Snapshot(snap),
+        page_index: page,
+        url: format!("https://d{domain}.example/p{page}"),
+        class: ErrorClass::TransientIo,
+    }
+}
+
+/// The synthetic write plan: three segments (one empty, one carrying an
+/// embedded quarantine frame), a metrics block, and a leftover quarantine
+/// entry whose snapshot has no segment (standalone block). Together they
+/// cover every block tag the writer can emit.
+fn plan() -> Vec<(Snapshot, Vec<DomainYearRecord>, Vec<QuarantineEntry>)> {
+    vec![
+        (
+            Snapshot(0),
+            vec![record(1, 0, &[ViolationKind::FB2]), record(2, 0, &[])],
+            vec![qentry(2, 0, 3)],
+        ),
+        (Snapshot(3), Vec::new(), Vec::new()),
+        (Snapshot(7), vec![record(1, 7, &[ViolationKind::DM3])], Vec::new()),
+    ]
+}
+
+fn leftover() -> Vec<QuarantineEntry> {
+    vec![qentry(9, 5, 0)]
+}
+
+/// Drive a writer through the full plan — the exact byte sequence every
+/// sweep case must reproduce a prefix of.
+fn write_plan<W: StoreSink>(
+    mut w: StoreWriter<W>,
+    skip: &BTreeSet<Snapshot>,
+) -> Result<Vec<SegmentSummary>, HvError> {
+    for (snap, records, quarantine) in plan() {
+        if skip.contains(&snap) {
+            continue;
+        }
+        w.write_segment(snap, &records, &quarantine)?;
+    }
+    w.write_metrics(&ScanMetrics::default())?;
+    w.write_quarantine(&leftover())?;
+    w.finish()
+}
+
+/// The uninterrupted store's bytes — the ground truth for every crash.
+fn reference_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut buf = Vec::new();
+        let w = StoreWriter::new(&mut buf, Path::new("mem"), SEED, SCALE, UNIVERSE).unwrap();
+        write_plan(w, &BTreeSet::new()).unwrap();
+        buf
+    })
+}
+
+/// Injected I/O failure at every byte budget: the error is structured, the
+/// sink holds exactly the allowed prefix, and resume + replay reproduces
+/// the uninterrupted bytes.
+#[test]
+fn failing_writer_sweep_resumes_identically_at_every_byte() {
+    let reference = reference_bytes();
+    let mem = Path::new("mem");
+    for budget in 0..reference.len() {
+        let mut buf = Vec::new();
+        let result =
+            StoreWriter::new(FailingWriter::new(&mut buf, budget), mem, SEED, SCALE, UNIVERSE)
+                .and_then(|w| write_plan(w, &BTreeSet::new()));
+        assert!(result.is_err(), "budget {budget}: short write must surface an error");
+        assert_eq!(buf, reference[..budget], "budget {budget}: sink must hold the exact prefix");
+
+        // The prefix is always scannable: only whole segments survive.
+        let state = scan_prefix(&buf, mem).expect("prefix of a valid store must scan");
+        assert!(!state.complete, "budget {budget}: a truncated store is never complete");
+        assert!(state.valid_end as usize <= budget);
+        assert!(state.segment_ends.iter().all(|&e| e as usize <= budget));
+
+        // Crash-at-budget then resume must reproduce the reference bytes.
+        let path = temp_path("sweep.hvs");
+        std::fs::write(&path, &buf).unwrap();
+        match StoreWriter::resume(&path, SEED, SCALE, UNIVERSE).unwrap() {
+            Resumed::Complete { .. } => panic!("budget {budget}: truncated store marked complete"),
+            Resumed::Partial { writer, truncated } => {
+                assert_eq!(truncated, budget as u64 - state.valid_end);
+                let done: BTreeSet<Snapshot> =
+                    writer.completed().iter().map(|s| s.snapshot).collect();
+                write_plan(writer, &done).unwrap();
+            }
+        }
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            reference,
+            "budget {budget}: resumed store must be byte-identical"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Torn-tail truncation at every offset: scan_prefix keeps exactly the
+/// segments fully contained in the prefix — never a torn one, never
+/// fewer than what is whole — strict loads fail, partial loads survive.
+#[test]
+fn torn_tail_truncation_at_every_offset() {
+    let reference = reference_bytes();
+    let mem = Path::new("mem");
+    let full = scan_prefix(reference, mem).unwrap();
+    assert!(full.complete);
+    assert_eq!(full.segments.len(), 3, "the plan writes three segments");
+
+    for cut in 0..reference.len() {
+        let data = &reference[..cut];
+        let state = scan_prefix(data, mem)
+            .unwrap_or_else(|e| panic!("cut {cut}: prefix must stay scannable: {e}"));
+        let whole = full.segment_ends.iter().filter(|&&e| e as usize <= cut).count();
+        assert_eq!(
+            state.segments.len(),
+            whole,
+            "cut {cut}: exactly the fully-contained segments survive"
+        );
+        assert!(!state.complete);
+        assert!(
+            read_v1(data, mem, LoadOptions::default()).is_err(),
+            "cut {cut}: strict load of a truncated store must fail"
+        );
+        // Partial load may succeed or fail depending on where the cut
+        // lands; it must never panic, and what it keeps must parse.
+        if let Ok(contents) = read_v1(data, mem, LoadOptions { allow_partial: true }) {
+            assert!(contents.segments.len() <= whole + 1);
+        }
+    }
+}
+
+/// The migrated v0 fixture as v1 bytes — a real scan output, the
+/// realistic-scale target for sampled truncation.
+fn fixture_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let store = ResultStore::load(Path::new(FIXTURE)).unwrap();
+        let path = temp_path("fixture.hvs");
+        store.save_v1(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        bytes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The migrated v0 fixture, truncated at sampled offsets: the same
+    /// torn-tail invariants hold at realistic scale.
+    #[test]
+    fn fixture_truncation_is_safe_at_sampled_offsets(raw in any::<u32>()) {
+        let bytes = fixture_bytes();
+        let mem = Path::new("mem");
+        let full = scan_prefix(bytes, mem).unwrap();
+        prop_assert!(full.complete);
+        let cut = raw as usize % bytes.len();
+        let data = &bytes[..cut];
+        let state = scan_prefix(data, mem)
+            .unwrap_or_else(|e| panic!("cut {cut}: prefix must stay scannable: {e}"));
+        let whole = full.segment_ends.iter().filter(|&&e| e as usize <= cut).count();
+        prop_assert_eq!(state.segments.len(), whole, "cut {}", cut);
+        prop_assert!(read_v1(data, mem, LoadOptions::default()).is_err());
+        let _ = read_v1(data, mem, LoadOptions { allow_partial: true });
+    }
+}
+
+/// A wrong-magic file is never truncated by resume — refusing to destroy
+/// a file that was never ours is part of the durability contract.
+#[test]
+fn resume_refuses_foreign_files() {
+    let path = temp_path("foreign.bin");
+    std::fs::write(&path, b"definitely not a store, hands off").unwrap();
+    let before = std::fs::read(&path).unwrap();
+    let err = match StoreWriter::resume(&path, SEED, SCALE, UNIVERSE) {
+        Err(e) => e,
+        Ok(_) => panic!("resume accepted a foreign file"),
+    };
+    assert!(err.to_string().contains("magic"), "unexpected error: {err}");
+    assert_eq!(std::fs::read(&path).unwrap(), before, "foreign file must be untouched");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Resume checks provenance: a store written under different scan
+/// parameters is refused, not silently extended with foreign records.
+#[test]
+fn resume_refuses_mismatched_provenance() {
+    let path = temp_path("provenance.hvs");
+    let sink = html_violations::hv_pipeline::FileSink::create(&path).unwrap();
+    let w = StoreWriter::new(sink, &path, SEED, SCALE, UNIVERSE).unwrap();
+    write_plan(w, &BTreeSet::new()).unwrap();
+
+    let err = match StoreWriter::resume(&path, SEED + 1, SCALE, UNIVERSE) {
+        Err(e) => e,
+        Ok(_) => panic!("resume accepted mismatched provenance"),
+    };
+    assert!(err.to_string().contains("refusing to resume"), "unexpected error: {err}");
+    std::fs::remove_file(&path).ok();
+}
